@@ -1,0 +1,215 @@
+// Command autopipe-sim runs one configurable training scenario on the
+// simulated shared GPU cluster and reports throughput, utilization and
+// controller activity.
+//
+// Examples:
+//
+//	autopipe-sim -model ResNet50 -bw 25 -batches 50
+//	autopipe-sim -model VGG16 -system pipedream -scheme PS -jobs 2
+//	autopipe-sim -model AlexNet -system autopipe -trace bw:2:5 -trace job:4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"autopipe"
+	"autopipe/internal/trace"
+)
+
+type traceFlags []string
+
+func (t *traceFlags) String() string { return strings.Join(*t, ",") }
+func (t *traceFlags) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+func main() {
+	var (
+		modelName = flag.String("model", "ResNet50", "model: ResNet50|VGG16|AlexNet|BERT48")
+		bwGbps    = flag.Float64("bw", 25, "NIC bandwidth in Gbps")
+		batches   = flag.Int("batches", 50, "mini-batches to train")
+		system    = flag.String("system", "autopipe", "system: baseline|pipedream|autopipe")
+		scheme    = flag.String("scheme", "Ring", "sync scheme: PS|Ring")
+		workers   = flag.Int("workers", 10, "workers (GPUs) used by the job")
+		jobs      = flag.Int("jobs", 0, "competing jobs sharing every GPU")
+		verbose   = flag.Bool("v", false, "print per-worker utilization")
+		compare   = flag.Bool("compare", false, "run all three systems and print a comparison")
+	)
+	var traces traceFlags
+	flag.Var(&traces, "trace", "dynamic event, repeatable: bw:<t>:<gbps> | job:<t> | jobend:<t>")
+	flag.Parse()
+
+	m, err := autopipe.ModelByName(*modelName)
+	fatalIf(err)
+	cl := autopipe.Testbed(autopipe.Gbps(*bwGbps))
+	for i := 0; i < *jobs; i++ {
+		cl.AddCompetingJob()
+	}
+	sc, err := parseScheme(*scheme)
+	fatalIf(err)
+	dyn, err := parseTraces(traces)
+	fatalIf(err)
+
+	fmt.Printf("AutoPipe simulator — %s on %d×P100 @%gGbps, scheme=%s, system=%s\n",
+		m.Name, *workers, *bwGbps, *scheme, *system)
+	fmt.Printf("  layers=%d params=%.1fM mini-batch=%d\n",
+		m.NumLayers(), float64(m.TotalParams())/1e6, m.MiniBatch)
+
+	if *compare {
+		runComparison(m, *bwGbps, *jobs, sc, dyn, *workers, *batches)
+		return
+	}
+
+	switch strings.ToLower(*system) {
+	case "baseline":
+		res, err := autopipe.Measure(autopipe.RunConfig{
+			Model: m, Cluster: cl, Plan: autopipe.PlanDataParallel(m, autopipe.Workers(*workers)),
+			Scheme: sc, Batches: *batches, Dynamics: dyn,
+		})
+		fatalIf(err)
+		report(res, *verbose)
+	case "pipedream":
+		res, err := autopipe.Measure(autopipe.RunConfig{
+			Model: m, Cluster: cl, Plan: autopipe.PlanPipeDream(m, cl, autopipe.Workers(*workers)),
+			Scheme: sc, Batches: *batches, Dynamics: dyn,
+		})
+		fatalIf(err)
+		report(res, *verbose)
+	case "autopipe":
+		res, err := autopipe.RunJob(autopipe.JobConfig{
+			Model: m, Cluster: cl, Workers: autopipe.Workers(*workers),
+			Scheme: sc, Dynamics: dyn,
+		}, *batches)
+		fatalIf(err)
+		report(res.Result, *verbose)
+		st := res.Controller
+		fmt.Printf("controller: %d decisions, %d switches applied, %.1fms decision time, %d resource changes\n",
+			st.Decisions, st.SwitchesApplied, st.DecisionSeconds*1e3, st.ResourceChanges)
+		fmt.Printf("final plan: %s\n", res.FinalPlan)
+		if *verbose {
+			n := len(res.DecisionLog)
+			if n > 10 {
+				res.DecisionLog = res.DecisionLog[n-10:]
+			}
+			for _, line := range res.DecisionLog {
+				fmt.Println("  decision:", line)
+			}
+		}
+	default:
+		fatalIf(fmt.Errorf("unknown system %q", *system))
+	}
+}
+
+// runComparison measures Baseline, PipeDream and AutoPipe on identical
+// fresh clusters and prints one line each.
+func runComparison(m *autopipe.Model, bwGbps float64, jobs int, sc autopipe.SyncScheme, dyn autopipe.Trace, workers, batches int) {
+	mkCluster := func() *autopipe.Cluster {
+		cl := autopipe.Testbed(autopipe.Gbps(bwGbps))
+		for i := 0; i < jobs; i++ {
+			cl.AddCompetingJob()
+		}
+		return cl
+	}
+	fmt.Printf("%-12s %12s %12s\n", "system", "samples/s", "wall time")
+	for _, name := range []string{"baseline", "pipedream", "autopipe"} {
+		var tp, wall float64
+		switch name {
+		case "baseline":
+			cl := mkCluster()
+			res, err := autopipe.Measure(autopipe.RunConfig{
+				Model: m, Cluster: cl, Plan: autopipe.PlanDataParallel(m, autopipe.Workers(workers)),
+				Scheme: sc, Batches: batches, Dynamics: dyn,
+			})
+			fatalIf(err)
+			tp, wall = res.Throughput, res.WallTime
+		case "pipedream":
+			cl := mkCluster()
+			res, err := autopipe.Measure(autopipe.RunConfig{
+				Model: m, Cluster: cl, Plan: autopipe.PlanPipeDream(m, cl, autopipe.Workers(workers)),
+				Scheme: sc, Batches: batches, Dynamics: dyn,
+			})
+			fatalIf(err)
+			tp, wall = res.Throughput, res.WallTime
+		default:
+			res, err := autopipe.RunJob(autopipe.JobConfig{
+				Model: m, Cluster: mkCluster(), Workers: autopipe.Workers(workers),
+				Scheme: sc, Dynamics: dyn,
+			}, batches)
+			fatalIf(err)
+			tp, wall = res.Throughput, res.WallTime
+		}
+		fmt.Printf("%-12s %12.1f %11.2fs\n", name, tp, wall)
+	}
+}
+
+func report(res autopipe.Result, verbose bool) {
+	fmt.Printf("throughput: %.1f samples/sec (%d batches in %.2fs virtual, startup %.2fs)\n",
+		res.Throughput, res.Batches, res.WallTime, res.StartupTime)
+	if verbose {
+		var ids []int
+		for w := range res.Utilization {
+			ids = append(ids, w)
+		}
+		sort.Ints(ids)
+		for _, w := range ids {
+			fmt.Printf("  worker %2d utilization %5.1f%%\n", w, res.Utilization[w]*100)
+		}
+	}
+}
+
+func parseScheme(s string) (autopipe.SyncScheme, error) {
+	switch strings.ToLower(s) {
+	case "ps":
+		return autopipe.ParameterServer, nil
+	case "ring":
+		return autopipe.RingAllReduce, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}
+
+func parseTraces(specs []string) (autopipe.Trace, error) {
+	var tr autopipe.Trace
+	for _, s := range specs {
+		parts := strings.Split(s, ":")
+		switch parts[0] {
+		case "bw":
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("bad trace %q, want bw:<t>:<gbps>", s)
+			}
+			at, err1 := strconv.ParseFloat(parts[1], 64)
+			g, err2 := strconv.ParseFloat(parts[2], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("bad trace %q", s)
+			}
+			tr = append(tr, autopipe.TraceEvent{At: at, Kind: trace.SetBandwidth, Value: autopipe.Gbps(g)})
+		case "job":
+			at, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad trace %q", s)
+			}
+			tr = append(tr, autopipe.TraceEvent{At: at, Kind: trace.AddJob})
+		case "jobend":
+			at, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad trace %q", s)
+			}
+			tr = append(tr, autopipe.TraceEvent{At: at, Kind: trace.RemoveJob})
+		default:
+			return nil, fmt.Errorf("unknown trace kind %q", parts[0])
+		}
+	}
+	return tr, nil
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autopipe-sim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+
+	"autopipe"
+	"autopipe/internal/trace"
+)
+
+func TestParseScheme(t *testing.T) {
+	for in, want := range map[string]autopipe.SyncScheme{
+		"PS": autopipe.ParameterServer, "ps": autopipe.ParameterServer,
+		"Ring": autopipe.RingAllReduce, "ring": autopipe.RingAllReduce,
+	} {
+		got, err := parseScheme(in)
+		if err != nil || got != want {
+			t.Fatalf("parseScheme(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseScheme("ipoib"); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+}
+
+func TestParseTraces(t *testing.T) {
+	tr, err := parseTraces([]string{"bw:2:25", "job:4", "jobend:9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 3 {
+		t.Fatalf("events = %d", len(tr))
+	}
+	if tr[0].Kind != trace.SetBandwidth || tr[0].At != 2 || tr[0].Value != autopipe.Gbps(25) {
+		t.Fatalf("bw event wrong: %+v", tr[0])
+	}
+	if tr[1].Kind != trace.AddJob || tr[2].Kind != trace.RemoveJob {
+		t.Fatal("job events wrong")
+	}
+	for _, bad := range []string{"bw:2", "bw:x:25", "job:y", "warp:1"} {
+		if _, err := parseTraces([]string{bad}); err == nil {
+			t.Fatalf("accepted bad trace %q", bad)
+		}
+	}
+}

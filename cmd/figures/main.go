@@ -1,0 +1,144 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation from the simulator and prints them to stdout (or writes
+// Markdown with -md).
+//
+//	figures            # all figures
+//	figures -fig 8     # only Figure 8
+//	figures -md out.md # Markdown dump for EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"autopipe/internal/experiments"
+	"autopipe/internal/stats"
+)
+
+func main() {
+	var (
+		fig     = flag.Int("fig", 0, "regenerate only this figure (2–13); 0 = all")
+		mdPath  = flag.String("md", "", "also write Markdown to this file")
+		csvDir  = flag.String("csv", "", "also write one CSV per table into this directory")
+		batches = flag.Int("batches", 25, "mini-batches per Figure-8 measurement")
+		extras  = flag.Bool("extras", false, "also run the extension studies (ablations, multi-job)")
+	)
+	flag.Parse()
+
+	var md strings.Builder
+	csvIndex := 0
+	emit := func(t *stats.Table) {
+		fmt.Println(t.String())
+		md.WriteString(t.Markdown())
+		md.WriteString("\n")
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			csvIndex++
+			name := filepath.Join(*csvDir, fmt.Sprintf("%02d_%s.csv", csvIndex, slug(t.Title)))
+			if err := os.WriteFile(name, []byte(t.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	emitSeries := func(title, x string, ss []stats.Series) {
+		fmt.Println(stats.PlotSeries(title, ss, 64, 12))
+		emit(experiments.SeriesTable(title, x, ss))
+	}
+	want := func(n int) bool { return *fig == 0 || *fig == n }
+
+	if want(2) {
+		emit(experiments.Figure2())
+	}
+	if want(3) {
+		a, b := experiments.Figure3()
+		emit(a)
+		emit(b)
+	}
+	if want(4) {
+		a, b := experiments.Figure4()
+		emit(a)
+		emit(b)
+	}
+	if want(5) {
+		a, b := experiments.Figure5()
+		emit(a)
+		emit(b)
+	}
+	if want(6) {
+		a, b := experiments.Figure6()
+		emit(a)
+		emit(b)
+	}
+	if want(8) {
+		for _, t := range experiments.Figure8(*batches) {
+			emit(t)
+		}
+	}
+	if want(9) {
+		emitSeries("Figure 9 — training under dynamic bandwidth (ResNet50, Ring, PyTorch)",
+			"iteration", experiments.Figure9())
+	}
+	if want(10) {
+		emitSeries("Figure 10 — training under dynamic GPUs (ResNet50, Ring, PyTorch)",
+			"iteration", experiments.Figure10())
+	}
+	if want(11) {
+		curves := experiments.Figure11(30, 11)
+		for _, name := range []string{"ResNet50", "VGG16"} {
+			emitSeries(fmt.Sprintf("Figure 11 — accuracy vs time, %s", name),
+				"hours", curves[name])
+		}
+		emit(experiments.Figure11Summary(curves))
+	}
+	if want(12) {
+		emit(experiments.Figure12())
+	}
+	if want(13) {
+		emit(experiments.Figure13())
+	}
+	if *extras {
+		emit(experiments.AblationSwitchMode())
+		emit(experiments.AblationPolicy())
+		emit(experiments.AblationCheckEvery())
+		emit(experiments.AblationNeighborhood())
+		emit(experiments.MultiJobTable(10, 20))
+		emit(experiments.DynamicConvergenceTable())
+		emit(experiments.HeteroTable(*batches))
+		emit(experiments.SchedulerChurnTable(*batches, []int64{1, 2, 3}))
+		emit(experiments.RackTable(*batches))
+		emit(experiments.MetaQualityTable(200, 60, 1))
+		emit(experiments.SchemeCrossoverTable(8))
+	}
+
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(md.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Markdown to %s\n", *mdPath)
+	}
+}
+
+// slug reduces a table title to a safe file-name fragment.
+func slug(title string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-' || r == '/':
+			b.WriteByte('_')
+		}
+		if b.Len() >= 48 {
+			break
+		}
+	}
+	return strings.Trim(b.String(), "_")
+}

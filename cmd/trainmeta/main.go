@@ -1,0 +1,90 @@
+// Command trainmeta performs the offline-training phase of AutoPipe:
+// it generates (environment, partition) → speed datasets from the
+// simulator, trains the meta-network, generates counterfactual switch
+// decisions and trains the RL arbiter, then reports held-out quality.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"autopipe/internal/meta"
+	"autopipe/internal/rl"
+	"autopipe/internal/stats"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "random seed")
+		nSpeed    = flag.Int("speed-samples", 300, "meta-network training samples")
+		nDecision = flag.Int("decisions", 120, "arbiter counterfactual decisions")
+		epochs    = flag.Int("epochs", 80, "meta-network training epochs")
+		outDir    = flag.String("out", "", "directory to write trained weights (metanet.gob, arbiter.gob)")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	fmt.Printf("== Meta-network offline training (%d samples) ==\n", *nSpeed)
+	samples := meta.Generate(meta.DatasetConfig{Rng: rng, N: *nSpeed})
+	train, test := meta.Split(samples, 0.2, rng)
+	net := meta.NewNetwork(rng)
+	before := net.Eval(test, nil)
+	final := net.Train(train, meta.TrainConfig{
+		Epochs: *epochs, BatchSize: 8, Shuffle: rng,
+		OnEpoch: func(e int, loss float64) {
+			if e%10 == 0 {
+				fmt.Printf("  epoch %3d  train loss %.5f\n", e, loss)
+			}
+		},
+	})
+	after := net.Eval(test, nil)
+	var pred, truth []float64
+	for _, s := range test {
+		pred = append(pred, net.Predict(s.F))
+		truth = append(truth, s.Y)
+	}
+	fmt.Printf("  final train loss %.5f; held-out MSE %.5f → %.5f\n", final, before, after)
+	fmt.Printf("  held-out Spearman rank correlation: %.3f\n", stats.SpearmanRank(pred, truth))
+
+	fmt.Printf("\n== RL arbiter offline training (%d counterfactual decisions) ==\n", *nDecision)
+	decisions := rl.GenerateDecisions(rl.ScenarioConfig{Rng: rng, N: *nDecision})
+	sw := 0
+	for _, d := range decisions {
+		if d.Switch {
+			sw++
+		}
+	}
+	fmt.Printf("  label balance: %d switch / %d stay\n", sw, len(decisions)-sw)
+	arb := rl.NewArbiter(rng)
+	loss := arb.TrainSupervised(decisions, 300, 3e-3)
+	fmt.Printf("  final BCE loss %.4f, training accuracy %.1f%%\n", loss, arb.Accuracy(decisions)*100)
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "trainmeta:", err)
+			os.Exit(1)
+		}
+		save := func(name string, write func(*os.File) error) {
+			f, err := os.Create(filepath.Join(*outDir, name))
+			if err == nil {
+				err = write(f)
+			}
+			if err == nil {
+				err = f.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "trainmeta:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", filepath.Join(*outDir, name))
+		}
+		save("metanet.gob", func(f *os.File) error { return net.Save(f) })
+		save("arbiter.gob", func(f *os.File) error { return arb.Save(f) })
+	}
+
+	fmt.Println("\nDone. In a deployment these weights transfer to per-job")
+	fmt.Println("instances (CopyFrom / Load) and adapt online; see internal/autopipe.")
+}

@@ -1,0 +1,69 @@
+package autopipe_test
+
+import (
+	"fmt"
+
+	"autopipe"
+)
+
+// ExampleMeasure trains AlexNet for ten mini-batches under PipeDream's
+// one-shot partition and reports the simulated progress.
+func ExampleMeasure() {
+	m := autopipe.AlexNet()
+	cl := autopipe.Testbed(autopipe.Gbps(25))
+	plan := autopipe.PlanPipeDream(m, cl, autopipe.Workers(4))
+	res, err := autopipe.Measure(autopipe.RunConfig{
+		Model: m, Cluster: cl, Plan: plan,
+		Scheme: autopipe.RingAllReduce, Batches: 10,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("batches=%d samples=%d stages=%d\n", res.Batches, res.Samples, plan.NumStages())
+	// Output: batches=10 samples=2560 stages=2
+}
+
+// ExamplePlanPipeDream shows the DP partitioner balancing VGG16's skewed
+// layer costs: the convolutional front is replicated, the FC tail gets a
+// narrow stage.
+func ExamplePlanPipeDream() {
+	m := autopipe.VGG16()
+	cl := autopipe.Testbed(autopipe.Gbps(25))
+	plan := autopipe.PlanPipeDream(m, cl, autopipe.Workers(4))
+	fmt.Println("stages:", plan.NumStages())
+	fmt.Println("valid:", plan.Validate(m.NumLayers(), cl.NumGPUs()) == nil)
+	// Output:
+	// stages: 2
+	// valid: true
+}
+
+// ExampleRunJob trains under AutoPipe management while the network
+// degrades mid-run; the controller reconfigures instead of limping.
+func ExampleRunJob() {
+	cl := autopipe.Testbed(autopipe.Gbps(100))
+	res, err := autopipe.RunJob(autopipe.JobConfig{
+		Model: autopipe.VGG16(), Cluster: cl,
+		Workers: autopipe.Workers(4), Scheme: autopipe.RingAllReduce,
+		Dynamics:   autopipe.BandwidthSteps([]float64{2}, []float64{5}),
+		CheckEvery: 3,
+	}, 30)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("batches=%d reconfigured=%v\n", res.Batches, res.Controller.SwitchesApplied > 0)
+	// Output: batches=30 reconfigured=true
+}
+
+// ExampleDiffWorkers demonstrates the two-worker switching constraint:
+// a boundary shift between adjacent stages touches exactly two workers.
+func ExampleDiffWorkers() {
+	m := autopipe.UniformModel(8, 1e9, 1000)
+	a := autopipe.PlanEvenSplit(m, autopipe.Workers(4))
+	b := a.Clone()
+	b.Stages[0].End = 3
+	b.Stages[1].Start = 3
+	fmt.Println(autopipe.DiffWorkers(a, b))
+	// Output: [0 1]
+}

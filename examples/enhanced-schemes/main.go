@@ -1,0 +1,65 @@
+// Enhanced-schemes example: the paper's Figure 13 idea — AutoPipe's
+// partition search bolted onto other pipeline-parallel systems. BERT-48
+// trains under DAPPLE, Chimera and PipeDream-2BW on an asymmetrically
+// loaded cluster, with the vanilla even transformer split versus the
+// AutoPipe-optimised partition.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autopipe"
+)
+
+func loadedCluster() *autopipe.Cluster {
+	cl := autopipe.Testbed(autopipe.Gbps(25))
+	// Two of the five servers run competing jobs.
+	for gpu := 0; gpu < 4; gpu++ {
+		cl.SetCompetingJobs(gpu, 1)
+	}
+	cl.SetExtShare(0, 0.3)
+	cl.SetExtShare(1, 0.3)
+	return cl
+}
+
+func main() {
+	m := autopipe.BERT48()
+	vanilla := autopipe.PlanEvenSplit(m, autopipe.Workers(10))
+	enhanced := autopipe.OptimizePlan(m, loadedCluster(), vanilla, autopipe.RingAllReduce)
+	fmt.Printf("vanilla  plan: %s\n", vanilla)
+	fmt.Printf("enhanced plan: %s\n\n", enhanced)
+
+	fmt.Printf("%-16s %12s %12s %8s\n", "scheme", "vanilla", "enhanced", "speedup")
+	for _, sched := range []autopipe.SyncSchedule{autopipe.DAPPLE, autopipe.Chimera} {
+		v := measureSync(m, sched, vanilla)
+		e := measureSync(m, sched, enhanced)
+		fmt.Printf("%-16s %12.1f %12.1f %7.2fx\n", sched, v, e, e/v)
+	}
+	v := measure2BW(m, vanilla)
+	e := measure2BW(m, enhanced)
+	fmt.Printf("%-16s %12.1f %12.1f %7.2fx\n", "PipeDream-2BW", v, e, e/v)
+	fmt.Println("\n(throughput in samples/sec on the loaded 10-GPU testbed)")
+}
+
+func measureSync(m *autopipe.Model, sched autopipe.SyncSchedule, plan autopipe.Plan) float64 {
+	res, err := autopipe.MeasureSyncSchedule(autopipe.RunConfig{
+		Model: m, Cluster: loadedCluster(), Plan: plan,
+		Scheme: autopipe.RingAllReduce, Batches: 6,
+	}, sched, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Throughput
+}
+
+func measure2BW(m *autopipe.Model, plan autopipe.Plan) float64 {
+	res, err := autopipe.Measure(autopipe.RunConfig{
+		Model: m, Cluster: loadedCluster(), Plan: plan,
+		Scheme: autopipe.RingAllReduce, Batches: 12, SyncEvery: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Throughput
+}

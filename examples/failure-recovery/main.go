@@ -1,0 +1,45 @@
+// Failure-recovery example: a GPU in the pipeline degrades catastrophically
+// mid-training (one of the three Philly fluctuation factors). Frozen
+// PipeDream limps along at the failed worker's pace; AutoPipe detects the
+// outlier through its profiler, evicts the worker, and replans onto the
+// survivors.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autopipe"
+	"autopipe/internal/trace"
+)
+
+func main() {
+	// At t=2s, GPU 2 is throttled to a 1/21 share — effectively dead.
+	failure := autopipe.Trace{{
+		At: 2, Kind: trace.DegradeGPU, Server: 2, Value: 20,
+	}}
+
+	run := func(frozen bool) autopipe.JobResult {
+		cl := autopipe.Testbed(autopipe.Gbps(25))
+		res, err := autopipe.RunJob(autopipe.JobConfig{
+			Model: autopipe.AlexNet(), Cluster: cl,
+			Workers: autopipe.Workers(4), Scheme: autopipe.RingAllReduce,
+			Dynamics: failure, DisableReconfig: frozen, CheckEvery: 3,
+		}, 40)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	adaptive := run(false)
+	frozen := run(true)
+
+	fmt.Println("GPU 2 fails at t=2s while a 4-worker AlexNet pipeline trains.")
+	fmt.Printf("\n%-22s %12s %12s\n", "system", "wall time", "samples/s")
+	fmt.Printf("%-22s %11.1fs %12.1f\n", "PipeDream (limping)", frozen.WallTime, frozen.Throughput)
+	fmt.Printf("%-22s %11.1fs %12.1f\n", "AutoPipe (evicts)", adaptive.WallTime, adaptive.Throughput)
+	fmt.Printf("\nAutoPipe evicted %d worker(s); final plan: %s\n",
+		adaptive.Controller.Evictions, adaptive.FinalPlan)
+	fmt.Printf("recovery speedup: %.2fx\n", frozen.WallTime/adaptive.WallTime)
+}

@@ -1,0 +1,46 @@
+// Quickstart: plan a pipeline with PipeDream's DP partitioner, train it
+// on the simulated testbed, then let AutoPipe manage the same job and
+// compare.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autopipe"
+)
+
+func main() {
+	m := autopipe.ResNet50()
+	cl := autopipe.Testbed(autopipe.Gbps(25))
+	// Two other tenants share every GPU — the paper's shared-cluster
+	// setting of three identical jobs.
+	cl.AddCompetingJob()
+	cl.AddCompetingJob()
+
+	workers := autopipe.Workers(10)
+	plan := autopipe.PlanPipeDream(m, cl, workers)
+	fmt.Printf("PipeDream plan for %s: %s\n\n", m.Name, plan)
+
+	pd, err := autopipe.Measure(autopipe.RunConfig{
+		Model: m, Cluster: cl, Plan: plan,
+		Scheme: autopipe.RingAllReduce, Batches: 40,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PipeDream (one-shot config): %.1f samples/sec\n", pd.Throughput)
+
+	job, err := autopipe.RunJob(autopipe.JobConfig{
+		Model: m, Cluster: cl, Workers: workers,
+		Scheme: autopipe.RingAllReduce,
+	}, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("AutoPipe (self-adaptive):    %.1f samples/sec\n", job.Throughput)
+	fmt.Printf("\nAutoPipe applied %d reconfiguration(s); final plan: %s\n",
+		job.Controller.SwitchesApplied, job.FinalPlan)
+	fmt.Printf("decision overhead: %.2f ms total across %d decisions\n",
+		job.Controller.DecisionSeconds*1e3, job.Controller.Decisions)
+}

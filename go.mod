@@ -1,0 +1,3 @@
+module autopipe
+
+go 1.22

@@ -1,0 +1,419 @@
+// Package autopipe implements the paper's core contribution: the
+// self-adaptive pipeline-parallelism controller. It ties the substrates
+// together:
+//
+//   - a resource-change detector polling the cluster's observable state
+//     through the profiler (§4.1 key component 1);
+//   - the meta-network (or analytic fallback) predicting the training
+//     speed of candidate partitions (§4.2);
+//   - the O(L²) two-worker-swap candidate search initialised from
+//     PipeDream's DP solution (§4.2 "New worker partition");
+//   - the RL arbiter deciding whether the predicted gain justifies the
+//     switching cost (§4.3);
+//   - fine-grained, layer-by-layer state switching with weight stashing
+//     on the pipeline engine (§4.4).
+package autopipe
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/meta"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/pipeline"
+	"autopipe/internal/profile"
+	"autopipe/internal/rl"
+	"autopipe/internal/sim"
+)
+
+// Config parametrises a controller.
+type Config struct {
+	Model   *model.Model
+	Cluster *cluster.Cluster
+	// Workers is the GPU set allocated to this job.
+	Workers []int
+	Scheme  netsim.SyncScheme
+	// Framework defaults to PyTorch.
+	Framework pipeline.Framework
+	// SyncEvery is the gradient-coalescing period (PipeDream-2BW); 0/1
+	// syncs every mini-batch.
+	SyncEvery int
+
+	// Predictor scores candidate partitions; nil selects the
+	// scheme-aware analytic predictor (the meta-network drop-in).
+	Predictor meta.Predictor
+	// Arbiter gates switches; nil selects a cost/benefit threshold rule
+	// equivalent to a well-trained arbiter's greedy policy.
+	Arbiter *rl.Arbiter
+	// CostNet predicts switching cost; nil selects the analytic model.
+	CostNet *meta.CostNet
+
+	// CheckEvery is the decision period in iterations (default 5).
+	CheckEvery int
+	// RewardHorizon is the iteration window used to compute online
+	// rewards for REINFORCE adaptation (default 10).
+	RewardHorizon int
+	// OnlineAdapt enables online policy-gradient updates to the arbiter
+	// and (for NetPredictor/HybridPredictor) meta-network adaptation.
+	OnlineAdapt bool
+	// DisableReconfig freezes the initial plan (turns AutoPipe into
+	// plain PipeDream — the ablation baseline).
+	DisableReconfig bool
+	// UseMergeNeighborhood extends the candidate set with stage
+	// merges/splits (still ≤2 workers affected).
+	UseMergeNeighborhood bool
+	// MinGain is the minimum predicted relative speed gain to consider
+	// a candidate at all (default 2%).
+	MinGain float64
+	// AlwaysSwitch bypasses the arbiter/threshold gate and applies any
+	// candidate that clears MinGain — the straw-man policy of §3.1
+	// ("perform work partition whenever available resources change"),
+	// kept as an ablation baseline.
+	AlwaysSwitch bool
+	// ProfileNoise, when positive, injects multiplicative log-normal
+	// measurement noise of this sigma into the profiler (driven by Rng);
+	// ProfileSmoothing sets the profiler's EWMA alpha (0 keeps the
+	// default).
+	ProfileNoise     float64
+	ProfileSmoothing float64
+	// InitialPlan overrides the PipeDream DP initialisation.
+	InitialPlan *partition.Plan
+
+	// Rng drives stochastic exploration during online adaptation.
+	Rng *rand.Rand
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	Iterations      int
+	Decisions       int     // candidate evaluations performed
+	SwitchesChosen  int     // arbiter said yes
+	SwitchesApplied int     // committed on the engine
+	DecisionSeconds float64 // cumulative wall-clock spent deciding (Fig 12)
+	ResourceChanges int     // detector firings
+	Evictions       int     // failed workers evicted from the plan
+	Adaptations     int     // online meta-network fine-tuning rounds
+}
+
+// Controller runs one AutoPipe-managed training job on a simulation.
+type Controller struct {
+	cfg      Config
+	eng      *sim.Engine
+	net      *netsim.Network
+	engine   *pipeline.AsyncEngine
+	profiler *profile.Profiler
+	history  *meta.History
+
+	predictor meta.Predictor
+	plan      partition.Plan
+
+	lastVersion      uint64
+	itersSinceSwitch int
+	stats            Stats
+	excluded         map[int]bool // workers evicted after failure
+
+	// Pending online-reward bookkeeping for REINFORCE.
+	pending *pendingDecision
+	// speed ring of recent window throughputs (normalized).
+	recent []float64
+	// Online meta-network adaptation state.
+	adaptSamples []meta.Sample
+	// Decision log (see log.go).
+	decisionLog []DecisionRecord
+}
+
+type pendingDecision struct {
+	x         []float64
+	action    bool
+	madeAt    int // iteration index
+	beforeAvg float64
+}
+
+// New builds a controller. The initial work partition is PipeDream's DP
+// plan unless overridden.
+func New(eng *sim.Engine, net *netsim.Network, cfg Config) (*Controller, error) {
+	if cfg.Model == nil || cfg.Cluster == nil {
+		return nil, fmt.Errorf("autopipe: nil model or cluster")
+	}
+	if len(cfg.Workers) == 0 {
+		for i := 0; i < cfg.Cluster.NumGPUs(); i++ {
+			cfg.Workers = append(cfg.Workers, i)
+		}
+	}
+	if cfg.CheckEvery < 1 {
+		cfg.CheckEvery = 5
+	}
+	if cfg.RewardHorizon < 2 {
+		cfg.RewardHorizon = 10
+	}
+	if cfg.MinGain == 0 {
+		cfg.MinGain = 0.02
+	}
+	if cfg.Rng == nil {
+		cfg.Rng = rand.New(rand.NewSource(1))
+	}
+	var plan partition.Plan
+	if cfg.InitialPlan != nil {
+		plan = cfg.InitialPlan.Clone()
+	} else {
+		cm := partition.NewPipeDreamCost(cfg.Model, cfg.Cluster, cfg.Workers[0], cfg.Cluster.Servers[0].NICBwBps)
+		plan = partition.PipeDream(cm, cfg.Workers)
+	}
+	if err := plan.Validate(cfg.Model.NumLayers(), cfg.Cluster.NumGPUs()); err != nil {
+		return nil, fmt.Errorf("autopipe: initial plan: %w", err)
+	}
+	engine, err := pipeline.NewAsync(eng, net, pipeline.Config{
+		Model: cfg.Model, Cluster: cfg.Cluster, Plan: plan,
+		Scheme: cfg.Scheme, Framework: cfg.Framework, SyncEvery: cfg.SyncEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pred := cfg.Predictor
+	if pred == nil {
+		pred = meta.AnalyticPredictor{Scheme: cfg.Scheme}
+	}
+	profiler := profile.NewProfiler(cfg.Model, cfg.Cluster)
+	if cfg.ProfileNoise > 0 {
+		profiler.SetNoise(cfg.Rng, cfg.ProfileNoise)
+	}
+	if cfg.ProfileSmoothing > 0 {
+		if err := profiler.SetSmoothing(cfg.ProfileSmoothing); err != nil {
+			return nil, err
+		}
+	}
+	c := &Controller{
+		cfg: cfg, eng: eng, net: net, engine: engine,
+		profiler:    profiler,
+		history:     &meta.History{},
+		predictor:   pred,
+		plan:        plan,
+		lastVersion: cfg.Cluster.Version(),
+		excluded:    map[int]bool{},
+	}
+	engine.OnBatchDone(c.onIteration)
+	return c, nil
+}
+
+// Engine exposes the underlying pipeline engine (read-mostly).
+func (c *Controller) Engine() *pipeline.AsyncEngine { return c.engine }
+
+// Plan returns the current work partition.
+func (c *Controller) Plan() partition.Plan { return c.plan.Clone() }
+
+// Stats returns the controller's activity counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Start begins training for the given number of mini-batches.
+func (c *Controller) Start(batches int) { c.engine.Start(batches) }
+
+// Throughput returns steady-state samples/sec so far.
+func (c *Controller) Throughput() float64 { return c.engine.Throughput() }
+
+// onIteration is the per-mini-batch control loop.
+func (c *Controller) onIteration(batch int, _ sim.Time) {
+	c.stats.Iterations++
+	c.itersSinceSwitch++
+
+	prof := c.profiler.Observe()
+	ideal := meta.IdealThroughput(prof, c.cfg.Model.MiniBatch)
+	normTp := 0.0
+	if ideal > 0 {
+		normTp = c.engine.ThroughputWindow(5) / ideal
+	}
+	c.history.Push(meta.EncodeDynamicStep(prof, normTp))
+	c.recent = append(c.recent, normTp)
+	if len(c.recent) > 4*c.cfg.RewardHorizon {
+		c.recent = c.recent[len(c.recent)-4*c.cfg.RewardHorizon:]
+	}
+
+	// Resource-change detector.
+	if v := c.cfg.Cluster.Version(); v != c.lastVersion {
+		c.lastVersion = v
+		c.stats.ResourceChanges++
+	}
+
+	c.resolvePendingReward()
+	c.adaptMetaNet(prof, normTp)
+
+	if c.cfg.DisableReconfig || c.engine.Switching() {
+		return
+	}
+	if c.stats.Iterations%c.cfg.CheckEvery != 0 {
+		return
+	}
+	if c.handleFailures(prof) {
+		return
+	}
+	c.decide(prof)
+}
+
+// decide evaluates the two-worker-swap neighbourhood and possibly
+// triggers a switch.
+func (c *Controller) decide(prof *profile.Profile) {
+	start := time.Now()
+	defer func() { c.stats.DecisionSeconds += time.Since(start).Seconds() }()
+	c.stats.Decisions++
+
+	mb := c.cfg.Model.MiniBatch
+	curSpeed := c.predictor.PredictSpeed(prof, c.plan, mb, c.history)
+	neighbors := partition.Neighbors(c.plan)
+	if c.cfg.UseMergeNeighborhood {
+		neighbors = partition.NeighborsWithMerge(c.plan)
+	}
+	neighbors = append(neighbors, partition.InFlightVariants(c.plan, 2*len(c.cfg.Workers))...)
+	best := c.plan
+	bestSpeed := curSpeed
+	for _, q := range neighbors {
+		if s := c.predictor.PredictSpeed(prof, q, mb, c.history); s > bestSpeed {
+			bestSpeed, best = s, q
+		}
+	}
+	if best.Equal(c.plan) || bestSpeed < curSpeed*(1+c.cfg.MinGain) {
+		c.logDecision(DecisionRecord{Kind: "keep", PredCurrent: curSpeed, PredCandidate: bestSpeed})
+		return
+	}
+	// Switching-cost prediction.
+	var cost float64
+	if c.cfg.CostNet != nil {
+		cost = c.cfg.CostNet.PredictSeconds(meta.EncodeCostFeatures(prof, c.cfg.Model, c.plan, best))
+	} else {
+		cost = meta.AnalyticSwitchCost(prof, c.cfg.Model, c.plan, best)
+	}
+	state := rl.State{
+		Profile: prof, MiniBatch: mb,
+		Current: c.plan, Candidate: best,
+		PredCurrent: curSpeed, PredCandidate: bestSpeed,
+		SwitchCost: cost, FineGrained: pipeline.BoundaryCompatible(c.plan, best),
+		ItersSinceSwitch: c.itersSinceSwitch,
+	}
+	var doSwitch bool
+	var x []float64
+	if c.cfg.AlwaysSwitch {
+		doSwitch = true
+	} else if c.cfg.Arbiter != nil {
+		x = rl.Encode(state)
+		if c.cfg.OnlineAdapt {
+			doSwitch = c.cfg.Arbiter.SampleAction(x, c.cfg.Rng)
+		} else {
+			doSwitch = c.cfg.Arbiter.Decide(x)
+		}
+	} else {
+		// Threshold rule: the gain over the reward horizon must exceed
+		// the switching cost with margin.
+		perBatch := float64(mb) / curSpeed
+		horizonGain := (bestSpeed - curSpeed) / curSpeed * perBatch * float64(c.cfg.RewardHorizon)
+		doSwitch = horizonGain > cost*1.2
+	}
+	if c.cfg.Arbiter != nil && c.cfg.OnlineAdapt {
+		c.pending = &pendingDecision{
+			x: x, action: doSwitch, madeAt: c.stats.Iterations,
+			beforeAvg: meanTail(c.recent, c.cfg.RewardHorizon),
+		}
+	}
+	kind := "switch"
+	if pipeline.BoundaryCompatible(c.plan, best) && best.NumStages() == len(c.plan.Stages) {
+		if sameBoundaries(c.plan, best) {
+			kind = "inflight"
+		}
+	}
+	if !doSwitch {
+		c.logDecision(DecisionRecord{Kind: "keep", PredCurrent: curSpeed, PredCandidate: bestSpeed, SwitchCost: cost, Candidate: best})
+		return
+	}
+	c.logDecision(DecisionRecord{Kind: kind, PredCurrent: curSpeed, PredCandidate: bestSpeed, SwitchCost: cost, Candidate: best})
+	c.stats.SwitchesChosen++
+	newPlan := best
+	if err := c.engine.ApplyPlan(newPlan, pipeline.SwitchAuto, func() {
+		c.plan = newPlan
+		c.stats.SwitchesApplied++
+		c.itersSinceSwitch = 0
+	}); err != nil {
+		// A concurrent switch slipped in; skip this round.
+		c.stats.SwitchesChosen--
+	}
+}
+
+// adaptEvery is the online meta-network fine-tuning period.
+const adaptEvery = 20
+
+// adaptMetaNet implements the §4.3 online-adaptation loop for the speed
+// predictor: each iteration contributes a (features of the running plan,
+// observed normalized speed) sample; every adaptEvery iterations the
+// hybrid predictor's network takes a few low-learning-rate steps on the
+// recent window and earns more blending weight.
+func (c *Controller) adaptMetaNet(prof *profile.Profile, normTp float64) {
+	if !c.cfg.OnlineAdapt {
+		return
+	}
+	hp, ok := c.predictor.(*meta.HybridPredictor)
+	if !ok || hp.Net == nil || normTp <= 0 {
+		return
+	}
+	c.adaptSamples = append(c.adaptSamples, meta.Sample{
+		F: meta.BuildFeatures(prof, c.plan, c.cfg.Model.MiniBatch, c.history),
+		Y: normTp,
+	})
+	if len(c.adaptSamples) > 2*adaptEvery {
+		c.adaptSamples = c.adaptSamples[len(c.adaptSamples)-2*adaptEvery:]
+	}
+	if c.stats.Iterations%adaptEvery != 0 || len(c.adaptSamples) < adaptEvery/2 {
+		return
+	}
+	start := time.Now()
+	hp.Net.Adapt(c.adaptSamples, 4)
+	// Trust the network more as it accumulates on-job evidence.
+	if hp.NetWeight < 0.6 {
+		hp.NetWeight += 0.1
+	}
+	c.stats.DecisionSeconds += time.Since(start).Seconds()
+	c.stats.Adaptations++
+}
+
+// resolvePendingReward closes out an exploration decision once its
+// reward horizon has elapsed, applying a REINFORCE update.
+func (c *Controller) resolvePendingReward() {
+	p := c.pending
+	if p == nil || c.cfg.Arbiter == nil {
+		return
+	}
+	if c.stats.Iterations-p.madeAt < c.cfg.RewardHorizon {
+		return
+	}
+	afterAvg := meanTail(c.recent, c.cfg.RewardHorizon)
+	advantage := afterAvg - p.beforeAvg
+	c.cfg.Arbiter.Reinforce(p.x, p.action, advantage)
+	c.pending = nil
+}
+
+// sameBoundaries reports whether two plans share every stage boundary
+// (differing only in InFlight).
+func sameBoundaries(a, b partition.Plan) bool {
+	if len(a.Stages) != len(b.Stages) {
+		return false
+	}
+	for i := range a.Stages {
+		if a.Stages[i].Start != b.Stages[i].Start || a.Stages[i].End != b.Stages[i].End {
+			return false
+		}
+	}
+	return true
+}
+
+func meanTail(xs []float64, n int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if n > len(xs) {
+		n = len(xs)
+	}
+	s := 0.0
+	for _, v := range xs[len(xs)-n:] {
+		s += v
+	}
+	return s / float64(n)
+}

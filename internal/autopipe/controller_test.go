@@ -1,0 +1,305 @@
+package autopipe
+
+import (
+	"math/rand"
+	"testing"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/meta"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/pipeline"
+	"autopipe/internal/profile"
+	"autopipe/internal/rl"
+	"autopipe/internal/sim"
+	"autopipe/internal/trace"
+)
+
+// runJob trains for `batches` under an optional trace and returns the
+// wall time and controller.
+func runJob(t *testing.T, cfg Config, tr trace.Trace, batches int) (float64, *Controller) {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cfg.Cluster)
+	c, err := New(eng, net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != nil {
+		tr.Schedule(eng, cfg.Cluster, net, nil)
+	}
+	c.Start(batches)
+	eng.RunAll()
+	if c.engine.Completed() != batches {
+		t.Fatalf("deadlock: completed %d/%d", c.engine.Completed(), batches)
+	}
+	return float64(eng.Now()), c
+}
+
+func TestControllerRunsWithoutReconfig(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(25))
+	_, c := runJob(t, Config{
+		Model: model.AlexNet(), Cluster: cl,
+		Workers: []int{0, 1, 2, 3}, DisableReconfig: true,
+	}, nil, 20)
+	if c.Stats().SwitchesApplied != 0 {
+		t.Fatal("reconfig happened despite DisableReconfig")
+	}
+	if c.Stats().Iterations != 20 {
+		t.Fatalf("iterations = %d", c.Stats().Iterations)
+	}
+}
+
+func TestControllerInitialisesFromPipeDream(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(25))
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	m := model.VGG16()
+	c, err := New(eng, net, Config{Model: m, Cluster: cl, Workers: []int{0, 1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := partition.NewPipeDreamCost(m, cl, 0, cl.Servers[0].NICBwBps)
+	want := partition.PipeDream(cm, []int{0, 1, 2, 3})
+	if !c.Plan().Equal(want) {
+		t.Fatalf("initial plan %s != PipeDream DP %s", c.Plan(), want)
+	}
+}
+
+func TestAutoPipeAdaptsToBandwidthDrop(t *testing.T) {
+	// Figure 3/9 shape: bandwidth collapses mid-run; AutoPipe must beat
+	// frozen PipeDream over the remainder.
+	mk := func(disable bool) float64 {
+		cl := cluster.Testbed(cluster.Gbps(100))
+		cfg := Config{
+			Model: model.VGG16(), Cluster: cl,
+			Workers: []int{0, 1, 2, 3}, Scheme: netsim.RingAllReduce,
+			DisableReconfig: disable, CheckEvery: 3,
+		}
+		tr := trace.Trace{{At: 2, Kind: trace.SetBandwidth, Value: cluster.Gbps(5)}}
+		wall, _ := runJob(t, cfg, tr, 40)
+		return wall
+	}
+	frozen := mk(true)
+	adaptive := mk(false)
+	if adaptive >= frozen {
+		t.Fatalf("AutoPipe (%.2fs) not faster than frozen PipeDream (%.2fs) under bandwidth drop", adaptive, frozen)
+	}
+}
+
+func TestAutoPipeAdaptsToContention(t *testing.T) {
+	// Figure 4/10 shape: competing jobs arrive; GPU shares halve.
+	mk := func(disable bool) float64 {
+		cl := cluster.Testbed(cluster.Gbps(25))
+		cfg := Config{
+			Model: model.AlexNet(), Cluster: cl,
+			Workers: []int{0, 1, 2, 3}, Scheme: netsim.ParameterServer,
+			DisableReconfig: disable, CheckEvery: 3,
+		}
+		tr := trace.Trace{{At: 1.0, Kind: trace.AddJob}}
+		wall, _ := runJob(t, cfg, tr, 40)
+		return wall
+	}
+	frozen := mk(true)
+	adaptive := mk(false)
+	if adaptive > frozen*1.02 {
+		t.Fatalf("AutoPipe (%.2fs) worse than frozen (%.2fs) under contention", adaptive, frozen)
+	}
+}
+
+func TestSwitchStatsConsistent(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(100))
+	tr := trace.Trace{{At: 1, Kind: trace.SetBandwidth, Value: cluster.Gbps(5)}}
+	_, c := runJob(t, Config{
+		Model: model.VGG16(), Cluster: cl,
+		Workers: []int{0, 1, 2, 3}, CheckEvery: 3,
+	}, tr, 40)
+	st := c.Stats()
+	if st.SwitchesApplied > st.SwitchesChosen {
+		t.Fatalf("applied %d > chosen %d", st.SwitchesApplied, st.SwitchesChosen)
+	}
+	if st.Decisions == 0 {
+		t.Fatal("controller never evaluated candidates")
+	}
+	if st.ResourceChanges == 0 {
+		t.Fatal("resource-change detector missed the trace event")
+	}
+	if st.DecisionSeconds <= 0 {
+		t.Fatal("decision time not measured")
+	}
+	// The committed plan must always be valid.
+	if err := c.Plan().Validate(c.cfg.Model.NumLayers(), cl.NumGPUs()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControllerWithArbiterAndOnlineAdapt(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	arb := rl.NewArbiter(rng)
+	cl := cluster.Testbed(cluster.Gbps(100))
+	tr := trace.Trace{{At: 1, Kind: trace.SetBandwidth, Value: cluster.Gbps(5)}}
+	_, c := runJob(t, Config{
+		Model: model.VGG16(), Cluster: cl,
+		Workers: []int{0, 1, 2, 3}, CheckEvery: 3,
+		Arbiter: arb, OnlineAdapt: true, Rng: rng,
+	}, tr, 50)
+	if c.Stats().Decisions == 0 {
+		t.Fatal("no decisions with arbiter")
+	}
+}
+
+func TestControllerWithNetPredictor(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	netw := meta.NewNetwork(rng)
+	cl := cluster.Testbed(cluster.Gbps(25))
+	_, c := runJob(t, Config{
+		Model: model.AlexNet(), Cluster: cl,
+		Workers:    []int{0, 1, 2, 3},
+		Predictor:  &meta.HybridPredictor{Net: netw, NetWeight: 0.3},
+		CheckEvery: 4,
+	}, nil, 20)
+	if c.Stats().Iterations != 20 {
+		t.Fatal("run incomplete")
+	}
+}
+
+func TestOptimizePlanImproves(t *testing.T) {
+	// Start from a deliberately bad plan; hill-climbing must improve
+	// the predicted speed and keep the plan valid.
+	cl := cluster.Testbed(cluster.Gbps(25))
+	m := model.VGG16()
+	pr := profile.NewProfiler(m, cl)
+	_ = pr.SetSmoothing(1)
+	prof := pr.Observe()
+	bad := partition.Plan{
+		Stages: []partition.Stage{
+			{Start: 0, End: 19, Workers: []int{0}},
+			{Start: 19, End: 20, Workers: []int{1}},
+			{Start: 20, End: m.NumLayers(), Workers: []int{2}},
+		},
+		InFlight: 3,
+	}
+	pred := meta.AnalyticPredictor{}
+	before := pred.PredictSpeed(prof, bad, m.MiniBatch, nil)
+	opt := OptimizePlan(prof, bad, m.MiniBatch, pred, 16, false)
+	if err := opt.Validate(m.NumLayers(), cl.NumGPUs()); err != nil {
+		t.Fatal(err)
+	}
+	after := pred.PredictSpeed(prof, opt, m.MiniBatch, nil)
+	if after <= before {
+		t.Fatalf("OptimizePlan did not improve: %v → %v", before, after)
+	}
+}
+
+func TestOptimizePlanStepsChangeAtMostTwoWorkersEach(t *testing.T) {
+	// Each hill-climbing step is a two-worker move; the *final* plan may
+	// differ more, but every intermediate is in the neighbourhood. Here
+	// we spot-check one step.
+	cl := cluster.Testbed(cluster.Gbps(25))
+	m := model.AlexNet()
+	pr := profile.NewProfiler(m, cl)
+	prof := pr.Observe()
+	start := partition.EvenSplit(m.NumLayers(), []int{0, 1, 2, 3})
+	one := OptimizePlan(prof, start, m.MiniBatch, nil, 1, false)
+	if d := partition.DiffWorkers(start, one); len(d) > 2 {
+		t.Fatalf("single round changed %d workers", len(d))
+	}
+}
+
+func TestControllerErrors(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := cluster.Testbed(cluster.Gbps(10))
+	net := netsim.New(eng, cl)
+	if _, err := New(eng, net, Config{}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	bad := partition.Plan{Stages: []partition.Stage{{Start: 0, End: 1, Workers: []int{0}}}, InFlight: 1}
+	if _, err := New(eng, net, Config{Model: model.AlexNet(), Cluster: cl, InitialPlan: &bad}); err == nil {
+		t.Fatal("invalid initial plan accepted")
+	}
+}
+
+func TestControllerDeterministic(t *testing.T) {
+	mk := func() float64 {
+		cl := cluster.Testbed(cluster.Gbps(100))
+		tr := trace.Trace{{At: 1, Kind: trace.SetBandwidth, Value: cluster.Gbps(10)}}
+		wall, _ := runJob(t, Config{
+			Model: model.AlexNet(), Cluster: cl,
+			Workers: []int{0, 1, 2, 3}, CheckEvery: 3,
+			Rng: rand.New(rand.NewSource(7)),
+		}, tr, 30)
+		return wall
+	}
+	if a, b := mk(), mk(); a != b {
+		t.Fatalf("nondeterministic controller: %v vs %v", a, b)
+	}
+}
+
+var _ = pipeline.SwitchAuto // reference to document the switching mode used
+
+func TestOnlineMetaAdaptation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	hp := &meta.HybridPredictor{Net: meta.NewNetwork(rng), NetWeight: 0.1, Scheme: netsim.RingAllReduce}
+	cl := cluster.Testbed(cluster.Gbps(25))
+	_, c := runJob(t, Config{
+		Model: model.AlexNet(), Cluster: cl,
+		Workers: []int{0, 1, 2, 3}, Scheme: netsim.RingAllReduce,
+		Predictor: hp, OnlineAdapt: true, CheckEvery: 5, Rng: rng,
+	}, nil, 60)
+	if c.Stats().Adaptations == 0 {
+		t.Fatal("no online meta-network adaptation rounds ran")
+	}
+	if hp.NetWeight <= 0.1 {
+		t.Fatalf("net weight did not grow with adaptation: %v", hp.NetWeight)
+	}
+}
+
+func TestDecisionLogRecordsActivity(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(100))
+	tr := trace.Trace{{At: 1, Kind: trace.SetBandwidth, Value: cluster.Gbps(5)}}
+	_, c := runJob(t, Config{
+		Model: model.VGG16(), Cluster: cl,
+		Workers: []int{0, 1, 2, 3}, CheckEvery: 3,
+	}, tr, 40)
+	log := c.DecisionLog()
+	if len(log) == 0 {
+		t.Fatal("empty decision log")
+	}
+	switches := 0
+	for _, r := range log {
+		if r.String() == "" {
+			t.Fatal("empty record string")
+		}
+		if r.Kind == "switch" || r.Kind == "inflight" {
+			switches++
+		}
+	}
+	if switches != c.Stats().SwitchesChosen {
+		t.Fatalf("log has %d switch records, stats say %d", switches, c.Stats().SwitchesChosen)
+	}
+}
+
+func TestNoisyProfilerDoesNotThrash(t *testing.T) {
+	// Heavy measurement noise with EWMA smoothing: AutoPipe must not
+	// oscillate between plans (switch storms burn migration time), and
+	// must stay at least close to the noise-free run.
+	run := func(sigma float64) (float64, int) {
+		cl := cluster.Testbed(cluster.Gbps(25))
+		wall, c := runJob(t, Config{
+			Model: model.AlexNet(), Cluster: cl,
+			Workers: []int{0, 1, 2, 3}, CheckEvery: 3,
+			ProfileNoise: sigma, ProfileSmoothing: 0.3,
+			Rng: rand.New(rand.NewSource(5)),
+		}, nil, 50)
+		return wall, c.Stats().SwitchesApplied
+	}
+	cleanWall, _ := run(0)
+	noisyWall, noisySwitches := run(0.25)
+	if noisySwitches > 8 {
+		t.Fatalf("noise caused a switch storm: %d switches", noisySwitches)
+	}
+	if noisyWall > cleanWall*1.3 {
+		t.Fatalf("noise degraded wall time too much: %v vs %v", noisyWall, cleanWall)
+	}
+}

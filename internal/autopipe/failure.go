@@ -1,0 +1,96 @@
+package autopipe
+
+import (
+	"sort"
+
+	"autopipe/internal/partition"
+	"autopipe/internal/pipeline"
+	"autopipe/internal/profile"
+)
+
+// Failure handling. The Philly measurement study the paper builds on
+// (its reference [7]) lists failures as one of the three factors behind
+// shared-cluster fluctuation. A GPU that fails — or is throttled so hard
+// it cannot make progress — shows up in the profiler as a catastrophic
+// per-layer time blow-up. The controller evicts such workers: it
+// recomputes a partition over the surviving workers and applies it as a
+// full-restart switch (fine-grained switching cannot help when the
+// worker set itself changes).
+
+// failureRatio is the slowdown relative to the median worker beyond
+// which a worker is treated as failed.
+const failureRatio = 8.0
+
+// detectFailures returns workers in the active plan whose total compute
+// time exceeds failureRatio × the median across plan workers.
+func (c *Controller) detectFailures(prof *profile.Profile) []int {
+	workers := c.plan.AllWorkers()
+	if len(workers) < 2 {
+		return nil
+	}
+	times := make([]float64, 0, len(workers))
+	byWorker := map[int]float64{}
+	for _, w := range workers {
+		t := prof.TotalComputeTime(w)
+		times = append(times, t)
+		byWorker[w] = t
+	}
+	sort.Float64s(times)
+	median := times[len(times)/2]
+	if median <= 0 {
+		return nil
+	}
+	var failed []int
+	for _, w := range workers {
+		if byWorker[w] > failureRatio*median && !c.excluded[w] {
+			failed = append(failed, w)
+		}
+	}
+	sort.Ints(failed)
+	return failed
+}
+
+// handleFailures evicts failed workers by replanning onto the survivors
+// and applying a restart switch. Returns true if an eviction started.
+func (c *Controller) handleFailures(prof *profile.Profile) bool {
+	if c.engine.Switching() {
+		return false
+	}
+	failed := c.detectFailures(prof)
+	if len(failed) == 0 {
+		return false
+	}
+	bad := map[int]bool{}
+	for _, w := range failed {
+		bad[w] = true
+	}
+	var survivors []int
+	for _, w := range c.cfg.Workers {
+		if !bad[w] && !c.excluded[w] {
+			survivors = append(survivors, w)
+		}
+	}
+	if len(survivors) == 0 {
+		return false // nothing left to run on; keep limping
+	}
+	cm := partition.NewRefinedCost(c.cfg.Model, c.cfg.Cluster, survivors)
+	newPlan := partition.PipeDream(cm, survivors)
+	if err := newPlan.Validate(c.cfg.Model.NumLayers(), c.cfg.Cluster.NumGPUs()); err != nil {
+		return false
+	}
+	np := newPlan
+	if err := c.engine.ApplyPlan(np, pipeline.SwitchRestart, func() {
+		c.plan = np
+		c.itersSinceSwitch = 0
+		c.stats.SwitchesApplied++
+	}); err != nil {
+		return false
+	}
+	for _, w := range failed {
+		c.excluded[w] = true
+	}
+	c.logDecision(DecisionRecord{Kind: "evict", Candidate: np})
+	c.stats.Evictions += len(failed)
+	c.stats.SwitchesChosen++
+	return true
+}

@@ -1,0 +1,93 @@
+package autopipe
+
+import (
+	"testing"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/model"
+	"autopipe/internal/trace"
+)
+
+// failEvent throttles one GPU so hard the controller must treat it as
+// failed (20 competing jobs → 1/21 share → 21× slowdown > threshold 8×).
+func failEvent(gpu int, at float64) trace.Event {
+	return trace.Event{At: at, Kind: trace.DegradeGPU, Server: gpu, Value: 20}
+}
+
+func TestFailedWorkerEvicted(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(25))
+	_, c := runJob(t, Config{
+		Model: model.AlexNet(), Cluster: cl,
+		Workers: []int{0, 1, 2, 3}, CheckEvery: 3,
+	}, trace.Trace{failEvent(2, 1.0)}, 40)
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Stats().Evictions)
+	}
+	final := c.Plan()
+	for _, w := range final.AllWorkers() {
+		if w == 2 {
+			t.Fatalf("failed worker still in plan %s", final)
+		}
+	}
+	if err := final.Validate(c.cfg.Model.NumLayers(), cl.NumGPUs()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictionBeatsLimpingAlong(t *testing.T) {
+	mk := func(disable bool) float64 {
+		cl := cluster.Testbed(cluster.Gbps(25))
+		wall, _ := runJob(t, Config{
+			Model: model.AlexNet(), Cluster: cl,
+			Workers: []int{0, 1, 2, 3}, CheckEvery: 3,
+			DisableReconfig: disable,
+		}, trace.Trace{failEvent(1, 1.0)}, 30)
+		return wall
+	}
+	frozen := mk(true)
+	adaptive := mk(false)
+	if adaptive >= frozen {
+		t.Fatalf("eviction (%v) not faster than limping with a failed worker (%v)", adaptive, frozen)
+	}
+}
+
+func TestNoFalseEvictionUnderUniformContention(t *testing.T) {
+	// A job landing on EVERY GPU slows all workers equally — nobody is
+	// an outlier, so nobody gets evicted.
+	cl := cluster.Testbed(cluster.Gbps(25))
+	_, c := runJob(t, Config{
+		Model: model.AlexNet(), Cluster: cl,
+		Workers: []int{0, 1, 2, 3}, CheckEvery: 3,
+	}, trace.Trace{{At: 1, Kind: trace.AddJob}}, 30)
+	if c.Stats().Evictions != 0 {
+		t.Fatalf("false eviction under uniform contention: %d", c.Stats().Evictions)
+	}
+}
+
+func TestNoFalseEvictionUnderMildSkew(t *testing.T) {
+	// A 2× slowdown on one worker is contention, not failure.
+	cl := cluster.Testbed(cluster.Gbps(25))
+	_, c := runJob(t, Config{
+		Model: model.AlexNet(), Cluster: cl,
+		Workers: []int{0, 1, 2, 3}, CheckEvery: 3,
+	}, trace.Trace{{At: 1, Kind: trace.DegradeGPU, Server: 2, Value: 1}}, 30)
+	if c.Stats().Evictions != 0 {
+		t.Fatalf("false eviction on a 2x-slow worker: %d", c.Stats().Evictions)
+	}
+}
+
+func TestRecoveryAfterTwoFailures(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(25))
+	_, c := runJob(t, Config{
+		Model: model.AlexNet(), Cluster: cl,
+		Workers: []int{0, 1, 2, 3, 4, 5}, CheckEvery: 3,
+	}, trace.Trace{failEvent(1, 0.5), failEvent(4, 2.0)}, 50)
+	if c.Stats().Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", c.Stats().Evictions)
+	}
+	for _, w := range c.Plan().AllWorkers() {
+		if w == 1 || w == 4 {
+			t.Fatalf("failed worker %d still in plan", w)
+		}
+	}
+}

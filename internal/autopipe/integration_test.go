@@ -1,0 +1,83 @@
+package autopipe
+
+import (
+	"math/rand"
+	"testing"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/meta"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/rl"
+	"autopipe/internal/trace"
+)
+
+// TestLearnedPipelineEndToEnd exercises the paper's full deployment
+// story: offline-train the meta-network on simulator-generated data and
+// the RL arbiter on counterfactual decisions, transfer both into a
+// per-job controller with online adaptation enabled, and run it through
+// a dynamic scenario. The learned controller must complete, react to the
+// environment, and stay within a reasonable factor of the analytic
+// controller (the meta-network is trained on minutes, not hours, of
+// data — parity is the bar, not dominance).
+func TestLearnedPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	rng := rand.New(rand.NewSource(42))
+
+	// Offline phase.
+	speedData := meta.Generate(meta.DatasetConfig{Rng: rng, N: 80, Batches: 4})
+	offlineNet := meta.NewNetwork(rng)
+	offlineNet.Train(speedData, meta.TrainConfig{Epochs: 40, BatchSize: 8, Shuffle: rng})
+	decisions := rl.GenerateDecisions(rl.ScenarioConfig{Rng: rng, N: 30, Horizon: 8})
+	offlineArb := rl.NewArbiter(rng)
+	offlineArb.TrainSupervised(decisions, 200, 3e-3)
+
+	// Transfer into a fresh per-job instance (the deployment flow).
+	jobNet := meta.NewNetwork(rng)
+	if err := jobNet.CopyFrom(offlineNet); err != nil {
+		t.Fatal(err)
+	}
+	jobArb := rl.NewArbiter(rng)
+	if err := jobArb.CopyFrom(offlineArb); err != nil {
+		t.Fatal(err)
+	}
+
+	scenario := trace.Trace{
+		{At: 2, Kind: trace.SetBandwidth, Value: cluster.Gbps(5)},
+		{At: 8, Kind: trace.AddJob},
+	}
+	run := func(cfgMut func(*Config)) float64 {
+		cl := cluster.Testbed(cluster.Gbps(100))
+		cfg := Config{
+			Model: model.VGG16(), Cluster: cl,
+			Workers: []int{0, 1, 2, 3}, Scheme: netsim.RingAllReduce,
+			CheckEvery: 3, Rng: rand.New(rand.NewSource(7)),
+		}
+		if cfgMut != nil {
+			cfgMut(&cfg)
+		}
+		wall, c := runJob(t, cfg, scenario, 50)
+		if !cfg.DisableReconfig && c.Stats().Decisions == 0 {
+			t.Fatal("controller made no decisions")
+		}
+		return wall
+	}
+
+	analytic := run(nil)
+	learned := run(func(cfg *Config) {
+		cfg.Predictor = &meta.HybridPredictor{Net: jobNet, NetWeight: 0.3, Scheme: netsim.RingAllReduce}
+		cfg.Arbiter = jobArb
+		cfg.OnlineAdapt = true
+	})
+	frozen := run(func(cfg *Config) { cfg.DisableReconfig = true })
+
+	if learned > frozen {
+		t.Fatalf("learned controller (%v) worse than no controller at all (%v)", learned, frozen)
+	}
+	if learned > analytic*1.5 {
+		t.Fatalf("learned controller (%v) far behind analytic (%v)", learned, analytic)
+	}
+	t.Logf("wall times: frozen=%.1fs analytic=%.1fs learned=%.1fs", frozen, analytic, learned)
+}

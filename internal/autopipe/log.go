@@ -1,0 +1,58 @@
+package autopipe
+
+import (
+	"fmt"
+
+	"autopipe/internal/partition"
+	"autopipe/internal/sim"
+)
+
+// DecisionRecord captures one reconfiguration decision for post-hoc
+// analysis (exposed by cmd/autopipe-sim -v and usable as training data
+// for further offline rounds).
+type DecisionRecord struct {
+	// At is the virtual time of the decision; Iteration its index.
+	At        sim.Time
+	Iteration int
+	// Kind is "keep", "switch", "inflight", "evict".
+	Kind string
+	// PredCurrent/PredCandidate are the predictor's scores (samples/s).
+	PredCurrent, PredCandidate float64
+	// SwitchCost is the predicted switching cost in seconds.
+	SwitchCost float64
+	// Candidate is the plan under consideration (zero for "keep" with no
+	// viable candidate).
+	Candidate partition.Plan
+}
+
+// String renders a one-line summary.
+func (d DecisionRecord) String() string {
+	switch d.Kind {
+	case "keep":
+		return fmt.Sprintf("t=%.2f it=%d keep (cur %.1f, best cand %.1f, cost %.2fs)",
+			float64(d.At), d.Iteration, d.PredCurrent, d.PredCandidate, d.SwitchCost)
+	case "evict":
+		return fmt.Sprintf("t=%.2f it=%d evict → %s", float64(d.At), d.Iteration, d.Candidate)
+	default:
+		return fmt.Sprintf("t=%.2f it=%d %s → %s (%.1f→%.1f, cost %.2fs)",
+			float64(d.At), d.Iteration, d.Kind, d.Candidate, d.PredCurrent, d.PredCandidate, d.SwitchCost)
+	}
+}
+
+// maxLogEntries bounds the in-memory decision log.
+const maxLogEntries = 1024
+
+func (c *Controller) logDecision(r DecisionRecord) {
+	r.At = c.eng.Now()
+	r.Iteration = c.stats.Iterations
+	c.decisionLog = append(c.decisionLog, r)
+	if len(c.decisionLog) > maxLogEntries {
+		c.decisionLog = c.decisionLog[len(c.decisionLog)-maxLogEntries:]
+	}
+}
+
+// DecisionLog returns the recorded reconfiguration decisions (most
+// recent maxLogEntries).
+func (c *Controller) DecisionLog() []DecisionRecord {
+	return append([]DecisionRecord(nil), c.decisionLog...)
+}

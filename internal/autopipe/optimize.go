@@ -1,0 +1,76 @@
+package autopipe
+
+import (
+	"autopipe/internal/meta"
+	"autopipe/internal/partition"
+	"autopipe/internal/profile"
+)
+
+// loadImbalance is the plateau tie-breaker for hill-climbing: the sum of
+// squared per-worker per-batch compute times. The pipeline bottleneck
+// (what the predictor scores) is a max — moving work off a non-critical
+// overloaded worker doesn't change it, yet such moves are required
+// stepping stones towards plans that do. Preferring lower imbalance at
+// equal predicted speed lets the search walk those plateaus without
+// cycling (the metric strictly decreases).
+func loadImbalance(prof *profile.Profile, plan partition.Plan) float64 {
+	total := 0.0
+	for _, s := range plan.Stages {
+		m := float64(len(s.Workers))
+		for _, w := range s.Workers {
+			t := 0.0
+			for l := s.Start; l < s.End; l++ {
+				t += prof.FP[w][l] + prof.BP[w][l]
+			}
+			t /= m // replicas split the batch stream
+			total += t * t
+		}
+	}
+	return total
+}
+
+// OptimizePlan hill-climbs from an initial plan through the two-worker
+// neighbourhood (plus in-flight variants), scoring candidates with the
+// predictor on the observed profile, until no neighbour improves or
+// maxRounds is reached. This is the offline form of AutoPipe's search —
+// the piece that "enhances" other pipeline-parallel schemes (DAPPLE,
+// Chimera, PipeDream-2BW) in the paper's Figure 13: the schedules keep
+// their own execution semantics, only the partition is
+// AutoPipe-optimised.
+func OptimizePlan(prof *profile.Profile, plan partition.Plan, miniBatch int,
+	pred meta.Predictor, maxRounds int, useMerge bool) partition.Plan {
+	if pred == nil {
+		pred = meta.AnalyticPredictor{}
+	}
+	if maxRounds < 1 {
+		maxRounds = 16
+	}
+	cur := plan.Clone()
+	curSpeed := pred.PredictSpeed(prof, cur, miniBatch, nil)
+	curImb := loadImbalance(prof, cur)
+	for round := 0; round < maxRounds; round++ {
+		neighbors := partition.Neighbors(cur)
+		if useMerge {
+			neighbors = partition.NeighborsWithMerge(cur)
+		}
+		neighbors = append(neighbors, partition.InFlightVariants(cur, 0)...)
+		best := cur
+		bestSpeed, bestImb := curSpeed, curImb
+		improved := false
+		for _, q := range neighbors {
+			s := pred.PredictSpeed(prof, q, miniBatch, nil)
+			imb := loadImbalance(prof, q)
+			better := s > bestSpeed*(1+1e-9)
+			plateau := s >= bestSpeed*(1-1e-9) && imb < bestImb*(1-1e-9)
+			if better || plateau {
+				best, bestSpeed, bestImb = q, s, imb
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+		cur, curSpeed, curImb = best, bestSpeed, bestImb
+	}
+	return cur
+}

@@ -1,0 +1,246 @@
+// Package cluster models the shared GPU cluster of the paper's testbed:
+// servers each holding GPUs and a NIC behind a single non-blocking switch,
+// with resources (GPU share, link bandwidth) that fluctuate as competing
+// jobs come and go.
+//
+// This is the substitute for the paper's physical testbed (5 servers ×
+// 2 NVIDIA P100, Mellanox 100 Gbps NICs, one SN2100 switch): AutoPipe only
+// observes per-layer compute times and per-worker bandwidth, both of which
+// this model produces deterministically.
+package cluster
+
+import (
+	"fmt"
+)
+
+// GPUType describes an accelerator model by its usable fp32 throughput.
+type GPUType struct {
+	Name   string
+	TFLOPS float64 // peak fp32 TFLOPS
+}
+
+// GPU type presets matching the paper's shared-cluster discussion
+// ("there may be multiple types of GPUs ... e.g., P100, V100, A100").
+var (
+	P100 = GPUType{Name: "P100", TFLOPS: 9.3}
+	V100 = GPUType{Name: "V100", TFLOPS: 14.0}
+	A100 = GPUType{Name: "A100", TFLOPS: 19.5}
+)
+
+// GPU is one accelerator in the cluster. CompetingJobs is the number of
+// other jobs time-sharing the device; the measured job receives a
+// 1/(1+CompetingJobs) share of the compute throughput (§3.2 of the paper
+// observes roughly this halving with one competitor).
+type GPU struct {
+	ID            int
+	Server        int
+	Type          GPUType
+	CompetingJobs int
+}
+
+// Share returns the fraction of the GPU available to the measured job.
+func (g *GPU) Share() float64 { return 1.0 / float64(1+g.CompetingJobs) }
+
+// Server is one physical machine with a NIC.
+type Server struct {
+	ID int
+	// Rack is the leaf switch the server hangs off (always 0 in the
+	// default single-switch topology).
+	Rack int
+	// NICBwBps is the physical NIC speed in bits per second.
+	NICBwBps float64
+	// ExtShare is the fraction of NIC bandwidth consumed by traffic
+	// outside the simulated flows (other tenants' jobs, bulk transfers).
+	ExtShare float64
+}
+
+// AvailBwBps returns NIC bandwidth available to simulated flows.
+func (s *Server) AvailBwBps() float64 {
+	f := 1 - s.ExtShare
+	if f < 0.01 {
+		f = 0.01
+	}
+	return s.NICBwBps * f
+}
+
+// Cluster is the full resource model.
+type Cluster struct {
+	Servers []*Server
+	GPUs    []*GPU
+	// IntraServerBwBps is the GPU-to-GPU bandwidth inside one server
+	// (PCIe/NVLink path), not shared with the NIC.
+	IntraServerBwBps float64
+	// Racks is the number of leaf switches; >1 enables the two-tier
+	// topology in which cross-rack traffic shares each rack's core
+	// uplink of RackUplinkBps (oversubscription). 0/1 = single switch.
+	Racks int
+	// RackUplinkBps is the leaf→core uplink capacity per rack.
+	RackUplinkBps float64
+	version       uint64
+}
+
+// Config parametrises NewCluster.
+type Config struct {
+	Servers          int
+	GPUsPerServer    int
+	GPUType          GPUType
+	NICBwBps         float64
+	IntraServerBwBps float64 // defaults to 100 Gbps if zero
+	// Racks > 1 spreads servers round-robin across leaf switches with
+	// RackUplinkBps of core capacity each (two-tier topology).
+	Racks         int
+	RackUplinkBps float64
+}
+
+// Gbps converts gigabits/second to bits/second.
+func Gbps(g float64) float64 { return g * 1e9 }
+
+// NewCluster builds a homogeneous cluster. The paper's testbed is
+// NewCluster(Config{Servers: 5, GPUsPerServer: 2, GPUType: P100,
+// NICBwBps: Gbps(100)}).
+func NewCluster(cfg Config) *Cluster {
+	if cfg.Servers <= 0 || cfg.GPUsPerServer <= 0 {
+		panic(fmt.Sprintf("cluster: invalid config %+v", cfg))
+	}
+	if cfg.IntraServerBwBps == 0 {
+		cfg.IntraServerBwBps = Gbps(100)
+	}
+	if cfg.GPUType.TFLOPS == 0 {
+		cfg.GPUType = P100
+	}
+	if cfg.Racks < 1 {
+		cfg.Racks = 1
+	}
+	if cfg.Racks > 1 && cfg.RackUplinkBps == 0 {
+		cfg.RackUplinkBps = cfg.NICBwBps * 2
+	}
+	c := &Cluster{
+		IntraServerBwBps: cfg.IntraServerBwBps,
+		Racks:            cfg.Racks,
+		RackUplinkBps:    cfg.RackUplinkBps,
+	}
+	for s := 0; s < cfg.Servers; s++ {
+		c.Servers = append(c.Servers, &Server{ID: s, Rack: s % cfg.Racks, NICBwBps: cfg.NICBwBps})
+		for g := 0; g < cfg.GPUsPerServer; g++ {
+			c.GPUs = append(c.GPUs, &GPU{ID: len(c.GPUs), Server: s, Type: cfg.GPUType})
+		}
+	}
+	return c
+}
+
+// Testbed returns the paper's testbed topology at the given NIC speed:
+// 5 servers × 2 P100 GPUs behind one switch.
+func Testbed(nicBwBps float64) *Cluster {
+	return NewCluster(Config{Servers: 5, GPUsPerServer: 2, GPUType: P100, NICBwBps: nicBwBps})
+}
+
+// NumGPUs returns the worker count N.
+func (c *Cluster) NumGPUs() int { return len(c.GPUs) }
+
+// GPU returns worker i.
+func (c *Cluster) GPU(i int) *GPU { return c.GPUs[i] }
+
+// ServerOf returns the server hosting worker i.
+func (c *Cluster) ServerOf(i int) *Server { return c.Servers[c.GPUs[i].Server] }
+
+// SameServer reports whether two workers share a machine (and therefore
+// communicate over the intra-server path instead of the network).
+func (c *Cluster) SameServer(a, b int) bool {
+	return c.GPUs[a].Server == c.GPUs[b].Server
+}
+
+// SameRack reports whether two workers' servers hang off the same leaf
+// switch (trivially true in the single-switch topology).
+func (c *Cluster) SameRack(a, b int) bool {
+	return c.ServerOf(a).Rack == c.ServerOf(b).Rack
+}
+
+// SetRackUplink changes every rack's core uplink capacity.
+func (c *Cluster) SetRackUplink(bps float64) {
+	c.RackUplinkBps = bps
+	c.version++
+}
+
+// Version increases every time a mutating method runs; the AutoPipe
+// resource-change detector polls it.
+func (c *Cluster) Version() uint64 { return c.version }
+
+// SetNICBandwidth changes the physical NIC speed of every server
+// (the paper's Figure 9 dynamic-bandwidth experiment).
+func (c *Cluster) SetNICBandwidth(bps float64) {
+	for _, s := range c.Servers {
+		s.NICBwBps = bps
+	}
+	c.version++
+}
+
+// SetExtShare sets the external-traffic share on one server's NIC.
+func (c *Cluster) SetExtShare(server int, share float64) {
+	c.Servers[server].ExtShare = share
+	c.version++
+}
+
+// SetExtShareAll sets the external-traffic share on every NIC.
+func (c *Cluster) SetExtShareAll(share float64) {
+	for _, s := range c.Servers {
+		s.ExtShare = share
+	}
+	c.version++
+}
+
+// AddCompetingJob adds one competing job to every GPU (the paper's
+// Figure 4/10 GPU-contention experiments add a ResNet50 trainer per GPU).
+func (c *Cluster) AddCompetingJob() {
+	for _, g := range c.GPUs {
+		g.CompetingJobs++
+	}
+	c.version++
+}
+
+// RemoveCompetingJob removes one competing job from every GPU, if any.
+func (c *Cluster) RemoveCompetingJob() {
+	for _, g := range c.GPUs {
+		if g.CompetingJobs > 0 {
+			g.CompetingJobs--
+		}
+	}
+	c.version++
+}
+
+// SetCompetingJobs sets the competing-job count on a single GPU.
+func (c *Cluster) SetCompetingJobs(gpu, n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.GPUs[gpu].CompetingJobs = n
+	c.version++
+}
+
+// SetGPUType swaps the accelerator type of a single GPU (heterogeneous
+// cluster scenarios).
+func (c *Cluster) SetGPUType(gpu int, t GPUType) {
+	c.GPUs[gpu].Type = t
+	c.version++
+}
+
+// Snapshot captures the observable resource state — what the AutoPipe
+// profiler reads each iteration (Table 1 dynamic metrics B_i plus the
+// per-GPU speed factors that determine FP/BP times).
+type Snapshot struct {
+	NICBwBps  []float64 // per server, after external contention
+	GPUShare  []float64 // per GPU
+	GPUTFLOPS []float64 // per GPU, type peak
+}
+
+// Snapshot returns the current observable state.
+func (c *Cluster) Snapshot() Snapshot {
+	s := Snapshot{}
+	for _, srv := range c.Servers {
+		s.NICBwBps = append(s.NICBwBps, srv.AvailBwBps())
+	}
+	for _, g := range c.GPUs {
+		s.GPUShare = append(s.GPUShare, g.Share())
+		s.GPUTFLOPS = append(s.GPUTFLOPS, g.Type.TFLOPS)
+	}
+	return s
+}

@@ -1,0 +1,264 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"autopipe/internal/model"
+)
+
+func TestTestbedTopology(t *testing.T) {
+	c := Testbed(Gbps(100))
+	if len(c.Servers) != 5 {
+		t.Fatalf("servers = %d, want 5", len(c.Servers))
+	}
+	if c.NumGPUs() != 10 {
+		t.Fatalf("GPUs = %d, want 10", c.NumGPUs())
+	}
+	if c.GPU(0).Type.Name != "P100" {
+		t.Fatalf("GPU type = %s, want P100", c.GPU(0).Type.Name)
+	}
+	if !c.SameServer(0, 1) || c.SameServer(1, 2) {
+		t.Fatal("GPU placement: 0,1 should share server 0; 1,2 should not")
+	}
+}
+
+func TestGPUShare(t *testing.T) {
+	g := &GPU{}
+	if g.Share() != 1 {
+		t.Fatalf("exclusive share = %v", g.Share())
+	}
+	g.CompetingJobs = 2
+	if math.Abs(g.Share()-1.0/3) > 1e-12 {
+		t.Fatalf("share with 2 competitors = %v", g.Share())
+	}
+}
+
+func TestAddRemoveCompetingJob(t *testing.T) {
+	c := Testbed(Gbps(10))
+	v0 := c.Version()
+	c.AddCompetingJob()
+	if c.Version() == v0 {
+		t.Fatal("Version not bumped by AddCompetingJob")
+	}
+	for _, g := range c.GPUs {
+		if g.CompetingJobs != 1 {
+			t.Fatal("competing job not added everywhere")
+		}
+	}
+	c.RemoveCompetingJob()
+	c.RemoveCompetingJob() // extra removal must not go negative
+	for _, g := range c.GPUs {
+		if g.CompetingJobs != 0 {
+			t.Fatal("competing job count wrong after removal")
+		}
+	}
+}
+
+func TestExtShareReducesBandwidth(t *testing.T) {
+	c := Testbed(Gbps(100))
+	full := c.ServerOf(0).AvailBwBps()
+	c.SetExtShare(0, 0.5)
+	if got := c.ServerOf(0).AvailBwBps(); math.Abs(got-full/2) > 1 {
+		t.Fatalf("AvailBw after 50%% ext = %v, want %v", got, full/2)
+	}
+	// floor: never below 1% even with absurd shares
+	c.SetExtShare(0, 2.0)
+	if got := c.ServerOf(0).AvailBwBps(); got < full*0.009 {
+		t.Fatalf("AvailBw floor broken: %v", got)
+	}
+}
+
+func TestSetNICBandwidth(t *testing.T) {
+	c := Testbed(Gbps(10))
+	c.SetNICBandwidth(Gbps(25))
+	for _, s := range c.Servers {
+		if s.NICBwBps != Gbps(25) {
+			t.Fatal("SetNICBandwidth did not apply to all servers")
+		}
+	}
+}
+
+func TestFPTimeScalesWithShareAndType(t *testing.T) {
+	c := Testbed(Gbps(100))
+	l := model.Layer{Kind: model.Conv, FLOPs: 1e9, OutElems: 1, InElems: 1}
+	base := c.FPTime(l, 64, 0)
+	c.SetCompetingJobs(0, 1)
+	halved := c.FPTime(l, 64, 0)
+	if math.Abs(halved-2*base) > 1e-9 {
+		t.Fatalf("contended FPTime = %v, want 2×%v", halved, base)
+	}
+	c.SetCompetingJobs(0, 0)
+	c.SetGPUType(0, A100)
+	faster := c.FPTime(l, 64, 0)
+	if faster >= base {
+		t.Fatalf("A100 time %v not below P100 time %v", faster, base)
+	}
+}
+
+func TestBPTimeIsDoubleFP(t *testing.T) {
+	c := Testbed(Gbps(100))
+	l := model.Layer{Kind: model.FullyConnected, FLOPs: 5e8, OutElems: 1, InElems: 1}
+	if math.Abs(c.BPTime(l, 32, 3)-2*c.FPTime(l, 32, 3)) > 1e-12 {
+		t.Fatal("BPTime != 2×FPTime")
+	}
+}
+
+func TestStageTimesSum(t *testing.T) {
+	c := Testbed(Gbps(100))
+	m := model.Uniform(4, 1e9, 100)
+	total := c.StageFPTime(m, 0, 4, 0)
+	parts := c.StageFPTime(m, 0, 2, 0) + c.StageFPTime(m, 2, 4, 0)
+	if math.Abs(total-parts) > 1e-12 {
+		t.Fatalf("stage time not additive: %v vs %v", total, parts)
+	}
+}
+
+func TestPairBandwidth(t *testing.T) {
+	c := Testbed(Gbps(10))
+	intra := c.PairBandwidth(0, 1) // same server
+	inter := c.PairBandwidth(1, 2) // across servers
+	if intra <= inter {
+		t.Fatalf("intra-server bw %v should exceed NIC bw %v", intra, inter)
+	}
+	if inter != Gbps(10) {
+		t.Fatalf("inter-server bw = %v, want 10G", inter)
+	}
+	// asymmetric contention: min of endpoints
+	c.SetExtShare(1, 0.5) // server of GPU 2,3
+	if got := c.PairBandwidth(0, 2); math.Abs(got-Gbps(5)) > 1 {
+		t.Fatalf("contended pair bw = %v, want 5G", got)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	c := Testbed(Gbps(10))
+	// 1.25 GB at 10 Gbps = 1 second
+	got := c.TransferTime(1.25e9/8*8, 1, 2) // 1.25e9 bytes
+	if math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("TransferTime = %v, want 1.0", got)
+	}
+}
+
+func TestSnapshotShapes(t *testing.T) {
+	c := Testbed(Gbps(40))
+	c.AddCompetingJob()
+	s := c.Snapshot()
+	if len(s.NICBwBps) != 5 || len(s.GPUShare) != 10 || len(s.GPUTFLOPS) != 10 {
+		t.Fatalf("snapshot shapes wrong: %+v", s)
+	}
+	if s.GPUShare[0] != 0.5 {
+		t.Fatalf("snapshot share = %v, want 0.5", s.GPUShare[0])
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCluster with zero servers did not panic")
+		}
+	}()
+	NewCluster(Config{Servers: 0, GPUsPerServer: 2})
+}
+
+// Property: FPTime is monotone decreasing in GPU TFLOPS and monotone
+// increasing in competing jobs.
+func TestQuickFPTimeMonotone(t *testing.T) {
+	f := func(flopsRaw uint32, jobs uint8) bool {
+		c := Testbed(Gbps(100))
+		l := model.Layer{Kind: model.Conv, FLOPs: float64(flopsRaw%1000000) + 1, OutElems: 1, InElems: 1}
+		tP := c.FPTime(l, 64, 0)
+		c.SetGPUType(0, V100)
+		tV := c.FPTime(l, 64, 0)
+		if tV >= tP {
+			return false
+		}
+		j := int(jobs % 8)
+		c.SetCompetingJobs(0, j)
+		tShared := c.FPTime(l, 64, 0)
+		return tShared >= tV*0.999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameRackAndUplink(t *testing.T) {
+	c := NewCluster(Config{
+		Servers: 4, GPUsPerServer: 1, GPUType: V100,
+		NICBwBps: Gbps(40), Racks: 2, RackUplinkBps: Gbps(10),
+	})
+	// Round-robin racks: servers 0,2 → rack 0; 1,3 → rack 1.
+	if !c.SameRack(0, 2) || c.SameRack(0, 1) {
+		t.Fatal("SameRack wrong")
+	}
+	v := c.Version()
+	c.SetRackUplink(Gbps(20))
+	if c.RackUplinkBps != Gbps(20) || c.Version() == v {
+		t.Fatal("SetRackUplink did not apply or bump version")
+	}
+}
+
+func TestDefaultRackUplink(t *testing.T) {
+	c := NewCluster(Config{Servers: 2, GPUsPerServer: 1, NICBwBps: Gbps(10), Racks: 2})
+	if c.RackUplinkBps != Gbps(20) {
+		t.Fatalf("default uplink = %v, want 2×NIC", c.RackUplinkBps)
+	}
+}
+
+func TestSetExtShareAll(t *testing.T) {
+	c := Testbed(Gbps(10))
+	c.SetExtShareAll(0.25)
+	for _, s := range c.Servers {
+		if s.ExtShare != 0.25 {
+			t.Fatal("SetExtShareAll missed a server")
+		}
+	}
+}
+
+func TestSetCompetingJobsClampsNegative(t *testing.T) {
+	c := Testbed(Gbps(10))
+	c.SetCompetingJobs(0, -5)
+	if c.GPU(0).CompetingJobs != 0 {
+		t.Fatal("negative competing jobs not clamped")
+	}
+}
+
+func TestStageBPTimeIsDoubleStageFP(t *testing.T) {
+	c := Testbed(Gbps(10))
+	m := model.Uniform(4, 1e9, 100)
+	if math.Abs(c.StageBPTime(m, 0, 4, 0)-2*c.StageFPTime(m, 0, 4, 0)) > 1e-15 {
+		t.Fatal("StageBPTime != 2×StageFPTime")
+	}
+}
+
+func TestKindEfficiencyOrdering(t *testing.T) {
+	// Compute-dense kinds must run closer to peak than memory-bound ones;
+	// exercised via FPTime across kinds.
+	c := Testbed(Gbps(10))
+	times := map[model.LayerKind]float64{}
+	for _, k := range []model.LayerKind{
+		model.Conv, model.FullyConnected, model.Attention,
+		model.Pool, model.Norm, model.Embedding, model.LayerKind(99),
+	} {
+		l := model.Layer{Kind: k, FLOPs: 1e9, OutElems: 1, InElems: 1}
+		times[k] = c.FPTime(l, 64, 0)
+	}
+	if times[model.Conv] >= times[model.Pool] {
+		t.Fatal("conv (efficient) should be faster per FLOP than pool (memory-bound)")
+	}
+	if times[model.FullyConnected] >= times[model.Embedding] {
+		t.Fatal("fc should beat embedding per FLOP")
+	}
+	if times[model.LayerKind(99)] <= 0 {
+		t.Fatal("unknown kind must still produce a time")
+	}
+}
+
+func TestPairBandwidthSameWorker(t *testing.T) {
+	c := Testbed(Gbps(10))
+	if c.PairBandwidth(3, 3) <= c.IntraServerBwBps {
+		t.Fatal("device-local copy should exceed intra-server bandwidth")
+	}
+}

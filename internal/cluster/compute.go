@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"autopipe/internal/model"
+)
+
+// Arithmetic efficiency by layer kind: the fraction of peak FLOPS a real
+// kernel sustains. Convolutions and large GEMMs run near half of peak on
+// a P100-class part; memory-bound layers far lower.
+func kindEfficiency(k model.LayerKind) float64 {
+	switch k {
+	case model.Conv:
+		return 0.45
+	case model.FullyConnected:
+		return 0.60
+	case model.Attention:
+		return 0.50
+	case model.Pool:
+		return 0.05
+	case model.Norm:
+		return 0.05
+	case model.Embedding:
+		return 0.10
+	default:
+		return 0.30
+	}
+}
+
+// perLayerOverhead is the fixed kernel-launch/framework overhead per layer
+// invocation in seconds. It keeps tiny layers from looking free.
+const perLayerOverhead = 30e-6
+
+// BPComputeFactor is the backward/forward compute-time ratio. The paper's
+// Figure 2 idealisation states "the forward passes take exactly half time
+// of the backward pass"; real frameworks measure close to 2×.
+const BPComputeFactor = 2.0
+
+// FPTime returns the forward-pass compute time in seconds for one
+// mini-batch of layer l on GPU g, accounting for the device's current
+// time-share.
+func (c *Cluster) FPTime(l model.Layer, miniBatch int, gpu int) float64 {
+	g := c.GPUs[gpu]
+	eff := kindEfficiency(l.Kind)
+	flops := l.FLOPs * float64(miniBatch)
+	t := flops / (g.Type.TFLOPS * 1e12 * eff)
+	return (t + perLayerOverhead) / g.Share()
+}
+
+// BPTime returns the backward-pass compute time in seconds for one
+// mini-batch of layer l on GPU g.
+func (c *Cluster) BPTime(l model.Layer, miniBatch int, gpu int) float64 {
+	return c.FPTime(l, miniBatch, gpu) * BPComputeFactor
+}
+
+// StageFPTime sums forward times for layers [lo, hi) of m on GPU g.
+func (c *Cluster) StageFPTime(m *model.Model, lo, hi, gpu int) float64 {
+	t := 0.0
+	for i := lo; i < hi; i++ {
+		t += c.FPTime(m.Layers[i], m.MiniBatch, gpu)
+	}
+	return t
+}
+
+// StageBPTime sums backward times for layers [lo, hi) of m on GPU g.
+func (c *Cluster) StageBPTime(m *model.Model, lo, hi, gpu int) float64 {
+	return c.StageFPTime(m, lo, hi, gpu) * BPComputeFactor
+}
+
+// PairBandwidth returns the bandwidth in bits/sec available for a single
+// flow between two workers when no other simulated flow competes: the
+// intra-server path if co-located, otherwise the min of the two NICs'
+// available bandwidth. (Concurrent flows additionally share these links —
+// package netsim models that; this is the profiler's point estimate.)
+func (c *Cluster) PairBandwidth(a, b int) float64 {
+	if a == b {
+		return c.IntraServerBwBps * 4 // device-local copy, effectively free
+	}
+	if c.SameServer(a, b) {
+		return c.IntraServerBwBps
+	}
+	src := c.ServerOf(a).AvailBwBps()
+	dst := c.ServerOf(b).AvailBwBps()
+	bw := src
+	if dst < bw {
+		bw = dst
+	}
+	if c.Racks > 1 && !c.SameRack(a, b) && c.RackUplinkBps < bw {
+		bw = c.RackUplinkBps
+	}
+	return bw
+}
+
+// TransferTime returns the unloaded-network time in seconds to move bytes
+// between two workers.
+func (c *Cluster) TransferTime(bytes int64, a, b int) float64 {
+	bw := c.PairBandwidth(a, b)
+	return float64(bytes*8) / bw
+}

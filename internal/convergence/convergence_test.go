@@ -1,0 +1,129 @@
+package convergence
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestModelFor(t *testing.T) {
+	for _, name := range []string{"ResNet50", "VGG16", "AlexNet", "BERT48"} {
+		am, err := ModelFor(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if am.AMax <= 0 || am.AMax > 1 || am.Tau <= 0 || am.DatasetSize <= 0 {
+			t.Fatalf("%s: bad params %+v", name, am)
+		}
+	}
+	if _, err := ModelFor("LeNet"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestAccuracyMonotoneAndBounded(t *testing.T) {
+	am, _ := ModelFor("ResNet50")
+	prev := -1.0
+	for s := 0.0; s < 1e8; s += 5e6 {
+		a := am.Accuracy(s, BSPParadigm)
+		if a < prev {
+			t.Fatalf("accuracy decreased at %v samples", s)
+		}
+		if a < 0 || a > am.AMax {
+			t.Fatalf("accuracy %v out of [0, %v]", a, am.AMax)
+		}
+		prev = a
+	}
+}
+
+func TestTAPCapsBelowBSP(t *testing.T) {
+	am, _ := ModelFor("ResNet50")
+	many := 1e9
+	bsp := am.Accuracy(many, BSPParadigm)
+	tap := am.Accuracy(many, TAPParadigm)
+	if tap >= bsp {
+		t.Fatalf("TAP accuracy %v not below BSP %v", tap, bsp)
+	}
+	// Paper's ratio: ≈1.42× on ResNet50.
+	if r := bsp / tap; r < 1.3 || r > 1.6 {
+		t.Fatalf("BSP/TAP final ratio %v, want ≈1.42", r)
+	}
+}
+
+func TestStashingParadigmsMatchBSP(t *testing.T) {
+	am, _ := ModelFor("VGG16")
+	many := 1e9
+	if am.Accuracy(many, AutoPipeParadigm) != am.Accuracy(many, BSPParadigm) {
+		t.Fatal("AutoPipe final accuracy must equal BSP (weight stashing)")
+	}
+	if am.Accuracy(many, PipeDreamParadigm) != am.Accuracy(many, BSPParadigm) {
+		t.Fatal("PipeDream final accuracy must equal BSP")
+	}
+}
+
+func TestTimeToAccuracyInvertsAccuracy(t *testing.T) {
+	am, _ := ModelFor("ResNet50")
+	tp := 500.0 // img/sec
+	hours := am.TimeToAccuracy(0.7, tp, AutoPipeParadigm)
+	if math.IsInf(hours, 1) {
+		t.Fatal("0.7 unreachable at AMax 0.76")
+	}
+	got := am.Accuracy(tp*hours*3600, AutoPipeParadigm)
+	if math.Abs(got-0.7) > 1e-9 {
+		t.Fatalf("round trip accuracy %v, want 0.7", got)
+	}
+	if !math.IsInf(am.TimeToAccuracy(0.99, tp, AutoPipeParadigm), 1) {
+		t.Fatal("unreachable target must be +Inf")
+	}
+	if !math.IsInf(am.TimeToAccuracy(0.5, 0, AutoPipeParadigm), 1) {
+		t.Fatal("zero throughput must be +Inf")
+	}
+}
+
+func TestFasterThroughputConvergesSooner(t *testing.T) {
+	am, _ := ModelFor("ResNet50")
+	slow := am.TimeToAccuracy(0.7, 300, AutoPipeParadigm)
+	fast := am.TimeToAccuracy(0.7, 600, AutoPipeParadigm)
+	if fast >= slow {
+		t.Fatalf("faster throughput converges later: %v vs %v", fast, slow)
+	}
+	if math.Abs(slow/fast-2) > 1e-9 {
+		t.Fatal("time-to-accuracy must scale inversely with throughput")
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	am, _ := ModelFor("VGG16")
+	c := Curve(am, 400, AutoPipeParadigm, 30, 16)
+	if len(c.X) != 16 || c.X[0] != 0 || c.X[15] != 30 {
+		t.Fatalf("curve X: %v", c.X)
+	}
+	if c.Y[0] != 0 {
+		t.Fatal("accuracy at t=0 must be 0")
+	}
+	for i := 1; i < len(c.Y); i++ {
+		if c.Y[i] < c.Y[i-1] {
+			t.Fatal("curve not monotone")
+		}
+	}
+}
+
+// Property: accuracy is monotone in samples for any paradigm.
+func TestQuickAccuracyMonotone(t *testing.T) {
+	am, _ := ModelFor("AlexNet")
+	f := func(a, b uint32) bool {
+		sa, sb := float64(a), float64(b)
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		for _, p := range []Paradigm{BSPParadigm, TAPParadigm, AutoPipeParadigm} {
+			if am.Accuracy(sa, p) > am.Accuracy(sb, p)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"autopipe/internal/autopipe"
+	"autopipe/internal/cluster"
+	"autopipe/internal/meta"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/pipeline"
+	"autopipe/internal/sim"
+	"autopipe/internal/stats"
+	"autopipe/internal/trace"
+)
+
+// Ablations isolate the contribution of each AutoPipe design choice
+// DESIGN.md calls out: fine-grained switching, the switch-gating policy,
+// the decision period, and the candidate neighbourhood.
+
+// AblationSwitchMode measures the end-to-end cost of one mid-training
+// repartition under the three switching strategies: keep the stale plan
+// (no switch), full drain-and-restart (the §3.1 straw man), and
+// AutoPipe's fine-grained layer-by-layer switch.
+func AblationSwitchMode() *stats.Table {
+	t := stats.NewTable("Ablation — state-switching strategy (VGG16, boundary shift at batch 15/30)",
+		"strategy", "wall time (s)", "throughput (img/s)")
+	run := func(mode pipeline.SwitchMode, doSwitch bool) (float64, float64) {
+		cl := cluster.Testbed(cluster.Gbps(25))
+		m := model.VGG16()
+		eng := sim.NewEngine()
+		net := netsim.New(eng, cl)
+		plan := partition.EvenSplit(m.NumLayers(), workerIDs(4))
+		e, err := pipeline.NewAsync(eng, net, pipeline.Config{
+			Model: m, Cluster: cl, Plan: plan, Scheme: netsim.RingAllReduce,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if doSwitch {
+			// Shift one boundary — the canonical two-worker move.
+			np := plan.Clone()
+			np.Stages[1].End++
+			np.Stages[2].Start++
+			switched := false
+			e.OnBatchDone(func(batch int, _ sim.Time) {
+				if batch >= 15 && !switched && !e.Switching() {
+					switched = true
+					if err := e.ApplyPlan(np, mode, nil); err != nil {
+						panic(err)
+					}
+				}
+			})
+		}
+		e.Start(30)
+		eng.RunAll()
+		if e.Completed() != 30 {
+			panic("ablation switch run deadlock")
+		}
+		return float64(eng.Now()), e.Throughput()
+	}
+	wall, tp := run(pipeline.SwitchAuto, false)
+	t.AddF("no switch", wall, tp)
+	wall, tp = run(pipeline.SwitchRestart, true)
+	t.AddF("restart (straw man)", wall, tp)
+	wall, tp = run(pipeline.SwitchFineGrained, true)
+	t.AddF("fine-grained (AutoPipe)", wall, tp)
+	return t
+}
+
+// ablationTrace is the shared dynamic environment for policy ablations:
+// a bandwidth collapse, a competing-job arrival, and a partial recovery.
+func ablationTrace() trace.Trace {
+	return trace.Trace{
+		{At: 2, Kind: trace.SetBandwidth, Value: cluster.Gbps(5)},
+		{At: 6, Kind: trace.AddJob},
+		{At: 10, Kind: trace.SetBandwidth, Value: cluster.Gbps(40)},
+	}
+}
+
+// ablationJob runs VGG16 for 50 batches under the ablation trace with
+// the given controller configuration and returns wall time plus stats.
+func ablationJob(mutate func(*autopipe.Config)) (float64, autopipe.Stats) {
+	cl := cluster.Testbed(cluster.Gbps(100))
+	cfg := autopipe.Config{
+		Model: model.VGG16(), Cluster: cl,
+		Workers: workerIDs(4), Scheme: netsim.RingAllReduce,
+		Predictor:  meta.AnalyticPredictor{Scheme: netsim.RingAllReduce},
+		CheckEvery: 3,
+		Rng:        rand.New(rand.NewSource(1)),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	c, err := autopipe.New(eng, net, cfg)
+	if err != nil {
+		panic(err)
+	}
+	ablationTrace().Schedule(eng, cl, net, nil)
+	c.Start(50)
+	eng.RunAll()
+	if c.Engine().Completed() != 50 {
+		panic("ablation job deadlock")
+	}
+	return float64(eng.Now()), c.Stats()
+}
+
+// AblationPolicy compares switch-gating policies: never switch (frozen
+// PipeDream), always switch (the §3.1 straw man), and the cost/benefit
+// threshold (the RL arbiter's greedy target).
+func AblationPolicy() *stats.Table {
+	t := stats.NewTable("Ablation — switch-gating policy (VGG16, dynamic trace, 50 batches)",
+		"policy", "wall time (s)", "switches applied")
+	wall, st := ablationJob(func(c *autopipe.Config) { c.DisableReconfig = true })
+	t.AddF("never (frozen)", wall, st.SwitchesApplied)
+	wall, st = ablationJob(func(c *autopipe.Config) { c.AlwaysSwitch = true })
+	t.AddF("always (straw man)", wall, st.SwitchesApplied)
+	wall, st = ablationJob(nil)
+	t.AddF("cost/benefit gate (AutoPipe)", wall, st.SwitchesApplied)
+	return t
+}
+
+// AblationCheckEvery sweeps the decision period.
+func AblationCheckEvery() *stats.Table {
+	t := stats.NewTable("Ablation — decision period (VGG16, dynamic trace, 50 batches)",
+		"check every", "wall time (s)", "decisions", "switches")
+	for _, k := range []int{1, 3, 5, 10, 25} {
+		k := k
+		wall, st := ablationJob(func(c *autopipe.Config) { c.CheckEvery = k })
+		t.AddF(fmt.Sprintf("%d iters", k), wall, st.Decisions, st.SwitchesApplied)
+	}
+	return t
+}
+
+// AblationNeighborhood compares the candidate sets: boundary shifts and
+// replica migrations only, versus the extended merge/split neighbourhood.
+func AblationNeighborhood() *stats.Table {
+	t := stats.NewTable("Ablation — candidate neighbourhood (VGG16, dynamic trace, 50 batches)",
+		"neighbourhood", "wall time (s)", "switches")
+	wall, st := ablationJob(nil)
+	t.AddF("two-worker swaps", wall, st.SwitchesApplied)
+	wall, st = ablationJob(func(c *autopipe.Config) { c.UseMergeNeighborhood = true })
+	t.AddF("+ merges/splits", wall, st.SwitchesApplied)
+	return t
+}

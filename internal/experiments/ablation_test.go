@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func parseCell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("unparsable cell %q: %v", s, err)
+	}
+	return v
+}
+
+func TestAblationSwitchModeOrdering(t *testing.T) {
+	tbl := AblationSwitchMode()
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	noSwitch := parseCell(t, tbl.Rows[0][1])
+	restart := parseCell(t, tbl.Rows[1][1])
+	fine := parseCell(t, tbl.Rows[2][1])
+	// Fine-grained switching must beat restart, and a pointless switch
+	// must not be cheaper than no switch at all.
+	if fine >= restart {
+		t.Fatalf("fine-grained (%v) not cheaper than restart (%v)", fine, restart)
+	}
+	if fine < noSwitch*0.99 {
+		t.Fatalf("switching was cheaper than not switching (%v vs %v)?", fine, noSwitch)
+	}
+}
+
+func TestAblationPolicyOrdering(t *testing.T) {
+	tbl := AblationPolicy()
+	frozen := parseCell(t, tbl.Rows[0][1])
+	gated := parseCell(t, tbl.Rows[2][1])
+	if gated >= frozen {
+		t.Fatalf("gated policy (%v) not faster than frozen (%v) under the dynamic trace", gated, frozen)
+	}
+	frozenSwitches := parseCell(t, tbl.Rows[0][2])
+	if frozenSwitches != 0 {
+		t.Fatal("frozen policy switched")
+	}
+	always := parseCell(t, tbl.Rows[1][2])
+	gatedSwitches := parseCell(t, tbl.Rows[2][2])
+	if always < gatedSwitches {
+		t.Fatalf("always-switch applied fewer switches (%v) than the gate (%v)", always, gatedSwitches)
+	}
+}
+
+func TestAblationCheckEverySweep(t *testing.T) {
+	tbl := AblationCheckEvery()
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Rarely checking (every 25 iters of 50) must not beat frequent
+	// checking under this trace — there is real adaptation value.
+	fast := parseCell(t, tbl.Rows[1][1]) // every 3
+	slow := parseCell(t, tbl.Rows[4][1]) // every 25
+	if fast > slow*1.05 {
+		t.Fatalf("frequent decisions (%v) much slower than rare ones (%v)", fast, slow)
+	}
+	// Decision counts decrease with period.
+	d1 := parseCell(t, tbl.Rows[0][2])
+	d25 := parseCell(t, tbl.Rows[4][2])
+	if d1 <= d25 {
+		t.Fatalf("decision counts not decreasing: %v vs %v", d1, d25)
+	}
+}
+
+func TestAblationNeighborhoodRuns(t *testing.T) {
+	tbl := AblationNeighborhood()
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	base := parseCell(t, tbl.Rows[0][1])
+	merged := parseCell(t, tbl.Rows[1][1])
+	if base <= 0 || merged <= 0 {
+		t.Fatal("non-positive wall times")
+	}
+}

@@ -1,0 +1,201 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§3 motivation and §5 evaluation). Each FigureN function
+// regenerates the corresponding plot's data as tables/series; they are
+// shared by cmd/figures and the root-level benchmarks.
+package experiments
+
+import (
+	"fmt"
+
+	"autopipe/internal/autopipe"
+	"autopipe/internal/cluster"
+	"autopipe/internal/meta"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/pipeline"
+	"autopipe/internal/profile"
+	"autopipe/internal/sim"
+)
+
+// System selects the training system under test.
+type System int
+
+// Systems compared throughout the evaluation.
+const (
+	// Baseline is the vanilla ML framework: pure data parallelism.
+	Baseline System = iota
+	// PipeDream uses the DP-planned pipeline, configured once.
+	PipeDream
+	// AutoPipe is the PipeDream pipeline managed by the AutoPipe
+	// controller (the paper's "AutoPipe-enhanced PipeDream").
+	AutoPipe
+)
+
+// String implements fmt.Stringer.
+func (s System) String() string {
+	switch s {
+	case Baseline:
+		return "Baseline"
+	case PipeDream:
+		return "PipeDream"
+	default:
+		return "AutoPipe"
+	}
+}
+
+// Scenario is a fully specified single-job run.
+type Scenario struct {
+	Model     *model.Model
+	NICGbps   float64
+	Scheme    netsim.SyncScheme
+	Framework pipeline.Framework
+	System    System
+	// SharedJobs is the number of identical competing jobs (the paper
+	// runs "three identical jobs in every experiment" → 2 competitors).
+	SharedJobs int
+	// Batches to train (default 30).
+	Batches int
+	// Workers used by the job (default all 10).
+	Workers []int
+	// Mutate, if non-nil, runs inside the simulation at MutateAt
+	// seconds, changing the cluster (Figures 3–6).
+	Mutate   func(cl *cluster.Cluster)
+	MutateAt float64
+	// PlanOverride forces a specific plan (for "optimal re-plan" runs).
+	PlanOverride *partition.Plan
+}
+
+func (sc *Scenario) defaults() {
+	if sc.Batches == 0 {
+		sc.Batches = 30
+	}
+	if sc.Framework.Efficiency == 0 {
+		sc.Framework = pipeline.PyTorch
+	}
+	if len(sc.Workers) == 0 {
+		sc.Workers = workerIDs(10)
+	}
+}
+
+func workerIDs(n int) []int {
+	ws := make([]int, n)
+	for i := range ws {
+		ws[i] = i
+	}
+	return ws
+}
+
+// newCluster builds the testbed with the scenario's shared-job load.
+func (sc *Scenario) newCluster() *cluster.Cluster {
+	cl := cluster.Testbed(cluster.Gbps(sc.NICGbps))
+	for j := 0; j < sc.SharedJobs; j++ {
+		cl.AddCompetingJob()
+	}
+	if sc.SharedJobs > 0 {
+		// Competing training jobs also occupy NIC bandwidth.
+		cl.SetExtShareAll(0.2 * float64(sc.SharedJobs))
+	}
+	return cl
+}
+
+// Run executes the scenario and returns measured throughput (samples/s).
+func Run(sc Scenario) (float64, error) {
+	sc.defaults()
+	cl := sc.newCluster()
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	if sc.Mutate != nil {
+		eng.Schedule(sim.Time(sc.MutateAt), "scenario/mutate", func() {
+			sc.Mutate(cl)
+			net.OnCapacityChange()
+		})
+	}
+	switch sc.System {
+	case Baseline:
+		plan := partition.SingleStage(sc.Model.NumLayers(), sc.Workers)
+		plan.InFlight = 2 // frameworks overlap two batches at most
+		e, err := pipeline.NewAsync(eng, net, pipeline.Config{
+			Model: sc.Model, Cluster: cl, Plan: plan,
+			Scheme: sc.Scheme, Framework: sc.Framework,
+		})
+		if err != nil {
+			return 0, err
+		}
+		e.Start(sc.Batches)
+		eng.RunAll()
+		if e.Completed() != sc.Batches {
+			return 0, fmt.Errorf("experiments: baseline deadlock")
+		}
+		return e.Throughput(), nil
+	case PipeDream:
+		plan := sc.plan(cl)
+		e, err := pipeline.NewAsync(eng, net, pipeline.Config{
+			Model: sc.Model, Cluster: cl, Plan: plan,
+			Scheme: sc.Scheme, Framework: sc.Framework,
+		})
+		if err != nil {
+			return 0, err
+		}
+		e.Start(sc.Batches)
+		eng.RunAll()
+		if e.Completed() != sc.Batches {
+			return 0, fmt.Errorf("experiments: pipedream deadlock")
+		}
+		return e.Throughput(), nil
+	default: // AutoPipe
+		c, err := autopipe.New(eng, net, autopipe.Config{
+			Model: sc.Model, Cluster: cl, Workers: sc.Workers,
+			Scheme: sc.Scheme, Framework: sc.Framework,
+			Predictor:  meta.AnalyticPredictor{Scheme: sc.Scheme},
+			CheckEvery: 3,
+		})
+		if err != nil {
+			return 0, err
+		}
+		c.Start(sc.Batches)
+		eng.RunAll()
+		if c.Engine().Completed() != sc.Batches {
+			return 0, fmt.Errorf("experiments: autopipe deadlock")
+		}
+		return c.Throughput(), nil
+	}
+}
+
+// plan returns the PipeDream DP plan for the scenario (or the override).
+// PipeDream plans with its published assumptions: exclusive-GPU profile
+// and the nominal NIC bandwidth.
+func (sc *Scenario) plan(cl *cluster.Cluster) partition.Plan {
+	if sc.PlanOverride != nil {
+		return sc.PlanOverride.Clone()
+	}
+	cm := partition.NewPipeDreamCost(sc.Model, cl, sc.Workers[0], cluster.Gbps(sc.NICGbps))
+	return partition.PipeDream(cm, sc.Workers)
+}
+
+// OptimalPlan re-runs partitioning against the *current* cluster state
+// (the paper's "re-execute the work partition" oracle): the refined-cost
+// DP plan, an even split, and any extra starting points (typically the
+// incumbent partition — §1's "designing new partitions that take into
+// account the last state") are all hill-climbed under the scheme-aware
+// fluid predictor, and the best-scoring result wins.
+func OptimalPlan(m *model.Model, cl *cluster.Cluster, workers []int, scheme netsim.SyncScheme, extraStarts ...partition.Plan) partition.Plan {
+	pr := profile.NewProfiler(m, cl)
+	prof := pr.Observe()
+	pred := meta.AnalyticPredictor{Scheme: scheme}
+	cm := partition.NewRefinedCost(m, cl, workers)
+	starts := []partition.Plan{
+		partition.PipeDream(cm, workers),
+		partition.EvenSplit(m.NumLayers(), workers),
+	}
+	starts = append(starts, extraStarts...)
+	var best partition.Plan
+	bestSpeed := -1.0
+	for _, s := range starts {
+		opt := autopipe.OptimizePlan(prof, s, m.MiniBatch, pred, 64, true)
+		if sp := pred.PredictSpeed(prof, opt, m.MiniBatch, nil); sp > bestSpeed {
+			bestSpeed, best = sp, opt
+		}
+	}
+	return best
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/convergence"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/pipeline"
+	"autopipe/internal/sim"
+	"autopipe/internal/stats"
+)
+
+// paradigmThroughput measures the steady throughput of one
+// synchronisation paradigm on the shared testbed (25 Gbps, 3 jobs).
+func paradigmThroughput(m *model.Model, paradigm string) float64 {
+	const nicGbps = 25
+	mkCluster := func() (*sim.Engine, *netsim.Network, *cluster.Cluster) {
+		sc := Scenario{Model: m, NICGbps: nicGbps, SharedJobs: 2}
+		sc.defaults()
+		cl := sc.newCluster()
+		eng := sim.NewEngine()
+		return eng, netsim.New(eng, cl), cl
+	}
+	switch paradigm {
+	case "AutoPipe", "PipeDream":
+		sys := PipeDream
+		if paradigm == "AutoPipe" {
+			sys = AutoPipe
+		}
+		tp, err := Run(Scenario{
+			Model: m, NICGbps: nicGbps, Scheme: netsim.RingAllReduce,
+			System: sys, SharedJobs: 2, Batches: 30,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return tp
+	case "BSP":
+		// Bulk-synchronous data parallelism: every batch's gradient
+		// sync must complete before the next backward pass commits
+		// (the async engine with SyncEvery=1 and a shallow in-flight
+		// window models exactly this overlapped-but-gated BSP).
+		eng, net, cl := mkCluster()
+		plan := partition.SingleStage(m.NumLayers(), workerIDs(10))
+		plan.InFlight = 2
+		e, err := pipeline.NewAsync(eng, net, pipeline.Config{
+			Model: m, Cluster: cl, Plan: plan,
+			Scheme: netsim.RingAllReduce, SyncEvery: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		e.Start(20)
+		eng.RunAll()
+		return e.Throughput()
+	case "TAP":
+		// Total asynchrony: replicas never block on synchronisation
+		// (gradient exchange fully off the critical path).
+		eng, net, cl := mkCluster()
+		plan := partition.SingleStage(m.NumLayers(), workerIDs(10))
+		plan.InFlight = 10
+		e, err := pipeline.NewAsync(eng, net, pipeline.Config{
+			Model: m, Cluster: cl, Plan: plan,
+			Scheme: netsim.RingAllReduce, SyncEvery: 1 << 30,
+		})
+		if err != nil {
+			panic(err)
+		}
+		e.Start(30)
+		eng.RunAll()
+		return e.Throughput()
+	}
+	panic("unknown paradigm " + paradigm)
+}
+
+// Figure11 reproduces accuracy-vs-time for ResNet50 and VGG16 under
+// AutoPipe, PipeDream, BSP and TAP. Returns model name → four curves.
+func Figure11(durationHours float64, points int) map[string][]stats.Series {
+	out := map[string][]stats.Series{}
+	for _, m := range []*model.Model{model.ResNet50(), model.VGG16()} {
+		am, err := convergence.ModelFor(m.Name)
+		if err != nil {
+			panic(err)
+		}
+		var curves []stats.Series
+		for _, p := range []struct {
+			name     string
+			paradigm convergence.Paradigm
+		}{
+			{"AutoPipe", convergence.AutoPipeParadigm},
+			{"PipeDream", convergence.PipeDreamParadigm},
+			{"BSP", convergence.BSPParadigm},
+			{"TAP", convergence.TAPParadigm},
+		} {
+			tp := paradigmThroughput(m, p.name)
+			curves = append(curves, convergence.Curve(am, tp, p.paradigm, durationHours, points))
+		}
+		out[m.Name] = curves
+	}
+	return out
+}
+
+// Figure11Summary condenses the four curves into the paper's headline
+// comparisons: final accuracy ratios and time to reach 95% of the BSP
+// ceiling.
+func Figure11Summary(curves map[string][]stats.Series) *stats.Table {
+	t := stats.NewTable("Figure 11 — convergence summary",
+		"model", "paradigm", "throughput-based final acc", "time to 0.95·ceiling (h)")
+	for _, name := range []string{"ResNet50", "VGG16"} {
+		am, _ := convergence.ModelFor(name)
+		for _, s := range curves[name] {
+			paradigm := convergence.BSPParadigm
+			switch s.Name {
+			case "TAP":
+				paradigm = convergence.TAPParadigm
+			case "AutoPipe":
+				paradigm = convergence.AutoPipeParadigm
+			case "PipeDream":
+				paradigm = convergence.PipeDreamParadigm
+			}
+			final := s.Y[len(s.Y)-1]
+			// Recover throughput from the last point for the
+			// time-to-accuracy inversion.
+			tp := recoverThroughput(am, s, paradigm)
+			target := 0.95 * am.AMax
+			hours := am.TimeToAccuracy(target, tp, paradigm)
+			hstr := "unreachable"
+			if hours < 1e7 {
+				hstr = fmt.Sprintf("%.1f", hours)
+			}
+			t.AddF(name, s.Name, final, hstr)
+		}
+	}
+	return t
+}
+
+func recoverThroughput(am convergence.AccuracyModel, s stats.Series, p convergence.Paradigm) float64 {
+	// Invert the curve at its midpoint sample.
+	for i := len(s.X) - 1; i > 0; i-- {
+		if s.Y[i] > 0 && s.X[i] > 0 {
+			// accuracy = ceiling(1−exp(−E/τ)) ⇒ samples.
+			ceiling := am.AMax * p.AccuracyPenalty
+			frac := s.Y[i] / ceiling
+			if frac >= 1 {
+				continue
+			}
+			epochs := -am.Tau * logOneMinus(frac)
+			samples := epochs * am.DatasetSize / p.ProgressPenalty
+			return samples / (s.X[i] * 3600)
+		}
+	}
+	return 0
+}
+
+func logOneMinus(x float64) float64 { return math.Log(1 - x) }

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/pipeline"
+	"autopipe/internal/sim"
+	"autopipe/internal/stats"
+)
+
+// Sync-scheme crossover study. On an idealised fluid network, ring
+// all-reduce beats PS for replica counts above two (less volume through
+// any one NIC). But the ring is chatty — 2(N−1) barriered steps — so
+// per-hop latency erodes its lead, which is one more environmental
+// factor a one-shot configuration cannot see.
+
+// schemeThroughput measures data-parallel VGG16 over 4 workers at the
+// given scheme and per-hop latency.
+func schemeThroughput(scheme netsim.SyncScheme, latencySec float64, batches int) float64 {
+	cl := cluster.Testbed(cluster.Gbps(10))
+	m := model.VGG16()
+	plan := partition.SingleStage(m.NumLayers(), []int{0, 2, 4, 6})
+	plan.InFlight = 2
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	net.PerHopLatencySec = latencySec
+	e, err := pipeline.NewAsync(eng, net, pipeline.Config{
+		Model: m, Cluster: cl, Plan: plan, Scheme: scheme,
+	})
+	if err != nil {
+		panic(err)
+	}
+	e.Start(batches)
+	eng.RunAll()
+	if e.Completed() != batches {
+		panic("crossover run deadlock")
+	}
+	return e.Throughput()
+}
+
+// SchemeCrossoverTable sweeps per-hop latency for PS vs Ring.
+func SchemeCrossoverTable(batches int) *stats.Table {
+	t := stats.NewTable("PS vs Ring under per-hop latency (VGG16 data-parallel ×4, 10G)",
+		"per-hop latency", "PS (img/s)", "Ring (img/s)", "Ring/PS")
+	for _, lat := range []float64{0, 0.001, 0.01, 0.05} {
+		ps := schemeThroughput(netsim.ParameterServer, lat, 8)
+		ring := schemeThroughput(netsim.RingAllReduce, lat, 8)
+		t.AddF(fmt.Sprintf("%.0fms", lat*1e3), ps, ring, stats.Speedup(ring, ps))
+	}
+	return t
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+
+	"autopipe/internal/autopipe"
+	"autopipe/internal/cluster"
+	"autopipe/internal/meta"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/pipeline"
+	"autopipe/internal/sim"
+	"autopipe/internal/stats"
+)
+
+// iterationSpeeds converts completion times into a per-iteration speed
+// series (samples/sec, smoothed over a 3-iteration window).
+func iterationSpeeds(name string, completions []sim.Time, miniBatch int) stats.Series {
+	s := stats.Series{Name: name}
+	const w = 6
+	for i := w; i < len(completions); i++ {
+		dt := float64(completions[i] - completions[i-w])
+		if dt <= 0 {
+			continue
+		}
+		s.Add(float64(i+1), float64(w*miniBatch)/dt)
+	}
+	return s
+}
+
+// dynamicRun trains ResNet50 (Ring, PyTorch — §5.3's setup) for `iters`
+// iterations with `mutate` fired at specific iteration counts, under
+// either AutoPipe or frozen PipeDream.
+func dynamicRun(system System, iters int, initialGbps float64,
+	mutations map[int]func(*cluster.Cluster)) stats.Series {
+	m := model.ResNet50()
+	cl := cluster.Testbed(cluster.Gbps(initialGbps))
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	workers := workerIDs(10)
+
+	fire := func(batch int) {
+		if fn, ok := mutations[batch+1]; ok {
+			fn(cl)
+			net.OnCapacityChange()
+		}
+	}
+	var completions func() []sim.Time
+	switch system {
+	case PipeDream:
+		cm := partition.NewPipeDreamCost(m, cl, 0, cluster.Gbps(initialGbps))
+		plan := partition.PipeDream(cm, workers)
+		e, err := pipeline.NewAsync(eng, net, pipeline.Config{
+			Model: m, Cluster: cl, Plan: plan, Scheme: netsim.RingAllReduce,
+		})
+		if err != nil {
+			panic(err)
+		}
+		e.OnBatchDone(func(batch int, _ sim.Time) { fire(batch) })
+		e.Start(iters)
+		completions = e.Completions
+	default:
+		c, err := autopipe.New(eng, net, autopipe.Config{
+			Model: m, Cluster: cl, Workers: workers,
+			Scheme:     netsim.RingAllReduce,
+			Predictor:  meta.AnalyticPredictor{Scheme: netsim.RingAllReduce},
+			CheckEvery: 3,
+		})
+		if err != nil {
+			panic(err)
+		}
+		c.Engine().OnBatchDone(func(batch int, _ sim.Time) { fire(batch) })
+		c.Start(iters)
+		completions = c.Engine().Completions
+	}
+	eng.RunAll()
+	if len(completions()) != iters {
+		panic(fmt.Sprintf("dynamic run deadlock: %d/%d", len(completions()), iters))
+	}
+	return iterationSpeeds(system.String(), completions(), m.MiniBatch)
+}
+
+// Figure9 reproduces training under dynamic bandwidth: 10 Gbps initially,
+// raised to 25/40/100 Gbps at iterations 20/40/60.
+func Figure9() []stats.Series {
+	mut := map[int]func(*cluster.Cluster){
+		20: func(cl *cluster.Cluster) { cl.SetNICBandwidth(cluster.Gbps(25)) },
+		40: func(cl *cluster.Cluster) { cl.SetNICBandwidth(cluster.Gbps(40)) },
+		60: func(cl *cluster.Cluster) { cl.SetNICBandwidth(cluster.Gbps(100)) },
+	}
+	return []stats.Series{
+		dynamicRun(AutoPipe, 80, 10, mut),
+		dynamicRun(PipeDream, 80, 10, mut),
+	}
+}
+
+// Figure10 reproduces training under dynamic GPUs: competing local jobs
+// added at iterations 20 and 40.
+func Figure10() []stats.Series {
+	mut := map[int]func(*cluster.Cluster){
+		20: func(cl *cluster.Cluster) { cl.AddCompetingJob() },
+		40: func(cl *cluster.Cluster) { cl.AddCompetingJob() },
+	}
+	return []stats.Series{
+		dynamicRun(AutoPipe, 60, 25, mut),
+		dynamicRun(PipeDream, 60, 25, mut),
+	}
+}
+
+// SeriesTable renders one or more series with a shared X axis as a table
+// (for terminal output of Figures 9–11).
+func SeriesTable(title, xLabel string, series []stats.Series) *stats.Table {
+	headers := []string{xLabel}
+	for _, s := range series {
+		headers = append(headers, s.Name)
+	}
+	t := stats.NewTable(title, headers...)
+	// Use the first series' X grid; look up others by nearest X.
+	if len(series) == 0 {
+		return t
+	}
+	for i, x := range series[0].X {
+		row := []string{stats.Fmt(x)}
+		for si, s := range series {
+			if si == 0 {
+				row = append(row, stats.Fmt(s.Y[i]))
+				continue
+			}
+			row = append(row, stats.Fmt(lookupNearest(s, x)))
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+func lookupNearest(s stats.Series, x float64) float64 {
+	best := 0
+	for i := range s.X {
+		if abs(s.X[i]-x) < abs(s.X[best]-x) {
+			best = i
+		}
+	}
+	if len(s.Y) == 0 {
+		return 0
+	}
+	return s.Y[best]
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"autopipe/internal/autopipe"
+	"autopipe/internal/cluster"
+	"autopipe/internal/meta"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/pipeline"
+	"autopipe/internal/profile"
+	"autopipe/internal/sim"
+	"autopipe/internal/stats"
+)
+
+// enhancedCluster is the Figure 13 environment: the shared testbed with
+// heterogeneous load (per §5.3 the settings match the testbed
+// experiments; we include the sharing that motivates repartitioning).
+func enhancedCluster(nicGbps float64) *cluster.Cluster {
+	cl := cluster.Testbed(cluster.Gbps(nicGbps))
+	// Asymmetric contention: two servers run competing jobs, so even
+	// splitting is no longer optimal.
+	cl.SetCompetingJobs(0, 1)
+	cl.SetCompetingJobs(1, 1)
+	cl.SetCompetingJobs(2, 1)
+	cl.SetCompetingJobs(3, 1)
+	cl.SetExtShare(0, 0.3)
+	cl.SetExtShare(1, 0.3)
+	return cl
+}
+
+// enhancedPlan returns the AutoPipe-optimised partition for the current
+// (observed) environment, starting from the vanilla even split that
+// transformer-training systems use. useMerge enables stage merges and
+// replication — appropriate for the asynchronous 2BW engine, not for the
+// flush-synchronised schedules (replication adds per-flush syncs there).
+func enhancedPlan(m *model.Model, cl *cluster.Cluster, scheme netsim.SyncScheme, useMerge bool) partition.Plan {
+	pr := profile.NewProfiler(m, cl)
+	prof := pr.Observe()
+	start := partition.EvenSplit(m.NumLayers(), workerIDs(10))
+	return autopipe.OptimizePlan(prof, start, m.MiniBatch,
+		meta.AnalyticPredictor{Scheme: scheme}, 32, useMerge)
+}
+
+// measureSyncScheme measures one synchronous schedule's throughput under
+// a given plan on the Figure 13 cluster.
+func measureSyncScheme(m *model.Model, schedule pipeline.SyncSchedule, plan partition.Plan, nicGbps float64) float64 {
+	cl := enhancedCluster(nicGbps)
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	e, err := pipeline.NewSync(eng, net, pipeline.SyncConfig{
+		Config: pipeline.Config{
+			Model: m, Cluster: cl, Plan: plan, Scheme: netsim.RingAllReduce,
+		},
+		Schedule: schedule, MicroBatches: 8,
+	})
+	if err != nil {
+		panic(err)
+	}
+	e.Start(6)
+	eng.RunAll()
+	if e.Completed() != 6 {
+		panic(fmt.Sprintf("enhanced %v deadlock", schedule))
+	}
+	return e.Throughput()
+}
+
+// measure2BW measures PipeDream-2BW (async engine with gradient
+// coalescing m=4) under a given plan.
+func measure2BW(m *model.Model, plan partition.Plan, nicGbps float64) float64 {
+	cl := enhancedCluster(nicGbps)
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	e, err := pipeline.NewAsync(eng, net, pipeline.Config{
+		Model: m, Cluster: cl, Plan: plan,
+		Scheme: netsim.RingAllReduce, SyncEvery: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	e.Start(12)
+	eng.RunAll()
+	if e.Completed() != 12 {
+		panic("enhanced 2BW deadlock")
+	}
+	return e.Throughput()
+}
+
+// Figure13 reproduces the AutoPipe-enhanced comparison: DAPPLE, Chimera
+// and PipeDream-2BW training BERT-48 (mini-batch 256), vanilla (even
+// transformer split) versus AutoPipe-enhanced (partition optimised for
+// the observed shared-cluster state).
+func Figure13() *stats.Table {
+	const nicGbps = 25
+	m := model.BERT48()
+	t := stats.NewTable("Figure 13 — AutoPipe-enhanced solutions (BERT-48, batch 256)",
+		"scheme", "vanilla (samples/s)", "AutoPipe-enhanced", "speedup")
+	vanilla := partition.EvenSplit(m.NumLayers(), workerIDs(10))
+	probe := enhancedCluster(nicGbps)
+	enhancedSync := enhancedPlan(m, probe, netsim.RingAllReduce, false)
+	enhancedAsync := enhancedPlan(m, probe, netsim.RingAllReduce, true)
+
+	for _, sched := range []pipeline.SyncSchedule{pipeline.DAPPLE, pipeline.Chimera} {
+		v := measureSyncScheme(m, sched, vanilla, nicGbps)
+		e := measureSyncScheme(m, sched, enhancedSync, nicGbps)
+		t.AddF(sched.String(), v, e, stats.Speedup(e, v))
+	}
+	v := measure2BW(m, vanilla, nicGbps)
+	e := measure2BW(m, enhancedAsync, nicGbps)
+	t.AddF("PipeDream-2BW", v, e, stats.Speedup(e, v))
+	return t
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"autopipe/internal/autopipe"
+	"autopipe/internal/cluster"
+	"autopipe/internal/meta"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/pipeline"
+	"autopipe/internal/sim"
+	"autopipe/internal/stats"
+)
+
+// Heterogeneous-cluster study (paper Observation 2: "PipeDream only
+// measures the computation speed of one exclusively used GPU. However,
+// there may be multiple types of GPUs in the shared GPU cluster, e.g.,
+// P100, V100, A100"). PipeDream profiles worker 0 and assumes everyone
+// matches it; AutoPipe's profiler sees each worker's real speed.
+
+// heteroCluster builds the mixed testbed: servers 0–1 keep P100s,
+// servers 2–3 get V100s, server 4 gets A100s.
+func heteroCluster(nicGbps float64) *cluster.Cluster {
+	cl := cluster.Testbed(cluster.Gbps(nicGbps))
+	for _, g := range []int{4, 5, 6, 7} {
+		cl.SetGPUType(g, cluster.V100)
+	}
+	for _, g := range []int{8, 9} {
+		cl.SetGPUType(g, cluster.A100)
+	}
+	return cl
+}
+
+// HeteroTable compares PipeDream (planned from worker 0's P100 profile)
+// with AutoPipe on the mixed-GPU cluster across models.
+func HeteroTable(batches int) *stats.Table {
+	t := stats.NewTable("Heterogeneous GPUs — 4×P100 + 4×V100 + 2×A100 @25Gbps",
+		"model", "PipeDream (img/s)", "AutoPipe (img/s)", "speedup")
+	for _, m := range model.Zoo() {
+		pd := heteroRun(m, PipeDream, batches)
+		ap := heteroRun(m, AutoPipe, batches)
+		t.AddF(m.Name, pd, ap, stats.Speedup(ap, pd))
+	}
+	return t
+}
+
+func heteroRun(m *model.Model, sys System, batches int) float64 {
+	cl := heteroCluster(25)
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	workers := workerIDs(10)
+	switch sys {
+	case PipeDream:
+		cm := partition.NewPipeDreamCost(m, cl, 0, cluster.Gbps(25))
+		plan := partition.PipeDream(cm, workers)
+		e, err := pipeline.NewAsync(eng, net, pipeline.Config{
+			Model: m, Cluster: cl, Plan: plan, Scheme: netsim.RingAllReduce,
+		})
+		if err != nil {
+			panic(err)
+		}
+		e.Start(batches)
+		eng.RunAll()
+		if e.Completed() != batches {
+			panic(fmt.Sprintf("hetero pipedream deadlock (%s)", m.Name))
+		}
+		return e.Throughput()
+	default:
+		c, err := autopipe.New(eng, net, autopipe.Config{
+			Model: m, Cluster: cl, Workers: workers,
+			Scheme:     netsim.RingAllReduce,
+			Predictor:  meta.AnalyticPredictor{Scheme: netsim.RingAllReduce},
+			CheckEvery: 3, UseMergeNeighborhood: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		c.Start(batches)
+		eng.RunAll()
+		if c.Engine().Completed() != batches {
+			panic(fmt.Sprintf("hetero autopipe deadlock (%s)", m.Name))
+		}
+		return c.Throughput()
+	}
+}

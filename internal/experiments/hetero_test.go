@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"testing"
+
+	"autopipe/internal/model"
+)
+
+func TestHeteroClusterShape(t *testing.T) {
+	cl := heteroCluster(25)
+	if cl.GPU(0).Type.Name != "P100" || cl.GPU(4).Type.Name != "V100" || cl.GPU(9).Type.Name != "A100" {
+		t.Fatal("heterogeneous GPU layout wrong")
+	}
+}
+
+func TestHeteroAutoPipeExploitsFastGPUs(t *testing.T) {
+	// PipeDream plans from worker 0's P100 profile and treats all GPUs
+	// as equal; AutoPipe observes the real per-worker speeds. On the
+	// mixed cluster AutoPipe must win.
+	for _, m := range []*model.Model{model.AlexNet(), model.VGG16()} {
+		pd := heteroRun(m, PipeDream, 20)
+		ap := heteroRun(m, AutoPipe, 20)
+		if ap < pd {
+			t.Fatalf("%s: AutoPipe %v below PipeDream %v on heterogeneous cluster", m.Name, ap, pd)
+		}
+	}
+}
+
+func TestHeteroTableShape(t *testing.T) {
+	tbl := HeteroTable(12)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"autopipe/internal/meta"
+	"autopipe/internal/stats"
+)
+
+// MetaQualityTable trains the meta-network offline on simulator-labelled
+// data and reports held-out quality — the regenerable evidence behind
+// Figure 7's architecture: the LSTM+FC predictor learns the
+// (environment, partition) → speed map well enough to rank candidates.
+func MetaQualityTable(samples, epochs int, seed int64) *stats.Table {
+	rng := rand.New(rand.NewSource(seed))
+	data := meta.Generate(meta.DatasetConfig{Rng: rng, N: samples, Batches: 5})
+	train, test := meta.Split(data, 0.25, rng)
+	net := meta.NewNetwork(rng)
+	before := net.Eval(test, nil)
+	final := net.Train(train, meta.TrainConfig{Epochs: epochs, BatchSize: 8, Shuffle: rng})
+	after := net.Eval(test, nil)
+	var pred, truth []float64
+	for _, s := range test {
+		pred = append(pred, net.Predict(s.F))
+		truth = append(truth, s.Y)
+	}
+	t := stats.NewTable("Meta-network offline training quality (Fig. 7 predictor)",
+		"metric", "value")
+	t.AddF("training samples", len(train))
+	t.AddF("held-out samples", len(test))
+	t.AddF("final train loss (Huber)", final)
+	t.AddF("held-out MSE before", before)
+	t.AddF("held-out MSE after", after)
+	t.AddF("held-out Spearman rank corr", stats.SpearmanRank(pred, truth))
+	return t
+}

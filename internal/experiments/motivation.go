@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/pipeline"
+	"autopipe/internal/sim"
+	"autopipe/internal/stats"
+)
+
+// Figure2 reproduces the pipeline-fill illustration: an idealised
+// 4-worker PipeDream (uniform layers, negligible communication, BP=2×FP)
+// still pays a startup phase before reaching steady state.
+func Figure2() *stats.Table {
+	m := model.Uniform(8, 5e10, 10) // tiny activations ⇒ negligible comm
+	cl := cluster.Testbed(cluster.Gbps(100))
+	plan := partition.EvenSplit(m.NumLayers(), workerIDs(4))
+	res, err := pipeline.MeasureAsync(pipeline.Config{
+		Model: m, Cluster: cl, Plan: plan, Scheme: netsim.RingAllReduce,
+	}, 24)
+	if err != nil {
+		panic(err)
+	}
+	steadyPerBatch := float64(res.Samples) / res.Throughput / float64(res.Batches)
+	t := stats.NewTable("Figure 2 — pipeline fill (ideal 4-worker PipeDream)",
+		"metric", "value")
+	t.AddF("startup time (s)", res.StartupTime)
+	t.AddF("steady per-batch time (s)", steadyPerBatch)
+	t.AddF("startup / steady ratio", res.StartupTime/steadyPerBatch)
+	t.AddF("steady throughput (samples/s)", res.Throughput)
+	return t
+}
+
+// motivationRun measures PipeDream "actual" (plan frozen from the
+// pre-change environment) versus "optimal" (plan recomputed for the
+// post-change environment) throughput after a resource change.
+func motivationRun(m *model.Model, nicGbps float64, change func(*cluster.Cluster)) (actual, optimal float64) {
+	run := func(replan bool) float64 {
+		cl := cluster.Testbed(cluster.Gbps(nicGbps))
+		workers := workerIDs(10)
+		// Plan in the pre-change world.
+		cm := partition.NewPipeDreamCost(m, cl, 0, cluster.Gbps(nicGbps))
+		plan := partition.PipeDream(cm, workers)
+		// Apply the change, then optionally re-plan with full knowledge
+		// (considering the incumbent partition, per §1's refined
+		// strategy).
+		change(cl)
+		if replan {
+			plan = OptimalPlan(m, cl, workers, netsim.RingAllReduce, plan)
+		}
+		eng := sim.NewEngine()
+		net := netsim.New(eng, cl)
+		e, err := pipeline.NewAsync(eng, net, pipeline.Config{
+			Model: m, Cluster: cl, Plan: plan, Scheme: netsim.RingAllReduce,
+		})
+		if err != nil {
+			panic(err)
+		}
+		e.Start(25)
+		eng.RunAll()
+		if e.Completed() != 25 {
+			panic(fmt.Sprintf("motivation run deadlock (%s)", m.Name))
+		}
+		return e.Throughput()
+	}
+	return run(false), run(true)
+}
+
+// motivationTables builds the two panels each motivation figure has:
+// (a) model influence at 25 Gbps, (b) network-speed influence on VGG16.
+func motivationTables(title string, change func(*cluster.Cluster)) (byModel, byNet *stats.Table) {
+	byModel = stats.NewTable(title+" (a) model influence @25Gbps",
+		"model", "actual (img/s)", "optimal (img/s)", "degradation")
+	for _, m := range model.MotivationModels() {
+		actual, optimal := motivationRun(m, 25, change)
+		byModel.AddF(m.Name, actual, optimal, fmt.Sprintf("%.0f%%", (1-actual/optimal)*100))
+	}
+	byNet = stats.NewTable(title+" (b) network influence, VGG16",
+		"bandwidth", "actual (img/s)", "optimal (img/s)", "degradation")
+	for _, g := range []float64{10, 25, 40, 100} {
+		actual, optimal := motivationRun(model.VGG16(), g, change)
+		byNet.AddF(fmt.Sprintf("%.0fGbps", g), actual, optimal, fmt.Sprintf("%.0f%%", (1-actual/optimal)*100))
+	}
+	return byModel, byNet
+}
+
+// Figure3 reproduces the dynamic-bandwidth motivation experiment: the
+// available bandwidth halves after planning.
+func Figure3() (byModel, byNet *stats.Table) {
+	return motivationTables("Figure 3 — bandwidth halved", func(cl *cluster.Cluster) {
+		cl.SetExtShareAll(0.5)
+	})
+}
+
+// Figure4 reproduces the GPU-contention motivation experiment: one
+// competing training job lands on every GPU.
+func Figure4() (byModel, byNet *stats.Table) {
+	return motivationTables("Figure 4 — GPU contention added", func(cl *cluster.Cluster) {
+		cl.AddCompetingJob()
+	})
+}
+
+// Figure5 reproduces the new-distributed-job experiment: bandwidth and
+// GPU share drop together.
+func Figure5() (byModel, byNet *stats.Table) {
+	return motivationTables("Figure 5 — new distributed job joins", func(cl *cluster.Cluster) {
+		cl.AddCompetingJob()
+		cl.SetExtShareAll(0.35)
+	})
+}
+
+// Figure6 reproduces the reversed process: an old distributed job
+// finishes, freeing bandwidth and GPUs. The "actual" plan was computed
+// under load; the optimal replans for the roomier cluster.
+func Figure6() (byModel, byNet *stats.Table) {
+	byModel = stats.NewTable("Figure 6 — old job finishes (a) model influence @25Gbps",
+		"model", "actual (img/s)", "optimal (img/s)", "gain")
+	byNet = stats.NewTable("Figure 6 — old job finishes (b) network influence, VGG16",
+		"bandwidth", "actual (img/s)", "optimal (img/s)", "gain")
+	run := func(m *model.Model, nicGbps float64) (float64, float64) {
+		mkLoaded := func() *cluster.Cluster {
+			cl := cluster.Testbed(cluster.Gbps(nicGbps))
+			cl.AddCompetingJob()
+			cl.SetExtShareAll(0.35)
+			return cl
+		}
+		workers := workerIDs(10)
+		// Plan while loaded (with the refined view: the job has been
+		// running here and knows its environment).
+		loaded := mkLoaded()
+		plan := OptimalPlan(m, loaded, workers, netsim.RingAllReduce)
+		// The old job finishes.
+		free := func(cl *cluster.Cluster) {
+			cl.RemoveCompetingJob()
+			cl.SetExtShareAll(0)
+		}
+		measure := func(replan bool) float64 {
+			cl := mkLoaded()
+			free(cl)
+			p := plan
+			if replan {
+				p = OptimalPlan(m, cl, workers, netsim.RingAllReduce, plan)
+			}
+			eng := sim.NewEngine()
+			net := netsim.New(eng, cl)
+			e, err := pipeline.NewAsync(eng, net, pipeline.Config{
+				Model: m, Cluster: cl, Plan: p, Scheme: netsim.RingAllReduce,
+			})
+			if err != nil {
+				panic(err)
+			}
+			e.Start(25)
+			eng.RunAll()
+			return e.Throughput()
+		}
+		return measure(false), measure(true)
+	}
+	for _, m := range model.MotivationModels() {
+		actual, optimal := run(m, 25)
+		byModel.AddF(m.Name, actual, optimal, stats.Speedup(optimal, actual))
+	}
+	for _, g := range []float64{10, 25, 40, 100} {
+		actual, optimal := run(model.VGG16(), g)
+		byNet.AddF(fmt.Sprintf("%.0fGbps", g), actual, optimal, stats.Speedup(optimal, actual))
+	}
+	return byModel, byNet
+}

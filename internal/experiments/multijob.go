@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"autopipe/internal/autopipe"
+	"autopipe/internal/cluster"
+	"autopipe/internal/meta"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/pipeline"
+	"autopipe/internal/sim"
+	"autopipe/internal/stats"
+)
+
+// MultiJobResult reports one co-scheduled pair of jobs.
+type MultiJobResult struct {
+	Label       string
+	ThroughputA float64
+	ThroughputB float64
+}
+
+// Aggregate returns the sum of both jobs' throughput — the paper's
+// "overall training performance" when AutoPipe runs on multiple jobs.
+func (r MultiJobResult) Aggregate() float64 { return r.ThroughputA + r.ThroughputB }
+
+// RunMultiJob co-schedules two jobs on one simulated cluster: job A on
+// workers 0–4, job B on workers 5–9. They own disjoint GPUs but share
+// NICs (GPU 4 and GPU 5 live on the same server), so their flows contend
+// in the network — the coupling the paper's multi-job observation is
+// about. autoA/autoB select AutoPipe or frozen PipeDream per job.
+func RunMultiJob(mA, mB *model.Model, nicGbps float64, autoA, autoB bool, batches int) (MultiJobResult, error) {
+	cl := cluster.Testbed(cluster.Gbps(nicGbps))
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	workersA := []int{0, 1, 2, 3, 4}
+	workersB := []int{5, 6, 7, 8, 9}
+
+	type job struct {
+		completed func() int
+		tp        func() float64
+	}
+	start := func(m *model.Model, workers []int, auto bool) (job, error) {
+		if auto {
+			c, err := autopipe.New(eng, net, autopipe.Config{
+				Model: m, Cluster: cl, Workers: workers,
+				Scheme:     netsim.RingAllReduce,
+				Predictor:  meta.AnalyticPredictor{Scheme: netsim.RingAllReduce},
+				CheckEvery: 3,
+			})
+			if err != nil {
+				return job{}, err
+			}
+			c.Start(batches)
+			return job{completed: c.Engine().Completed, tp: c.Throughput}, nil
+		}
+		cm := partition.NewPipeDreamCost(m, cl, workers[0], cluster.Gbps(nicGbps))
+		plan := partition.PipeDream(cm, workers)
+		e, err := pipeline.NewAsync(eng, net, pipeline.Config{
+			Model: m, Cluster: cl, Plan: plan, Scheme: netsim.RingAllReduce,
+		})
+		if err != nil {
+			return job{}, err
+		}
+		e.Start(batches)
+		return job{completed: e.Completed, tp: e.Throughput}, nil
+	}
+
+	a, err := start(mA, workersA, autoA)
+	if err != nil {
+		return MultiJobResult{}, err
+	}
+	b, err := start(mB, workersB, autoB)
+	if err != nil {
+		return MultiJobResult{}, err
+	}
+	eng.RunAll()
+	if a.completed() != batches || b.completed() != batches {
+		return MultiJobResult{}, fmt.Errorf("experiments: multi-job deadlock (%d, %d of %d)",
+			a.completed(), b.completed(), batches)
+	}
+	name := func(auto bool) string {
+		if auto {
+			return "AutoPipe"
+		}
+		return "PipeDream"
+	}
+	return MultiJobResult{
+		Label:       fmt.Sprintf("%s + %s", name(autoA), name(autoB)),
+		ThroughputA: a.tp(),
+		ThroughputB: b.tp(),
+	}, nil
+}
+
+// MultiJobTable compares the three co-scheduling mixes the paper's
+// multi-job observation implies: both frozen, mixed, both AutoPipe.
+func MultiJobTable(nicGbps float64, batches int) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Multi-job deployment — ResNet50 + VGG16 sharing NICs @%.0fGbps", nicGbps),
+		"mix", "job A (ResNet50)", "job B (VGG16)", "aggregate")
+	for _, mix := range []struct{ a, b bool }{{false, false}, {true, false}, {true, true}} {
+		r, err := RunMultiJob(model.ResNet50(), model.VGG16(), nicGbps, mix.a, mix.b, batches)
+		if err != nil {
+			panic(err)
+		}
+		t.AddF(r.Label, r.ThroughputA, r.ThroughputB, r.Aggregate())
+	}
+	return t
+}

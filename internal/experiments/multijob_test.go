@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+
+	"autopipe/internal/model"
+)
+
+func TestMultiJobCompletes(t *testing.T) {
+	r, err := RunMultiJob(model.ResNet50(), model.VGG16(), 10, true, true, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ThroughputA <= 0 || r.ThroughputB <= 0 {
+		t.Fatalf("bad throughputs %+v", r)
+	}
+}
+
+func TestMultiJobAutoPipeImprovesAggregate(t *testing.T) {
+	// The paper's observation: deploying AutoPipe on multiple co-located
+	// jobs improves overall training performance. Both-AutoPipe must
+	// beat both-frozen on aggregate, and going from 1 to 2 managed jobs
+	// must not hurt.
+	frozen, err := RunMultiJob(model.ResNet50(), model.VGG16(), 10, false, false, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := RunMultiJob(model.ResNet50(), model.VGG16(), 10, true, false, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := RunMultiJob(model.ResNet50(), model.VGG16(), 10, true, true, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Aggregate() <= frozen.Aggregate() {
+		t.Fatalf("both-AutoPipe aggregate %v not above both-frozen %v",
+			both.Aggregate(), frozen.Aggregate())
+	}
+	if mixed.Aggregate() < frozen.Aggregate()*0.98 {
+		t.Fatalf("one managed job hurt the aggregate: %v vs %v",
+			mixed.Aggregate(), frozen.Aggregate())
+	}
+}
+
+func TestMultiJobTableShape(t *testing.T) {
+	tbl := MultiJobTable(10, 16)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Aggregate column parses and grows from frozen to both-AutoPipe.
+	first, err := strconv.ParseFloat(tbl.Rows[0][3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := strconv.ParseFloat(tbl.Rows[2][3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last <= first {
+		t.Fatalf("aggregate did not improve: %v → %v", first, last)
+	}
+}
+
+func TestMultiJobDeterministic(t *testing.T) {
+	a, err := RunMultiJob(model.ResNet50(), model.VGG16(), 25, true, true, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMultiJob(model.ResNet50(), model.VGG16(), 25, true, true, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ThroughputA != b.ThroughputA || a.ThroughputB != b.ThroughputB {
+		t.Fatalf("nondeterministic multi-job: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/meta"
+	"autopipe/internal/model"
+	"autopipe/internal/partition"
+	"autopipe/internal/profile"
+	"autopipe/internal/rl"
+	"autopipe/internal/stats"
+)
+
+// Figure12 measures the wall-clock computation time of worker-partition
+// modelling: PipeDream's DP versus AutoPipe's meta-network candidate
+// scoring plus the RL arbiter decision, across the three models. The
+// paper's claim: meta-network + RL cost is well below the DP and under
+// one second total.
+func Figure12() *stats.Table {
+	t := stats.NewTable("Figure 12 — partition computation time (seconds)",
+		"model", "PipeDream DP", "Meta-network", "RL model", "AutoPipe total")
+	rng := rand.New(rand.NewSource(1))
+	net := meta.NewNetwork(rng)
+	arb := rl.NewArbiter(rng)
+	for _, m := range model.Zoo() {
+		cl := cluster.Testbed(cluster.Gbps(25))
+		workers := workerIDs(10)
+		// PipeDream DP.
+		start := time.Now()
+		cm := partition.NewPipeDreamCost(m, cl, 0, cluster.Gbps(25))
+		plan := partition.PipeDream(cm, workers)
+		dpTime := time.Since(start).Seconds()
+
+		pr := profile.NewProfiler(m, cl)
+		prof := pr.Observe()
+		h := &meta.History{}
+		h.Push(meta.EncodeDynamicStep(prof, 0.5))
+
+		// Meta-network: score the whole two-worker-swap neighbourhood.
+		start = time.Now()
+		pred := meta.NetPredictor{Net: net}
+		cur := pred.PredictSpeed(prof, plan, m.MiniBatch, h)
+		best, bestSpeed := plan, cur
+		for _, q := range append(partition.NeighborsWithMerge(plan), partition.InFlightVariants(plan, 0)...) {
+			if s := pred.PredictSpeed(prof, q, m.MiniBatch, h); s > bestSpeed {
+				bestSpeed, best = s, q
+			}
+		}
+		metaTime := time.Since(start).Seconds()
+
+		// RL arbiter: one decision.
+		start = time.Now()
+		state := rl.State{
+			Profile: prof, MiniBatch: m.MiniBatch,
+			Current: plan, Candidate: best,
+			PredCurrent: cur, PredCandidate: bestSpeed,
+			SwitchCost: meta.AnalyticSwitchCost(prof, m, plan, best),
+		}
+		arb.Decide(rl.Encode(state))
+		rlTime := time.Since(start).Seconds()
+
+		t.AddF(m.Name, dpTime, metaTime, rlTime, metaTime+rlTime)
+	}
+	return t
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/pipeline"
+	"autopipe/internal/sim"
+	"autopipe/internal/stats"
+)
+
+// Two-tier topology study: when the cluster has oversubscribed rack
+// uplinks, PipeDream's flat uniform-bandwidth assumption routes heavy
+// boundaries across the weak core; the hierarchical planner keeps them
+// inside racks.
+
+func rackCluster(nicGbps, uplinkGbps float64) *cluster.Cluster {
+	return cluster.NewCluster(cluster.Config{
+		Servers: 4, GPUsPerServer: 2, GPUType: cluster.P100,
+		NICBwBps: cluster.Gbps(nicGbps),
+		Racks:    2, RackUplinkBps: cluster.Gbps(uplinkGbps),
+	})
+}
+
+func rackWorkers(cl *cluster.Cluster) [][]int {
+	out := make([][]int, cl.Racks)
+	for w := 0; w < cl.NumGPUs(); w++ {
+		r := cl.ServerOf(w).Rack
+		out[r] = append(out[r], w)
+	}
+	return out
+}
+
+// RackPlanThroughput measures one planner's plan on the two-tier
+// cluster.
+func RackPlanThroughput(m *model.Model, nicGbps, uplinkGbps float64, hierarchical bool, batches int) float64 {
+	cl := rackCluster(nicGbps, uplinkGbps)
+	cm := partition.NewPipeDreamCost(m, cl, 0, cluster.Gbps(nicGbps))
+	var plan partition.Plan
+	if hierarchical {
+		plan = partition.PipeDreamHierarchical(cm, rackWorkers(cl), cl.RackUplinkBps)
+	} else {
+		plan = partition.PipeDream(cm, workerIDs(cl.NumGPUs()))
+	}
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	e, err := pipeline.NewAsync(eng, net, pipeline.Config{
+		Model: m, Cluster: cl, Plan: plan, Scheme: netsim.RingAllReduce,
+	})
+	if err != nil {
+		panic(err)
+	}
+	e.Start(batches)
+	eng.RunAll()
+	if e.Completed() != batches {
+		panic(fmt.Sprintf("rack study deadlock (%s, hier=%v)", m.Name, hierarchical))
+	}
+	return e.Throughput()
+}
+
+// RackTable sweeps uplink oversubscription for VGG16 (the boundary-heavy
+// model) comparing flat and hierarchical planning.
+func RackTable(batches int) *stats.Table {
+	t := stats.NewTable("Two-tier topology — VGG16, 2 racks × 4 GPUs, 40G NICs",
+		"uplink", "flat DP (img/s)", "hierarchical DP (img/s)", "ratio")
+	for _, up := range []float64{2.5, 5, 10, 40} {
+		flat := RackPlanThroughput(model.VGG16(), 40, up, false, batches)
+		hier := RackPlanThroughput(model.VGG16(), 40, up, true, batches)
+		t.AddF(fmt.Sprintf("%.1fG", up), flat, hier, stats.Speedup(hier, flat))
+	}
+	return t
+}

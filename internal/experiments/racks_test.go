@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"testing"
+
+	"autopipe/internal/model"
+)
+
+func TestHierarchicalBeatsFlatOnWeakUplink(t *testing.T) {
+	// At 2.5G uplink under 40G NICs (16:1 oversubscription) the
+	// hierarchical plan must clearly beat the flat plan for the
+	// boundary-heavy VGG16.
+	flat := RackPlanThroughput(model.VGG16(), 40, 2.5, false, 16)
+	hier := RackPlanThroughput(model.VGG16(), 40, 2.5, true, 16)
+	if hier <= flat {
+		t.Fatalf("hierarchical %v not above flat %v on oversubscribed uplink", hier, flat)
+	}
+}
+
+func TestHierarchicalHarmlessOnFullBisection(t *testing.T) {
+	// With uplink = NIC speed the two planners should be comparable.
+	flat := RackPlanThroughput(model.AlexNet(), 40, 40, false, 16)
+	hier := RackPlanThroughput(model.AlexNet(), 40, 40, true, 16)
+	if hier < flat*0.8 {
+		t.Fatalf("hierarchical %v far below flat %v on full-bisection fabric", hier, flat)
+	}
+}
+
+func TestRackTableShape(t *testing.T) {
+	tbl := RackTable(10)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}

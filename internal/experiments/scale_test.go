@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"autopipe/internal/autopipe"
+	"autopipe/internal/cluster"
+	"autopipe/internal/meta"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/sim"
+)
+
+func TestScaleSixtyFourGPUs(t *testing.T) {
+	// The simulator must handle clusters well beyond the paper's testbed:
+	// 16 servers × 4 GPUs training BERT-48 under AutoPipe, with churn,
+	// completing in bounded real time.
+	start := time.Now()
+	cl := cluster.NewCluster(cluster.Config{
+		Servers: 16, GPUsPerServer: 4, GPUType: cluster.V100,
+		NICBwBps: cluster.Gbps(40), Racks: 4, RackUplinkBps: cluster.Gbps(40),
+	})
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	m := model.BERT48()
+	workers := workerIDs(64)
+	c, err := autopipe.New(eng, net, autopipe.Config{
+		Model: m, Cluster: cl, Workers: workers,
+		Scheme:     netsim.RingAllReduce,
+		Predictor:  meta.AnalyticPredictor{Scheme: netsim.RingAllReduce},
+		CheckEvery: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Schedule(5, "contend", func() {
+		cl.AddCompetingJob()
+		net.OnCapacityChange()
+	})
+	const batches = 30
+	c.Start(batches)
+	eng.RunAll()
+	if c.Engine().Completed() != batches {
+		t.Fatalf("scale run stalled at %d/%d", c.Engine().Completed(), batches)
+	}
+	if err := c.Plan().Validate(m.NumLayers(), 64); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("64-GPU simulation took %v — performance regression", elapsed)
+	}
+}

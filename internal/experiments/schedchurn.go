@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"autopipe/internal/autopipe"
+	"autopipe/internal/cluster"
+	"autopipe/internal/meta"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/pipeline"
+	"autopipe/internal/scheduler"
+	"autopipe/internal/sim"
+	"autopipe/internal/stats"
+)
+
+// Scheduler-driven churn study: instead of hand-written traces, a gang
+// scheduler places and removes competing tenant jobs (with locality
+// constraints) while the measured job trains — the full shared-cluster
+// picture of the paper's motivation.
+
+// SchedulerChurnRun trains one job for `batches` mini-batches while a
+// generated tenant workload churns the cluster under the given placement
+// policy. Returns the wall time.
+func SchedulerChurnRun(sys System, policy scheduler.Policy, seed int64, batches int) float64 {
+	cl := cluster.Testbed(cluster.Gbps(25))
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	sched := scheduler.New(eng, cl, net, policy)
+	rng := rand.New(rand.NewSource(seed))
+	sched.SubmitAll(scheduler.GenerateWorkload(rng, scheduler.WorkloadConfig{
+		Jobs: 12, Horizon: 60, MeanDuration: 20, GangSizes: []int{2, 4},
+	}))
+	m := model.ResNet50()
+	workers := workerIDs(10)
+	switch sys {
+	case PipeDream:
+		cm := partition.NewPipeDreamCost(m, cl, 0, cluster.Gbps(25))
+		plan := partition.PipeDream(cm, workers)
+		e, err := pipeline.NewAsync(eng, net, pipeline.Config{
+			Model: m, Cluster: cl, Plan: plan, Scheme: netsim.RingAllReduce,
+		})
+		if err != nil {
+			panic(err)
+		}
+		e.Start(batches)
+		eng.RunAll()
+		if e.Completed() != batches {
+			panic("scheduler-churn pipedream deadlock")
+		}
+		// The simulation drains tenant events past the job's end; the
+		// job's cost is its own last completion.
+		return float64(e.Completions()[batches-1])
+	default:
+		c, err := autopipe.New(eng, net, autopipe.Config{
+			Model: m, Cluster: cl, Workers: workers,
+			Scheme:     netsim.RingAllReduce,
+			Predictor:  meta.AnalyticPredictor{Scheme: netsim.RingAllReduce},
+			CheckEvery: 3, UseMergeNeighborhood: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		c.Start(batches)
+		eng.RunAll()
+		if c.Engine().Completed() != batches {
+			panic("scheduler-churn autopipe deadlock")
+		}
+		return float64(c.Engine().Completions()[batches-1])
+	}
+}
+
+// SchedulerChurnTable compares PipeDream and AutoPipe under both
+// placement policies across seeds.
+func SchedulerChurnTable(batches int, seeds []int64) *stats.Table {
+	t := stats.NewTable("Scheduler-driven churn — ResNet50, 12 tenant gangs @25Gbps",
+		"policy", "seed", "PipeDream wall (s)", "AutoPipe wall (s)", "speedup")
+	for _, policy := range []scheduler.Policy{scheduler.Pack, scheduler.Spread} {
+		for _, seed := range seeds {
+			pd := SchedulerChurnRun(PipeDream, policy, seed, batches)
+			ap := SchedulerChurnRun(AutoPipe, policy, seed, batches)
+			t.AddF(policy.String(), fmt.Sprintf("%d", seed), pd, ap, stats.Speedup(pd, ap))
+		}
+	}
+	return t
+}

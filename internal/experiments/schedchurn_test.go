@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"testing"
+
+	"autopipe/internal/scheduler"
+)
+
+func TestSchedulerChurnAutoPipeWins(t *testing.T) {
+	// Across seeds and policies, AutoPipe must on average beat frozen
+	// PipeDream under scheduler-driven churn (individual seeds may tie
+	// when the churn barely touches the job).
+	var pdTotal, apTotal float64
+	for _, seed := range []int64{1, 2, 3} {
+		pdTotal += SchedulerChurnRun(PipeDream, scheduler.Pack, seed, 40)
+		apTotal += SchedulerChurnRun(AutoPipe, scheduler.Pack, seed, 40)
+	}
+	if apTotal >= pdTotal {
+		t.Fatalf("AutoPipe total %v not below PipeDream %v under scheduler churn", apTotal, pdTotal)
+	}
+}
+
+func TestSchedulerChurnTableShape(t *testing.T) {
+	tbl := SchedulerChurnTable(25, []int64{1})
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestSchedulerChurnDeterministic(t *testing.T) {
+	a := SchedulerChurnRun(AutoPipe, scheduler.Spread, 7, 25)
+	b := SchedulerChurnRun(AutoPipe, scheduler.Spread, 7, 25)
+	if a != b {
+		t.Fatalf("nondeterministic churn run: %v vs %v", a, b)
+	}
+}

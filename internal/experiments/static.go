@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/pipeline"
+	"autopipe/internal/stats"
+)
+
+// Figure8Cell identifies one of the nine panels of Figure 8.
+type Figure8Cell struct {
+	Model     *model.Model
+	Scheme    netsim.SyncScheme
+	Framework pipeline.Framework
+}
+
+// Figure8Cells returns the paper's nine (model, scheme, framework)
+// panels in figure order: (a)-(c) PS/TensorFlow, (d)-(f) PS/MXNet,
+// (g)-(i) Ring/PyTorch, each over ResNet50, VGG16, AlexNet.
+func Figure8Cells() []Figure8Cell {
+	var cells []Figure8Cell
+	combos := []struct {
+		scheme netsim.SyncScheme
+		fw     pipeline.Framework
+	}{
+		{netsim.ParameterServer, pipeline.TensorFlow},
+		{netsim.ParameterServer, pipeline.MXNet},
+		{netsim.RingAllReduce, pipeline.PyTorch},
+	}
+	for _, c := range combos {
+		for _, m := range model.Zoo() {
+			cells = append(cells, Figure8Cell{Model: m, Scheme: c.scheme, Framework: c.fw})
+		}
+	}
+	return cells
+}
+
+// Figure8Panel measures one panel: throughput of Baseline, PipeDream and
+// AutoPipe across the four NIC speeds, with three identical jobs sharing
+// the cluster (§5.2).
+func Figure8Panel(cell Figure8Cell, batches int) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 8 — %s, %s, %s", cell.Model.Name, cell.Scheme, cell.Framework.Name),
+		"bandwidth", "Baseline", "PipeDream", "AutoPipe", "AP/PD", "AP/Base")
+	for _, g := range []float64{10, 25, 40, 100} {
+		row := make([]float64, 3)
+		for i, sys := range []System{Baseline, PipeDream, AutoPipe} {
+			tp, err := Run(Scenario{
+				Model: cell.Model, NICGbps: g, Scheme: cell.Scheme,
+				Framework: cell.Framework, System: sys,
+				SharedJobs: 2, Batches: batches,
+			})
+			if err != nil {
+				panic(err)
+			}
+			row[i] = tp
+		}
+		t.AddF(fmt.Sprintf("%.0fGbps", g), row[0], row[1], row[2],
+			stats.Speedup(row[2], row[1]), stats.Speedup(row[2], row[0]))
+	}
+	return t
+}
+
+// Figure8 measures all nine panels.
+func Figure8(batches int) []*stats.Table {
+	var out []*stats.Table
+	for _, cell := range Figure8Cells() {
+		out = append(out, Figure8Panel(cell, batches))
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package meta
+
+import (
+	"math"
+	"math/rand"
+
+	"autopipe/internal/model"
+	"autopipe/internal/nn"
+	"autopipe/internal/partition"
+	"autopipe/internal/pipeline"
+	"autopipe/internal/profile"
+	"autopipe/internal/tensor"
+)
+
+// CostFeatureDim is the input width of the switching-cost network.
+const CostFeatureDim = 6
+
+// CostNet predicts the cost (in seconds of lost training time) of
+// switching from one partition to another — the paper applies "a similar
+// meta-network as the speed prediction model" for this (§4.3).
+type CostNet struct {
+	net *nn.Sequential
+}
+
+// NewCostNet builds an untrained switching-cost network.
+func NewCostNet(rng *rand.Rand) *CostNet {
+	return &CostNet{net: nn.NewSequential(
+		nn.NewLinear(CostFeatureDim, 16, rng),
+		nn.NewReLU(),
+		nn.NewLinear(16, 8, rng),
+		nn.NewReLU(),
+		nn.NewLinear(8, 1, rng),
+	)}
+}
+
+// EncodeCostFeatures builds the cost-network input for a proposed switch.
+func EncodeCostFeatures(p *profile.Profile, m *model.Model, oldPlan, newPlan partition.Plan) tensor.Vec {
+	volume := pipeline.MigrationVolume(m, oldPlan, newPlan)
+	minBw := math.Inf(1)
+	for _, w := range newPlan.AllWorkers() {
+		if p.Bandwidth[w] < minBw {
+			minBw = p.Bandwidth[w]
+		}
+	}
+	fine := 0.0
+	if pipeline.BoundaryCompatible(oldPlan, newPlan) {
+		fine = 1
+	}
+	changed := float64(len(partition.DiffWorkers(oldPlan, newPlan)))
+	return tensor.Vec{
+		math.Log10(float64(volume)+1) / 12,
+		minBw / 100e9,
+		float64(oldPlan.InFlight) / 8,
+		float64(len(oldPlan.Stages)) / MaxWorkers,
+		fine,
+		changed / MaxWorkers,
+	}
+}
+
+// PredictSeconds returns the predicted switch cost for a feature vector.
+func (c *CostNet) PredictSeconds(f tensor.Vec) float64 {
+	out := c.net.Forward(f)
+	c.net.Reset()
+	v := out[0]
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// CostSample is a labelled switching-cost example.
+type CostSample struct {
+	X tensor.Vec
+	Y float64 // seconds
+}
+
+// Train fits the cost network.
+func (c *CostNet) Train(samples []CostSample, epochs int, lr float64) float64 {
+	ns := make([]nn.Sample, len(samples))
+	for i, s := range samples {
+		ns[i] = nn.Sample{X: s.X, Y: tensor.Vec{s.Y}}
+	}
+	opt := nn.NewAdam(lr)
+	opt.Clip = 5
+	return nn.Fit(c.net, ns, nn.FitConfig{
+		Epochs: epochs, BatchSize: 8,
+		Loss: nn.Huber{Delta: 0.5}, Optimizer: opt,
+	})
+}
+
+// AnalyticSwitchCost estimates switch cost without a trained network:
+// migration transfer time plus, for a full restart, the pipeline
+// drain-and-refill bubble (≈ in-flight batches × bottleneck time).
+func AnalyticSwitchCost(p *profile.Profile, m *model.Model, oldPlan, newPlan partition.Plan) float64 {
+	volume := pipeline.MigrationVolume(m, oldPlan, newPlan)
+	minBw := math.Inf(1)
+	for _, w := range newPlan.AllWorkers() {
+		if p.Bandwidth[w] < minBw {
+			minBw = p.Bandwidth[w]
+		}
+	}
+	if minBw <= 0 || math.IsInf(minBw, 1) {
+		minBw = 1e9
+	}
+	transfer := float64(volume*8) / minBw
+	if pipeline.BoundaryCompatible(oldPlan, newPlan) {
+		// Fine-grained: transfers overlap training; only the commit
+		// pauses bite, roughly per moved layer.
+		layers := 0.0
+		for _, w := range partition.DiffWorkers(oldPlan, newPlan) {
+			si := newPlan.WorkerStage(w)
+			oi := oldPlan.WorkerStage(w)
+			if si >= 0 && oi >= 0 {
+				layers += math.Abs(float64(newPlan.Stages[si].NumLayers() - oldPlan.Stages[oi].NumLayers()))
+			}
+		}
+		return 0.1*transfer + 0.002*layers
+	}
+	// Restart: drain the pipeline (in-flight × per-batch bottleneck),
+	// migrate, refill.
+	speed := AnalyticPredictor{}.PredictSpeed(p, oldPlan, m.MiniBatch, nil)
+	perBatch := 0.0
+	if speed > 0 {
+		perBatch = float64(m.MiniBatch) / speed
+	}
+	return transfer + float64(oldPlan.InFlight)*perBatch
+}

@@ -1,0 +1,122 @@
+package meta
+
+import (
+	"math/rand"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/pipeline"
+	"autopipe/internal/profile"
+)
+
+// DatasetConfig parametrises synthetic-environment dataset generation
+// for offline training. The simulator itself is the ground truth: for
+// every sampled (environment, partition) pair we run the pipeline engine
+// and record the measured normalized speed.
+type DatasetConfig struct {
+	Rng *rand.Rand
+	// N is the number of samples to generate.
+	N int
+	// Models to sample workloads from; defaults to a mix of synthetic
+	// models plus AlexNet (cheap to simulate).
+	Models []*model.Model
+	// Batches per ground-truth measurement (default 6).
+	Batches int
+	// Workers in the sampled jobs (default 4; ≤ testbed size 10).
+	Workers int
+}
+
+// Generate produces labelled samples. Deterministic given cfg.Rng.
+func Generate(cfg DatasetConfig) []Sample {
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	if cfg.Batches < 2 {
+		cfg.Batches = 6
+	}
+	if cfg.Workers < 2 {
+		cfg.Workers = 4
+	}
+	if len(cfg.Models) == 0 {
+		cfg.Models = []*model.Model{
+			model.Uniform(8, 3e10, 200000),
+			model.Uniform(12, 1e10, 400000),
+			model.AlexNet(),
+		}
+	}
+	var out []Sample
+	for len(out) < cfg.N {
+		m := cfg.Models[rng.Intn(len(cfg.Models))]
+		// Sample an environment.
+		bwGbps := []float64{10, 25, 40, 100}[rng.Intn(4)] * (0.8 + 0.4*rng.Float64())
+		cl := cluster.Testbed(cluster.Gbps(bwGbps))
+		if j := rng.Intn(3); j > 0 {
+			for k := 0; k < j; k++ {
+				cl.AddCompetingJob()
+			}
+		}
+		if rng.Intn(2) == 0 {
+			cl.SetExtShareAll(0.4 * rng.Float64())
+		}
+		workers := make([]int, cfg.Workers)
+		for i := range workers {
+			workers[i] = i
+		}
+		// Sample a partition: PipeDream's plan, randomly perturbed.
+		cm := partition.NewPipeDreamCost(m, cl, 0, cl.Servers[0].NICBwBps)
+		plan := partition.PipeDream(cm, workers)
+		for steps := rng.Intn(4); steps > 0; steps-- {
+			ns := partition.NeighborsWithMerge(plan)
+			if len(ns) == 0 {
+				break
+			}
+			plan = ns[rng.Intn(len(ns))]
+		}
+		scheme := netsim.SyncScheme(rng.Intn(2))
+		// Ground truth from the DES.
+		res, err := pipeline.MeasureAsync(pipeline.Config{
+			Model: m, Cluster: cl, Plan: plan, Scheme: scheme,
+		}, cfg.Batches)
+		if err != nil {
+			continue
+		}
+		prof := profile.NewProfiler(m, cl).Observe()
+		ideal := IdealThroughput(prof, m.MiniBatch)
+		if ideal <= 0 {
+			continue
+		}
+		h := &History{}
+		steps := 3 + rng.Intn(SeqLen-2)
+		for i := 0; i < steps; i++ {
+			h.Push(EncodeDynamicStep(prof, res.Throughput/ideal))
+		}
+		out = append(out, Sample{
+			F: BuildFeatures(prof, plan, m.MiniBatch, h),
+			Y: res.Throughput / ideal,
+		})
+	}
+	return out
+}
+
+// Split partitions samples into train/test at the given test fraction.
+func Split(samples []Sample, testFrac float64, rng *rand.Rand) (train, test []Sample) {
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	if rng != nil {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	}
+	nTest := int(float64(len(samples)) * testFrac)
+	for i, k := range idx {
+		if i < nTest {
+			test = append(test, samples[k])
+		} else {
+			train = append(train, samples[k])
+		}
+	}
+	return train, test
+}

@@ -1,0 +1,184 @@
+// Package meta implements AutoPipe's meta-network (paper §4.2, Fig. 7):
+// an LSTM over the per-iteration dynamic metrics combined with the static
+// metrics and a candidate worker-partition encoding, predicting the
+// actual training speed of that partition — plus the companion network
+// that predicts switching cost (§4.3), and the offline-training /
+// online-adaptation (transfer learning) machinery.
+package meta
+
+import (
+	"math"
+
+	"autopipe/internal/partition"
+	"autopipe/internal/profile"
+	"autopipe/internal/tensor"
+)
+
+// Fixed feature-vector geometry. MaxWorkers bounds the padded per-worker
+// channels; SeqLen is the dynamic-history window the LSTM consumes.
+const (
+	MaxWorkers = 16
+	SeqLen     = 8
+	// StaticDim: [L, N, log params, log activations, mini-batch].
+	StaticDim = 5
+	// PartitionDim: per worker (layer-count share, compute-time share),
+	// plus per worker boundary-output share.
+	PartitionDim = 3 * MaxWorkers
+	// DynStepDim: per worker (bandwidth, speed factor) plus last
+	// observed normalized throughput.
+	DynStepDim = 2*MaxWorkers + 1
+)
+
+// Features is one prediction input.
+type Features struct {
+	Static    tensor.Vec   // StaticDim
+	Partition tensor.Vec   // PartitionDim
+	Dynamic   []tensor.Vec // SeqLen × DynStepDim
+}
+
+// Sample is a labelled training example: features plus the observed
+// normalized speed (observed throughput / IdealThroughput).
+type Sample struct {
+	F Features
+	Y float64
+}
+
+// IdealThroughput is the linear-scaling upper bound used to normalize
+// speeds: N workers, perfect split, zero communication.
+func IdealThroughput(p *profile.Profile, miniBatch int) float64 {
+	if p.N == 0 {
+		return 1
+	}
+	mean := 0.0
+	for w := 0; w < p.N; w++ {
+		mean += p.TotalComputeTime(w)
+	}
+	mean /= float64(p.N)
+	if mean <= 0 {
+		return 1
+	}
+	return float64(p.N) * float64(miniBatch) / mean
+}
+
+// EncodeStatic builds the static-metric feature block from a profile.
+func EncodeStatic(p *profile.Profile, miniBatch int) tensor.Vec {
+	var params, acts int64
+	for i := 0; i < p.L; i++ {
+		params += p.ParamBytes[i]
+		acts += p.OutBytes[i]
+	}
+	return tensor.Vec{
+		float64(p.L) / 128,
+		float64(p.N) / MaxWorkers,
+		math.Log10(float64(params)+1) / 12,
+		math.Log10(float64(acts)+1) / 12,
+		float64(miniBatch) / 256,
+	}
+}
+
+// EncodePartition builds the worker-partition encoding: the paper
+// describes "an array with size N, each element represents the assigned
+// layers of each worker"; we add the compute-time share and boundary
+// output share so the network sees cost, not just counts.
+func EncodePartition(p *profile.Profile, plan partition.Plan) tensor.Vec {
+	v := tensor.NewVec(PartitionDim)
+	if p.L == 0 {
+		return v
+	}
+	var totalOut float64
+	for i := 0; i < p.L; i++ {
+		totalOut += float64(p.OutBytes[i])
+	}
+	for _, s := range plan.Stages {
+		for _, w := range s.Workers {
+			if w >= MaxWorkers {
+				continue
+			}
+			v[w] = float64(s.End-s.Start) / float64(p.L)
+			// Compute-time share on this worker's own clock.
+			tot := 0.0
+			in := 0.0
+			for j := 0; j < p.L; j++ {
+				t := p.FP[w][j] + p.BP[w][j]
+				tot += t
+				if j >= s.Start && j < s.End {
+					in += t
+				}
+			}
+			if tot > 0 {
+				v[MaxWorkers+w] = in / tot / float64(len(s.Workers))
+			}
+			if totalOut > 0 && s.End-1 < p.L {
+				v[2*MaxWorkers+w] = float64(p.OutBytes[s.End-1]) / totalOut
+			}
+		}
+	}
+	return v
+}
+
+// EncodeDynamicStep builds one LSTM timestep from a profile observation
+// and the throughput observed that iteration (normalized; pass 0 when
+// unknown).
+func EncodeDynamicStep(p *profile.Profile, normThroughput float64) tensor.Vec {
+	v := tensor.NewVec(DynStepDim)
+	// Reference speed: fastest worker this step.
+	fastest := math.Inf(1)
+	for w := 0; w < p.N && w < MaxWorkers; w++ {
+		if t := p.TotalComputeTime(w); t < fastest {
+			fastest = t
+		}
+	}
+	for w := 0; w < p.N && w < MaxWorkers; w++ {
+		v[w] = p.Bandwidth[w] / 100e9
+		if t := p.TotalComputeTime(w); t > 0 && !math.IsInf(fastest, 1) {
+			v[MaxWorkers+w] = fastest / t // 1 = full speed, <1 = contended
+		}
+	}
+	v[2*MaxWorkers] = normThroughput
+	return v
+}
+
+// History accumulates the per-iteration dynamic steps in a fixed window.
+type History struct {
+	steps []tensor.Vec
+}
+
+// Push appends a step, keeping the last SeqLen entries.
+func (h *History) Push(step tensor.Vec) {
+	h.steps = append(h.steps, step)
+	if len(h.steps) > SeqLen {
+		h.steps = h.steps[len(h.steps)-SeqLen:]
+	}
+}
+
+// Window returns exactly SeqLen steps, left-padded by repeating the
+// oldest available step (zeros when empty).
+func (h *History) Window() []tensor.Vec {
+	out := make([]tensor.Vec, 0, SeqLen)
+	if len(h.steps) == 0 {
+		for i := 0; i < SeqLen; i++ {
+			out = append(out, tensor.NewVec(DynStepDim))
+		}
+		return out
+	}
+	for i := len(h.steps); i < SeqLen; i++ {
+		out = append(out, h.steps[0].Clone())
+	}
+	for _, s := range h.steps {
+		out = append(out, s.Clone())
+	}
+	return out
+}
+
+// Len returns the number of recorded steps (capped at SeqLen).
+func (h *History) Len() int { return len(h.steps) }
+
+// BuildFeatures assembles a full feature vector for (profile, plan) given
+// the recorded history.
+func BuildFeatures(p *profile.Profile, plan partition.Plan, miniBatch int, h *History) Features {
+	return Features{
+		Static:    EncodeStatic(p, miniBatch),
+		Partition: EncodePartition(p, plan),
+		Dynamic:   h.Window(),
+	}
+}

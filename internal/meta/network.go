@@ -1,0 +1,186 @@
+package meta
+
+import (
+	"io"
+	"math/rand"
+
+	"autopipe/internal/nn"
+	"autopipe/internal/tensor"
+)
+
+// lstmHidden is the LSTM block width of the meta-network.
+const lstmHidden = 16
+
+// Network is the AutoPipe meta-network (Fig. 7): an LSTM digests the
+// dynamic-metric sequence; its final hidden state is concatenated with
+// the static metrics and the partition encoding and pushed through
+// fully-connected layers to a single predicted (normalized) speed.
+type Network struct {
+	lstm *nn.LSTM
+	head *nn.Sequential
+}
+
+// NewNetwork builds an untrained meta-network.
+func NewNetwork(rng *rand.Rand) *Network {
+	in := lstmHidden + StaticDim + PartitionDim
+	return &Network{
+		lstm: nn.NewLSTM(DynStepDim, lstmHidden, rng),
+		head: nn.NewSequential(
+			nn.NewLinear(in, 32, rng),
+			nn.NewReLU(),
+			nn.NewLinear(32, 16, rng),
+			nn.NewReLU(),
+			nn.NewLinear(16, 1, rng),
+		),
+	}
+}
+
+// Params returns every learnable parameter.
+func (n *Network) Params() []*nn.Param {
+	return append(n.lstm.Params(), n.head.Params()...)
+}
+
+// Predict returns the predicted normalized speed for the features.
+func (n *Network) Predict(f Features) float64 {
+	h := n.lstm.ForwardSeq(f.Dynamic)
+	n.lstm.Reset()
+	out := n.head.Forward(tensor.Concat(h, f.Static, f.Partition))
+	n.head.Reset()
+	return out[0]
+}
+
+// step runs one forward+backward pass for a sample and returns its loss.
+// Gradients accumulate into the parameters.
+func (n *Network) step(s Sample, loss nn.Loss) float64 {
+	h := n.lstm.ForwardSeq(s.F.Dynamic)
+	pred := n.head.Forward(tensor.Concat(h, s.F.Static, s.F.Partition))
+	target := tensor.Vec{s.Y}
+	l := loss.Value(pred, target)
+	dcat := n.head.Backward(loss.Grad(pred, target))
+	n.lstm.BackwardSeq(dcat[:lstmHidden])
+	return l
+}
+
+// TrainConfig controls offline training and online adaptation.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	// Loss defaults to Huber(Δ=0.25) — robust to throughput spikes.
+	Loss nn.Loss
+	// Shuffle, when non-nil, reshuffles samples each epoch.
+	Shuffle *rand.Rand
+	// OnEpoch, when non-nil, receives (epoch, meanLoss).
+	OnEpoch func(int, float64)
+}
+
+// Train fits the network and returns the final mean epoch loss.
+func (n *Network) Train(samples []Sample, cfg TrainConfig) float64 {
+	if cfg.Loss == nil {
+		cfg.Loss = nn.Huber{Delta: 0.25}
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 8
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 3e-3
+	}
+	if cfg.Epochs < 1 {
+		cfg.Epochs = 1
+	}
+	opt := nn.NewAdam(cfg.LR)
+	opt.Clip = 5
+	params := n.Params()
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	last := 0.0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Shuffle != nil {
+			cfg.Shuffle.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		total := 0.0
+		inBatch := 0
+		zeroGrads(params)
+		for _, idx := range order {
+			total += n.step(samples[idx], cfg.Loss)
+			inBatch++
+			if inBatch >= cfg.BatchSize {
+				opt.Step(params)
+				zeroGrads(params)
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			opt.Step(params)
+			zeroGrads(params)
+		}
+		if len(samples) > 0 {
+			last = total / float64(len(samples))
+		}
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, last)
+		}
+	}
+	return last
+}
+
+// Adapt performs the online-adaptation step (paper §4.3 "offline
+// training and online adapting"): a handful of low-learning-rate updates
+// on the live job's recent observations, starting from the offline
+// weights (transfer learning).
+func (n *Network) Adapt(recent []Sample, steps int) {
+	if len(recent) == 0 || steps <= 0 {
+		return
+	}
+	n.Train(recent, TrainConfig{Epochs: steps, BatchSize: len(recent), LR: 1e-3})
+}
+
+// CopyFrom copies parameter values from another network (transfer of the
+// offline-trained weights into a per-job instance).
+func (n *Network) CopyFrom(src *Network) error {
+	dst := n.Params()
+	from := src.Params()
+	for i := range dst {
+		if dst[i].Value.Rows != from[i].Value.Rows || dst[i].Value.Cols != from[i].Value.Cols {
+			return errShape
+		}
+		copy(dst[i].Value.Data, from[i].Value.Data)
+	}
+	return nil
+}
+
+// Eval returns the mean loss over samples without updating weights.
+func (n *Network) Eval(samples []Sample, loss nn.Loss) float64 {
+	if loss == nil {
+		loss = nn.MSE{}
+	}
+	if len(samples) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, s := range samples {
+		pred := n.Predict(s.F)
+		total += loss.Value(tensor.Vec{pred}, tensor.Vec{s.Y})
+	}
+	return total / float64(len(samples))
+}
+
+func zeroGrads(params []*nn.Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+type shapeError struct{}
+
+func (shapeError) Error() string { return "meta: parameter shape mismatch" }
+
+var errShape = shapeError{}
+
+// Save writes the network's weights to w (gob).
+func (n *Network) Save(w io.Writer) error { return nn.SaveParams(w, n.Params()) }
+
+// Load restores weights written by Save into this network.
+func (n *Network) Load(r io.Reader) error { return nn.LoadParams(r, n.Params()) }

@@ -1,0 +1,249 @@
+package meta
+
+import (
+	"math"
+
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/profile"
+)
+
+// Predictor estimates the training speed (samples/sec) a partition would
+// achieve under the currently observed environment. The AutoPipe
+// controller scores candidate partitions through this interface.
+type Predictor interface {
+	PredictSpeed(p *profile.Profile, plan partition.Plan, miniBatch int, h *History) float64
+}
+
+// AnalyticPredictor is the model-based fallback: a per-resource fluid
+// model evaluated directly on the profiler's observations. It is what
+// the paper calls "close to realistic modeling" — accurate but, on
+// large models, slow to search exhaustively with, which is why the
+// meta-network exists. AutoPipe uses it to bootstrap the meta-network
+// and as a sanity bound.
+//
+// Unlike PipeDream's planning model it accounts for:
+//   - per-worker contended compute speeds (not one exclusive GPU);
+//   - per-server link loads with every flow that crosses them —
+//     boundary activations/gradients AND gradient-sync traffic — rather
+//     than a single uniform bandwidth;
+//   - the actual synchronisation scheme (Observation 2: PipeDream
+//     "assumes all_reduce ... the actual communication may use other
+//     approach, e.g., parameter server");
+//   - the in-flight mini-batch cap: throughput is also bounded by
+//     InFlight × batch / round-trip latency (pipeline-fill limit).
+type AnalyticPredictor struct {
+	Scheme netsim.SyncScheme
+	// SyncEvery is the gradient-coalescing period (default 1).
+	SyncEvery int
+}
+
+// serverOf resolves a worker's server from the profile's observed
+// placement, falling back to the testbed pairing (two GPUs per server)
+// for hand-built profiles without topology.
+func serverOf(p *profile.Profile, w int) int {
+	if w < len(p.Server) {
+		return p.Server[w]
+	}
+	return w / 2
+}
+
+// PredictSpeed implements Predictor.
+func (ap AnalyticPredictor) PredictSpeed(p *profile.Profile, plan partition.Plan, miniBatch int, _ *History) float64 {
+	if len(plan.Stages) == 0 {
+		return 0
+	}
+	syncEvery := ap.SyncEvery
+	if syncEvery < 1 {
+		syncEvery = 1
+	}
+	// Per-batch resource demands.
+	computeTime := map[int]float64{} // per worker, seconds/batch
+	upBits := map[int]float64{}      // per server
+	downBits := map[int]float64{}
+	var serialTimes []float64 // per-stage serial costs (sync pipeline)
+	latency := 0.0            // one batch's end-to-end round trip
+
+	for i, s := range plan.Stages {
+		m := float64(len(s.Workers))
+		// Compute per worker: each replica handles 1/m of the stream.
+		stageMean := 0.0
+		for _, w := range s.Workers {
+			t := 0.0
+			for l := s.Start; l < s.End; l++ {
+				t += p.FP[w][l] + p.BP[w][l]
+			}
+			computeTime[w] += t / m
+			stageMean += t
+		}
+		stageMean /= m
+		latency += stageMean
+
+		// Gradient sync for replicated stages.
+		if len(s.Workers) > 1 {
+			var bytes int64
+			for l := s.Start; l < s.End; l++ {
+				bytes += p.ParamBytes[l]
+			}
+			V := float64(bytes*8) / float64(syncEvery)
+			minBw := math.Inf(1)
+			for _, w := range s.Workers {
+				if p.Bandwidth[w] < minBw {
+					minBw = p.Bandwidth[w]
+				}
+			}
+			if ap.Scheme == netsim.RingAllReduce {
+				// Each worker sends and receives 2(m−1)/m of V.
+				per := 2 * (m - 1) / m * V
+				for k, w := range s.Workers {
+					next := s.Workers[(k+1)%len(s.Workers)]
+					if serverOf(p, w) != serverOf(p, next) {
+						upBits[serverOf(p, w)] += per
+						downBits[serverOf(p, next)] += per
+					}
+				}
+				serialTimes = append(serialTimes, 2*(m-1)/m*V/minBw)
+			} else {
+				ps := s.Workers[0]
+				remote := 0.0
+				for _, w := range s.Workers[1:] {
+					if serverOf(p, w) != serverOf(p, ps) {
+						upBits[serverOf(p, w)] += V
+						downBits[serverOf(p, w)] += V
+						remote++
+					}
+				}
+				upBits[serverOf(p, ps)] += remote * V
+				downBits[serverOf(p, ps)] += remote * V
+				serialTimes = append(serialTimes, 2*remote*V/minBw)
+			}
+		}
+
+		// Boundary transfers to the next stage (activation forward,
+		// gradient backward; each batch crosses once in each direction).
+		if i < len(plan.Stages)-1 {
+			next := plan.Stages[i+1]
+			bits := float64(p.OutBytes[s.End-1] * 8)
+			// Average over replica pairings.
+			pairs := 0.0
+			cross := 0.0
+			minBw := math.Inf(1)
+			for _, a := range s.Workers {
+				for _, b := range next.Workers {
+					pairs++
+					if serverOf(p, a) != serverOf(p, b) {
+						cross++
+					}
+					bw := math.Min(p.Bandwidth[a], p.Bandwidth[b])
+					if bw < minBw {
+						minBw = bw
+					}
+				}
+			}
+			frac := cross / pairs
+			for _, a := range s.Workers {
+				upBits[serverOf(p, a)] += bits * frac / float64(len(s.Workers))
+				downBits[serverOf(p, a)] += bits * frac / float64(len(s.Workers))
+			}
+			for _, b := range next.Workers {
+				downBits[serverOf(p, b)] += bits * frac / float64(len(next.Workers))
+				upBits[serverOf(p, b)] += bits * frac / float64(len(next.Workers))
+			}
+			latency += 2 * bits / minBw
+		}
+	}
+
+	// Bottleneck across all resources.
+	bottleneck := 0.0
+	for _, t := range computeTime {
+		if t > bottleneck {
+			bottleneck = t
+		}
+	}
+	for _, t := range serialTimes {
+		if t > bottleneck {
+			bottleneck = t
+		}
+	}
+	// Link times: a server's bandwidth is the max of its workers'
+	// observed bandwidths (they share the NIC).
+	srvBw := map[int]float64{}
+	for w := 0; w < p.N; w++ {
+		if p.Bandwidth[w] > srvBw[serverOf(p, w)] {
+			srvBw[serverOf(p, w)] = p.Bandwidth[w]
+		}
+	}
+	for srv, bits := range upBits {
+		if bw := srvBw[srv]; bw > 0 {
+			if t := bits / bw; t > bottleneck {
+				bottleneck = t
+			}
+		}
+	}
+	for srv, bits := range downBits {
+		if bw := srvBw[srv]; bw > 0 {
+			if t := bits / bw; t > bottleneck {
+				bottleneck = t
+			}
+		}
+	}
+	if bottleneck <= 0 {
+		return 0
+	}
+	tp := float64(miniBatch) / bottleneck
+	// Pipeline-fill cap: with k batches in flight and round-trip
+	// latency T, at most k batches complete per T.
+	if latency > 0 && plan.InFlight > 0 {
+		fill := float64(plan.InFlight) * float64(miniBatch) / latency
+		if fill < tp {
+			tp = fill
+		}
+	}
+	return tp
+}
+
+// NetPredictor wraps the trained meta-network as a Predictor,
+// de-normalizing its output by the ideal-throughput scale.
+type NetPredictor struct {
+	Net *Network
+}
+
+// PredictSpeed implements Predictor.
+func (np NetPredictor) PredictSpeed(p *profile.Profile, plan partition.Plan, miniBatch int, h *History) float64 {
+	if h == nil {
+		h = &History{}
+	}
+	f := BuildFeatures(p, plan, miniBatch, h)
+	y := np.Net.Predict(f)
+	if y < 0 {
+		y = 0
+	}
+	return y * IdealThroughput(p, miniBatch)
+}
+
+// HybridPredictor averages the meta-network with the analytic model,
+// weighting the network by its online confidence (starts analytic-heavy,
+// trusts the net as adaptation progresses). This reflects the deployment
+// strategy of §4.3: an offline-trained net mistrusts out-of-distribution
+// environments until adapted.
+type HybridPredictor struct {
+	Net *Network
+	// NetWeight in [0,1]: contribution of the network.
+	NetWeight float64
+	// Scheme configures the analytic component.
+	Scheme netsim.SyncScheme
+}
+
+// PredictSpeed implements Predictor.
+func (hp *HybridPredictor) PredictSpeed(p *profile.Profile, plan partition.Plan, miniBatch int, h *History) float64 {
+	a := AnalyticPredictor{Scheme: hp.Scheme}.PredictSpeed(p, plan, miniBatch, h)
+	if hp.Net == nil || hp.NetWeight <= 0 {
+		return a
+	}
+	n := NetPredictor{Net: hp.Net}.PredictSpeed(p, plan, miniBatch, h)
+	w := hp.NetWeight
+	if w > 1 {
+		w = 1
+	}
+	return w*n + (1-w)*a
+}

@@ -1,0 +1,188 @@
+// Package model defines the DNN workloads as layer profiles: per-layer
+// parameter counts, activation sizes and forward FLOPs, from which the
+// simulator derives compute times and communication volumes.
+//
+// This substitutes for the paper's real PyTorch/TensorFlow/MXNet models:
+// training *speed* — the paper's metric — depends only on per-layer
+// compute cost and tensor sizes, which we reconstruct from the published
+// architectures (AlexNet, VGG16, ResNet50, BERT) rather than executing
+// arithmetic on real tensors.
+package model
+
+import (
+	"fmt"
+)
+
+// BytesPerElement is the tensor element width (fp32).
+const BytesPerElement = 4
+
+// LayerKind distinguishes compute characteristics of layers.
+type LayerKind int
+
+// Layer kinds.
+const (
+	Conv LayerKind = iota
+	FullyConnected
+	Attention
+	Norm
+	Pool
+	Embedding
+)
+
+// String implements fmt.Stringer.
+func (k LayerKind) String() string {
+	switch k {
+	case Conv:
+		return "conv"
+	case FullyConnected:
+		return "fc"
+	case Attention:
+		return "attention"
+	case Norm:
+		return "norm"
+	case Pool:
+		return "pool"
+	case Embedding:
+		return "embedding"
+	}
+	return "unknown"
+}
+
+// Layer is one model layer's static profile (the first block of Table 1
+// metrics: O_i, G_i, P_i — plus the FLOPs that determine FP/BP time).
+type Layer struct {
+	Name string
+	Kind LayerKind
+	// FLOPs is the forward multiply-accumulate cost per sample (counting
+	// one MAC as two FLOPs).
+	FLOPs float64
+	// Params is the number of weight parameters.
+	Params int64
+	// OutElems is the number of output activation elements per sample
+	// (O_i in Table 1; the backward gradient G_{i+1} has the same size).
+	OutElems int64
+	// InElems is the number of input elements per sample (G_i, the size
+	// of the gradient this layer sends backwards).
+	InElems int64
+}
+
+// OutputBytes returns the activation bytes a mini-batch of the given size
+// produces at this layer (O_i in bytes).
+func (l Layer) OutputBytes(miniBatch int) int64 {
+	return l.OutElems * int64(miniBatch) * BytesPerElement
+}
+
+// GradientBytes returns the input-gradient bytes for a mini-batch
+// (G_i in bytes).
+func (l Layer) GradientBytes(miniBatch int) int64 {
+	return l.InElems * int64(miniBatch) * BytesPerElement
+}
+
+// ParamBytes returns the parameter (and thus weight-gradient) bytes.
+func (l Layer) ParamBytes() int64 { return l.Params * BytesPerElement }
+
+// Model is a DNN expressed as an ordered layer list.
+type Model struct {
+	Name string
+	// MiniBatch is the paper's per-model mini-batch size.
+	MiniBatch int
+	Layers    []Layer
+}
+
+// NumLayers returns the number of layers (L in Table 1).
+func (m *Model) NumLayers() int { return len(m.Layers) }
+
+// TotalParams returns the total parameter count.
+func (m *Model) TotalParams() int64 {
+	var s int64
+	for _, l := range m.Layers {
+		s += l.Params
+	}
+	return s
+}
+
+// TotalFLOPs returns total forward FLOPs per sample.
+func (m *Model) TotalFLOPs() float64 {
+	s := 0.0
+	for _, l := range m.Layers {
+		s += l.FLOPs
+	}
+	return s
+}
+
+// Validate checks internal consistency of the layer chain.
+func (m *Model) Validate() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("model %s: no layers", m.Name)
+	}
+	if m.MiniBatch <= 0 {
+		return fmt.Errorf("model %s: non-positive mini-batch %d", m.Name, m.MiniBatch)
+	}
+	for i, l := range m.Layers {
+		if l.FLOPs < 0 || l.Params < 0 || l.OutElems <= 0 || l.InElems <= 0 {
+			return fmt.Errorf("model %s: layer %d (%s) has invalid profile", m.Name, i, l.Name)
+		}
+		if i > 0 && m.Layers[i-1].OutElems != l.InElems {
+			return fmt.Errorf("model %s: layer %d (%s) input %d != previous output %d",
+				m.Name, i, l.Name, l.InElems, m.Layers[i-1].OutElems)
+		}
+	}
+	return nil
+}
+
+// conv appends a 2-D convolution layer profile computed from its shape.
+// groups models AlexNet-style grouped convolutions.
+func conv(name string, inC, outC, kh, kw, outH, outW, groups int) Layer {
+	if groups < 1 {
+		groups = 1
+	}
+	params := int64(outC) * int64(inC/groups) * int64(kh) * int64(kw)
+	params += int64(outC) // bias
+	// 2 FLOPs per MAC per output element.
+	flops := 2 * float64(params-int64(outC)) * float64(outH) * float64(outW)
+	return Layer{
+		Name:     name,
+		Kind:     Conv,
+		FLOPs:    flops,
+		Params:   params,
+		OutElems: int64(outC) * int64(outH) * int64(outW),
+	}
+}
+
+// fc appends a fully-connected layer profile.
+func fc(name string, in, out int) Layer {
+	params := int64(in)*int64(out) + int64(out)
+	return Layer{
+		Name:     name,
+		Kind:     FullyConnected,
+		FLOPs:    2 * float64(in) * float64(out),
+		Params:   params,
+		OutElems: int64(out),
+	}
+}
+
+// pool appends a pooling layer (no parameters, cheap compute).
+func pool(name string, outC, outH, outW int) Layer {
+	out := int64(outC) * int64(outH) * int64(outW)
+	return Layer{
+		Name:     name,
+		Kind:     Pool,
+		FLOPs:    float64(out) * 9, // ~kernel-size comparisons per output
+		OutElems: out,
+	}
+}
+
+// chain links InElems from the previous layer's OutElems and returns a
+// validated model.
+func chain(name string, miniBatch int, inElems int64, layers []Layer) *Model {
+	prev := inElems
+	for i := range layers {
+		layers[i].InElems = prev
+		prev = layers[i].OutElems
+	}
+	m := &Model{Name: name, MiniBatch: miniBatch, Layers: layers}
+	if err := m.Validate(); err != nil {
+		panic(err) // builder bug, not runtime input
+	}
+	return m
+}

@@ -1,0 +1,203 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZooModelsValidate(t *testing.T) {
+	for _, m := range []*Model{AlexNet(), VGG16(), ResNet50(), BERT48(), Uniform(8, 1e9, 1000)} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestAlexNetParamCount(t *testing.T) {
+	m := AlexNet()
+	// Published AlexNet has ~61M parameters (60.97M); grouped convs.
+	p := m.TotalParams()
+	if p < 55e6 || p > 67e6 {
+		t.Fatalf("AlexNet params = %d, want ~61M", p)
+	}
+	if m.MiniBatch != 256 {
+		t.Fatalf("AlexNet mini-batch = %d, want 256 (paper §5.1)", m.MiniBatch)
+	}
+}
+
+func TestVGG16ParamCount(t *testing.T) {
+	m := VGG16()
+	// Published VGG16 has ~138M parameters.
+	p := m.TotalParams()
+	if p < 130e6 || p > 146e6 {
+		t.Fatalf("VGG16 params = %d, want ~138M", p)
+	}
+	if m.MiniBatch != 64 {
+		t.Fatalf("VGG16 mini-batch = %d, want 64", m.MiniBatch)
+	}
+}
+
+func TestVGG16FLOPs(t *testing.T) {
+	// Published VGG16 forward cost ≈ 15.5 GFLOPs (counting MAC=2).
+	f := VGG16().TotalFLOPs()
+	if f < 28e9 || f > 34e9 {
+		// 15.5 GMACs = 31 GFLOPs
+		t.Fatalf("VGG16 FLOPs = %g, want ~31e9", f)
+	}
+}
+
+func TestResNet50Profile(t *testing.T) {
+	m := ResNet50()
+	// Published ResNet50 has ~25.6M params and ~4.1 GMACs (8.2 GFLOPs).
+	p := m.TotalParams()
+	if p < 23e6 || p > 28e6 {
+		t.Fatalf("ResNet50 params = %d, want ~25.6M", p)
+	}
+	f := m.TotalFLOPs()
+	if f < 7e9 || f > 9.5e9 {
+		t.Fatalf("ResNet50 FLOPs = %g, want ~8.2e9", f)
+	}
+	if m.MiniBatch != 128 {
+		t.Fatalf("ResNet50 mini-batch = %d, want 128", m.MiniBatch)
+	}
+	// The paper notes ResNet50 "contains more layers than the other two
+	// models" — the partitioner sees that structure.
+	if m.NumLayers() <= VGG16().NumLayers() || m.NumLayers() <= AlexNet().NumLayers() {
+		t.Fatal("ResNet50 must have more layers than VGG16 and AlexNet")
+	}
+}
+
+func TestBERT48Profile(t *testing.T) {
+	m := BERT48()
+	// 48 blocks × ~12.6M/block + embeddings ≈ 640M params.
+	p := m.TotalParams()
+	if p < 550e6 || p > 750e6 {
+		t.Fatalf("BERT48 params = %d, want ~640M", p)
+	}
+	if m.MiniBatch != 256 {
+		t.Fatalf("BERT48 mini-batch = %d, want 256 (paper §5.3)", m.MiniBatch)
+	}
+	if m.NumLayers() < 96 {
+		t.Fatalf("BERT48 layers = %d, want ≥96 (2 per block)", m.NumLayers())
+	}
+}
+
+func TestChainLinksInputSizes(t *testing.T) {
+	m := VGG16()
+	for i := 1; i < len(m.Layers); i++ {
+		if m.Layers[i].InElems != m.Layers[i-1].OutElems {
+			t.Fatalf("layer %d input %d != layer %d output %d",
+				i, m.Layers[i].InElems, i-1, m.Layers[i-1].OutElems)
+		}
+	}
+}
+
+func TestLayerByteAccessors(t *testing.T) {
+	l := Layer{OutElems: 10, InElems: 5, Params: 3}
+	if l.OutputBytes(2) != 10*2*4 {
+		t.Fatalf("OutputBytes = %d", l.OutputBytes(2))
+	}
+	if l.GradientBytes(2) != 5*2*4 {
+		t.Fatalf("GradientBytes = %d", l.GradientBytes(2))
+	}
+	if l.ParamBytes() != 12 {
+		t.Fatalf("ParamBytes = %d", l.ParamBytes())
+	}
+}
+
+func TestValidateRejectsBrokenChains(t *testing.T) {
+	m := &Model{Name: "broken", MiniBatch: 4, Layers: []Layer{
+		{Name: "a", OutElems: 10, InElems: 5, FLOPs: 1},
+		{Name: "b", OutElems: 10, InElems: 7, FLOPs: 1}, // mismatch
+	}}
+	if m.Validate() == nil {
+		t.Fatal("Validate accepted mismatched chain")
+	}
+	empty := &Model{Name: "empty", MiniBatch: 4}
+	if empty.Validate() == nil {
+		t.Fatal("Validate accepted empty model")
+	}
+	badBatch := Uniform(2, 1, 1)
+	badBatch.MiniBatch = 0
+	if badBatch.Validate() == nil {
+		t.Fatal("Validate accepted zero mini-batch")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"AlexNet", "vgg16", "ResNet50", "Bert-48"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("GPT7"); err == nil {
+		t.Fatal("ByName accepted unknown model")
+	}
+}
+
+func TestVGGCommunicationHeavierThanResNet(t *testing.T) {
+	// The paper repeatedly calls VGG16 "communication intensive": its
+	// parameter volume per FLOP is far higher than ResNet50's.
+	vgg, res := VGG16(), ResNet50()
+	vggRatio := float64(vgg.TotalParams()) / vgg.TotalFLOPs()
+	resRatio := float64(res.TotalParams()) / res.TotalFLOPs()
+	if vggRatio <= resRatio {
+		t.Fatalf("VGG16 params/FLOPs %g not above ResNet50 %g", vggRatio, resRatio)
+	}
+}
+
+// Property: Uniform models always validate and have identical layers.
+func TestQuickUniform(t *testing.T) {
+	f := func(n uint8, flops uint32, elems uint16) bool {
+		nl := int(n%32) + 1
+		m := Uniform(nl, float64(flops)+1, int64(elems)+1)
+		if m.Validate() != nil || m.NumLayers() != nl {
+			return false
+		}
+		for _, l := range m.Layers {
+			if l.FLOPs != m.Layers[0].FLOPs || l.OutElems != m.Layers[0].OutElems {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalFLOPsIsSum(t *testing.T) {
+	m := Uniform(4, 2.5e6, 10)
+	if math.Abs(m.TotalFLOPs()-1e7) > 1 {
+		t.Fatalf("TotalFLOPs = %g, want 1e7", m.TotalFLOPs())
+	}
+}
+
+func TestGoogLeNetProfile(t *testing.T) {
+	m := GoogLeNet()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Published GoogLeNet has ~6.8M params, ~3 GFLOPs (1.5 GMACs).
+	p := m.TotalParams()
+	if p < 5.5e6 || p > 8.5e6 {
+		t.Fatalf("GoogLeNet params = %d, want ~6.8M", p)
+	}
+	f := m.TotalFLOPs()
+	if f < 2e9 || f > 5e9 {
+		t.Fatalf("GoogLeNet FLOPs = %g, want ~3e9", f)
+	}
+}
+
+func TestMotivationModels(t *testing.T) {
+	ms := MotivationModels()
+	if len(ms) != 4 {
+		t.Fatalf("motivation models = %d, want 4", len(ms))
+	}
+	for _, m := range ms {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+	}
+}

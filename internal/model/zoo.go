@@ -1,0 +1,239 @@
+package model
+
+import "fmt"
+
+// AlexNet returns the 8-weight-layer AlexNet profile (Krizhevsky et al.,
+// NIPS'12) at 227×227 input, grouped convolutions as published. The
+// paper's evaluation trains it with mini-batch 256.
+func AlexNet() *Model {
+	in := int64(3 * 227 * 227)
+	layers := []Layer{
+		conv("conv1", 3, 96, 11, 11, 55, 55, 1),
+		pool("pool1", 96, 27, 27),
+		conv("conv2", 96, 256, 5, 5, 27, 27, 2),
+		pool("pool2", 256, 13, 13),
+		conv("conv3", 256, 384, 3, 3, 13, 13, 1),
+		conv("conv4", 384, 384, 3, 3, 13, 13, 2),
+		conv("conv5", 384, 256, 3, 3, 13, 13, 2),
+		pool("pool5", 256, 6, 6),
+		fc("fc6", 256*6*6, 4096),
+		fc("fc7", 4096, 4096),
+		fc("fc8", 4096, 1000),
+	}
+	return chain("AlexNet", 256, in, layers)
+}
+
+// VGG16 returns the 16-weight-layer VGG-16 profile (Simonyan & Zisserman)
+// at 224×224 input; mini-batch 64 per the paper.
+func VGG16() *Model {
+	in := int64(3 * 224 * 224)
+	layers := []Layer{
+		conv("conv1_1", 3, 64, 3, 3, 224, 224, 1),
+		conv("conv1_2", 64, 64, 3, 3, 224, 224, 1),
+		pool("pool1", 64, 112, 112),
+		conv("conv2_1", 64, 128, 3, 3, 112, 112, 1),
+		conv("conv2_2", 128, 128, 3, 3, 112, 112, 1),
+		pool("pool2", 128, 56, 56),
+		conv("conv3_1", 128, 256, 3, 3, 56, 56, 1),
+		conv("conv3_2", 256, 256, 3, 3, 56, 56, 1),
+		conv("conv3_3", 256, 256, 3, 3, 56, 56, 1),
+		pool("pool3", 256, 28, 28),
+		conv("conv4_1", 256, 512, 3, 3, 28, 28, 1),
+		conv("conv4_2", 512, 512, 3, 3, 28, 28, 1),
+		conv("conv4_3", 512, 512, 3, 3, 28, 28, 1),
+		pool("pool4", 512, 14, 14),
+		conv("conv5_1", 512, 512, 3, 3, 14, 14, 1),
+		conv("conv5_2", 512, 512, 3, 3, 14, 14, 1),
+		conv("conv5_3", 512, 512, 3, 3, 14, 14, 1),
+		pool("pool5", 512, 7, 7),
+		fc("fc6", 512*7*7, 4096),
+		fc("fc7", 4096, 4096),
+		fc("fc8", 4096, 1000),
+	}
+	return chain("VGG16", 64, in, layers)
+}
+
+// ResNet50 returns the ResNet-50 profile (He et al., CVPR'16) at 224×224
+// input, modelled at convolution granularity (54 weight layers + pools);
+// mini-batch 128 per the paper. Projection shortcuts are folded into the
+// first block of each stage (their parameters and FLOPs are added to the
+// block's third convolution, which keeps the chain strictly linear — the
+// pipeline partitioner requires a linear layer graph, the same
+// linearisation PipeDream applies).
+func ResNet50() *Model {
+	in := int64(3 * 224 * 224)
+	var layers []Layer
+	layers = append(layers, conv("conv1", 3, 64, 7, 7, 112, 112, 1))
+	layers = append(layers, pool("pool1", 64, 56, 56))
+
+	// stage: inC entering the stage, mid bottleneck width, out stage width
+	stage := func(name string, blocks, inC, mid, out, hw int) {
+		c := inC
+		for b := 0; b < blocks; b++ {
+			prefix := fmt.Sprintf("%s_b%d", name, b+1)
+			layers = append(layers, conv(prefix+"_1x1a", c, mid, 1, 1, hw, hw, 1))
+			layers = append(layers, conv(prefix+"_3x3", mid, mid, 3, 3, hw, hw, 1))
+			last := conv(prefix+"_1x1b", mid, out, 1, 1, hw, hw, 1)
+			if b == 0 {
+				// projection shortcut 1x1 conv from stage input width
+				proj := conv(prefix+"_proj", c, out, 1, 1, hw, hw, 1)
+				last.FLOPs += proj.FLOPs
+				last.Params += proj.Params
+			}
+			layers = append(layers, last)
+			c = out
+		}
+	}
+	stage("res2", 3, 64, 64, 256, 56)
+	stage("res3", 4, 256, 128, 512, 28)
+	stage("res4", 6, 512, 256, 1024, 14)
+	stage("res5", 3, 1024, 512, 2048, 7)
+	layers = append(layers, pool("avgpool", 2048, 1, 1))
+	layers = append(layers, fc("fc", 2048, 1000))
+	return chain("ResNet50", 128, in, layers)
+}
+
+// BERT48 returns a 48-layer BERT-style transformer profile ("Bert-48" in
+// the paper's Fig. 13 experiment, trained with mini-batch 256). Hidden
+// size 1024, 16 heads, FFN 4096, sequence length 128. Each transformer
+// block is modelled as two layers (attention, FFN) so the pipeline
+// partitioner has 96 + embedding + head = 98 cut points.
+func BERT48() *Model {
+	const (
+		hidden = 1024
+		ffn    = 4096
+		seqLen = 128
+		vocab  = 30522
+		nBlock = 48
+	)
+	in := int64(seqLen) // token ids
+	var layers []Layer
+	layers = append(layers, Layer{
+		Name:     "embedding",
+		Kind:     Embedding,
+		FLOPs:    float64(seqLen * hidden), // lookup + add position/type
+		Params:   int64(vocab+512+2) * hidden,
+		OutElems: int64(seqLen * hidden),
+	})
+	for b := 0; b < nBlock; b++ {
+		// attention: QKV projections + output projection (4·h² params)
+		// plus the O(s²·h) attention matmuls.
+		attnParams := int64(4*hidden*hidden + 4*hidden)
+		attnFLOPs := 2*float64(seqLen)*4*float64(hidden)*float64(hidden) +
+			4*float64(seqLen)*float64(seqLen)*float64(hidden)
+		layers = append(layers, Layer{
+			Name:     fmt.Sprintf("block%d_attn", b+1),
+			Kind:     Attention,
+			FLOPs:    attnFLOPs,
+			Params:   attnParams,
+			OutElems: int64(seqLen * hidden),
+		})
+		// FFN: two matmuls h→4h→h (8·h² params) + layer norms.
+		ffnParams := int64(2*hidden*ffn + ffn + hidden + 4*hidden)
+		ffnFLOPs := 2 * 2 * float64(seqLen) * float64(hidden) * float64(ffn)
+		layers = append(layers, Layer{
+			Name:     fmt.Sprintf("block%d_ffn", b+1),
+			Kind:     FullyConnected,
+			FLOPs:    ffnFLOPs,
+			Params:   ffnParams,
+			OutElems: int64(seqLen * hidden),
+		})
+	}
+	layers = append(layers, Layer{
+		Name:     "mlm_head",
+		Kind:     FullyConnected,
+		FLOPs:    2 * float64(seqLen) * float64(hidden) * float64(vocab),
+		Params:   int64(hidden)*int64(vocab) + int64(vocab),
+		OutElems: int64(seqLen * vocab),
+	})
+	return chain("BERT48", 256, in, layers)
+}
+
+// Uniform returns a synthetic model with n identical layers — the
+// idealised workload of the paper's Figure 2 (equal layer times, BP = 2×FP
+// is imposed by the compute model, negligible parameters).
+func Uniform(n int, flopsPerLayer float64, elems int64) *Model {
+	layers := make([]Layer, n)
+	for i := range layers {
+		layers[i] = Layer{
+			Name:     fmt.Sprintf("uniform%d", i+1),
+			Kind:     Conv,
+			FLOPs:    flopsPerLayer,
+			Params:   1000,
+			OutElems: elems,
+		}
+	}
+	return chain("Uniform", 32, elems, layers)
+}
+
+// ByName returns the model with the given name (AlexNet, VGG16, ResNet50,
+// BERT48) or an error.
+func ByName(name string) (*Model, error) {
+	switch name {
+	case "AlexNet", "alexnet":
+		return AlexNet(), nil
+	case "VGG16", "vgg16":
+		return VGG16(), nil
+	case "ResNet50", "resnet50":
+		return ResNet50(), nil
+	case "BERT48", "bert48", "Bert-48":
+		return BERT48(), nil
+	case "GoogLeNet", "googlenet", "GoogleNet":
+		return GoogLeNet(), nil
+	}
+	return nil, fmt.Errorf("model: unknown model %q", name)
+}
+
+// Zoo returns the three image-classification models the paper's main
+// evaluation uses, in the order they appear in Figure 8.
+func Zoo() []*Model {
+	return []*Model{ResNet50(), VGG16(), AlexNet()}
+}
+
+// MotivationModels returns the four models of the paper's §3.2
+// motivation experiments (Figures 3–6 compare four workloads).
+func MotivationModels() []*Model {
+	return []*Model{ResNet50(), VGG16(), AlexNet(), GoogLeNet()}
+}
+
+// GoogLeNet returns the Inception-v1 profile (Szegedy et al., CVPR'15)
+// at 224×224 input, modelled at inception-module granularity (each
+// module's parallel branches folded into one layer — the same
+// linearisation PipeDream applies to non-chain graphs). ~6.8M
+// parameters, ~3 GFLOPs; mini-batch 128.
+func GoogLeNet() *Model {
+	in := int64(3 * 224 * 224)
+	// Inception module: params and output channels from the paper's
+	// Table 1; FLOPs ≈ 2 × params × spatial (1×1-dominated modules make
+	// this a good approximation at module granularity).
+	incep := func(name string, params int64, outC, hw int) Layer {
+		return Layer{
+			Name:     name,
+			Kind:     Conv,
+			FLOPs:    2 * float64(params) * float64(hw*hw),
+			Params:   params,
+			OutElems: int64(outC) * int64(hw) * int64(hw),
+		}
+	}
+	layers := []Layer{
+		conv("conv1", 3, 64, 7, 7, 112, 112, 1),
+		pool("pool1", 64, 56, 56),
+		conv("conv2a", 64, 64, 1, 1, 56, 56, 1),
+		conv("conv2b", 64, 192, 3, 3, 56, 56, 1),
+		pool("pool2", 192, 28, 28),
+		incep("incep3a", 163696, 256, 28),
+		incep("incep3b", 388736, 480, 28),
+		pool("pool3", 480, 14, 14),
+		incep("incep4a", 376176, 512, 14),
+		incep("incep4b", 449160, 512, 14),
+		incep("incep4c", 510104, 512, 14),
+		incep("incep4d", 605376, 528, 14),
+		incep("incep4e", 868352, 832, 14),
+		pool("pool4", 832, 7, 7),
+		incep("incep5a", 1043456, 832, 7),
+		incep("incep5b", 1444080, 1024, 7),
+		pool("avgpool", 1024, 1, 1),
+		fc("fc", 1024, 1000),
+	}
+	return chain("GoogLeNet", 128, in, layers)
+}

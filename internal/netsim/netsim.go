@@ -1,0 +1,394 @@
+// Package netsim is a flow-level network simulator on top of the
+// discrete-event kernel. Flows between cluster workers share link
+// capacity max-min fairly (progressive filling), recomputed whenever a
+// flow starts, a flow finishes, or link capacities change.
+//
+// It replaces the paper's physical Mellanox fabric: PipeDream's planner
+// assumes a hierarchical topology with uniform per-level bandwidth and
+// all-reduce collectives, and the paper's point is that reality —
+// heterogeneous, fluctuating, possibly parameter-server-based — diverges
+// from that model. This package provides the reality; the planner keeps
+// its simplifying assumptions.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/sim"
+)
+
+// Flow is one in-flight transfer.
+type Flow struct {
+	ID       uint64
+	Name     string
+	Src, Dst int
+	// Weight is the flow's share weight in the weighted max-min
+	// allocation (1 by default). Communication scheduling à la
+	// ByteScheduler gives latency-sensitive pipeline transfers more
+	// weight than bulk gradient syncs.
+	Weight float64
+	// remaining and original bits
+	remaining float64
+	origBits  float64
+	rate      float64 // bits/sec, assigned by the fair-share computation
+	links     []linkID
+	done      func()
+	started   sim.Time
+}
+
+// Remaining returns the flow's remaining bits (for tests/inspection).
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Rate returns the flow's current bits/sec share.
+func (f *Flow) Rate() float64 { return f.rate }
+
+type linkKind uint8
+
+const (
+	linkUp linkKind = iota
+	linkDown
+	linkIntra
+	linkRackUp
+	linkRackDown
+)
+
+type linkID struct {
+	kind linkKind
+	// server for NIC/intra links, rack for rack-uplink links.
+	server int
+}
+
+func (l linkID) String() string {
+	switch l.kind {
+	case linkUp:
+		return fmt.Sprintf("up:%d", l.server)
+	case linkDown:
+		return fmt.Sprintf("down:%d", l.server)
+	case linkRackUp:
+		return fmt.Sprintf("rackup:%d", l.server)
+	case linkRackDown:
+		return fmt.Sprintf("rackdown:%d", l.server)
+	default:
+		return fmt.Sprintf("intra:%d", l.server)
+	}
+}
+
+// Network simulates all flows of the measured job over the cluster.
+type Network struct {
+	eng *sim.Engine
+	cl  *cluster.Cluster
+
+	flows      map[uint64]*Flow
+	nextID     uint64
+	lastUpdate sim.Time
+	completion *sim.Event
+
+	// TotalBitsDelivered accumulates finished-flow volume (telemetry).
+	TotalBitsDelivered float64
+
+	// PerHopLatencySec adds a fixed propagation/processing delay per
+	// link hop before a flow's data starts moving (0 = pure fluid
+	// model, the default). Chatty protocols — e.g. ring all-reduce's
+	// 2(N−1) barriered steps — pay it on every step.
+	PerHopLatencySec float64
+}
+
+// New creates a network bound to an engine and a cluster.
+func New(eng *sim.Engine, cl *cluster.Cluster) *Network {
+	return &Network{eng: eng, cl: cl, flows: make(map[uint64]*Flow)}
+}
+
+// capacity returns the current capacity of a link in bits/sec.
+func (n *Network) capacity(l linkID) float64 {
+	switch l.kind {
+	case linkIntra:
+		return n.cl.IntraServerBwBps
+	case linkRackUp, linkRackDown:
+		return n.cl.RackUplinkBps
+	default:
+		return n.cl.Servers[l.server].AvailBwBps()
+	}
+}
+
+// route returns the links a src→dst flow traverses: the intra-server
+// path, or source uplink + destination downlink, plus — in the two-tier
+// topology — the rack core uplinks when the endpoints sit under
+// different leaf switches.
+func (n *Network) route(src, dst int) []linkID {
+	if src == dst {
+		return nil
+	}
+	sa, sb := n.cl.GPUs[src].Server, n.cl.GPUs[dst].Server
+	if sa == sb {
+		return []linkID{{kind: linkIntra, server: sa}}
+	}
+	out := []linkID{{kind: linkUp, server: sa}, {kind: linkDown, server: sb}}
+	if n.cl.Racks > 1 {
+		ra, rb := n.cl.Servers[sa].Rack, n.cl.Servers[sb].Rack
+		if ra != rb {
+			out = append(out,
+				linkID{kind: linkRackUp, server: ra},
+				linkID{kind: linkRackDown, server: rb})
+		}
+	}
+	return out
+}
+
+// StartFlow begins transferring bytes from src to dst and invokes done
+// (may be nil) when the last bit arrives. Zero-byte and same-worker flows
+// complete after a negligible local-copy delay.
+func (n *Network) StartFlow(src, dst int, bytes int64, name string, done func()) *Flow {
+	if bytes <= 0 || src == dst {
+		latency := sim.Time(float64(bytes*8) / (n.cl.IntraServerBwBps * 4))
+		n.eng.After(latency, name+"/local", func() {
+			if done != nil {
+				done()
+			}
+		})
+		return nil
+	}
+	return n.StartWeightedFlow(src, dst, bytes, 1, name, done)
+}
+
+// StartWeightedFlow is StartFlow with an explicit share weight: on a
+// congested link a weight-w flow receives w times the bandwidth of a
+// weight-1 flow (weighted max-min fairness). Weights ≤ 0 are treated
+// as 1.
+func (n *Network) StartWeightedFlow(src, dst int, bytes int64, weight float64, name string, done func()) *Flow {
+	if bytes <= 0 || src == dst {
+		latency := sim.Time(float64(bytes*8) / (n.cl.IntraServerBwBps * 4))
+		n.eng.After(latency, name+"/local", func() {
+			if done != nil {
+				done()
+			}
+		})
+		return nil
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	if n.PerHopLatencySec > 0 {
+		hops := len(n.route(src, dst))
+		if hops > 0 {
+			lat := sim.Time(n.PerHopLatencySec * float64(hops))
+			n.eng.After(lat, name+"/prop", func() {
+				n.injectFlow(src, dst, bytes, weight, name, done)
+			})
+			return nil
+		}
+	}
+	return n.injectFlow(src, dst, bytes, weight, name, done)
+}
+
+// injectFlow registers the flow with the fair-share allocator.
+func (n *Network) injectFlow(src, dst int, bytes int64, weight float64, name string, done func()) *Flow {
+	n.advance()
+	f := &Flow{
+		ID:        n.nextID,
+		Name:      name,
+		Src:       src,
+		Dst:       dst,
+		Weight:    weight,
+		remaining: float64(bytes * 8),
+		origBits:  float64(bytes * 8),
+		links:     n.route(src, dst),
+		done:      done,
+		started:   n.eng.Now(),
+	}
+	n.nextID++
+	n.flows[f.ID] = f
+	n.reschedule()
+	return f
+}
+
+// CancelFlow aborts an in-flight flow without firing its callback.
+func (n *Network) CancelFlow(f *Flow) {
+	if f == nil {
+		return
+	}
+	if _, ok := n.flows[f.ID]; !ok {
+		return
+	}
+	n.advance()
+	delete(n.flows, f.ID)
+	n.reschedule()
+}
+
+// OnCapacityChange must be called after mutating the cluster's bandwidth
+// state so in-flight flows are re-shared.
+func (n *Network) OnCapacityChange() {
+	n.advance()
+	n.reschedule()
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// advance progresses all flows' remaining volume to the current time
+// using the rates assigned at the previous recompute.
+func (n *Network) advance() {
+	now := n.eng.Now()
+	dt := float64(now - n.lastUpdate)
+	n.lastUpdate = now
+	if dt <= 0 {
+		return
+	}
+	for _, f := range n.flows {
+		f.remaining -= f.rate * dt
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+}
+
+// reschedule recomputes max-min fair rates and schedules the next flow
+// completion.
+func (n *Network) reschedule() {
+	if n.completion != nil {
+		n.eng.Cancel(n.completion)
+		n.completion = nil
+	}
+	// Finish flows that have already drained (possibly several at once).
+	// The threshold is one bit, widened by the time-ULP horizon: once a
+	// flow's residual would complete within the float64 resolution of
+	// the current clock, advancing time cannot drain it (dt rounds to
+	// zero), so treat it as done to avoid a zero-progress event loop.
+	now := float64(n.eng.Now())
+	var finished []*Flow
+	for _, f := range n.flows {
+		thresh := 1.0
+		if ulp := f.rate * now * 1e-15; ulp > thresh {
+			thresh = ulp
+		}
+		if f.remaining <= thresh {
+			finished = append(finished, f)
+		}
+	}
+	if len(finished) > 0 {
+		// Deterministic callback order: by flow ID.
+		for i := 0; i < len(finished); i++ {
+			for j := i + 1; j < len(finished); j++ {
+				if finished[j].ID < finished[i].ID {
+					finished[i], finished[j] = finished[j], finished[i]
+				}
+			}
+		}
+		for _, f := range finished {
+			delete(n.flows, f.ID)
+			n.TotalBitsDelivered += f.origBits
+		}
+		for _, f := range finished {
+			if f.done != nil {
+				f.done()
+			}
+		}
+		// Callbacks may have started new flows; recompute afresh.
+		n.reschedule()
+		return
+	}
+	if len(n.flows) == 0 {
+		return
+	}
+	n.computeRates()
+	// Earliest completion among current flows.
+	soonest := math.Inf(1)
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		t := f.remaining / f.rate
+		if t < soonest {
+			soonest = t
+		}
+	}
+	if math.IsInf(soonest, 1) {
+		return // no capacity anywhere; stalled until OnCapacityChange
+	}
+	n.completion = n.eng.After(sim.Time(soonest), "netsim/completion", func() {
+		n.completion = nil
+		n.advance()
+		n.reschedule()
+	})
+}
+
+// computeRates assigns weighted max-min fair rates via progressive
+// filling: each link divides its residual capacity in proportion to the
+// unfrozen flows' weights, and the flow with the smallest achievable
+// per-weight share freezes first.
+func (n *Network) computeRates() {
+	type linkState struct {
+		cap      float64
+		frozen   float64 // load of frozen flows
+		unfrozen float64 // total weight of unfrozen flows
+	}
+	links := make(map[linkID]*linkState)
+	for _, f := range n.flows {
+		f.rate = 0
+		for _, l := range f.links {
+			if _, ok := links[l]; !ok {
+				links[l] = &linkState{cap: n.capacity(l)}
+			}
+			links[l].unfrozen += f.Weight
+		}
+	}
+	unfrozen := make(map[uint64]*Flow, len(n.flows))
+	for id, f := range n.flows {
+		unfrozen[id] = f
+	}
+	for len(unfrozen) > 0 {
+		// Bottleneck per-weight share across links carrying unfrozen
+		// flows.
+		min := math.Inf(1)
+		for _, ls := range links {
+			if ls.unfrozen <= 0 {
+				continue
+			}
+			fair := (ls.cap - ls.frozen) / ls.unfrozen
+			if fair < min {
+				min = fair
+			}
+		}
+		if math.IsInf(min, 1) {
+			break
+		}
+		if min < 0 {
+			min = 0
+		}
+		// Freeze every unfrozen flow traversing a bottleneck link at
+		// weight × per-weight share.
+		progressed := false
+		for id, f := range unfrozen {
+			onBottleneck := false
+			for _, l := range f.links {
+				ls := links[l]
+				fair := (ls.cap - ls.frozen) / ls.unfrozen
+				if fair <= min*(1+1e-12) {
+					onBottleneck = true
+					break
+				}
+			}
+			if onBottleneck {
+				f.rate = min * f.Weight
+				for _, l := range f.links {
+					links[l].frozen += f.rate
+					links[l].unfrozen -= f.Weight
+				}
+				delete(unfrozen, id)
+				progressed = true
+			}
+		}
+		if !progressed {
+			// Numerical corner: freeze everything at min.
+			for id, f := range unfrozen {
+				f.rate = min * f.Weight
+				for _, l := range f.links {
+					links[l].frozen += f.rate
+					links[l].unfrozen -= f.Weight
+				}
+				delete(unfrozen, id)
+			}
+		}
+	}
+}

@@ -1,0 +1,419 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/sim"
+)
+
+func newNet(nicGbps float64) (*sim.Engine, *cluster.Cluster, *Network) {
+	eng := sim.NewEngine()
+	cl := cluster.Testbed(cluster.Gbps(nicGbps))
+	return eng, cl, New(eng, cl)
+}
+
+func TestSingleFlowTime(t *testing.T) {
+	eng, _, net := newNet(10)
+	var doneAt sim.Time = -1
+	// 1.25e9 bytes = 1e10 bits over 10 Gbps = 1 s. GPUs 0 and 2 are on
+	// different servers.
+	net.StartFlow(0, 2, 1.25e9, "t", func() { doneAt = eng.Now() })
+	eng.RunAll()
+	if math.Abs(float64(doneAt)-1.0) > 1e-9 {
+		t.Fatalf("flow finished at %v, want 1.0", doneAt)
+	}
+}
+
+func TestIntraServerFlowFaster(t *testing.T) {
+	eng, _, net := newNet(10)
+	var intra, inter sim.Time
+	net.StartFlow(0, 1, 1e9, "intra", func() { intra = eng.Now() })
+	eng.RunAll()
+	eng2 := sim.NewEngine()
+	net2 := New(eng2, cluster.Testbed(cluster.Gbps(10)))
+	net2.StartFlow(0, 2, 1e9, "inter", func() { inter = eng2.Now() })
+	eng2.RunAll()
+	if intra >= inter {
+		t.Fatalf("intra %v not faster than inter %v", intra, inter)
+	}
+}
+
+func TestTwoFlowsShareLink(t *testing.T) {
+	eng, _, net := newNet(10)
+	var first, second sim.Time
+	// Both flows leave server 0 (GPU 0 and GPU 1) to distinct servers;
+	// they share the server-0 uplink, so each gets 5 Gbps.
+	net.StartFlow(0, 2, 1.25e9, "a", func() { first = eng.Now() })
+	net.StartFlow(1, 4, 1.25e9, "b", func() { second = eng.Now() })
+	eng.RunAll()
+	if math.Abs(float64(first)-2.0) > 1e-6 || math.Abs(float64(second)-2.0) > 1e-6 {
+		t.Fatalf("shared flows finished at %v, %v; want 2.0 each", first, second)
+	}
+}
+
+func TestFlowCompletionFreesBandwidth(t *testing.T) {
+	eng, _, net := newNet(10)
+	var bigDone sim.Time
+	// Small flow shares the uplink for its lifetime; after it ends the
+	// big flow gets the full link.
+	net.StartFlow(0, 2, 1.25e9/2, "small", nil) // 0.5e10 bits
+	net.StartFlow(1, 4, 1.25e9, "big", func() { bigDone = eng.Now() })
+	eng.RunAll()
+	// small: shares at 5G until done at t=1 (5e9 bits at 5e9 b/s).
+	// big: t=1 has 5e9 bits left, now at 10G → finishes at 1.5.
+	if math.Abs(float64(bigDone)-1.5) > 1e-6 {
+		t.Fatalf("big flow finished at %v, want 1.5", bigDone)
+	}
+}
+
+func TestCapacityChangeMidFlow(t *testing.T) {
+	eng, cl, net := newNet(10)
+	var doneAt sim.Time
+	net.StartFlow(0, 2, 1.25e9, "x", func() { doneAt = eng.Now() })
+	eng.Schedule(0.5, "halve", func() {
+		cl.SetNICBandwidth(cluster.Gbps(5))
+		net.OnCapacityChange()
+	})
+	eng.RunAll()
+	// 0.5s at 10G moves half; remaining 5e9 bits at 5G takes 1s → 1.5 total.
+	if math.Abs(float64(doneAt)-1.5) > 1e-6 {
+		t.Fatalf("flow finished at %v, want 1.5", doneAt)
+	}
+}
+
+func TestSameWorkerFlowIsLocal(t *testing.T) {
+	eng, _, net := newNet(10)
+	done := false
+	f := net.StartFlow(3, 3, 1e9, "local", func() { done = true })
+	if f != nil {
+		t.Fatal("same-worker transfer should not create a network flow")
+	}
+	eng.RunAll()
+	if !done {
+		t.Fatal("local flow callback never fired")
+	}
+}
+
+func TestZeroByteFlow(t *testing.T) {
+	eng, _, net := newNet(10)
+	done := false
+	net.StartFlow(0, 2, 0, "zero", func() { done = true })
+	eng.RunAll()
+	if !done {
+		t.Fatal("zero-byte flow callback never fired")
+	}
+}
+
+func TestCancelFlow(t *testing.T) {
+	eng, _, net := newNet(10)
+	fired := false
+	f := net.StartFlow(0, 2, 1e12, "doomed", func() { fired = true })
+	eng.Schedule(0.1, "cancel", func() { net.CancelFlow(f) })
+	eng.RunAll()
+	if fired {
+		t.Fatal("canceled flow fired its callback")
+	}
+	if net.ActiveFlows() != 0 {
+		t.Fatal("canceled flow still active")
+	}
+}
+
+func TestPSSyncCompletesAndTiming(t *testing.T) {
+	eng, _, net := newNet(10)
+	var doneAt sim.Time = -1
+	// Workers 0,2,4 on three distinct servers; PS = worker 0.
+	// Push: 2 flows into server0 downlink, each 1.25e9 B = 1e10 bits
+	// sharing 10G downlink → 2s. Pull: 2 flows out of server0 uplink → 2s.
+	net.Sync(ParameterServer, []int{0, 2, 4}, 1.25e9, "ps", func() { doneAt = eng.Now() })
+	eng.RunAll()
+	if math.Abs(float64(doneAt)-4.0) > 1e-6 {
+		t.Fatalf("PS sync finished at %v, want 4.0", doneAt)
+	}
+}
+
+func TestRingAllReduceCompletesAndTiming(t *testing.T) {
+	eng, _, net := newNet(10)
+	var doneAt sim.Time = -1
+	// Ring over 0,2,4 (three servers): chunk = bytes/3, 4 steps.
+	// Each step: three disjoint server pairs, each chunk at 10G.
+	bytes := int64(3.75e9) // chunk 1.25e9 B = 1e10 bits → 1 s/step
+	net.Sync(RingAllReduce, []int{0, 2, 4}, bytes, "ring", func() { doneAt = eng.Now() })
+	eng.RunAll()
+	if math.Abs(float64(doneAt)-4.0) > 1e-6 {
+		t.Fatalf("ring all-reduce finished at %v, want 4.0 (4 steps × 1s)", doneAt)
+	}
+}
+
+func TestSyncSingleWorkerNoop(t *testing.T) {
+	eng, _, net := newNet(10)
+	done := 0
+	net.Sync(ParameterServer, []int{3}, 1e9, "solo", func() { done++ })
+	net.Sync(RingAllReduce, []int{3}, 1e9, "solo", func() { done++ })
+	eng.RunAll()
+	if done != 2 {
+		t.Fatalf("single-worker syncs fired %d callbacks, want 2", done)
+	}
+	if eng.Now() != 0 {
+		t.Fatalf("single-worker sync consumed time: %v", eng.Now())
+	}
+}
+
+func TestEstimateSyncTimeOrdering(t *testing.T) {
+	_, _, net := newNet(10)
+	// For the same volume, ring moves 2(N-1)/N of the bytes per worker
+	// link vs PS's 2× at the server — on equal links ring is faster for
+	// large N. Sanity: both positive, zero for single worker.
+	if net.EstimateSyncTime(ParameterServer, []int{0}, 1e9) != 0 {
+		t.Fatal("single-worker estimate must be 0")
+	}
+	ps := net.EstimateSyncTime(ParameterServer, []int{0, 2, 4, 6}, 1e9)
+	ring := net.EstimateSyncTime(RingAllReduce, []int{0, 2, 4, 6}, 1e9)
+	if ps <= 0 || ring <= 0 {
+		t.Fatalf("estimates not positive: ps=%v ring=%v", ps, ring)
+	}
+	if ring >= ps {
+		t.Fatalf("ring estimate %v should beat PS %v on uniform links", ring, ps)
+	}
+}
+
+func TestParseSyncScheme(t *testing.T) {
+	if s, err := ParseSyncScheme("PS"); err != nil || s != ParameterServer {
+		t.Fatal("ParseSyncScheme(PS) failed")
+	}
+	if s, err := ParseSyncScheme("ring"); err != nil || s != RingAllReduce {
+		t.Fatal("ParseSyncScheme(ring) failed")
+	}
+	if _, err := ParseSyncScheme("carrier-pigeon"); err == nil {
+		t.Fatal("ParseSyncScheme accepted junk")
+	}
+}
+
+// Property: max-min rates never oversubscribe a link and the allocation
+// is work-conserving for a single bottleneck.
+func TestQuickFairShareConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		eng, cl, net := newNet(10)
+		nFlows := 1 + r.Intn(6)
+		for i := 0; i < nFlows; i++ {
+			src := r.Intn(cl.NumGPUs())
+			dst := r.Intn(cl.NumGPUs())
+			if src == dst {
+				dst = (dst + 1) % cl.NumGPUs()
+			}
+			net.StartFlow(src, dst, int64(1e8+r.Int63n(1e9)), "q", nil)
+		}
+		// After scheduling, rates are assigned. Verify no link exceeded.
+		load := map[string]float64{}
+		for _, fl := range net.flows {
+			for _, l := range fl.links {
+				load[l.String()] += fl.rate
+			}
+		}
+		for name, tot := range load {
+			if tot > cluster.Gbps(10)*(1+1e-9) && name[0] != 'i' {
+				return false
+			}
+			if tot > cl.IntraServerBwBps*(1+1e-9) {
+				return false
+			}
+		}
+		eng.RunAll()
+		return net.ActiveFlows() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total delivered volume equals total injected volume.
+func TestQuickVolumeConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		eng, cl, net := newNet(25)
+		var injected float64
+		n := 1 + r.Intn(8)
+		for i := 0; i < n; i++ {
+			src := r.Intn(cl.NumGPUs())
+			dst := (src + 1 + r.Intn(cl.NumGPUs()-1)) % cl.NumGPUs()
+			b := int64(1e7 + r.Int63n(1e8))
+			if src != dst {
+				injected += float64(b * 8)
+				net.StartFlow(src, dst, b, "v", nil)
+			}
+		}
+		eng.RunAll()
+		return math.Abs(net.TotalBitsDelivered-injected) < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicCompletionOrder(t *testing.T) {
+	run := func() []string {
+		eng, _, net := newNet(10)
+		var order []string
+		for i, pair := range [][2]int{{0, 2}, {1, 4}, {2, 6}, {3, 8}} {
+			name := string(rune('a' + i))
+			net.StartFlow(pair[0], pair[1], 1e9, name, func() { order = append(order, name) })
+		}
+		eng.RunAll()
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic completion count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic order: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestRackUplinkOversubscription(t *testing.T) {
+	// Two racks, oversubscribed 4:1 core: four cross-rack flows share
+	// one 10G uplink while four intra-rack flows run at NIC speed.
+	mk := func(crossRack bool) sim.Time {
+		eng := sim.NewEngine()
+		cl := cluster.NewCluster(cluster.Config{
+			Servers: 8, GPUsPerServer: 1, GPUType: cluster.P100,
+			NICBwBps: cluster.Gbps(10),
+			Racks:    2, RackUplinkBps: cluster.Gbps(10),
+		})
+		net := New(eng, cl)
+		var last sim.Time
+		// Servers 0,2,4,6 → rack 0; 1,3,5,7 → rack 1 (round-robin).
+		for i := 0; i < 4; i++ {
+			src := 2 * i // rack 0
+			dst := 2*((i+1)%4) + 1
+			if !crossRack {
+				dst = 2 * ((i + 1) % 4) // stay in rack 0
+			}
+			net.StartFlow(src, dst, 1.25e9, "rk", func() { last = eng.Now() })
+		}
+		eng.RunAll()
+		return last
+	}
+	intra := mk(false)
+	cross := mk(true)
+	if float64(cross) < float64(intra)*3 {
+		t.Fatalf("oversubscribed cross-rack flows (%v) not ~4x slower than intra-rack (%v)", cross, intra)
+	}
+}
+
+func TestSingleSwitchHasNoRackLinks(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := cluster.Testbed(cluster.Gbps(10))
+	net := New(eng, cl)
+	var done sim.Time
+	net.StartFlow(0, 2, 1.25e9, "flat", func() { done = eng.Now() })
+	eng.RunAll()
+	if math.Abs(float64(done)-1.0) > 1e-6 {
+		t.Fatalf("single-switch flow took %v, want 1.0", done)
+	}
+}
+
+func TestRackPairBandwidth(t *testing.T) {
+	cl := cluster.NewCluster(cluster.Config{
+		Servers: 4, GPUsPerServer: 1, GPUType: cluster.P100,
+		NICBwBps: cluster.Gbps(40),
+		Racks:    2, RackUplinkBps: cluster.Gbps(10),
+	})
+	// Server racks: 0→r0, 1→r1, 2→r0, 3→r1.
+	if got := cl.PairBandwidth(0, 2); got != cluster.Gbps(40) {
+		t.Fatalf("same-rack pair bw = %v, want 40G", got)
+	}
+	if got := cl.PairBandwidth(0, 1); got != cluster.Gbps(10) {
+		t.Fatalf("cross-rack pair bw = %v, want uplink 10G", got)
+	}
+}
+
+func TestWeightedSharing(t *testing.T) {
+	eng, _, net := newNet(10)
+	var hiDone, loDone sim.Time
+	// Two flows share server-0's uplink; the weight-3 flow gets 7.5G,
+	// the weight-1 flow 2.5G.
+	net.StartWeightedFlow(0, 2, 1.25e9, 3, "hi", func() { hiDone = eng.Now() })
+	net.StartWeightedFlow(1, 4, 1.25e9, 1, "lo", func() { loDone = eng.Now() })
+	eng.RunAll()
+	// hi: 1e10 bits at 7.5G → 4/3 s. After it ends, lo has
+	// 1e10 − 2.5e9·4/3 = 6.67e9 bits at full 10G → +0.667s ⇒ 2.0s.
+	if math.Abs(float64(hiDone)-4.0/3) > 1e-6 {
+		t.Fatalf("high-weight flow finished at %v, want 1.333", hiDone)
+	}
+	if math.Abs(float64(loDone)-2.0) > 1e-6 {
+		t.Fatalf("low-weight flow finished at %v, want 2.0", loDone)
+	}
+}
+
+func TestWeightZeroTreatedAsOne(t *testing.T) {
+	eng, _, net := newNet(10)
+	var done sim.Time
+	net.StartWeightedFlow(0, 2, 1.25e9, 0, "z", func() { done = eng.Now() })
+	eng.RunAll()
+	if math.Abs(float64(done)-1.0) > 1e-6 {
+		t.Fatalf("zero-weight flow finished at %v, want 1.0", done)
+	}
+}
+
+// Property: weighted allocation still conserves link capacity.
+func TestQuickWeightedConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		eng, cl, net := newNet(10)
+		for i := 0; i < 1+r.Intn(6); i++ {
+			src := r.Intn(cl.NumGPUs())
+			dst := (src + 1 + r.Intn(cl.NumGPUs()-1)) % cl.NumGPUs()
+			net.StartWeightedFlow(src, dst, int64(1e8+r.Int63n(1e9)), 0.5+4*r.Float64(), "w", nil)
+		}
+		load := map[string]float64{}
+		for _, fl := range net.flows {
+			for _, l := range fl.links {
+				load[l.String()] += fl.rate
+			}
+		}
+		for name, tot := range load {
+			if name[0] != 'i' && tot > cluster.Gbps(10)*(1+1e-9) {
+				return false
+			}
+		}
+		eng.RunAll()
+		return net.ActiveFlows() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerHopLatency(t *testing.T) {
+	eng, _, net := newNet(10)
+	net.PerHopLatencySec = 0.1
+	var done sim.Time
+	// Cross-server flow: 2 hops (src up + dst down) → 0.2s latency
+	// before the 1.0s transfer.
+	net.StartFlow(0, 2, 1.25e9, "lat", func() { done = eng.Now() })
+	eng.RunAll()
+	if math.Abs(float64(done)-1.2) > 1e-6 {
+		t.Fatalf("flow with latency finished at %v, want 1.2", done)
+	}
+}
+
+func TestPerHopLatencyPenalisesChattyRing(t *testing.T) {
+	run := func(lat float64) float64 {
+		eng, _, net := newNet(10)
+		net.PerHopLatencySec = lat
+		var done sim.Time
+		net.Sync(RingAllReduce, []int{0, 2, 4, 6}, 4e8, "chatty", func() { done = eng.Now() })
+		eng.RunAll()
+		return float64(done)
+	}
+	if base, latency := run(0), run(0.05); latency <= base {
+		t.Fatal("per-hop latency did not slow the barriered ring")
+	}
+}

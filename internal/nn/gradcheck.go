@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"autopipe/internal/tensor"
+)
+
+// GradCheck verifies the analytic gradients of a scalar objective against
+// central finite differences.
+//
+// forward must recompute the objective from scratch using the current
+// parameter values (no stale caches). backward must zero gradients,
+// run the forward+backward pass, and leave dObjective/dParam accumulated
+// in each parameter's Grad. GradCheck returns the maximum relative error
+// across all parameter elements.
+func GradCheck(params []*Param, forward func() float64, backward func()) float64 {
+	const eps = 1e-5
+	backward()
+	analytic := make([][]float64, len(params))
+	for i, p := range params {
+		analytic[i] = append([]float64(nil), p.Grad.Data...)
+	}
+	maxErr := 0.0
+	for i, p := range params {
+		for j := range p.Value.Data {
+			orig := p.Value.Data[j]
+			p.Value.Data[j] = orig + eps
+			plus := forward()
+			p.Value.Data[j] = orig - eps
+			minus := forward()
+			p.Value.Data[j] = orig
+			numeric := (plus - minus) / (2 * eps)
+			a := analytic[i][j]
+			denom := math.Max(1e-8, math.Abs(a)+math.Abs(numeric))
+			err := math.Abs(a-numeric) / denom
+			if err > maxErr {
+				maxErr = err
+			}
+		}
+	}
+	return maxErr
+}
+
+// Sample is one supervised training example.
+type Sample struct {
+	X tensor.Vec
+	Y tensor.Vec
+}
+
+// SeqSample is a supervised example whose input is a sequence (for the
+// LSTM-bearing meta-network).
+type SeqSample struct {
+	Seq    []tensor.Vec
+	Static tensor.Vec
+	Y      tensor.Vec
+}
+
+// FitConfig controls the simple full-batch-per-epoch trainer.
+type FitConfig struct {
+	Epochs    int
+	BatchSize int // gradient accumulation window; <=1 means per-sample steps
+	Loss      Loss
+	Optimizer Optimizer
+	// OnEpoch, when non-nil, receives (epoch, meanLoss) after each epoch.
+	OnEpoch func(epoch int, loss float64)
+}
+
+// Fit trains net on samples and returns the final mean epoch loss.
+func Fit(net *Sequential, samples []Sample, cfg FitConfig) float64 {
+	if cfg.Loss == nil {
+		cfg.Loss = MSE{}
+	}
+	if cfg.Optimizer == nil {
+		cfg.Optimizer = NewAdam(1e-3)
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 1
+	}
+	last := math.Inf(1)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		total := 0.0
+		inBatch := 0
+		net.ZeroGrad()
+		for _, s := range samples {
+			pred := net.Forward(s.X)
+			total += cfg.Loss.Value(pred, s.Y)
+			net.Backward(cfg.Loss.Grad(pred, s.Y))
+			inBatch++
+			if inBatch >= cfg.BatchSize {
+				cfg.Optimizer.Step(net.Params())
+				net.ZeroGrad()
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			cfg.Optimizer.Step(net.Params())
+			net.ZeroGrad()
+		}
+		last = total / float64(len(samples))
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, last)
+		}
+	}
+	return last
+}
+
+// MeanLoss evaluates net on samples without training.
+func MeanLoss(net *Sequential, samples []Sample, loss Loss) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	if loss == nil {
+		loss = MSE{}
+	}
+	total := 0.0
+	for _, s := range samples {
+		pred := net.Forward(s.X)
+		total += loss.Value(pred, s.Y)
+		net.Reset()
+	}
+	return total / float64(len(samples))
+}
+
+// String renders a parameter for debugging.
+func (p *Param) String() string {
+	return fmt.Sprintf("%s[%dx%d]", p.Name, p.Value.Rows, p.Value.Cols)
+}

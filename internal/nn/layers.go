@@ -1,0 +1,135 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"autopipe/internal/tensor"
+)
+
+// Linear is a fully-connected layer: y = W·x + b.
+type Linear struct {
+	In, Out int
+	W, B    *Param
+
+	xs []tensor.Vec // cache stack of inputs
+}
+
+// NewLinear constructs a Glorot-initialised fully-connected layer.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{
+		In:  in,
+		Out: out,
+		W:   NewParam("linear.W", out, in),
+		B:   NewParam("linear.b", out, 1),
+	}
+	l.W.Value.XavierInit(rng)
+	return l
+}
+
+// Forward computes W·x + b and caches x for the backward pass.
+func (l *Linear) Forward(x tensor.Vec) tensor.Vec {
+	out := tensor.NewVec(l.Out)
+	l.W.Value.MulVec(x, out)
+	out.Add(l.B.Value.Data)
+	l.xs = append(l.xs, x.Clone())
+	return out
+}
+
+// Backward pops the cached input, accumulates dW and db, and returns dx.
+func (l *Linear) Backward(dout tensor.Vec) tensor.Vec {
+	x := l.pop()
+	l.W.Grad.AddOuter(1, dout, x)
+	l.B.Grad.Data.Add(dout)
+	dx := tensor.NewVec(l.In)
+	l.W.Value.MulVecT(dout, dx)
+	return dx
+}
+
+func (l *Linear) pop() tensor.Vec {
+	if len(l.xs) == 0 {
+		panic("nn: Linear.Backward without matching Forward")
+	}
+	x := l.xs[len(l.xs)-1]
+	l.xs = l.xs[:len(l.xs)-1]
+	return x
+}
+
+// Params returns {W, b}.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// Reset drops cached activations.
+func (l *Linear) Reset() { l.xs = nil }
+
+// activation is a stateless element-wise activation with cached outputs.
+type activation struct {
+	name  string
+	fn    func(float64) float64
+	deriv func(y float64) float64 // derivative expressed in the output y
+	ys    []tensor.Vec
+}
+
+// Forward applies the activation element-wise.
+func (a *activation) Forward(x tensor.Vec) tensor.Vec {
+	y := tensor.NewVec(len(x))
+	for i, v := range x {
+		y[i] = a.fn(v)
+	}
+	a.ys = append(a.ys, y.Clone())
+	return y
+}
+
+// Backward multiplies dout by the activation derivative.
+func (a *activation) Backward(dout tensor.Vec) tensor.Vec {
+	if len(a.ys) == 0 {
+		panic("nn: " + a.name + ".Backward without matching Forward")
+	}
+	y := a.ys[len(a.ys)-1]
+	a.ys = a.ys[:len(a.ys)-1]
+	dx := tensor.NewVec(len(dout))
+	for i := range dout {
+		dx[i] = dout[i] * a.deriv(y[i])
+	}
+	return dx
+}
+
+// Params returns nil: activations have no learnable state.
+func (a *activation) Params() []*Param { return nil }
+
+// Reset drops cached activations.
+func (a *activation) Reset() { a.ys = nil }
+
+// NewReLU returns a rectified-linear activation layer.
+func NewReLU() Layer {
+	return &activation{
+		name: "ReLU",
+		fn:   func(x float64) float64 { return math.Max(0, x) },
+		deriv: func(y float64) float64 {
+			if y > 0 {
+				return 1
+			}
+			return 0
+		},
+	}
+}
+
+// NewTanh returns a tanh activation layer.
+func NewTanh() Layer {
+	return &activation{
+		name:  "Tanh",
+		fn:    math.Tanh,
+		deriv: func(y float64) float64 { return 1 - y*y },
+	}
+}
+
+// NewSigmoid returns a logistic-sigmoid activation layer.
+func NewSigmoid() Layer {
+	return &activation{
+		name:  "Sigmoid",
+		fn:    Sigmoid,
+		deriv: func(y float64) float64 { return y * (1 - y) },
+	}
+}
+
+// Sigmoid is the logistic function 1/(1+e^-x).
+func Sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"math"
+
+	"autopipe/internal/tensor"
+)
+
+// Loss couples a scalar objective with its gradient w.r.t. the prediction.
+type Loss interface {
+	// Value returns the loss for prediction pred against target.
+	Value(pred, target tensor.Vec) float64
+	// Grad returns dLoss/dPred.
+	Grad(pred, target tensor.Vec) tensor.Vec
+}
+
+// MSE is mean squared error over the output vector: (1/n)·Σ(p−t)².
+type MSE struct{}
+
+// Value implements Loss.
+func (MSE) Value(pred, target tensor.Vec) float64 {
+	s := 0.0
+	for i := range pred {
+		d := pred[i] - target[i]
+		s += d * d
+	}
+	return s / float64(len(pred))
+}
+
+// Grad implements Loss.
+func (MSE) Grad(pred, target tensor.Vec) tensor.Vec {
+	g := tensor.NewVec(len(pred))
+	n := float64(len(pred))
+	for i := range pred {
+		g[i] = 2 * (pred[i] - target[i]) / n
+	}
+	return g
+}
+
+// BCEWithLogits is binary cross-entropy taking raw logits; the target is a
+// vector of {0,1} values. Numerically stable formulation.
+type BCEWithLogits struct{}
+
+// Value implements Loss.
+func (BCEWithLogits) Value(pred, target tensor.Vec) float64 {
+	s := 0.0
+	for i := range pred {
+		x, t := pred[i], target[i]
+		// max(x,0) − x·t + log(1+exp(−|x|))
+		s += math.Max(x, 0) - x*t + math.Log1p(math.Exp(-math.Abs(x)))
+	}
+	return s / float64(len(pred))
+}
+
+// Grad implements Loss.
+func (BCEWithLogits) Grad(pred, target tensor.Vec) tensor.Vec {
+	g := tensor.NewVec(len(pred))
+	n := float64(len(pred))
+	for i := range pred {
+		g[i] = (Sigmoid(pred[i]) - target[i]) / n
+	}
+	return g
+}
+
+// Huber is the Huber loss with threshold Delta, more robust than MSE to
+// the occasional wild throughput sample the online profiler produces.
+type Huber struct{ Delta float64 }
+
+// Value implements Loss.
+func (h Huber) Value(pred, target tensor.Vec) float64 {
+	d := h.Delta
+	if d <= 0 {
+		d = 1
+	}
+	s := 0.0
+	for i := range pred {
+		e := math.Abs(pred[i] - target[i])
+		if e <= d {
+			s += 0.5 * e * e
+		} else {
+			s += d * (e - 0.5*d)
+		}
+	}
+	return s / float64(len(pred))
+}
+
+// Grad implements Loss.
+func (h Huber) Grad(pred, target tensor.Vec) tensor.Vec {
+	d := h.Delta
+	if d <= 0 {
+		d = 1
+	}
+	g := tensor.NewVec(len(pred))
+	n := float64(len(pred))
+	for i := range pred {
+		e := pred[i] - target[i]
+		switch {
+		case e > d:
+			g[i] = d / n
+		case e < -d:
+			g[i] = -d / n
+		default:
+			g[i] = e / n
+		}
+	}
+	return g
+}

@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"autopipe/internal/tensor"
+)
+
+// LSTM is a single-block long short-term memory network processing a
+// sequence of input vectors and exposing the final hidden state. It is the
+// recurrent component of the AutoPipe meta-network (paper Fig. 7), which
+// consumes the per-iteration dynamic metrics.
+//
+// Gate layout inside the stacked pre-activation vector z (size 4H):
+// input gate i, forget gate f, candidate g, output gate o.
+type LSTM struct {
+	In, Hidden int
+	Wx         *Param // 4H × In
+	Wh         *Param // 4H × H
+	B          *Param // 4H × 1
+
+	steps []lstmStep // BPTT cache for the current sequence
+}
+
+type lstmStep struct {
+	x          tensor.Vec
+	hPrev      tensor.Vec
+	cPrev      tensor.Vec
+	i, f, g, o tensor.Vec
+	c, h       tensor.Vec
+}
+
+// NewLSTM constructs an LSTM block. The forget-gate bias is initialised
+// to 1, the standard trick for stable early training.
+func NewLSTM(in, hidden int, rng *rand.Rand) *LSTM {
+	l := &LSTM{
+		In:     in,
+		Hidden: hidden,
+		Wx:     NewParam("lstm.Wx", 4*hidden, in),
+		Wh:     NewParam("lstm.Wh", 4*hidden, hidden),
+		B:      NewParam("lstm.b", 4*hidden, 1),
+	}
+	l.Wx.Value.XavierInit(rng)
+	l.Wh.Value.XavierInit(rng)
+	for j := 0; j < hidden; j++ {
+		l.B.Value.Data[hidden+j] = 1 // forget gate bias
+	}
+	return l
+}
+
+// ForwardSeq runs the cell over the sequence xs (each element of length
+// In) starting from zero state and returns the final hidden state h_T.
+// Internal caches are retained for BackwardSeq.
+func (l *LSTM) ForwardSeq(xs []tensor.Vec) tensor.Vec {
+	l.steps = l.steps[:0]
+	h := tensor.NewVec(l.Hidden)
+	c := tensor.NewVec(l.Hidden)
+	H := l.Hidden
+	for _, x := range xs {
+		z := tensor.NewVec(4 * H)
+		l.Wx.Value.MulVec(x, z)
+		zh := tensor.NewVec(4 * H)
+		l.Wh.Value.MulVec(h, zh)
+		z.Add(zh)
+		z.Add(l.B.Value.Data)
+
+		st := lstmStep{
+			x: x.Clone(), hPrev: h.Clone(), cPrev: c.Clone(),
+			i: tensor.NewVec(H), f: tensor.NewVec(H),
+			g: tensor.NewVec(H), o: tensor.NewVec(H),
+			c: tensor.NewVec(H), h: tensor.NewVec(H),
+		}
+		for j := 0; j < H; j++ {
+			st.i[j] = Sigmoid(z[j])
+			st.f[j] = Sigmoid(z[H+j])
+			st.g[j] = math.Tanh(z[2*H+j])
+			st.o[j] = Sigmoid(z[3*H+j])
+			st.c[j] = st.f[j]*c[j] + st.i[j]*st.g[j]
+			st.h[j] = st.o[j] * math.Tanh(st.c[j])
+		}
+		h = st.h.Clone()
+		c = st.c.Clone()
+		l.steps = append(l.steps, st)
+	}
+	return h
+}
+
+// BackwardSeq backpropagates dL/dh_T through the cached sequence,
+// accumulating parameter gradients, and returns dL/dx_t for every step.
+func (l *LSTM) BackwardSeq(dhT tensor.Vec) []tensor.Vec {
+	H := l.Hidden
+	T := len(l.steps)
+	dxs := make([]tensor.Vec, T)
+	dh := dhT.Clone()
+	dc := tensor.NewVec(H)
+	for t := T - 1; t >= 0; t-- {
+		st := &l.steps[t]
+		dz := tensor.NewVec(4 * H)
+		for j := 0; j < H; j++ {
+			tc := math.Tanh(st.c[j])
+			dcj := dc[j] + dh[j]*st.o[j]*(1-tc*tc)
+			doj := dh[j] * tc
+			dij := dcj * st.g[j]
+			dfj := dcj * st.cPrev[j]
+			dgj := dcj * st.i[j]
+
+			dz[j] = dij * st.i[j] * (1 - st.i[j])
+			dz[H+j] = dfj * st.f[j] * (1 - st.f[j])
+			dz[2*H+j] = dgj * (1 - st.g[j]*st.g[j])
+			dz[3*H+j] = doj * st.o[j] * (1 - st.o[j])
+
+			dc[j] = dcj * st.f[j]
+		}
+		l.Wx.Grad.AddOuter(1, dz, st.x)
+		l.Wh.Grad.AddOuter(1, dz, st.hPrev)
+		l.B.Grad.Data.Add(dz)
+
+		dx := tensor.NewVec(l.In)
+		l.Wx.Value.MulVecT(dz, dx)
+		dxs[t] = dx
+
+		dh = tensor.NewVec(H)
+		l.Wh.Value.MulVecT(dz, dh)
+	}
+	l.steps = l.steps[:0]
+	return dxs
+}
+
+// Params returns {Wx, Wh, b}.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+// Reset drops the BPTT cache.
+func (l *LSTM) Reset() { l.steps = l.steps[:0] }

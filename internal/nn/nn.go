@@ -1,0 +1,119 @@
+// Package nn implements the small from-scratch neural-network substrate
+// AutoPipe needs: dense layers, an LSTM cell with full backpropagation
+// through time, standard activations and losses, SGD/Adam optimizers, and
+// a finite-difference gradient checker used by the tests.
+//
+// The networks in the paper are tiny (two hidden layers of 32 and 16
+// neurons for the RL arbiter; one LSTM block plus fully-connected layers
+// for the meta-network), so everything here operates on single samples
+// (batch loops live in the trainer) and favours clarity over throughput.
+package nn
+
+import (
+	"fmt"
+
+	"autopipe/internal/tensor"
+)
+
+// Param is a learnable parameter tensor with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Mat
+	Grad  *tensor.Mat
+}
+
+// NewParam returns a named zero parameter of the given shape.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{
+		Name:  name,
+		Value: tensor.NewMat(rows, cols),
+		Grad:  tensor.NewMat(rows, cols),
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is a differentiable module operating on vectors.
+//
+// Forward pushes an internal cache; Backward pops it. Backward calls must
+// therefore mirror Forward calls in reverse (LIFO), which is what
+// backpropagation does naturally.
+type Layer interface {
+	// Forward maps an input vector to an output vector.
+	Forward(x tensor.Vec) tensor.Vec
+	// Backward receives dLoss/dOutput, accumulates parameter gradients,
+	// and returns dLoss/dInput.
+	Backward(dout tensor.Vec) tensor.Vec
+	// Params returns the layer's learnable parameters (possibly empty).
+	Params() []*Param
+	// Reset clears any cached activations (dropping pending backward state).
+	Reset()
+}
+
+// Sequential chains layers: the output of layer i feeds layer i+1.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a sequential network from the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Forward runs the chain front to back.
+func (s *Sequential) Forward(x tensor.Vec) tensor.Vec {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward runs the chain back to front.
+func (s *Sequential) Backward(dout tensor.Vec) tensor.Vec {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dout = s.Layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params returns all learnable parameters in the chain.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Reset clears all cached activations in the chain.
+func (s *Sequential) Reset() {
+	for _, l := range s.Layers {
+		l.Reset()
+	}
+}
+
+// ZeroGrad clears gradients on every parameter of the chain.
+func (s *Sequential) ZeroGrad() {
+	for _, p := range s.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// CopyParamsFrom copies parameter values from src into s. The two networks
+// must have identical architectures. Used by the offline-training /
+// online-adaptation (transfer learning) flow.
+func (s *Sequential) CopyParamsFrom(src *Sequential) error {
+	dst := s.Params()
+	from := src.Params()
+	if len(dst) != len(from) {
+		return fmt.Errorf("nn: parameter count mismatch %d vs %d", len(dst), len(from))
+	}
+	for i := range dst {
+		if dst[i].Value.Rows != from[i].Value.Rows || dst[i].Value.Cols != from[i].Value.Cols {
+			return fmt.Errorf("nn: parameter %q shape mismatch", dst[i].Name)
+		}
+		copy(dst[i].Value.Data, from[i].Value.Data)
+	}
+	return nil
+}

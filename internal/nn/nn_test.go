@@ -1,0 +1,409 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"autopipe/internal/tensor"
+)
+
+func TestLinearForwardShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(3, 2, rng)
+	y := l.Forward(tensor.Vec{1, 2, 3})
+	if len(y) != 2 {
+		t.Fatalf("output len = %d, want 2", len(y))
+	}
+}
+
+func TestLinearKnownValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(2, 2, rng)
+	copy(l.W.Value.Data, []float64{1, 2, 3, 4})
+	copy(l.B.Value.Data, []float64{10, 20})
+	y := l.Forward(tensor.Vec{1, 1})
+	if y[0] != 13 || y[1] != 27 {
+		t.Fatalf("y = %v, want [13 27]", y)
+	}
+}
+
+func TestBackwardWithoutForwardPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(2, 2, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward without Forward did not panic")
+		}
+	}()
+	l.Backward(tensor.Vec{1, 1})
+}
+
+func TestGradCheckLinearMSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := NewSequential(NewLinear(4, 3, rng), NewTanh(), NewLinear(3, 2, rng))
+	x := tensor.Vec{0.5, -1.2, 0.3, 0.9}
+	y := tensor.Vec{1, -1}
+	loss := MSE{}
+	forward := func() float64 {
+		pred := net.Forward(x)
+		net.Reset()
+		return loss.Value(pred, y)
+	}
+	backward := func() {
+		net.ZeroGrad()
+		net.Reset()
+		pred := net.Forward(x)
+		net.Backward(loss.Grad(pred, y))
+	}
+	if err := GradCheck(net.Params(), forward, backward); err > 1e-5 {
+		t.Fatalf("max relative gradient error %v", err)
+	}
+}
+
+func TestGradCheckReLUSigmoid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := NewSequential(NewLinear(3, 5, rng), NewReLU(), NewLinear(5, 1, rng), NewSigmoid())
+	x := tensor.Vec{0.2, -0.7, 1.1}
+	y := tensor.Vec{0.3}
+	loss := MSE{}
+	forward := func() float64 {
+		pred := net.Forward(x)
+		net.Reset()
+		return loss.Value(pred, y)
+	}
+	backward := func() {
+		net.ZeroGrad()
+		net.Reset()
+		pred := net.Forward(x)
+		net.Backward(loss.Grad(pred, y))
+	}
+	if err := GradCheck(net.Params(), forward, backward); err > 1e-4 {
+		t.Fatalf("max relative gradient error %v", err)
+	}
+}
+
+func TestGradCheckBCE(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := NewSequential(NewLinear(4, 8, rng), NewTanh(), NewLinear(8, 1, rng))
+	x := tensor.Vec{0.1, 0.4, -0.3, 0.8}
+	y := tensor.Vec{1}
+	loss := BCEWithLogits{}
+	forward := func() float64 {
+		pred := net.Forward(x)
+		net.Reset()
+		return loss.Value(pred, y)
+	}
+	backward := func() {
+		net.ZeroGrad()
+		net.Reset()
+		pred := net.Forward(x)
+		net.Backward(loss.Grad(pred, y))
+	}
+	if err := GradCheck(net.Params(), forward, backward); err > 1e-4 {
+		t.Fatalf("max relative gradient error %v", err)
+	}
+}
+
+func TestGradCheckHuber(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	net := NewSequential(NewLinear(2, 4, rng), NewTanh(), NewLinear(4, 1, rng))
+	x := tensor.Vec{0.6, -0.2}
+	y := tensor.Vec{5} // large target forces the linear region too
+	loss := Huber{Delta: 1}
+	forward := func() float64 {
+		pred := net.Forward(x)
+		net.Reset()
+		return loss.Value(pred, y)
+	}
+	backward := func() {
+		net.ZeroGrad()
+		net.Reset()
+		pred := net.Forward(x)
+		net.Backward(loss.Grad(pred, y))
+	}
+	if err := GradCheck(net.Params(), forward, backward); err > 1e-4 {
+		t.Fatalf("max relative gradient error %v", err)
+	}
+}
+
+func TestGradCheckLSTM(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	l := NewLSTM(3, 4, rng)
+	head := NewLinear(4, 1, rng)
+	seq := []tensor.Vec{
+		{0.5, -0.2, 0.1},
+		{-0.4, 0.9, 0.3},
+		{0.2, 0.2, -0.8},
+	}
+	y := tensor.Vec{0.7}
+	loss := MSE{}
+	params := append(l.Params(), head.Params()...)
+	forward := func() float64 {
+		h := l.ForwardSeq(seq)
+		l.Reset()
+		pred := head.Forward(h)
+		head.Reset()
+		return loss.Value(pred, y)
+	}
+	backward := func() {
+		for _, p := range params {
+			p.ZeroGrad()
+		}
+		l.Reset()
+		head.Reset()
+		h := l.ForwardSeq(seq)
+		pred := head.Forward(h)
+		dh := head.Backward(loss.Grad(pred, y))
+		l.BackwardSeq(dh)
+	}
+	if err := GradCheck(params, forward, backward); err > 1e-4 {
+		t.Fatalf("LSTM max relative gradient error %v", err)
+	}
+}
+
+func TestLSTMEmptySequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewLSTM(2, 3, rng)
+	h := l.ForwardSeq(nil)
+	for _, v := range h {
+		if v != 0 {
+			t.Fatal("empty sequence must yield zero hidden state")
+		}
+	}
+}
+
+func TestLSTMForgetBiasInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewLSTM(2, 3, rng)
+	for j := 0; j < 3; j++ {
+		if l.B.Value.Data[3+j] != 1 {
+			t.Fatal("forget-gate bias not initialised to 1")
+		}
+		if l.B.Value.Data[j] != 0 {
+			t.Fatal("input-gate bias not zero")
+		}
+	}
+}
+
+func TestFitLearnsLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := NewSequential(NewLinear(2, 8, rng), NewTanh(), NewLinear(8, 1, rng))
+	var samples []Sample
+	for i := 0; i < 64; i++ {
+		x := tensor.Vec{rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		samples = append(samples, Sample{X: x, Y: tensor.Vec{0.5*x[0] - 0.3*x[1]}})
+	}
+	final := Fit(net, samples, FitConfig{Epochs: 300, BatchSize: 16, Optimizer: NewAdam(0.01)})
+	if final > 1e-3 {
+		t.Fatalf("failed to fit linear function: final loss %v", final)
+	}
+}
+
+func TestFitLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := NewSequential(NewLinear(2, 8, rng), NewTanh(), NewLinear(8, 1, rng))
+	samples := []Sample{
+		{X: tensor.Vec{0, 0}, Y: tensor.Vec{0}},
+		{X: tensor.Vec{0, 1}, Y: tensor.Vec{1}},
+		{X: tensor.Vec{1, 0}, Y: tensor.Vec{1}},
+		{X: tensor.Vec{1, 1}, Y: tensor.Vec{0}},
+	}
+	final := Fit(net, samples, FitConfig{Epochs: 2000, BatchSize: 4, Optimizer: NewAdam(0.05)})
+	if final > 1e-2 {
+		t.Fatalf("failed to fit XOR: final loss %v", final)
+	}
+}
+
+func TestCopyParamsFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := NewSequential(NewLinear(2, 3, rng), NewLinear(3, 1, rng))
+	b := NewSequential(NewLinear(2, 3, rng), NewLinear(3, 1, rng))
+	if err := b.CopyParamsFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Vec{0.3, -0.4}
+	ya := a.Forward(x)
+	yb := b.Forward(x)
+	if math.Abs(ya[0]-yb[0]) > 1e-12 {
+		t.Fatalf("outputs differ after CopyParamsFrom: %v vs %v", ya, yb)
+	}
+	mismatch := NewSequential(NewLinear(2, 4, rng))
+	if err := mismatch.CopyParamsFrom(a); err == nil {
+		t.Fatal("CopyParamsFrom with mismatched architecture must fail")
+	}
+}
+
+func TestSGDMomentumMovesDownhill(t *testing.T) {
+	p := NewParam("w", 1, 1)
+	p.Value.Data[0] = 10
+	opt := &SGD{LR: 0.1, Momentum: 0.9}
+	for i := 0; i < 100; i++ {
+		p.ZeroGrad()
+		p.Grad.Data[0] = 2 * p.Value.Data[0] // d/dw w²
+		opt.Step([]*Param{p})
+	}
+	if math.Abs(p.Value.Data[0]) > 0.5 {
+		t.Fatalf("momentum SGD failed to minimise w²: w=%v", p.Value.Data[0])
+	}
+}
+
+func TestGradientClipping(t *testing.T) {
+	p := NewParam("w", 1, 2)
+	p.Grad.Data[0], p.Grad.Data[1] = 3000, 4000 // norm 5000
+	before := append([]float64(nil), p.Grad.Data...)
+	opt := &SGD{LR: 1, Clip: 5}
+	start := append([]float64(nil), p.Value.Data...)
+	opt.Step([]*Param{p})
+	// The applied update must have norm ≤ Clip·LR.
+	dx := p.Value.Data[0] - start[0]
+	dy := p.Value.Data[1] - start[1]
+	norm := math.Hypot(dx, dy)
+	if norm > 5+1e-9 {
+		t.Fatalf("clipped update norm %v > 5", norm)
+	}
+	// direction preserved
+	if dx*before[0] > 0 || dy*before[1] > 0 {
+		t.Fatal("update not opposite to gradient")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	p := NewParam("w", 1, 1)
+	p.Value.Data[0] = 5
+	opt := NewAdam(0.1)
+	for i := 0; i < 500; i++ {
+		p.ZeroGrad()
+		p.Grad.Data[0] = 2 * (p.Value.Data[0] - 1.5)
+		opt.Step([]*Param{p})
+	}
+	if math.Abs(p.Value.Data[0]-1.5) > 1e-2 {
+		t.Fatalf("Adam failed: w=%v want 1.5", p.Value.Data[0])
+	}
+}
+
+// Property: BCE loss is non-negative and its gradient has the sign of
+// sigmoid(pred)−target.
+func TestQuickBCEProperties(t *testing.T) {
+	f := func(logit float64, targetBit bool) bool {
+		if math.IsNaN(logit) || math.IsInf(logit, 0) {
+			return true
+		}
+		logit = math.Mod(logit, 50)
+		target := 0.0
+		if targetBit {
+			target = 1
+		}
+		loss := BCEWithLogits{}
+		v := loss.Value(tensor.Vec{logit}, tensor.Vec{target})
+		if v < 0 || math.IsNaN(v) {
+			return false
+		}
+		g := loss.Grad(tensor.Vec{logit}, tensor.Vec{target})[0]
+		want := Sigmoid(logit) - target
+		return math.Abs(g-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MSE(v, v) == 0 and MSE grows with perturbation magnitude.
+func TestQuickMSEProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		v := tensor.NewVec(n)
+		for i := range v {
+			v[i] = r.NormFloat64()
+		}
+		loss := MSE{}
+		if loss.Value(v, v) != 0 {
+			return false
+		}
+		small := v.Clone()
+		big := v.Clone()
+		for i := range v {
+			small[i] += 0.1
+			big[i] += 1.0
+		}
+		return loss.Value(small, v) < loss.Value(big, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	net := NewSequential(NewLinear(1, 1, rng))
+	copy(net.Params()[0].Value.Data, []float64{1})
+	copy(net.Params()[1].Value.Data, []float64{0})
+	samples := []Sample{
+		{X: tensor.Vec{1}, Y: tensor.Vec{1}},
+		{X: tensor.Vec{2}, Y: tensor.Vec{0}},
+	}
+	got := MeanLoss(net, samples, MSE{})
+	if math.Abs(got-2) > 1e-12 { // (0 + 4)/2
+		t.Fatalf("MeanLoss = %v, want 2", got)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	a := NewSequential(NewLinear(3, 5, rng), NewTanh(), NewLinear(5, 2, rng))
+	b := NewSequential(NewLinear(3, 5, rng), NewTanh(), NewLinear(5, 2, rng))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, a.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, b.Params()); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Vec{0.1, -0.5, 0.9}
+	ya, yb := a.Forward(x), b.Forward(x)
+	for i := range ya {
+		if ya[i] != yb[i] {
+			t.Fatalf("outputs differ after round trip: %v vs %v", ya, yb)
+		}
+	}
+}
+
+func TestLoadParamsShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := NewSequential(NewLinear(3, 5, rng))
+	b := NewSequential(NewLinear(3, 4, rng))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, a.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, b.Params()); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	// The target network must be untouched after a failed load.
+	c := NewSequential(NewLinear(3, 4, rng))
+	_ = c
+}
+
+func TestLoadParamsCountMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := NewSequential(NewLinear(2, 2, rng))
+	b := NewSequential(NewLinear(2, 2, rng), NewLinear(2, 2, rng))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, a.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, b.Params()); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+}
+
+func TestLoadParamsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := NewSequential(NewLinear(2, 2, rng))
+	if err := LoadParams(bytes.NewReader([]byte("not gob")), n.Params()); err == nil {
+		t.Fatal("garbage stream accepted")
+	}
+}

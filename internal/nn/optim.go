@@ -1,0 +1,116 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter and clears nothing;
+	// callers zero gradients themselves (so several backward passes can
+	// accumulate into one step).
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional momentum and gradient
+// clipping by global norm.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	Clip     float64 // max global grad norm; 0 disables clipping
+
+	velocity map[*Param][]float64
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	scale := clipScale(params, s.Clip)
+	if s.Momentum == 0 {
+		for _, p := range params {
+			p.Value.AddScaled(-s.LR*scale, p.Grad)
+		}
+		return
+	}
+	if s.velocity == nil {
+		s.velocity = make(map[*Param][]float64)
+	}
+	for _, p := range params {
+		v, ok := s.velocity[p]
+		if !ok {
+			v = make([]float64, len(p.Value.Data))
+			s.velocity[p] = v
+		}
+		for i := range v {
+			v[i] = s.Momentum*v[i] - s.LR*scale*p.Grad.Data[i]
+			p.Value.Data[i] += v[i]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction and
+// optional global-norm gradient clipping.
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+	Clip  float64
+
+	t int
+	m map[*Param][]float64
+	v map[*Param][]float64
+}
+
+// NewAdam returns an Adam optimizer with standard hyper-parameters.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	if a.m == nil {
+		a.m = make(map[*Param][]float64)
+		a.v = make(map[*Param][]float64)
+	}
+	a.t++
+	scale := clipScale(params, a.Clip)
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(p.Value.Data))
+			a.m[p] = m
+			a.v[p] = make([]float64, len(p.Value.Data))
+		}
+		v := a.v[p]
+		for i := range m {
+			g := p.Grad.Data[i] * scale
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mHat := m[i] / bc1
+			vHat := v[i] / bc2
+			p.Value.Data[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+}
+
+// clipScale returns the multiplier that caps the global gradient norm at
+// clip (1 when clipping is disabled or unnecessary).
+func clipScale(params []*Param, clip float64) float64 {
+	if clip <= 0 {
+		return 1
+	}
+	sq := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm <= clip || norm == 0 {
+		return 1
+	}
+	return clip / norm
+}

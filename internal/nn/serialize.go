@@ -1,0 +1,57 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// paramBlob is the on-wire form of one parameter tensor.
+type paramBlob struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64
+}
+
+// SaveParams writes the parameter values to w (gob encoding). The
+// gradient accumulators are not persisted. Used to ship offline-trained
+// meta-network and arbiter weights to per-job instances.
+func SaveParams(w io.Writer, params []*Param) error {
+	blobs := make([]paramBlob, len(params))
+	for i, p := range params {
+		blobs[i] = paramBlob{
+			Name: p.Name,
+			Rows: p.Value.Rows, Cols: p.Value.Cols,
+			Data: append([]float64(nil), p.Value.Data...),
+		}
+	}
+	return gob.NewEncoder(w).Encode(blobs)
+}
+
+// LoadParams reads parameter values from r into params. The stream must
+// contain exactly the same number and shapes of tensors, in order.
+func LoadParams(r io.Reader, params []*Param) error {
+	var blobs []paramBlob
+	if err := gob.NewDecoder(r).Decode(&blobs); err != nil {
+		return fmt.Errorf("nn: decode params: %w", err)
+	}
+	if len(blobs) != len(params) {
+		return fmt.Errorf("nn: stream has %d tensors, network has %d", len(blobs), len(params))
+	}
+	for i, b := range blobs {
+		p := params[i]
+		if b.Rows != p.Value.Rows || b.Cols != p.Value.Cols {
+			return fmt.Errorf("nn: tensor %d (%s) is %dx%d in stream, %dx%d in network",
+				i, b.Name, b.Rows, b.Cols, p.Value.Rows, p.Value.Cols)
+		}
+		if len(b.Data) != len(p.Value.Data) {
+			return fmt.Errorf("nn: tensor %d (%s) has %d values, want %d",
+				i, b.Name, len(b.Data), len(p.Value.Data))
+		}
+	}
+	// Validate everything before mutating anything.
+	for i, b := range blobs {
+		copy(params[i].Value.Data, b.Data)
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package partition
+
+import (
+	"math"
+	"sort"
+)
+
+// Hierarchical planning. PipeDream's published partitioner runs its DP
+// recursively over the levels of a hierarchical topology: first split
+// the model across the top-level groups (racks), whose interconnect is
+// the slow oversubscribed uplink, then split each group's layer range
+// across its own workers over the fast local links. The flat planner in
+// pipedream.go assumes one uniform bandwidth; this file provides the
+// two-level variant for the rack-enabled cluster topology.
+
+// pipeDreamRange runs the flat DP restricted to layers [lo, hi) using
+// the given workers, returning the stage list (layer indices are
+// absolute). The cost model's bandwidth is used for both sync and
+// boundary terms.
+func pipeDreamRange(cm *CostModel, workers []int, lo, hi int) []Stage {
+	L := hi - lo
+	N := len(workers)
+	if L <= 0 || N == 0 {
+		return nil
+	}
+	const inf = math.MaxFloat64
+	best := make([][]float64, L+1)
+	splitI := make([][]int, L+1)
+	splitM := make([][]int, L+1)
+	for j := 0; j <= L; j++ {
+		best[j] = make([]float64, N+1)
+		splitI[j] = make([]int, N+1)
+		splitM[j] = make([]int, N+1)
+		for m := 0; m <= N; m++ {
+			best[j][m] = inf
+		}
+	}
+	best[0][0] = 0
+	prefT := make([]float64, L+1)
+	prefW := make([]int64, L+1)
+	for l := 0; l < L; l++ {
+		prefT[l+1] = prefT[l] + cm.LayerTime[lo+l]
+		prefW[l+1] = prefW[l] + cm.ParamBytes[lo+l]
+	}
+	stageTime := func(i, j, m int) float64 {
+		t := prefT[j] - prefT[i]
+		w := prefW[j] - prefW[i]
+		sync := 0.0
+		if m > 1 {
+			sync = 4 * float64(m-1) / float64(m) * float64(w*8) / cm.Bandwidth
+		}
+		return t/float64(m) + sync
+	}
+	for j := 1; j <= L; j++ {
+		for m := 1; m <= N; m++ {
+			for i := 0; i < j; i++ {
+				for mp := 1; mp <= m; mp++ {
+					prev := best[i][m-mp]
+					if prev == inf {
+						continue
+					}
+					cand := prev
+					if i > 0 {
+						if ct := cm.boundaryCommTime(lo + i - 1); ct > cand {
+							cand = ct
+						}
+					}
+					if st := stageTime(i, j, mp); st > cand {
+						cand = st
+					}
+					if cand < best[j][m] {
+						best[j][m] = cand
+						splitI[j][m] = i
+						splitM[j][m] = mp
+					}
+				}
+			}
+		}
+	}
+	bestM, bestVal := 1, inf
+	for m := 1; m <= N; m++ {
+		if best[L][m] < bestVal {
+			bestVal = best[L][m]
+			bestM = m
+		}
+	}
+	var rev []Stage
+	j, m := L, bestM
+	for j > 0 {
+		i, mp := splitI[j][m], splitM[j][m]
+		rev = append(rev, Stage{Start: lo + i, End: lo + j, Workers: make([]int, mp)})
+		j, m = i, m-mp
+	}
+	var stages []Stage
+	for s := len(rev) - 1; s >= 0; s-- {
+		stages = append(stages, rev[s])
+	}
+	next := 0
+	for si := range stages {
+		ws := stages[si].Workers
+		for k := range ws {
+			ws[k] = workers[next]
+			next++
+		}
+	}
+	return stages
+}
+
+// PipeDreamHierarchical runs the two-level DP: the model is first
+// chain-partitioned across racks using the inter-rack bandwidth (each
+// rack modelled as one aggregate worker of its combined speed), then
+// each rack's layer range is partitioned across its own workers with
+// the flat DP at intra-rack bandwidth. workersByRack lists each rack's
+// workers; racks with no workers are skipped.
+func PipeDreamHierarchical(cm *CostModel, workersByRack [][]int, interBwBps float64) Plan {
+	var racks [][]int
+	for _, ws := range workersByRack {
+		if len(ws) > 0 {
+			racks = append(racks, append([]int(nil), ws...))
+		}
+	}
+	R := len(racks)
+	L := len(cm.LayerTime)
+	if R == 0 || L == 0 {
+		return Plan{}
+	}
+	if R == 1 {
+		plan := Plan{Stages: pipeDreamRange(cm, racks[0], 0, L)}
+		plan.InFlight = noam(len(plan.AllWorkers()), plan.Stages[0].Replicas())
+		return plan
+	}
+	// Level 2: chain-partition layers across racks (no cross-rack
+	// replication — gradient sync over the uplink is prohibitive, which
+	// is exactly why PipeDream plans hierarchically). Aggregate rack
+	// speed: per-layer time divided by rack size (perfect local split —
+	// the inner DP refines this).
+	prefT := make([]float64, L+1)
+	for l := 0; l < L; l++ {
+		prefT[l+1] = prefT[l] + cm.LayerTime[l]
+	}
+	const inf = math.MaxFloat64
+	// best[j][r]: minimal bottleneck covering first j layers with the
+	// first r racks (each rack gets a contiguous, possibly empty,
+	// range — but empty wastes a rack, so ranges are non-empty).
+	best := make([][]float64, L+1)
+	split := make([][]int, L+1)
+	for j := 0; j <= L; j++ {
+		best[j] = make([]float64, R+1)
+		split[j] = make([]int, R+1)
+		for r := 0; r <= R; r++ {
+			best[j][r] = inf
+		}
+	}
+	best[0][0] = 0
+	for j := 1; j <= L; j++ {
+		for r := 1; r <= R && r <= j; r++ {
+			for i := r - 1; i < j; i++ {
+				prev := best[i][r-1]
+				if prev == inf {
+					continue
+				}
+				cand := prev
+				if i > 0 {
+					ct := 2 * float64(cm.ActBytes[i-1]*8) / interBwBps
+					if ct > cand {
+						cand = ct
+					}
+				}
+				st := (prefT[j] - prefT[i]) / float64(len(racks[r-1]))
+				if st > cand {
+					cand = st
+				}
+				if cand < best[j][r] {
+					best[j][r] = cand
+					split[j][r] = i
+				}
+			}
+		}
+	}
+	// Using fewer racks may win when the model is small.
+	bestR, bestVal := 1, inf
+	for r := 1; r <= R; r++ {
+		if best[L][r] < bestVal {
+			bestVal = best[L][r]
+			bestR = r
+		}
+	}
+	type rng struct{ lo, hi, rack int }
+	var ranges []rng
+	j := L
+	for r := bestR; r >= 1; r-- {
+		i := split[j][r]
+		ranges = append(ranges, rng{lo: i, hi: j, rack: r - 1})
+		j = i
+	}
+	sort.Slice(ranges, func(a, b int) bool { return ranges[a].lo < ranges[b].lo })
+	// Level 1: flat DP within each rack's range.
+	var plan Plan
+	for _, rg := range ranges {
+		plan.Stages = append(plan.Stages, pipeDreamRange(cm, racks[rg.rack], rg.lo, rg.hi)...)
+	}
+	if len(plan.Stages) == 0 {
+		return Plan{}
+	}
+	plan.InFlight = noam(len(plan.AllWorkers()), plan.Stages[0].Replicas())
+	return plan
+}

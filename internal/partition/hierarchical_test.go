@@ -1,0 +1,101 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/model"
+)
+
+func twoRackCluster(nicGbps, uplinkGbps float64) *cluster.Cluster {
+	return cluster.NewCluster(cluster.Config{
+		Servers: 4, GPUsPerServer: 2, GPUType: cluster.P100,
+		NICBwBps: cluster.Gbps(nicGbps),
+		Racks:    2, RackUplinkBps: cluster.Gbps(uplinkGbps),
+	})
+}
+
+// rackWorkers groups the cluster's workers by rack.
+func rackWorkers(cl *cluster.Cluster) [][]int {
+	out := make([][]int, cl.Racks)
+	for w := 0; w < cl.NumGPUs(); w++ {
+		r := cl.ServerOf(w).Rack
+		out[r] = append(out[r], w)
+	}
+	return out
+}
+
+func TestHierarchicalPlanValid(t *testing.T) {
+	cl := twoRackCluster(40, 10)
+	for _, m := range []*model.Model{model.AlexNet(), model.VGG16(), model.ResNet50()} {
+		cm := NewPipeDreamCost(m, cl, 0, cluster.Gbps(40))
+		p := PipeDreamHierarchical(cm, rackWorkers(cl), cluster.Gbps(10))
+		if err := p.Validate(m.NumLayers(), cl.NumGPUs()); err != nil {
+			t.Errorf("%s: %v (%s)", m.Name, err, p)
+		}
+	}
+}
+
+func TestHierarchicalNoCrossRackStage(t *testing.T) {
+	// Level-2 planning never replicates a stage across racks: every
+	// stage's workers live in one rack.
+	cl := twoRackCluster(40, 10)
+	m := model.ResNet50()
+	cm := NewPipeDreamCost(m, cl, 0, cluster.Gbps(40))
+	p := PipeDreamHierarchical(cm, rackWorkers(cl), cluster.Gbps(10))
+	for _, s := range p.Stages {
+		r := cl.ServerOf(s.Workers[0]).Rack
+		for _, w := range s.Workers[1:] {
+			if cl.ServerOf(w).Rack != r {
+				t.Fatalf("stage %v spans racks", s)
+			}
+		}
+	}
+}
+
+func TestHierarchicalSingleRackMatchesFlat(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(25))
+	m := model.AlexNet()
+	cm := NewPipeDreamCost(m, cl, 0, cluster.Gbps(25))
+	ws := []int{0, 1, 2, 3}
+	flat := PipeDream(cm, ws)
+	hier := PipeDreamHierarchical(cm, [][]int{ws}, cluster.Gbps(25))
+	if cm.Bottleneck(hier) > cm.Bottleneck(flat)*(1+1e-9) {
+		t.Fatalf("single-rack hierarchical (%v) worse than flat (%v)",
+			cm.Bottleneck(hier), cm.Bottleneck(flat))
+	}
+}
+
+func TestHierarchicalEmptyInputs(t *testing.T) {
+	cl := twoRackCluster(40, 10)
+	cm := NewPipeDreamCost(model.AlexNet(), cl, 0, cluster.Gbps(40))
+	if p := PipeDreamHierarchical(cm, nil, cluster.Gbps(10)); len(p.Stages) != 0 {
+		t.Fatal("plan from zero racks should be empty")
+	}
+	if p := PipeDreamHierarchical(cm, [][]int{{}, {}}, cluster.Gbps(10)); len(p.Stages) != 0 {
+		t.Fatal("plan from empty racks should be empty")
+	}
+}
+
+// Property: hierarchical plans are valid for random models and rack
+// splits, and more racks than layers degrade gracefully.
+func TestQuickHierarchicalValid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		L := 2 + r.Intn(12)
+		m := model.Uniform(L, 1e9, 10000)
+		for i := range m.Layers {
+			m.Layers[i].FLOPs *= 0.3 + 1.5*r.Float64()
+			m.Layers[i].Params = int64(1e5 + r.Float64()*1e7)
+		}
+		cl := twoRackCluster(40, 5+35*r.Float64())
+		cm := NewPipeDreamCost(m, cl, 0, cluster.Gbps(40))
+		p := PipeDreamHierarchical(cm, rackWorkers(cl), cl.RackUplinkBps)
+		return p.Validate(L, cl.NumGPUs()) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package partition
+
+// Neighbors enumerates the AutoPipe search neighbourhood of a plan
+// (paper §4.2 "New worker partition"): candidate partitions that differ
+// from the incumbent in at most two workers' tasks, so a switch can run
+// without stopping the rest of the pipeline. Two move families:
+//
+//  1. Boundary shifts between an adjacent pair of single-replica stages
+//     (exactly the two involved workers change task). Every feasible new
+//     boundary inside the merged range is generated — O(L) per pair,
+//     O(L·S) ≤ O(L²) total, matching the paper's complexity claim.
+//  2. Replica migration: moving one worker from a stage with ≥2 replicas
+//     to an adjacent stage (one worker changes task; the donor and
+//     recipient stages only change data-parallel width).
+//
+// The incumbent's InFlight is preserved except where the input-stage
+// width changes, in which case NOAM is recomputed.
+func Neighbors(p Plan) []Plan {
+	var out []Plan
+	// Move family 1: boundary shifts.
+	for si := 0; si+1 < len(p.Stages); si++ {
+		a, b := p.Stages[si], p.Stages[si+1]
+		if a.Replicas() != 1 || b.Replicas() != 1 {
+			continue
+		}
+		for boundary := a.Start + 1; boundary < b.End; boundary++ {
+			if boundary == a.End {
+				continue // incumbent
+			}
+			q := p.Clone()
+			q.Stages[si].End = boundary
+			q.Stages[si+1].Start = boundary
+			out = append(out, q)
+		}
+	}
+	// Move family 2: replica migrations between adjacent stages.
+	for si := range p.Stages {
+		for _, dj := range []int{-1, 1} {
+			ti := si + dj
+			if ti < 0 || ti >= len(p.Stages) {
+				continue
+			}
+			if p.Stages[si].Replicas() < 2 {
+				continue
+			}
+			q := p.Clone()
+			donor := &q.Stages[si]
+			recipient := &q.Stages[ti]
+			// Move the last worker of the donor stage.
+			w := donor.Workers[len(donor.Workers)-1]
+			donor.Workers = donor.Workers[:len(donor.Workers)-1]
+			recipient.Workers = append(recipient.Workers, w)
+			q.InFlight = noam(len(q.AllWorkers()), q.Stages[0].Replicas())
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// InFlightVariants returns copies of p with the in-flight mini-batch
+// count varied around the incumbent (±1, ±2, and the NOAM value for the
+// current stage shape). Changing the pipeline depth moves no tasks, so
+// these are free switches — but they are part of the configuration the
+// paper optimises ("optimal number of on-the-fly mini-batches").
+func InFlightVariants(p Plan, maxInFlight int) []Plan {
+	if maxInFlight < 1 {
+		maxInFlight = 2 * len(p.AllWorkers())
+	}
+	candidates := map[int]bool{}
+	for _, d := range []int{-2, -1, 1, 2} {
+		candidates[p.InFlight+d] = true
+	}
+	candidates[noam(len(p.AllWorkers()), p.Stages[0].Replicas())] = true
+	candidates[len(p.Stages)] = true
+	var out []Plan
+	for k := range candidates {
+		if k < 1 || k > maxInFlight || k == p.InFlight {
+			continue
+		}
+		q := p.Clone()
+		q.InFlight = k
+		out = append(out, q)
+	}
+	// Deterministic order.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].InFlight < out[i].InFlight {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// NeighborsWithMerge extends Neighbors with stage merges of an adjacent
+// single-replica pair (the merged stage keeps both workers as replicas)
+// and splits of a two-replica stage into two single-replica stages at
+// every interior boundary. Both involve exactly the two affected workers.
+// AutoPipe uses the extended neighbourhood when the environment shift is
+// large (e.g. bandwidth quadrupled) and plain boundary moves stall.
+func NeighborsWithMerge(p Plan) []Plan {
+	out := Neighbors(p)
+	// Merges.
+	for si := 0; si+1 < len(p.Stages); si++ {
+		a, b := p.Stages[si], p.Stages[si+1]
+		if a.Replicas() != 1 || b.Replicas() != 1 {
+			continue
+		}
+		q := Plan{InFlight: p.InFlight}
+		q.Stages = append(q.Stages, p.Stages[:si]...)
+		merged := Stage{Start: a.Start, End: b.End, Workers: append(append([]int(nil), a.Workers...), b.Workers...)}
+		q.Stages = append(q.Stages, merged)
+		q.Stages = append(q.Stages, p.Stages[si+2:]...)
+		q = q.Clone()
+		q.InFlight = noam(len(q.AllWorkers()), q.Stages[0].Replicas())
+		out = append(out, q)
+	}
+	// Splits.
+	for si := range p.Stages {
+		s := p.Stages[si]
+		if s.Replicas() != 2 {
+			continue
+		}
+		for boundary := s.Start + 1; boundary < s.End; boundary++ {
+			q := Plan{InFlight: p.InFlight}
+			q.Stages = append(q.Stages, p.Stages[:si]...)
+			q.Stages = append(q.Stages,
+				Stage{Start: s.Start, End: boundary, Workers: []int{s.Workers[0]}},
+				Stage{Start: boundary, End: s.End, Workers: []int{s.Workers[1]}})
+			q.Stages = append(q.Stages, p.Stages[si+1:]...)
+			q = q.Clone()
+			q.InFlight = noam(len(q.AllWorkers()), q.Stages[0].Replicas())
+			out = append(out, q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+package partition
+
+// Worker-subset selection. Pipeline planners usually use every GPU they
+// are given, but on a slow network a communication-heavy model can train
+// *faster on fewer workers*: each extra stage adds a boundary transfer
+// and each extra replica adds sync volume. SelectWorkers searches over
+// subset sizes, preferring locality (consecutive workers share servers
+// in the testbed layout), and returns the best plan found.
+
+// SelectWorkers runs the DP for every prefix size k = 1..len(workers)
+// of the worker pool (prefixes preserve locality: workers are ordered
+// server-major) and returns the plan with the lowest cost-model
+// bottleneck, along with the worker count it uses.
+func SelectWorkers(cm *CostModel, workers []int) (Plan, int) {
+	var best Plan
+	bestVal := -1.0
+	bestK := 0
+	for k := 1; k <= len(workers); k++ {
+		p := PipeDream(cm, workers[:k])
+		if len(p.Stages) == 0 {
+			continue
+		}
+		v := cm.Bottleneck(p)
+		if bestK == 0 || v < bestVal {
+			best, bestVal, bestK = p, v, k
+		}
+	}
+	return best, bestK
+}

@@ -1,0 +1,171 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/sim"
+)
+
+// randomPlan builds a random valid plan over L layers and a random
+// subset of workers.
+func randomPlan(r *rand.Rand, L, numWorkers int) partition.Plan {
+	// Random worker subset (at least 1).
+	perm := r.Perm(numWorkers)
+	n := 1 + r.Intn(numWorkers)
+	workers := perm[:n]
+	// Random contiguous split into at most min(n, L) stages.
+	maxStages := n
+	if L < maxStages {
+		maxStages = L
+	}
+	nStages := 1 + r.Intn(maxStages)
+	// Choose nStages-1 distinct boundaries.
+	bounds := map[int]bool{}
+	for len(bounds) < nStages-1 {
+		bounds[1+r.Intn(L-1)] = true
+	}
+	var cuts []int
+	for b := range bounds {
+		cuts = append(cuts, b)
+	}
+	// insertion sort (tiny)
+	for i := 0; i < len(cuts); i++ {
+		for j := i + 1; j < len(cuts); j++ {
+			if cuts[j] < cuts[i] {
+				cuts[i], cuts[j] = cuts[j], cuts[i]
+			}
+		}
+	}
+	cuts = append(cuts, L)
+	// Distribute workers across stages: each stage ≥1 worker.
+	var plan partition.Plan
+	start := 0
+	remaining := append([]int(nil), workers...)
+	for si, end := range cuts {
+		stagesLeft := len(cuts) - si
+		take := 1
+		if extra := len(remaining) - stagesLeft; extra > 0 {
+			take += r.Intn(extra + 1)
+		}
+		plan.Stages = append(plan.Stages, partition.Stage{
+			Start: start, End: end, Workers: append([]int(nil), remaining[:take]...),
+		})
+		remaining = remaining[take:]
+		start = end
+	}
+	// Any leftover workers join the last stage.
+	last := &plan.Stages[len(plan.Stages)-1]
+	last.Workers = append(last.Workers, remaining...)
+	plan.InFlight = 1 + r.Intn(2*n)
+	return plan
+}
+
+// Property: ANY valid plan on ANY environment completes all batches —
+// the engine never deadlocks, regardless of replication pattern,
+// in-flight depth, sync scheme, or coalescing period.
+func TestQuickAsyncNeverDeadlocks(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		L := 2 + r.Intn(12)
+		m := model.Uniform(L, 1e9*(1+9*r.Float64()), int64(1e3+r.Float64()*1e6))
+		for i := range m.Layers {
+			m.Layers[i].FLOPs *= 0.3 + 1.4*r.Float64()
+			m.Layers[i].Params = int64(1e4 + r.Float64()*1e7)
+		}
+		cl := cluster.Testbed(cluster.Gbps(1 + 99*r.Float64()))
+		if r.Intn(2) == 0 {
+			cl.AddCompetingJob()
+		}
+		if r.Intn(3) == 0 {
+			cl.SetExtShareAll(0.5 * r.Float64())
+		}
+		plan := randomPlan(r, L, cl.NumGPUs())
+		if plan.Validate(L, cl.NumGPUs()) != nil {
+			return false // generator bug, surface it
+		}
+		cfg := Config{
+			Model: m, Cluster: cl, Plan: plan,
+			Scheme:    netsim.SyncScheme(r.Intn(2)),
+			SyncEvery: 1 + r.Intn(4),
+		}
+		batches := 3 + r.Intn(10)
+		res, err := MeasureAsync(cfg, batches)
+		return err == nil && res.Batches == batches
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the sync engines complete under random micro-batch counts
+// and plans too.
+func TestQuickSyncNeverDeadlocks(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		L := 2 + r.Intn(10)
+		m := model.Uniform(L, 1e10, int64(1e4+r.Float64()*1e5))
+		cl := cluster.Testbed(cluster.Gbps(5 + 95*r.Float64()))
+		plan := randomPlan(r, L, cl.NumGPUs())
+		if plan.Validate(L, cl.NumGPUs()) != nil {
+			return false
+		}
+		cfg := SyncConfig{
+			Config: Config{
+				Model: m, Cluster: cl, Plan: plan,
+				Scheme: netsim.SyncScheme(r.Intn(2)),
+			},
+			Schedule:     SyncSchedule(r.Intn(3)),
+			MicroBatches: 1 + r.Intn(8),
+		}
+		res, err := MeasureSync(cfg, 2+r.Intn(4))
+		return err == nil && res.Batches >= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random mid-run switches between random boundary-compatible
+// plans never deadlock and never violate the stash invariant (the engine
+// panics on violation, which quick reports as a failure).
+func TestQuickSwitchingNeverDeadlocks(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		L := 4 + r.Intn(8)
+		m := model.Uniform(L, 1e10, 1e4)
+		cl := cluster.Testbed(cluster.Gbps(25))
+		ws := []int{0, 1, 2, 3}
+		plan := partition.EvenSplit(L, ws)
+		eng := sim.NewEngine()
+		net := netsim.New(eng, cl)
+		e, err := NewAsync(eng, net, Config{
+			Model: m, Cluster: cl, Plan: plan, Scheme: netsim.RingAllReduce,
+		})
+		if err != nil {
+			return false
+		}
+		const batches = 20
+		e.Start(batches)
+		e.OnBatchDone(func(batch int, _ sim.Time) {
+			if e.Switching() || r.Intn(3) != 0 {
+				return
+			}
+			cands := append(partition.Neighbors(e.Plan()), partition.InFlightVariants(e.Plan(), 8)...)
+			if len(cands) == 0 {
+				return
+			}
+			_ = e.ApplyPlan(cands[r.Intn(len(cands))], SwitchAuto, nil)
+		})
+		eng.RunAll()
+		return e.Completed() == batches
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"autopipe/internal/netsim"
+	"autopipe/internal/sim"
+)
+
+// Result summarises a bounded training run.
+type Result struct {
+	// Batches completed and samples processed.
+	Batches int
+	Samples int
+	// WallTime is the total virtual time of the run (seconds).
+	WallTime float64
+	// StartupTime is the completion time of the first mini-batch — the
+	// pipeline-fill cost of Figure 2.
+	StartupTime float64
+	// Throughput is steady-state samples/sec (warmup completions
+	// excluded).
+	Throughput float64
+	// Utilization maps worker id → busy fraction.
+	Utilization map[int]float64
+	// StashPeak is the maximum weight-stash population on any replica.
+	StashPeak int
+}
+
+// throughputOf computes steady-state samples/sec from completion times,
+// dropping the first fifth (minimum one) as pipeline warmup.
+func throughputOf(completions []sim.Time, samplesPerBatch int) float64 {
+	n := len(completions)
+	if n < 2 {
+		if n == 1 && completions[0] > 0 {
+			return float64(samplesPerBatch) / float64(completions[0])
+		}
+		return 0
+	}
+	skip := n / 5
+	if skip < 1 {
+		skip = 1
+	}
+	if skip >= n {
+		skip = n - 1
+	}
+	t0, t1 := completions[skip-1], completions[n-1]
+	if t1 <= t0 {
+		return 0
+	}
+	return float64((n-skip)*samplesPerBatch) / float64(t1-t0)
+}
+
+// Throughput returns the engine's current steady-state samples/sec.
+func (e *AsyncEngine) Throughput() float64 {
+	return throughputOf(e.completions, e.cfg.Model.MiniBatch)
+}
+
+// ThroughputWindow returns samples/sec over the last w completions.
+func (e *AsyncEngine) ThroughputWindow(w int) float64 {
+	n := len(e.completions)
+	if w < 2 || n < 2 {
+		return e.Throughput()
+	}
+	if w > n {
+		w = n
+	}
+	t0, t1 := e.completions[n-w], e.completions[n-1]
+	if t1 <= t0 {
+		return 0
+	}
+	return float64((w-1)*e.cfg.Model.MiniBatch) / float64(t1-t0)
+}
+
+// MeasureAsync runs an asynchronous pipeline for the given number of
+// mini-batches on a fresh simulation and returns its metrics.
+func MeasureAsync(cfg Config, batches int) (Result, error) {
+	if batches <= 0 {
+		return Result{}, fmt.Errorf("pipeline: non-positive batch count %d", batches)
+	}
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cfg.Cluster)
+	e, err := NewAsync(eng, net, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	e.Start(batches)
+	eng.RunAll()
+	if e.Completed() != batches {
+		return Result{}, fmt.Errorf("pipeline: deadlock — completed %d of %d batches", e.Completed(), batches)
+	}
+	res := Result{
+		Batches:     e.Completed(),
+		Samples:     e.Completed() * cfg.Model.MiniBatch,
+		WallTime:    float64(eng.Now()),
+		Throughput:  e.Throughput(),
+		Utilization: e.Utilization(),
+		StashPeak:   e.StashPeak(),
+	}
+	if len(e.completions) > 0 {
+		res.StartupTime = float64(e.completions[0])
+	}
+	return res, nil
+}

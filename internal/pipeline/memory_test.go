@@ -1,0 +1,78 @@
+package pipeline
+
+import (
+	"testing"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/sim"
+)
+
+func measureMemory(t *testing.T, syncEvery, inFlight, batches int) (*AsyncEngine, int64) {
+	t.Helper()
+	cl := cluster.Testbed(cluster.Gbps(25))
+	m := model.VGG16()
+	plan := partition.EvenSplit(m.NumLayers(), workerIDs(4))
+	plan.InFlight = inFlight
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	e, err := NewAsync(eng, net, Config{
+		Model: m, Cluster: cl, Plan: plan,
+		Scheme: netsim.RingAllReduce, SyncEvery: syncEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start(batches)
+	eng.RunAll()
+	if e.Completed() != batches {
+		t.Fatalf("deadlock %d/%d", e.Completed(), batches)
+	}
+	return e, e.MaxPeakMemoryBytes()
+}
+
+func TestMemoryAtLeastParams(t *testing.T) {
+	e, _ := measureMemory(t, 1, 4, 12)
+	peaks := e.PeakMemoryBytes()
+	m := e.cfg.Model
+	for _, s := range e.cfg.Plan.Stages {
+		var params int64
+		for l := s.Start; l < s.End; l++ {
+			params += m.Layers[l].ParamBytes()
+		}
+		for _, w := range s.Workers {
+			if peaks[w] < params {
+				t.Fatalf("worker %d peak %d below its stage params %d", w, peaks[w], params)
+			}
+		}
+	}
+}
+
+func TestTwoBWUsesLessWeightMemory(t *testing.T) {
+	// PipeDream (version per batch) pins more weight versions than
+	// 2BW-style coalescing (version every 4 batches) at the same
+	// pipeline depth.
+	_, pipedream := measureMemory(t, 1, 4, 20)
+	_, twoBW := measureMemory(t, 4, 4, 20)
+	if twoBW >= pipedream {
+		t.Fatalf("2BW peak %d not below PipeDream %d", twoBW, pipedream)
+	}
+}
+
+func TestDeeperPipelineUsesMoreMemory(t *testing.T) {
+	_, shallow := measureMemory(t, 1, 2, 20)
+	_, deep := measureMemory(t, 1, 6, 20)
+	if deep <= shallow {
+		t.Fatalf("InFlight=6 peak %d not above InFlight=2 peak %d", deep, shallow)
+	}
+}
+
+func TestMemoryDeterministic(t *testing.T) {
+	_, a := measureMemory(t, 2, 4, 15)
+	_, b := measureMemory(t, 2, 4, 15)
+	if a != b {
+		t.Fatalf("nondeterministic memory: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,418 @@
+// Package pipeline executes pipeline-parallel DNN training on the
+// discrete-event simulator: PipeDream-style asynchronous 1F1B (with
+// weight stashing and optional 2BW gradient coalescing) in AsyncEngine,
+// and the synchronous micro-batch schedules (GPipe, DAPPLE, Chimera) in
+// SyncEngine. It is the executable substitute for the paper's
+// PyTorch/TensorFlow/MXNet training runs: throughput emerges from
+// simulated compute occupancy and simulated flows, not from a closed-form
+// model — so a bad partition produces bubbles here exactly as it would on
+// the testbed.
+package pipeline
+
+import (
+	"fmt"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/sim"
+)
+
+// Framework models the host ML framework as a compute-efficiency factor
+// (the paper evaluates the same workloads under TensorFlow, MXNet and
+// PyTorch and sees constant-factor differences).
+type Framework struct {
+	Name       string
+	Efficiency float64
+}
+
+// Framework presets.
+var (
+	TensorFlow = Framework{Name: "TensorFlow", Efficiency: 0.90}
+	MXNet      = Framework{Name: "MXNet", Efficiency: 0.93}
+	PyTorch    = Framework{Name: "PyTorch", Efficiency: 0.96}
+)
+
+// Config parametrises an engine.
+type Config struct {
+	Model   *model.Model
+	Cluster *cluster.Cluster
+	Plan    partition.Plan
+	Scheme  netsim.SyncScheme
+	// Framework defaults to PyTorch when zero.
+	Framework Framework
+	// SyncEvery is the gradient-coalescing period (PipeDream-2BW): the
+	// replicated-stage gradient sync runs every SyncEvery-th backward
+	// pass per stage. 0/1 means every mini-batch (vanilla PipeDream).
+	SyncEvery int
+	// CommPriority enables ByteScheduler-style communication
+	// scheduling: latency-sensitive boundary activations/gradients get
+	// a larger share weight than bulk gradient-sync traffic on
+	// congested links.
+	CommPriority bool
+}
+
+// Flow share weights under CommPriority.
+const (
+	boundaryFlowWeight = 4.0
+	syncFlowWeight     = 1.0
+)
+
+// boundaryWeight returns the share weight for pipeline boundary flows.
+func (c *Config) boundaryWeight() float64 {
+	if c.CommPriority {
+		return boundaryFlowWeight
+	}
+	return 1
+}
+
+func (c *Config) validate() error {
+	if c.Model == nil || c.Cluster == nil {
+		return fmt.Errorf("pipeline: nil model or cluster")
+	}
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if err := c.Plan.Validate(c.Model.NumLayers(), c.Cluster.NumGPUs()); err != nil {
+		return err
+	}
+	if c.Framework.Efficiency == 0 {
+		c.Framework = PyTorch
+	}
+	if c.SyncEvery < 1 {
+		c.SyncEvery = 1
+	}
+	return nil
+}
+
+type taskKind uint8
+
+const (
+	taskFP taskKind = iota
+	taskBP
+)
+
+type task struct {
+	kind  taskKind
+	batch int
+}
+
+// replica is one worker's runtime state within a stage.
+type replica struct {
+	worker int
+	stage  *stageRT
+
+	busy    bool
+	blocked bool // migration in progress (fine-grained switching)
+	queue   []task
+
+	// Weight stashing (PipeDream §4.4 / AutoPipe §4.4): version is the
+	// committed weight version; stash maps an in-flight batch to the
+	// version its forward pass used, so its backward pass uses the same
+	// weights. stashPeak is telemetry for the memory-cost analysis.
+	version   int
+	stash     map[int]int
+	stashPeak int
+	bpCount   int   // backward passes completed (drives version bumps)
+	memPeak   int64 // peak weight+activation memory (see memory.go)
+
+	busyTime float64 // accumulated compute seconds (utilization)
+}
+
+// stageRT is a stage's runtime state.
+type stageRT struct {
+	idx        int
+	start, end int
+	replicas   []*replica
+
+	syncBusy    bool
+	syncQueue   int // BP completions awaiting their gradient sync
+	bpSinceSync int
+}
+
+func (s *stageRT) replicaFor(batch int) *replica {
+	return s.replicas[batch%len(s.replicas)]
+}
+
+// AsyncEngine runs asynchronous 1F1B pipeline parallelism.
+type AsyncEngine struct {
+	eng *sim.Engine
+	net *netsim.Network
+	cfg Config
+
+	stages    []*stageRT
+	byWorker  map[int]*replica
+	inFlight  int
+	nextBatch int
+	started   bool
+	target    int // stop after this many batches; 0 = unbounded
+
+	completions []sim.Time
+	onBatchDone []func(batch int, at sim.Time)
+
+	// switching state
+	draining    bool
+	pendingPlan *partition.Plan
+	switchMode  SwitchMode
+	switchDone  func()
+	// Stats
+	SwitchCount   int
+	MigratedBytes int64
+}
+
+// NewAsync builds an asynchronous engine over an existing simulation
+// engine and network (so cluster dynamics and other traffic can share the
+// same virtual time).
+func NewAsync(eng *sim.Engine, net *netsim.Network, cfg Config) (*AsyncEngine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &AsyncEngine{eng: eng, net: net, cfg: cfg, byWorker: map[int]*replica{}}
+	e.buildStages(cfg.Plan)
+	return e, nil
+}
+
+func (e *AsyncEngine) buildStages(p partition.Plan) {
+	e.stages = nil
+	e.byWorker = map[int]*replica{}
+	for i, s := range p.Stages {
+		rt := &stageRT{idx: i, start: s.Start, end: s.End}
+		for _, w := range s.Workers {
+			r := &replica{worker: w, stage: rt, stash: map[int]int{}}
+			rt.replicas = append(rt.replicas, r)
+			e.byWorker[w] = r
+		}
+		e.stages = append(e.stages, rt)
+	}
+}
+
+// OnBatchDone registers a completion callback; multiple callbacks run
+// in registration order.
+func (e *AsyncEngine) OnBatchDone(fn func(batch int, at sim.Time)) {
+	e.onBatchDone = append(e.onBatchDone, fn)
+}
+
+// Completions returns the completion times recorded so far.
+func (e *AsyncEngine) Completions() []sim.Time { return e.completions }
+
+// Completed returns the number of finished mini-batches.
+func (e *AsyncEngine) Completed() int { return len(e.completions) }
+
+// Plan returns the currently executing plan (reconstructed from runtime
+// state).
+func (e *AsyncEngine) Plan() partition.Plan {
+	var p partition.Plan
+	for _, s := range e.stages {
+		st := partition.Stage{Start: s.start, End: s.end}
+		for _, r := range s.replicas {
+			st.Workers = append(st.Workers, r.worker)
+		}
+		p.Stages = append(p.Stages, st)
+	}
+	p.InFlight = e.cfg.Plan.InFlight
+	return p
+}
+
+// Start begins injecting mini-batches. target ≤ 0 runs unbounded (the
+// caller stops the sim engine).
+func (e *AsyncEngine) Start(target int) {
+	e.started = true
+	e.target = target
+	e.inject()
+}
+
+func (e *AsyncEngine) inject() {
+	if e.draining || !e.started {
+		return
+	}
+	for e.inFlight < e.cfg.Plan.InFlight && (e.target <= 0 || e.nextBatch < e.target) {
+		b := e.nextBatch
+		e.nextBatch++
+		e.inFlight++
+		r := e.stages[0].replicaFor(b)
+		r.queue = append(r.queue, task{kind: taskFP, batch: b})
+		e.tryStart(r)
+	}
+}
+
+// tryStart launches the replica's next runnable task if it is idle.
+// 1F1B policy: prefer the oldest backward pass; backward is gated on the
+// stage's gradient sync not being in flight; fall back to the oldest
+// forward pass.
+func (e *AsyncEngine) tryStart(r *replica) {
+	if r.busy || r.blocked || len(r.queue) == 0 {
+		return
+	}
+	pick := -1
+	if !r.stage.syncBusy {
+		for i, t := range r.queue {
+			if t.kind == taskBP {
+				pick = i
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		for i, t := range r.queue {
+			if t.kind == taskFP {
+				pick = i
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		return
+	}
+	t := r.queue[pick]
+	r.queue = append(r.queue[:pick], r.queue[pick+1:]...)
+	r.busy = true
+
+	var dur float64
+	if t.kind == taskFP {
+		dur = e.cfg.Cluster.StageFPTime(e.cfg.Model, r.stage.start, r.stage.end, r.worker)
+	} else {
+		dur = e.cfg.Cluster.StageBPTime(e.cfg.Model, r.stage.start, r.stage.end, r.worker)
+	}
+	dur /= e.cfg.Framework.Efficiency
+	r.busyTime += dur
+	e.eng.After(sim.Time(dur), taskName(t, r), func() {
+		r.busy = false
+		e.onTaskDone(r, t)
+		e.tryStart(r)
+	})
+}
+
+func taskName(t task, r *replica) string {
+	k := "FP"
+	if t.kind == taskBP {
+		k = "BP"
+	}
+	return fmt.Sprintf("%s(b%d)@w%d", k, t.batch, r.worker)
+}
+
+func (e *AsyncEngine) onTaskDone(r *replica, t task) {
+	st := r.stage
+	if t.kind == taskFP {
+		// Weight stashing: remember the version this batch saw.
+		r.stash[t.batch] = r.version
+		if len(r.stash) > r.stashPeak {
+			r.stashPeak = len(r.stash)
+		}
+		e.noteMemory(r)
+		if st.idx == len(e.stages)-1 {
+			// Last stage: backward follows immediately (same replica).
+			r.queue = append(r.queue, task{kind: taskBP, batch: t.batch})
+			return
+		}
+		// Ship activations to the next stage's responsible replica.
+		next := e.stages[st.idx+1]
+		dst := next.replicaFor(t.batch)
+		bytes := e.cfg.Model.Layers[st.end-1].OutputBytes(e.cfg.Model.MiniBatch)
+		e.net.StartWeightedFlow(r.worker, dst.worker, bytes, e.cfg.boundaryWeight(), fmt.Sprintf("act(b%d)%d→%d", t.batch, st.idx, next.idx), func() {
+			dst.queue = append(dst.queue, task{kind: taskFP, batch: t.batch})
+			e.tryStart(dst)
+		})
+		return
+	}
+	// Backward pass done: consume the stashed version (the invariant —
+	// FP and BP of a batch use the same weights — is checked here).
+	if _, ok := r.stash[t.batch]; !ok {
+		panic(fmt.Sprintf("pipeline: BP(b%d)@w%d without stashed weights", t.batch, r.worker))
+	}
+	delete(r.stash, t.batch)
+	// Weight update cadence: vanilla PipeDream commits a fresh version
+	// per backward pass; 2BW-style coalescing (SyncEvery = m) commits
+	// every m-th pass, so at most two versions stay live (the paper's
+	// double-buffered weights).
+	r.bpCount++
+	if r.bpCount%e.cfg.SyncEvery == 0 {
+		r.version++
+	}
+	e.noteMemory(r)
+
+	// Replicated-stage gradient synchronisation, coalesced every
+	// SyncEvery backward passes (2BW sets SyncEvery=m; PipeDream uses 1).
+	if len(st.replicas) > 1 {
+		st.bpSinceSync++
+		if st.bpSinceSync >= e.cfg.SyncEvery {
+			st.bpSinceSync = 0
+			st.syncQueue++
+			e.maybeStartSync(st)
+		}
+	}
+
+	if st.idx == 0 {
+		e.finishBatch(t.batch)
+		return
+	}
+	// Ship the gradient to the previous stage's responsible replica.
+	prev := e.stages[st.idx-1]
+	dst := prev.replicaFor(t.batch)
+	bytes := e.cfg.Model.Layers[st.start].GradientBytes(e.cfg.Model.MiniBatch)
+	e.net.StartWeightedFlow(r.worker, dst.worker, bytes, e.cfg.boundaryWeight(), fmt.Sprintf("grad(b%d)%d→%d", t.batch, st.idx, prev.idx), func() {
+		dst.queue = append(dst.queue, task{kind: taskBP, batch: t.batch})
+		e.tryStart(dst)
+	})
+}
+
+func (e *AsyncEngine) maybeStartSync(st *stageRT) {
+	if st.syncBusy || st.syncQueue == 0 {
+		return
+	}
+	st.syncBusy = true
+	st.syncQueue--
+	var bytes int64
+	for l := st.start; l < st.end; l++ {
+		bytes += e.cfg.Model.Layers[l].ParamBytes()
+	}
+	workers := make([]int, len(st.replicas))
+	for i, r := range st.replicas {
+		workers[i] = r.worker
+	}
+	e.net.Sync(e.cfg.Scheme, workers, bytes, fmt.Sprintf("gradsync(stage%d)", st.idx), func() {
+		st.syncBusy = false
+		for _, r := range st.replicas {
+			e.tryStart(r)
+		}
+		e.maybeStartSync(st)
+	})
+}
+
+func (e *AsyncEngine) finishBatch(batch int) {
+	e.inFlight--
+	e.completions = append(e.completions, e.eng.Now())
+	for _, fn := range e.onBatchDone {
+		fn(batch, e.eng.Now())
+	}
+	if e.draining && e.inFlight == 0 {
+		e.completeRestartSwitch()
+		return
+	}
+	e.inject()
+}
+
+// Utilization returns per-worker busy-time fractions over elapsed time.
+func (e *AsyncEngine) Utilization() map[int]float64 {
+	out := map[int]float64{}
+	now := float64(e.eng.Now())
+	if now <= 0 {
+		return out
+	}
+	for w, r := range e.byWorker {
+		out[w] = r.busyTime / now
+	}
+	return out
+}
+
+// StashPeak returns the largest weight-stash population seen on any
+// replica (memory telemetry for weight stashing).
+func (e *AsyncEngine) StashPeak() int {
+	peak := 0
+	for _, r := range e.byWorker {
+		if r.stashPeak > peak {
+			peak = r.stashPeak
+		}
+	}
+	return peak
+}

@@ -1,0 +1,273 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"autopipe/internal/model"
+	"autopipe/internal/partition"
+	"autopipe/internal/sim"
+)
+
+// SwitchMode selects how a new work partition is put in place.
+type SwitchMode int
+
+// Switch modes.
+const (
+	// SwitchAuto uses fine-grained switching when the new plan is
+	// boundary-compatible with the running one, full restart otherwise.
+	SwitchAuto SwitchMode = iota
+	// SwitchRestart drains the pipeline, migrates weights, rebuilds, and
+	// refills — the straw-man reconfiguration of paper §3.1 (pays the
+	// full pipeline drain + startup bubbles).
+	SwitchRestart
+	// SwitchFineGrained migrates the moved layers one by one while the
+	// pipeline keeps running (paper §4.4: layer-by-layer computation
+	// plus weight stashing), pausing only the affected workers for the
+	// per-layer commit instants.
+	SwitchFineGrained
+)
+
+// layerSwitchOverhead is the per-layer commit overhead of fine-grained
+// switching: the PCIe-call and bookkeeping cost PipeSwitch attributes to
+// layer-by-layer transmission.
+const layerSwitchOverhead = 2e-3 // seconds
+
+// MigrationVolume returns the weight bytes that must move between workers
+// when switching plans: for every layer, each worker that newly owns it
+// must receive its parameters from a previous owner.
+func MigrationVolume(m *model.Model, oldPlan, newPlan partition.Plan) int64 {
+	ownersOf := func(p partition.Plan, layer int) map[int]bool {
+		si := p.StageOfLayer(layer)
+		out := map[int]bool{}
+		if si < 0 {
+			return out
+		}
+		for _, w := range p.Stages[si].Workers {
+			out[w] = true
+		}
+		return out
+	}
+	var total int64
+	for l := 0; l < m.NumLayers(); l++ {
+		oldOwners := ownersOf(oldPlan, l)
+		for w := range ownersOf(newPlan, l) {
+			if !oldOwners[w] {
+				total += m.Layers[l].ParamBytes()
+			}
+		}
+	}
+	return total
+}
+
+// BoundaryCompatible reports whether newPlan differs from oldPlan only in
+// stage boundaries (same stage count, same worker set per stage) — the
+// precondition for fine-grained switching.
+func BoundaryCompatible(oldPlan, newPlan partition.Plan) bool {
+	if len(oldPlan.Stages) != len(newPlan.Stages) {
+		return false
+	}
+	for i := range oldPlan.Stages {
+		a, b := oldPlan.Stages[i].Workers, newPlan.Stages[i].Workers
+		if len(a) != len(b) {
+			return false
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Switching reports whether a plan switch is currently in progress.
+func (e *AsyncEngine) Switching() bool {
+	return e.draining || e.pendingPlan != nil
+}
+
+// ApplyPlan transitions the running pipeline to newPlan. done (may be
+// nil) fires when the switch has fully committed. Returns an error if a
+// switch is already in progress, the plan is invalid, or
+// SwitchFineGrained is forced on an incompatible plan.
+func (e *AsyncEngine) ApplyPlan(newPlan partition.Plan, mode SwitchMode, done func()) error {
+	if e.Switching() {
+		return fmt.Errorf("pipeline: switch already in progress")
+	}
+	if err := newPlan.Validate(e.cfg.Model.NumLayers(), e.cfg.Cluster.NumGPUs()); err != nil {
+		return err
+	}
+	cur := e.Plan()
+	structural := cur.Clone()
+	structural.InFlight = newPlan.InFlight
+	if newPlan.Equal(structural) {
+		// InFlight-only changes commit instantly: no task moves.
+		e.cfg.Plan.InFlight = newPlan.InFlight
+		e.inject()
+		if done != nil {
+			e.eng.After(0, "switch/noop", done)
+		}
+		return nil
+	}
+	compatible := BoundaryCompatible(cur, newPlan)
+	switch mode {
+	case SwitchFineGrained:
+		if !compatible {
+			return fmt.Errorf("pipeline: plans not boundary-compatible for fine-grained switch")
+		}
+	case SwitchAuto:
+		if compatible {
+			mode = SwitchFineGrained
+		} else {
+			mode = SwitchRestart
+		}
+	}
+	e.SwitchCount++
+	e.MigratedBytes += MigrationVolume(e.cfg.Model, cur, newPlan)
+	np := newPlan.Clone()
+	e.pendingPlan = &np
+	e.switchDone = done
+	if mode == SwitchRestart {
+		e.switchMode = SwitchRestart
+		e.draining = true
+		if e.inFlight == 0 {
+			e.completeRestartSwitch()
+		}
+		return nil
+	}
+	e.switchMode = SwitchFineGrained
+	e.startFineGrainedSwitch(cur, np)
+	return nil
+}
+
+// completeRestartSwitch runs after the pipeline drains: migrate all moved
+// weights in parallel, rebuild the stage graph, refill.
+func (e *AsyncEngine) completeRestartSwitch() {
+	np := *e.pendingPlan
+	cur := e.Plan()
+	flows := e.migrationFlows(cur, np)
+	remaining := len(flows)
+	commit := func() {
+		e.cfg.Plan = np
+		e.buildStages(np)
+		e.pendingPlan = nil
+		e.draining = false
+		done := e.switchDone
+		e.switchDone = nil
+		e.inject()
+		if done != nil {
+			done()
+		}
+	}
+	if remaining == 0 {
+		commit()
+		return
+	}
+	for _, f := range flows {
+		f := f
+		e.net.StartFlow(f.src, f.dst, f.bytes, "migrate/"+f.name, func() {
+			remaining--
+			if remaining == 0 {
+				commit()
+			}
+		})
+	}
+}
+
+type migFlow struct {
+	src, dst int
+	bytes    int64
+	name     string
+	layer    int
+}
+
+// migrationFlows lists the weight transfers a switch requires, one per
+// (layer, new-owner) pair, sourced from the first old owner.
+func (e *AsyncEngine) migrationFlows(oldPlan, newPlan partition.Plan) []migFlow {
+	var out []migFlow
+	for l := 0; l < e.cfg.Model.NumLayers(); l++ {
+		osi := oldPlan.StageOfLayer(l)
+		nsi := newPlan.StageOfLayer(l)
+		if osi < 0 || nsi < 0 {
+			continue
+		}
+		oldOwners := map[int]bool{}
+		for _, w := range oldPlan.Stages[osi].Workers {
+			oldOwners[w] = true
+		}
+		src := oldPlan.Stages[osi].Workers[0]
+		for _, w := range newPlan.Stages[nsi].Workers {
+			if !oldOwners[w] {
+				out = append(out, migFlow{
+					src: src, dst: w,
+					bytes: e.cfg.Model.Layers[l].ParamBytes(),
+					name:  fmt.Sprintf("L%d:%d→%d", l, src, w),
+					layer: l,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// startFineGrainedSwitch migrates moved layers one at a time (the
+// PipeSwitch-style layer-by-layer pipeline) while training continues.
+// Weight stashing keeps in-flight batches consistent; the affected
+// workers block only for the per-layer commit overhead. The stage
+// boundaries flip when the last layer lands.
+func (e *AsyncEngine) startFineGrainedSwitch(cur, np partition.Plan) {
+	flows := e.migrationFlows(cur, np)
+	// Later layers first: the paper migrates "the weight copy of later
+	// active mini-batch first" to avoid stalling the tail of the
+	// pipeline; for layer ownership that means descending layer order.
+	for i := 0; i < len(flows); i++ {
+		for j := i + 1; j < len(flows); j++ {
+			if flows[j].layer > flows[i].layer {
+				flows[i], flows[j] = flows[j], flows[i]
+			}
+		}
+	}
+	affected := map[int]bool{}
+	for _, w := range partition.DiffWorkers(cur, np) {
+		affected[w] = true
+	}
+	commit := func() {
+		e.cfg.Plan = np
+		// In-place boundary update: same stage count and worker sets.
+		for i := range e.stages {
+			e.stages[i].start = np.Stages[i].Start
+			e.stages[i].end = np.Stages[i].End
+		}
+		e.pendingPlan = nil
+		done := e.switchDone
+		e.switchDone = nil
+		// Unblock affected workers after the final commit overhead.
+		for w := range affected {
+			r := e.byWorker[w]
+			r.blocked = true
+		}
+		e.eng.After(sim.Time(layerSwitchOverhead), "switch/commit", func() {
+			for w := range affected {
+				r := e.byWorker[w]
+				r.blocked = false
+				e.tryStart(r)
+			}
+			if done != nil {
+				done()
+			}
+		})
+	}
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(flows) {
+			commit()
+			return
+		}
+		f := flows[i]
+		e.net.StartFlow(f.src, f.dst, f.bytes, "finemigrate/"+f.name, func() {
+			// Per-layer commit: negligible pause modelled as overhead
+			// serialised into the migration chain (not blocking compute).
+			e.eng.After(sim.Time(layerSwitchOverhead), "switch/layer", func() { step(i + 1) })
+		})
+	}
+	step(0)
+}

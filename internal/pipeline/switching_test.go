@@ -1,0 +1,281 @@
+package pipeline
+
+import (
+	"testing"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/sim"
+)
+
+// harness runs an engine with a plan switch injected mid-run and returns
+// the wall time plus the engine.
+func runWithSwitch(t *testing.T, newPlan *partition.Plan, mode SwitchMode, batches int) (float64, *AsyncEngine) {
+	t.Helper()
+	cl := cluster.Testbed(cluster.Gbps(25))
+	m := model.Uniform(8, 5e10, 100000)
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	cfg := Config{
+		Model: m, Cluster: cl,
+		Plan:   partition.EvenSplit(m.NumLayers(), workerIDs(4)),
+		Scheme: netsim.RingAllReduce,
+	}
+	e, err := NewAsync(eng, net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start(batches)
+	if newPlan != nil {
+		switched := false
+		e.OnBatchDone(func(batch int, at sim.Time) {
+			if batch >= batches/2 && !switched && !e.Switching() {
+				switched = true
+				if err := e.ApplyPlan(*newPlan, mode, nil); err != nil {
+					t.Errorf("ApplyPlan: %v", err)
+				}
+			}
+		})
+	}
+	eng.RunAll()
+	if e.Completed() != batches {
+		t.Fatalf("deadlock after switch: %d/%d", e.Completed(), batches)
+	}
+	return float64(eng.Now()), e
+}
+
+func boundaryShiftPlan() partition.Plan {
+	// EvenSplit of 8 layers over 4 workers is [0,2)[2,4)[4,6)[6,8); move
+	// one boundary: [0,3)[3,4)[4,6)[6,8) — only workers 0 and 1 change.
+	return partition.Plan{
+		Stages: []partition.Stage{
+			{Start: 0, End: 3, Workers: []int{0}},
+			{Start: 3, End: 4, Workers: []int{1}},
+			{Start: 4, End: 6, Workers: []int{2}},
+			{Start: 6, End: 8, Workers: []int{3}},
+		},
+		InFlight: 4,
+	}
+}
+
+func TestMigrationVolume(t *testing.T) {
+	m := model.Uniform(8, 1e9, 100)
+	old := partition.EvenSplit(8, workerIDs(4))
+	if MigrationVolume(m, old, old) != 0 {
+		t.Fatal("no-op switch has non-zero migration volume")
+	}
+	np := boundaryShiftPlan()
+	// Layer 2 moves from worker 1 to worker 0: one layer's params.
+	want := m.Layers[2].ParamBytes()
+	if got := MigrationVolume(m, old, np); got != want {
+		t.Fatalf("MigrationVolume = %d, want %d", got, want)
+	}
+}
+
+func TestBoundaryCompatible(t *testing.T) {
+	old := partition.EvenSplit(8, workerIDs(4))
+	if !BoundaryCompatible(old, boundaryShiftPlan()) {
+		t.Fatal("boundary shift not recognised as compatible")
+	}
+	merged := partition.Plan{
+		Stages: []partition.Stage{
+			{Start: 0, End: 4, Workers: []int{0, 1}},
+			{Start: 4, End: 6, Workers: []int{2}},
+			{Start: 6, End: 8, Workers: []int{3}},
+		},
+		InFlight: 4,
+	}
+	if BoundaryCompatible(old, merged) {
+		t.Fatal("merge wrongly considered boundary-compatible")
+	}
+}
+
+func TestFineGrainedSwitchCompletes(t *testing.T) {
+	np := boundaryShiftPlan()
+	_, e := runWithSwitch(t, &np, SwitchFineGrained, 24)
+	if e.SwitchCount != 1 {
+		t.Fatalf("SwitchCount = %d", e.SwitchCount)
+	}
+	if !e.Plan().Equal(np) {
+		t.Fatalf("plan after switch = %s, want %s", e.Plan(), np)
+	}
+	if e.MigratedBytes == 0 {
+		t.Fatal("no migration volume recorded")
+	}
+}
+
+func TestRestartSwitchCompletes(t *testing.T) {
+	np := boundaryShiftPlan()
+	_, e := runWithSwitch(t, &np, SwitchRestart, 24)
+	if !e.Plan().Equal(np) {
+		t.Fatalf("plan after restart switch = %s", e.Plan())
+	}
+}
+
+func TestFineGrainedCheaperThanRestart(t *testing.T) {
+	// The paper's §4.4 claim: layer-by-layer switching with weight
+	// stashing avoids the drain + refill stall of a full restart.
+	np := boundaryShiftPlan()
+	fine, _ := runWithSwitch(t, &np, SwitchFineGrained, 30)
+	restart, _ := runWithSwitch(t, &np, SwitchRestart, 30)
+	base, _ := runWithSwitch(t, nil, SwitchAuto, 30)
+	if fine >= restart {
+		t.Fatalf("fine-grained (%v) not cheaper than restart (%v)", fine, restart)
+	}
+	if fine < base {
+		t.Fatalf("switching made the run faster than no switch (%v < %v)?", fine, base)
+	}
+}
+
+func TestAutoModePicksFineGrained(t *testing.T) {
+	np := boundaryShiftPlan()
+	_, e := runWithSwitch(t, &np, SwitchAuto, 20)
+	if e.switchMode != SwitchFineGrained {
+		t.Fatal("auto mode did not pick fine-grained for a boundary shift")
+	}
+}
+
+func TestIncompatibleFineGrainedRejected(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(25))
+	m := model.Uniform(8, 1e10, 1000)
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	cfg := Config{
+		Model: m, Cluster: cl,
+		Plan:   partition.EvenSplit(m.NumLayers(), workerIDs(4)),
+		Scheme: netsim.RingAllReduce,
+	}
+	e, err := NewAsync(eng, net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := partition.Plan{
+		Stages: []partition.Stage{
+			{Start: 0, End: 4, Workers: []int{0, 1}},
+			{Start: 4, End: 8, Workers: []int{2}},
+		},
+		InFlight: 2,
+	}
+	if err := e.ApplyPlan(merged, SwitchFineGrained, nil); err == nil {
+		t.Fatal("fine-grained switch to incompatible plan accepted")
+	}
+	// Auto mode must fall back to restart and complete.
+	e.Start(12)
+	done := false
+	if err := e.ApplyPlan(merged, SwitchAuto, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunAll()
+	if !done {
+		t.Fatal("restart switch never completed")
+	}
+	if e.Completed() != 12 {
+		t.Fatalf("completed %d/12", e.Completed())
+	}
+	if !e.Plan().Equal(merged) {
+		t.Fatalf("plan = %s, want merged", e.Plan())
+	}
+}
+
+func TestDoubleSwitchRejected(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(25))
+	m := model.Uniform(8, 1e10, 1000)
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	cfg := Config{
+		Model: m, Cluster: cl,
+		Plan:   partition.EvenSplit(m.NumLayers(), workerIDs(4)),
+		Scheme: netsim.RingAllReduce,
+	}
+	e, _ := NewAsync(eng, net, cfg)
+	e.Start(10)
+	np := boundaryShiftPlan()
+	if err := e.ApplyPlan(np, SwitchFineGrained, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ApplyPlan(np, SwitchFineGrained, nil); err == nil {
+		t.Fatal("second concurrent switch accepted")
+	}
+	eng.RunAll()
+}
+
+func TestInFlightOnlyChangeIsInstant(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(25))
+	m := model.Uniform(8, 1e10, 1000)
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	cfg := Config{
+		Model: m, Cluster: cl,
+		Plan:   partition.EvenSplit(m.NumLayers(), workerIDs(4)),
+		Scheme: netsim.RingAllReduce,
+	}
+	e, _ := NewAsync(eng, net, cfg)
+	e.Start(10)
+	np := e.Plan()
+	np.InFlight = 2
+	if err := e.ApplyPlan(np, SwitchAuto, nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.SwitchCount != 0 {
+		t.Fatal("InFlight-only change counted as a structural switch")
+	}
+	eng.RunAll()
+	if e.Completed() != 10 {
+		t.Fatalf("completed %d/10", e.Completed())
+	}
+}
+
+func TestSwitchInvalidPlanRejected(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(25))
+	m := model.Uniform(8, 1e10, 1000)
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	cfg := Config{
+		Model: m, Cluster: cl,
+		Plan:   partition.EvenSplit(m.NumLayers(), workerIDs(4)),
+		Scheme: netsim.RingAllReduce,
+	}
+	e, _ := NewAsync(eng, net, cfg)
+	bad := partition.Plan{Stages: []partition.Stage{{Start: 0, End: 4, Workers: []int{0}}}, InFlight: 1}
+	if err := e.ApplyPlan(bad, SwitchAuto, nil); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}
+
+func TestApplyPlanBeforeStartDoesNotInject(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(25))
+	m := model.Uniform(8, 1e10, 1000)
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	e, err := NewAsync(eng, net, Config{
+		Model: m, Cluster: cl,
+		Plan:   partition.EvenSplit(m.NumLayers(), workerIDs(4)),
+		Scheme: netsim.RingAllReduce,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := boundaryShiftPlan()
+	done := false
+	if err := e.ApplyPlan(np, SwitchRestart, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunAll()
+	if !done {
+		t.Fatal("pre-start switch never committed")
+	}
+	if e.Completed() != 0 {
+		t.Fatalf("batches ran before Start: %d", e.Completed())
+	}
+	// Training then proceeds normally under the new plan.
+	e.Start(8)
+	eng.RunAll()
+	if e.Completed() != 8 {
+		t.Fatalf("completed %d/8 after Start", e.Completed())
+	}
+	if !e.Plan().Equal(np) {
+		t.Fatalf("plan = %s, want switched", e.Plan())
+	}
+}

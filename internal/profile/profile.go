@@ -1,0 +1,178 @@
+// Package profile implements AutoPipe's training profiler (paper §4.2,
+// Table 1). Static metrics (layer counts, activation/gradient/parameter
+// sizes) are recorded once before training; dynamic metrics — per-worker
+// available bandwidth and per-worker-per-layer FP/BP times — are observed
+// every iteration without interfering with training.
+//
+// Per the paper, the profiler does not time every layer on every worker
+// each iteration: it measures per-layer time *ratios* once (they are
+// near-constant for a fixed model), then each iteration observes a single
+// reference layer per worker and reconstructs the full FP/BP matrices
+// from the ratios.
+package profile
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/model"
+)
+
+// Profile is one iteration's view of Table 1.
+type Profile struct {
+	// Static metrics.
+	L, N       int
+	OutBytes   []int64 // O_i per mini-batch, length L
+	GradBytes  []int64 // G_i per mini-batch, length L
+	ParamBytes []int64 // P_i, length L
+
+	// Dynamic metrics.
+	Bandwidth []float64   // B_i bits/sec per worker, length N
+	FP        [][]float64 // FP[i][j]: FP time of layer j on worker i
+	BP        [][]float64 // BP[i][j]
+
+	// Topology: Server[i] is the server hosting worker i (known to the
+	// job from its placement), Rack[i] its leaf switch.
+	Server []int
+	Rack   []int
+}
+
+// TotalComputeTime returns Σ (FP+BP) of all layers on worker w.
+func (p *Profile) TotalComputeTime(w int) float64 {
+	s := 0.0
+	for j := 0; j < p.L; j++ {
+		s += p.FP[w][j] + p.BP[w][j]
+	}
+	return s
+}
+
+// Profiler observes a (model, cluster) pair. It is deliberately the only
+// component that reads the cluster's ground truth: everything downstream
+// (meta-network, RL arbiter, controller) sees the world through Profile
+// values, mirroring the paper's measurement pipeline.
+type Profiler struct {
+	model *model.Model
+	cl    *cluster.Cluster
+
+	// ratios[j] is layer j's share of total forward time, measured once
+	// before training on a reference GPU.
+	ratios []float64
+	// refLayer is the layer the profiler actually times each iteration.
+	refLayer int
+	// Smoothing keeps one observation per worker; an EWMA suppresses
+	// single-iteration noise. alpha=1 disables smoothing.
+	alpha  float64
+	smooth []float64 // smoothed FP time of refLayer per worker
+	bwEwma []float64
+
+	// Measurement noise: real iteration timings jitter (kernel launch
+	// variance, background daemons). When rng is set, each observation
+	// is multiplied by exp(N(0, sigma)).
+	noiseRng   *rand.Rand
+	noiseSigma float64
+}
+
+// NewProfiler builds a profiler and performs the one-off pre-training
+// ratio measurement on worker 0's GPU type.
+func NewProfiler(m *model.Model, cl *cluster.Cluster) *Profiler {
+	p := &Profiler{model: m, cl: cl, alpha: 0.5}
+	total := 0.0
+	times := make([]float64, m.NumLayers())
+	g := cl.GPU(0)
+	saved := g.CompetingJobs
+	g.CompetingJobs = 0
+	for j, l := range m.Layers {
+		times[j] = cl.FPTime(l, m.MiniBatch, 0)
+		total += times[j]
+	}
+	g.CompetingJobs = saved
+	p.ratios = make([]float64, len(times))
+	best := 0
+	for j, t := range times {
+		p.ratios[j] = t / total
+		if t > times[best] {
+			best = j
+		}
+	}
+	p.refLayer = best // time the heaviest layer: best signal-to-noise
+	return p
+}
+
+// SetSmoothing sets the EWMA coefficient in (0,1]; 1 disables smoothing.
+func (p *Profiler) SetSmoothing(alpha float64) error {
+	if alpha <= 0 || alpha > 1 {
+		return fmt.Errorf("profile: smoothing alpha %v outside (0,1]", alpha)
+	}
+	p.alpha = alpha
+	return nil
+}
+
+// SetNoise enables multiplicative log-normal measurement noise with the
+// given sigma, driven by rng. sigma ≤ 0 disables noise.
+func (p *Profiler) SetNoise(rng *rand.Rand, sigma float64) {
+	p.noiseRng = rng
+	p.noiseSigma = sigma
+}
+
+// jitter applies measurement noise to one observation.
+func (p *Profiler) jitter(x float64) float64 {
+	if p.noiseRng == nil || p.noiseSigma <= 0 {
+		return x
+	}
+	return x * math.Exp(p.noiseRng.NormFloat64()*p.noiseSigma)
+}
+
+// Observe returns the current iteration's Profile.
+func (p *Profiler) Observe() *Profile {
+	m := p.model
+	N := p.cl.NumGPUs()
+	L := m.NumLayers()
+	out := &Profile{L: L, N: N}
+	for _, l := range m.Layers {
+		out.OutBytes = append(out.OutBytes, l.OutputBytes(m.MiniBatch))
+		out.GradBytes = append(out.GradBytes, l.GradientBytes(m.MiniBatch))
+		out.ParamBytes = append(out.ParamBytes, l.ParamBytes())
+	}
+	if p.smooth == nil {
+		p.smooth = make([]float64, N)
+		p.bwEwma = make([]float64, N)
+	}
+	out.Bandwidth = make([]float64, N)
+	out.FP = make([][]float64, N)
+	out.BP = make([][]float64, N)
+	out.Server = make([]int, N)
+	out.Rack = make([]int, N)
+	for w := 0; w < N; w++ {
+		out.Server[w] = p.cl.GPU(w).Server
+		out.Rack[w] = p.cl.ServerOf(w).Rack
+		// Bandwidth observed from the last iteration's transfers.
+		bw := p.jitter(p.cl.ServerOf(w).AvailBwBps())
+		if p.bwEwma[w] == 0 {
+			p.bwEwma[w] = bw
+		} else {
+			p.bwEwma[w] = p.alpha*bw + (1-p.alpha)*p.bwEwma[w]
+		}
+		out.Bandwidth[w] = p.bwEwma[w]
+
+		// One timed layer per worker, the rest via ratios.
+		measured := p.jitter(p.cl.FPTime(m.Layers[p.refLayer], m.MiniBatch, w))
+		if p.smooth[w] == 0 {
+			p.smooth[w] = measured
+		} else {
+			p.smooth[w] = p.alpha*measured + (1-p.alpha)*p.smooth[w]
+		}
+		base := p.smooth[w] / p.ratios[p.refLayer]
+		out.FP[w] = make([]float64, L)
+		out.BP[w] = make([]float64, L)
+		for j := 0; j < L; j++ {
+			out.FP[w][j] = base * p.ratios[j]
+			out.BP[w][j] = out.FP[w][j] * cluster.BPComputeFactor
+		}
+	}
+	return out
+}
+
+// Ratios exposes the pre-training per-layer time shares (tests).
+func (p *Profiler) Ratios() []float64 { return append([]float64(nil), p.ratios...) }

@@ -1,0 +1,205 @@
+package profile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/model"
+)
+
+func TestStaticMetricsShapes(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(25))
+	m := model.AlexNet()
+	p := NewProfiler(m, cl).Observe()
+	if p.L != m.NumLayers() || p.N != 10 {
+		t.Fatalf("L=%d N=%d", p.L, p.N)
+	}
+	if len(p.OutBytes) != p.L || len(p.ParamBytes) != p.L || len(p.GradBytes) != p.L {
+		t.Fatal("static metric lengths wrong")
+	}
+	if len(p.Bandwidth) != p.N || len(p.FP) != p.N || len(p.FP[0]) != p.L {
+		t.Fatal("dynamic metric shapes wrong")
+	}
+}
+
+func TestRatiosSumToOne(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(25))
+	pr := NewProfiler(model.VGG16(), cl)
+	sum := 0.0
+	for _, r := range pr.Ratios() {
+		if r < 0 {
+			t.Fatal("negative ratio")
+		}
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ratios sum to %v", sum)
+	}
+}
+
+func TestRatioReconstructionMatchesGroundTruth(t *testing.T) {
+	// In a noise-free world, ratio-based reconstruction is exact: the
+	// observed FP matrix must match the cluster's true per-layer times.
+	cl := cluster.Testbed(cluster.Gbps(25))
+	m := model.ResNet50()
+	pr := NewProfiler(m, cl)
+	if err := pr.SetSmoothing(1); err != nil {
+		t.Fatal(err)
+	}
+	p := pr.Observe()
+	for w := 0; w < p.N; w += 3 {
+		for j := 0; j < p.L; j += 7 {
+			truth := cl.FPTime(m.Layers[j], m.MiniBatch, w)
+			if rel := math.Abs(p.FP[w][j]-truth) / truth; rel > 1e-9 {
+				t.Fatalf("FP[%d][%d]=%v truth=%v rel=%v", w, j, p.FP[w][j], truth, rel)
+			}
+			if math.Abs(p.BP[w][j]-2*p.FP[w][j]) > 1e-15 {
+				t.Fatal("BP != 2×FP in profile")
+			}
+		}
+	}
+}
+
+func TestProfilerSeesContention(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(25))
+	m := model.AlexNet()
+	pr := NewProfiler(m, cl)
+	_ = pr.SetSmoothing(1)
+	before := pr.Observe()
+	cl.SetCompetingJobs(3, 1)
+	after := pr.Observe()
+	if after.FP[3][0] <= before.FP[3][0] {
+		t.Fatal("profiler missed GPU contention")
+	}
+	if after.FP[4][0] != before.FP[4][0] {
+		t.Fatal("contention leaked to unaffected worker")
+	}
+}
+
+func TestProfilerSeesBandwidthChange(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(100))
+	pr := NewProfiler(model.AlexNet(), cl)
+	_ = pr.SetSmoothing(1)
+	before := pr.Observe()
+	cl.SetNICBandwidth(cluster.Gbps(10))
+	after := pr.Observe()
+	if after.Bandwidth[0] >= before.Bandwidth[0] {
+		t.Fatal("profiler missed bandwidth drop")
+	}
+}
+
+func TestEWMASmoothing(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(100))
+	pr := NewProfiler(model.AlexNet(), cl)
+	_ = pr.SetSmoothing(0.5)
+	first := pr.Observe()
+	cl.SetNICBandwidth(cluster.Gbps(10))
+	second := pr.Observe()
+	// One observation at alpha=0.5 moves halfway.
+	want := 0.5*cluster.Gbps(10) + 0.5*first.Bandwidth[0]
+	if math.Abs(second.Bandwidth[0]-want) > 1 {
+		t.Fatalf("EWMA bandwidth = %v, want %v", second.Bandwidth[0], want)
+	}
+}
+
+func TestSetSmoothingValidation(t *testing.T) {
+	pr := NewProfiler(model.AlexNet(), cluster.Testbed(cluster.Gbps(10)))
+	if pr.SetSmoothing(0) == nil || pr.SetSmoothing(1.5) == nil {
+		t.Fatal("invalid alpha accepted")
+	}
+	if pr.SetSmoothing(1) != nil {
+		t.Fatal("alpha=1 rejected")
+	}
+}
+
+func TestTotalComputeTime(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(25))
+	pr := NewProfiler(model.AlexNet(), cl)
+	_ = pr.SetSmoothing(1)
+	p := pr.Observe()
+	s := 0.0
+	for j := 0; j < p.L; j++ {
+		s += p.FP[0][j] + p.BP[0][j]
+	}
+	if math.Abs(p.TotalComputeTime(0)-s) > 1e-12 {
+		t.Fatal("TotalComputeTime mismatch")
+	}
+}
+
+func TestNoiseInjection(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(25))
+	pr := NewProfiler(model.AlexNet(), cl)
+	_ = pr.SetSmoothing(1)
+	pr.SetNoise(rand.New(rand.NewSource(1)), 0.2)
+	a := pr.Observe()
+	b := pr.Observe()
+	if a.FP[0][0] == b.FP[0][0] {
+		t.Fatal("noise produced identical observations")
+	}
+}
+
+func TestEWMASuppressesNoise(t *testing.T) {
+	// Under measurement noise, the smoothed profiler's observations of a
+	// static environment must vary less than the unsmoothed ones.
+	variance := func(alpha float64) float64 {
+		cl := cluster.Testbed(cluster.Gbps(25))
+		pr := NewProfiler(model.AlexNet(), cl)
+		if err := pr.SetSmoothing(alpha); err != nil {
+			t.Fatal(err)
+		}
+		pr.SetNoise(rand.New(rand.NewSource(7)), 0.3)
+		var xs []float64
+		for i := 0; i < 60; i++ {
+			xs = append(xs, pr.Observe().FP[0][0])
+		}
+		xs = xs[20:] // drop warmup
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		v := 0.0
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		return v / float64(len(xs))
+	}
+	raw := variance(1)
+	smoothed := variance(0.2)
+	if smoothed >= raw/2 {
+		t.Fatalf("EWMA did not suppress noise: raw var %v, smoothed %v", raw, smoothed)
+	}
+}
+
+func TestNoiseZeroSigmaDisabled(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(25))
+	pr := NewProfiler(model.AlexNet(), cl)
+	_ = pr.SetSmoothing(1)
+	pr.SetNoise(rand.New(rand.NewSource(1)), 0)
+	a := pr.Observe()
+	b := pr.Observe()
+	if a.FP[0][0] != b.FP[0][0] {
+		t.Fatal("sigma=0 still produced noise")
+	}
+}
+
+func TestProfileTopology(t *testing.T) {
+	cl := cluster.NewCluster(cluster.Config{
+		Servers: 4, GPUsPerServer: 4, GPUType: cluster.V100,
+		NICBwBps: cluster.Gbps(40), Racks: 2, RackUplinkBps: cluster.Gbps(10),
+	})
+	p := NewProfiler(model.AlexNet(), cl).Observe()
+	if len(p.Server) != 16 || len(p.Rack) != 16 {
+		t.Fatalf("topology lengths %d/%d", len(p.Server), len(p.Rack))
+	}
+	// 4 GPUs per server: workers 0-3 on server 0, 4-7 on server 1.
+	if p.Server[3] != 0 || p.Server[4] != 1 {
+		t.Fatalf("server mapping wrong: %v", p.Server[:8])
+	}
+	// Round-robin racks: server 0 → rack 0, server 1 → rack 1.
+	if p.Rack[0] != 0 || p.Rack[4] != 1 {
+		t.Fatalf("rack mapping wrong: %v", p.Rack[:8])
+	}
+}

@@ -1,0 +1,200 @@
+// Package rl implements AutoPipe's RL-based switching arbiter (paper
+// §4.3): a small fully-connected policy network — two hidden layers of
+// 32 and 16 neurons, as the paper reports suffices — that decides
+// whether to transition from the incumbent work partition to a proposed
+// one. The reward is the training speed of the following iterations net
+// of the normalized switching cost.
+//
+// Training follows the paper's offline-training / online-adaptation
+// split: offline, the simulator provides *counterfactual* labels (both
+// the switch and stay branches are executed and the faster one wins);
+// online, single-step policy-gradient (REINFORCE) updates adapt the
+// policy to the live job.
+package rl
+
+import (
+	"io"
+	"math"
+	"math/rand"
+
+	"autopipe/internal/meta"
+	"autopipe/internal/nn"
+	"autopipe/internal/partition"
+	"autopipe/internal/profile"
+	"autopipe/internal/tensor"
+)
+
+// summaryDim counts the scalar decision features appended to the raw
+// state (predicted speeds, gain, cost, compatibility, recency).
+const summaryDim = 6
+
+// FeatureDim is the arbiter's input width: static environment metrics,
+// both partition encodings, and the decision summary.
+const FeatureDim = meta.StaticDim + 2*meta.PartitionDim + summaryDim
+
+// Arbiter is the switching policy.
+type Arbiter struct {
+	net *nn.Sequential
+	opt *nn.Adam
+}
+
+// NewArbiter builds an untrained arbiter (hidden layers 32 and 16).
+func NewArbiter(rng *rand.Rand) *Arbiter {
+	opt := nn.NewAdam(1e-3)
+	opt.Clip = 5
+	return &Arbiter{
+		net: nn.NewSequential(
+			nn.NewLinear(FeatureDim, 32, rng),
+			nn.NewReLU(),
+			nn.NewLinear(32, 16, rng),
+			nn.NewReLU(),
+			nn.NewLinear(16, 1, rng),
+		),
+		opt: opt,
+	}
+}
+
+// State carries everything the arbiter sees for one decision.
+type State struct {
+	Profile   *profile.Profile
+	MiniBatch int
+	Current   partition.Plan
+	Candidate partition.Plan
+	// PredCurrent and PredCandidate are the meta-network's speed
+	// predictions (samples/sec) for the two plans.
+	PredCurrent, PredCandidate float64
+	// SwitchCost is the predicted cost in seconds.
+	SwitchCost float64
+	// FineGrained reports boundary compatibility.
+	FineGrained bool
+	// ItersSinceSwitch counts iterations since the last reconfiguration.
+	ItersSinceSwitch int
+}
+
+// Encode flattens a State into the network input.
+func Encode(s State) tensor.Vec {
+	ideal := meta.IdealThroughput(s.Profile, s.MiniBatch)
+	if ideal <= 0 {
+		ideal = 1
+	}
+	perBatch := 0.0
+	if s.PredCurrent > 0 {
+		perBatch = float64(s.MiniBatch) / s.PredCurrent
+	}
+	costNorm := 0.0
+	if perBatch > 0 {
+		costNorm = s.SwitchCost / (perBatch * 10) // cost in units of 10 batches
+	}
+	gain := 0.0
+	if s.PredCurrent > 0 {
+		gain = (s.PredCandidate - s.PredCurrent) / s.PredCurrent
+	}
+	fine := 0.0
+	if s.FineGrained {
+		fine = 1
+	}
+	summary := tensor.Vec{
+		s.PredCurrent / ideal,
+		s.PredCandidate / ideal,
+		gain,
+		math.Min(costNorm, 4),
+		fine,
+		math.Min(float64(s.ItersSinceSwitch)/100, 1),
+	}
+	return tensor.Concat(
+		meta.EncodeStatic(s.Profile, s.MiniBatch),
+		meta.EncodePartition(s.Profile, s.Current),
+		meta.EncodePartition(s.Profile, s.Candidate),
+		summary,
+	)
+}
+
+// Logit returns the raw decision score.
+func (a *Arbiter) Logit(x tensor.Vec) float64 {
+	out := a.net.Forward(x)
+	a.net.Reset()
+	return out[0]
+}
+
+// Prob returns π(switch | x).
+func (a *Arbiter) Prob(x tensor.Vec) float64 { return nn.Sigmoid(a.Logit(x)) }
+
+// Decide returns the greedy action.
+func (a *Arbiter) Decide(x tensor.Vec) bool { return a.Prob(x) > 0.5 }
+
+// SampleAction draws a stochastic action (used during online
+// exploration).
+func (a *Arbiter) SampleAction(x tensor.Vec, rng *rand.Rand) bool {
+	return rng.Float64() < a.Prob(x)
+}
+
+// Decision is a labelled offline-training example: the state plus the
+// counterfactually optimal action.
+type Decision struct {
+	X      tensor.Vec
+	Switch bool
+}
+
+// TrainSupervised fits the policy to counterfactually labelled decisions
+// with binary cross-entropy and returns the final mean loss.
+func (a *Arbiter) TrainSupervised(decisions []Decision, epochs int, lr float64) float64 {
+	samples := make([]nn.Sample, len(decisions))
+	for i, d := range decisions {
+		y := 0.0
+		if d.Switch {
+			y = 1
+		}
+		samples[i] = nn.Sample{X: d.X, Y: tensor.Vec{y}}
+	}
+	opt := nn.NewAdam(lr)
+	opt.Clip = 5
+	return nn.Fit(a.net, samples, nn.FitConfig{
+		Epochs: epochs, BatchSize: 8,
+		Loss: nn.BCEWithLogits{}, Optimizer: opt,
+	})
+}
+
+// Reinforce applies one online policy-gradient step: increase the
+// probability of the taken action in proportion to its advantage
+// (observed reward minus baseline), decrease when the advantage is
+// negative.
+func (a *Arbiter) Reinforce(x tensor.Vec, action bool, advantage float64) {
+	logit := a.net.Forward(x)
+	p := nn.Sigmoid(logit[0])
+	act := 0.0
+	if action {
+		act = 1
+	}
+	// dLoss/dlogit for loss = −advantage·log π(a|x):
+	// ∇ log π(a) = a − p  ⇒  grad = −advantage·(a − p).
+	a.net.ZeroGrad()
+	a.net.Backward(tensor.Vec{-advantage * (act - p)})
+	a.opt.Step(a.net.Params())
+	a.net.ZeroGrad()
+}
+
+// Accuracy evaluates greedy-decision agreement with labels.
+func (a *Arbiter) Accuracy(decisions []Decision) float64 {
+	if len(decisions) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, d := range decisions {
+		if a.Decide(d.X) == d.Switch {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(decisions))
+}
+
+// CopyFrom copies parameters from another arbiter (offline → per-job
+// transfer).
+func (a *Arbiter) CopyFrom(src *Arbiter) error {
+	return a.net.CopyParamsFrom(src.net)
+}
+
+// Save writes the policy's weights to w (gob).
+func (a *Arbiter) Save(w io.Writer) error { return nn.SaveParams(w, a.net.Params()) }
+
+// Load restores weights written by Save into this arbiter.
+func (a *Arbiter) Load(r io.Reader) error { return nn.LoadParams(r, a.net.Params()) }

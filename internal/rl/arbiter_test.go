@@ -1,0 +1,198 @@
+package rl
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/meta"
+	"autopipe/internal/model"
+	"autopipe/internal/partition"
+	"autopipe/internal/profile"
+	"autopipe/internal/tensor"
+)
+
+func testState(t *testing.T) State {
+	t.Helper()
+	cl := cluster.Testbed(cluster.Gbps(25))
+	m := model.AlexNet()
+	pr := profile.NewProfiler(m, cl)
+	_ = pr.SetSmoothing(1)
+	prof := pr.Observe()
+	cur := partition.EvenSplit(m.NumLayers(), []int{0, 1, 2, 3})
+	cand := partition.Neighbors(cur)[0]
+	return State{
+		Profile: prof, MiniBatch: m.MiniBatch,
+		Current: cur, Candidate: cand,
+		PredCurrent: 100, PredCandidate: 120,
+		SwitchCost: 1.5, FineGrained: true, ItersSinceSwitch: 10,
+	}
+}
+
+func TestEncodeShape(t *testing.T) {
+	x := Encode(testState(t))
+	if len(x) != FeatureDim {
+		t.Fatalf("feature dim %d, want %d", len(x), FeatureDim)
+	}
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("feature %d is %v", i, v)
+		}
+	}
+}
+
+func TestProbInUnitInterval(t *testing.T) {
+	a := NewArbiter(rand.New(rand.NewSource(1)))
+	p := a.Prob(Encode(testState(t)))
+	if p <= 0 || p >= 1 {
+		t.Fatalf("prob %v outside (0,1)", p)
+	}
+}
+
+func TestTrainSupervisedSeparatesObviousCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewArbiter(rng)
+	// Synthetic decisions: big positive gain & low cost → switch;
+	// negative gain or huge cost → stay. Build from real encodings with
+	// varied summary fields.
+	base := testState(t)
+	var ds []Decision
+	for i := 0; i < 60; i++ {
+		s := base
+		gain := rng.Float64()*0.8 - 0.4
+		s.PredCandidate = s.PredCurrent * (1 + gain)
+		s.SwitchCost = rng.Float64() * 5
+		perBatch := float64(s.MiniBatch) / s.PredCurrent
+		// Optimal over a 10-batch horizon: switch iff gain over horizon
+		// beats the cost.
+		horizonGain := (s.PredCandidate - s.PredCurrent) / s.PredCurrent * perBatch * 10
+		ds = append(ds, Decision{X: Encode(s), Switch: horizonGain > s.SwitchCost})
+	}
+	loss := a.TrainSupervised(ds, 400, 5e-3)
+	if loss > 0.4 {
+		t.Fatalf("supervised training stalled at loss %v", loss)
+	}
+	if acc := a.Accuracy(ds); acc < 0.85 {
+		t.Fatalf("training accuracy %v < 0.85", acc)
+	}
+}
+
+func TestReinforceMovesProbability(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewArbiter(rng)
+	x := Encode(testState(t))
+	before := a.Prob(x)
+	// Positive advantage for switching must raise π(switch).
+	for i := 0; i < 50; i++ {
+		a.Reinforce(x, true, 1.0)
+	}
+	up := a.Prob(x)
+	if up <= before {
+		t.Fatalf("positive-advantage reinforce lowered prob: %v → %v", before, up)
+	}
+	// Negative advantage must push it back down.
+	for i := 0; i < 100; i++ {
+		a.Reinforce(x, true, -1.0)
+	}
+	down := a.Prob(x)
+	if down >= up {
+		t.Fatalf("negative-advantage reinforce raised prob: %v → %v", up, down)
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a, b := NewArbiter(rng), NewArbiter(rng)
+	x := Encode(testState(t))
+	if err := b.CopyFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Prob(x)-b.Prob(x)) > 1e-12 {
+		t.Fatal("CopyFrom did not clone behaviour")
+	}
+}
+
+func TestSampleActionStochastic(t *testing.T) {
+	a := NewArbiter(rand.New(rand.NewSource(5)))
+	x := Encode(testState(t))
+	rng := rand.New(rand.NewSource(6))
+	heads := 0
+	for i := 0; i < 200; i++ {
+		if a.SampleAction(x, rng) {
+			heads++
+		}
+	}
+	if heads == 0 || heads == 200 {
+		t.Fatalf("sampling degenerate: %d/200", heads)
+	}
+}
+
+func TestGenerateDecisionsAndOfflineTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	rng := rand.New(rand.NewSource(7))
+	ds := GenerateDecisions(ScenarioConfig{Rng: rng, N: 40, Horizon: 10})
+	if len(ds) != 40 {
+		t.Fatalf("generated %d decisions", len(ds))
+	}
+	// Both labels must occur: sometimes switching wins, sometimes not.
+	sw := 0
+	for _, d := range ds {
+		if d.Switch {
+			sw++
+		}
+	}
+	if sw == 0 || sw == len(ds) {
+		t.Fatalf("degenerate labels: %d/%d switches", sw, len(ds))
+	}
+	a := NewArbiter(rng)
+	a.TrainSupervised(ds, 300, 3e-3)
+	if acc := a.Accuracy(ds); acc < 0.7 {
+		t.Fatalf("offline arbiter accuracy %v < 0.7", acc)
+	}
+}
+
+func TestGenerateDecisionsDeterministic(t *testing.T) {
+	a := GenerateDecisions(ScenarioConfig{Rng: rand.New(rand.NewSource(9)), N: 5, Horizon: 8})
+	b := GenerateDecisions(ScenarioConfig{Rng: rand.New(rand.NewSource(9)), N: 5, Horizon: 8})
+	for i := range a {
+		if a[i].Switch != b[i].Switch {
+			t.Fatalf("decision %d label differs", i)
+		}
+		for j := range a[i].X {
+			if a[i].X[j] != b[i].X[j] {
+				t.Fatalf("decision %d feature %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestEncodeCostSaturation(t *testing.T) {
+	s := testState(t)
+	s.SwitchCost = 1e9 // absurd cost must saturate, not explode
+	x := Encode(s)
+	var summaryStart = meta.StaticDim + 2*meta.PartitionDim
+	if x[summaryStart+3] > 4+1e-9 {
+		t.Fatalf("cost feature %v not saturated at 4", x[summaryStart+3])
+	}
+	_ = tensor.Vec{}
+}
+
+func TestArbiterSaveLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	a, b := NewArbiter(rng), NewArbiter(rng)
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	x := Encode(testState(t))
+	if a.Prob(x) != b.Prob(x) {
+		t.Fatal("probabilities differ after Save/Load round trip")
+	}
+}

@@ -1,0 +1,134 @@
+package rl
+
+import (
+	"math/rand"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/meta"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/pipeline"
+	"autopipe/internal/profile"
+	"autopipe/internal/sim"
+)
+
+// ScenarioConfig parametrises counterfactual decision generation.
+type ScenarioConfig struct {
+	Rng *rand.Rand
+	// N is the number of decisions to generate.
+	N int
+	// Horizon is the batch count over which the two branches are
+	// compared (default 12).
+	Horizon int
+}
+
+// GenerateDecisions produces offline-training data by exploiting the
+// simulator's ability to run counterfactuals: for each sampled scenario
+// — an environment shift arriving mid-training — both the "stay" branch
+// and the "switch" branch are executed, and the faster branch labels the
+// optimal action.
+func GenerateDecisions(cfg ScenarioConfig) []Decision {
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	if cfg.Horizon < 4 {
+		cfg.Horizon = 12
+	}
+	var out []Decision
+	for len(out) < cfg.N {
+		d, ok := generateOne(rng, cfg.Horizon)
+		if ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func generateOne(rng *rand.Rand, horizon int) (Decision, bool) {
+	// Workload: synthetic models keep the DES cheap; shapes vary.
+	L := 6 + rng.Intn(10)
+	m := model.Uniform(L, (1+9*rng.Float64())*1e10, int64(5e4+rng.Float64()*5e5))
+	for i := range m.Layers {
+		m.Layers[i].FLOPs *= 0.4 + 1.2*rng.Float64()
+		m.Layers[i].Params = int64(1e5 + rng.Float64()*5e7)
+	}
+	before := []float64{10, 25, 40, 100}[rng.Intn(4)]
+	cl := cluster.Testbed(cluster.Gbps(before))
+	workers := []int{0, 1, 2, 3}
+	cm := partition.NewPipeDreamCost(m, cl, 0, cl.Servers[0].NICBwBps)
+	cur := partition.PipeDream(cm, workers)
+	if cur.Validate(m.NumLayers(), cl.NumGPUs()) != nil {
+		return Decision{}, false
+	}
+
+	// Environment shift.
+	switch rng.Intn(3) {
+	case 0:
+		cl.SetNICBandwidth(cluster.Gbps([]float64{10, 25, 40, 100}[rng.Intn(4)]))
+	case 1:
+		cl.AddCompetingJob()
+	default:
+		cl.SetExtShareAll(0.3 + 0.4*rng.Float64())
+	}
+
+	// Candidate: best neighbour under the analytic predictor on the
+	// post-shift profile (what the controller would propose).
+	pr := profile.NewProfiler(m, cl)
+	_ = pr.SetSmoothing(1)
+	prof := pr.Observe()
+	pred := meta.AnalyticPredictor{Scheme: netsim.RingAllReduce}
+	bestPlan := cur
+	bestSpeed := pred.PredictSpeed(prof, cur, m.MiniBatch, nil)
+	curSpeed := bestSpeed
+	for _, q := range partition.NeighborsWithMerge(cur) {
+		if s := pred.PredictSpeed(prof, q, m.MiniBatch, nil); s > bestSpeed {
+			bestSpeed, bestPlan = s, q
+		}
+	}
+	if bestPlan.Equal(cur) {
+		return Decision{}, false // no candidate worth deciding about
+	}
+
+	// Counterfactual branches.
+	stay := branchTime(m, cl, cur, nil, horizon)
+	swTo := bestPlan
+	sw := branchTime(m, cl, cur, &swTo, horizon)
+	if stay <= 0 || sw <= 0 {
+		return Decision{}, false
+	}
+	state := State{
+		Profile:   prof,
+		MiniBatch: m.MiniBatch,
+		Current:   cur, Candidate: bestPlan,
+		PredCurrent: curSpeed, PredCandidate: bestSpeed,
+		SwitchCost:  meta.AnalyticSwitchCost(prof, m, cur, bestPlan),
+		FineGrained: pipeline.BoundaryCompatible(cur, bestPlan),
+	}
+	return Decision{X: Encode(state), Switch: sw < stay}, true
+}
+
+// branchTime measures the wall time to finish `horizon` batches starting
+// from plan cur, optionally switching to `to` immediately.
+func branchTime(m *model.Model, cl *cluster.Cluster, cur partition.Plan, to *partition.Plan, horizon int) float64 {
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	e, err := pipeline.NewAsync(eng, net, pipeline.Config{
+		Model: m, Cluster: cl, Plan: cur, Scheme: netsim.RingAllReduce,
+	})
+	if err != nil {
+		return -1
+	}
+	e.Start(horizon)
+	if to != nil {
+		if err := e.ApplyPlan(*to, pipeline.SwitchAuto, nil); err != nil {
+			return -1
+		}
+	}
+	eng.RunAll()
+	if e.Completed() != horizon {
+		return -1
+	}
+	return float64(eng.Now())
+}

@@ -1,0 +1,321 @@
+// Package scheduler models the shared-cluster tenant scheduler the paper
+// situates AutoPipe in. Jeon et al.'s Philly study — the paper's
+// reference [7] — attributes cluster fluctuation to three factors: gang
+// scheduling, locality constraints, and failures. This package provides
+// the first two (failures are injected via package trace): competing
+// tenant jobs arrive over time, demand all-or-nothing gangs of GPUs,
+// are placed under a locality policy, run for a while, and leave. Every
+// placement and departure mutates the cluster's per-GPU contention and
+// per-server external bandwidth share, producing the endogenous churn
+// the AutoPipe-managed job must survive.
+package scheduler
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/netsim"
+	"autopipe/internal/sim"
+)
+
+// Job is a competing tenant job.
+type Job struct {
+	ID int
+	// Gang is the number of GPUs required — all at once or not at all.
+	Gang int
+	// Arrival and Duration in virtual seconds.
+	Arrival  float64
+	Duration float64
+	// NetShare is the external NIC share this job adds on each server
+	// it occupies (its own training traffic).
+	NetShare float64
+}
+
+// Policy selects the gang-placement strategy.
+type Policy int
+
+// Placement policies.
+const (
+	// Pack places a gang on as few servers as possible (locality first:
+	// minimises the tenant's own network traffic, concentrates the
+	// contention it causes).
+	Pack Policy = iota
+	// Spread balances GPUs across servers (load-levelling: dilutes
+	// per-GPU contention, touches more NICs).
+	Spread
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	if p == Pack {
+		return "pack"
+	}
+	return "spread"
+}
+
+// Stats aggregates scheduler behaviour.
+type Stats struct {
+	Submitted   int
+	Placed      int
+	Completed   int
+	Rejected    int     // gang larger than the cluster
+	QueueDelay  float64 // cumulative seconds gangs waited
+	PeakRunning int
+}
+
+// Scheduler runs tenant jobs against a cluster on a simulation.
+type Scheduler struct {
+	eng    *sim.Engine
+	cl     *cluster.Cluster
+	net    *netsim.Network
+	policy Policy
+
+	// occupancy[gpu] counts tenant jobs currently on the GPU.
+	occupancy []int
+	// serverJobs[server] counts tenant jobs touching the server.
+	serverShare []float64
+	queue       []*Job
+	queuedAt    map[int]float64
+	running     map[int][]int // job id → occupied GPUs
+	stats       Stats
+}
+
+// New builds a scheduler. net may be nil (no capacity notifications).
+func New(eng *sim.Engine, cl *cluster.Cluster, net *netsim.Network, policy Policy) *Scheduler {
+	return &Scheduler{
+		eng: eng, cl: cl, net: net, policy: policy,
+		occupancy:   make([]int, cl.NumGPUs()),
+		serverShare: make([]float64, len(cl.Servers)),
+		queuedAt:    map[int]float64{},
+		running:     map[int][]int{},
+	}
+}
+
+// Stats returns scheduler counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Running returns the number of currently placed tenant jobs.
+func (s *Scheduler) Running() int { return len(s.running) }
+
+// Queued returns the number of gangs waiting for capacity.
+func (s *Scheduler) Queued() int { return len(s.queue) }
+
+// Submit schedules the job's arrival on the simulation.
+func (s *Scheduler) Submit(j Job) {
+	s.stats.Submitted++
+	if j.Gang > s.cl.NumGPUs() {
+		s.stats.Rejected++
+		return
+	}
+	job := j
+	s.eng.Schedule(sim.Time(j.Arrival), fmt.Sprintf("sched/arrive(job%d)", j.ID), func() {
+		s.enqueue(&job)
+	})
+}
+
+// SubmitAll submits a batch of jobs.
+func (s *Scheduler) SubmitAll(jobs []Job) {
+	for _, j := range jobs {
+		s.Submit(j)
+	}
+}
+
+func (s *Scheduler) enqueue(j *Job) {
+	s.queue = append(s.queue, j)
+	s.queuedAt[j.ID] = float64(s.eng.Now())
+	s.drain()
+}
+
+// drain places queued gangs FIFO while capacity holds. Gang scheduling
+// is strict: the head of the queue blocks everything behind it
+// (honest head-of-line blocking, as in Philly).
+func (s *Scheduler) drain() {
+	for len(s.queue) > 0 {
+		j := s.queue[0]
+		gpus, ok := s.place(j)
+		if !ok {
+			return
+		}
+		s.queue = s.queue[1:]
+		s.stats.QueueDelay += float64(s.eng.Now()) - s.queuedAt[j.ID]
+		delete(s.queuedAt, j.ID)
+		s.start(j, gpus)
+	}
+}
+
+// maxTenantsPerGPU bounds how many tenant jobs share one device.
+const maxTenantsPerGPU = 3
+
+// place picks a gang of GPUs under the locality policy, or reports that
+// the gang cannot currently be placed.
+func (s *Scheduler) place(j *Job) ([]int, bool) {
+	type slot struct {
+		gpu    int
+		server int
+		load   int
+	}
+	var free []slot
+	for g := 0; g < s.cl.NumGPUs(); g++ {
+		if s.occupancy[g] < maxTenantsPerGPU {
+			free = append(free, slot{gpu: g, server: s.cl.GPU(g).Server, load: s.occupancy[g]})
+		}
+	}
+	if len(free) < j.Gang {
+		return nil, false
+	}
+	switch s.policy {
+	case Pack:
+		// Fewest servers: group free slots by server, take dense
+		// servers first; within a server prefer least-loaded GPUs.
+		sort.SliceStable(free, func(a, b int) bool {
+			if free[a].server != free[b].server {
+				return free[a].server < free[b].server
+			}
+			return free[a].load < free[b].load
+		})
+		perServer := map[int]int{}
+		for _, f := range free {
+			perServer[f.server]++
+		}
+		sort.SliceStable(free, func(a, b int) bool {
+			ca, cb := perServer[free[a].server], perServer[free[b].server]
+			if ca != cb {
+				return ca > cb
+			}
+			if free[a].server != free[b].server {
+				return free[a].server < free[b].server
+			}
+			return free[a].load < free[b].load
+		})
+	case Spread:
+		// Round-robin across servers, least-loaded first: order slots
+		// by their ordinal within their server so the first pass takes
+		// one GPU per server before doubling up anywhere.
+		sort.SliceStable(free, func(a, b int) bool {
+			if free[a].load != free[b].load {
+				return free[a].load < free[b].load
+			}
+			return free[a].gpu < free[b].gpu
+		})
+		ordinal := make([]int, len(free))
+		seen := map[int]int{}
+		for i, f := range free {
+			ordinal[i] = seen[f.server]
+			seen[f.server]++
+		}
+		idx := make([]int, len(free))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			if ordinal[idx[a]] != ordinal[idx[b]] {
+				return ordinal[idx[a]] < ordinal[idx[b]]
+			}
+			return free[idx[a]].gpu < free[idx[b]].gpu
+		})
+		reordered := make([]slot, len(free))
+		for i, k := range idx {
+			reordered[i] = free[k]
+		}
+		free = reordered
+	}
+	gpus := make([]int, 0, j.Gang)
+	for _, f := range free[:j.Gang] {
+		gpus = append(gpus, f.gpu)
+	}
+	sort.Ints(gpus)
+	return gpus, true
+}
+
+// start commits a placement and schedules departure.
+func (s *Scheduler) start(j *Job, gpus []int) {
+	s.stats.Placed++
+	s.running[j.ID] = gpus
+	if len(s.running) > s.stats.PeakRunning {
+		s.stats.PeakRunning = len(s.running)
+	}
+	s.apply(j, gpus, +1)
+	s.eng.After(sim.Time(j.Duration), fmt.Sprintf("sched/finish(job%d)", j.ID), func() {
+		s.finish(j)
+	})
+}
+
+func (s *Scheduler) finish(j *Job) {
+	gpus, ok := s.running[j.ID]
+	if !ok {
+		return
+	}
+	delete(s.running, j.ID)
+	s.stats.Completed++
+	s.apply(j, gpus, -1)
+	s.drain()
+}
+
+// apply adds (dir=+1) or removes (dir=-1) the job's load from the
+// cluster and notifies the network.
+func (s *Scheduler) apply(j *Job, gpus []int, dir int) {
+	touched := map[int]bool{}
+	for _, g := range gpus {
+		s.occupancy[g] += dir
+		if s.occupancy[g] < 0 {
+			s.occupancy[g] = 0
+		}
+		s.cl.SetCompetingJobs(g, s.occupancy[g])
+		touched[s.cl.GPU(g).Server] = true
+	}
+	for srv := range touched {
+		s.serverShare[srv] += float64(dir) * j.NetShare
+		if s.serverShare[srv] < 0 {
+			s.serverShare[srv] = 0
+		}
+		share := s.serverShare[srv]
+		if share > 0.8 {
+			share = 0.8
+		}
+		s.cl.SetExtShare(srv, share)
+	}
+	if s.net != nil {
+		s.net.OnCapacityChange()
+	}
+}
+
+// WorkloadConfig parametrises random tenant-workload generation.
+type WorkloadConfig struct {
+	// Jobs to generate.
+	Jobs int
+	// Horizon over which arrivals spread (seconds).
+	Horizon float64
+	// MeanDuration of a tenant job.
+	MeanDuration float64
+	// GangSizes to draw from (default {1, 2, 4}).
+	GangSizes []int
+	// MeanNetShare per occupied server (default 0.15).
+	MeanNetShare float64
+}
+
+// GenerateWorkload produces a deterministic random tenant workload.
+func GenerateWorkload(rng *rand.Rand, cfg WorkloadConfig) []Job {
+	if len(cfg.GangSizes) == 0 {
+		cfg.GangSizes = []int{1, 2, 4}
+	}
+	if cfg.MeanNetShare == 0 {
+		cfg.MeanNetShare = 0.15
+	}
+	if cfg.MeanDuration == 0 {
+		cfg.MeanDuration = cfg.Horizon / 4
+	}
+	jobs := make([]Job, 0, cfg.Jobs)
+	for i := 0; i < cfg.Jobs; i++ {
+		jobs = append(jobs, Job{
+			ID:       i,
+			Gang:     cfg.GangSizes[rng.Intn(len(cfg.GangSizes))],
+			Arrival:  rng.Float64() * cfg.Horizon,
+			Duration: rng.ExpFloat64() * cfg.MeanDuration,
+			NetShare: cfg.MeanNetShare * (0.5 + rng.Float64()),
+		})
+	}
+	sort.SliceStable(jobs, func(a, b int) bool { return jobs[a].Arrival < jobs[b].Arrival })
+	return jobs
+}

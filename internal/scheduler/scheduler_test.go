@@ -1,0 +1,166 @@
+package scheduler
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/netsim"
+	"autopipe/internal/sim"
+)
+
+func newSched(policy Policy) (*sim.Engine, *cluster.Cluster, *Scheduler) {
+	eng := sim.NewEngine()
+	cl := cluster.Testbed(cluster.Gbps(25))
+	net := netsim.New(eng, cl)
+	return eng, cl, New(eng, cl, net, policy)
+}
+
+func TestGangPlacementAllOrNothing(t *testing.T) {
+	eng, cl, s := newSched(Pack)
+	// Fill the cluster to capacity with 10-GPU gangs; a fourth gang
+	// must queue (3 tenants per GPU max), not partially place.
+	for i := 0; i < 4; i++ {
+		s.Submit(Job{ID: i, Gang: 10, Arrival: 1, Duration: 100})
+	}
+	eng.Run(2)
+	if s.Running() != 3 || s.Queued() != 1 {
+		t.Fatalf("running=%d queued=%d, want 3/1", s.Running(), s.Queued())
+	}
+	for g := 0; g < cl.NumGPUs(); g++ {
+		if cl.GPU(g).CompetingJobs != 3 {
+			t.Fatalf("GPU %d has %d tenants, want 3", g, cl.GPU(g).CompetingJobs)
+		}
+	}
+	eng.RunAll()
+	if s.Running() != 0 || s.Queued() != 0 {
+		t.Fatal("jobs left behind after RunAll")
+	}
+}
+
+func TestQueueDrainsFIFO(t *testing.T) {
+	eng, _, s := newSched(Pack)
+	// 30 single-GPU slots exist (10 GPUs × 3 tenants). Occupy them all
+	// with one long job, then submit two short gangs.
+	s.Submit(Job{ID: 0, Gang: 10, Arrival: 0, Duration: 50})
+	s.Submit(Job{ID: 1, Gang: 10, Arrival: 0, Duration: 50})
+	s.Submit(Job{ID: 2, Gang: 10, Arrival: 0, Duration: 50})
+	s.Submit(Job{ID: 3, Gang: 4, Arrival: 1, Duration: 5})
+	eng.Run(10)
+	if s.Queued() != 1 {
+		t.Fatalf("queued = %d, want 1 (cluster saturated)", s.Queued())
+	}
+	eng.RunAll()
+	st := s.Stats()
+	if st.Placed != 4 || st.Completed != 4 {
+		t.Fatalf("placed=%d completed=%d, want 4/4", st.Placed, st.Completed)
+	}
+	if st.QueueDelay <= 0 {
+		t.Fatal("no queueing delay recorded despite saturation")
+	}
+}
+
+func TestPackUsesFewServers(t *testing.T) {
+	eng, cl, s := newSched(Pack)
+	s.Submit(Job{ID: 0, Gang: 2, Arrival: 0, Duration: 10, NetShare: 0.2})
+	eng.Run(1)
+	gpus := s.running[0]
+	if len(gpus) != 2 {
+		t.Fatalf("gang size %d", len(gpus))
+	}
+	if cl.GPU(gpus[0]).Server != cl.GPU(gpus[1]).Server {
+		t.Fatalf("pack policy split the gang across servers: %v", gpus)
+	}
+	eng.RunAll()
+}
+
+func TestSpreadUsesManyServers(t *testing.T) {
+	eng, cl, s := newSched(Spread)
+	s.Submit(Job{ID: 0, Gang: 5, Arrival: 0, Duration: 10})
+	eng.Run(1)
+	gpus := s.running[0]
+	servers := map[int]bool{}
+	for _, g := range gpus {
+		servers[cl.GPU(g).Server] = true
+	}
+	if len(servers) != 5 {
+		t.Fatalf("spread policy used %d servers for a 5-gang, want 5", len(servers))
+	}
+	eng.RunAll()
+}
+
+func TestClusterRestoredAfterDepartures(t *testing.T) {
+	eng, cl, s := newSched(Pack)
+	rng := rand.New(rand.NewSource(4))
+	s.SubmitAll(GenerateWorkload(rng, WorkloadConfig{Jobs: 20, Horizon: 50, MeanDuration: 10}))
+	eng.RunAll()
+	for g := 0; g < cl.NumGPUs(); g++ {
+		if cl.GPU(g).CompetingJobs != 0 {
+			t.Fatalf("GPU %d still contended after all jobs left", g)
+		}
+	}
+	for _, srv := range cl.Servers {
+		if srv.ExtShare != 0 {
+			t.Fatalf("server %d ext share %v after all jobs left", srv.ID, srv.ExtShare)
+		}
+	}
+}
+
+func TestOversizedGangRejected(t *testing.T) {
+	eng, _, s := newSched(Pack)
+	s.Submit(Job{ID: 0, Gang: 11, Arrival: 0, Duration: 1})
+	eng.RunAll()
+	if s.Stats().Rejected != 1 || s.Stats().Placed != 0 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+}
+
+func TestGenerateWorkloadDeterministic(t *testing.T) {
+	cfg := WorkloadConfig{Jobs: 15, Horizon: 100, MeanDuration: 20}
+	a := GenerateWorkload(rand.New(rand.NewSource(1)), cfg)
+	b := GenerateWorkload(rand.New(rand.NewSource(1)), cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs", i)
+		}
+	}
+	// Sorted by arrival.
+	for i := 1; i < len(a); i++ {
+		if a[i].Arrival < a[i-1].Arrival {
+			t.Fatal("workload not time-sorted")
+		}
+	}
+}
+
+// Property: for any workload, conservation holds — placed = completed
+// after the simulation drains, occupancy returns to zero, and peak
+// running never exceeds submitted.
+func TestQuickSchedulerConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng, cl, s := newSched(Policy(rng.Intn(2)))
+		jobs := GenerateWorkload(rng, WorkloadConfig{
+			Jobs: 1 + rng.Intn(25), Horizon: 100, MeanDuration: 15,
+			GangSizes: []int{1, 2, 4, 8},
+		})
+		s.SubmitAll(jobs)
+		eng.RunAll()
+		st := s.Stats()
+		if st.Placed != st.Completed {
+			return false
+		}
+		if st.Placed+st.Rejected != st.Submitted {
+			return false
+		}
+		for g := 0; g < cl.NumGPUs(); g++ {
+			if cl.GPU(g).CompetingJobs != 0 {
+				return false
+			}
+		}
+		return st.PeakRunning <= st.Submitted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3, "c", func() { got = append(got, 3) })
+	e.Schedule(1, "a", func() { got = append(got, 1) })
+	e.Schedule(2, "b", func() { got = append(got, 2) })
+	e.RunAll()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", e.Now())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	for _, name := range []string{"first", "second", "third"} {
+		name := name
+		e.Schedule(5, name, func() { got = append(got, name) })
+	}
+	e.RunAll()
+	if got[0] != "first" || got[1] != "second" || got[2] != "third" {
+		t.Fatalf("same-time events fired out of scheduling order: %v", got)
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Schedule(10, "outer", func() {
+		e.After(5, "inner", func() { at = e.Now() })
+	})
+	e.RunAll()
+	if at != 15 {
+		t.Fatalf("inner fired at %v, want 15", at)
+	}
+}
+
+func TestAfterNegativeClamped(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(4, "outer", func() {
+		e.After(-3, "inner", func() { fired = true })
+	})
+	e.RunAll()
+	if !fired {
+		t.Fatal("negative-delay event never fired")
+	}
+	if e.Now() != 4 {
+		t.Fatalf("Now = %v, want 4", e.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, "late", func() {})
+	e.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(5, "past", func() {})
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(1, "x", func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double-cancel is a no-op
+	e.RunAll()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestCancelFromWithinEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	var victim *Event
+	victim = e.Schedule(2, "victim", func() { fired = true })
+	e.Schedule(1, "killer", func() { e.Cancel(victim) })
+	e.RunAll()
+	if fired {
+		t.Fatal("event canceled mid-run still fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		e.Schedule(at, "t", func() { got = append(got, at) })
+	}
+	end := e.Run(3.5)
+	if len(got) != 3 {
+		t.Fatalf("fired %d events before until, want 3", len(got))
+	}
+	if end != 3.5 {
+		t.Fatalf("Run returned %v, want 3.5", end)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.RunAll()
+	if len(got) != 5 {
+		t.Fatalf("after RunAll fired %d, want 5", len(got))
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), "n", func() {
+			count++
+			if count == 4 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunAll()
+	if count != 4 {
+		t.Fatalf("fired %d events after Stop, want 4", count)
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.Schedule(Time(i), "n", func() {})
+	}
+	e.RunAll()
+	if e.Fired() != 7 {
+		t.Fatalf("Fired = %d, want 7", e.Fired())
+	}
+}
+
+// Property: events always fire in nondecreasing time order, regardless of
+// the order they were scheduled in.
+func TestQuickFiringOrderSorted(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, raw := range times {
+			at := Time(raw)
+			e.Schedule(at, "q", func() { fired = append(fired, at) })
+		}
+		e.RunAll()
+		if len(fired) != len(times) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the set of fired events equals the multiset scheduled, after
+// random cancellations are excluded.
+func TestQuickCancelExclusion(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(times []uint8) bool {
+		e := NewEngine()
+		firedCount := 0
+		canceled := 0
+		events := make([]*Event, 0, len(times))
+		for _, raw := range times {
+			events = append(events, e.Schedule(Time(raw), "q", func() { firedCount++ }))
+		}
+		for _, ev := range events {
+			if rng.Intn(2) == 0 {
+				e.Cancel(ev)
+				canceled++
+			}
+		}
+		e.RunAll()
+		return firedCount == len(times)-canceled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	run := func(seed int64) []Time {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var fired []Time
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			if depth > 3 {
+				return
+			}
+			for i := 0; i < 3; i++ {
+				d := Time(rng.Float64() * 10)
+				e.After(d, "r", func() {
+					fired = append(fired, e.Now())
+					schedule(depth + 1)
+				})
+			}
+		}
+		schedule(0)
+		e.Run(100)
+		return fired
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d fired at %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStepDebugObserves(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, "watched", func() {})
+	canceled := e.Schedule(2, "canceled", func() {})
+	e.Cancel(canceled)
+	var names []string
+	for e.StepDebug(func(name string, at Time) { names = append(names, name) }) {
+	}
+	if len(names) != 1 || names[0] != "watched" {
+		t.Fatalf("StepDebug observed %v", names)
+	}
+	if e.StepDebug(nil) {
+		t.Fatal("StepDebug on empty queue returned true")
+	}
+}
+
+func TestStepSkipsCanceled(t *testing.T) {
+	e := NewEngine()
+	a := e.Schedule(1, "a", func() {})
+	fired := false
+	e.Schedule(2, "b", func() { fired = true })
+	e.Cancel(a)
+	// Cancel removes from the heap, but exercise the canceled-skip path
+	// via an event canceled after a same-heap reorder: cancel flag set
+	// without removal is simulated by cancelling mid-queue order.
+	if !e.Step() || !fired {
+		t.Fatal("Step did not fire the surviving event")
+	}
+}

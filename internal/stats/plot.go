@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ASCII plotting for the terminal harness: Figures 9–11 are time-series
+// the paper draws as line charts; PlotSeries renders the same data as a
+// fixed-grid character plot so `cmd/figures` output is readable without
+// exporting to a plotting tool.
+
+// plotGlyphs marks the successive series of one plot.
+var plotGlyphs = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// PlotSeries renders the series onto a width×height character grid with
+// a shared linear scale, a Y-axis legend, and per-series glyphs.
+func PlotSeries(title string, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+			points++
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if points == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := plotGlyphs[si%len(plotGlyphs)]
+		for i := range s.X {
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = g
+			}
+		}
+	}
+	yLabel := func(row int) string {
+		v := maxY - (maxY-minY)*float64(row)/float64(height-1)
+		return fmt.Sprintf("%8s", Fmt(v))
+	}
+	for r := 0; r < height; r++ {
+		fmt.Fprintf(&b, "%s |%s|\n", yLabel(r), string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%8s  %-*s%s\n", "", width-len(Fmt(maxX)), Fmt(minX), Fmt(maxX))
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", plotGlyphs[si%len(plotGlyphs)], s.Name))
+	}
+	fmt.Fprintf(&b, "%8s  %s\n", "", strings.Join(legend, "   "))
+	return b.String()
+}

@@ -1,0 +1,272 @@
+// Package stats provides the small measurement and reporting helpers the
+// experiment harness uses: labelled series, summary statistics, and
+// aligned-text table rendering for the figure/table reproductions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is a labelled (x, y) sequence, one line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// MeanY returns the mean of Y (0 for an empty series).
+func (s *Series) MeanY() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	return Mean(s.Y)
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// SpearmanRank returns the Spearman rank-correlation coefficient between
+// two equal-length samples — the metric we use to validate the
+// meta-network's ranking quality (what matters for choosing partitions
+// is ordering candidates correctly, not absolute accuracy).
+func SpearmanRank(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	ra, rb := ranks(a), ranks(b)
+	return pearson(ra, rb)
+}
+
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return xs[idx[i]] < xs[idx[j]] })
+	out := make([]float64, len(xs))
+	// Tied values share the average of the ranks they span.
+	for lo := 0; lo < len(idx); {
+		hi := lo
+		for hi+1 < len(idx) && xs[idx[hi+1]] == xs[idx[lo]] {
+			hi++
+		}
+		avg := float64(lo+hi) / 2
+		for k := lo; k <= hi; k++ {
+			out[idx[k]] = avg
+		}
+		lo = hi + 1
+	}
+	return out
+}
+
+func pearson(a, b []float64) float64 {
+	ma, mb := Mean(a), Mean(b)
+	var num, da, db float64
+	for i := range a {
+		num += (a[i] - ma) * (b[i] - mb)
+		da += (a[i] - ma) * (a[i] - ma)
+		db += (b[i] - mb) * (b[i] - mb)
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}
+
+// Table accumulates rows and renders aligned text (with a Markdown
+// variant for EXPERIMENTS.md).
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; cells beyond the header count are dropped.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddF appends a row of formatted values: strings pass through, float64
+// render with Fmt, ints with %d.
+func (t *Table) AddF(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, Fmt(v))
+		case int:
+			row = append(row, fmt.Sprintf("%d", v))
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.Add(row...)
+}
+
+// String renders the table as aligned monospace text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	var sep []string
+	for _, w := range widths {
+		sep = append(sep, strings.Repeat("-", w))
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavoured Markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Headers, " | "))
+	var sep []string
+	for range t.Headers {
+		sep = append(sep, "---")
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(sep, " | "))
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(r, " | "))
+	}
+	return b.String()
+}
+
+// Fmt renders a float compactly: 3 significant-ish digits, fixed point.
+func Fmt(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 0.01:
+		return fmt.Sprintf("%.3f", v)
+	case av == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.2e", v)
+	}
+}
+
+// Speedup formats a ratio like "1.42x".
+func Speedup(new, old float64) string {
+	if old == 0 {
+		return "∞"
+	}
+	return fmt.Sprintf("%.2fx", new/old)
+}
+
+// CSV renders the table as RFC-4180-ish CSV (fields quoted when they
+// contain commas or quotes) for external plotting tools.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

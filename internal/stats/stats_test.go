@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if math.Abs(Stddev(xs)-2) > 1e-12 {
+		t.Fatalf("Stddev = %v", Stddev(xs))
+	}
+	if Mean(nil) != 0 || Stddev([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Fatal("extremes wrong")
+	}
+	if Percentile(xs, 50) != 3 {
+		t.Fatalf("p50 = %v", Percentile(xs, 50))
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	up := []float64{10, 20, 30, 40, 50}
+	down := []float64{5, 4, 3, 2, 1}
+	if r := SpearmanRank(a, up); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("monotone rank corr = %v", r)
+	}
+	if r := SpearmanRank(a, down); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("reversed rank corr = %v", r)
+	}
+	if SpearmanRank(a, a[:3]) != 0 {
+		t.Fatal("mismatched lengths should give 0")
+	}
+	if SpearmanRank([]float64{1, 1}, []float64{2, 2}) != 0 {
+		t.Fatal("constant series should give 0")
+	}
+}
+
+// Property: Spearman is invariant to strictly monotone transforms.
+func TestQuickSpearmanMonotoneInvariant(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		var a []float64
+		seen := map[float64]bool{}
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || seen[x] {
+				continue
+			}
+			seen[x] = true
+			a = append(a, math.Mod(x, 1e6))
+		}
+		if len(a) < 3 {
+			return true
+		}
+		b := make([]float64, len(a))
+		for i, x := range a {
+			b[i] = math.Atan(x) // strictly increasing
+		}
+		base := SpearmanRank(a, a)
+		trans := SpearmanRank(a, b)
+		return math.Abs(base-1) < 1e-9 && math.Abs(trans-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if s.MeanY() != 15 {
+		t.Fatalf("MeanY = %v", s.MeanY())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Figure X", "model", "speed")
+	tb.AddF("VGG16", 12.345)
+	tb.AddF("ResNet50", 99999.0)
+	txt := tb.String()
+	if !strings.Contains(txt, "Figure X") || !strings.Contains(txt, "VGG16") {
+		t.Fatalf("text render missing content:\n%s", txt)
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, "| model | speed |") || !strings.Contains(md, "| --- | --- |") {
+		t.Fatalf("markdown render malformed:\n%s", md)
+	}
+}
+
+func TestTableAddDropsExtraCells(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.Add("x", "overflow")
+	if len(tb.Rows[0]) != 1 {
+		t.Fatal("extra cell kept")
+	}
+}
+
+func TestFmt(t *testing.T) {
+	cases := map[float64]string{
+		12345: "12345",
+		42.42: "42.4",
+		1.234: "1.234",
+		0:     "0",
+	}
+	for in, want := range cases {
+		if got := Fmt(in); got != want {
+			t.Fatalf("Fmt(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if !strings.Contains(Fmt(1e-5), "e") {
+		t.Fatal("tiny values should use scientific notation")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(3, 2) != "1.50x" {
+		t.Fatalf("Speedup = %s", Speedup(3, 2))
+	}
+	if Speedup(1, 0) != "∞" {
+		t.Fatal("division by zero not handled")
+	}
+}
+
+func TestPlotSeriesBasics(t *testing.T) {
+	s1 := Series{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}}
+	s2 := Series{Name: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}}
+	out := PlotSeries("test plot", []Series{s1, s2}, 40, 8)
+	if !strings.Contains(out, "test plot") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "+ down") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("missing glyphs")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 8 grid rows + x-axis + legend
+	if len(lines) != 11 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	// The increasing series' glyph must appear in the top row (max) and
+	// the bottom grid row (min).
+	if !strings.ContainsRune(lines[1], '*') || !strings.ContainsRune(lines[8], '*') {
+		t.Fatalf("series not spanning full Y range:\n%s", out)
+	}
+}
+
+func TestPlotSeriesDegenerate(t *testing.T) {
+	if out := PlotSeries("", nil, 10, 3); !strings.Contains(out, "no data") {
+		t.Fatal("empty plot not flagged")
+	}
+	flat := Series{Name: "flat", X: []float64{1, 2}, Y: []float64{5, 5}}
+	out := PlotSeries("", []Series{flat}, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Fatal("flat series not plotted")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.Add("plain", `quo"te`)
+	tb.Add("with,comma", "2")
+	csv := tb.CSV()
+	want := "a,b\nplain,\"quo\"\"te\"\n\"with,comma\",2\n"
+	if csv != want {
+		t.Fatalf("CSV:\n%q\nwant:\n%q", csv, want)
+	}
+}

@@ -1,0 +1,222 @@
+// Package tensor provides the dense float64 vector and matrix operations
+// used by the neural-network substrate (package nn). It is deliberately
+// small: only the operations the meta-network and the RL arbiter need.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vec is a dense float64 vector.
+type Vec []float64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns an independent copy of v.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Fill sets every element of v to x.
+func (v Vec) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Zero sets every element of v to zero.
+func (v Vec) Zero() { v.Fill(0) }
+
+// Add adds w into v element-wise. Panics on length mismatch.
+func (v Vec) Add(w Vec) {
+	mustSameLen(len(v), len(w))
+	for i := range v {
+		v[i] += w[i]
+	}
+}
+
+// AddScaled adds a*w into v element-wise.
+func (v Vec) AddScaled(a float64, w Vec) {
+	mustSameLen(len(v), len(w))
+	for i := range v {
+		v[i] += a * w[i]
+	}
+}
+
+// Scale multiplies every element of v by a.
+func (v Vec) Scale(a float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// Dot returns the inner product of v and w.
+func (v Vec) Dot(w Vec) float64 {
+	mustSameLen(len(v), len(w))
+	s := 0.0
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func (v Vec) Norm2() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Max returns the maximum element; -Inf for an empty vector.
+func (v Vec) Max() float64 {
+	m := math.Inf(-1)
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of elements.
+func (v Vec) Sum() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Concat returns the concatenation of the given vectors as a new vector.
+func Concat(vs ...Vec) Vec {
+	n := 0
+	for _, v := range vs {
+		n += len(v)
+	}
+	out := make(Vec, 0, n)
+	for _, v := range vs {
+		out = append(out, v...)
+	}
+	return out
+}
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       Vec // len == Rows*Cols
+}
+
+// NewMat returns a zero Rows×Cols matrix.
+func NewMat(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative matrix dims %dx%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: NewVec(rows * cols)}
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, x float64) { m.Data[i*m.Cols+j] = x }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Mat) Row(i int) Vec { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns an independent deep copy.
+func (m *Mat) Clone() *Mat {
+	return &Mat{Rows: m.Rows, Cols: m.Cols, Data: m.Data.Clone()}
+}
+
+// Zero sets every element to zero.
+func (m *Mat) Zero() { m.Data.Zero() }
+
+// Add adds o into m element-wise.
+func (m *Mat) Add(o *Mat) {
+	mustSameShape(m, o)
+	m.Data.Add(o.Data)
+}
+
+// AddScaled adds a*o into m element-wise.
+func (m *Mat) AddScaled(a float64, o *Mat) {
+	mustSameShape(m, o)
+	m.Data.AddScaled(a, o.Data)
+}
+
+// Scale multiplies every element by a.
+func (m *Mat) Scale(a float64) { m.Data.Scale(a) }
+
+// MulVec computes m·x into out (len out == Rows). out may not alias x.
+func (m *Mat) MulVec(x Vec, out Vec) {
+	mustSameLen(m.Cols, len(x))
+	mustSameLen(m.Rows, len(out))
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, r := range row {
+			s += r * x[j]
+		}
+		out[i] = s
+	}
+}
+
+// MulVecT computes mᵀ·x into out (len out == Cols). Used for backprop.
+func (m *Mat) MulVecT(x Vec, out Vec) {
+	mustSameLen(m.Rows, len(x))
+	mustSameLen(m.Cols, len(out))
+	out.Zero()
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, r := range row {
+			out[j] += r * xi
+		}
+	}
+}
+
+// AddOuter adds a * x·yᵀ into m (len x == Rows, len y == Cols). The outer
+// product accumulation is the weight-gradient step of a dense layer.
+func (m *Mat) AddOuter(a float64, x, y Vec) {
+	mustSameLen(m.Rows, len(x))
+	mustSameLen(m.Cols, len(y))
+	for i := 0; i < m.Rows; i++ {
+		ax := a * x[i]
+		if ax == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := range row {
+			row[j] += ax * y[j]
+		}
+	}
+}
+
+// RandInit fills m with uniform values in [-scale, scale] drawn from rng.
+func (m *Mat) RandInit(rng *rand.Rand, scale float64) {
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+}
+
+// XavierInit fills m with the Glorot-uniform distribution for a layer with
+// the matrix's fan-in (Cols) and fan-out (Rows).
+func (m *Mat) XavierInit(rng *rand.Rand) {
+	scale := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	m.RandInit(rng, scale)
+}
+
+func mustSameLen(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("tensor: length mismatch %d vs %d", a, b))
+	}
+}
+
+func mustSameShape(a, b *Mat) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

@@ -1,0 +1,208 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestVecBasicOps(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := Vec{4, 5, 6}
+	v.Add(w)
+	if v[0] != 5 || v[1] != 7 || v[2] != 9 {
+		t.Fatalf("Add: %v", v)
+	}
+	v.Scale(2)
+	if v[2] != 18 {
+		t.Fatalf("Scale: %v", v)
+	}
+	v.AddScaled(-2, w)
+	if v[0] != 2 || v[1] != 4 || v[2] != 6 {
+		t.Fatalf("AddScaled: %v", v)
+	}
+	if d := v.Dot(w); d != 2*4+4*5+6*6 {
+		t.Fatalf("Dot = %v", d)
+	}
+	if s := v.Sum(); s != 12 {
+		t.Fatalf("Sum = %v", s)
+	}
+	if m := v.Max(); m != 6 {
+		t.Fatalf("Max = %v", m)
+	}
+}
+
+func TestVecCloneIndependent(t *testing.T) {
+	v := Vec{1, 2}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestVecLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched lengths did not panic")
+		}
+	}()
+	Vec{1}.Add(Vec{1, 2})
+}
+
+func TestConcat(t *testing.T) {
+	got := Concat(Vec{1}, Vec{}, Vec{2, 3})
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("Concat = %v", got)
+	}
+}
+
+func TestMatMulVec(t *testing.T) {
+	m := NewMat(2, 3)
+	// [1 2 3; 4 5 6]
+	for i, x := range []float64{1, 2, 3, 4, 5, 6} {
+		m.Data[i] = x
+	}
+	out := NewVec(2)
+	m.MulVec(Vec{1, 1, 1}, out)
+	if out[0] != 6 || out[1] != 15 {
+		t.Fatalf("MulVec = %v", out)
+	}
+	outT := NewVec(3)
+	m.MulVecT(Vec{1, 1}, outT)
+	if outT[0] != 5 || outT[1] != 7 || outT[2] != 9 {
+		t.Fatalf("MulVecT = %v", outT)
+	}
+}
+
+func TestMatAddOuter(t *testing.T) {
+	m := NewMat(2, 2)
+	m.AddOuter(2, Vec{1, 3}, Vec{5, 7})
+	// 2 * [1;3][5 7] = [10 14; 30 42]
+	want := []float64{10, 14, 30, 42}
+	for i, w := range want {
+		if m.Data[i] != w {
+			t.Fatalf("AddOuter data = %v, want %v", m.Data, want)
+		}
+	}
+}
+
+func TestMatAtSetRow(t *testing.T) {
+	m := NewMat(3, 4)
+	m.Set(2, 3, 42)
+	if m.At(2, 3) != 42 {
+		t.Fatal("At/Set roundtrip failed")
+	}
+	r := m.Row(2)
+	if r[3] != 42 {
+		t.Fatal("Row does not alias storage")
+	}
+	r[0] = 7
+	if m.At(2, 0) != 7 {
+		t.Fatal("Row write not visible in matrix")
+	}
+}
+
+func TestMatCloneAndScale(t *testing.T) {
+	m := NewMat(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Scale(10)
+	if m.At(0, 0) != 1 || c.At(0, 0) != 10 {
+		t.Fatal("Clone aliases original")
+	}
+	c.Add(m)
+	if c.At(0, 0) != 11 {
+		t.Fatal("Add failed")
+	}
+	c.AddScaled(-1, m)
+	if c.At(0, 0) != 10 {
+		t.Fatal("AddScaled failed")
+	}
+}
+
+func TestXavierInitRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMat(10, 20)
+	m.XavierInit(rng)
+	bound := math.Sqrt(6.0 / 30.0)
+	nonzero := 0
+	for _, x := range m.Data {
+		if math.Abs(x) > bound {
+			t.Fatalf("xavier value %v out of bound %v", x, bound)
+		}
+		if x != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < len(m.Data)/2 {
+		t.Fatal("xavier init left most elements zero")
+	}
+}
+
+// Property: matrix-vector multiply is linear: M(ax+by) == a·Mx + b·My.
+func TestQuickMulVecLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(8), 1+r.Intn(8)
+		m := NewMat(rows, cols)
+		m.RandInit(r, 1)
+		x, y := NewVec(cols), NewVec(cols)
+		for i := range x {
+			x[i], y[i] = r.NormFloat64(), r.NormFloat64()
+		}
+		a, b := r.NormFloat64(), r.NormFloat64()
+		combo := NewVec(cols)
+		for i := range combo {
+			combo[i] = a*x[i] + b*y[i]
+		}
+		left, mx, my := NewVec(rows), NewVec(rows), NewVec(rows)
+		m.MulVec(combo, left)
+		m.MulVec(x, mx)
+		m.MulVec(y, my)
+		for i := range left {
+			if math.Abs(left[i]-(a*mx[i]+b*my[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ⟨Mx, y⟩ == ⟨x, Mᵀy⟩ (adjoint identity ties MulVec and MulVecT).
+func TestQuickAdjointIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(8), 1+r.Intn(8)
+		m := NewMat(rows, cols)
+		m.RandInit(r, 1)
+		x, y := NewVec(cols), NewVec(rows)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		for i := range y {
+			y[i] = r.NormFloat64()
+		}
+		mx, mty := NewVec(rows), NewVec(cols)
+		m.MulVec(x, mx)
+		m.MulVecT(y, mty)
+		return math.Abs(mx.Dot(y)-x.Dot(mty)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	if !almostEqual(Vec{3, 4}.Norm2(), 5) {
+		t.Fatal("Norm2{3,4} != 5")
+	}
+}

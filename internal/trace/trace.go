@@ -1,0 +1,173 @@
+// Package trace generates the dynamic resource time-series the paper's
+// shared-cluster scenarios exercise: bandwidth steps (Figure 9),
+// competing-job arrivals (Figure 10), job churn after Jeon et al.'s
+// Philly measurement study (the paper's [7]), and the one-shot shifts of
+// Figures 3–6.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/netsim"
+	"autopipe/internal/sim"
+)
+
+// Kind enumerates resource-change event types.
+type Kind int
+
+// Event kinds.
+const (
+	// SetBandwidth sets every NIC to Value bits/sec.
+	SetBandwidth Kind = iota
+	// AddJob adds one competing job on every GPU.
+	AddJob
+	// RemoveJob removes one competing job from every GPU.
+	RemoveJob
+	// SetExtShare sets external-traffic share Value on server Server
+	// (Server = -1 means all servers).
+	SetExtShare
+	// DegradeGPU sets Value competing jobs on the single GPU whose id
+	// is in the Server field (failure/straggler injection: a large
+	// Value throttles the GPU to near-zero share).
+	DegradeGPU
+)
+
+// Event is one scheduled resource change.
+type Event struct {
+	At     float64 // virtual seconds
+	Kind   Kind
+	Value  float64
+	Server int
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	switch e.Kind {
+	case SetBandwidth:
+		return fmt.Sprintf("t=%.1f set-bandwidth %.0fGbps", e.At, e.Value/1e9)
+	case AddJob:
+		return fmt.Sprintf("t=%.1f add-job", e.At)
+	case RemoveJob:
+		return fmt.Sprintf("t=%.1f remove-job", e.At)
+	case DegradeGPU:
+		return fmt.Sprintf("t=%.1f degrade-gpu %d to %.0f jobs", e.At, e.Server, e.Value)
+	default:
+		return fmt.Sprintf("t=%.1f ext-share %.2f@%d", e.At, e.Value, e.Server)
+	}
+}
+
+// Apply mutates the cluster accordingly.
+func (e Event) Apply(cl *cluster.Cluster) {
+	switch e.Kind {
+	case SetBandwidth:
+		cl.SetNICBandwidth(e.Value)
+	case AddJob:
+		cl.AddCompetingJob()
+	case RemoveJob:
+		cl.RemoveCompetingJob()
+	case SetExtShare:
+		if e.Server < 0 {
+			cl.SetExtShareAll(e.Value)
+		} else {
+			cl.SetExtShare(e.Server, e.Value)
+		}
+	case DegradeGPU:
+		cl.SetCompetingJobs(e.Server, int(e.Value))
+	}
+}
+
+// Trace is a time-ordered sequence of resource changes.
+type Trace []Event
+
+// Sorted returns the trace ordered by time.
+func (t Trace) Sorted() Trace {
+	out := append(Trace(nil), t...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Schedule installs the trace on a simulation: each event mutates the
+// cluster at its time and notifies the network of capacity changes.
+// onChange (may be nil) fires after each event — the AutoPipe
+// resource-change detector hooks here in integration tests; production
+// code polls Cluster.Version instead.
+func (t Trace) Schedule(eng *sim.Engine, cl *cluster.Cluster, net *netsim.Network, onChange func(Event)) {
+	for _, e := range t.Sorted() {
+		e := e
+		eng.Schedule(sim.Time(e.At), "trace/"+e.String(), func() {
+			e.Apply(cl)
+			if net != nil {
+				net.OnCapacityChange()
+			}
+			if onChange != nil {
+				onChange(e)
+			}
+		})
+	}
+}
+
+// BandwidthSteps returns the paper's Figure 9 trace shape: bandwidth
+// moves through the given Gbps values at the given times.
+func BandwidthSteps(times []float64, gbps []float64) Trace {
+	var tr Trace
+	for i := range times {
+		tr = append(tr, Event{At: times[i], Kind: SetBandwidth, Value: cluster.Gbps(gbps[i])})
+	}
+	return tr
+}
+
+// JobArrivals returns the Figure 10 trace shape: one competing job added
+// at each time.
+func JobArrivals(times []float64) Trace {
+	var tr Trace
+	for _, at := range times {
+		tr = append(tr, Event{At: at, Kind: AddJob})
+	}
+	return tr
+}
+
+// ChurnConfig parametrises the Philly-style churn generator.
+type ChurnConfig struct {
+	// Duration of the trace in virtual seconds.
+	Duration float64
+	// MeanArrival is the mean inter-arrival time of competing jobs.
+	MeanArrival float64
+	// MeanLifetime is the mean competing-job lifetime.
+	MeanLifetime float64
+	// BandwidthLevelsGbps are the NIC speeds churn may move between
+	// (uploads/downloads and other tenants' traffic); empty disables
+	// bandwidth churn.
+	BandwidthLevelsGbps []float64
+	// MeanBandwidthHold is the mean time between bandwidth changes.
+	MeanBandwidthHold float64
+}
+
+// Churn generates a randomized shared-cluster trace: Poisson job
+// arrivals with exponential lifetimes plus bandwidth level changes.
+// Deterministic given rng.
+func Churn(rng *rand.Rand, cfg ChurnConfig) Trace {
+	var tr Trace
+	if cfg.MeanArrival > 0 && cfg.MeanLifetime > 0 {
+		t := rng.ExpFloat64() * cfg.MeanArrival
+		for t < cfg.Duration {
+			tr = append(tr, Event{At: t, Kind: AddJob})
+			end := t + rng.ExpFloat64()*cfg.MeanLifetime
+			if end < cfg.Duration {
+				tr = append(tr, Event{At: end, Kind: RemoveJob})
+			}
+			t += rng.ExpFloat64() * cfg.MeanArrival
+		}
+	}
+	if len(cfg.BandwidthLevelsGbps) > 0 && cfg.MeanBandwidthHold > 0 {
+		t := rng.ExpFloat64() * cfg.MeanBandwidthHold
+		for t < cfg.Duration {
+			level := cfg.BandwidthLevelsGbps[rng.Intn(len(cfg.BandwidthLevelsGbps))]
+			tr = append(tr, Event{At: t, Kind: SetBandwidth, Value: cluster.Gbps(level)})
+			t += rng.ExpFloat64() * cfg.MeanBandwidthHold
+		}
+	}
+	return tr.Sorted()
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/netsim"
+	"autopipe/internal/sim"
+)
+
+func TestEventApply(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(100))
+	Event{Kind: SetBandwidth, Value: cluster.Gbps(10)}.Apply(cl)
+	if cl.Servers[0].NICBwBps != cluster.Gbps(10) {
+		t.Fatal("SetBandwidth not applied")
+	}
+	Event{Kind: AddJob}.Apply(cl)
+	if cl.GPU(0).CompetingJobs != 1 {
+		t.Fatal("AddJob not applied")
+	}
+	Event{Kind: RemoveJob}.Apply(cl)
+	if cl.GPU(0).CompetingJobs != 0 {
+		t.Fatal("RemoveJob not applied")
+	}
+	Event{Kind: SetExtShare, Value: 0.4, Server: 2}.Apply(cl)
+	if cl.Servers[2].ExtShare != 0.4 {
+		t.Fatal("SetExtShare not applied")
+	}
+	Event{Kind: SetExtShare, Value: 0.2, Server: -1}.Apply(cl)
+	if cl.Servers[0].ExtShare != 0.2 || cl.Servers[4].ExtShare != 0.2 {
+		t.Fatal("SetExtShare all-servers not applied")
+	}
+}
+
+func TestScheduleFiresInOrder(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(10))
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	tr := BandwidthSteps([]float64{3, 1, 2}, []float64{40, 25, 100})
+	var seen []float64
+	tr.Schedule(eng, cl, net, func(e Event) { seen = append(seen, e.At) })
+	eng.RunAll()
+	if len(seen) != 3 || seen[0] != 1 || seen[1] != 2 || seen[2] != 3 {
+		t.Fatalf("events fired %v", seen)
+	}
+	if cl.Servers[0].NICBwBps != cluster.Gbps(40) {
+		t.Fatalf("final bandwidth %v, want 40G", cl.Servers[0].NICBwBps)
+	}
+}
+
+func TestJobArrivals(t *testing.T) {
+	tr := JobArrivals([]float64{5, 10})
+	if len(tr) != 2 || tr[0].Kind != AddJob {
+		t.Fatalf("trace = %v", tr)
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	cfg := ChurnConfig{
+		Duration: 1000, MeanArrival: 100, MeanLifetime: 200,
+		BandwidthLevelsGbps: []float64{10, 25, 40, 100}, MeanBandwidthHold: 150,
+	}
+	a := Churn(rand.New(rand.NewSource(1)), cfg)
+	b := Churn(rand.New(rand.NewSource(1)), cfg)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic churn length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("churn event %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: churn traces are time-sorted, within duration, and job
+// removals never exceed additions at any prefix.
+func TestQuickChurnWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := Churn(rng, ChurnConfig{
+			Duration: 500, MeanArrival: 50, MeanLifetime: 80,
+			BandwidthLevelsGbps: []float64{10, 100}, MeanBandwidthHold: 60,
+		})
+		jobs := 0
+		last := -1.0
+		for _, e := range tr {
+			if e.At < last || e.At >= 500 {
+				return false
+			}
+			last = e.At
+			switch e.Kind {
+			case AddJob:
+				jobs++
+			case RemoveJob:
+				jobs--
+				if jobs < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChurnEmptyConfig(t *testing.T) {
+	if tr := Churn(rand.New(rand.NewSource(1)), ChurnConfig{Duration: 100}); len(tr) != 0 {
+		t.Fatalf("empty config produced %d events", len(tr))
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	for _, e := range []Event{
+		{Kind: SetBandwidth, Value: 1e10},
+		{Kind: AddJob}, {Kind: RemoveJob},
+		{Kind: SetExtShare, Value: 0.5, Server: 1},
+	} {
+		if e.String() == "" {
+			t.Fatal("empty String()")
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package autopipe
+
+import (
+	"fmt"
+	"math/rand"
+
+	ap "autopipe/internal/autopipe"
+	"autopipe/internal/meta"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/pipeline"
+	"autopipe/internal/profile"
+	"autopipe/internal/sim"
+	"autopipe/internal/trace"
+)
+
+// RunConfig describes one fixed-configuration training run.
+type RunConfig struct {
+	Model   *Model
+	Cluster *Cluster
+	// Plan defaults to PipeDream's DP plan over all GPUs.
+	Plan Plan
+	// Scheme selects parameter synchronisation; the zero value is
+	// ParameterServer.
+	Scheme SyncScheme
+	// Framework defaults to PyTorch.
+	Framework Framework
+	// Batches to train (required).
+	Batches int
+	// SyncEvery is the PipeDream-2BW gradient-coalescing period.
+	SyncEvery int
+	// PerHopLatencySec adds fixed per-link-hop propagation delay to
+	// every network transfer (0 = pure fluid model).
+	PerHopLatencySec float64
+	// Dynamics, if non-nil, mutates the cluster during the run.
+	Dynamics Trace
+}
+
+// Measure runs a fixed configuration and returns its metrics.
+func Measure(cfg RunConfig) (Result, error) {
+	if cfg.Model == nil || cfg.Cluster == nil {
+		return Result{}, fmt.Errorf("autopipe: Measure needs Model and Cluster")
+	}
+	if cfg.Batches <= 0 {
+		return Result{}, fmt.Errorf("autopipe: Measure needs a positive batch count")
+	}
+	if len(cfg.Plan.Stages) == 0 {
+		cfg.Plan = PlanPipeDream(cfg.Model, cfg.Cluster, Workers(cfg.Cluster.NumGPUs()))
+	}
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cfg.Cluster)
+	net.PerHopLatencySec = cfg.PerHopLatencySec
+	e, err := pipeline.NewAsync(eng, net, pipeline.Config{
+		Model: cfg.Model, Cluster: cfg.Cluster, Plan: cfg.Plan,
+		Scheme: cfg.Scheme, Framework: cfg.Framework, SyncEvery: cfg.SyncEvery,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	cfg.Dynamics.Schedule(eng, cfg.Cluster, net, nil)
+	e.Start(cfg.Batches)
+	eng.RunAll()
+	if e.Completed() != cfg.Batches {
+		return Result{}, fmt.Errorf("autopipe: run stalled at %d/%d batches", e.Completed(), cfg.Batches)
+	}
+	res := Result{
+		Batches:     e.Completed(),
+		Samples:     e.Completed() * cfg.Model.MiniBatch,
+		Throughput:  e.Throughput(),
+		Utilization: e.Utilization(),
+		StashPeak:   e.StashPeak(),
+	}
+	if cs := e.Completions(); len(cs) > 0 {
+		res.StartupTime = float64(cs[0])
+		// Dynamics events may fire after the last batch; the run's cost
+		// is the job's own final completion, not the drained clock.
+		res.WallTime = float64(cs[len(cs)-1])
+	}
+	return res, nil
+}
+
+// SyncSchedule selects a synchronous pipeline schedule (GPipe, DAPPLE,
+// Chimera).
+type SyncSchedule = pipeline.SyncSchedule
+
+// Synchronous pipeline schedules.
+const (
+	GPipe   = pipeline.GPipe
+	DAPPLE  = pipeline.DAPPLE
+	Chimera = pipeline.Chimera
+)
+
+// MeasureSyncSchedule runs a synchronous micro-batched schedule (GPipe /
+// DAPPLE / Chimera) instead of asynchronous 1F1B. microBatches defaults
+// to 4.
+func MeasureSyncSchedule(cfg RunConfig, schedule SyncSchedule, microBatches int) (Result, error) {
+	if cfg.Model == nil || cfg.Cluster == nil {
+		return Result{}, fmt.Errorf("autopipe: MeasureSyncSchedule needs Model and Cluster")
+	}
+	if cfg.Batches <= 0 {
+		return Result{}, fmt.Errorf("autopipe: MeasureSyncSchedule needs a positive batch count")
+	}
+	if len(cfg.Plan.Stages) == 0 {
+		cfg.Plan = PlanEvenSplit(cfg.Model, Workers(cfg.Cluster.NumGPUs()))
+	}
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cfg.Cluster)
+	e, err := pipeline.NewSync(eng, net, pipeline.SyncConfig{
+		Config: pipeline.Config{
+			Model: cfg.Model, Cluster: cfg.Cluster, Plan: cfg.Plan,
+			Scheme: cfg.Scheme, Framework: cfg.Framework,
+		},
+		Schedule: schedule, MicroBatches: microBatches,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	cfg.Dynamics.Schedule(eng, cfg.Cluster, net, nil)
+	e.Start(cfg.Batches)
+	eng.RunAll()
+	if e.Completed() != cfg.Batches {
+		return Result{}, fmt.Errorf("autopipe: sync run stalled at %d/%d", e.Completed(), cfg.Batches)
+	}
+	res := Result{
+		Batches:     e.Completed(),
+		Samples:     e.Completed() * cfg.Model.MiniBatch,
+		Throughput:  e.Throughput(),
+		Utilization: e.Utilization(),
+	}
+	if cs := e.Completions(); len(cs) > 0 {
+		res.StartupTime = float64(cs[0])
+		res.WallTime = float64(cs[len(cs)-1])
+	}
+	return res, nil
+}
+
+// JobConfig describes an AutoPipe-managed training job.
+type JobConfig struct {
+	Model   *Model
+	Cluster *Cluster
+	// Workers defaults to all GPUs.
+	Workers []int
+	Scheme  SyncScheme
+	// Framework defaults to PyTorch.
+	Framework Framework
+	// SyncEvery is the PipeDream-2BW gradient-coalescing period.
+	SyncEvery int
+	// Dynamics, if non-nil, mutates the cluster during the run.
+	Dynamics Trace
+	// CheckEvery is the reconfiguration decision period in iterations
+	// (default 5).
+	CheckEvery int
+	// Predictor overrides the candidate scorer (default: scheme-aware
+	// analytic predictor, the meta-network's drop-in stand-in).
+	Predictor Predictor
+	// Arbiter, when non-nil, gates switches with the RL policy instead
+	// of the threshold rule.
+	Arbiter *Arbiter
+	// DisableReconfig freezes the initial plan (PipeDream ablation).
+	DisableReconfig bool
+}
+
+// JobResult extends Result with controller telemetry.
+type JobResult struct {
+	Result
+	Controller ControllerStats
+	FinalPlan  Plan
+	// SpeedPerIteration is the smoothed per-iteration samples/sec.
+	SpeedPerIteration []float64
+	// DecisionLog holds one line per reconfiguration decision.
+	DecisionLog []string
+}
+
+// RunJob trains a managed job for the given number of mini-batches.
+func RunJob(cfg JobConfig, batches int) (JobResult, error) {
+	if cfg.Model == nil || cfg.Cluster == nil {
+		return JobResult{}, fmt.Errorf("autopipe: RunJob needs Model and Cluster")
+	}
+	if batches <= 0 {
+		return JobResult{}, fmt.Errorf("autopipe: RunJob needs a positive batch count")
+	}
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cfg.Cluster)
+	pred := cfg.Predictor
+	if pred == nil {
+		pred = meta.AnalyticPredictor{Scheme: cfg.Scheme}
+	}
+	c, err := ap.New(eng, net, ap.Config{
+		Model: cfg.Model, Cluster: cfg.Cluster, Workers: cfg.Workers,
+		Scheme: cfg.Scheme, Framework: cfg.Framework, SyncEvery: cfg.SyncEvery,
+		Predictor: pred, Arbiter: cfg.Arbiter,
+		CheckEvery:      cfg.CheckEvery,
+		DisableReconfig: cfg.DisableReconfig,
+	})
+	if err != nil {
+		return JobResult{}, err
+	}
+	cfg.Dynamics.Schedule(eng, cfg.Cluster, net, nil)
+	c.Start(batches)
+	eng.RunAll()
+	e := c.Engine()
+	if e.Completed() != batches {
+		return JobResult{}, fmt.Errorf("autopipe: job stalled at %d/%d batches", e.Completed(), batches)
+	}
+	out := JobResult{
+		Result: Result{
+			Batches:     e.Completed(),
+			Samples:     e.Completed() * cfg.Model.MiniBatch,
+			Throughput:  e.Throughput(),
+			Utilization: e.Utilization(),
+			StashPeak:   e.StashPeak(),
+		},
+		Controller: c.Stats(),
+		FinalPlan:  c.Plan(),
+	}
+	for _, d := range c.DecisionLog() {
+		out.DecisionLog = append(out.DecisionLog, d.String())
+	}
+	cs := e.Completions()
+	if len(cs) > 0 {
+		out.StartupTime = float64(cs[0])
+		out.WallTime = float64(cs[len(cs)-1])
+	}
+	const w = 6
+	for i := w; i < len(cs); i++ {
+		dt := float64(cs[i] - cs[i-w])
+		if dt > 0 {
+			out.SpeedPerIteration = append(out.SpeedPerIteration, float64(w*cfg.Model.MiniBatch)/dt)
+		}
+	}
+	return out, nil
+}
+
+// OptimizePlan hill-climbs a plan for the cluster's current observed
+// state using the two-worker-swap neighbourhood (boundary shifts and
+// in-flight changes) — the static form of AutoPipe's search, used to
+// "enhance" other pipeline schemes. The search stays within the starting
+// plan's replication structure, which is safe for every schedule; use
+// OptimizePlanWithMerge for the asynchronous engines where stage
+// merges/replication pay off.
+func OptimizePlan(m *Model, cl *Cluster, start Plan, scheme SyncScheme) Plan {
+	prof := newProfile(m, cl)
+	return ap.OptimizePlan(prof, start, m.MiniBatch, meta.AnalyticPredictor{Scheme: scheme}, 64, false)
+}
+
+// OptimizePlanWithMerge extends OptimizePlan's neighbourhood with stage
+// merges and splits (data-parallel replication changes).
+func OptimizePlanWithMerge(m *Model, cl *Cluster, start Plan, scheme SyncScheme) Plan {
+	prof := newProfile(m, cl)
+	return ap.OptimizePlan(prof, start, m.MiniBatch, meta.AnalyticPredictor{Scheme: scheme}, 64, true)
+}
+
+func newProfile(m *Model, cl *Cluster) *profile.Profile {
+	return profile.NewProfiler(m, cl).Observe()
+}
+
+// DiffWorkers reports the workers whose task changes between two plans.
+func DiffWorkers(a, b Plan) []int { return partition.DiffWorkers(a, b) }
+
+// ChurnTrace generates a randomized Philly-style shared-cluster trace.
+func ChurnTrace(seed int64, durationSec float64) Trace {
+	return trace.Churn(rand.New(rand.NewSource(seed)), trace.ChurnConfig{
+		Duration: durationSec, MeanArrival: durationSec / 4, MeanLifetime: durationSec / 3,
+		BandwidthLevelsGbps: []float64{10, 25, 40, 100}, MeanBandwidthHold: durationSec / 5,
+	})
+}

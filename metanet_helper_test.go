@@ -1,0 +1,12 @@
+package autopipe
+
+import (
+	"math/rand"
+
+	"autopipe/internal/meta"
+)
+
+// newTestMetaNetwork builds an untrained meta-network for facade tests.
+func newTestMetaNetwork() *MetaNetwork {
+	return meta.NewNetwork(rand.New(rand.NewSource(1)))
+}
