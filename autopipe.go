@@ -55,6 +55,8 @@ type (
 	GPUType = cluster.GPUType
 	// ControllerStats aggregates AutoPipe controller activity.
 	ControllerStats = autopipe.Stats
+	// DecisionRecord is one recorded reconfiguration decision.
+	DecisionRecord = autopipe.DecisionRecord
 )
 
 // Synchronisation schemes.

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"autopipe"
+	"autopipe/internal/server"
 	"autopipe/internal/trace"
 )
 
@@ -40,11 +42,15 @@ func main() {
 		jobs      = flag.Int("jobs", 0, "competing jobs sharing every GPU")
 		verbose   = flag.Bool("v", false, "print per-worker utilization")
 		compare   = flag.Bool("compare", false, "run all three systems and print a comparison")
+		jsonOut   = flag.Bool("json", false, "emit the run as one JSON document on stdout (daemon-API serialisation)")
 	)
 	var traces traceFlags
 	flag.Var(&traces, "trace", "dynamic event, repeatable: bw:<t>:<gbps> | job:<t> | jobend:<t>")
 	flag.Parse()
 
+	if *jsonOut && *compare {
+		fatalIf(fmt.Errorf("-json and -compare are mutually exclusive"))
+	}
 	m, err := autopipe.ModelByName(*modelName)
 	fatalIf(err)
 	cl := autopipe.Testbed(autopipe.Gbps(*bwGbps))
@@ -56,30 +62,37 @@ func main() {
 	dyn, err := parseTraces(traces)
 	fatalIf(err)
 
-	fmt.Printf("AutoPipe simulator — %s on %d×P100 @%gGbps, scheme=%s, system=%s\n",
-		m.Name, *workers, *bwGbps, *scheme, *system)
-	fmt.Printf("  layers=%d params=%.1fM mini-batch=%d\n",
-		m.NumLayers(), float64(m.TotalParams())/1e6, m.MiniBatch)
+	if !*jsonOut {
+		fmt.Printf("AutoPipe simulator — %s on %d×P100 @%gGbps, scheme=%s, system=%s\n",
+			m.Name, *workers, *bwGbps, *scheme, *system)
+		fmt.Printf("  layers=%d params=%.1fM mini-batch=%d\n",
+			m.NumLayers(), float64(m.TotalParams())/1e6, m.MiniBatch)
+	}
 
 	if *compare {
 		runComparison(m, *bwGbps, *jobs, sc, dyn, *workers, *batches)
 		return
 	}
 
-	switch strings.ToLower(*system) {
-	case "baseline":
+	sys := strings.ToLower(*system)
+	rep := server.RunReport{Model: m.Name, System: sys, Scheme: *scheme, Workers: *workers}
+	switch sys {
+	case "baseline", "pipedream":
+		plan := autopipe.PlanDataParallel(m, autopipe.Workers(*workers))
+		if sys == "pipedream" {
+			plan = autopipe.PlanPipeDream(m, cl, autopipe.Workers(*workers))
+		}
 		res, err := autopipe.Measure(autopipe.RunConfig{
-			Model: m, Cluster: cl, Plan: autopipe.PlanDataParallel(m, autopipe.Workers(*workers)),
+			Model: m, Cluster: cl, Plan: plan,
 			Scheme: sc, Batches: *batches, Dynamics: dyn,
 		})
 		fatalIf(err)
-		report(res, *verbose)
-	case "pipedream":
-		res, err := autopipe.Measure(autopipe.RunConfig{
-			Model: m, Cluster: cl, Plan: autopipe.PlanPipeDream(m, cl, autopipe.Workers(*workers)),
-			Scheme: sc, Batches: *batches, Dynamics: dyn,
-		})
-		fatalIf(err)
+		rep.Result = res
+		rep.FinalPlan = &plan
+		if *jsonOut {
+			emitJSON(rep)
+			return
+		}
 		report(res, *verbose)
 	case "autopipe":
 		res, err := autopipe.RunJob(autopipe.JobConfig{
@@ -87,6 +100,14 @@ func main() {
 			Scheme: sc, Dynamics: dyn,
 		}, *batches)
 		fatalIf(err)
+		rep.Result = res.Result
+		rep.Controller = &res.Controller
+		rep.FinalPlan = &res.FinalPlan
+		rep.Decisions = res.Decisions
+		if *jsonOut {
+			emitJSON(rep)
+			return
+		}
 		report(res.Result, *verbose)
 		st := res.Controller
 		fmt.Printf("controller: %d decisions, %d switches applied, %.1fms decision time, %d resource changes\n",
@@ -104,6 +125,13 @@ func main() {
 	default:
 		fatalIf(fmt.Errorf("unknown system %q", *system))
 	}
+}
+
+// emitJSON writes the report as one indented JSON document on stdout.
+func emitJSON(rep server.RunReport) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	fatalIf(enc.Encode(rep))
 }
 
 // runComparison measures Baseline, PipeDream and AutoPipe on identical

@@ -1,11 +1,50 @@
 package main
 
 import (
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"autopipe"
+	"autopipe/internal/server"
 	"autopipe/internal/trace"
 )
+
+// TestRunReportShape pins the -json output contract: one document
+// carrying the result, controller stats, final plan and decisions in
+// the same serialisation the autopiped daemon uses.
+func TestRunReportShape(t *testing.T) {
+	m := autopipe.UniformModel(8, 1e9, 1000)
+	res, err := autopipe.RunJob(autopipe.JobConfig{
+		Model: m, Cluster: autopipe.Testbed(autopipe.Gbps(25)),
+		Workers: autopipe.Workers(4),
+	}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := server.RunReport{
+		Model: m.Name, System: "autopipe", Scheme: "Ring", Workers: 4,
+		Result: res.Result, Controller: &res.Controller,
+		FinalPlan: &res.FinalPlan, Decisions: res.Decisions,
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"model"`, `"system"`, `"result"`, `"throughput_samples_per_sec"`,
+		`"controller"`, `"switches_applied"`, `"final_plan"`, `"in_flight"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("report missing %s:\n%s", key, raw)
+		}
+	}
+	var back server.RunReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Result.Throughput != res.Throughput || !back.FinalPlan.Equal(res.FinalPlan) {
+		t.Fatalf("report round trip changed: %+v", back)
+	}
+}
 
 func TestParseScheme(t *testing.T) {
 	for in, want := range map[string]autopipe.SyncScheme{

@@ -1,0 +1,86 @@
+// Command autopiped is the AutoPipe control-plane daemon: it hosts many
+// concurrent simulated AutoPipe-managed training jobs on a bounded
+// worker pool and serves a JSON REST API plus Prometheus metrics.
+//
+//	autopiped -addr :8080 -pool 4
+//
+//	curl -X POST localhost:8080/v1/jobs -d '{"model":"ResNet50","batches":50}'
+//	curl localhost:8080/v1/jobs/job-0001
+//	curl localhost:8080/metrics
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, and
+// running jobs get -drain-timeout to finish before being cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"autopipe/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		pool         = flag.Int("pool", runtime.GOMAXPROCS(0), "max concurrently simulating jobs")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for running jobs on shutdown")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autopiped:", err)
+		os.Exit(1)
+	}
+	logger := log.New(os.Stderr, "autopiped: ", log.LstdFlags)
+	if err := run(ctx, lis, *pool, *drainTimeout, logger); err != nil {
+		fmt.Fprintln(os.Stderr, "autopiped:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves the control plane on lis until ctx is cancelled (the
+// signal handler in main), then drains: HTTP shutdown first so no new
+// jobs arrive, registry drain second. Factored out of main so the
+// daemon lifecycle is testable.
+func run(ctx context.Context, lis net.Listener, pool int, drainTimeout time.Duration, logger *log.Logger) error {
+	reg := server.NewRegistry(pool)
+	srv := &http.Server{Handler: server.New(reg).Handler()}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(lis) }()
+	logger.Printf("serving on %s (pool %d)", lis.Addr(), pool)
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down: draining jobs (timeout %s)", drainTimeout)
+
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := srv.Shutdown(httpCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancelDrain()
+	if err := reg.Shutdown(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
+		logger.Printf("drain timeout hit, jobs cancelled: %v", err)
+	}
+	logger.Printf("bye")
+	return nil
+}

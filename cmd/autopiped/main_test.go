@@ -1,0 +1,126 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonLifecycle exercises the real daemon loop end to end: serve
+// on a TCP listener, accept a job over HTTP, watch it finish, scrape
+// metrics, then deliver a real SIGTERM and require a clean drain.
+func TestDaemonLifecycle(t *testing.T) {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + lis.Addr().String()
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, lis, 2, 5*time.Second, log.New(io.Discard, "", 0))
+	}()
+
+	waitHealthy(t, base)
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"model":"uniform","uniform":{"layers":8},"batches":10}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || created.ID == "" {
+		t.Fatalf("POST = %d, id %q", resp.StatusCode, created.ID)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var info struct {
+			Status struct {
+				State     string `json:"state"`
+				Iteration int    `json:"iteration"`
+			} `json:"status"`
+		}
+		resp, err := http.Get(base + "/v1/jobs/" + created.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if info.Status.State == "done" {
+			if info.Status.Iteration != 10 {
+				t.Fatalf("done with %d iterations", info.Status.Iteration)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", info.Status.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), fmt.Sprintf("autopiped_job_iterations_total{job=%q} 10", created.ID)) {
+		t.Fatalf("metrics missing job sample:\n%s", metrics)
+	}
+
+	// The real signal: SIGTERM to our own process, caught by the same
+	// signal.NotifyContext wiring main uses.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down after SIGTERM")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -87,16 +87,24 @@ type Config struct {
 	Rng *rand.Rand
 }
 
-// Stats aggregates controller activity.
+// Stats aggregates controller activity. It serialises through
+// encoding/json (snake_case field names); the wire form is shared by
+// `autopipe-sim -json` and the autopiped daemon's API.
 type Stats struct {
-	Iterations      int
-	Decisions       int     // candidate evaluations performed
-	SwitchesChosen  int     // arbiter said yes
-	SwitchesApplied int     // committed on the engine
-	DecisionSeconds float64 // cumulative wall-clock spent deciding (Fig 12)
-	ResourceChanges int     // detector firings
-	Evictions       int     // failed workers evicted from the plan
-	Adaptations     int     // online meta-network fine-tuning rounds
+	Iterations      int     `json:"iterations"`
+	Decisions       int     `json:"decisions"`        // candidate evaluations performed
+	SwitchesChosen  int     `json:"switches_chosen"`  // arbiter said yes
+	SwitchesApplied int     `json:"switches_applied"` // committed on the engine
+	DecisionSeconds float64 `json:"decision_seconds"` // cumulative wall-clock spent deciding (Fig 12)
+	ResourceChanges int     `json:"resource_changes"` // detector firings
+	Evictions       int     `json:"evictions"`        // failed workers evicted from the plan
+	Adaptations     int     `json:"adaptations"`      // online meta-network fine-tuning rounds
+	// SwitchSecondsPredicted sums the cost model's estimate over applied
+	// switches; SwitchSecondsRealized sums the virtual time each of those
+	// switches actually took from decision to commit. Their ratio is the
+	// cost predictor's online calibration error.
+	SwitchSecondsPredicted float64 `json:"switch_seconds_predicted"`
+	SwitchSecondsRealized  float64 `json:"switch_seconds_realized"`
 }
 
 // Controller runs one AutoPipe-managed training job on a simulation.
@@ -328,9 +336,13 @@ func (c *Controller) decide(prof *profile.Profile) {
 	c.logDecision(DecisionRecord{Kind: kind, PredCurrent: curSpeed, PredCandidate: bestSpeed, SwitchCost: cost, Candidate: best})
 	c.stats.SwitchesChosen++
 	newPlan := best
+	predCost := cost
+	switchStart := c.eng.Now()
 	if err := c.engine.ApplyPlan(newPlan, pipeline.SwitchAuto, func() {
 		c.plan = newPlan
 		c.stats.SwitchesApplied++
+		c.stats.SwitchSecondsPredicted += predCost
+		c.stats.SwitchSecondsRealized += float64(c.eng.Now() - switchStart)
 		c.itersSinceSwitch = 0
 	}); err != nil {
 		// A concurrent switch slipped in; skip this round.
@@ -391,7 +403,9 @@ func (c *Controller) resolvePendingReward() {
 }
 
 // sameBoundaries reports whether two plans share every stage boundary
-// (differing only in InFlight).
+// and worker assignment (differing only in InFlight). Worker sets must
+// match too: a replica migration keeps the boundaries but still moves
+// weights, so it is a structural switch, not a free in-flight change.
 func sameBoundaries(a, b partition.Plan) bool {
 	if len(a.Stages) != len(b.Stages) {
 		return false
@@ -399,6 +413,14 @@ func sameBoundaries(a, b partition.Plan) bool {
 	for i := range a.Stages {
 		if a.Stages[i].Start != b.Stages[i].Start || a.Stages[i].End != b.Stages[i].End {
 			return false
+		}
+		if len(a.Stages[i].Workers) != len(b.Stages[i].Workers) {
+			return false
+		}
+		for j := range a.Stages[i].Workers {
+			if a.Stages[i].Workers[j] != b.Stages[i].Workers[j] {
+				return false
+			}
 		}
 	}
 	return true

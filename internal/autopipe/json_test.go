@@ -1,0 +1,105 @@
+package autopipe
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"autopipe/internal/partition"
+)
+
+// fillDistinct sets every field of a flat struct to a distinct non-zero
+// value so a round trip that drops a field is caught.
+func fillDistinct(t *testing.T, v reflect.Value) {
+	t.Helper()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Int:
+			f.SetInt(int64(i + 1))
+		case reflect.Float64:
+			f.SetFloat(float64(i) + 0.5)
+		case reflect.String:
+			f.SetString("kind")
+		default:
+			t.Fatalf("fillDistinct: unhandled field kind %s", f.Kind())
+		}
+	}
+}
+
+func TestStatsJSONRoundTrip(t *testing.T) {
+	var s Stats
+	fillDistinct(t, reflect.ValueOf(&s).Elem())
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Stats
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("round trip changed stats:\n got %+v\nwant %+v", back, s)
+	}
+	// Every field must carry an explicit snake_case tag — the wire form
+	// is API surface, not an accident of Go field names.
+	rt := reflect.TypeOf(s)
+	for i := 0; i < rt.NumField(); i++ {
+		tag := rt.Field(i).Tag.Get("json")
+		if tag == "" || strings.ContainsAny(tag, "ABCDEFGHIJKLMNOPQRSTUVWXYZ") {
+			t.Errorf("field %s has bad json tag %q", rt.Field(i).Name, tag)
+		}
+	}
+}
+
+func TestDecisionRecordJSONRoundTrip(t *testing.T) {
+	rec := DecisionRecord{
+		At:            12.5,
+		Iteration:     40,
+		Kind:          "switch",
+		PredCurrent:   810.3,
+		PredCandidate: 923.7,
+		SwitchCost:    1.75,
+		Candidate: partition.Plan{
+			Stages: []partition.Stage{
+				{Start: 0, End: 5, Workers: []int{0, 1}},
+				{Start: 5, End: 8, Workers: []int{2}},
+			},
+			InFlight: 4,
+		},
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{`"at"`, `"kind"`, `"pred_current"`, `"pred_candidate"`, `"switch_cost_sec"`, `"candidate"`} {
+		if !strings.Contains(string(raw), name) {
+			t.Errorf("wire form missing field %s: %s", name, raw)
+		}
+	}
+	var back DecisionRecord
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec, back) {
+		t.Fatalf("round trip changed record:\n got %+v\nwant %+v", back, rec)
+	}
+}
+
+func TestRecentDecisions(t *testing.T) {
+	c := &Controller{}
+	for i := 0; i < 10; i++ {
+		c.decisionLog = append(c.decisionLog, DecisionRecord{Iteration: i})
+	}
+	got := c.RecentDecisions(3)
+	if len(got) != 3 || got[0].Iteration != 7 || got[2].Iteration != 9 {
+		t.Fatalf("RecentDecisions(3) = %+v", got)
+	}
+	if got := c.RecentDecisions(100); len(got) != 10 {
+		t.Fatalf("RecentDecisions over-length = %d records", len(got))
+	}
+	if got := c.RecentDecisions(0); got != nil {
+		t.Fatalf("RecentDecisions(0) = %+v", got)
+	}
+}

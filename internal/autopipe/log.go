@@ -9,20 +9,23 @@ import (
 
 // DecisionRecord captures one reconfiguration decision for post-hoc
 // analysis (exposed by cmd/autopipe-sim -v and usable as training data
-// for further offline rounds).
+// for further offline rounds). It serialises through encoding/json
+// (snake_case field names); the wire form is shared by `autopipe-sim
+// -json` and the autopiped daemon's API.
 type DecisionRecord struct {
 	// At is the virtual time of the decision; Iteration its index.
-	At        sim.Time
-	Iteration int
+	At        sim.Time `json:"at"`
+	Iteration int      `json:"iteration"`
 	// Kind is "keep", "switch", "inflight", "evict".
-	Kind string
+	Kind string `json:"kind"`
 	// PredCurrent/PredCandidate are the predictor's scores (samples/s).
-	PredCurrent, PredCandidate float64
+	PredCurrent   float64 `json:"pred_current"`
+	PredCandidate float64 `json:"pred_candidate"`
 	// SwitchCost is the predicted switching cost in seconds.
-	SwitchCost float64
+	SwitchCost float64 `json:"switch_cost_sec"`
 	// Candidate is the plan under consideration (zero for "keep" with no
 	// viable candidate).
-	Candidate partition.Plan
+	Candidate partition.Plan `json:"candidate"`
 }
 
 // String renders a one-line summary.
@@ -55,4 +58,17 @@ func (c *Controller) logDecision(r DecisionRecord) {
 // recent maxLogEntries).
 func (c *Controller) DecisionLog() []DecisionRecord {
 	return append([]DecisionRecord(nil), c.decisionLog...)
+}
+
+// RecentDecisions returns at most the last n decisions. Unlike
+// DecisionLog it copies only the tail, so per-iteration status
+// snapshotting stays cheap.
+func (c *Controller) RecentDecisions(n int) []DecisionRecord {
+	if n <= 0 || len(c.decisionLog) == 0 {
+		return nil
+	}
+	if n > len(c.decisionLog) {
+		n = len(c.decisionLog)
+	}
+	return append([]DecisionRecord(nil), c.decisionLog[len(c.decisionLog)-n:]...)
 }

@@ -16,9 +16,10 @@ import (
 // round-robined across replicas and gradients are synchronised.
 type Stage struct {
 	// Start and End delimit the half-open layer interval [Start, End).
-	Start, End int
+	Start int `json:"start"`
+	End   int `json:"end"`
 	// Workers are the GPU ids executing this stage.
-	Workers []int
+	Workers []int `json:"workers"`
 }
 
 // NumLayers returns the stage's layer count.
@@ -30,9 +31,11 @@ func (s Stage) Replicas() int { return len(s.Workers) }
 // Plan is a complete work partition: an ordered stage list plus the
 // number of in-flight mini-batches that fill the pipeline (PipeDream's
 // NOAM, "optimal number of on-the-fly mini-batches").
+// Plan serialises losslessly through encoding/json (snake_case field
+// names); the wire form is part of the autopiped daemon's API.
 type Plan struct {
-	Stages   []Stage
-	InFlight int
+	Stages   []Stage `json:"stages"`
+	InFlight int     `json:"in_flight"`
 }
 
 // NumStages returns the pipeline depth.

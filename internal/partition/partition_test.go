@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -387,6 +388,13 @@ func TestPlanJSONRoundTrip(t *testing.T) {
 	raw, err := json.Marshal(p)
 	if err != nil {
 		t.Fatal(err)
+	}
+	// The snake_case wire names are API surface (shared with the
+	// autopiped daemon), not an accident of the Go field names.
+	for _, name := range []string{`"stages"`, `"in_flight"`, `"start"`, `"end"`, `"workers"`} {
+		if !strings.Contains(string(raw), name) {
+			t.Errorf("wire form missing field %s: %s", name, raw)
+		}
 	}
 	var back Plan
 	if err := json.Unmarshal(raw, &back); err != nil {

@@ -7,23 +7,25 @@ import (
 	"autopipe/internal/sim"
 )
 
-// Result summarises a bounded training run.
+// Result summarises a bounded training run. It serialises through
+// encoding/json (snake_case field names); the wire form is shared by
+// `autopipe-sim -json` and the autopiped daemon's API.
 type Result struct {
 	// Batches completed and samples processed.
-	Batches int
-	Samples int
+	Batches int `json:"batches"`
+	Samples int `json:"samples"`
 	// WallTime is the total virtual time of the run (seconds).
-	WallTime float64
+	WallTime float64 `json:"wall_time_sec"`
 	// StartupTime is the completion time of the first mini-batch — the
 	// pipeline-fill cost of Figure 2.
-	StartupTime float64
+	StartupTime float64 `json:"startup_time_sec"`
 	// Throughput is steady-state samples/sec (warmup completions
 	// excluded).
-	Throughput float64
+	Throughput float64 `json:"throughput_samples_per_sec"`
 	// Utilization maps worker id → busy fraction.
-	Utilization map[int]float64
+	Utilization map[int]float64 `json:"utilization,omitempty"`
 	// StashPeak is the maximum weight-stash population on any replica.
-	StashPeak int
+	StashPeak int `json:"stash_peak"`
 }
 
 // throughputOf computes steady-state samples/sec from completion times,

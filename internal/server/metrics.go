@@ -1,0 +1,96 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"autopipe"
+)
+
+// The Prometheus text exposition format (version 0.0.4) is simple
+// enough that a dependency-free encoder fits in a page: one HELP and
+// TYPE line per family, then one sample line per label set.
+
+type sample struct {
+	labels [2]string // job id label; empty for unlabelled gauges
+	value  float64
+}
+
+type family struct {
+	name, help, typ string
+	samples         []sample
+}
+
+func (f *family) add(jobID string, v float64) {
+	s := sample{value: v}
+	if jobID != "" {
+		s.labels = [2]string{"job", jobID}
+	}
+	f.samples = append(f.samples, s)
+}
+
+func (f *family) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+	for _, s := range f.samples {
+		if s.labels[0] == "" {
+			fmt.Fprintf(w, "%s %g\n", f.name, s.value)
+			continue
+		}
+		// %q escapes backslash, double-quote and newline — exactly the
+		// exposition format's label-value escaping.
+		fmt.Fprintf(w, "%s{%s=%q} %g\n", f.name, s.labels[0], s.labels[1], s.value)
+	}
+}
+
+// WriteMetrics renders the registry's state in Prometheus text format.
+func WriteMetrics(w io.Writer, r *Registry) {
+	infos := r.List()
+
+	depth := &family{name: "autopiped_registry_depth", typ: "gauge",
+		help: "Jobs waiting for a worker-pool slot."}
+	pool := &family{name: "autopiped_worker_pool_size", typ: "gauge",
+		help: "Maximum concurrently simulating jobs."}
+	states := &family{name: "autopiped_jobs", typ: "gauge",
+		help: "Jobs by lifecycle state."}
+	iter := &family{name: "autopiped_job_iterations_total", typ: "counter",
+		help: "Completed mini-batches per job."}
+	tp := &family{name: "autopiped_job_throughput_samples_per_sec", typ: "gauge",
+		help: "Steady-state training throughput per job."}
+	switches := &family{name: "autopiped_job_switches_applied_total", typ: "counter",
+		help: "Reconfigurations committed on the pipeline per job."}
+	predCost := &family{name: "autopiped_job_switch_cost_predicted_seconds_total", typ: "counter",
+		help: "Cost-model estimate summed over applied switches per job."}
+	realCost := &family{name: "autopiped_job_switch_cost_realized_seconds_total", typ: "counter",
+		help: "Virtual seconds switches actually took, decision to commit, per job."}
+
+	pool.add("", float64(r.PoolSize()))
+	queued := 0
+	counts := map[autopipe.JobState]int{}
+	for _, info := range infos {
+		st := info.Status
+		counts[st.State]++
+		if st.State == autopipe.JobQueued {
+			queued++
+		}
+		iter.add(info.ID, float64(st.Iteration))
+		tp.add(info.ID, st.Throughput)
+		switches.add(info.ID, float64(st.Controller.SwitchesApplied))
+		predCost.add(info.ID, st.Controller.SwitchSecondsPredicted)
+		realCost.add(info.ID, st.Controller.SwitchSecondsRealized)
+	}
+	depth.add("", float64(queued))
+	allStates := []autopipe.JobState{autopipe.JobQueued, autopipe.JobRunning,
+		autopipe.JobDone, autopipe.JobFailed, autopipe.JobCancelled}
+	for _, s := range allStates {
+		states.samples = append(states.samples, sample{
+			labels: [2]string{"state", string(s)}, value: float64(counts[s]),
+		})
+	}
+
+	fams := []*family{depth, pool, states, iter, tp, switches, predCost, realCost}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		f.write(w)
+	}
+}

@@ -1,0 +1,207 @@
+// Package server is the autopiped control plane: a concurrency-safe
+// registry hosting many simulated AutoPipe jobs on a bounded worker
+// pool, a JSON REST API over net/http, and a Prometheus text-format
+// metrics surface. See cmd/autopiped for the daemon binary.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"autopipe"
+)
+
+// ErrClosed is returned by Submit after Shutdown has begun.
+var ErrClosed = errors.New("server: registry is shutting down")
+
+// ErrNotFound is returned for unknown job ids.
+var ErrNotFound = errors.New("server: no such job")
+
+// Registry owns the daemon's jobs. Every submitted job gets a
+// goroutine immediately, but at most poolSize jobs simulate
+// concurrently — the rest report the queued state until a pool slot
+// frees up. All methods are safe for concurrent use.
+type Registry struct {
+	sem chan struct{}
+
+	mu     sync.Mutex
+	jobs   map[string]*managedJob
+	order  []string // submission order, for stable listings
+	seq    int
+	closed bool
+	wg     sync.WaitGroup
+
+	// now is stubbed in tests.
+	now func() time.Time
+}
+
+type managedJob struct {
+	id      string
+	created time.Time
+	spec    JobSpec
+	job     *autopipe.Job
+}
+
+// NewRegistry builds a registry running at most poolSize simulations
+// concurrently (minimum 1).
+func NewRegistry(poolSize int) *Registry {
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	return &Registry{
+		sem:  make(chan struct{}, poolSize),
+		jobs: map[string]*managedJob{},
+		now:  time.Now,
+	}
+}
+
+// PoolSize returns the maximum number of concurrently running jobs.
+func (r *Registry) PoolSize() int { return cap(r.sem) }
+
+// Submit validates the spec, builds the job and starts it on the pool.
+func (r *Registry) Submit(spec JobSpec) (JobInfo, error) {
+	cfg, batches, err := spec.build()
+	if err != nil {
+		return JobInfo{}, fmt.Errorf("invalid job spec: %w", err)
+	}
+	j, err := autopipe.NewJob(cfg, batches)
+	if err != nil {
+		return JobInfo{}, fmt.Errorf("invalid job spec: %w", err)
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return JobInfo{}, ErrClosed
+	}
+	r.seq++
+	m := &managedJob{
+		id:      fmt.Sprintf("job-%04d", r.seq),
+		created: r.now(),
+		spec:    spec,
+		job:     j,
+	}
+	r.jobs[m.id] = m
+	r.order = append(r.order, m.id)
+	r.wg.Add(1)
+	r.mu.Unlock()
+
+	go r.run(m)
+	return r.info(m), nil
+}
+
+// run executes one job under the pool semaphore. Cancelling a queued
+// job is honoured the moment it acquires a slot: Run returns
+// immediately with ErrCancelled before any virtual time elapses.
+func (r *Registry) run(m *managedJob) {
+	defer r.wg.Done()
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+	m.job.Run() // result and error are retained on the Job itself
+}
+
+// Get returns one job's info.
+func (r *Registry) Get(id string) (JobInfo, error) {
+	r.mu.Lock()
+	m, ok := r.jobs[id]
+	r.mu.Unlock()
+	if !ok {
+		return JobInfo{}, ErrNotFound
+	}
+	return r.info(m), nil
+}
+
+// List returns every job in submission order.
+func (r *Registry) List() []JobInfo {
+	r.mu.Lock()
+	ms := make([]*managedJob, 0, len(r.order))
+	for _, id := range r.order {
+		ms = append(ms, r.jobs[id])
+	}
+	r.mu.Unlock()
+	out := make([]JobInfo, len(ms))
+	for i, m := range ms {
+		out[i] = r.info(m)
+	}
+	return out
+}
+
+// Cancel stops a queued or running job. Cancelling a finished job is a
+// no-op; unknown ids return ErrNotFound.
+func (r *Registry) Cancel(id string) (JobInfo, error) {
+	r.mu.Lock()
+	m, ok := r.jobs[id]
+	r.mu.Unlock()
+	if !ok {
+		return JobInfo{}, ErrNotFound
+	}
+	m.job.Cancel()
+	return r.info(m), nil
+}
+
+func (r *Registry) info(m *managedJob) JobInfo {
+	info := JobInfo{
+		ID:      m.id,
+		Created: m.created,
+		Spec:    m.spec,
+		Status:  m.job.Status(),
+	}
+	if res, err := m.job.Result(); err == nil {
+		info.Result = &res
+	}
+	return info
+}
+
+// Depth returns the number of jobs waiting for a pool slot.
+func (r *Registry) Depth() int {
+	n := 0
+	for _, info := range r.List() {
+		if info.Status.State == autopipe.JobQueued {
+			n++
+		}
+	}
+	return n
+}
+
+// StateCounts tallies jobs by lifecycle state.
+func (r *Registry) StateCounts() map[autopipe.JobState]int {
+	counts := map[autopipe.JobState]int{
+		autopipe.JobQueued: 0, autopipe.JobRunning: 0, autopipe.JobDone: 0,
+		autopipe.JobFailed: 0, autopipe.JobCancelled: 0,
+	}
+	for _, info := range r.List() {
+		counts[info.Status.State]++
+	}
+	return counts
+}
+
+// Shutdown drains the registry: new submissions are refused and running
+// jobs are given until ctx expires to finish naturally, after which
+// everything still alive is cancelled. It always waits for every job
+// goroutine to exit; the returned error is ctx's if the deadline forced
+// cancellation.
+func (r *Registry) Shutdown(ctx context.Context) error {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	r.mu.Lock()
+	for _, m := range r.jobs {
+		m.job.Cancel()
+	}
+	r.mu.Unlock()
+	<-done // cancellation is honoured between events, so this is prompt
+	return ctx.Err()
+}

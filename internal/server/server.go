@@ -1,0 +1,110 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Server exposes a Registry over HTTP:
+//
+//	POST   /v1/jobs       submit a JobSpec, returns JobInfo (201)
+//	GET    /v1/jobs       list all jobs
+//	GET    /v1/jobs/{id}  one job's live status (and result when done)
+//	DELETE /v1/jobs/{id}  cancel a job
+//	GET    /metrics       Prometheus text-format telemetry
+//	GET    /healthz       liveness probe
+type Server struct {
+	reg     *Registry
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New wires a Server around reg.
+func New(reg *Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Registry returns the server's job registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// maxSpecBytes bounds a submitted spec; well-formed specs are tiny.
+const maxSpecBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	var spec JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		return
+	}
+	info, err := s.reg.Submit(spec)
+	switch {
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusCreated, info)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.reg.List()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, req *http.Request) {
+	info, err := s.reg.Get(req.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, req *http.Request) {
+	info, err := s.reg.Cancel(req.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WriteMetrics(w, s.reg)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"uptime_sec": time.Since(s.started).Seconds(),
+		"jobs":       len(s.reg.List()),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // nothing useful to do with a failed write
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

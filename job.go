@@ -1,8 +1,11 @@
 package autopipe
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	ap "autopipe/internal/autopipe"
 	"autopipe/internal/meta"
@@ -160,24 +163,107 @@ type JobConfig struct {
 	DisableReconfig bool
 }
 
-// JobResult extends Result with controller telemetry.
+// JobResult extends Result with controller telemetry. Like Result it
+// serialises through encoding/json; the wire form is shared by
+// `autopipe-sim -json` and the autopiped daemon's API.
 type JobResult struct {
 	Result
-	Controller ControllerStats
-	FinalPlan  Plan
+	Controller ControllerStats `json:"controller"`
+	FinalPlan  Plan            `json:"final_plan"`
 	// SpeedPerIteration is the smoothed per-iteration samples/sec.
-	SpeedPerIteration []float64
-	// DecisionLog holds one line per reconfiguration decision.
-	DecisionLog []string
+	SpeedPerIteration []float64 `json:"speed_per_iteration,omitempty"`
+	// Decisions holds the recorded reconfiguration decisions (most
+	// recent first-capped window, see internal/autopipe maxLogEntries).
+	Decisions []DecisionRecord `json:"decisions,omitempty"`
+	// DecisionLog holds one rendered line per reconfiguration decision.
+	DecisionLog []string `json:"decision_log,omitempty"`
 }
 
-// RunJob trains a managed job for the given number of mini-batches.
+// RunJob trains a managed job for the given number of mini-batches,
+// blocking until it completes. It is NewJob + Run for callers that need
+// neither cancellation nor live progress.
 func RunJob(cfg JobConfig, batches int) (JobResult, error) {
+	j, err := NewJob(cfg, batches)
+	if err != nil {
+		return JobResult{}, err
+	}
+	return j.Run()
+}
+
+// JobState is the lifecycle phase of a managed Job.
+type JobState string
+
+// Job lifecycle states.
+const (
+	// JobQueued: built but Run not yet called.
+	JobQueued JobState = "queued"
+	// JobRunning: Run is executing the simulation.
+	JobRunning JobState = "running"
+	// JobDone: all batches completed.
+	JobDone JobState = "done"
+	// JobFailed: the run stalled or errored.
+	JobFailed JobState = "failed"
+	// JobCancelled: Cancel stopped the run.
+	JobCancelled JobState = "cancelled"
+)
+
+// ErrCancelled is returned by Run when Cancel stops the job.
+var ErrCancelled = errors.New("autopipe: job cancelled")
+
+// JobStatus is a point-in-time snapshot of a managed job, safe to read
+// from any goroutine while the job runs.
+type JobStatus struct {
+	State JobState `json:"state"`
+	// Iteration is the number of completed mini-batches; Batches the
+	// target.
+	Iteration int `json:"iteration"`
+	Batches   int `json:"batches"`
+	// VirtualTime is the simulation clock (seconds).
+	VirtualTime float64 `json:"virtual_time_sec"`
+	// Throughput is steady-state samples/sec so far.
+	Throughput float64 `json:"throughput_samples_per_sec"`
+	// Plan is the partition currently running.
+	Plan Plan `json:"plan"`
+	// Controller aggregates controller activity so far.
+	Controller ControllerStats `json:"controller"`
+	// Decisions holds the most recent reconfiguration decisions.
+	Decisions []DecisionRecord `json:"recent_decisions,omitempty"`
+	// Error is set for failed jobs.
+	Error string `json:"error,omitempty"`
+}
+
+// statusDecisionWindow bounds the decision tail carried by a snapshot.
+const statusDecisionWindow = 8
+
+// Job is a managed training job with cancellation and live progress —
+// the control-plane handle the autopiped daemon hosts many of. Build
+// with NewJob, drive with Run (once, from any one goroutine); Cancel
+// and Status are safe from any goroutine at any time.
+type Job struct {
+	cfg     JobConfig
+	batches int
+	eng     *sim.Engine
+	ctl     *ap.Controller
+
+	cancel atomic.Bool
+	done   chan struct{}
+
+	mu      sync.Mutex
+	started bool
+	status  JobStatus
+	result  JobResult
+	err     error
+}
+
+// NewJob builds a managed job: the simulation engine, network and
+// AutoPipe controller are constructed (initial plan included) but no
+// virtual time elapses until Run.
+func NewJob(cfg JobConfig, batches int) (*Job, error) {
 	if cfg.Model == nil || cfg.Cluster == nil {
-		return JobResult{}, fmt.Errorf("autopipe: RunJob needs Model and Cluster")
+		return nil, fmt.Errorf("autopipe: NewJob needs Model and Cluster")
 	}
 	if batches <= 0 {
-		return JobResult{}, fmt.Errorf("autopipe: RunJob needs a positive batch count")
+		return nil, fmt.Errorf("autopipe: NewJob needs a positive batch count")
 	}
 	eng := sim.NewEngine()
 	net := netsim.New(eng, cfg.Cluster)
@@ -193,27 +279,123 @@ func RunJob(cfg JobConfig, batches int) (JobResult, error) {
 		DisableReconfig: cfg.DisableReconfig,
 	})
 	if err != nil {
-		return JobResult{}, err
+		return nil, err
 	}
 	cfg.Dynamics.Schedule(eng, cfg.Cluster, net, nil)
-	c.Start(batches)
-	eng.RunAll()
-	e := c.Engine()
-	if e.Completed() != batches {
-		return JobResult{}, fmt.Errorf("autopipe: job stalled at %d/%d batches", e.Completed(), batches)
+	j := &Job{
+		cfg: cfg, batches: batches, eng: eng, ctl: c,
+		done: make(chan struct{}),
+		status: JobStatus{
+			State: JobQueued, Batches: batches, Plan: c.Plan(),
+		},
+	}
+	// The controller's own OnBatchDone callback is registered first, so
+	// the snapshot sees this iteration's stats and plan.
+	c.Engine().OnBatchDone(func(batch int, at sim.Time) { j.snapshot(JobRunning) })
+	return j, nil
+}
+
+// snapshot refreshes the published status. Called from the simulation
+// goroutine only; readers go through Status.
+func (j *Job) snapshot(state JobState) {
+	e := j.ctl.Engine()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.status.State = state
+	j.status.Iteration = e.Completed()
+	j.status.VirtualTime = float64(j.eng.Now())
+	j.status.Throughput = e.Throughput()
+	j.status.Plan = j.ctl.Plan()
+	j.status.Controller = j.ctl.Stats()
+	j.status.Decisions = j.ctl.RecentDecisions(statusDecisionWindow)
+}
+
+// Status returns the latest progress snapshot. Safe from any goroutine.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Cancel asks a running (or not-yet-run) job to stop. Idempotent and
+// safe from any goroutine; Run returns ErrCancelled shortly after (the
+// signal is checked between simulation events).
+func (j *Job) Cancel() { j.cancel.Store(true) }
+
+// Done is closed when Run finishes for any reason.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the final result once Done is closed. Before that it
+// reports an error.
+func (j *Job) Result() (JobResult, error) {
+	select {
+	case <-j.done:
+	default:
+		return JobResult{}, fmt.Errorf("autopipe: job still running")
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Run executes the job to completion, cancellation or stall, blocking
+// the calling goroutine. It may be called once.
+func (j *Job) Run() (JobResult, error) {
+	j.mu.Lock()
+	if j.started {
+		j.mu.Unlock()
+		return JobResult{}, fmt.Errorf("autopipe: Job.Run called twice")
+	}
+	j.started = true
+	j.status.State = JobRunning
+	j.mu.Unlock()
+
+	res, err := j.run()
+
+	j.mu.Lock()
+	j.result, j.err = res, err
+	j.mu.Unlock()
+	close(j.done)
+	return res, err
+}
+
+func (j *Job) run() (JobResult, error) {
+	if j.cancel.Load() {
+		j.snapshot(JobCancelled)
+		return JobResult{}, ErrCancelled
+	}
+	j.ctl.Start(j.batches)
+	for !j.cancel.Load() {
+		if !j.eng.Step() {
+			break
+		}
+	}
+	e := j.ctl.Engine()
+	if j.cancel.Load() && e.Completed() < j.batches {
+		j.snapshot(JobCancelled)
+		return JobResult{}, ErrCancelled
+	}
+	if e.Completed() != j.batches {
+		err := fmt.Errorf("autopipe: job stalled at %d/%d batches", e.Completed(), j.batches)
+		j.snapshot(JobFailed)
+		j.mu.Lock()
+		j.status.Error = err.Error()
+		j.mu.Unlock()
+		return JobResult{}, err
 	}
 	out := JobResult{
 		Result: Result{
 			Batches:     e.Completed(),
-			Samples:     e.Completed() * cfg.Model.MiniBatch,
+			Samples:     e.Completed() * j.cfg.Model.MiniBatch,
 			Throughput:  e.Throughput(),
 			Utilization: e.Utilization(),
 			StashPeak:   e.StashPeak(),
 		},
-		Controller: c.Stats(),
-		FinalPlan:  c.Plan(),
+		Controller: j.ctl.Stats(),
+		FinalPlan:  j.ctl.Plan(),
+		Decisions:  j.ctl.DecisionLog(),
 	}
-	for _, d := range c.DecisionLog() {
+	for _, d := range out.Decisions {
 		out.DecisionLog = append(out.DecisionLog, d.String())
 	}
 	cs := e.Completions()
@@ -225,9 +407,10 @@ func RunJob(cfg JobConfig, batches int) (JobResult, error) {
 	for i := w; i < len(cs); i++ {
 		dt := float64(cs[i] - cs[i-w])
 		if dt > 0 {
-			out.SpeedPerIteration = append(out.SpeedPerIteration, float64(w*cfg.Model.MiniBatch)/dt)
+			out.SpeedPerIteration = append(out.SpeedPerIteration, float64(w*j.cfg.Model.MiniBatch)/dt)
 		}
 	}
+	j.snapshot(JobDone)
 	return out, nil
 }
 

@@ -1,0 +1,140 @@
+package autopipe
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+func testJobConfig() JobConfig {
+	return JobConfig{
+		Model:   UniformModel(8, 1e9, 1000),
+		Cluster: Testbed(Gbps(25)),
+	}
+}
+
+func TestNewJobRunMatchesRunJob(t *testing.T) {
+	// The managed-job path and the legacy blocking path are the same
+	// deterministic simulation.
+	a, err := RunJob(testJobConfig(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := NewJob(testJobConfig(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := j.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput || a.WallTime != b.WallTime || a.Batches != b.Batches {
+		t.Fatalf("paths diverge: RunJob %+v vs Job.Run %+v", a.Result, b.Result)
+	}
+}
+
+func TestJobStatusLifecycle(t *testing.T) {
+	j, err := NewJob(testJobConfig(), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Status(); st.State != JobQueued || st.Batches != 25 || len(st.Plan.Stages) == 0 {
+		t.Fatalf("pre-run status = %+v", st)
+	}
+	if _, err := j.Result(); err == nil {
+		t.Fatal("Result before Run should error")
+	}
+	res, err := j.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := j.Status()
+	if st.State != JobDone || st.Iteration != 25 {
+		t.Fatalf("post-run status = %+v", st)
+	}
+	if st.Throughput != res.Throughput {
+		t.Fatalf("status throughput %g != result %g", st.Throughput, res.Throughput)
+	}
+	select {
+	case <-j.Done():
+	default:
+		t.Fatal("Done not closed after Run")
+	}
+	got, err := j.Result()
+	if err != nil || got.Batches != 25 {
+		t.Fatalf("Result() = %+v, %v", got.Result, err)
+	}
+	if _, err := j.Run(); err == nil {
+		t.Fatal("second Run should error")
+	}
+}
+
+func TestJobCancelBeforeRun(t *testing.T) {
+	j, err := NewJob(testJobConfig(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Cancel()
+	if _, err := j.Run(); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("Run after Cancel = %v, want ErrCancelled", err)
+	}
+	if st := j.Status(); st.State != JobCancelled {
+		t.Fatalf("state = %s, want cancelled", st.State)
+	}
+}
+
+func TestJobCancelMidRun(t *testing.T) {
+	// A job too large to finish quickly; cancel it from another
+	// goroutine once progress is visible.
+	j, err := NewJob(testJobConfig(), 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := j.Run()
+		errCh <- err
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for j.Status().Iteration == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no progress observed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	j.Cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrCancelled) {
+			t.Fatalf("Run = %v, want ErrCancelled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancel not honoured")
+	}
+	st := j.Status()
+	if st.State != JobCancelled || st.Iteration == 0 {
+		t.Fatalf("status after cancel = %+v", st)
+	}
+}
+
+func TestJobStatusJSON(t *testing.T) {
+	j, err := NewJob(testJobConfig(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Run(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(j.Status())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back JobStatus
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.State != JobDone || back.Iteration != 20 || !back.Plan.Equal(j.Status().Plan) {
+		t.Fatalf("status round trip changed: %+v", back)
+	}
+}
