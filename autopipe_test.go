@@ -1,6 +1,7 @@
 package autopipe
 
 import (
+	"context"
 	"testing"
 )
 
@@ -44,7 +45,7 @@ func TestFacadeMeasureValidation(t *testing.T) {
 func TestFacadeRunJobWithDynamics(t *testing.T) {
 	m := VGG16()
 	cl := Testbed(Gbps(100))
-	res, err := RunJob(JobConfig{
+	res, err := RunJob(context.Background(), JobConfig{
 		Model: m, Cluster: cl, Scheme: RingAllReduce,
 		Workers:  Workers(4),
 		Dynamics: BandwidthSteps([]float64{2}, []float64{5}),
@@ -66,7 +67,7 @@ func TestFacadeRunJobWithDynamics(t *testing.T) {
 func TestFacadeJobBeatsFrozenUnderDynamics(t *testing.T) {
 	run := func(disable bool) float64 {
 		cl := Testbed(Gbps(100))
-		res, err := RunJob(JobConfig{
+		res, err := RunJob(context.Background(), JobConfig{
 			Model: VGG16(), Cluster: cl, Scheme: RingAllReduce,
 			Workers: Workers(4), DisableReconfig: disable,
 			Dynamics:   BandwidthSteps([]float64{2}, []float64{5}),
@@ -102,7 +103,10 @@ func TestFacadeOptimizePlan(t *testing.T) {
 	cl := Testbed(Gbps(10))
 	cl.AddCompetingJob()
 	start := PlanEvenSplit(m, Workers(4))
-	opt := OptimizePlan(m, cl, start, ParameterServer)
+	opt, err := OptimizePlan(context.Background(), m, cl, start, ParameterServer)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := opt.Validate(m.NumLayers(), cl.NumGPUs()); err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +193,7 @@ func TestFacadeHybridPredictorJob(t *testing.T) {
 		// sane (the analytic component dominates).
 		return newTestMetaNetwork()
 	}()
-	res, err := RunJob(JobConfig{
+	res, err := RunJob(context.Background(), JobConfig{
 		Model: AlexNet(), Cluster: Testbed(Gbps(25)),
 		Workers: Workers(4), Scheme: RingAllReduce,
 		Predictor: NewHybridPredictor(net, 0.2, RingAllReduce),

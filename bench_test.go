@@ -10,8 +10,12 @@ package autopipe
 // that figure's full data from the simulator.
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"testing"
+
+	ap "autopipe/internal/autopipe"
 
 	"autopipe/internal/cluster"
 	"autopipe/internal/experiments"
@@ -324,5 +328,62 @@ func BenchmarkHierarchicalDP(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		partition.PipeDreamHierarchical(cm, racks, cluster.Gbps(10))
+	}
+}
+
+// ---- Concurrent evaluation core ----
+
+// BenchmarkOptimizePlan measures the parallel hill-climb at several
+// worker counts. The chosen plan is bit-identical across sub-benchmarks
+// (asserted here); only wall-clock should differ. On a multi-core
+// runner procs=8 is expected to beat procs=1 by the candidate-scoring
+// parallelism; on a single-core machine they tie.
+func BenchmarkOptimizePlan(b *testing.B) {
+	cl := cluster.Testbed(cluster.Gbps(25))
+	cl.AddCompetingJob()
+	m := model.BERT48()
+	pr := profile.NewProfiler(m, cl)
+	_ = pr.SetSmoothing(1)
+	prof := pr.Observe()
+	workers := make([]int, 10)
+	for i := range workers {
+		workers[i] = i
+	}
+	start := partition.EvenSplit(m.NumLayers(), workers)
+	var serialPlan partition.Plan
+	for _, procs := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			var last partition.Plan
+			for i := 0; i < b.N; i++ {
+				p, err := ap.OptimizePlan(context.Background(), prof, start, m.MiniBatch,
+					meta.AnalyticPredictor{}, ap.OptimizeOptions{MaxRounds: 8, UseMerge: true, Procs: procs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = p
+			}
+			if procs == 1 {
+				serialPlan = last
+			} else if !last.Equal(serialPlan) {
+				b.Fatalf("procs=%d chose %s, serial chose %s", procs, last, serialPlan)
+			}
+		})
+	}
+}
+
+// BenchmarkGenerate measures parallel ground-truth dataset generation
+// at several worker counts; the dataset is bit-identical across
+// sub-benchmarks by construction (per-sample derived seeds).
+func BenchmarkGenerate(b *testing.B) {
+	for _, procs := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := meta.Generate(context.Background(), meta.DatasetConfig{
+					Seed: 3, N: 16, Batches: 3, Procs: procs,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

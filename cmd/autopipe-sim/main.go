@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"autopipe"
 	"autopipe/internal/server"
@@ -40,6 +42,7 @@ func main() {
 		scheme    = flag.String("scheme", "Ring", "sync scheme: PS|Ring")
 		workers   = flag.Int("workers", 10, "workers (GPUs) used by the job")
 		jobs      = flag.Int("jobs", 0, "competing jobs sharing every GPU")
+		procs     = flag.Int("procs", 0, "parallel candidate-scoring goroutines (<=0 means GOMAXPROCS)")
 		verbose   = flag.Bool("v", false, "print per-worker utilization")
 		compare   = flag.Bool("compare", false, "run all three systems and print a comparison")
 		jsonOut   = flag.Bool("json", false, "emit the run as one JSON document on stdout (daemon-API serialisation)")
@@ -95,10 +98,12 @@ func main() {
 		}
 		report(res, *verbose)
 	case "autopipe":
-		res, err := autopipe.RunJob(autopipe.JobConfig{
+		t0 := time.Now()
+		res, err := autopipe.RunJob(context.Background(), autopipe.JobConfig{
 			Model: m, Cluster: cl, Workers: autopipe.Workers(*workers),
-			Scheme: sc, Dynamics: dyn,
+			Scheme: sc, Dynamics: dyn, Procs: *procs,
 		}, *batches)
+		elapsed := time.Since(t0)
 		fatalIf(err)
 		rep.Result = res.Result
 		rep.Controller = &res.Controller
@@ -112,6 +117,9 @@ func main() {
 		st := res.Controller
 		fmt.Printf("controller: %d decisions, %d switches applied, %.1fms decision time, %d resource changes\n",
 			st.Decisions, st.SwitchesApplied, st.DecisionSeconds*1e3, st.ResourceChanges)
+		fmt.Printf("search: %d candidates scored, %d cache hits, %.1fms search time, %.2fx parallel speedup\n",
+			st.CandidatesScored, st.SearchCacheHits, st.SearchSeconds*1e3, searchSpeedup(st))
+		fmt.Printf("wall clock: %.2fs real for %.2fs virtual\n", elapsed.Seconds(), res.WallTime)
 		fmt.Printf("final plan: %s\n", res.FinalPlan)
 		if *verbose {
 			n := len(res.DecisionLog)
@@ -165,7 +173,7 @@ func runComparison(m *autopipe.Model, bwGbps float64, jobs int, sc autopipe.Sync
 			fatalIf(err)
 			tp, wall = res.Throughput, res.WallTime
 		default:
-			res, err := autopipe.RunJob(autopipe.JobConfig{
+			res, err := autopipe.RunJob(context.Background(), autopipe.JobConfig{
 				Model: m, Cluster: mkCluster(), Workers: autopipe.Workers(workers),
 				Scheme: sc, Dynamics: dyn,
 			}, batches)
@@ -174,6 +182,16 @@ func runComparison(m *autopipe.Model, bwGbps float64, jobs int, sc autopipe.Sync
 		}
 		fmt.Printf("%-12s %12.1f %11.2fs\n", name, tp, wall)
 	}
+}
+
+// searchSpeedup estimates the realised parallel speedup of candidate
+// scoring: aggregate per-candidate predictor time over elapsed search
+// time (1.0 means effectively serial).
+func searchSpeedup(st autopipe.ControllerStats) float64 {
+	if st.SearchSeconds <= 0 {
+		return 0
+	}
+	return st.ScoreSeconds / st.SearchSeconds
 }
 
 func report(res autopipe.Result, verbose bool) {

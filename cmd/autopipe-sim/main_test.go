@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -15,7 +16,7 @@ import (
 // the same serialisation the autopiped daemon uses.
 func TestRunReportShape(t *testing.T) {
 	m := autopipe.UniformModel(8, 1e9, 1000)
-	res, err := autopipe.RunJob(autopipe.JobConfig{
+	res, err := autopipe.RunJob(context.Background(), autopipe.JobConfig{
 		Model: m, Cluster: autopipe.Testbed(autopipe.Gbps(25)),
 		Workers: autopipe.Workers(4),
 	}, 20)

@@ -2,14 +2,20 @@
 // it generates (environment, partition) → speed datasets from the
 // simulator, trains the meta-network, generates counterfactual switch
 // decisions and trains the RL arbiter, then reports held-out quality.
+// Ground-truth simulation fans out over -procs goroutines; the datasets
+// are bit-identical at any setting. Ctrl-C cancels the run promptly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"time"
 
 	"autopipe/internal/meta"
 	"autopipe/internal/rl"
@@ -22,17 +28,27 @@ func main() {
 		nSpeed    = flag.Int("speed-samples", 300, "meta-network training samples")
 		nDecision = flag.Int("decisions", 120, "arbiter counterfactual decisions")
 		epochs    = flag.Int("epochs", 80, "meta-network training epochs")
+		procs     = flag.Int("procs", 0, "parallel simulation goroutines (<=0 means GOMAXPROCS)")
 		outDir    = flag.String("out", "", "directory to write trained weights (metanet.gob, arbiter.gob)")
 	)
 	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	rng := rand.New(rand.NewSource(*seed))
 
 	fmt.Printf("== Meta-network offline training (%d samples) ==\n", *nSpeed)
-	samples := meta.Generate(meta.DatasetConfig{Rng: rng, N: *nSpeed})
+	var gen meta.GenStats
+	samples, err := meta.Generate(ctx, meta.DatasetConfig{
+		Rng: rng, N: *nSpeed, Procs: *procs, Stats: &gen,
+	})
+	fatalIf(err)
+	fmt.Printf("  generated %d samples (%d attempts) in %.2fs wall, %.2fs aggregate sim (%.2fx parallel speedup)\n",
+		len(samples), gen.Attempts, gen.WallSeconds, gen.WorkSeconds, gen.Speedup())
 	train, test := meta.Split(samples, 0.2, rng)
 	net := meta.NewNetwork(rng)
 	before := net.Eval(test, nil)
 	final := net.Train(train, meta.TrainConfig{
+		Ctx:    ctx,
 		Epochs: *epochs, BatchSize: 8, Shuffle: rng,
 		OnEpoch: func(e int, loss float64) {
 			if e%10 == 0 {
@@ -40,6 +56,7 @@ func main() {
 			}
 		},
 	})
+	fatalIf(ctx.Err())
 	after := net.Eval(test, nil)
 	var pred, truth []float64
 	for _, s := range test {
@@ -50,7 +67,12 @@ func main() {
 	fmt.Printf("  held-out Spearman rank correlation: %.3f\n", stats.SpearmanRank(pred, truth))
 
 	fmt.Printf("\n== RL arbiter offline training (%d counterfactual decisions) ==\n", *nDecision)
-	decisions := rl.GenerateDecisions(rl.ScenarioConfig{Rng: rng, N: *nDecision})
+	t0 := time.Now()
+	decisions, err := rl.GenerateDecisions(ctx, rl.ScenarioConfig{
+		Rng: rng, N: *nDecision, Procs: *procs,
+	})
+	fatalIf(err)
+	fmt.Printf("  generated %d decisions in %.2fs wall\n", len(decisions), time.Since(t0).Seconds())
 	sw := 0
 	for _, d := range decisions {
 		if d.Switch {
@@ -59,7 +81,8 @@ func main() {
 	}
 	fmt.Printf("  label balance: %d switch / %d stay\n", sw, len(decisions)-sw)
 	arb := rl.NewArbiter(rng)
-	loss := arb.TrainSupervised(decisions, 300, 3e-3)
+	loss, err := arb.TrainSupervised(ctx, decisions, 300, 3e-3)
+	fatalIf(err)
 	fmt.Printf("  final BCE loss %.4f, training accuracy %.1f%%\n", loss, arb.Accuracy(decisions)*100)
 
 	if *outDir != "" {
@@ -87,4 +110,16 @@ func main() {
 
 	fmt.Println("\nDone. In a deployment these weights transfer to per-job")
 	fmt.Println("instances (CopyFrom / Load) and adapt online; see internal/autopipe.")
+}
+
+func fatalIf(err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "trainmeta: interrupted")
+		os.Exit(130)
+	}
+	fmt.Fprintln(os.Stderr, "trainmeta:", err)
+	os.Exit(1)
 }

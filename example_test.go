@@ -1,6 +1,7 @@
 package autopipe_test
 
 import (
+	"context"
 	"fmt"
 
 	"autopipe"
@@ -42,7 +43,7 @@ func ExamplePlanPipeDream() {
 // degrades mid-run; the controller reconfigures instead of limping.
 func ExampleRunJob() {
 	cl := autopipe.Testbed(autopipe.Gbps(100))
-	res, err := autopipe.RunJob(autopipe.JobConfig{
+	res, err := autopipe.RunJob(context.Background(), autopipe.JobConfig{
 		Model: autopipe.VGG16(), Cluster: cl,
 		Workers: autopipe.Workers(4), Scheme: autopipe.RingAllReduce,
 		Dynamics:   autopipe.BandwidthSteps([]float64{2}, []float64{5}),

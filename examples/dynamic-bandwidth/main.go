@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,7 +16,7 @@ func main() {
 	mk := func(frozen bool) autopipe.JobResult {
 		m := autopipe.ResNet50()
 		cl := autopipe.Testbed(autopipe.Gbps(10))
-		res, err := autopipe.RunJob(autopipe.JobConfig{
+		res, err := autopipe.RunJob(context.Background(), autopipe.JobConfig{
 			Model: m, Cluster: cl,
 			Scheme:          autopipe.RingAllReduce,
 			DisableReconfig: frozen,

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,10 @@ func loadedCluster() *autopipe.Cluster {
 func main() {
 	m := autopipe.BERT48()
 	vanilla := autopipe.PlanEvenSplit(m, autopipe.Workers(10))
-	enhanced := autopipe.OptimizePlan(m, loadedCluster(), vanilla, autopipe.RingAllReduce)
+	enhanced, err := autopipe.OptimizePlan(context.Background(), m, loadedCluster(), vanilla, autopipe.RingAllReduce)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("vanilla  plan: %s\n", vanilla)
 	fmt.Printf("enhanced plan: %s\n\n", enhanced)
 

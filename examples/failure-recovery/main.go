@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,7 @@ func main() {
 
 	run := func(frozen bool) autopipe.JobResult {
 		cl := autopipe.Testbed(autopipe.Gbps(25))
-		res, err := autopipe.RunJob(autopipe.JobConfig{
+		res, err := autopipe.RunJob(context.Background(), autopipe.JobConfig{
 			Model: autopipe.AlexNet(), Cluster: cl,
 			Workers: autopipe.Workers(4), Scheme: autopipe.RingAllReduce,
 			Dynamics: failure, DisableReconfig: frozen, CheckEvery: 3,

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 	}
 	fmt.Printf("PipeDream (one-shot config): %.1f samples/sec\n", pd.Throughput)
 
-	job, err := autopipe.RunJob(autopipe.JobConfig{
+	job, err := autopipe.RunJob(context.Background(), autopipe.JobConfig{
 		Model: m, Cluster: cl, Workers: workers,
 		Scheme: autopipe.RingAllReduce,
 	}, 40)

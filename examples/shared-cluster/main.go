@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,7 +42,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	job, err := autopipe.RunJob(autopipe.JobConfig{
+	job, err := autopipe.RunJob(context.Background(), autopipe.JobConfig{
 		Model: m, Cluster: autopipe.Testbed(autopipe.Gbps(25)),
 		Scheme: autopipe.RingAllReduce, Dynamics: churn, CheckEvery: 3,
 	}, batches)

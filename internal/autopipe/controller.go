@@ -15,6 +15,7 @@
 package autopipe
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -54,6 +55,10 @@ type Config struct {
 
 	// CheckEvery is the decision period in iterations (default 5).
 	CheckEvery int
+	// Procs bounds parallel candidate scoring during decisions (<=0
+	// selects GOMAXPROCS). Scoring is bit-identical at any setting;
+	// predictors that are not concurrency-safe fall back to serial.
+	Procs int
 	// RewardHorizon is the iteration window used to compute online
 	// rewards for REINFORCE adaptation (default 10).
 	RewardHorizon int
@@ -105,6 +110,15 @@ type Stats struct {
 	// cost predictor's online calibration error.
 	SwitchSecondsPredicted float64 `json:"switch_seconds_predicted"`
 	SwitchSecondsRealized  float64 `json:"switch_seconds_realized"`
+	// Search telemetry: candidates the predictor actually scored, scores
+	// served by the fingerprint memo cache, cumulative and most-recent
+	// per-decision search wall-clock, and the aggregate per-candidate
+	// predictor time (ScoreSeconds/SearchSeconds ≈ parallel speedup).
+	CandidatesScored  int64   `json:"candidates_scored"`
+	SearchCacheHits   int64   `json:"search_cache_hits"`
+	SearchSeconds     float64 `json:"search_seconds"`
+	LastSearchSeconds float64 `json:"last_search_seconds"`
+	ScoreSeconds      float64 `json:"score_seconds"`
 }
 
 // Controller runs one AutoPipe-managed training job on a simulation.
@@ -115,6 +129,9 @@ type Controller struct {
 	engine   *pipeline.AsyncEngine
 	profiler *profile.Profiler
 	history  *meta.History
+	// ctx is the run's cancellation scope, installed by Start; decisions
+	// abort mid-search when it is cancelled.
+	ctx context.Context
 
 	predictor meta.Predictor
 	plan      partition.Plan
@@ -216,8 +233,16 @@ func (c *Controller) Plan() partition.Plan { return c.plan.Clone() }
 // Stats returns the controller's activity counters.
 func (c *Controller) Stats() Stats { return c.stats }
 
-// Start begins training for the given number of mini-batches.
-func (c *Controller) Start(batches int) { c.engine.Start(batches) }
+// Start begins training for the given number of mini-batches. ctx
+// scopes the run's long computations: a cancelled context makes any
+// in-flight candidate search abort promptly (nil means Background).
+func (c *Controller) Start(ctx context.Context, batches int) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.ctx = ctx
+	c.engine.Start(batches)
+}
 
 // Throughput returns steady-state samples/sec so far.
 func (c *Controller) Throughput() float64 { return c.engine.Throughput() }
@@ -268,16 +293,30 @@ func (c *Controller) decide(prof *profile.Profile) {
 	c.stats.Decisions++
 
 	mb := c.cfg.Model.MiniBatch
-	curSpeed := c.predictor.PredictSpeed(prof, c.plan, mb, c.history)
 	neighbors := partition.Neighbors(c.plan)
 	if c.cfg.UseMergeNeighborhood {
 		neighbors = partition.NeighborsWithMerge(c.plan)
 	}
 	neighbors = append(neighbors, partition.InFlightVariants(c.plan, 2*len(c.cfg.Workers))...)
+	// Incumbent first, then the neighbourhood: one parallel scoring
+	// batch; the serial in-order reduction below keeps the chosen plan
+	// bit-identical to serial evaluation at any procs setting.
+	candidates := append([]partition.Plan{c.plan}, neighbors...)
+	ss := newScoreSet(c.ctx, c.predictor, prof, mb, c.history, c.cfg.Procs)
+	speeds, serr := ss.scores(candidates)
+	c.stats.CandidatesScored += int64(ss.stats.Candidates)
+	c.stats.SearchCacheHits += int64(ss.stats.CacheHits)
+	c.stats.SearchSeconds += ss.stats.WallSeconds
+	c.stats.LastSearchSeconds = ss.stats.WallSeconds
+	c.stats.ScoreSeconds += ss.stats.ScoreSeconds
+	if serr != nil {
+		return // cancelled mid-search; the run loop exits right after
+	}
+	curSpeed := speeds[0]
 	best := c.plan
 	bestSpeed := curSpeed
-	for _, q := range neighbors {
-		if s := c.predictor.PredictSpeed(prof, q, mb, c.history); s > bestSpeed {
+	for i, q := range neighbors {
+		if s := speeds[i+1]; s > bestSpeed {
 			bestSpeed, best = s, q
 		}
 	}

@@ -1,6 +1,7 @@
 package autopipe
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -29,7 +30,7 @@ func runJob(t *testing.T, cfg Config, tr trace.Trace, batches int) (float64, *Co
 	if tr != nil {
 		tr.Schedule(eng, cfg.Cluster, net, nil)
 	}
-	c.Start(batches)
+	c.Start(context.Background(), batches)
 	eng.RunAll()
 	if c.engine.Completed() != batches {
 		t.Fatalf("deadlock: completed %d/%d", c.engine.Completed(), batches)
@@ -182,7 +183,10 @@ func TestOptimizePlanImproves(t *testing.T) {
 	}
 	pred := meta.AnalyticPredictor{}
 	before := pred.PredictSpeed(prof, bad, m.MiniBatch, nil)
-	opt := OptimizePlan(prof, bad, m.MiniBatch, pred, 16, false)
+	opt, err := OptimizePlan(context.Background(), prof, bad, m.MiniBatch, pred, OptimizeOptions{MaxRounds: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := opt.Validate(m.NumLayers(), cl.NumGPUs()); err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +205,10 @@ func TestOptimizePlanStepsChangeAtMostTwoWorkersEach(t *testing.T) {
 	pr := profile.NewProfiler(m, cl)
 	prof := pr.Observe()
 	start := partition.EvenSplit(m.NumLayers(), []int{0, 1, 2, 3})
-	one := OptimizePlan(prof, start, m.MiniBatch, nil, 1, false)
+	one, err := OptimizePlan(context.Background(), prof, start, m.MiniBatch, nil, OptimizeOptions{MaxRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d := partition.DiffWorkers(start, one); len(d) > 2 {
 		t.Fatalf("single round changed %d workers", len(d))
 	}

@@ -1,6 +1,7 @@
 package autopipe
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -27,12 +28,20 @@ func TestLearnedPipelineEndToEnd(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 
 	// Offline phase.
-	speedData := meta.Generate(meta.DatasetConfig{Rng: rng, N: 80, Batches: 4})
+	speedData, err := meta.Generate(context.Background(), meta.DatasetConfig{Rng: rng, N: 80, Batches: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	offlineNet := meta.NewNetwork(rng)
 	offlineNet.Train(speedData, meta.TrainConfig{Epochs: 40, BatchSize: 8, Shuffle: rng})
-	decisions := rl.GenerateDecisions(rl.ScenarioConfig{Rng: rng, N: 30, Horizon: 8})
+	decisions, err := rl.GenerateDecisions(context.Background(), rl.ScenarioConfig{Rng: rng, N: 30, Horizon: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	offlineArb := rl.NewArbiter(rng)
-	offlineArb.TrainSupervised(decisions, 200, 3e-3)
+	if _, err := offlineArb.TrainSupervised(context.Background(), decisions, 200, 3e-3); err != nil {
+		t.Fatal(err)
+	}
 
 	// Transfer into a fresh per-job instance (the deployment flow).
 	jobNet := meta.NewNetwork(rng)

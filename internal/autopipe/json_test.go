@@ -16,7 +16,7 @@ func fillDistinct(t *testing.T, v reflect.Value) {
 	for i := 0; i < v.NumField(); i++ {
 		f := v.Field(i)
 		switch f.Kind() {
-		case reflect.Int:
+		case reflect.Int, reflect.Int64:
 			f.SetInt(int64(i + 1))
 		case reflect.Float64:
 			f.SetFloat(float64(i) + 0.5)

@@ -1,69 +1,84 @@
 package autopipe
 
 import (
+	"context"
+
 	"autopipe/internal/meta"
 	"autopipe/internal/partition"
 	"autopipe/internal/profile"
 )
 
-// loadImbalance is the plateau tie-breaker for hill-climbing: the sum of
-// squared per-worker per-batch compute times. The pipeline bottleneck
-// (what the predictor scores) is a max — moving work off a non-critical
-// overloaded worker doesn't change it, yet such moves are required
-// stepping stones towards plans that do. Preferring lower imbalance at
-// equal predicted speed lets the search walk those plateaus without
-// cycling (the metric strictly decreases).
-func loadImbalance(prof *profile.Profile, plan partition.Plan) float64 {
-	total := 0.0
-	for _, s := range plan.Stages {
-		m := float64(len(s.Workers))
-		for _, w := range s.Workers {
-			t := 0.0
-			for l := s.Start; l < s.End; l++ {
-				t += prof.FP[w][l] + prof.BP[w][l]
-			}
-			t /= m // replicas split the batch stream
-			total += t * t
-		}
-	}
-	return total
+// OptimizeOptions tunes the hill-climb search.
+type OptimizeOptions struct {
+	// MaxRounds bounds the hill-climb (default 16).
+	MaxRounds int
+	// UseMerge extends the neighbourhood with stage merges/splits.
+	UseMerge bool
+	// Procs bounds parallel candidate scoring (<=0 selects GOMAXPROCS).
+	Procs int
+	// Stats, when non-nil, receives the search telemetry.
+	Stats *SearchStats
 }
 
 // OptimizePlan hill-climbs from an initial plan through the two-worker
 // neighbourhood (plus in-flight variants), scoring candidates with the
-// predictor on the observed profile, until no neighbour improves or
-// maxRounds is reached. This is the offline form of AutoPipe's search —
-// the piece that "enhances" other pipeline-parallel schemes (DAPPLE,
-// Chimera, PipeDream-2BW) in the paper's Figure 13: the schedules keep
-// their own execution semantics, only the partition is
-// AutoPipe-optimised.
-func OptimizePlan(prof *profile.Profile, plan partition.Plan, miniBatch int,
-	pred meta.Predictor, maxRounds int, useMerge bool) partition.Plan {
-	if pred == nil {
-		pred = meta.AnalyticPredictor{}
-	}
+// predictor on the observed profile, until no neighbour improves, the
+// context is cancelled, or MaxRounds is reached. This is the offline
+// form of AutoPipe's search — the piece that "enhances" other
+// pipeline-parallel schemes (DAPPLE, Chimera, PipeDream-2BW) in the
+// paper's Figure 13: the schedules keep their own execution semantics,
+// only the partition is AutoPipe-optimised.
+//
+// Each round's neighbourhood is scored in parallel on opts.Procs
+// goroutines with a fingerprint memo cache (see scoreSet); the chosen
+// plan is bit-identical at every procs setting. On cancellation the
+// best plan found so far is returned together with the context's error.
+func OptimizePlan(ctx context.Context, prof *profile.Profile, plan partition.Plan,
+	miniBatch int, pred meta.Predictor, opts OptimizeOptions) (partition.Plan, error) {
+	maxRounds := opts.MaxRounds
 	if maxRounds < 1 {
 		maxRounds = 16
 	}
+	ss := newScoreSet(ctx, pred, prof, miniBatch, nil, opts.Procs)
+	defer func() {
+		if opts.Stats != nil {
+			opts.Stats.add(ss.stats)
+		}
+	}()
+	imb := newImbalanceTable(prof)
 	cur := plan.Clone()
-	curSpeed := pred.PredictSpeed(prof, cur, miniBatch, nil)
-	curImb := loadImbalance(prof, cur)
+	curScore, err := ss.scores([]partition.Plan{cur})
+	if err != nil {
+		return cur, err
+	}
+	curSpeed := curScore[0]
+	curImb := imb.of(cur)
 	for round := 0; round < maxRounds; round++ {
+		ss.stats.Rounds++
 		neighbors := partition.Neighbors(cur)
-		if useMerge {
+		if opts.UseMerge {
 			neighbors = partition.NeighborsWithMerge(cur)
 		}
 		neighbors = append(neighbors, partition.InFlightVariants(cur, 0)...)
+		speeds, err := ss.scores(neighbors)
+		if err != nil {
+			return cur, err
+		}
 		best := cur
 		bestSpeed, bestImb := curSpeed, curImb
 		improved := false
-		for _, q := range neighbors {
-			s := pred.PredictSpeed(prof, q, miniBatch, nil)
-			imb := loadImbalance(prof, q)
+		// The reduction stays serial and in enumeration order, so the
+		// chosen plan is exactly the serial search's choice.
+		for i, q := range neighbors {
+			s := speeds[i]
 			better := s > bestSpeed*(1+1e-9)
-			plateau := s >= bestSpeed*(1-1e-9) && imb < bestImb*(1-1e-9)
+			if !better && s < bestSpeed*(1-1e-9) {
+				continue // cannot win on speed or plateau
+			}
+			qImb := imb.of(q)
+			plateau := !better && qImb < bestImb*(1-1e-9)
 			if better || plateau {
-				best, bestSpeed, bestImb = q, s, imb
+				best, bestSpeed, bestImb = q, s, qImb
 				improved = true
 			}
 		}
@@ -72,5 +87,5 @@ func OptimizePlan(prof *profile.Profile, plan partition.Plan, miniBatch int,
 		}
 		cur, curSpeed, curImb = best, bestSpeed, bestImb
 	}
-	return cur
+	return cur, nil
 }

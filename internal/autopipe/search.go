@@ -1,0 +1,160 @@
+package autopipe
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"autopipe/internal/meta"
+	"autopipe/internal/partition"
+	"autopipe/internal/profile"
+	"autopipe/internal/work"
+)
+
+// SearchStats aggregates candidate-search telemetry: how many plans the
+// predictor actually scored, how many scores the fingerprint memo cache
+// served, and where the time went. WallSeconds is elapsed search time;
+// ScoreSeconds sums the per-candidate predictor time across workers, so
+// ScoreSeconds/WallSeconds estimates the realised parallel speedup.
+type SearchStats struct {
+	Candidates   int     `json:"candidates"`
+	CacheHits    int     `json:"cache_hits"`
+	Rounds       int     `json:"rounds"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	ScoreSeconds float64 `json:"score_seconds"`
+}
+
+// add folds another stats record into s.
+func (s *SearchStats) add(o SearchStats) {
+	s.Candidates += o.Candidates
+	s.CacheHits += o.CacheHits
+	s.Rounds += o.Rounds
+	s.WallSeconds += o.WallSeconds
+	s.ScoreSeconds += o.ScoreSeconds
+}
+
+// Speedup estimates the realised parallel speedup of the search
+// (aggregate predictor time over elapsed time); 0 when nothing ran.
+func (s SearchStats) Speedup() float64 {
+	if s.WallSeconds <= 0 {
+		return 0
+	}
+	return s.ScoreSeconds / s.WallSeconds
+}
+
+// scoreSet evaluates candidate partitions against one observed profile:
+// bounded parallel scoring through internal/work plus a plan-fingerprint
+// memo cache, so repeated hill-climb rounds never re-score an
+// already-seen partition. Scoring through a scoreSet is bit-identical
+// to calling the predictor serially in candidate order: each candidate
+// is an independent pure evaluation and results land at their input
+// index, so neither procs nor scheduling affects any returned value.
+type scoreSet struct {
+	ctx   context.Context
+	pred  meta.Predictor
+	prof  *profile.Profile
+	mb    int
+	h     *meta.History
+	procs int
+	cache map[string]float64
+	stats SearchStats
+}
+
+// newScoreSet builds a scorer. Predictors that are not concurrency-safe
+// (see meta.ConcurrencySafe) are scored on one goroutine regardless of
+// procs; results are identical either way, only the wall clock differs.
+func newScoreSet(ctx context.Context, pred meta.Predictor, prof *profile.Profile,
+	miniBatch int, h *meta.History, procs int) *scoreSet {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if pred == nil {
+		pred = meta.AnalyticPredictor{}
+	}
+	procs = work.Procs(procs)
+	if !meta.ParallelSafe(pred) {
+		procs = 1
+	}
+	return &scoreSet{
+		ctx: ctx, pred: pred, prof: prof, mb: miniBatch, h: h,
+		procs: procs, cache: map[string]float64{},
+	}
+}
+
+// scores returns the predicted speed of every plan, in input order.
+// Cached fingerprints are served without touching the predictor. On
+// context cancellation it returns the context's error.
+func (s *scoreSet) scores(plans []partition.Plan) ([]float64, error) {
+	wallStart := time.Now()
+	out := make([]float64, len(plans))
+	keys := make([]string, len(plans))
+	var miss []int
+	for i, p := range plans {
+		keys[i] = p.Fingerprint()
+		if v, ok := s.cache[keys[i]]; ok {
+			out[i] = v
+			s.stats.CacheHits++
+		} else {
+			miss = append(miss, i)
+		}
+	}
+	var scoreNanos atomic.Int64
+	err := work.Map(s.ctx, len(miss), s.procs, func(_ context.Context, j int) error {
+		i := miss[j]
+		t0 := time.Now()
+		out[i] = s.pred.PredictSpeed(s.prof, plans[i], s.mb, s.h)
+		scoreNanos.Add(int64(time.Since(t0)))
+		return nil
+	})
+	s.stats.WallSeconds += time.Since(wallStart).Seconds()
+	s.stats.ScoreSeconds += time.Duration(scoreNanos.Load()).Seconds()
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range miss {
+		s.cache[keys[i]] = out[i]
+	}
+	s.stats.Candidates += len(miss)
+	return out, nil
+}
+
+// imbalanceTable serves loadImbalance queries from per-worker prefix
+// sums of layer compute time, making each query O(workers) instead of
+// O(workers × layers). The table is built once per observed profile;
+// neighbours differ in at most two workers' ranges but are whole-plan
+// queries here — the prefix sums are what remove the per-layer rescan.
+type imbalanceTable struct {
+	// prefix[w][l] = Σ_{j<l} FP[w][j]+BP[w][j]
+	prefix [][]float64
+}
+
+func newImbalanceTable(prof *profile.Profile) *imbalanceTable {
+	t := &imbalanceTable{prefix: make([][]float64, prof.N)}
+	for w := 0; w < prof.N; w++ {
+		row := make([]float64, prof.L+1)
+		for l := 0; l < prof.L; l++ {
+			row[l+1] = row[l] + prof.FP[w][l] + prof.BP[w][l]
+		}
+		t.prefix[w] = row
+	}
+	return t
+}
+
+// of returns the plateau tie-breaker for hill-climbing: the sum of
+// squared per-worker per-batch compute times. The pipeline bottleneck
+// (what the predictor scores) is a max — moving work off a non-critical
+// overloaded worker doesn't change it, yet such moves are required
+// stepping stones towards plans that do. Preferring lower imbalance at
+// equal predicted speed lets the search walk those plateaus without
+// cycling (the metric strictly decreases).
+func (t *imbalanceTable) of(plan partition.Plan) float64 {
+	total := 0.0
+	for _, s := range plan.Stages {
+		m := float64(len(s.Workers))
+		for _, w := range s.Workers {
+			v := (t.prefix[w][s.End] - t.prefix[w][s.Start]) / m // replicas split the batch stream
+			total += v * v
+		}
+	}
+	return total
+}

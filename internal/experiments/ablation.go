@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -101,7 +102,7 @@ func ablationJob(mutate func(*autopipe.Config)) (float64, autopipe.Stats) {
 		panic(err)
 	}
 	ablationTrace().Schedule(eng, cl, net, nil)
-	c.Start(50)
+	c.Start(context.Background(), 50)
 	eng.RunAll()
 	if c.Engine().Completed() != 50 {
 		panic("ablation job deadlock")

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"autopipe/internal/autopipe"
@@ -153,7 +154,7 @@ func Run(sc Scenario) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		c.Start(sc.Batches)
+		c.Start(context.Background(), sc.Batches)
 		eng.RunAll()
 		if c.Engine().Completed() != sc.Batches {
 			return 0, fmt.Errorf("experiments: autopipe deadlock")
@@ -192,7 +193,11 @@ func OptimalPlan(m *model.Model, cl *cluster.Cluster, workers []int, scheme nets
 	var best partition.Plan
 	bestSpeed := -1.0
 	for _, s := range starts {
-		opt := autopipe.OptimizePlan(prof, s, m.MiniBatch, pred, 64, true)
+		opt, err := autopipe.OptimizePlan(context.Background(), prof, s, m.MiniBatch, pred,
+			autopipe.OptimizeOptions{MaxRounds: 64, UseMerge: true})
+		if err != nil {
+			panic(err) // unreachable: the background context never cancels
+		}
 		if sp := pred.PredictSpeed(prof, opt, m.MiniBatch, nil); sp > bestSpeed {
 			bestSpeed, best = sp, opt
 		}

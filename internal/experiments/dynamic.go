@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"autopipe/internal/autopipe"
@@ -71,7 +72,7 @@ func dynamicRun(system System, iters int, initialGbps float64,
 			panic(err)
 		}
 		c.Engine().OnBatchDone(func(batch int, _ sim.Time) { fire(batch) })
-		c.Start(iters)
+		c.Start(context.Background(), iters)
 		completions = c.Engine().Completions
 	}
 	eng.RunAll()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"autopipe/internal/autopipe"
@@ -40,8 +41,13 @@ func enhancedPlan(m *model.Model, cl *cluster.Cluster, scheme netsim.SyncScheme,
 	pr := profile.NewProfiler(m, cl)
 	prof := pr.Observe()
 	start := partition.EvenSplit(m.NumLayers(), workerIDs(10))
-	return autopipe.OptimizePlan(prof, start, m.MiniBatch,
-		meta.AnalyticPredictor{Scheme: scheme}, 32, useMerge)
+	plan, err := autopipe.OptimizePlan(context.Background(), prof, start, m.MiniBatch,
+		meta.AnalyticPredictor{Scheme: scheme},
+		autopipe.OptimizeOptions{MaxRounds: 32, UseMerge: useMerge})
+	if err != nil {
+		panic(err) // unreachable: the background context never cancels
+	}
+	return plan
 }
 
 // measureSyncScheme measures one synchronous schedule's throughput under

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"autopipe/internal/autopipe"
@@ -77,7 +78,7 @@ func heteroRun(m *model.Model, sys System, batches int) float64 {
 		if err != nil {
 			panic(err)
 		}
-		c.Start(batches)
+		c.Start(context.Background(), batches)
 		eng.RunAll()
 		if c.Engine().Completed() != batches {
 			panic(fmt.Sprintf("hetero autopipe deadlock (%s)", m.Name))

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"autopipe/internal/meta"
@@ -13,7 +14,10 @@ import (
 // (environment, partition) → speed map well enough to rank candidates.
 func MetaQualityTable(samples, epochs int, seed int64) *stats.Table {
 	rng := rand.New(rand.NewSource(seed))
-	data := meta.Generate(meta.DatasetConfig{Rng: rng, N: samples, Batches: 5})
+	data, err := meta.Generate(context.Background(), meta.DatasetConfig{Rng: rng, N: samples, Batches: 5})
+	if err != nil {
+		panic(err) // unreachable: the background context never cancels
+	}
 	train, test := meta.Split(data, 0.25, rng)
 	net := meta.NewNetwork(rng)
 	before := net.Eval(test, nil)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"autopipe/internal/autopipe"
@@ -52,7 +53,7 @@ func RunMultiJob(mA, mB *model.Model, nicGbps float64, autoA, autoB bool, batche
 			if err != nil {
 				return job{}, err
 			}
-			c.Start(batches)
+			c.Start(context.Background(), batches)
 			return job{completed: c.Engine().Completed, tp: c.Throughput}, nil
 		}
 		cm := partition.NewPipeDreamCost(m, cl, workers[0], cluster.Gbps(nicGbps))

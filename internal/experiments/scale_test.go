@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -39,7 +40,7 @@ func TestScaleSixtyFourGPUs(t *testing.T) {
 		net.OnCapacityChange()
 	})
 	const batches = 30
-	c.Start(batches)
+	c.Start(context.Background(), batches)
 	eng.RunAll()
 	if c.Engine().Completed() != batches {
 		t.Fatalf("scale run stalled at %d/%d", c.Engine().Completed(), batches)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -63,7 +64,7 @@ func SchedulerChurnRun(sys System, policy scheduler.Policy, seed int64, batches 
 		if err != nil {
 			panic(err)
 		}
-		c.Start(batches)
+		c.Start(context.Background(), batches)
 		eng.RunAll()
 		if c.Engine().Completed() != batches {
 			panic("scheduler-churn autopipe deadlock")

@@ -2,8 +2,10 @@ package meta
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"autopipe/internal/cluster"
@@ -13,6 +15,17 @@ import (
 	"autopipe/internal/profile"
 	"autopipe/internal/stats"
 )
+
+// mustGenerate runs Generate under a background context and fails the
+// test on error.
+func mustGenerate(t *testing.T, cfg DatasetConfig) []Sample {
+	t.Helper()
+	s, err := Generate(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
 
 func testProfile(t *testing.T, gbps float64) (*profile.Profile, *model.Model, *cluster.Cluster) {
 	t.Helper()
@@ -166,7 +179,7 @@ func TestNetworkTrainsOnDataset(t *testing.T) {
 		t.Skip("training test")
 	}
 	rng := rand.New(rand.NewSource(7))
-	samples := Generate(DatasetConfig{Rng: rng, N: 120, Batches: 5})
+	samples := mustGenerate(t, DatasetConfig{Rng: rng, N: 120, Batches: 5})
 	train, test := Split(samples, 0.2, rng)
 	net := NewNetwork(rng)
 	before := net.Eval(test, nil)
@@ -191,7 +204,7 @@ func TestTransferAndAdapt(t *testing.T) {
 		t.Skip("training test")
 	}
 	rng := rand.New(rand.NewSource(9))
-	base := Generate(DatasetConfig{Rng: rng, N: 60, Batches: 4})
+	base := mustGenerate(t, DatasetConfig{Rng: rng, N: 60, Batches: 4})
 	offline := NewNetwork(rng)
 	offline.Train(base, TrainConfig{Epochs: 40, BatchSize: 8, Shuffle: rng})
 
@@ -309,8 +322,8 @@ func TestCostNetTrains(t *testing.T) {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
-	a := Generate(DatasetConfig{Rng: rand.New(rand.NewSource(2)), N: 5, Batches: 3})
-	b := Generate(DatasetConfig{Rng: rand.New(rand.NewSource(2)), N: 5, Batches: 3})
+	a := mustGenerate(t, DatasetConfig{Rng: rand.New(rand.NewSource(2)), N: 5, Batches: 3})
+	b := mustGenerate(t, DatasetConfig{Rng: rand.New(rand.NewSource(2)), N: 5, Batches: 3})
 	if len(a) != len(b) {
 		t.Fatal("nondeterministic dataset size")
 	}
@@ -338,5 +351,35 @@ func TestNetworkSaveLoad(t *testing.T) {
 	f := BuildFeatures(p, evenPlan(m, 4), m.MiniBatch, h)
 	if a.Predict(f) != b.Predict(f) {
 		t.Fatal("predictions differ after Save/Load round trip")
+	}
+}
+
+// TestGenerateDeterministicAcrossProcs: the dataset must be a pure
+// function of the root seed — bit-identical at every parallelism —
+// because each sample derives its own RNG via work.SplitSeed.
+func TestGenerateDeterministicAcrossProcs(t *testing.T) {
+	gen := func(procs int) []Sample {
+		t.Helper()
+		s, err := Generate(context.Background(), DatasetConfig{Seed: 11, N: 8, Batches: 3, Procs: procs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	serial := gen(1)
+	for _, procs := range []int{2, 8} {
+		got := gen(procs)
+		if !reflect.DeepEqual(got, serial) {
+			t.Fatalf("procs=%d dataset differs from serial", procs)
+		}
+	}
+}
+
+// TestGenerateCancelled: a pre-cancelled context aborts generation.
+func TestGenerateCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Generate(ctx, DatasetConfig{Seed: 1, N: 50, Batches: 3, Procs: 4}); err == nil {
+		t.Fatal("cancelled Generate returned nil error")
 	}
 }

@@ -1,6 +1,7 @@
 package meta
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -63,6 +64,9 @@ func (n *Network) step(s Sample, loss nn.Loss) float64 {
 
 // TrainConfig controls offline training and online adaptation.
 type TrainConfig struct {
+	// Ctx, when non-nil, is checked between epochs: cancellation stops
+	// training early and Train returns the loss reached so far.
+	Ctx       context.Context
 	Epochs    int
 	BatchSize int
 	LR        float64
@@ -97,6 +101,9 @@ func (n *Network) Train(samples []Sample, cfg TrainConfig) float64 {
 	}
 	last := 0.0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			break
+		}
 		if cfg.Shuffle != nil {
 			cfg.Shuffle.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		}

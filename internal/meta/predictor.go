@@ -15,6 +15,22 @@ type Predictor interface {
 	PredictSpeed(p *profile.Profile, plan partition.Plan, miniBatch int, h *History) float64
 }
 
+// ConcurrencySafe is an optional Predictor extension: a predictor whose
+// PredictSpeed is safe to call from multiple goroutines at once reports
+// it here, unlocking parallel candidate scoring in the search layer.
+// Predictors with per-call mutable state (the LSTM-bearing meta-network
+// keeps recurrent activations between Forward and Reset) must not claim
+// it; they are scored serially.
+type ConcurrencySafe interface {
+	ConcurrentSafe() bool
+}
+
+// ParallelSafe reports whether pred may be invoked concurrently.
+func ParallelSafe(pred Predictor) bool {
+	cs, ok := pred.(ConcurrencySafe)
+	return ok && cs.ConcurrentSafe()
+}
+
 // AnalyticPredictor is the model-based fallback: a per-resource fluid
 // model evaluated directly on the profiler's observations. It is what
 // the paper calls "close to realistic modeling" — accurate but, on
@@ -37,6 +53,10 @@ type AnalyticPredictor struct {
 	// SyncEvery is the gradient-coalescing period (default 1).
 	SyncEvery int
 }
+
+// ConcurrentSafe implements ConcurrencySafe: the analytic model is a
+// pure function of its arguments.
+func (AnalyticPredictor) ConcurrentSafe() bool { return true }
 
 // serverOf resolves a worker's server from the profile's observed
 // placement, falling back to the testbed pairing (two GPUs per server)

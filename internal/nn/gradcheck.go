@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -59,6 +60,9 @@ type SeqSample struct {
 
 // FitConfig controls the simple full-batch-per-epoch trainer.
 type FitConfig struct {
+	// Ctx, when non-nil, is checked between epochs: cancellation stops
+	// training early and Fit returns the loss reached so far.
+	Ctx       context.Context
 	Epochs    int
 	BatchSize int // gradient accumulation window; <=1 means per-sample steps
 	Loss      Loss
@@ -80,6 +84,9 @@ func Fit(net *Sequential, samples []Sample, cfg FitConfig) float64 {
 	}
 	last := math.Inf(1)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			break
+		}
 		total := 0.0
 		inBatch := 0
 		net.ZeroGrad()

@@ -9,6 +9,7 @@ package partition
 import (
 	"fmt"
 	"sort"
+	"strconv"
 )
 
 // Stage is a contiguous layer range replicated over a worker set. With
@@ -137,6 +138,25 @@ func (p Plan) Equal(q Plan) bool {
 		}
 	}
 	return true
+}
+
+// Fingerprint returns a compact canonical encoding of the plan, cheap
+// to compute and suitable as a memoisation key: two plans have the same
+// fingerprint exactly when Equal reports true.
+func (p Plan) Fingerprint() string {
+	b := make([]byte, 0, 8+12*len(p.Stages))
+	b = strconv.AppendInt(b, int64(p.InFlight), 10)
+	for _, s := range p.Stages {
+		b = append(b, '|')
+		b = strconv.AppendInt(b, int64(s.Start), 10)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(s.End), 10)
+		for _, w := range s.Workers {
+			b = append(b, '@')
+			b = strconv.AppendInt(b, int64(w), 10)
+		}
+	}
+	return string(b)
 }
 
 // String renders the plan compactly, e.g. "[0:12)@{0,1} [12:20)@{2} |3".

@@ -13,6 +13,7 @@
 package rl
 
 import (
+	"context"
 	"io"
 	"math"
 	"math/rand"
@@ -136,8 +137,13 @@ type Decision struct {
 }
 
 // TrainSupervised fits the policy to counterfactually labelled decisions
-// with binary cross-entropy and returns the final mean loss.
-func (a *Arbiter) TrainSupervised(decisions []Decision, epochs int, lr float64) float64 {
+// with binary cross-entropy and returns the final mean loss. A cancelled
+// ctx stops between epochs; the loss reached so far is returned with the
+// context's error.
+func (a *Arbiter) TrainSupervised(ctx context.Context, decisions []Decision, epochs int, lr float64) (float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	samples := make([]nn.Sample, len(decisions))
 	for i, d := range decisions {
 		y := 0.0
@@ -148,10 +154,12 @@ func (a *Arbiter) TrainSupervised(decisions []Decision, epochs int, lr float64) 
 	}
 	opt := nn.NewAdam(lr)
 	opt.Clip = 5
-	return nn.Fit(a.net, samples, nn.FitConfig{
+	loss := nn.Fit(a.net, samples, nn.FitConfig{
+		Ctx:    ctx,
 		Epochs: epochs, BatchSize: 8,
 		Loss: nn.BCEWithLogits{}, Optimizer: opt,
 	})
+	return loss, ctx.Err()
 }
 
 // Reinforce applies one online policy-gradient step: increase the

@@ -2,8 +2,10 @@ package rl
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"autopipe/internal/cluster"
@@ -70,7 +72,10 @@ func TestTrainSupervisedSeparatesObviousCases(t *testing.T) {
 		horizonGain := (s.PredCandidate - s.PredCurrent) / s.PredCurrent * perBatch * 10
 		ds = append(ds, Decision{X: Encode(s), Switch: horizonGain > s.SwitchCost})
 	}
-	loss := a.TrainSupervised(ds, 400, 5e-3)
+	loss, err := a.TrainSupervised(context.Background(), ds, 400, 5e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if loss > 0.4 {
 		t.Fatalf("supervised training stalled at loss %v", loss)
 	}
@@ -134,7 +139,10 @@ func TestGenerateDecisionsAndOfflineTraining(t *testing.T) {
 		t.Skip("training test")
 	}
 	rng := rand.New(rand.NewSource(7))
-	ds := GenerateDecisions(ScenarioConfig{Rng: rng, N: 40, Horizon: 10})
+	ds, err := GenerateDecisions(context.Background(), ScenarioConfig{Rng: rng, N: 40, Horizon: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ds) != 40 {
 		t.Fatalf("generated %d decisions", len(ds))
 	}
@@ -149,15 +157,23 @@ func TestGenerateDecisionsAndOfflineTraining(t *testing.T) {
 		t.Fatalf("degenerate labels: %d/%d switches", sw, len(ds))
 	}
 	a := NewArbiter(rng)
-	a.TrainSupervised(ds, 300, 3e-3)
+	if _, err := a.TrainSupervised(context.Background(), ds, 300, 3e-3); err != nil {
+		t.Fatal(err)
+	}
 	if acc := a.Accuracy(ds); acc < 0.7 {
 		t.Fatalf("offline arbiter accuracy %v < 0.7", acc)
 	}
 }
 
 func TestGenerateDecisionsDeterministic(t *testing.T) {
-	a := GenerateDecisions(ScenarioConfig{Rng: rand.New(rand.NewSource(9)), N: 5, Horizon: 8})
-	b := GenerateDecisions(ScenarioConfig{Rng: rand.New(rand.NewSource(9)), N: 5, Horizon: 8})
+	a, err := GenerateDecisions(context.Background(), ScenarioConfig{Rng: rand.New(rand.NewSource(9)), N: 5, Horizon: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateDecisions(context.Background(), ScenarioConfig{Rng: rand.New(rand.NewSource(9)), N: 5, Horizon: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range a {
 		if a[i].Switch != b[i].Switch {
 			t.Fatalf("decision %d label differs", i)
@@ -194,5 +210,26 @@ func TestArbiterSaveLoad(t *testing.T) {
 	x := Encode(testState(t))
 	if a.Prob(x) != b.Prob(x) {
 		t.Fatal("probabilities differ after Save/Load round trip")
+	}
+}
+
+// TestGenerateDecisionsDeterministicAcrossProcs: like the meta dataset,
+// the decision set is a pure function of the root seed at any
+// parallelism.
+func TestGenerateDecisionsDeterministicAcrossProcs(t *testing.T) {
+	gen := func(procs int) []Decision {
+		t.Helper()
+		d, err := GenerateDecisions(context.Background(), ScenarioConfig{Seed: 13, N: 4, Horizon: 6, Procs: procs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	serial := gen(1)
+	for _, procs := range []int{2, 8} {
+		got := gen(procs)
+		if !reflect.DeepEqual(got, serial) {
+			t.Fatalf("procs=%d decisions differ from serial", procs)
+		}
 	}
 }

@@ -1,6 +1,8 @@
 package rl
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 
 	"autopipe/internal/cluster"
@@ -11,39 +13,63 @@ import (
 	"autopipe/internal/pipeline"
 	"autopipe/internal/profile"
 	"autopipe/internal/sim"
+	"autopipe/internal/work"
 )
 
 // ScenarioConfig parametrises counterfactual decision generation.
 type ScenarioConfig struct {
+	// Seed derives every scenario's private RNG (scenario i uses
+	// work.SplitSeed(Seed, i)), making the dataset a pure function of
+	// (Seed, N, Horizon) at any parallelism. When zero, a root seed is
+	// drawn from Rng instead (or 1 if Rng is also nil).
+	Seed int64
+	// Rng is the legacy seed source, consulted only when Seed is zero.
 	Rng *rand.Rand
 	// N is the number of decisions to generate.
 	N int
 	// Horizon is the batch count over which the two branches are
 	// compared (default 12).
 	Horizon int
+	// Procs bounds parallel counterfactual simulation (<=0 selects
+	// GOMAXPROCS). The dataset is bit-identical at any setting.
+	Procs int
 }
+
+// maxScenarioAttempts bounds rejection sampling per decision.
+const maxScenarioAttempts = 256
 
 // GenerateDecisions produces offline-training data by exploiting the
 // simulator's ability to run counterfactuals: for each sampled scenario
 // — an environment shift arriving mid-training — both the "stay" branch
 // and the "switch" branch are executed, and the faster branch labels the
-// optimal action.
-func GenerateDecisions(cfg ScenarioConfig) []Decision {
-	rng := cfg.Rng
-	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
+// optimal action. Scenarios run in parallel on cfg.Procs goroutines;
+// each derives its own RNG from the root seed, so the output is
+// bit-identical at every procs setting. On cancellation the context's
+// error is returned.
+func GenerateDecisions(ctx context.Context, cfg ScenarioConfig) ([]Decision, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	root := cfg.Seed
+	if root == 0 {
+		if cfg.Rng != nil {
+			root = cfg.Rng.Int63()
+		} else {
+			root = 1
+		}
 	}
 	if cfg.Horizon < 4 {
 		cfg.Horizon = 12
 	}
-	var out []Decision
-	for len(out) < cfg.N {
-		d, ok := generateOne(rng, cfg.Horizon)
-		if ok {
-			out = append(out, d)
+	return work.MapSlice(ctx, cfg.N, cfg.Procs, func(_ context.Context, i int) (Decision, error) {
+		rng := rand.New(rand.NewSource(work.SplitSeed(root, i)))
+		for a := 0; a < maxScenarioAttempts; a++ {
+			if d, ok := generateOne(rng, cfg.Horizon); ok {
+				return d, nil
+			}
 		}
-	}
-	return out
+		return Decision{}, fmt.Errorf("rl: scenario %d rejected %d times; config cannot produce decisions", i, maxScenarioAttempts)
+	})
 }
 
 func generateOne(rng *rand.Rand, horizon int) (Decision, bool) {

@@ -63,6 +63,14 @@ func WriteMetrics(w io.Writer, r *Registry) {
 		help: "Cost-model estimate summed over applied switches per job."}
 	realCost := &family{name: "autopiped_job_switch_cost_realized_seconds_total", typ: "counter",
 		help: "Virtual seconds switches actually took, decision to commit, per job."}
+	decisions := &family{name: "autopiped_job_decisions_total", typ: "counter",
+		help: "Reconfiguration decisions evaluated per job."}
+	candidates := &family{name: "autopiped_job_search_candidates_total", typ: "counter",
+		help: "Candidate partitions scored by the predictor per job."}
+	cacheHits := &family{name: "autopiped_job_search_cache_hits_total", typ: "counter",
+		help: "Candidate scores served by the fingerprint memo cache per job."}
+	searchSecs := &family{name: "autopiped_job_search_seconds_total", typ: "counter",
+		help: "Real seconds spent scoring candidates per job."}
 
 	pool.add("", float64(r.PoolSize()))
 	queued := 0
@@ -78,6 +86,10 @@ func WriteMetrics(w io.Writer, r *Registry) {
 		switches.add(info.ID, float64(st.Controller.SwitchesApplied))
 		predCost.add(info.ID, st.Controller.SwitchSecondsPredicted)
 		realCost.add(info.ID, st.Controller.SwitchSecondsRealized)
+		decisions.add(info.ID, float64(st.Controller.Decisions))
+		candidates.add(info.ID, float64(st.Controller.CandidatesScored))
+		cacheHits.add(info.ID, float64(st.Controller.SearchCacheHits))
+		searchSecs.add(info.ID, st.Controller.SearchSeconds)
 	}
 	depth.add("", float64(queued))
 	allStates := []autopipe.JobState{autopipe.JobQueued, autopipe.JobRunning,
@@ -88,7 +100,8 @@ func WriteMetrics(w io.Writer, r *Registry) {
 		})
 	}
 
-	fams := []*family{depth, pool, states, iter, tp, switches, predCost, realCost}
+	fams := []*family{depth, pool, states, iter, tp, switches, predCost, realCost,
+		decisions, candidates, cacheHits, searchSecs}
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 	for _, f := range fams {
 		f.write(w)

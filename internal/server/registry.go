@@ -99,7 +99,9 @@ func (r *Registry) run(m *managedJob) {
 	defer r.wg.Done()
 	r.sem <- struct{}{}
 	defer func() { <-r.sem }()
-	m.job.Run() // result and error are retained on the Job itself
+	// Cancellation flows through Job.Cancel (invoked by the DELETE
+	// handler), which aborts the run's internal context mid-search.
+	m.job.Run(context.Background()) // result and error are retained on the Job itself
 }
 
 // Get returns one job's info.

@@ -1,0 +1,141 @@
+// Package work is the shared concurrency layer under AutoPipe's
+// evaluation hot paths: a bounded, context-aware parallel-map primitive
+// with deterministic result ordering and first-error propagation, plus
+// the seed-splitting helper that keeps parallel random generation
+// bit-identical to its serial form.
+//
+// Determinism contract: Map and MapSlice invoke fn exactly once per
+// index on success, and MapSlice places fn(i)'s value at out[i] — the
+// result is independent of procs and of goroutine scheduling, provided
+// fn(i) itself is deterministic and does not share mutable state across
+// indices. Cancellation contract: when ctx is cancelled the primitives
+// stop dispatching new indices and return ctx's error after in-flight
+// calls finish; fn implementations that run long per index should check
+// their own ctx argument.
+package work
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Procs resolves a worker-count knob: positive values pass through,
+// anything else selects runtime.GOMAXPROCS(0).
+func Procs(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on at most procs goroutines
+// (procs <= 0 selects GOMAXPROCS). The first error — by index order,
+// preferring genuine failures over cancellation noise from siblings —
+// cancels the remaining work and is returned. A nil return means every
+// index ran to completion.
+func Map(ctx context.Context, n, procs int, fn func(ctx context.Context, i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	procs = Procs(procs)
+	if procs > n {
+		procs = n
+	}
+	if procs == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	inner, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || inner.Err() != nil {
+					return
+				}
+				if err := fn(inner, i); err != nil {
+					errs[i] = err
+					cancel() // first failure stops the fleet
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// Prefer the lowest-index genuine error; sibling items aborted by the
+	// internal cancel report context.Canceled and only win if nothing
+	// else failed.
+	var cancelErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) {
+			if cancelErr == nil {
+				cancelErr = err
+			}
+			continue
+		}
+		return err
+	}
+	return cancelErr
+}
+
+// MapSlice runs fn for every index like Map and collects the results in
+// input order: out[i] = fn(ctx, i). On error the partial results are
+// discarded and only the error returns.
+func MapSlice[T any](ctx context.Context, n, procs int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]T, n)
+	err := Map(ctx, n, procs, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SplitSeed derives a per-item RNG seed from a root seed (splitmix64
+// finalizer). Parallel generators seed one rand.Rand per index from the
+// root this way, so their output is a pure function of (root, index) —
+// identical at any procs setting — instead of a function of the order
+// goroutines happened to consume a shared stream. The result is always
+// non-negative, matching rand.NewSource conventions.
+func SplitSeed(root int64, index int) int64 {
+	z := uint64(root) + (uint64(index)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z &^ (1 << 63))
+}

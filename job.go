@@ -1,6 +1,7 @@
 package autopipe
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -161,6 +162,10 @@ type JobConfig struct {
 	Arbiter *Arbiter
 	// DisableReconfig freezes the initial plan (PipeDream ablation).
 	DisableReconfig bool
+	// Procs bounds parallel candidate scoring during reconfiguration
+	// decisions (<=0 selects GOMAXPROCS). The chosen plans are
+	// bit-identical at any setting; only wall-clock changes.
+	Procs int
 }
 
 // JobResult extends Result with controller telemetry. Like Result it
@@ -180,14 +185,14 @@ type JobResult struct {
 }
 
 // RunJob trains a managed job for the given number of mini-batches,
-// blocking until it completes. It is NewJob + Run for callers that need
-// neither cancellation nor live progress.
-func RunJob(cfg JobConfig, batches int) (JobResult, error) {
+// blocking until it completes or ctx is cancelled. It is NewJob + Run
+// for callers that need no live progress.
+func RunJob(ctx context.Context, cfg JobConfig, batches int) (JobResult, error) {
 	j, err := NewJob(cfg, batches)
 	if err != nil {
 		return JobResult{}, err
 	}
-	return j.Run()
+	return j.Run(ctx)
 }
 
 // JobState is the lifecycle phase of a managed Job.
@@ -248,11 +253,12 @@ type Job struct {
 	cancel atomic.Bool
 	done   chan struct{}
 
-	mu      sync.Mutex
-	started bool
-	status  JobStatus
-	result  JobResult
-	err     error
+	mu        sync.Mutex
+	started   bool
+	runCancel context.CancelFunc
+	status    JobStatus
+	result    JobResult
+	err       error
 }
 
 // NewJob builds a managed job: the simulation engine, network and
@@ -277,6 +283,7 @@ func NewJob(cfg JobConfig, batches int) (*Job, error) {
 		Predictor: pred, Arbiter: cfg.Arbiter,
 		CheckEvery:      cfg.CheckEvery,
 		DisableReconfig: cfg.DisableReconfig,
+		Procs:           cfg.Procs,
 	})
 	if err != nil {
 		return nil, err
@@ -318,9 +325,19 @@ func (j *Job) Status() JobStatus {
 }
 
 // Cancel asks a running (or not-yet-run) job to stop. Idempotent and
-// safe from any goroutine; Run returns ErrCancelled shortly after (the
-// signal is checked between simulation events).
-func (j *Job) Cancel() { j.cancel.Store(true) }
+// safe from any goroutine; Run returns ErrCancelled shortly after: the
+// signal is checked between simulation events AND cancels the run's
+// context, which aborts any candidate search in flight inside a
+// reconfiguration decision.
+func (j *Job) Cancel() {
+	j.cancel.Store(true)
+	j.mu.Lock()
+	cancel := j.runCancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
 
 // Done is closed when Run finishes for any reason.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -339,18 +356,25 @@ func (j *Job) Result() (JobResult, error) {
 }
 
 // Run executes the job to completion, cancellation or stall, blocking
-// the calling goroutine. It may be called once.
-func (j *Job) Run() (JobResult, error) {
+// the calling goroutine. It may be called once. A nil ctx is treated as
+// context.Background; cancelling ctx stops the job like Cancel does.
+func (j *Job) Run(ctx context.Context) (JobResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	j.mu.Lock()
 	if j.started {
 		j.mu.Unlock()
 		return JobResult{}, fmt.Errorf("autopipe: Job.Run called twice")
 	}
 	j.started = true
+	j.runCancel = cancel
 	j.status.State = JobRunning
 	j.mu.Unlock()
 
-	res, err := j.run()
+	res, err := j.run(ctx)
 
 	j.mu.Lock()
 	j.result, j.err = res, err
@@ -359,21 +383,39 @@ func (j *Job) Run() (JobResult, error) {
 	return res, err
 }
 
-func (j *Job) run() (JobResult, error) {
+// stopped reports whether the job should halt: Cancel was called or the
+// run context expired (external deadline/cancellation).
+func (j *Job) stopped(ctx context.Context) bool {
+	return j.cancel.Load() || ctx.Err() != nil
+}
+
+// stopErr maps a stop to its cause: ErrCancelled for Cancel, the
+// context's error for an external cancellation or deadline.
+func (j *Job) stopErr(ctx context.Context) error {
 	if j.cancel.Load() {
-		j.snapshot(JobCancelled)
-		return JobResult{}, ErrCancelled
+		return ErrCancelled
 	}
-	j.ctl.Start(j.batches)
-	for !j.cancel.Load() {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return ErrCancelled
+}
+
+func (j *Job) run(ctx context.Context) (JobResult, error) {
+	if j.stopped(ctx) {
+		j.snapshot(JobCancelled)
+		return JobResult{}, j.stopErr(ctx)
+	}
+	j.ctl.Start(ctx, j.batches)
+	for !j.stopped(ctx) {
 		if !j.eng.Step() {
 			break
 		}
 	}
 	e := j.ctl.Engine()
-	if j.cancel.Load() && e.Completed() < j.batches {
+	if j.stopped(ctx) && e.Completed() < j.batches {
 		j.snapshot(JobCancelled)
-		return JobResult{}, ErrCancelled
+		return JobResult{}, j.stopErr(ctx)
 	}
 	if e.Completed() != j.batches {
 		err := fmt.Errorf("autopipe: job stalled at %d/%d batches", e.Completed(), j.batches)
@@ -420,17 +462,22 @@ func (j *Job) run() (JobResult, error) {
 // "enhance" other pipeline schemes. The search stays within the starting
 // plan's replication structure, which is safe for every schedule; use
 // OptimizePlanWithMerge for the asynchronous engines where stage
-// merges/replication pay off.
-func OptimizePlan(m *Model, cl *Cluster, start Plan, scheme SyncScheme) Plan {
+// merges/replication pay off. Candidates are scored in parallel on
+// GOMAXPROCS goroutines; the result is bit-identical to a serial
+// search. On cancellation the best plan so far is returned with the
+// context's error.
+func OptimizePlan(ctx context.Context, m *Model, cl *Cluster, start Plan, scheme SyncScheme) (Plan, error) {
 	prof := newProfile(m, cl)
-	return ap.OptimizePlan(prof, start, m.MiniBatch, meta.AnalyticPredictor{Scheme: scheme}, 64, false)
+	return ap.OptimizePlan(ctx, prof, start, m.MiniBatch,
+		meta.AnalyticPredictor{Scheme: scheme}, ap.OptimizeOptions{MaxRounds: 64})
 }
 
 // OptimizePlanWithMerge extends OptimizePlan's neighbourhood with stage
 // merges and splits (data-parallel replication changes).
-func OptimizePlanWithMerge(m *Model, cl *Cluster, start Plan, scheme SyncScheme) Plan {
+func OptimizePlanWithMerge(ctx context.Context, m *Model, cl *Cluster, start Plan, scheme SyncScheme) (Plan, error) {
 	prof := newProfile(m, cl)
-	return ap.OptimizePlan(prof, start, m.MiniBatch, meta.AnalyticPredictor{Scheme: scheme}, 64, true)
+	return ap.OptimizePlan(ctx, prof, start, m.MiniBatch,
+		meta.AnalyticPredictor{Scheme: scheme}, ap.OptimizeOptions{MaxRounds: 64, UseMerge: true})
 }
 
 func newProfile(m *Model, cl *Cluster) *profile.Profile {

@@ -1,10 +1,15 @@
 package autopipe
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"testing"
 	"time"
+
+	"autopipe/internal/meta"
+	"autopipe/internal/partition"
+	"autopipe/internal/profile"
 )
 
 func testJobConfig() JobConfig {
@@ -17,7 +22,7 @@ func testJobConfig() JobConfig {
 func TestNewJobRunMatchesRunJob(t *testing.T) {
 	// The managed-job path and the legacy blocking path are the same
 	// deterministic simulation.
-	a, err := RunJob(testJobConfig(), 30)
+	a, err := RunJob(context.Background(), testJobConfig(), 30)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +30,7 @@ func TestNewJobRunMatchesRunJob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := j.Run()
+	b, err := j.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +50,7 @@ func TestJobStatusLifecycle(t *testing.T) {
 	if _, err := j.Result(); err == nil {
 		t.Fatal("Result before Run should error")
 	}
-	res, err := j.Run()
+	res, err := j.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +70,7 @@ func TestJobStatusLifecycle(t *testing.T) {
 	if err != nil || got.Batches != 25 {
 		t.Fatalf("Result() = %+v, %v", got.Result, err)
 	}
-	if _, err := j.Run(); err == nil {
+	if _, err := j.Run(context.Background()); err == nil {
 		t.Fatal("second Run should error")
 	}
 }
@@ -76,7 +81,7 @@ func TestJobCancelBeforeRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	j.Cancel()
-	if _, err := j.Run(); !errors.Is(err, ErrCancelled) {
+	if _, err := j.Run(context.Background()); !errors.Is(err, ErrCancelled) {
 		t.Fatalf("Run after Cancel = %v, want ErrCancelled", err)
 	}
 	if st := j.Status(); st.State != JobCancelled {
@@ -93,7 +98,7 @@ func TestJobCancelMidRun(t *testing.T) {
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		_, err := j.Run()
+		_, err := j.Run(context.Background())
 		errCh <- err
 	}()
 	deadline := time.Now().Add(30 * time.Second)
@@ -123,7 +128,7 @@ func TestJobStatusJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := j.Run(); err != nil {
+	if _, err := j.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := json.Marshal(j.Status())
@@ -136,5 +141,56 @@ func TestJobStatusJSON(t *testing.T) {
 	}
 	if back.State != JobDone || back.Iteration != 20 || !back.Plan.Equal(j.Status().Plan) {
 		t.Fatalf("status round trip changed: %+v", back)
+	}
+}
+
+// slowPredictor makes every candidate evaluation take real wall time,
+// so a reconfiguration decision's search dominates the test's clock.
+type slowPredictor struct{ delay time.Duration }
+
+func (s slowPredictor) PredictSpeed(p *profile.Profile, plan partition.Plan, miniBatch int, h *meta.History) float64 {
+	time.Sleep(s.delay)
+	return meta.AnalyticPredictor{}.PredictSpeed(p, plan, miniBatch, h)
+}
+
+func TestCancelInterruptsCandidateSearch(t *testing.T) {
+	// Regression test for cancellation latency: with a deliberately slow
+	// predictor and a large neighbourhood, one full decision takes
+	// several real seconds. Cancel must interrupt the search between
+	// candidate evaluations — bounded by one candidate's scoring time —
+	// rather than wait for the whole decision (or the whole job).
+	const delay = 150 * time.Millisecond
+	j, err := NewJob(JobConfig{
+		Model:      UniformModel(24, 1e9, 1000),
+		Cluster:    Testbed(Gbps(25)),
+		CheckEvery: 1,
+		Predictor:  slowPredictor{delay: delay},
+	}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := j.Run(context.Background())
+		errCh <- err
+	}()
+	// By now the first decision's scoring loop is in progress: the
+	// simulated batches take microseconds of real time, the candidate
+	// scores 150ms each.
+	time.Sleep(2 * delay)
+	start := time.Now()
+	j.Cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrCancelled) {
+			t.Fatalf("Run = %v, want ErrCancelled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancel not honoured during candidate search")
+	}
+	// One in-flight candidate evaluation may finish; a whole decision
+	// (tens of candidates) must not.
+	if waited := time.Since(start); waited > 5*delay {
+		t.Fatalf("cancellation took %v, want bounded by one candidate evaluation (%v)", waited, delay)
 	}
 }
