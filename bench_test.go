@@ -371,6 +371,85 @@ func BenchmarkOptimizePlan(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictSpeed scores one candidate partition through each
+// predictor on the allocation-free inference path. Run with -cpu 1,4,8:
+// RunParallel fans the calls across GOMAXPROCS goroutines, so the net
+// and hybrid sub-benchmarks double as proof that meta-network scoring
+// now parallelises (it used to degrade to serial — the LSTM kept
+// per-call state). All three must report 0 allocs/op in steady state.
+func BenchmarkPredictSpeed(b *testing.B) {
+	cl := cluster.Testbed(cluster.Gbps(25))
+	cl.AddCompetingJob()
+	m := model.ResNet50()
+	prof := profile.NewProfiler(m, cl).Observe()
+	plan := PlanPipeDream(m, cl, Workers(10))
+	h := &meta.History{}
+	h.Push(meta.EncodeDynamicStep(prof, 0.5))
+	net := meta.NewNetwork(rand.New(rand.NewSource(1)))
+	preds := []struct {
+		name string
+		pred meta.Predictor
+	}{
+		{"analytic", meta.AnalyticPredictor{}},
+		{"net", meta.NetPredictor{Net: net}},
+		{"hybrid", &meta.HybridPredictor{Net: net, NetWeight: 0.3}},
+	}
+	for _, c := range preds {
+		b.Run(c.name, func(b *testing.B) {
+			c.pred.PredictSpeed(prof, plan, m.MiniBatch, h) // warm the pools
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					c.pred.PredictSpeed(prof, plan, m.MiniBatch, h)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkOptimizePlanHybrid is BenchmarkOptimizePlan on the learned
+// (hybrid) predictor — the paper's headline path. Before the inference
+// split the LSTM forced serial scoring here regardless of procs; now
+// procs=8 should realise a multiple of procs=1 while the chosen plan
+// stays bit-identical across proc counts (asserted).
+func BenchmarkOptimizePlanHybrid(b *testing.B) {
+	cl := cluster.Testbed(cluster.Gbps(25))
+	cl.AddCompetingJob()
+	m := model.BERT48()
+	pr := profile.NewProfiler(m, cl)
+	_ = pr.SetSmoothing(1)
+	prof := pr.Observe()
+	net := meta.NewNetwork(rand.New(rand.NewSource(2)))
+	pred := &meta.HybridPredictor{Net: net, NetWeight: 0.5, Scheme: netsim.RingAllReduce}
+	h := &meta.History{}
+	h.Push(meta.EncodeDynamicStep(prof, 0.5))
+	workers := make([]int, 10)
+	for i := range workers {
+		workers[i] = i
+	}
+	start := partition.EvenSplit(m.NumLayers(), workers)
+	var serialPlan partition.Plan
+	for _, procs := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			var last partition.Plan
+			for i := 0; i < b.N; i++ {
+				p, err := ap.OptimizePlan(context.Background(), prof, start, m.MiniBatch,
+					pred, ap.OptimizeOptions{MaxRounds: 8, UseMerge: true, Procs: procs, History: h})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = p
+			}
+			if procs == 1 {
+				serialPlan = last
+			} else if !last.Equal(serialPlan) {
+				b.Fatalf("procs=%d chose %s, serial chose %s", procs, last, serialPlan)
+			}
+		})
+	}
+}
+
 // BenchmarkGenerate measures parallel ground-truth dataset generation
 // at several worker counts; the dataset is bit-identical across
 // sub-benchmarks by construction (per-sample derived seeds).

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"autopipe"
+	"autopipe/internal/profutil"
 	"autopipe/internal/server"
 	"autopipe/internal/trace"
 )
@@ -46,6 +47,8 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-worker utilization")
 		compare   = flag.Bool("compare", false, "run all three systems and print a comparison")
 		jsonOut   = flag.Bool("json", false, "emit the run as one JSON document on stdout (daemon-API serialisation)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	var traces traceFlags
 	flag.Var(&traces, "trace", "dynamic event, repeatable: bw:<t>:<gbps> | job:<t> | jobend:<t>")
@@ -54,6 +57,9 @@ func main() {
 	if *jsonOut && *compare {
 		fatalIf(fmt.Errorf("-json and -compare are mutually exclusive"))
 	}
+	stopProf, err := profutil.Start(*cpuProf, *memProf)
+	fatalIf(err)
+	defer func() { fatalIf(stopProf()) }()
 	m, err := autopipe.ModelByName(*modelName)
 	fatalIf(err)
 	cl := autopipe.Testbed(autopipe.Gbps(*bwGbps))

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"autopipe/internal/meta"
+	"autopipe/internal/profutil"
 	"autopipe/internal/rl"
 	"autopipe/internal/stats"
 )
@@ -30,8 +31,13 @@ func main() {
 		epochs    = flag.Int("epochs", 80, "meta-network training epochs")
 		procs     = flag.Int("procs", 0, "parallel simulation goroutines (<=0 means GOMAXPROCS)")
 		outDir    = flag.String("out", "", "directory to write trained weights (metanet.gob, arbiter.gob)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stopProf, err := profutil.Start(*cpuProf, *memProf)
+	fatalIf(err)
+	defer func() { fatalIf(stopProf()) }()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	rng := rand.New(rand.NewSource(*seed))

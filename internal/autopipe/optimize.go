@@ -18,6 +18,10 @@ type OptimizeOptions struct {
 	Procs int
 	// Stats, when non-nil, receives the search telemetry.
 	Stats *SearchStats
+	// History supplies the dynamic-metric window consumed by
+	// history-aware predictors (net/hybrid); nil scores the all-zero
+	// window. The search only reads it.
+	History *meta.History
 }
 
 // OptimizePlan hill-climbs from an initial plan through the two-worker
@@ -39,7 +43,7 @@ func OptimizePlan(ctx context.Context, prof *profile.Profile, plan partition.Pla
 	if maxRounds < 1 {
 		maxRounds = 16
 	}
-	ss := newScoreSet(ctx, pred, prof, miniBatch, nil, opts.Procs)
+	ss := newScoreSet(ctx, pred, prof, miniBatch, opts.History, opts.Procs)
 	defer func() {
 		if opts.Stats != nil {
 			opts.Stats.add(ss.stats)

@@ -63,6 +63,11 @@ type scoreSet struct {
 // newScoreSet builds a scorer. Predictors that are not concurrency-safe
 // (see meta.ConcurrencySafe) are scored on one goroutine regardless of
 // procs; results are identical either way, only the wall clock differs.
+// All built-in predictors — analytic, net and hybrid — are safe: the
+// meta-network scores through pooled read-only inference sessions and
+// the analytic model through pooled slice scratch, so the paper's
+// headline path (cheap meta-network scoring of the O(L²) swap
+// neighbourhood) genuinely fans out across procs.
 func newScoreSet(ctx context.Context, pred meta.Predictor, prof *profile.Profile,
 	miniBatch int, h *meta.History, procs int) *scoreSet {
 	if ctx == nil {

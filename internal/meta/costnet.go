@@ -3,6 +3,7 @@ package meta
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"autopipe/internal/model"
 	"autopipe/internal/nn"
@@ -20,6 +21,12 @@ const CostFeatureDim = 6
 // meta-network as the speed prediction model" for this (§4.3).
 type CostNet struct {
 	net *nn.Sequential
+
+	// scratch pools per-call inference arenas so PredictSeconds is
+	// read-only on the network, allocation-free in steady state, and
+	// safe to call concurrently (Train must still be serialised
+	// against in-flight predictions).
+	scratch sync.Pool
 }
 
 // NewCostNet builds an untrained switching-cost network.
@@ -58,10 +65,17 @@ func EncodeCostFeatures(p *profile.Profile, m *model.Model, oldPlan, newPlan par
 }
 
 // PredictSeconds returns the predicted switch cost for a feature vector.
+// It scores through the inference kernels: no training cache is touched
+// and nothing is allocated in steady state.
 func (c *CostNet) PredictSeconds(f tensor.Vec) float64 {
-	out := c.net.Forward(f)
-	c.net.Reset()
+	s, _ := c.scratch.Get().(*nn.Scratch)
+	if s == nil {
+		s = new(nn.Scratch)
+	}
+	s.Reset()
+	out := c.net.Infer(f, s)
 	v := out[0]
+	c.scratch.Put(s)
 	if v < 0 {
 		v = 0
 	}

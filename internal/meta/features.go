@@ -62,18 +62,24 @@ func IdealThroughput(p *profile.Profile, miniBatch int) float64 {
 
 // EncodeStatic builds the static-metric feature block from a profile.
 func EncodeStatic(p *profile.Profile, miniBatch int) tensor.Vec {
+	v := tensor.NewVec(StaticDim)
+	EncodeStaticInto(v, p, miniBatch)
+	return v
+}
+
+// EncodeStaticInto writes the static-metric feature block into v
+// (length StaticDim) without allocating — the inference-path variant.
+func EncodeStaticInto(v tensor.Vec, p *profile.Profile, miniBatch int) {
 	var params, acts int64
 	for i := 0; i < p.L; i++ {
 		params += p.ParamBytes[i]
 		acts += p.OutBytes[i]
 	}
-	return tensor.Vec{
-		float64(p.L) / 128,
-		float64(p.N) / MaxWorkers,
-		math.Log10(float64(params)+1) / 12,
-		math.Log10(float64(acts)+1) / 12,
-		float64(miniBatch) / 256,
-	}
+	v[0] = float64(p.L) / 128
+	v[1] = float64(p.N) / MaxWorkers
+	v[2] = math.Log10(float64(params)+1) / 12
+	v[3] = math.Log10(float64(acts)+1) / 12
+	v[4] = float64(miniBatch) / 256
 }
 
 // EncodePartition builds the worker-partition encoding: the paper
@@ -82,8 +88,16 @@ func EncodeStatic(p *profile.Profile, miniBatch int) tensor.Vec {
 // output share so the network sees cost, not just counts.
 func EncodePartition(p *profile.Profile, plan partition.Plan) tensor.Vec {
 	v := tensor.NewVec(PartitionDim)
+	EncodePartitionInto(v, p, plan)
+	return v
+}
+
+// EncodePartitionInto writes the worker-partition encoding into v
+// (length PartitionDim) without allocating — the inference-path variant.
+func EncodePartitionInto(v tensor.Vec, p *profile.Profile, plan partition.Plan) {
+	v.Zero()
 	if p.L == 0 {
-		return v
+		return
 	}
 	var totalOut float64
 	for i := 0; i < p.L; i++ {
@@ -113,7 +127,6 @@ func EncodePartition(p *profile.Profile, plan partition.Plan) tensor.Vec {
 			}
 		}
 	}
-	return v
 }
 
 // EncodeDynamicStep builds one LSTM timestep from a profile observation
@@ -154,20 +167,32 @@ func (h *History) Push(step tensor.Vec) {
 // Window returns exactly SeqLen steps, left-padded by repeating the
 // oldest available step (zeros when empty).
 func (h *History) Window() []tensor.Vec {
-	out := make([]tensor.Vec, 0, SeqLen)
-	if len(h.steps) == 0 {
-		for i := 0; i < SeqLen; i++ {
-			out = append(out, tensor.NewVec(DynStepDim))
+	out := make([]tensor.Vec, SeqLen)
+	for i := range out {
+		out[i] = tensor.NewVec(DynStepDim)
+	}
+	return h.WindowInto(out)
+}
+
+// WindowInto copies the window into dst, which must hold SeqLen vectors
+// of length DynStepDim each, and returns dst. It allocates nothing and
+// only reads the history, so concurrent readers may share one History —
+// the inference-path variant. A nil receiver yields the all-zero window.
+func (h *History) WindowInto(dst []tensor.Vec) []tensor.Vec {
+	if h == nil || len(h.steps) == 0 {
+		for _, v := range dst {
+			v.Zero()
 		}
-		return out
+		return dst
 	}
-	for i := len(h.steps); i < SeqLen; i++ {
-		out = append(out, h.steps[0].Clone())
+	pad := SeqLen - len(h.steps)
+	for i := 0; i < pad; i++ {
+		copy(dst[i], h.steps[0])
 	}
-	for _, s := range h.steps {
-		out = append(out, s.Clone())
+	for i, s := range h.steps {
+		copy(dst[pad+i], s)
 	}
-	return out
+	return dst
 }
 
 // Len returns the number of recorded steps (capped at SeqLen).

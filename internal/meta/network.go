@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 	"math/rand"
+	"sync"
 
 	"autopipe/internal/nn"
 	"autopipe/internal/tensor"
@@ -19,6 +20,10 @@ const lstmHidden = 16
 type Network struct {
 	lstm *nn.LSTM
 	head *nn.Sequential
+
+	// sessions pools read-only inference sessions (shared weights,
+	// private scratch); see Session.
+	sessions sync.Pool
 }
 
 // NewNetwork builds an untrained meta-network.
@@ -42,11 +47,66 @@ func (n *Network) Params() []*nn.Param {
 }
 
 // Predict returns the predicted normalized speed for the features.
+//
+// This is the training-path evaluation: it runs the full Forward
+// kernels (allocating caches and resetting them) and therefore must not
+// be called concurrently. Hot scoring goes through Session instead; the
+// two paths compute bit-identical outputs.
 func (n *Network) Predict(f Features) float64 {
 	h := n.lstm.ForwardSeq(f.Dynamic)
 	n.lstm.Reset()
 	out := n.head.Forward(tensor.Concat(h, f.Static, f.Partition))
 	n.head.Reset()
+	return out[0]
+}
+
+// InferSession is a cheap read-only scoring handle on a Network: it
+// shares the network's weights but owns a private nn.Scratch arena plus
+// pre-sized feature buffers, so Predict/PredictSpeed calls through it
+// allocate nothing in steady state and distinct sessions may score
+// concurrently. Weight mutation (Train/Adapt/CopyFrom/Load) must be
+// externally serialised against in-flight sessions — the controller
+// already alternates adaptation and search.
+type InferSession struct {
+	net     *Network
+	scratch nn.Scratch
+	// cat is the head input: [lstm hidden ‖ static ‖ partition]. The
+	// static and partition blocks double as the encode targets so the
+	// full PredictSpeed path needs no separate feature vectors.
+	cat tensor.Vec
+	dyn []tensor.Vec // SeqLen × DynStepDim window buffer
+}
+
+// Session returns a pooled inference session for this network. Release
+// it when done; steady state performs zero heap allocations.
+func (n *Network) Session() *InferSession {
+	if s, ok := n.sessions.Get().(*InferSession); ok {
+		return s
+	}
+	s := &InferSession{
+		net: n,
+		cat: tensor.NewVec(lstmHidden + StaticDim + PartitionDim),
+		dyn: make([]tensor.Vec, SeqLen),
+	}
+	for i := range s.dyn {
+		s.dyn[i] = tensor.NewVec(DynStepDim)
+	}
+	return s
+}
+
+// Release returns the session to its network's pool.
+func (s *InferSession) Release() { s.net.sessions.Put(s) }
+
+// Predict returns the predicted normalized speed for pre-built
+// features, bit-identical to Network.Predict but allocation-free and
+// read-only on the network.
+func (s *InferSession) Predict(f Features) float64 {
+	s.scratch.Reset()
+	h := s.net.lstm.InferSeq(f.Dynamic, &s.scratch)
+	copy(s.cat[:lstmHidden], h)
+	copy(s.cat[lstmHidden:lstmHidden+StaticDim], f.Static)
+	copy(s.cat[lstmHidden+StaticDim:], f.Partition)
+	out := s.net.head.Infer(s.cat, &s.scratch)
 	return out[0]
 }
 

@@ -2,6 +2,7 @@ package meta
 
 import (
 	"math"
+	"sync"
 
 	"autopipe/internal/netsim"
 	"autopipe/internal/partition"
@@ -18,9 +19,12 @@ type Predictor interface {
 // ConcurrencySafe is an optional Predictor extension: a predictor whose
 // PredictSpeed is safe to call from multiple goroutines at once reports
 // it here, unlocking parallel candidate scoring in the search layer.
-// Predictors with per-call mutable state (the LSTM-bearing meta-network
-// keeps recurrent activations between Forward and Reset) must not claim
-// it; they are scored serially.
+// Every built-in predictor qualifies: the analytic model scores through
+// pooled slice scratch and the meta-network through pooled read-only
+// inference sessions (shared frozen weights, private nn.Scratch), so
+// nothing per-call is shared. The contract covers scoring only — weight
+// mutation (Train/Adapt) must still be serialised against scoring, which
+// the controller's decide-then-adapt loop already does.
 type ConcurrencySafe interface {
 	ConcurrentSafe() bool
 }
@@ -55,7 +59,7 @@ type AnalyticPredictor struct {
 }
 
 // ConcurrentSafe implements ConcurrencySafe: the analytic model is a
-// pure function of its arguments.
+// pure function of its arguments (its scratch is pooled per call).
 func (AnalyticPredictor) ConcurrentSafe() bool { return true }
 
 // serverOf resolves a worker's server from the profile's observed
@@ -68,32 +72,131 @@ func serverOf(p *profile.Profile, w int) int {
 	return w / 2
 }
 
+// analyticScratch is the slice workspace of one AnalyticPredictor call:
+// flat accumulators indexed by worker/server in place of the six maps
+// the hot loop used to allocate per call, plus per-profile tables
+// (layer-cost prefix sums, parameter-byte prefix sums, resolved worker
+// placement, per-server NIC bandwidth) that are rebuilt only when the
+// scratch meets a new Profile. During a search every candidate shares
+// one profile, so steady-state scoring allocates nothing and per-stage
+// compute costs come from two prefix-sum lookups instead of a layer
+// rescan.
+type analyticScratch struct {
+	prof *profile.Profile // profile the tables below were built for
+
+	// Per-profile tables.
+	prefix      [][]float64 // prefix[w][l] = Σ_{j<l} FP[w][j]+BP[w][j]
+	paramPrefix []int64     // paramPrefix[l] = Σ_{j<l} ParamBytes[j]
+	server      []int       // resolved server of each worker
+	srvBw       []float64   // per-server NIC bandwidth (max over workers)
+
+	// Per-call accumulators, zeroed at the start of every prediction.
+	compute  []float64 // seconds/batch per worker
+	up, down []float64 // bits per server
+}
+
+var analyticPool = sync.Pool{New: func() any { return new(analyticScratch) }}
+
+// bind rebuilds the per-profile tables for p. This is the only
+// allocating step of the analytic path and runs once per new profile.
+func (sc *analyticScratch) bind(p *profile.Profile) {
+	sc.prof = p
+	if cap(sc.prefix) < p.N {
+		sc.prefix = make([][]float64, p.N)
+	}
+	sc.prefix = sc.prefix[:p.N]
+	for w := 0; w < p.N; w++ {
+		if cap(sc.prefix[w]) < p.L+1 {
+			sc.prefix[w] = make([]float64, p.L+1)
+		}
+		row := sc.prefix[w][:p.L+1]
+		row[0] = 0
+		for l := 0; l < p.L; l++ {
+			row[l+1] = row[l] + p.FP[w][l] + p.BP[w][l]
+		}
+		sc.prefix[w] = row
+	}
+	if cap(sc.paramPrefix) < p.L+1 {
+		sc.paramPrefix = make([]int64, p.L+1)
+	}
+	sc.paramPrefix = sc.paramPrefix[:p.L+1]
+	sc.paramPrefix[0] = 0
+	for l := 0; l < p.L; l++ {
+		sc.paramPrefix[l+1] = sc.paramPrefix[l] + p.ParamBytes[l]
+	}
+	if cap(sc.server) < p.N {
+		sc.server = make([]int, p.N)
+	}
+	sc.server = sc.server[:p.N]
+	nSrv := 0
+	for w := 0; w < p.N; w++ {
+		sc.server[w] = serverOf(p, w)
+		if sc.server[w]+1 > nSrv {
+			nSrv = sc.server[w] + 1
+		}
+	}
+	if cap(sc.srvBw) < nSrv {
+		sc.srvBw = make([]float64, nSrv)
+	}
+	sc.srvBw = sc.srvBw[:nSrv]
+	for i := range sc.srvBw {
+		sc.srvBw[i] = 0
+	}
+	// A server's bandwidth is the max of its workers' observed
+	// bandwidths (they share the NIC).
+	for w := 0; w < p.N; w++ {
+		if p.Bandwidth[w] > sc.srvBw[sc.server[w]] {
+			sc.srvBw[sc.server[w]] = p.Bandwidth[w]
+		}
+	}
+	if cap(sc.compute) < p.N {
+		sc.compute = make([]float64, p.N)
+	}
+	sc.compute = sc.compute[:p.N]
+	if cap(sc.up) < nSrv {
+		sc.up = make([]float64, nSrv)
+		sc.down = make([]float64, nSrv)
+	}
+	sc.up, sc.down = sc.up[:nSrv], sc.down[:nSrv]
+}
+
 // PredictSpeed implements Predictor.
 func (ap AnalyticPredictor) PredictSpeed(p *profile.Profile, plan partition.Plan, miniBatch int, _ *History) float64 {
 	if len(plan.Stages) == 0 {
 		return 0
 	}
+	sc := analyticPool.Get().(*analyticScratch)
+	if sc.prof != p {
+		sc.bind(p)
+	}
+	tp := ap.predict(sc, p, plan, miniBatch)
+	analyticPool.Put(sc)
+	return tp
+}
+
+// predict is the map-free hot loop, operating entirely on sc.
+func (ap AnalyticPredictor) predict(sc *analyticScratch, p *profile.Profile, plan partition.Plan, miniBatch int) float64 {
 	syncEvery := ap.SyncEvery
 	if syncEvery < 1 {
 		syncEvery = 1
 	}
 	// Per-batch resource demands.
-	computeTime := map[int]float64{} // per worker, seconds/batch
-	upBits := map[int]float64{}      // per server
-	downBits := map[int]float64{}
-	var serialTimes []float64 // per-stage serial costs (sync pipeline)
-	latency := 0.0            // one batch's end-to-end round trip
+	for i := range sc.compute {
+		sc.compute[i] = 0
+	}
+	for i := range sc.up {
+		sc.up[i], sc.down[i] = 0, 0
+	}
+	maxSerial := 0.0 // worst replicated-stage gradient-sync serial cost
+	latency := 0.0   // one batch's end-to-end round trip
 
 	for i, s := range plan.Stages {
 		m := float64(len(s.Workers))
 		// Compute per worker: each replica handles 1/m of the stream.
 		stageMean := 0.0
 		for _, w := range s.Workers {
-			t := 0.0
-			for l := s.Start; l < s.End; l++ {
-				t += p.FP[w][l] + p.BP[w][l]
-			}
-			computeTime[w] += t / m
+			t := sc.prefix[w][s.End] - sc.prefix[w][s.Start]
+			sc.compute[w] += t / m
 			stageMean += t
 		}
 		stageMean /= m
@@ -101,10 +204,7 @@ func (ap AnalyticPredictor) PredictSpeed(p *profile.Profile, plan partition.Plan
 
 		// Gradient sync for replicated stages.
 		if len(s.Workers) > 1 {
-			var bytes int64
-			for l := s.Start; l < s.End; l++ {
-				bytes += p.ParamBytes[l]
-			}
+			bytes := sc.paramPrefix[s.End] - sc.paramPrefix[s.Start]
 			V := float64(bytes*8) / float64(syncEvery)
 			minBw := math.Inf(1)
 			for _, w := range s.Workers {
@@ -117,25 +217,29 @@ func (ap AnalyticPredictor) PredictSpeed(p *profile.Profile, plan partition.Plan
 				per := 2 * (m - 1) / m * V
 				for k, w := range s.Workers {
 					next := s.Workers[(k+1)%len(s.Workers)]
-					if serverOf(p, w) != serverOf(p, next) {
-						upBits[serverOf(p, w)] += per
-						downBits[serverOf(p, next)] += per
+					if sc.server[w] != sc.server[next] {
+						sc.up[sc.server[w]] += per
+						sc.down[sc.server[next]] += per
 					}
 				}
-				serialTimes = append(serialTimes, 2*(m-1)/m*V/minBw)
+				if t := 2 * (m - 1) / m * V / minBw; t > maxSerial {
+					maxSerial = t
+				}
 			} else {
 				ps := s.Workers[0]
 				remote := 0.0
 				for _, w := range s.Workers[1:] {
-					if serverOf(p, w) != serverOf(p, ps) {
-						upBits[serverOf(p, w)] += V
-						downBits[serverOf(p, w)] += V
+					if sc.server[w] != sc.server[ps] {
+						sc.up[sc.server[w]] += V
+						sc.down[sc.server[w]] += V
 						remote++
 					}
 				}
-				upBits[serverOf(p, ps)] += remote * V
-				downBits[serverOf(p, ps)] += remote * V
-				serialTimes = append(serialTimes, 2*remote*V/minBw)
+				sc.up[sc.server[ps]] += remote * V
+				sc.down[sc.server[ps]] += remote * V
+				if t := 2 * remote * V / minBw; t > maxSerial {
+					maxSerial = t
+				}
 			}
 		}
 
@@ -151,7 +255,7 @@ func (ap AnalyticPredictor) PredictSpeed(p *profile.Profile, plan partition.Plan
 			for _, a := range s.Workers {
 				for _, b := range next.Workers {
 					pairs++
-					if serverOf(p, a) != serverOf(p, b) {
+					if sc.server[a] != sc.server[b] {
 						cross++
 					}
 					bw := math.Min(p.Bandwidth[a], p.Bandwidth[b])
@@ -162,46 +266,33 @@ func (ap AnalyticPredictor) PredictSpeed(p *profile.Profile, plan partition.Plan
 			}
 			frac := cross / pairs
 			for _, a := range s.Workers {
-				upBits[serverOf(p, a)] += bits * frac / float64(len(s.Workers))
-				downBits[serverOf(p, a)] += bits * frac / float64(len(s.Workers))
+				sc.up[sc.server[a]] += bits * frac / float64(len(s.Workers))
+				sc.down[sc.server[a]] += bits * frac / float64(len(s.Workers))
 			}
 			for _, b := range next.Workers {
-				downBits[serverOf(p, b)] += bits * frac / float64(len(next.Workers))
-				upBits[serverOf(p, b)] += bits * frac / float64(len(next.Workers))
+				sc.down[sc.server[b]] += bits * frac / float64(len(next.Workers))
+				sc.up[sc.server[b]] += bits * frac / float64(len(next.Workers))
 			}
 			latency += 2 * bits / minBw
 		}
 	}
 
 	// Bottleneck across all resources.
-	bottleneck := 0.0
-	for _, t := range computeTime {
+	bottleneck := maxSerial
+	for _, t := range sc.compute {
 		if t > bottleneck {
 			bottleneck = t
 		}
 	}
-	for _, t := range serialTimes {
-		if t > bottleneck {
-			bottleneck = t
-		}
-	}
-	// Link times: a server's bandwidth is the max of its workers'
-	// observed bandwidths (they share the NIC).
-	srvBw := map[int]float64{}
-	for w := 0; w < p.N; w++ {
-		if p.Bandwidth[w] > srvBw[serverOf(p, w)] {
-			srvBw[serverOf(p, w)] = p.Bandwidth[w]
-		}
-	}
-	for srv, bits := range upBits {
-		if bw := srvBw[srv]; bw > 0 {
+	for srv, bits := range sc.up {
+		if bw := sc.srvBw[srv]; bw > 0 {
 			if t := bits / bw; t > bottleneck {
 				bottleneck = t
 			}
 		}
 	}
-	for srv, bits := range downBits {
-		if bw := srvBw[srv]; bw > 0 {
+	for srv, bits := range sc.down {
+		if bw := sc.srvBw[srv]; bw > 0 {
 			if t := bits / bw; t > bottleneck {
 				bottleneck = t
 			}
@@ -228,13 +319,33 @@ type NetPredictor struct {
 	Net *Network
 }
 
-// PredictSpeed implements Predictor.
+// ConcurrentSafe implements ConcurrencySafe: every call scores through
+// a pooled read-only inference session (shared frozen weights, private
+// scratch), so concurrent callers never share mutable state.
+func (NetPredictor) ConcurrentSafe() bool { return true }
+
+// PredictSpeed implements Predictor. It is allocation-free in steady
+// state and bit-identical to evaluating Network.Predict on
+// BuildFeatures output.
 func (np NetPredictor) PredictSpeed(p *profile.Profile, plan partition.Plan, miniBatch int, h *History) float64 {
-	if h == nil {
-		h = &History{}
-	}
-	f := BuildFeatures(p, plan, miniBatch, h)
-	y := np.Net.Predict(f)
+	s := np.Net.Session()
+	y := s.PredictSpeed(p, plan, miniBatch, h)
+	s.Release()
+	return y
+}
+
+// PredictSpeed scores (profile, plan) through the session, encoding the
+// features straight into the session's buffers: the full inference path
+// with zero steady-state allocations. A nil History scores the all-zero
+// dynamic window.
+func (s *InferSession) PredictSpeed(p *profile.Profile, plan partition.Plan, miniBatch int, h *History) float64 {
+	EncodeStaticInto(s.cat[lstmHidden:lstmHidden+StaticDim], p, miniBatch)
+	EncodePartitionInto(s.cat[lstmHidden+StaticDim:], p, plan)
+	s.scratch.Reset()
+	hv := s.net.lstm.InferSeq(h.WindowInto(s.dyn), &s.scratch)
+	copy(s.cat[:lstmHidden], hv)
+	out := s.net.head.Infer(s.cat, &s.scratch)
+	y := out[0]
 	if y < 0 {
 		y = 0
 	}
@@ -253,6 +364,11 @@ type HybridPredictor struct {
 	// Scheme configures the analytic component.
 	Scheme netsim.SyncScheme
 }
+
+// ConcurrentSafe implements ConcurrencySafe: both components are — the
+// analytic model is pure and the net component scores through pooled
+// inference sessions — so hybrid scoring parallelises too.
+func (*HybridPredictor) ConcurrentSafe() bool { return true }
 
 // PredictSpeed implements Predictor.
 func (hp *HybridPredictor) PredictSpeed(p *profile.Profile, plan partition.Plan, miniBatch int, h *History) float64 {

@@ -1,0 +1,8 @@
+//go:build race
+
+package meta
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. sync.Pool's fast paths are disabled under race, so the pooled
+// predictor scoring paths report spurious allocations there.
+const raceEnabled = true

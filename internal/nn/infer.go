@@ -1,0 +1,105 @@
+// Allocation-free inference path.
+//
+// Training (Forward/Backward) keeps per-call mutable caches on every
+// layer, so a network being trained can never be scored from two
+// goroutines, and every Forward allocates its outputs. Inference is the
+// opposite regime: the AutoPipe controller scores O(L²) candidate
+// partitions per decision through frozen weights, and planner latency
+// bounds how often it can re-plan. The Infer/InferSeq kernels below are
+// that path: they read only the weights, write into a caller-provided
+// Scratch arena, use concrete activation loops instead of per-element
+// function-pointer calls, and never touch the training caches — so they
+// are safe to run concurrently (one Scratch per goroutine) and perform
+// zero steady-state heap allocations.
+//
+// The kernels compute bit-for-bit the same floats as Forward/ForwardSeq
+// (same operations in the same order); the equivalence suite in
+// infer_test.go pins that down.
+package nn
+
+import (
+	"math"
+
+	"autopipe/internal/tensor"
+)
+
+// Inferer is the read-only inference extension of Layer: Infer maps an
+// input to an output carved from the scratch arena without touching any
+// training cache. All layers in this package implement it.
+type Inferer interface {
+	Infer(x tensor.Vec, s *Scratch) tensor.Vec
+}
+
+// Infer computes W·x + b into scratch storage. Read-only on the layer.
+func (l *Linear) Infer(x tensor.Vec, s *Scratch) tensor.Vec {
+	out := s.Take(l.Out)
+	l.W.Value.MulVec(x, out)
+	out.Add(l.B.Value.Data)
+	return out
+}
+
+// Infer applies the activation element-wise into scratch storage using a
+// concrete loop per activation kind. Read-only on the layer.
+func (a *activation) Infer(x tensor.Vec, s *Scratch) tensor.Vec {
+	y := s.Take(len(x))
+	switch a.kind {
+	case actReLU:
+		for i, v := range x {
+			if v > 0 {
+				y[i] = v
+			} else {
+				y[i] = 0
+			}
+		}
+	case actTanh:
+		for i, v := range x {
+			y[i] = math.Tanh(v)
+		}
+	case actSigmoid:
+		for i, v := range x {
+			y[i] = Sigmoid(v)
+		}
+	}
+	return y
+}
+
+// Infer runs the chain front to back through each layer's inference
+// kernel. Panics if a layer does not implement Inferer (all layers in
+// this package do; a custom Layer must add Infer to be scored here).
+func (sq *Sequential) Infer(x tensor.Vec, s *Scratch) tensor.Vec {
+	for _, l := range sq.Layers {
+		inf, ok := l.(Inferer)
+		if !ok {
+			panic("nn: layer without an inference kernel in Sequential.Infer")
+		}
+		x = inf.Infer(x, s)
+	}
+	return x
+}
+
+// InferSeq runs the LSTM over xs from zero state and returns the final
+// hidden state, carved from the scratch arena. Unlike ForwardSeq it
+// keeps no BPTT cache, clones nothing, and reuses two pre-activation
+// buffers across timesteps. Read-only on the layer.
+func (l *LSTM) InferSeq(xs []tensor.Vec, s *Scratch) tensor.Vec {
+	H := l.Hidden
+	h := s.TakeZero(H)
+	c := s.TakeZero(H)
+	z := s.Take(4 * H)
+	zh := s.Take(4 * H)
+	for _, x := range xs {
+		l.Wx.Value.MulVec(x, z)
+		l.Wh.Value.MulVec(h, zh)
+		z.Add(zh)
+		z.Add(l.B.Value.Data)
+		for j := 0; j < H; j++ {
+			ig := Sigmoid(z[j])
+			fg := Sigmoid(z[H+j])
+			gg := math.Tanh(z[2*H+j])
+			og := Sigmoid(z[3*H+j])
+			c[j] = fg*c[j] + ig*gg
+			h[j] = og * math.Tanh(c[j])
+		}
+	}
+	return h
+}

@@ -1,0 +1,226 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"autopipe/internal/tensor"
+)
+
+// randVec returns a random vector with entries in [-2, 2).
+func randVec(rng *rand.Rand, n int) tensor.Vec {
+	v := tensor.NewVec(n)
+	for i := range v {
+		v[i] = rng.Float64()*4 - 2
+	}
+	return v
+}
+
+// randSeq builds a random dense net mixing all three activations.
+func randSeq(rng *rand.Rand, in int) (*Sequential, int) {
+	dims := []int{in, 1 + rng.Intn(24), 1 + rng.Intn(24), 1 + rng.Intn(8)}
+	var layers []Layer
+	acts := []func() Layer{NewReLU, NewTanh, NewSigmoid}
+	for i := 0; i+1 < len(dims); i++ {
+		layers = append(layers, NewLinear(dims[i], dims[i+1], rng))
+		layers = append(layers, acts[rng.Intn(len(acts))]())
+	}
+	return NewSequential(layers...), dims[len(dims)-1]
+}
+
+// TestInferMatchesForward pins the inference kernels to the training
+// path bit-for-bit on randomized dense networks.
+func TestInferMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var scratch Scratch
+	for trial := 0; trial < 50; trial++ {
+		in := 1 + rng.Intn(16)
+		net, _ := randSeq(rng, in)
+		x := randVec(rng, in)
+		want := net.Forward(x)
+		net.Reset()
+		scratch.Reset()
+		got := net.Infer(x, &scratch)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: length %d, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: out[%d] = %v, want %v (bitwise)", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestInferSeqMatchesForwardSeq pins LSTM inference to ForwardSeq
+// bit-for-bit over randomized multi-step sequences.
+func TestInferSeqMatchesForwardSeq(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var scratch Scratch
+	for trial := 0; trial < 50; trial++ {
+		in := 1 + rng.Intn(12)
+		hidden := 1 + rng.Intn(20)
+		l := NewLSTM(in, hidden, rng)
+		steps := 1 + rng.Intn(10)
+		xs := make([]tensor.Vec, steps)
+		for i := range xs {
+			xs[i] = randVec(rng, in)
+		}
+		want := l.ForwardSeq(xs)
+		l.Reset()
+		scratch.Reset()
+		got := l.InferSeq(xs, &scratch)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("trial %d (T=%d H=%d): h[%d] = %v, want %v (bitwise)",
+					trial, steps, hidden, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestInferThroughLSTMAndHead mirrors the meta-network shape: an LSTM
+// followed by a dense head over the concatenated hidden state.
+func TestInferThroughLSTMAndHead(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	l := NewLSTM(9, 16, rng)
+	head := NewSequential(NewLinear(16+5, 32, rng), NewReLU(), NewLinear(32, 1, rng))
+	xs := make([]tensor.Vec, 8)
+	for i := range xs {
+		xs[i] = randVec(rng, 9)
+	}
+	static := randVec(rng, 5)
+
+	h := l.ForwardSeq(xs)
+	l.Reset()
+	want := head.Forward(tensor.Concat(h, static))
+	head.Reset()
+
+	var scratch Scratch
+	scratch.Reset()
+	hi := l.InferSeq(xs, &scratch)
+	cat := scratch.Take(16 + 5)
+	copy(cat[:16], hi)
+	copy(cat[16:], static)
+	got := head.Infer(cat, &scratch)
+	if got[0] != want[0] {
+		t.Fatalf("got %v, want %v (bitwise)", got[0], want[0])
+	}
+}
+
+// TestInferZeroAllocs pins the inference kernels at zero steady-state
+// heap allocations once the scratch slabs have grown.
+func TestInferZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net, _ := randSeq(rng, 10)
+	l := NewLSTM(6, 12, rng)
+	x := randVec(rng, 10)
+	xs := make([]tensor.Vec, 8)
+	for i := range xs {
+		xs[i] = randVec(rng, 6)
+	}
+	var scratch Scratch
+	// Warm-up grows the slabs.
+	scratch.Reset()
+	net.Infer(x, &scratch)
+	l.InferSeq(xs, &scratch)
+
+	if n := testing.AllocsPerRun(200, func() {
+		scratch.Reset()
+		net.Infer(x, &scratch)
+	}); n != 0 {
+		t.Fatalf("Sequential.Infer allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		scratch.Reset()
+		l.InferSeq(xs, &scratch)
+	}); n != 0 {
+		t.Fatalf("LSTM.InferSeq allocates %v/op, want 0", n)
+	}
+}
+
+// TestScratchReuse checks slab reuse: after Reset, the same backing
+// arrays come back in the same order.
+func TestScratchReuse(t *testing.T) {
+	var s Scratch
+	a := s.Take(10)
+	b := s.Take(2000) // forces a second slab
+	s.Reset()
+	a2 := s.Take(10)
+	b2 := s.Take(2000)
+	if &a[0] != &a2[0] || &b[0] != &b2[0] {
+		t.Fatal("scratch did not reuse its slabs after Reset")
+	}
+	z := s.TakeZero(5)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("TakeZero[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+// TestActivationForwardCachesOutput guards the training-path fix: the
+// cached activation output is the returned vector itself (no defensive
+// clone), and backward still consumes it correctly.
+func TestActivationForwardCachesOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := NewSequential(NewLinear(4, 4, rng), NewTanh(), NewLinear(4, 1, rng))
+	x := randVec(rng, 4)
+	out := net.Forward(x)
+	dx := net.Backward(tensor.Vec{1})
+	if len(dx) != 4 || len(out) != 1 {
+		t.Fatalf("unexpected shapes: dx=%d out=%d", len(dx), len(out))
+	}
+}
+
+// ---- Benchmarks ----
+
+// BenchmarkInfer contrasts the two paths on the meta-network's head
+// shape; the Infer sub-benchmarks must report 0 allocs/op.
+func BenchmarkInfer(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewSequential(
+		NewLinear(64, 32, rng), NewReLU(),
+		NewLinear(32, 16, rng), NewReLU(),
+		NewLinear(16, 1, rng),
+	)
+	l := NewLSTM(33, 16, rng)
+	x := randVec(rng, 64)
+	xs := make([]tensor.Vec, 8)
+	for i := range xs {
+		xs[i] = randVec(rng, 33)
+	}
+
+	b.Run("Sequential/Forward", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			net.Forward(x)
+			net.Reset()
+		}
+	})
+	b.Run("Sequential/Infer", func(b *testing.B) {
+		var s Scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Reset()
+			net.Infer(x, &s)
+		}
+	})
+	b.Run("LSTM/ForwardSeq", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l.ForwardSeq(xs)
+			l.Reset()
+		}
+	})
+	b.Run("LSTM/InferSeq", func(b *testing.B) {
+		var s Scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Reset()
+			l.InferSeq(xs, &s)
+		}
+	})
+}

@@ -61,21 +61,34 @@ func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
 // Reset drops cached activations.
 func (l *Linear) Reset() { l.xs = nil }
 
+// actKind discriminates the built-in activations so the inference path
+// (see infer.go) can use concrete loops instead of per-element calls
+// through the fn/deriv function pointers.
+type actKind uint8
+
+const (
+	actReLU actKind = iota
+	actTanh
+	actSigmoid
+)
+
 // activation is a stateless element-wise activation with cached outputs.
 type activation struct {
 	name  string
+	kind  actKind
 	fn    func(float64) float64
 	deriv func(y float64) float64 // derivative expressed in the output y
 	ys    []tensor.Vec
 }
 
-// Forward applies the activation element-wise.
+// Forward applies the activation element-wise. The freshly allocated
+// output is cached directly (nothing downstream mutates it in place).
 func (a *activation) Forward(x tensor.Vec) tensor.Vec {
 	y := tensor.NewVec(len(x))
 	for i, v := range x {
 		y[i] = a.fn(v)
 	}
-	a.ys = append(a.ys, y.Clone())
+	a.ys = append(a.ys, y)
 	return y
 }
 
@@ -103,6 +116,7 @@ func (a *activation) Reset() { a.ys = nil }
 func NewReLU() Layer {
 	return &activation{
 		name: "ReLU",
+		kind: actReLU,
 		fn:   func(x float64) float64 { return math.Max(0, x) },
 		deriv: func(y float64) float64 {
 			if y > 0 {
@@ -117,6 +131,7 @@ func NewReLU() Layer {
 func NewTanh() Layer {
 	return &activation{
 		name:  "Tanh",
+		kind:  actTanh,
 		fn:    math.Tanh,
 		deriv: func(y float64) float64 { return 1 - y*y },
 	}
@@ -126,6 +141,7 @@ func NewTanh() Layer {
 func NewSigmoid() Layer {
 	return &activation{
 		name:  "Sigmoid",
+		kind:  actSigmoid,
 		fn:    Sigmoid,
 		deriv: func(y float64) float64 { return y * (1 - y) },
 	}

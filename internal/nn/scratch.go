@@ -1,0 +1,62 @@
+package nn
+
+import "autopipe/internal/tensor"
+
+// Scratch is a bump-pointer arena of float64 buffers backing the
+// allocation-free inference path (Infer / InferSeq). A caller owns one
+// Scratch per goroutine, calls Reset before each inference, and takes
+// vectors from it instead of allocating. Slabs grow on first use and are
+// reused verbatim afterwards, so steady-state inference performs zero
+// heap allocations.
+//
+// A Scratch is NOT safe for concurrent use; concurrency comes from
+// giving each goroutine its own (see meta.Network sessions).
+type Scratch struct {
+	slabs [][]float64
+	slab  int // slab currently being carved
+	off   int // next free element in that slab
+}
+
+// scratchMinSlab is the smallest slab allocated on growth.
+const scratchMinSlab = 256
+
+// Reset recycles the arena: previously taken vectors must no longer be
+// used (their storage will be handed out again).
+func (s *Scratch) Reset() {
+	s.slab, s.off = 0, 0
+}
+
+// Take returns an n-element vector carved from the arena. The contents
+// are unspecified — callers must fully overwrite it. Grows the arena
+// (allocating) only when the recorded slabs cannot satisfy the request.
+func (s *Scratch) Take(n int) tensor.Vec {
+	for s.slab < len(s.slabs) {
+		sl := s.slabs[s.slab]
+		if len(sl)-s.off >= n {
+			v := sl[s.off : s.off+n : s.off+n]
+			s.off += n
+			return tensor.Vec(v)
+		}
+		s.slab++
+		s.off = 0
+	}
+	size := scratchMinSlab
+	if n > size {
+		size = n
+	}
+	if k := len(s.slabs); k > 0 {
+		if d := 2 * len(s.slabs[k-1]); d > size {
+			size = d
+		}
+	}
+	s.slabs = append(s.slabs, make([]float64, size))
+	s.off = n
+	return tensor.Vec(s.slabs[s.slab][:n:n])
+}
+
+// TakeZero returns an n-element zeroed vector carved from the arena.
+func (s *Scratch) TakeZero(n int) tensor.Vec {
+	v := s.Take(n)
+	v.Zero()
+	return v
+}

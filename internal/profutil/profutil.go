@@ -1,0 +1,54 @@
+// Package profutil wires the standard -cpuprofile/-memprofile flags
+// into the CLIs so planner hot paths (candidate scoring, dataset
+// generation) can be profiled with `go tool pprof` without ad-hoc
+// instrumentation.
+package profutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (when non-empty) and returns
+// a stop function that finishes the CPU profile and, when memPath is
+// non-empty, writes a heap profile after a final GC. The stop function
+// must run before process exit for the profiles to be valid; it is safe
+// to call when both paths are empty (no-op).
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profutil: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profutil: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profutil: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profutil: %w", err)
+			}
+			runtime.GC() // materialise the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("profutil: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("profutil: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs the predictor / search / inference-kernel benchmarks with
+# -benchmem and records the results as one JSON document (default
+# BENCH_predictor.json) so the perf trajectory is tracked from PR 3
+# onward. The PredictSpeed benchmarks fan out with -cpu to show the
+# realised parallel scoring speedup; the OptimizePlan benchmarks carry
+# their own internal procs=1/4/8 sub-benchmarks.
+#
+# Usage: scripts/bench.sh [output.json]
+# Env:   BENCHTIME (default 100x), CPUS (default 1,4,8)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_predictor.json}
+benchtime=${BENCHTIME:-100x}
+cpus=${CPUS:-1,4,8}
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench '^BenchmarkPredictSpeed$' \
+  -benchmem -benchtime "$benchtime" -cpu "$cpus" . | tee "$tmp"
+go test -run '^$' -bench '^BenchmarkOptimizePlan(Hybrid)?$' \
+  -benchmem -benchtime "$benchtime" . | tee -a "$tmp"
+go test -run '^$' -bench '^BenchmarkInfer$' \
+  -benchmem -benchtime "$benchtime" ./internal/nn | tee -a "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { printf "{\n  \"generated\": \"%s\",\n  \"benchmarks\": [\n", date }
+/^Benchmark/ {
+  ns = ""; bop = ""; aop = ""
+  for (i = 3; i < NF; i++) {
+    if ($(i+1) == "ns/op")     ns  = $i
+    if ($(i+1) == "B/op")      bop = $i
+    if ($(i+1) == "allocs/op") aop = $i
+  }
+  line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", $1, $2)
+  if (ns  != "") line = line sprintf(", \"ns_per_op\": %s", ns)
+  if (bop != "") line = line sprintf(", \"bytes_per_op\": %s", bop)
+  if (aop != "") line = line sprintf(", \"allocs_per_op\": %s", aop)
+  line = line "}"
+  if (n++) printf ",\n"
+  printf "%s", line
+}
+END { print "\n  ]\n}" }
+' "$tmp" > "$out"
+echo "wrote $out"
