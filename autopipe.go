@@ -20,6 +20,7 @@ package autopipe
 
 import (
 	"autopipe/internal/autopipe"
+	"autopipe/internal/chaos"
 	"autopipe/internal/cluster"
 	"autopipe/internal/meta"
 	"autopipe/internal/model"
@@ -57,6 +58,19 @@ type (
 	ControllerStats = autopipe.Stats
 	// DecisionRecord is one recorded reconfiguration decision.
 	DecisionRecord = autopipe.DecisionRecord
+	// ChaosSpec is a deterministic fault-injection schedule.
+	ChaosSpec = chaos.Spec
+	// ChaosEvent is one scheduled fault.
+	ChaosEvent = chaos.Event
+)
+
+// Chaos fault kinds.
+const (
+	ChaosKillWorker       = chaos.KillWorker
+	ChaosKillWorkerOnFlow = chaos.KillWorkerOnFlow
+	ChaosStallFlows       = chaos.StallFlows
+	ChaosDropFlows        = chaos.DropFlows
+	ChaosFlapNIC          = chaos.FlapNIC
 )
 
 // Synchronisation schemes.

@@ -52,6 +52,9 @@ func main() {
 	)
 	var traces traceFlags
 	flag.Var(&traces, "trace", "dynamic event, repeatable: bw:<t>:<gbps> | job:<t> | jobend:<t>")
+	var chaosSpecs traceFlags
+	flag.Var(&chaosSpecs, "chaos", "fault event (system=autopipe only), repeatable: "+
+		"kill:<t>:<worker> | killonflow:<substr> | stall:<t>:<substr> | drop:<t>:<substr> | flap:<t>:<gbps>:<holdsec>")
 	flag.Parse()
 
 	if *jsonOut && *compare {
@@ -70,6 +73,11 @@ func main() {
 	fatalIf(err)
 	dyn, err := parseTraces(traces)
 	fatalIf(err)
+	chaosSpec, err := parseChaos(chaosSpecs)
+	fatalIf(err)
+	if chaosSpec != nil && (strings.ToLower(*system) != "autopipe" || *compare) {
+		fatalIf(fmt.Errorf("-chaos requires -system autopipe (without -compare)"))
+	}
 
 	if !*jsonOut {
 		fmt.Printf("AutoPipe simulator — %s on %d×P100 @%gGbps, scheme=%s, system=%s\n",
@@ -107,7 +115,7 @@ func main() {
 		t0 := time.Now()
 		res, err := autopipe.RunJob(context.Background(), autopipe.JobConfig{
 			Model: m, Cluster: cl, Workers: autopipe.Workers(*workers),
-			Scheme: sc, Dynamics: dyn, Procs: *procs,
+			Scheme: sc, Dynamics: dyn, Procs: *procs, Chaos: chaosSpec,
 		}, *batches)
 		elapsed := time.Since(t0)
 		fatalIf(err)
@@ -125,6 +133,10 @@ func main() {
 			st.Decisions, st.SwitchesApplied, st.DecisionSeconds*1e3, st.ResourceChanges)
 		fmt.Printf("search: %d candidates scored, %d cache hits, %.1fms search time, %.2fx parallel speedup\n",
 			st.CandidatesScored, st.SearchCacheHits, st.SearchSeconds*1e3, searchSpeedup(st))
+		if st.Evictions+st.AbortedSwitches+st.MigrationRetries+st.QueuedEvictions > 0 {
+			fmt.Printf("faults: %d evictions, %d aborted switches, %d migration retries, %d queued evictions\n",
+				st.Evictions, st.AbortedSwitches, st.MigrationRetries, st.QueuedEvictions)
+		}
 		fmt.Printf("wall clock: %.2fs real for %.2fs virtual\n", elapsed.Seconds(), res.WallTime)
 		fmt.Printf("final plan: %s\n", res.FinalPlan)
 		if *verbose {
@@ -257,6 +269,66 @@ func parseTraces(specs []string) (autopipe.Trace, error) {
 		}
 	}
 	return tr, nil
+}
+
+// parseChaos turns repeatable -chaos specs into a fault schedule; nil
+// when no specs were given.
+func parseChaos(specs []string) (*autopipe.ChaosSpec, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	var out autopipe.ChaosSpec
+	for _, s := range specs {
+		parts := strings.Split(s, ":")
+		switch parts[0] {
+		case "kill":
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("bad chaos %q, want kill:<t>:<worker>", s)
+			}
+			at, err1 := strconv.ParseFloat(parts[1], 64)
+			w, err2 := strconv.Atoi(parts[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("bad chaos %q", s)
+			}
+			out.Events = append(out.Events, autopipe.ChaosEvent{
+				At: at, Kind: autopipe.ChaosKillWorker, Worker: w})
+		case "killonflow":
+			if len(parts) != 2 || parts[1] == "" {
+				return nil, fmt.Errorf("bad chaos %q, want killonflow:<substr>", s)
+			}
+			out.Events = append(out.Events, autopipe.ChaosEvent{
+				Kind: autopipe.ChaosKillWorkerOnFlow, Match: parts[1]})
+		case "stall", "drop":
+			if len(parts) != 3 || parts[2] == "" {
+				return nil, fmt.Errorf("bad chaos %q, want %s:<t>:<substr>", s, parts[0])
+			}
+			at, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad chaos %q", s)
+			}
+			kind := autopipe.ChaosStallFlows
+			if parts[0] == "drop" {
+				kind = autopipe.ChaosDropFlows
+			}
+			out.Events = append(out.Events, autopipe.ChaosEvent{
+				At: at, Kind: kind, Match: parts[2]})
+		case "flap":
+			if len(parts) != 4 {
+				return nil, fmt.Errorf("bad chaos %q, want flap:<t>:<gbps>:<holdsec>", s)
+			}
+			at, err1 := strconv.ParseFloat(parts[1], 64)
+			g, err2 := strconv.ParseFloat(parts[2], 64)
+			hold, err3 := strconv.ParseFloat(parts[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("bad chaos %q", s)
+			}
+			out.Events = append(out.Events, autopipe.ChaosEvent{
+				At: at, Kind: autopipe.ChaosFlapNIC, Gbps: g, HoldSec: hold})
+		default:
+			return nil, fmt.Errorf("unknown chaos kind %q", parts[0])
+		}
+	}
+	return &out, nil
 }
 
 func fatalIf(err error) {

@@ -104,6 +104,12 @@ type Stats struct {
 	ResourceChanges int     `json:"resource_changes"` // detector firings
 	Evictions       int     `json:"evictions"`        // failed workers evicted from the plan
 	Adaptations     int     `json:"adaptations"`      // online meta-network fine-tuning rounds
+	// Fault-tolerance telemetry: switches aborted by the watchdog or
+	// abort-then-evict, migration-flow retransmissions, and evictions
+	// that had to abort an in-flight switch to proceed.
+	AbortedSwitches  int `json:"aborted_switches"`
+	MigrationRetries int `json:"migration_retries"`
+	QueuedEvictions  int `json:"queued_evictions"`
 	// SwitchSecondsPredicted sums the cost model's estimate over applied
 	// switches; SwitchSecondsRealized sums the virtual time each of those
 	// switches actually took from decision to commit. Their ratio is the
@@ -221,7 +227,23 @@ func New(eng *sim.Engine, net *netsim.Network, cfg Config) (*Controller, error) 
 		excluded:    map[int]bool{},
 	}
 	engine.OnBatchDone(c.onIteration)
+	engine.OnSwitchResult(c.onSwitchResult)
 	return c, nil
+}
+
+// onSwitchResult reacts to switch outcomes from the engine. An aborted
+// switch is logged; when the abort identified stalled migration
+// destinations (the watchdog exhausted retries against them), those
+// workers are evicted immediately rather than waiting for the failure
+// detector to notice their compute degradation.
+func (c *Controller) onSwitchResult(res pipeline.SwitchResult) {
+	if res.Committed {
+		return
+	}
+	c.logDecision(DecisionRecord{Kind: "abort"})
+	if len(res.StalledWorkers) > 0 && !c.cfg.DisableReconfig {
+		c.evict(res.StalledWorkers)
+	}
 }
 
 // Engine exposes the underlying pipeline engine (read-mostly).
@@ -230,8 +252,14 @@ func (c *Controller) Engine() *pipeline.AsyncEngine { return c.engine }
 // Plan returns the current work partition.
 func (c *Controller) Plan() partition.Plan { return c.plan.Clone() }
 
-// Stats returns the controller's activity counters.
-func (c *Controller) Stats() Stats { return c.stats }
+// Stats returns the controller's activity counters, merged with the
+// engine-owned fault-tolerance counters.
+func (c *Controller) Stats() Stats {
+	st := c.stats
+	st.AbortedSwitches = c.engine.AbortedSwitches
+	st.MigrationRetries = c.engine.MigrationRetries
+	return st
+}
 
 // Start begins training for the given number of mini-batches. ctx
 // scopes the run's long computations: a cancelled context makes any
@@ -273,13 +301,18 @@ func (c *Controller) onIteration(batch int, _ sim.Time) {
 	c.resolvePendingReward()
 	c.adaptMetaNet(prof, normTp)
 
-	if c.cfg.DisableReconfig || c.engine.Switching() {
+	if c.cfg.DisableReconfig {
 		return
 	}
 	if c.stats.Iterations%c.cfg.CheckEvery != 0 {
 		return
 	}
+	// Failure handling runs even mid-switch (abort-then-evict); the
+	// ordinary replanning path still waits for the switch to settle.
 	if c.handleFailures(prof) {
+		return
+	}
+	if c.engine.Switching() {
 		return
 	}
 	c.decide(prof)
@@ -377,7 +410,10 @@ func (c *Controller) decide(prof *profile.Profile) {
 	newPlan := best
 	predCost := cost
 	switchStart := c.eng.Now()
-	if err := c.engine.ApplyPlan(newPlan, pipeline.SwitchAuto, func() {
+	if err := c.engine.ApplyPlan(newPlan, pipeline.SwitchAuto, func(res pipeline.SwitchResult) {
+		if !res.Committed {
+			return // aborted: the incumbent plan stayed authoritative
+		}
 		c.plan = newPlan
 		c.stats.SwitchesApplied++
 		c.stats.SwitchSecondsPredicted += predCost

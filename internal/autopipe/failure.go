@@ -13,16 +13,21 @@ import (
 // shared-cluster fluctuation. A GPU that fails — or is throttled so hard
 // it cannot make progress — shows up in the profiler as a catastrophic
 // per-layer time blow-up. The controller evicts such workers: it
-// recomputes a partition over the surviving workers and applies it as a
-// full-restart switch (fine-grained switching cannot help when the
-// worker set itself changes).
+// recomputes a partition over the surviving workers and applies it as an
+// evicting switch (fine-grained switching cannot help when the worker
+// set itself changes, and draining through a dead worker never ends).
+// A failure detected while a switch is already in flight aborts that
+// switch first — abort-then-evict — instead of being dropped.
 
 // failureRatio is the slowdown relative to the median worker beyond
 // which a worker is treated as failed.
 const failureRatio = 8.0
 
 // detectFailures returns workers in the active plan whose total compute
-// time exceeds failureRatio × the median across plan workers.
+// time exceeds failureRatio × the median across plan workers. The median
+// is interpolated for even counts: the upper median would let a single
+// degraded worker in a half-degraded cluster inflate the threshold past
+// its own slowdown.
 func (c *Controller) detectFailures(prof *profile.Profile) []int {
 	workers := c.plan.AllWorkers()
 	if len(workers) < 2 {
@@ -36,7 +41,13 @@ func (c *Controller) detectFailures(prof *profile.Profile) []int {
 		byWorker[w] = t
 	}
 	sort.Float64s(times)
-	median := times[len(times)/2]
+	n := len(times)
+	var median float64
+	if n%2 == 1 {
+		median = times[n/2]
+	} else {
+		median = (times[n/2-1] + times[n/2]) / 2
+	}
 	if median <= 0 {
 		return nil
 	}
@@ -50,19 +61,44 @@ func (c *Controller) detectFailures(prof *profile.Profile) []int {
 	return failed
 }
 
-// handleFailures evicts failed workers by replanning onto the survivors
-// and applying a restart switch. Returns true if an eviction started.
+// handleFailures evicts failed workers by replanning onto the survivors.
+// A switch already in progress is aborted first (abort-then-evict):
+// migrating weight onto a failing worker is work the eviction would
+// immediately discard, and a restart drain through it never completes.
+// Returns true if failure handling consumed this control round.
 func (c *Controller) handleFailures(prof *profile.Profile) bool {
-	if c.engine.Switching() {
-		return false
-	}
 	failed := c.detectFailures(prof)
 	if len(failed) == 0 {
 		return false
 	}
+	if c.engine.Switching() {
+		if !c.engine.AbortSwitch() {
+			// Past the commit point: the switch lands within the commit
+			// overhead; the eviction re-fires next control round.
+			return true
+		}
+		c.stats.QueuedEvictions++
+	}
+	c.evict(failed)
+	return true
+}
+
+// evict replans onto the workers surviving after dropping the given
+// failed set and applies the new plan as an evicting switch. Returns
+// true when the switch was initiated.
+func (c *Controller) evict(failed []int) bool {
+	inPlan := map[int]bool{}
+	for _, w := range c.plan.AllWorkers() {
+		inPlan[w] = true
+	}
 	bad := map[int]bool{}
 	for _, w := range failed {
-		bad[w] = true
+		if inPlan[w] && !c.excluded[w] {
+			bad[w] = true
+		}
+	}
+	if len(bad) == 0 {
+		return false
 	}
 	var survivors []int
 	for _, w := range c.cfg.Workers {
@@ -79,18 +115,21 @@ func (c *Controller) handleFailures(prof *profile.Profile) bool {
 		return false
 	}
 	np := newPlan
-	if err := c.engine.ApplyPlan(np, pipeline.SwitchRestart, func() {
+	if err := c.engine.ApplyPlan(np, pipeline.SwitchEvict, func(res pipeline.SwitchResult) {
+		if !res.Committed {
+			return
+		}
 		c.plan = np
 		c.itersSinceSwitch = 0
 		c.stats.SwitchesApplied++
 	}); err != nil {
 		return false
 	}
-	for _, w := range failed {
+	for w := range bad {
 		c.excluded[w] = true
 	}
 	c.logDecision(DecisionRecord{Kind: "evict", Candidate: np})
-	c.stats.Evictions += len(failed)
+	c.stats.Evictions += len(bad)
 	c.stats.SwitchesChosen++
 	return true
 }

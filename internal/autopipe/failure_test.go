@@ -1,10 +1,15 @@
 package autopipe
 
 import (
+	"context"
 	"testing"
 
 	"autopipe/internal/cluster"
 	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/pipeline"
+	"autopipe/internal/sim"
 	"autopipe/internal/trace"
 )
 
@@ -89,5 +94,88 @@ func TestRecoveryAfterTwoFailures(t *testing.T) {
 		if w == 1 || w == 4 {
 			t.Fatalf("failed worker %d still in plan", w)
 		}
+	}
+}
+
+func TestMedianHalfDegraded(t *testing.T) {
+	// Exactly half the plan's workers are degraded: w2 mildly (5×), w3
+	// catastrophically (30×). With the interpolated median ((1+5)/2 = 3,
+	// threshold 24×) only w3 crosses; the old upper median (5, threshold
+	// 40×) would have hidden the dead worker behind the merely-slow one.
+	cl := cluster.Testbed(cluster.Gbps(25))
+	m := model.Uniform(8, 5e10, 100000)
+	base := partition.EvenSplit(m.NumLayers(), []int{0, 1, 2, 3})
+	_, c := runJob(t, Config{
+		Model: m, Cluster: cl,
+		Workers: []int{0, 1, 2, 3}, CheckEvery: 3, InitialPlan: &base,
+	}, trace.Trace{
+		{At: 0.5, Kind: trace.DegradeGPU, Server: 2, Value: 4},
+		{At: 0.5, Kind: trace.DegradeGPU, Server: 3, Value: 29},
+	}, 40)
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1 (only the 30x worker)", c.Stats().Evictions)
+	}
+	for _, w := range c.Plan().AllWorkers() {
+		if w == 3 {
+			t.Fatalf("dead worker 3 still in plan %s", c.Plan())
+		}
+	}
+}
+
+func TestAbortThenEvict(t *testing.T) {
+	// A worker dies while a restart switch is draining through it: the
+	// next control round must abort the switch first (QueuedEvictions),
+	// then evict, and the job completes on the survivors.
+	cl := cluster.Testbed(cluster.Gbps(25))
+	m := model.Uniform(8, 5e10, 100000)
+	base := partition.EvenSplit(m.NumLayers(), []int{0, 1, 2, 3})
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	c, err := New(eng, net, Config{
+		Model: m, Cluster: cl,
+		Workers: []int{0, 1, 2, 3}, CheckEvery: 3, InitialPlan: &base,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := base.Clone()
+	np.Stages[0].End++
+	np.Stages[1].Start++
+	hooked := false
+	c.engine.OnBatchDone(func(batch int, _ sim.Time) {
+		if hooked || batch < 4 {
+			return
+		}
+		hooked = true
+		if err := c.engine.ApplyPlan(np, pipeline.SwitchRestart, nil); err != nil {
+			t.Errorf("ApplyPlan: %v", err)
+			return
+		}
+		// The drain is now in flight; kill worker 2 under it.
+		cl.SetCompetingJobs(2, 20)
+		net.OnCapacityChange()
+	})
+	c.Start(context.Background(), 40)
+	eng.RunAll()
+	if got := c.engine.Completed(); got != 40 {
+		t.Fatalf("deadlock: completed %d/40", got)
+	}
+	st := c.Stats()
+	if st.QueuedEvictions != 1 {
+		t.Errorf("queued evictions = %d, want 1", st.QueuedEvictions)
+	}
+	if st.AbortedSwitches != 1 {
+		t.Errorf("aborted switches = %d, want 1", st.AbortedSwitches)
+	}
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	for _, w := range c.Plan().AllWorkers() {
+		if w == 2 {
+			t.Fatalf("failed worker 2 still in plan %s", c.Plan())
+		}
+	}
+	if err := c.engine.SwitchIdle(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,262 @@
+package chaos_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"autopipe/internal/autopipe"
+	"autopipe/internal/chaos"
+	"autopipe/internal/cluster"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/pipeline"
+	"autopipe/internal/sim"
+)
+
+// shiftedPlan returns a boundary-compatible variant of base with the
+// stage-1/stage-2 boundary moved one layer left, migrating a layer that
+// actually carries weights (for AlexNet split 4 ways that layer is
+// conv3; the stage-0/1 boundary layer is a weightless pool, whose
+// zero-byte "transfer" never reaches the network and so could not carry
+// a fault).
+func shiftedPlan(base partition.Plan) partition.Plan {
+	np := base.Clone()
+	np.Stages[1].End--
+	np.Stages[2].Start--
+	return np
+}
+
+// killMidSwitchRun is the acceptance scenario: worker killed exactly
+// when the first fine-grained migration flow is injected → retries
+// exhaust → watchdog abort + rollback → controller evicts the stalled
+// destination → restart switch onto survivors → job completes. Returns
+// everything the assertions (and the determinism test) need.
+func killMidSwitchRun(t *testing.T, batches int) (float64, autopipe.Stats, partition.Plan, []error) {
+	t.Helper()
+	m := model.AlexNet()
+	cl := cluster.Testbed(cluster.Gbps(25))
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	inj := chaos.Install(eng, cl, net, chaos.Spec{Events: []chaos.Event{
+		{At: 0, Kind: chaos.KillWorkerOnFlow, Match: "finemigrate/"},
+	}})
+	base := partition.EvenSplit(m.NumLayers(), []int{0, 1, 2, 3})
+	c, err := autopipe.New(eng, net, autopipe.Config{
+		Model: m, Cluster: cl, Workers: []int{0, 1, 2, 3},
+		CheckEvery:  1000, // keep the periodic optimiser quiet
+		InitialPlan: &base,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var invariantErrs []error
+	c.Engine().OnSwitchResult(func(pipeline.SwitchResult) {
+		if err := chaos.CheckInvariants(c.Engine(), m.NumLayers(), cl.NumGPUs()); err != nil {
+			invariantErrs = append(invariantErrs, err)
+		}
+	})
+	// Trigger a fine-grained switch mid-run; the armed kill fires on its
+	// first migration flow.
+	applied := false
+	c.Engine().OnBatchDone(func(batch int, _ sim.Time) {
+		if applied || batch < 10 {
+			return
+		}
+		applied = true
+		if err := c.Engine().ApplyPlan(shiftedPlan(base), pipeline.SwitchFineGrained, nil); err != nil {
+			t.Errorf("fine-grained switch: %v", err)
+		}
+	})
+	c.Start(context.Background(), batches)
+	eng.RunAll()
+	if got := c.Engine().Completed(); got != batches {
+		t.Fatalf("wedged: completed %d/%d (killed=%v)", got, batches, inj.Killed)
+	}
+	if len(inj.Killed) != 1 {
+		t.Fatalf("killed = %v, want exactly one worker", inj.Killed)
+	}
+	return float64(eng.Now()), c.Stats(), c.Plan(), invariantErrs
+}
+
+func TestKillMidFineGrainedSwitch(t *testing.T) {
+	wall, st, plan, invErrs := killMidSwitchRun(t, 60)
+	for _, err := range invErrs {
+		t.Error(err)
+	}
+	if st.AbortedSwitches != 1 {
+		t.Errorf("aborted switches = %d, want 1", st.AbortedSwitches)
+	}
+	if st.MigrationRetries == 0 {
+		t.Error("no migration retries before the abort")
+	}
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.QueuedEvictions != 0 {
+		t.Errorf("queued evictions = %d, want 0 (eviction came from the abort)", st.QueuedEvictions)
+	}
+	// The stalled destination (stage-2 worker 2) must be out of the plan.
+	for _, w := range plan.AllWorkers() {
+		if w == 2 {
+			t.Fatalf("killed worker 2 still in plan %s", plan)
+		}
+	}
+	if wall <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestChaosRunsAreDeterministic(t *testing.T) {
+	w1, s1, p1, _ := killMidSwitchRun(t, 40)
+	w2, s2, p2, _ := killMidSwitchRun(t, 40)
+	if w1 != w2 {
+		t.Fatalf("wall time diverged: %v vs %v", w1, w2)
+	}
+	if s1 != s2 {
+		t.Fatalf("stats diverged:\n%+v\n%+v", s1, s2)
+	}
+	if !p1.Equal(p2) {
+		t.Fatalf("final plan diverged: %s vs %s", p1, p2)
+	}
+}
+
+func TestSteadyStateKillEvictedByDetector(t *testing.T) {
+	// No switch in flight: the kill fail-slows the worker, the failure
+	// detector notices the compute blow-up and evicts via SwitchEvict
+	// (a drain through the dead worker would never finish).
+	m := model.AlexNet()
+	cl := cluster.Testbed(cluster.Gbps(25))
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	chaos.Install(eng, cl, net, chaos.Spec{Events: []chaos.Event{
+		{At: 1.0, Kind: chaos.KillWorker, Worker: 2},
+	}})
+	c, err := autopipe.New(eng, net, autopipe.Config{
+		Model: m, Cluster: cl, Workers: []int{0, 1, 2, 3}, CheckEvery: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start(context.Background(), 40)
+	eng.RunAll()
+	if got := c.Engine().Completed(); got != 40 {
+		t.Fatalf("wedged: completed %d/40", got)
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Stats().Evictions)
+	}
+	for _, w := range c.Plan().AllWorkers() {
+		if w == 2 {
+			t.Fatalf("killed worker still in plan %s", c.Plan())
+		}
+	}
+	if err := chaos.CheckInvariants(c.Engine(), m.NumLayers(), cl.NumGPUs()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlapNICCompletes(t *testing.T) {
+	m := model.AlexNet()
+	cl := cluster.Testbed(cluster.Gbps(25))
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	chaos.Install(eng, cl, net, chaos.Spec{Events: []chaos.Event{
+		{At: 0.5, Kind: chaos.FlapNIC, Gbps: 1, HoldSec: 1.0},
+		{At: 3.0, Kind: chaos.FlapNIC, Gbps: 0.5, HoldSec: 0.5},
+	}})
+	c, err := autopipe.New(eng, net, autopipe.Config{
+		Model: m, Cluster: cl, Workers: []int{0, 1, 2, 3}, CheckEvery: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start(context.Background(), 30)
+	eng.RunAll()
+	if got := c.Engine().Completed(); got != 30 {
+		t.Fatalf("wedged under NIC flaps: completed %d/30", got)
+	}
+	if cl.Servers[0].NICBwBps != cluster.Gbps(25) {
+		t.Fatalf("NIC bandwidth not restored: %v", cl.Servers[0].NICBwBps)
+	}
+	if err := chaos.CheckInvariants(c.Engine(), m.NumLayers(), cl.NumGPUs()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckInvariantsOnHealthyEngine(t *testing.T) {
+	m := model.AlexNet()
+	cl := cluster.Testbed(cluster.Gbps(25))
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	e, err := pipeline.NewAsync(eng, net, pipeline.Config{
+		Model: m, Cluster: cl,
+		Plan: partition.EvenSplit(m.NumLayers(), []int{0, 1, 2, 3}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start(10)
+	eng.RunAll()
+	if err := chaos.CheckInvariants(e, m.NumLayers(), cl.NumGPUs()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStallFlowsWedgesWithoutWatchdogSignal(t *testing.T) {
+	// A stalled migration flow must not wedge the run: per-flow retries
+	// re-send it (the stall only pins already-injected flows matching at
+	// injection time), and the watchdog bounds the whole switch.
+	m := model.AlexNet()
+	cl := cluster.Testbed(cluster.Gbps(25))
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	chaos.Install(eng, cl, net, chaos.Spec{Events: []chaos.Event{
+		{At: 0, Kind: chaos.StallFlows, Match: "finemigrate/"},
+	}})
+	base := partition.EvenSplit(m.NumLayers(), []int{0, 1, 2, 3})
+	c, err := autopipe.New(eng, net, autopipe.Config{
+		Model: m, Cluster: cl, Workers: []int{0, 1, 2, 3},
+		CheckEvery: 1000, InitialPlan: &base,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := false
+	c.Engine().OnBatchDone(func(batch int, _ sim.Time) {
+		if applied || batch < 5 {
+			return
+		}
+		applied = true
+		if err := c.Engine().ApplyPlan(shiftedPlan(base), pipeline.SwitchFineGrained, nil); err != nil {
+			t.Errorf("fine-grained switch: %v", err)
+		}
+	})
+	c.Start(context.Background(), 40)
+	eng.RunAll()
+	if got := c.Engine().Completed(); got != 40 {
+		t.Fatalf("wedged on stalled migration: completed %d/40", got)
+	}
+	if c.Stats().AbortedSwitches == 0 && c.Stats().SwitchesApplied == 0 {
+		t.Fatal("stalled switch neither aborted nor applied")
+	}
+	if err := chaos.CheckInvariants(c.Engine(), m.NumLayers(), cl.NumGPUs()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ExampleCheckInvariants() {
+	m := model.AlexNet()
+	cl := cluster.Testbed(cluster.Gbps(25))
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	e, _ := pipeline.NewAsync(eng, net, pipeline.Config{
+		Model: m, Cluster: cl,
+		Plan: partition.EvenSplit(m.NumLayers(), []int{0, 1, 2, 3}),
+	})
+	e.Start(4)
+	eng.RunAll()
+	fmt.Println(chaos.CheckInvariants(e, m.NumLayers(), cl.NumGPUs()))
+	// Output: <nil>
+}

@@ -14,6 +14,7 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"autopipe/internal/cluster"
 	"autopipe/internal/sim"
@@ -36,7 +37,13 @@ type Flow struct {
 	links     []linkID
 	done      func()
 	started   sim.Time
+	// stalled flows hold their state but receive no bandwidth and never
+	// finish (fault injection); CancelFlow removes them like any other.
+	stalled bool
 }
+
+// Stalled reports whether the flow has been fault-stalled.
+func (f *Flow) Stalled() bool { return f.stalled }
 
 // Remaining returns the flow's remaining bits (for tests/inspection).
 func (f *Flow) Remaining() float64 { return f.remaining }
@@ -93,6 +100,73 @@ type Network struct {
 	// model, the default). Chatty protocols — e.g. ring all-reduce's
 	// 2(N−1) barriered steps — pay it on every step.
 	PerHopLatencySec float64
+
+	// fault, when set, is consulted once per injected flow (see
+	// SetFaultInjector).
+	fault func(src, dst int, name string) FlowFault
+}
+
+// FlowFault is a fault injector's verdict on a starting flow.
+type FlowFault uint8
+
+// Flow fault verdicts.
+const (
+	// FaultNone lets the flow proceed normally.
+	FaultNone FlowFault = iota
+	// FaultStall registers the flow but pins its rate to zero: it holds
+	// its links' bookkeeping slot and never finishes unless cancelled —
+	// the lost-transport failure mode a switch watchdog must detect.
+	FaultStall
+	// FaultDrop silently discards the flow: it is never registered and
+	// its completion callback never fires — a transfer into a dead host.
+	FaultDrop
+)
+
+// SetFaultInjector installs fn, consulted once per flow at injection
+// time (nil disables). Local (same-worker or zero-byte) transfers bypass
+// the fair-share allocator entirely and therefore also bypass fault
+// injection.
+func (n *Network) SetFaultInjector(fn func(src, dst int, name string) FlowFault) {
+	n.fault = fn
+}
+
+// StallMatching fault-stalls every in-flight flow whose name contains
+// substr and returns how many it hit. Stalled flows keep their remaining
+// volume but receive no bandwidth until cancelled.
+func (n *Network) StallMatching(substr string) int {
+	n.advance()
+	hit := 0
+	for _, f := range n.flows {
+		if !f.stalled && strings.Contains(f.Name, substr) {
+			f.stalled = true
+			hit++
+		}
+	}
+	n.reschedule()
+	return hit
+}
+
+// EstimateSeconds returns the contention-free transfer time of bytes
+// from src to dst at current link capacities — the deadline basis for
+// migration watchdogs, not a throughput prediction. A fully throttled
+// route falls back to 1 Gbps so deadlines stay finite.
+func (n *Network) EstimateSeconds(src, dst int, bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	if src == dst {
+		return float64(bytes*8) / (n.cl.IntraServerBwBps * 4)
+	}
+	min := math.Inf(1)
+	for _, l := range n.route(src, dst) {
+		if c := n.capacity(l); c < min {
+			min = c
+		}
+	}
+	if min <= 0 || math.IsInf(min, 1) {
+		min = 1e9
+	}
+	return float64(bytes*8) / min
 }
 
 // New creates a network bound to an engine and a cluster.
@@ -184,6 +258,13 @@ func (n *Network) StartWeightedFlow(src, dst int, bytes int64, weight float64, n
 
 // injectFlow registers the flow with the fair-share allocator.
 func (n *Network) injectFlow(src, dst int, bytes int64, weight float64, name string, done func()) *Flow {
+	var fault FlowFault
+	if n.fault != nil {
+		fault = n.fault(src, dst, name)
+	}
+	if fault == FaultDrop {
+		return nil
+	}
 	n.advance()
 	f := &Flow{
 		ID:        n.nextID,
@@ -196,6 +277,7 @@ func (n *Network) injectFlow(src, dst int, bytes int64, weight float64, name str
 		links:     n.route(src, dst),
 		done:      done,
 		started:   n.eng.Now(),
+		stalled:   fault == FaultStall,
 	}
 	n.nextID++
 	n.flows[f.ID] = f
@@ -258,6 +340,9 @@ func (n *Network) reschedule() {
 	now := float64(n.eng.Now())
 	var finished []*Flow
 	for _, f := range n.flows {
+		if f.stalled {
+			continue
+		}
 		thresh := 1.0
 		if ulp := f.rate * now * 1e-15; ulp > thresh {
 			thresh = ulp
@@ -326,6 +411,9 @@ func (n *Network) computeRates() {
 	links := make(map[linkID]*linkState)
 	for _, f := range n.flows {
 		f.rate = 0
+		if f.stalled {
+			continue
+		}
 		for _, l := range f.links {
 			if _, ok := links[l]; !ok {
 				links[l] = &linkState{cap: n.capacity(l)}
@@ -335,6 +423,9 @@ func (n *Network) computeRates() {
 	}
 	unfrozen := make(map[uint64]*Flow, len(n.flows))
 	for id, f := range n.flows {
+		if f.stalled {
+			continue
+		}
 		unfrozen[id] = f
 	}
 	for len(unfrozen) > 0 {

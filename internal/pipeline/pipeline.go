@@ -106,6 +106,10 @@ type replica struct {
 	busy    bool
 	blocked bool // migration in progress (fine-grained switching)
 	queue   []task
+	// pending is the in-flight compute completion event, tracked so an
+	// evicting switch can cancel work that would otherwise complete on a
+	// discarded replica.
+	pending *sim.Event
 
 	// Weight stashing (PipeDream §4.4 / AutoPipe §4.4): version is the
 	// committed weight version; stash maps an in-flight batch to the
@@ -155,10 +159,31 @@ type AsyncEngine struct {
 	draining    bool
 	pendingPlan *partition.Plan
 	switchMode  SwitchMode
-	switchDone  func()
+	switchDone  func(SwitchResult)
+	switchStart sim.Time
+	// switchEpoch invalidates callbacks scheduled by an aborted switch;
+	// planEpoch invalidates data-path callbacks that captured replica
+	// pointers discarded by a stage rebuild.
+	switchEpoch    uint64
+	planEpoch      uint64
+	watchdog       *sim.Event
+	watchdogQuiet  float64 // stall quiet-period (seconds) for this switch
+	switchEvents   []*sim.Event
+	migFlowsLive   []*netsim.Flow
+	migPendingDst  map[int]int // unlanded migration transfers per destination
+	committing     bool        // fine-grained switch past its point of no return
+	migrating      bool        // restart/evict switch already started its migration phase
+	onSwitchResult []func(SwitchResult)
+
+	// SwitchSafetyFactor scales the predicted switch duration into the
+	// watchdog deadline; ≤0 selects switchSafetyDefault.
+	SwitchSafetyFactor float64
+
 	// Stats
-	SwitchCount   int
-	MigratedBytes int64
+	SwitchCount      int
+	MigratedBytes    int64
+	AbortedSwitches  int
+	MigrationRetries int
 }
 
 // NewAsync builds an asynchronous engine over an existing simulation
@@ -174,6 +199,7 @@ func NewAsync(eng *sim.Engine, net *netsim.Network, cfg Config) (*AsyncEngine, e
 }
 
 func (e *AsyncEngine) buildStages(p partition.Plan) {
+	e.planEpoch++
 	e.stages = nil
 	e.byWorker = map[int]*replica{}
 	for i, s := range p.Stages {
@@ -276,7 +302,12 @@ func (e *AsyncEngine) tryStart(r *replica) {
 	}
 	dur /= e.cfg.Framework.Efficiency
 	r.busyTime += dur
-	e.eng.After(sim.Time(dur), taskName(t, r), func() {
+	epoch := e.planEpoch
+	r.pending = e.eng.After(sim.Time(dur), taskName(t, r), func() {
+		if e.planEpoch != epoch {
+			return // replica was discarded by an evicting switch
+		}
+		r.pending = nil
 		r.busy = false
 		e.onTaskDone(r, t)
 		e.tryStart(r)
@@ -309,7 +340,11 @@ func (e *AsyncEngine) onTaskDone(r *replica, t task) {
 		next := e.stages[st.idx+1]
 		dst := next.replicaFor(t.batch)
 		bytes := e.cfg.Model.Layers[st.end-1].OutputBytes(e.cfg.Model.MiniBatch)
+		epoch := e.planEpoch
 		e.net.StartWeightedFlow(r.worker, dst.worker, bytes, e.cfg.boundaryWeight(), fmt.Sprintf("act(b%d)%d→%d", t.batch, st.idx, next.idx), func() {
+			if e.planEpoch != epoch {
+				return // stale delivery to a discarded replica
+			}
 			dst.queue = append(dst.queue, task{kind: taskFP, batch: t.batch})
 			e.tryStart(dst)
 		})
@@ -350,7 +385,11 @@ func (e *AsyncEngine) onTaskDone(r *replica, t task) {
 	prev := e.stages[st.idx-1]
 	dst := prev.replicaFor(t.batch)
 	bytes := e.cfg.Model.Layers[st.start].GradientBytes(e.cfg.Model.MiniBatch)
+	epoch := e.planEpoch
 	e.net.StartWeightedFlow(r.worker, dst.worker, bytes, e.cfg.boundaryWeight(), fmt.Sprintf("grad(b%d)%d→%d", t.batch, st.idx, prev.idx), func() {
+		if e.planEpoch != epoch {
+			return // stale delivery to a discarded replica
+		}
 		dst.queue = append(dst.queue, task{kind: taskBP, batch: t.batch})
 		e.tryStart(dst)
 	})
@@ -370,7 +409,11 @@ func (e *AsyncEngine) maybeStartSync(st *stageRT) {
 	for i, r := range st.replicas {
 		workers[i] = r.worker
 	}
+	epoch := e.planEpoch
 	e.net.Sync(e.cfg.Scheme, workers, bytes, fmt.Sprintf("gradsync(stage%d)", st.idx), func() {
+		if e.planEpoch != epoch {
+			return // stage was discarded by an evicting switch
+		}
 		st.syncBusy = false
 		for _, r := range st.replicas {
 			e.tryStart(r)
@@ -379,15 +422,43 @@ func (e *AsyncEngine) maybeStartSync(st *stageRT) {
 	})
 }
 
+// discardInFlight abandons every in-flight mini-batch (SwitchEvict):
+// pending compute completions are cancelled, queues and stashes cleared,
+// and the discarded batch indices returned to the injector. Bumping
+// planEpoch kills the callbacks of flows already in the network, so a
+// transfer that lands after the discard cannot resurrect stale work.
+func (e *AsyncEngine) discardInFlight() {
+	e.planEpoch++
+	for _, r := range e.byWorker {
+		if r.pending != nil {
+			e.eng.Cancel(r.pending)
+			r.pending = nil
+		}
+		r.busy = false
+		r.queue = nil
+		r.stash = map[int]int{}
+	}
+	for _, st := range e.stages {
+		st.syncBusy = false
+		st.syncQueue = 0
+		st.bpSinceSync = 0
+	}
+	e.nextBatch -= e.inFlight
+	e.inFlight = 0
+}
+
 func (e *AsyncEngine) finishBatch(batch int) {
 	e.inFlight--
 	e.completions = append(e.completions, e.eng.Now())
 	for _, fn := range e.onBatchDone {
 		fn(batch, e.eng.Now())
 	}
-	if e.draining && e.inFlight == 0 {
-		e.completeRestartSwitch()
-		return
+	if e.draining {
+		e.noteSwitchProgress()
+		if e.inFlight == 0 && !e.migrating {
+			e.completeRestartSwitch()
+			return
+		}
 	}
 	e.inject()
 }

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"strings"
 	"testing"
 
 	"autopipe/internal/cluster"
@@ -164,7 +165,7 @@ func TestIncompatibleFineGrainedRejected(t *testing.T) {
 	// Auto mode must fall back to restart and complete.
 	e.Start(12)
 	done := false
-	if err := e.ApplyPlan(merged, SwitchAuto, func() { done = true }); err != nil {
+	if err := e.ApplyPlan(merged, SwitchAuto, func(res SwitchResult) { done = res.Committed }); err != nil {
 		t.Fatal(err)
 	}
 	eng.RunAll()
@@ -259,7 +260,7 @@ func TestApplyPlanBeforeStartDoesNotInject(t *testing.T) {
 	}
 	np := boundaryShiftPlan()
 	done := false
-	if err := e.ApplyPlan(np, SwitchRestart, func() { done = true }); err != nil {
+	if err := e.ApplyPlan(np, SwitchRestart, func(res SwitchResult) { done = res.Committed }); err != nil {
 		t.Fatal(err)
 	}
 	eng.RunAll()
@@ -279,3 +280,254 @@ func TestApplyPlanBeforeStartDoesNotInject(t *testing.T) {
 		t.Fatalf("plan = %s, want switched", e.Plan())
 	}
 }
+
+// faultEngine builds an engine whose network drops migration flows per
+// the given verdict function (called with each matching injection's
+// ordinal, starting at 0).
+func faultEngine(t *testing.T, dropNth func(n int) bool) (*sim.Engine, *AsyncEngine) {
+	t.Helper()
+	cl := cluster.Testbed(cluster.Gbps(25))
+	m := model.Uniform(8, 5e10, 100000)
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	seen := 0
+	net.SetFaultInjector(func(src, dst int, name string) netsim.FlowFault {
+		if !strings.Contains(name, "migrate/") {
+			return netsim.FaultNone
+		}
+		n := seen
+		seen++
+		if dropNth(n) {
+			return netsim.FaultDrop
+		}
+		return netsim.FaultNone
+	})
+	e, err := NewAsync(eng, net, Config{
+		Model: m, Cluster: cl,
+		Plan:   partition.EvenSplit(m.NumLayers(), workerIDs(4)),
+		Scheme: netsim.RingAllReduce,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, e
+}
+
+func TestMigrationVolumeMatchesFlows(t *testing.T) {
+	cl := cluster.Testbed(cluster.Gbps(25))
+	m := model.Uniform(8, 1e9, 100)
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	e, err := NewAsync(eng, net, Config{
+		Model: m, Cluster: cl,
+		Plan: partition.EvenSplit(m.NumLayers(), workerIDs(4)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(old, np partition.Plan) int64 {
+		var s int64
+		for _, f := range e.migrationFlows(old, np) {
+			s += f.bytes
+		}
+		return s
+	}
+	old := partition.EvenSplit(8, workerIDs(4))
+	np := boundaryShiftPlan()
+	if got, want := MigrationVolume(m, old, np), sum(old, np); got != want {
+		t.Fatalf("MigrationVolume %d != flow bytes %d", got, want)
+	}
+	// A layer with no old owner (partial old plan) is charged by neither.
+	partial := partition.Plan{
+		Stages: []partition.Stage{
+			{Start: 0, End: 3, Workers: []int{0}},
+			{Start: 3, End: 6, Workers: []int{1}},
+		},
+		InFlight: 2,
+	}
+	full := partition.EvenSplit(8, workerIDs(4))
+	if got, want := MigrationVolume(m, partial, full), sum(partial, full); got != want {
+		t.Fatalf("partial-coverage MigrationVolume %d != flow bytes %d", got, want)
+	}
+}
+
+func TestStalledFineGrainedAbortsAndRollsBack(t *testing.T) {
+	// Every migration attempt is blackholed: retries exhaust, the switch
+	// aborts blaming the destination, the incumbent plan stays
+	// authoritative and training completes.
+	eng, e := faultEngine(t, func(int) bool { return true })
+	old := e.Plan()
+	var results []SwitchResult
+	e.OnSwitchResult(func(res SwitchResult) { results = append(results, res) })
+	e.Start(40)
+	switched := false
+	e.OnBatchDone(func(batch int, _ sim.Time) {
+		if switched || batch < 10 {
+			return
+		}
+		switched = true
+		if err := e.ApplyPlan(boundaryShiftPlan(), SwitchFineGrained, nil); err != nil {
+			t.Errorf("ApplyPlan: %v", err)
+		}
+	})
+	eng.RunAll()
+	if e.Completed() != 40 {
+		t.Fatalf("wedged: completed %d/40", e.Completed())
+	}
+	if len(results) != 1 || results[0].Committed {
+		t.Fatalf("switch results = %+v, want one abort", results)
+	}
+	// boundaryShiftPlan moves layer 2 from worker 1 to worker 0: the
+	// stalled destination is worker 0.
+	if len(results[0].StalledWorkers) != 1 || results[0].StalledWorkers[0] != 0 {
+		t.Fatalf("stalled workers = %v, want [0]", results[0].StalledWorkers)
+	}
+	if e.AbortedSwitches != 1 {
+		t.Fatalf("AbortedSwitches = %d, want 1", e.AbortedSwitches)
+	}
+	if e.MigrationRetries == 0 {
+		t.Fatal("retries never attempted before the abort")
+	}
+	if !e.Plan().Equal(old) {
+		t.Fatalf("plan = %s, want rollback to %s", e.Plan(), old)
+	}
+	if err := e.SwitchIdle(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrationRetrySucceeds(t *testing.T) {
+	// Only the first attempt is lost; the retry lands and the switch
+	// commits.
+	eng, e := faultEngine(t, func(n int) bool { return n == 0 })
+	var results []SwitchResult
+	e.OnSwitchResult(func(res SwitchResult) { results = append(results, res) })
+	e.Start(40)
+	switched := false
+	e.OnBatchDone(func(batch int, _ sim.Time) {
+		if switched || batch < 10 {
+			return
+		}
+		switched = true
+		if err := e.ApplyPlan(boundaryShiftPlan(), SwitchFineGrained, nil); err != nil {
+			t.Errorf("ApplyPlan: %v", err)
+		}
+	})
+	eng.RunAll()
+	if e.Completed() != 40 {
+		t.Fatalf("wedged: completed %d/40", e.Completed())
+	}
+	if len(results) != 1 || !results[0].Committed {
+		t.Fatalf("switch results = %+v, want one commit", results)
+	}
+	if e.MigrationRetries != 1 {
+		t.Fatalf("MigrationRetries = %d, want 1", e.MigrationRetries)
+	}
+	if !e.Plan().Equal(boundaryShiftPlan()) {
+		t.Fatalf("plan = %s, want switched", e.Plan())
+	}
+	if err := e.SwitchIdle(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailureBetweenFineGrainedCommits(t *testing.T) {
+	// A two-layer fine-grained switch: the first layer's transfer lands
+	// (and its boundary commits), then the destination dies — every later
+	// attempt is lost. The abort must roll the whole switch back to a
+	// consistent single-owner plan and release the pipeline.
+	eng, e := faultEngine(t, func(n int) bool { return n > 0 })
+	np := partition.Plan{
+		Stages: []partition.Stage{
+			{Start: 0, End: 3, Workers: []int{0}},
+			{Start: 3, End: 5, Workers: []int{1}},
+			{Start: 5, End: 6, Workers: []int{2}},
+			{Start: 6, End: 8, Workers: []int{3}},
+		},
+		InFlight: 4,
+	}
+	var results []SwitchResult
+	e.OnSwitchResult(func(res SwitchResult) { results = append(results, res) })
+	e.Start(40)
+	switched := false
+	e.OnBatchDone(func(batch int, _ sim.Time) {
+		if switched || batch < 10 {
+			return
+		}
+		switched = true
+		if err := e.ApplyPlan(np, SwitchFineGrained, nil); err != nil {
+			t.Errorf("ApplyPlan: %v", err)
+		}
+	})
+	eng.RunAll()
+	if e.Completed() != 40 {
+		t.Fatalf("wedged: completed %d/40", e.Completed())
+	}
+	if len(results) != 1 || results[0].Committed {
+		t.Fatalf("switch results = %+v, want one abort", results)
+	}
+	if err := e.Plan().Validate(8, 10); err != nil {
+		t.Fatalf("post-abort plan invalid: %v", err)
+	}
+	if !e.Plan().Equal(e.CommittedPlan()) {
+		t.Fatalf("running plan %s diverges from committed %s", e.Plan(), e.CommittedPlan())
+	}
+	if err := e.SwitchIdle(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestartDrainDestinationFailure(t *testing.T) {
+	// A restart switch's parallel migration loses every transfer to one
+	// destination: the abort blames exactly that worker and training
+	// resumes on the incumbent plan.
+	eng, e := faultEngine(t, func(int) bool { return true })
+	old := e.Plan()
+	var results []SwitchResult
+	e.OnSwitchResult(func(res SwitchResult) { results = append(results, res) })
+	e.Start(40)
+	switched := false
+	e.OnBatchDone(func(batch int, _ sim.Time) {
+		if switched || batch < 10 {
+			return
+		}
+		switched = true
+		if err := e.ApplyPlan(boundaryShiftPlan(), SwitchRestart, nil); err != nil {
+			t.Errorf("ApplyPlan: %v", err)
+		}
+	})
+	eng.RunAll()
+	if e.Completed() != 40 {
+		t.Fatalf("wedged: completed %d/40", e.Completed())
+	}
+	if len(results) != 1 || results[0].Committed {
+		t.Fatalf("switch results = %+v, want one abort", results)
+	}
+	if len(results[0].StalledWorkers) != 1 || results[0].StalledWorkers[0] != 0 {
+		t.Fatalf("stalled workers = %v, want [0]", results[0].StalledWorkers)
+	}
+	if !e.Plan().Equal(old) {
+		t.Fatalf("plan = %s, want rollback to %s", e.Plan(), old)
+	}
+	if err := e.SwitchIdle(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwitchEvictDiscardsInFlight(t *testing.T) {
+	// SwitchEvict must not drain: it discards in-flight batches, rebuilds
+	// on the new plan immediately, and the discarded batches are re-run
+	// (total completions still add up).
+	_, e := runWithSwitch(t, planPtr(boundaryShiftPlan()), SwitchEvict, 30)
+	if !e.Plan().Equal(boundaryShiftPlan()) {
+		t.Fatalf("plan = %s, want evict-switched", e.Plan())
+	}
+	if e.SwitchCount != 1 {
+		t.Fatalf("SwitchCount = %d, want 1", e.SwitchCount)
+	}
+	if err := e.SwitchIdle(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func planPtr(p partition.Plan) *partition.Plan { return &p }

@@ -65,6 +65,17 @@ type Stats struct {
 	PeakRunning int
 }
 
+// tenant is a submitted job's scheduler-internal state. It carries its
+// own identity (seq): caller-supplied Job.IDs are not guaranteed unique,
+// and keying queue/running state on them lets one tenant's departure
+// release another's GPUs.
+type tenant struct {
+	job      Job
+	seq      uint64
+	queuedAt float64
+	gpus     []int
+}
+
 // Scheduler runs tenant jobs against a cluster on a simulation.
 type Scheduler struct {
 	eng    *sim.Engine
@@ -76,9 +87,9 @@ type Scheduler struct {
 	occupancy []int
 	// serverJobs[server] counts tenant jobs touching the server.
 	serverShare []float64
-	queue       []*Job
-	queuedAt    map[int]float64
-	running     map[int][]int // job id → occupied GPUs
+	queue       []*tenant
+	running     map[uint64]*tenant // seq → placed tenant
+	nextSeq     uint64
 	stats       Stats
 }
 
@@ -88,8 +99,7 @@ func New(eng *sim.Engine, cl *cluster.Cluster, net *netsim.Network, policy Polic
 		eng: eng, cl: cl, net: net, policy: policy,
 		occupancy:   make([]int, cl.NumGPUs()),
 		serverShare: make([]float64, len(cl.Servers)),
-		queuedAt:    map[int]float64{},
-		running:     map[int][]int{},
+		running:     map[uint64]*tenant{},
 	}
 }
 
@@ -111,7 +121,7 @@ func (s *Scheduler) Submit(j Job) {
 	}
 	job := j
 	s.eng.Schedule(sim.Time(j.Arrival), fmt.Sprintf("sched/arrive(job%d)", j.ID), func() {
-		s.enqueue(&job)
+		s.enqueue(job)
 	})
 }
 
@@ -122,9 +132,10 @@ func (s *Scheduler) SubmitAll(jobs []Job) {
 	}
 }
 
-func (s *Scheduler) enqueue(j *Job) {
-	s.queue = append(s.queue, j)
-	s.queuedAt[j.ID] = float64(s.eng.Now())
+func (s *Scheduler) enqueue(j Job) {
+	t := &tenant{job: j, seq: s.nextSeq, queuedAt: float64(s.eng.Now())}
+	s.nextSeq++
+	s.queue = append(s.queue, t)
 	s.drain()
 }
 
@@ -133,15 +144,14 @@ func (s *Scheduler) enqueue(j *Job) {
 // (honest head-of-line blocking, as in Philly).
 func (s *Scheduler) drain() {
 	for len(s.queue) > 0 {
-		j := s.queue[0]
-		gpus, ok := s.place(j)
+		t := s.queue[0]
+		gpus, ok := s.place(&t.job)
 		if !ok {
 			return
 		}
 		s.queue = s.queue[1:]
-		s.stats.QueueDelay += float64(s.eng.Now()) - s.queuedAt[j.ID]
-		delete(s.queuedAt, j.ID)
-		s.start(j, gpus)
+		s.stats.QueueDelay += float64(s.eng.Now()) - t.queuedAt
+		s.start(t, gpus)
 	}
 }
 
@@ -230,26 +240,26 @@ func (s *Scheduler) place(j *Job) ([]int, bool) {
 }
 
 // start commits a placement and schedules departure.
-func (s *Scheduler) start(j *Job, gpus []int) {
+func (s *Scheduler) start(t *tenant, gpus []int) {
 	s.stats.Placed++
-	s.running[j.ID] = gpus
+	t.gpus = gpus
+	s.running[t.seq] = t
 	if len(s.running) > s.stats.PeakRunning {
 		s.stats.PeakRunning = len(s.running)
 	}
-	s.apply(j, gpus, +1)
-	s.eng.After(sim.Time(j.Duration), fmt.Sprintf("sched/finish(job%d)", j.ID), func() {
-		s.finish(j)
+	s.apply(&t.job, gpus, +1)
+	s.eng.After(sim.Time(t.job.Duration), fmt.Sprintf("sched/finish(job%d)", t.job.ID), func() {
+		s.finish(t)
 	})
 }
 
-func (s *Scheduler) finish(j *Job) {
-	gpus, ok := s.running[j.ID]
-	if !ok {
+func (s *Scheduler) finish(t *tenant) {
+	if _, ok := s.running[t.seq]; !ok {
 		return
 	}
-	delete(s.running, j.ID)
+	delete(s.running, t.seq)
 	s.stats.Completed++
-	s.apply(j, gpus, -1)
+	s.apply(&t.job, t.gpus, -1)
 	s.drain()
 }
 

@@ -65,7 +65,7 @@ func TestPackUsesFewServers(t *testing.T) {
 	eng, cl, s := newSched(Pack)
 	s.Submit(Job{ID: 0, Gang: 2, Arrival: 0, Duration: 10, NetShare: 0.2})
 	eng.Run(1)
-	gpus := s.running[0]
+	gpus := s.running[0].gpus
 	if len(gpus) != 2 {
 		t.Fatalf("gang size %d", len(gpus))
 	}
@@ -79,7 +79,7 @@ func TestSpreadUsesManyServers(t *testing.T) {
 	eng, cl, s := newSched(Spread)
 	s.Submit(Job{ID: 0, Gang: 5, Arrival: 0, Duration: 10})
 	eng.Run(1)
-	gpus := s.running[0]
+	gpus := s.running[0].gpus
 	servers := map[int]bool{}
 	for _, g := range gpus {
 		servers[cl.GPU(g).Server] = true
@@ -162,5 +162,41 @@ func TestQuickSchedulerConservation(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestDuplicateJobIDsDoNotCollide(t *testing.T) {
+	// Two overlapping tenants with the same caller-supplied ID: each must
+	// get its own queue-delay accounting, and the first departure must
+	// release only its own GPUs.
+	eng, cl, s := newSched(Pack)
+	s.Submit(Job{ID: 7, Gang: 2, Arrival: 0, Duration: 5, NetShare: 0.2})
+	s.Submit(Job{ID: 7, Gang: 2, Arrival: 1, Duration: 20, NetShare: 0.2})
+	eng.Run(2)
+	if s.Running() != 2 {
+		t.Fatalf("running = %d, want 2 (duplicate IDs collided)", s.Running())
+	}
+	eng.Run(10) // first tenant departs at t=5, second still holds its gang
+	if s.Running() != 1 {
+		t.Fatalf("running = %d after first departure, want 1", s.Running())
+	}
+	busy := 0
+	for g := 0; g < cl.NumGPUs(); g++ {
+		busy += s.occupancy[g]
+	}
+	if busy != 2 {
+		t.Fatalf("occupied GPU slots = %d after first departure, want 2", busy)
+	}
+	eng.RunAll()
+	if s.Running() != 0 {
+		t.Fatalf("running = %d at end, want 0", s.Running())
+	}
+	for g := 0; g < cl.NumGPUs(); g++ {
+		if s.occupancy[g] != 0 {
+			t.Fatalf("gpu %d still occupied after all departures", g)
+		}
+	}
+	if st := s.Stats(); st.Placed != 2 || st.Completed != 2 {
+		t.Fatalf("placed=%d completed=%d, want 2/2", st.Placed, st.Completed)
 	}
 }

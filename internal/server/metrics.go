@@ -71,6 +71,14 @@ func WriteMetrics(w io.Writer, r *Registry) {
 		help: "Candidate scores served by the fingerprint memo cache per job."}
 	searchSecs := &family{name: "autopiped_job_search_seconds_total", typ: "counter",
 		help: "Real seconds spent scoring candidates per job."}
+	evictions := &family{name: "autopiped_job_evictions_total", typ: "counter",
+		help: "Workers evicted after failure detection per job."}
+	aborted := &family{name: "autopiped_job_switches_aborted_total", typ: "counter",
+		help: "Reconfigurations rolled back by the switch watchdog per job."}
+	migRetries := &family{name: "autopiped_job_migration_retries_total", typ: "counter",
+		help: "Weight-migration transfers re-sent after a per-flow deadline per job."}
+	queuedEv := &family{name: "autopiped_job_evictions_queued_total", typ: "counter",
+		help: "Evictions that first had to abort an in-progress switch per job."}
 
 	pool.add("", float64(r.PoolSize()))
 	queued := 0
@@ -90,6 +98,10 @@ func WriteMetrics(w io.Writer, r *Registry) {
 		candidates.add(info.ID, float64(st.Controller.CandidatesScored))
 		cacheHits.add(info.ID, float64(st.Controller.SearchCacheHits))
 		searchSecs.add(info.ID, st.Controller.SearchSeconds)
+		evictions.add(info.ID, float64(st.Controller.Evictions))
+		aborted.add(info.ID, float64(st.Controller.AbortedSwitches))
+		migRetries.add(info.ID, float64(st.Controller.MigrationRetries))
+		queuedEv.add(info.ID, float64(st.Controller.QueuedEvictions))
 	}
 	depth.add("", float64(queued))
 	allStates := []autopipe.JobState{autopipe.JobQueued, autopipe.JobRunning,
@@ -101,7 +113,8 @@ func WriteMetrics(w io.Writer, r *Registry) {
 	}
 
 	fams := []*family{depth, pool, states, iter, tp, switches, predCost, realCost,
-		decisions, candidates, cacheHits, searchSecs}
+		decisions, candidates, cacheHits, searchSecs,
+		evictions, aborted, migRetries, queuedEv}
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 	for _, f := range fams {
 		f.write(w)

@@ -47,6 +47,10 @@ func TestMetricsFormat(t *testing.T) {
 		"autopiped_worker_pool_size 3",
 		`autopiped_jobs{state="done"} 1`,
 		`autopiped_jobs{state="running"} 0`,
+		"autopiped_job_evictions_total{",
+		"autopiped_job_switches_aborted_total{",
+		"autopiped_job_migration_retries_total{",
+		"autopiped_job_evictions_queued_total{",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics missing %q:\n%s", want, out)

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	ap "autopipe/internal/autopipe"
+	"autopipe/internal/chaos"
 	"autopipe/internal/meta"
 	"autopipe/internal/netsim"
 	"autopipe/internal/partition"
@@ -151,6 +152,9 @@ type JobConfig struct {
 	SyncEvery int
 	// Dynamics, if non-nil, mutates the cluster during the run.
 	Dynamics Trace
+	// Chaos, if non-nil, schedules deterministic fault injection
+	// (worker kills, migration-flow faults, NIC flaps) on the run.
+	Chaos *ChaosSpec
 	// CheckEvery is the reconfiguration decision period in iterations
 	// (default 5).
 	CheckEvery int
@@ -273,6 +277,9 @@ func NewJob(cfg JobConfig, batches int) (*Job, error) {
 	}
 	eng := sim.NewEngine()
 	net := netsim.New(eng, cfg.Cluster)
+	if cfg.Chaos != nil {
+		chaos.Install(eng, cfg.Cluster, net, *cfg.Chaos)
+	}
 	pred := cfg.Predictor
 	if pred == nil {
 		pred = meta.AnalyticPredictor{Scheme: cfg.Scheme}
