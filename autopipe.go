@@ -71,6 +71,7 @@ const (
 	ChaosStallFlows       = chaos.StallFlows
 	ChaosDropFlows        = chaos.DropFlows
 	ChaosFlapNIC          = chaos.FlapNIC
+	ChaosKillDaemon       = chaos.KillDaemon
 )
 
 // Synchronisation schemes.

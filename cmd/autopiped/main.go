@@ -2,11 +2,17 @@
 // concurrent simulated AutoPipe-managed training jobs on a bounded
 // worker pool and serves a JSON REST API plus Prometheus metrics.
 //
-//	autopiped -addr :8080 -pool 4
+//	autopiped -addr :8080 -pool 4 -journal-dir /var/lib/autopiped
 //
 //	curl -X POST localhost:8080/v1/jobs -d '{"model":"ResNet50","batches":50}'
 //	curl localhost:8080/v1/jobs/job-0001
 //	curl localhost:8080/metrics
+//
+// With -journal-dir set the daemon is crash-safe: every job's spec,
+// state transitions, periodic controller checkpoints and final result
+// are fsync'd to an append-only journal, and on startup the registry
+// replays it — re-queueing jobs that were queued and resuming jobs that
+// were running from their last checkpoint.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, and
 // running jobs get -drain-timeout to finish before being cancelled.
@@ -22,18 +28,37 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
+	"autopipe/internal/journal"
 	"autopipe/internal/server"
 )
+
+// daemonConfig is everything run needs beyond the listener; one struct
+// so tests can drive the daemon loop without a flag set.
+type daemonConfig struct {
+	pool            int
+	drainTimeout    time.Duration
+	journalDir      string        // "" = ephemeral, no crash safety
+	checkpointEvery int           // controller checkpoint cadence (iterations)
+	maxQueue        int           // admission-queue bound
+	jobTimeout      time.Duration // per-job run deadline (0 = none)
+	watchdogQuiet   time.Duration // stuck-job threshold (clamped to [5s, 10m])
+}
 
 func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		pool         = flag.Int("pool", runtime.GOMAXPROCS(0), "max concurrently simulating jobs")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for running jobs on shutdown")
+		journalDir   = flag.String("journal-dir", "", "directory for the crash-safe job journal (empty = ephemeral)")
+		checkpoint   = flag.Int("checkpoint-every", server.DefaultCheckpointEvery, "controller checkpoint cadence in iterations (0 disables)")
+		maxQueue     = flag.Int("max-queue", 256, "max jobs waiting for a pool slot before submissions are shed with 429")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none)")
+		quiet        = flag.Duration("watchdog-quiet", server.DefaultWatchdogQuiet, "cancel running jobs making no progress for this long (clamped to [5s, 10m], 0 disables)")
 	)
 	flag.Parse()
 
@@ -46,37 +71,117 @@ func main() {
 		os.Exit(1)
 	}
 	logger := log.New(os.Stderr, "autopiped: ", log.LstdFlags)
-	if err := run(ctx, lis, *pool, *drainTimeout, logger); err != nil {
+	cfg := daemonConfig{
+		pool: *pool, drainTimeout: *drainTimeout,
+		journalDir: *journalDir, checkpointEvery: *checkpoint,
+		maxQueue: *maxQueue, jobTimeout: *jobTimeout, watchdogQuiet: *quiet,
+	}
+	if err := run(ctx, lis, cfg, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "autopiped:", err)
 		os.Exit(1)
 	}
+}
+
+// clampQuiet bounds the watchdog threshold to sane operational values;
+// 0 and below disable the watchdog entirely.
+func clampQuiet(d time.Duration) time.Duration {
+	switch {
+	case d <= 0:
+		return -1
+	case d < 5*time.Second:
+		return 5 * time.Second
+	case d > 10*time.Minute:
+		return 10 * time.Minute
+	}
+	return d
+}
+
+// openJournal opens (or creates) the journal directory, refusing an
+// unwritable location with a clear error rather than serving a control
+// plane whose durability silently doesn't work.
+func openJournal(dir string) (*journal.Journal, []journal.Record, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal dir %s is not writable: %w", dir, err)
+	}
+	probe := filepath.Join(dir, ".probe")
+	if err := os.WriteFile(probe, []byte("autopiped"), 0o644); err != nil {
+		return nil, nil, fmt.Errorf("journal dir %s is not writable: %w", dir, err)
+	}
+	os.Remove(probe)
+	jl, recs, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening journal in %s: %w", dir, err)
+	}
+	return jl, recs, nil
 }
 
 // run serves the control plane on lis until ctx is cancelled (the
 // signal handler in main), then drains: HTTP shutdown first so no new
 // jobs arrive, registry drain second. Factored out of main so the
 // daemon lifecycle is testable.
-func run(ctx context.Context, lis net.Listener, pool int, drainTimeout time.Duration, logger *log.Logger) error {
-	reg := server.NewRegistry(pool)
-	srv := &http.Server{Handler: server.New(reg).Handler()}
+func run(ctx context.Context, lis net.Listener, cfg daemonConfig, logger *log.Logger) error {
+	opts := server.Options{
+		PoolSize:        cfg.pool,
+		MaxQueue:        cfg.maxQueue,
+		CheckpointEvery: cfg.checkpointEvery,
+		JobTimeout:      cfg.jobTimeout,
+		WatchdogQuiet:   clampQuiet(cfg.watchdogQuiet),
+		// A chaos kill_daemon event is a real crash: the process dies by
+		// SIGKILL so nothing — not even deferred cleanup — runs, exactly
+		// what the recovery path must withstand.
+		DaemonKill: func() {
+			syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		},
+	}
+	var recs []journal.Record
+	if cfg.journalDir != "" {
+		jl, replayed, err := openJournal(cfg.journalDir)
+		if err != nil {
+			return err
+		}
+		defer jl.Close()
+		opts.Journal = jl
+		recs = replayed
+		st := jl.Stats()
+		if st.TruncatedBytes > 0 || st.DroppedSegments > 0 {
+			logger.Printf("journal repaired: %d corrupt tail bytes truncated, %d segments dropped",
+				st.TruncatedBytes, st.DroppedSegments)
+		}
+	}
+	reg := server.NewRegistryWithOptions(opts)
+	if opts.Journal != nil {
+		stats, err := reg.Recover(recs)
+		if err != nil {
+			return fmt.Errorf("journal recovery: %w", err)
+		}
+		if n := stats.Requeued + stats.Resumed + stats.Restarted + stats.Completed; n > 0 || stats.Skipped > 0 {
+			logger.Printf("recovered %d jobs from journal: %d requeued, %d resumed from checkpoint, %d restarted, %d completed (%d records skipped)",
+				n, stats.Requeued, stats.Resumed, stats.Restarted, stats.Completed, stats.Skipped)
+		}
+	}
+	srv := &http.Server{
+		Handler:           server.New(reg).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(lis) }()
-	logger.Printf("serving on %s (pool %d)", lis.Addr(), pool)
+	logger.Printf("serving on %s (pool %d, queue %d, journal %q)",
+		lis.Addr(), cfg.pool, cfg.maxQueue, cfg.journalDir)
 
 	select {
 	case err := <-serveErr:
 		return err
 	case <-ctx.Done():
 	}
-	logger.Printf("shutting down: draining jobs (timeout %s)", drainTimeout)
+	logger.Printf("shutting down: draining jobs (timeout %s)", cfg.drainTimeout)
 
 	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancelHTTP()
 	if err := srv.Shutdown(httpCtx); err != nil {
 		logger.Printf("http shutdown: %v", err)
 	}
-	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainTimeout)
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancelDrain()
 	if err := reg.Shutdown(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
 		logger.Printf("drain timeout hit, jobs cancelled: %v", err)

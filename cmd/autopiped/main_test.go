@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -9,12 +10,232 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
 )
+
+// helperEnv flips the test binary into daemon mode: TestMain runs the
+// real daemon loop instead of the test suite, so the kill-and-restart
+// test can SIGKILL a genuine separate process.
+const helperEnv = "AUTOPIPED_TEST_HELPER"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(helperEnv) == "1" {
+		helperMain()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// helperMain is the subprocess body: listen on an ephemeral port,
+// announce it on stdout, serve with a journal until SIGTERM (or until a
+// chaos kill_daemon event SIGKILLs the process).
+func helperMain() {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ADDR %s\n", lis.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	cfg := daemonConfig{
+		pool: 1, drainTimeout: 5 * time.Second,
+		journalDir:      os.Getenv("AUTOPIPED_TEST_JOURNAL"),
+		checkpointEvery: 25, maxQueue: 64,
+		watchdogQuiet: 2 * time.Minute,
+	}
+	if err := run(ctx, lis, cfg, log.New(os.Stderr, "helper: ", 0)); err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+}
+
+// startDaemon launches this test binary as a real autopiped process and
+// returns the exec handle plus the base URL it serves on.
+func startDaemon(t *testing.T, journalDir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), helperEnv+"=1", "AUTOPIPED_TEST_JOURNAL="+journalDir)
+	cmd.Stderr = io.Discard
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("daemon subprocess printed no address: %v", sc.Err())
+	}
+	addr, ok := strings.CutPrefix(sc.Text(), "ADDR ")
+	if !ok {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("unexpected daemon banner %q", sc.Text())
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+	return cmd, "http://" + addr
+}
+
+func postJob(t *testing.T, base, body string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var created struct {
+		ID string `json:"id"`
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST = %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &created); err != nil || created.ID == "" {
+		t.Fatalf("bad create response: %v %s", err, raw)
+	}
+	return created.ID
+}
+
+type jobView struct {
+	Status struct {
+		State     string `json:"state"`
+		Iteration int    `json:"iteration"`
+	} `json:"status"`
+	Result *struct {
+		Batches int `json:"batches"`
+	} `json:"result"`
+}
+
+func getJob(t *testing.T, base, id string) (jobView, error) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return jobView{}, err
+	}
+	defer resp.Body.Close()
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return jobView{}, err
+	}
+	return v, nil
+}
+
+func waitJobState(t *testing.T, base, id, want string) jobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		v, err := getJob(t, base, id)
+		if err == nil && v.Status.State == want {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached %s (last: %+v, err %v)", id, want, v, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestKillAndRestartRecovery is the PR's acceptance scenario against
+// the real daemon binary: a chaos kill_daemon event SIGKILLs the
+// process while one job is running (with checkpoints journaled) and a
+// second sits queued. A restarted daemon on the same journal dir must
+// resume the running job from its checkpoint, re-queue the queued one,
+// and complete both — no job lost.
+func TestKillAndRestartRecovery(t *testing.T) {
+	journalDir := filepath.Join(t.TempDir(), "journal")
+	cmd, base := startDaemon(t, journalDir)
+
+	// ~0.087 virtual s/iteration: the crash lands around iteration 1000,
+	// far past the first checkpoint (cadence 25) and well after the
+	// queued job's submission below.
+	crashID := postJob(t, base, `{"model":"AlexNet","batches":4000,"check_every":3,
+		"chaos":[{"kind":"kill_daemon","at":90}]}`)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		v, err := getJob(t, base, crashID)
+		if err == nil && v.Status.State == "running" && v.Status.Iteration > 100 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("crash job never got going (last %+v, err %v)", v, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	queuedID := postJob(t, base, `{"model":"uniform","uniform":{"layers":8},"batches":10}`)
+
+	// The daemon SIGKILLs itself at the chaos event.
+	err := cmd.Wait()
+	if err == nil {
+		t.Fatal("daemon exited cleanly, want SIGKILL")
+	}
+	ws, ok := cmd.ProcessState.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("daemon died with %v, want SIGKILL", err)
+	}
+
+	// Restart on the same journal. Both jobs must complete.
+	cmd2, base2 := startDaemon(t, journalDir)
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	}()
+	resumed := waitJobState(t, base2, crashID, "done")
+	if resumed.Result == nil || resumed.Result.Batches != 4000 {
+		t.Fatalf("resumed job result = %+v, want the full 4000-batch budget", resumed.Result)
+	}
+	waitJobState(t, base2, queuedID, "done")
+
+	resp, err := http.Get(base2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`autopiped_recovered_jobs_total{kind="resumed"} 1`,
+		`autopiped_recovered_jobs_total{kind="requeued"} 1`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestRefusesUnwritableJournalDir: a journal location that cannot be
+// created must fail startup with a clear error, not serve a control
+// plane whose durability silently doesn't work.
+func TestRefusesUnwritableJournalDir(t *testing.T) {
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	cfg := daemonConfig{
+		pool: 1, drainTimeout: time.Second,
+		// A path through a regular file is unwritable for any uid —
+		// chmod-based checks are useless when tests run as root.
+		journalDir: filepath.Join(blocker, "journal"),
+	}
+	err = run(context.Background(), lis, cfg, log.New(io.Discard, "", 0))
+	if err == nil || !strings.Contains(err.Error(), "journal dir") {
+		t.Fatalf("run with unwritable journal dir = %v, want a clear journal error", err)
+	}
+}
 
 // TestDaemonLifecycle exercises the real daemon loop end to end: serve
 // on a TCP listener, accept a job over HTTP, watch it finish, scrape
@@ -30,7 +251,11 @@ func TestDaemonLifecycle(t *testing.T) {
 	base := "http://" + lis.Addr().String()
 	runErr := make(chan error, 1)
 	go func() {
-		runErr <- run(ctx, lis, 2, 5*time.Second, log.New(io.Discard, "", 0))
+		cfg := daemonConfig{
+			pool: 2, drainTimeout: 5 * time.Second,
+			journalDir: filepath.Join(t.TempDir(), "journal"),
+		}
+		runErr <- run(ctx, lis, cfg, log.New(io.Discard, "", 0))
 	}()
 
 	waitHealthy(t, base)
@@ -87,6 +312,9 @@ func TestDaemonLifecycle(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(string(metrics), fmt.Sprintf("autopiped_job_iterations_total{job=%q} 10", created.ID)) {
 		t.Fatalf("metrics missing job sample:\n%s", metrics)
+	}
+	if !strings.Contains(string(metrics), "autopiped_journal_appends_total") {
+		t.Fatal("metrics missing journal telemetry")
 	}
 
 	// The real signal: SIGTERM to our own process, caught by the same

@@ -1,0 +1,128 @@
+package autopipe
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"autopipe/internal/partition"
+)
+
+// Checkpoint is a compact resumable snapshot of a controller: the
+// incumbent partition, the accumulated stats, the evicted-worker set and
+// the RNG position. It deliberately excludes the simulation engine's
+// transient state (in-flight batches, an uncommitted switch): restoring
+// rebuilds a fresh engine on the checkpointed plan and replays the
+// remaining batch budget, which is exactly PipeDream-style weight
+// stashing one layer up — the stash is the plan plus the controller's
+// decision state, not the activations.
+//
+// Restored runs are deterministic: two controllers restored from the
+// same checkpoint (same config) make bit-identical decisions. Learned
+// predictor state (meta-network weights adapted online, History window)
+// is not captured; with the default analytic predictor the restored
+// decision stream is exact.
+type Checkpoint struct {
+	// Iterations is the number of mini-batches completed at the
+	// snapshot; a resume runs the remaining budget.
+	Iterations int `json:"iterations"`
+	// Plan is the incumbent partition (never a mid-switch target:
+	// checkpoints are not taken while a switch is in flight).
+	Plan partition.Plan `json:"plan"`
+	// Stats is the controller's counters at the snapshot.
+	Stats Stats `json:"stats"`
+	// ItersSinceSwitch feeds the arbiter's switch-hysteresis feature.
+	ItersSinceSwitch int `json:"iters_since_switch"`
+	// Excluded lists workers evicted after failure, ascending.
+	Excluded []int `json:"excluded,omitempty"`
+	// RngTracked reports whether the RNG position was captured (true
+	// unless the caller supplied its own Config.Rng).
+	RngTracked bool `json:"rng_tracked"`
+	// RngSeed and RngDraws pin the exploration RNG: restore reseeds and
+	// fast-forwards by the draw count.
+	RngSeed  int64  `json:"rng_seed,omitempty"`
+	RngDraws uint64 `json:"rng_draws,omitempty"`
+}
+
+// Validate checks the checkpoint is internally consistent and its plan
+// fits the given model and cluster.
+func (cp Checkpoint) Validate(numLayers, numGPUs int) error {
+	if cp.Iterations < 0 {
+		return fmt.Errorf("checkpoint: negative iterations %d", cp.Iterations)
+	}
+	if err := cp.Plan.Validate(numLayers, numGPUs); err != nil {
+		return fmt.Errorf("checkpoint: plan: %w", err)
+	}
+	return nil
+}
+
+// countingSource wraps a rand.Source64 and counts state advances so a
+// checkpoint can record the RNG position and a restore can replay it.
+// Every top-level draw on the runtime source advances the state exactly
+// once for both Int63 and Uint64, so the count is a faithful cursor.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) { s.src.Seed(seed) }
+
+// newTrackedRng builds a draw-counted RNG from seed, fast-forwarded by
+// skip draws.
+func newTrackedRng(seed int64, skip uint64) (*rand.Rand, *countingSource) {
+	cs := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	for i := uint64(0); i < skip; i++ {
+		cs.src.Uint64()
+	}
+	cs.draws = skip
+	return rand.New(cs), cs
+}
+
+// Checkpoint snapshots the controller's resumable state. It must be
+// called from the simulation goroutine (e.g. an OnBatchDone callback)
+// and not while a switch is in flight — the incumbent plan is only
+// authoritative between switches.
+func (c *Controller) Checkpoint() Checkpoint {
+	cp := Checkpoint{
+		Iterations:       c.stats.Iterations,
+		Plan:             c.plan.Clone(),
+		Stats:            c.Stats(),
+		ItersSinceSwitch: c.itersSinceSwitch,
+		RngTracked:       c.rngSrc != nil,
+	}
+	if c.rngSrc != nil {
+		cp.RngSeed = c.rngSeed
+		cp.RngDraws = c.rngSrc.draws
+	}
+	for w := range c.excluded {
+		cp.Excluded = append(cp.Excluded, w)
+	}
+	sort.Ints(cp.Excluded)
+	return cp
+}
+
+// restore applies a checkpoint to a freshly built controller: counters,
+// hysteresis and evicted workers. The plan was already installed as the
+// initial plan, and the RNG cursor already fast-forwarded, by New.
+func (c *Controller) restore(cp Checkpoint) {
+	c.stats = cp.Stats
+	// AbortedSwitches and MigrationRetries live on the (fresh) engine;
+	// carry the checkpointed values as a base so Stats() stays
+	// cumulative across the restore.
+	c.abortedBase = cp.Stats.AbortedSwitches
+	c.migRetryBase = cp.Stats.MigrationRetries
+	c.itersSinceSwitch = cp.ItersSinceSwitch
+	for _, w := range cp.Excluded {
+		c.excluded[w] = true
+	}
+}

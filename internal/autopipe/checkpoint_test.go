@@ -1,0 +1,196 @@
+package autopipe
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"autopipe/internal/cluster"
+	"autopipe/internal/model"
+	"autopipe/internal/netsim"
+	"autopipe/internal/partition"
+	"autopipe/internal/sim"
+	"autopipe/internal/trace"
+)
+
+// captureCheckpoint runs cfg for `total` batches and snapshots the
+// controller at iteration `at` (skipping iterations where a switch is in
+// flight, as production checkpointing does).
+func captureCheckpoint(t *testing.T, cfg Config, tr trace.Trace, total, at int) Checkpoint {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cfg.Cluster)
+	c, err := New(eng, net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != nil {
+		tr.Schedule(eng, cfg.Cluster, net, nil)
+	}
+	var cp *Checkpoint
+	c.Engine().OnBatchDone(func(batch int, _ sim.Time) {
+		if cp == nil && c.stats.Iterations >= at && !c.Engine().Switching() {
+			snap := c.Checkpoint()
+			cp = &snap
+		}
+	})
+	c.Start(context.Background(), total)
+	eng.RunAll()
+	if cp == nil {
+		t.Fatalf("no checkpoint taken by iteration %d", at)
+	}
+	return *cp
+}
+
+// resumeRun restores cfg from cp on a fresh cluster and runs the
+// remaining budget, returning the controller.
+func resumeRun(t *testing.T, mkCfg func() Config, cp Checkpoint, total int) *Controller {
+	t.Helper()
+	cfg := mkCfg()
+	cfg.Restore = &cp
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cfg.Cluster)
+	c, err := New(eng, net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start(context.Background(), total-cp.Iterations)
+	eng.RunAll()
+	if got := c.Engine().Completed(); got != total-cp.Iterations {
+		t.Fatalf("resumed run stalled at %d/%d", got, total-cp.Iterations)
+	}
+	return c
+}
+
+// TestCheckpointResumeDeterministic is the core durability contract:
+// two controllers restored from the same checkpoint make bit-identical
+// decisions and land on the same plan and counters. ProfileNoise makes
+// the profiler consume the tracked RNG every iteration, so this also
+// proves the seed/draw-count fast-forward is exact.
+func TestCheckpointResumeDeterministic(t *testing.T) {
+	const total, at = 40, 15
+	mkCfg := func() Config {
+		return Config{
+			Model: model.VGG16(), Cluster: cluster.Testbed(cluster.Gbps(100)),
+			Workers: []int{0, 1, 2, 3}, CheckEvery: 3,
+			ProfileNoise: 0.2, ProfileSmoothing: 0.3, RngSeed: 9,
+		}
+	}
+	tr := trace.Trace{{At: 1, Kind: trace.SetBandwidth, Value: cluster.Gbps(5)}}
+	cp := captureCheckpoint(t, mkCfg(), tr, total, at)
+	if cp.Iterations < at {
+		t.Fatalf("checkpoint at iteration %d, want ≥%d", cp.Iterations, at)
+	}
+	if !cp.RngTracked || cp.RngDraws == 0 {
+		t.Fatalf("RNG cursor not captured: %+v", cp)
+	}
+
+	a := resumeRun(t, mkCfg, cp, total)
+	b := resumeRun(t, mkCfg, cp, total)
+
+	logA, logB := a.DecisionLog(), b.DecisionLog()
+	if len(logA) == 0 {
+		t.Fatal("resumed run recorded no decisions")
+	}
+	ja, _ := json.Marshal(logA)
+	jb, _ := json.Marshal(logB)
+	if string(ja) != string(jb) {
+		t.Fatalf("restored decision logs diverge:\n%s\nvs\n%s", ja, jb)
+	}
+	if !a.Plan().Equal(b.Plan()) {
+		t.Fatalf("restored final plans diverge: %s vs %s", a.Plan(), b.Plan())
+	}
+	sa, sb := stripWallClock(a.Stats()), stripWallClock(b.Stats())
+	if sa != sb {
+		t.Fatalf("restored stats diverge:\n%+v\nvs\n%+v", sa, sb)
+	}
+	// Counters are cumulative across the restore boundary.
+	if sa.Iterations != total {
+		t.Fatalf("resumed iterations = %d, want %d", sa.Iterations, total)
+	}
+	if sa.Decisions < cp.Stats.Decisions {
+		t.Fatalf("decision counter went backwards: %d < %d", sa.Decisions, cp.Stats.Decisions)
+	}
+}
+
+// TestCheckpointRoundTripsThroughJSON: the journal stores checkpoints as
+// JSON; a decoded checkpoint must restore identically to the original.
+func TestCheckpointRoundTripsThroughJSON(t *testing.T) {
+	const total, at = 30, 10
+	mkCfg := func() Config {
+		return Config{
+			Model: model.AlexNet(), Cluster: cluster.Testbed(cluster.Gbps(25)),
+			Workers: []int{0, 1, 2, 3}, CheckEvery: 3, RngSeed: 4,
+		}
+	}
+	cp := captureCheckpoint(t, mkCfg(), nil, total, at)
+	blob, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Checkpoint
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	a := resumeRun(t, mkCfg, cp, total)
+	b := resumeRun(t, mkCfg, decoded, total)
+	if !a.Plan().Equal(b.Plan()) || stripWallClock(a.Stats()) != stripWallClock(b.Stats()) {
+		t.Fatal("JSON round-tripped checkpoint restores differently")
+	}
+}
+
+// stripWallClock zeroes the real-time measurement fields: everything
+// else in Stats is a pure function of the virtual-time run and must be
+// bit-identical across restores, but wall-clock timings never are.
+func stripWallClock(st Stats) Stats {
+	st.DecisionSeconds = 0
+	st.SearchSeconds = 0
+	st.LastSearchSeconds = 0
+	st.ScoreSeconds = 0
+	return st
+}
+
+func TestCheckpointValidate(t *testing.T) {
+	m := model.AlexNet()
+	cl := cluster.Testbed(cluster.Gbps(25))
+	good := partition.EvenSplit(m.NumLayers(), []int{0, 1})
+	if err := (Checkpoint{Plan: good}).Validate(m.NumLayers(), cl.NumGPUs()); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+	if err := (Checkpoint{Iterations: -1, Plan: good}).Validate(m.NumLayers(), cl.NumGPUs()); err == nil {
+		t.Fatal("negative iterations accepted")
+	}
+	bad := partition.Plan{Stages: []partition.Stage{{Start: 0, End: 1, Workers: []int{0}}}, InFlight: 1}
+	if err := (Checkpoint{Plan: bad}).Validate(m.NumLayers(), cl.NumGPUs()); err == nil {
+		t.Fatal("truncated plan accepted")
+	}
+	// New must refuse a checkpoint whose plan does not fit the model.
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	if _, err := New(eng, net, Config{Model: m, Cluster: cl, Restore: &Checkpoint{Plan: bad}}); err == nil {
+		t.Fatal("New accepted a restore with an invalid plan")
+	}
+}
+
+// TestCheckpointCarriesEngineOwnedCounters: AbortedSwitches and
+// MigrationRetries live on the engine, which restarts at zero after a
+// restore; Stats() must keep reporting the checkpointed base.
+func TestCheckpointCarriesEngineOwnedCounters(t *testing.T) {
+	cp := Checkpoint{
+		Iterations: 5,
+		Plan:       partition.EvenSplit(model.AlexNet().NumLayers(), []int{0, 1}),
+		Stats:      Stats{Iterations: 5, AbortedSwitches: 3, MigrationRetries: 7},
+		RngTracked: true, RngSeed: 1,
+	}
+	cl := cluster.Testbed(cluster.Gbps(25))
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	c, err := New(eng, net, Config{Model: model.AlexNet(), Cluster: cl, Restore: &cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.AbortedSwitches != 3 || st.MigrationRetries != 7 {
+		t.Fatalf("engine-owned counters lost across restore: %+v", st)
+	}
+}

@@ -88,8 +88,17 @@ type Config struct {
 	// InitialPlan overrides the PipeDream DP initialisation.
 	InitialPlan *partition.Plan
 
-	// Rng drives stochastic exploration during online adaptation.
+	// Restore resumes from a checkpoint: the initial plan, counters,
+	// evicted workers and RNG position all come from it (InitialPlan is
+	// ignored). See Controller.Checkpoint.
+	Restore *Checkpoint
+
+	// Rng drives stochastic exploration during online adaptation. Leave
+	// nil for a checkpointable RNG seeded from RngSeed; a caller-owned
+	// Rng cannot have its position captured by Checkpoint.
 	Rng *rand.Rand
+	// RngSeed seeds the internal RNG when Rng is nil (default 1).
+	RngSeed int64
 }
 
 // Stats aggregates controller activity. It serialises through
@@ -147,6 +156,15 @@ type Controller struct {
 	stats            Stats
 	excluded         map[int]bool // workers evicted after failure
 
+	// RNG draw tracking for Checkpoint (nil when the caller supplied
+	// its own Rng).
+	rngSrc  *countingSource
+	rngSeed int64
+	// Engine-owned counters carried across a Restore (the fresh engine
+	// restarts them at zero).
+	abortedBase  int
+	migRetryBase int
+
 	// Pending online-reward bookkeeping for REINFORCE.
 	pending *pendingDecision
 	// speed ring of recent window throughputs (normalized).
@@ -184,11 +202,28 @@ func New(eng *sim.Engine, net *netsim.Network, cfg Config) (*Controller, error) 
 	if cfg.MinGain == 0 {
 		cfg.MinGain = 0.02
 	}
+	var rngSrc *countingSource
+	rngSeed := cfg.RngSeed
+	if rngSeed == 0 {
+		rngSeed = 1
+	}
 	if cfg.Rng == nil {
-		cfg.Rng = rand.New(rand.NewSource(1))
+		// Fast-forward to the checkpointed RNG cursor before anything
+		// (profiler noise, arbiter exploration) captures the Rand.
+		var skip uint64
+		if cfg.Restore != nil && cfg.Restore.RngTracked {
+			rngSeed = cfg.Restore.RngSeed
+			skip = cfg.Restore.RngDraws
+		}
+		cfg.Rng, rngSrc = newTrackedRng(rngSeed, skip)
 	}
 	var plan partition.Plan
-	if cfg.InitialPlan != nil {
+	if cfg.Restore != nil {
+		if err := cfg.Restore.Validate(cfg.Model.NumLayers(), cfg.Cluster.NumGPUs()); err != nil {
+			return nil, fmt.Errorf("autopipe: restore: %w", err)
+		}
+		plan = cfg.Restore.Plan.Clone()
+	} else if cfg.InitialPlan != nil {
 		plan = cfg.InitialPlan.Clone()
 	} else {
 		cm := partition.NewPipeDreamCost(cfg.Model, cfg.Cluster, cfg.Workers[0], cfg.Cluster.Servers[0].NICBwBps)
@@ -225,6 +260,11 @@ func New(eng *sim.Engine, net *netsim.Network, cfg Config) (*Controller, error) 
 		plan:        plan,
 		lastVersion: cfg.Cluster.Version(),
 		excluded:    map[int]bool{},
+		rngSrc:      rngSrc,
+		rngSeed:     rngSeed,
+	}
+	if cfg.Restore != nil {
+		c.restore(*cfg.Restore)
 	}
 	engine.OnBatchDone(c.onIteration)
 	engine.OnSwitchResult(c.onSwitchResult)
@@ -256,8 +296,8 @@ func (c *Controller) Plan() partition.Plan { return c.plan.Clone() }
 // engine-owned fault-tolerance counters.
 func (c *Controller) Stats() Stats {
 	st := c.stats
-	st.AbortedSwitches = c.engine.AbortedSwitches
-	st.MigrationRetries = c.engine.MigrationRetries
+	st.AbortedSwitches = c.abortedBase + c.engine.AbortedSwitches
+	st.MigrationRetries = c.migRetryBase + c.engine.MigrationRetries
 	return st
 }
 

@@ -47,6 +47,14 @@ const (
 	// FlapNIC sets every server NIC to Gbps at time At and restores the
 	// previous speed HoldSec later.
 	FlapNIC
+	// KillDaemon simulates a control-plane crash: it invokes the
+	// injector's registered daemon-kill hook at time At — or, when Match
+	// is non-empty, at the injection of the first flow whose name
+	// contains Match (the matched flow is dropped), which lands the
+	// crash precisely mid-switch. The hook is process-level (SIGKILL in
+	// the autopiped daemon, goroutine teardown in tests); with no hook
+	// registered the event only records itself in DaemonKilled.
+	KillDaemon
 )
 
 // Event is one scheduled fault.
@@ -78,13 +86,17 @@ type Injector struct {
 	cl  *cluster.Cluster
 	net *netsim.Network
 
-	dead       map[int]bool
-	armedKills []string // pending KillWorkerOnFlow matches
-	stallMatch []string
-	dropMatch  []string
+	dead            map[int]bool
+	armedKills      []string // pending KillWorkerOnFlow matches
+	stallMatch      []string
+	dropMatch       []string
+	armedDaemonKill []string // pending flow-triggered KillDaemon matches
+	daemonKill      func()
 
 	// Killed lists workers killed so far, in kill order.
 	Killed []int
+	// DaemonKilled reports that a KillDaemon event fired.
+	DaemonKilled bool
 }
 
 // Install schedules the spec's faults and registers the flow-fault hook
@@ -113,8 +125,25 @@ func (e Event) kindName() string {
 		return fmt.Sprintf("drop(%s)", e.Match)
 	case FlapNIC:
 		return fmt.Sprintf("flap(%.1fGbps)", e.Gbps)
+	case KillDaemon:
+		if e.Match != "" {
+			return fmt.Sprintf("kill-daemon-on-flow(%s)", e.Match)
+		}
+		return "kill-daemon"
 	}
 	return "unknown"
+}
+
+// SetDaemonKill registers the process-level crash hook KillDaemon
+// events invoke. The hook runs on the simulation goroutine, at a
+// deterministic virtual time or flow injection.
+func (inj *Injector) SetDaemonKill(fn func()) { inj.daemonKill = fn }
+
+func (inj *Injector) fireDaemonKill() {
+	inj.DaemonKilled = true
+	if inj.daemonKill != nil {
+		inj.daemonKill()
+	}
 }
 
 func (inj *Injector) apply(ev Event) {
@@ -128,6 +157,12 @@ func (inj *Injector) apply(ev Event) {
 		inj.net.StallMatching(ev.Match)
 	case DropFlows:
 		inj.dropMatch = append(inj.dropMatch, ev.Match)
+	case KillDaemon:
+		if ev.Match != "" {
+			inj.armedDaemonKill = append(inj.armedDaemonKill, ev.Match)
+			return
+		}
+		inj.fireDaemonKill()
 	case FlapNIC:
 		prev := inj.cl.Servers[0].NICBwBps
 		inj.cl.SetNICBandwidth(cluster.Gbps(ev.Gbps))
@@ -161,6 +196,16 @@ func (inj *Injector) Dead(w int) bool { return inj.dead[w] }
 // fault is the netsim hook, consulted at every flow injection. Local
 // (same-worker or zero-byte) transfers bypass injection entirely.
 func (inj *Injector) fault(src, dst int, name string) netsim.FlowFault {
+	for i, match := range inj.armedDaemonKill {
+		if strings.Contains(name, match) {
+			inj.armedDaemonKill = append(inj.armedDaemonKill[:i], inj.armedDaemonKill[i+1:]...)
+			// The crash hook may never return (SIGKILL, Goexit). If it
+			// does — recording-only injectors — the matched flow is
+			// dropped, like any transfer torn by a process death.
+			inj.fireDaemonKill()
+			return netsim.FaultDrop
+		}
+	}
 	for i, match := range inj.armedKills {
 		if strings.Contains(name, match) {
 			inj.armedKills = append(inj.armedKills[:i], inj.armedKills[i+1:]...)

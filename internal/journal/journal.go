@@ -1,0 +1,403 @@
+// Package journal is a crash-safe, append-only record log for the
+// autopiped control plane. Every record is framed with a length and a
+// CRC32 and fsync'd before Append returns, so any state acknowledged to
+// a client survives a SIGKILL of the daemon. The log is segmented:
+// writes rotate to a fresh segment file once the active one exceeds the
+// configured size, and Compact rewrites the live state into a single
+// new segment and deletes the history.
+//
+// Recovery is deliberately forgiving about torn writes: replay stops at
+// the first corrupted frame, truncates that segment there, and discards
+// any later segments (an fsync'd append-only log can only be corrupt at
+// the point the crash tore it). Corruption is repaired and counted, not
+// fatal.
+//
+// On-disk frame, little-endian:
+//
+//	u32 payload length | u32 CRC32(IEEE) of payload | payload
+//
+// payload = 1-byte record type | u16 job-id length | job id | data
+//
+// The data blob is opaque to this package; the server layer stores JSON.
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Type tags a journal record.
+type Type uint8
+
+// Record types written by the control plane.
+const (
+	// TypeSubmitted records a job accepted into the registry (spec).
+	TypeSubmitted Type = 1
+	// TypeState records a job lifecycle transition (running, …).
+	TypeState Type = 2
+	// TypeCheckpoint records a periodic controller checkpoint.
+	TypeCheckpoint Type = 3
+	// TypeCompleted records a finished job with its final info.
+	TypeCompleted Type = 4
+)
+
+// Record is one journal entry.
+type Record struct {
+	Type  Type
+	JobID string
+	Data  []byte
+}
+
+// Options tunes a Journal.
+type Options struct {
+	// SegmentBytes is the rotation threshold (default 1 MiB).
+	SegmentBytes int64
+	// NoSync skips fsync — test-only; a crash may lose acknowledged
+	// records.
+	NoSync bool
+}
+
+// DefaultSegmentBytes is the rotation threshold when unset.
+const DefaultSegmentBytes = 1 << 20
+
+// maxPayloadBytes bounds a single record frame; anything larger during
+// replay is treated as corruption (a torn length word would otherwise
+// ask for gigabytes).
+const maxPayloadBytes = 1 << 24
+
+// Stats counts journal activity since Open.
+type Stats struct {
+	Appends         int64 // records fsync'd by Append
+	Rotations       int64 // segment rollovers
+	Compactions     int64 // Compact calls
+	Replayed        int64 // records recovered by Open
+	TruncatedBytes  int64 // corrupted tail bytes discarded by Open
+	DroppedSegments int64 // segments beyond a corrupt frame discarded by Open
+}
+
+// Journal is an open log directory. All methods are safe for concurrent
+// use.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu         sync.Mutex
+	active     *os.File
+	activeSeq  int
+	activeSize int64
+	segments   []int // live segment sequence numbers, ascending
+	stats      Stats
+	closed     bool
+}
+
+const segPattern = "seg-%08d.wal"
+
+func segName(seq int) string { return fmt.Sprintf(segPattern, seq) }
+
+// Open creates (or reopens) the journal in dir, replays every intact
+// record in write order and returns them. Corrupted tails are repaired:
+// the offending segment is truncated at the last intact frame and later
+// segments are deleted.
+func Open(dir string, opts Options) (*Journal, []Record, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: create dir: %w", err)
+	}
+	j := &Journal{dir: dir, opts: opts}
+	seqs, err := j.listSegments()
+	if err != nil {
+		return nil, nil, err
+	}
+	var recs []Record
+	for i, seq := range seqs {
+		path := filepath.Join(dir, segName(seq))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("journal: read %s: %w", path, err)
+		}
+		segRecs, good := decodeAll(data)
+		recs = append(recs, segRecs...)
+		j.segments = append(j.segments, seq)
+		if good == int64(len(data)) {
+			continue
+		}
+		// Torn frame: truncate this segment at the last intact record
+		// and drop everything after it — later segments were written
+		// after the corruption point and cannot be trusted to follow
+		// from the repaired state.
+		j.stats.TruncatedBytes += int64(len(data)) - good
+		if err := os.Truncate(path, good); err != nil {
+			return nil, nil, fmt.Errorf("journal: truncate %s: %w", path, err)
+		}
+		for _, later := range seqs[i+1:] {
+			if err := os.Remove(filepath.Join(dir, segName(later))); err != nil {
+				return nil, nil, fmt.Errorf("journal: drop segment: %w", err)
+			}
+			j.stats.DroppedSegments++
+		}
+		break
+	}
+	j.stats.Replayed = int64(len(recs))
+	if len(j.segments) == 0 {
+		j.segments = []int{1}
+	}
+	seq := j.segments[len(j.segments)-1]
+	f, size, err := j.openSegment(seq)
+	if err != nil {
+		return nil, nil, err
+	}
+	j.active, j.activeSeq, j.activeSize = f, seq, size
+	return j, recs, nil
+}
+
+func (j *Journal) listSegments() ([]int, error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: list dir: %w", err)
+	}
+	var seqs []int
+	for _, e := range entries {
+		var seq int
+		if _, err := fmt.Sscanf(e.Name(), segPattern, &seq); err == nil && segName(seq) == e.Name() {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+func (j *Journal) openSegment(seq int) (*os.File, int64, error) {
+	path := filepath.Join(j.dir, segName(seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: open segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("journal: stat segment: %w", err)
+	}
+	return f, st.Size(), nil
+}
+
+// Append frames, writes and fsyncs one record, rotating first when the
+// active segment is over the size threshold.
+func (j *Journal) Append(rec Record) error {
+	frame, err := encodeFrame(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: closed")
+	}
+	if j.activeSize > 0 && j.activeSize+int64(len(frame)) > j.opts.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := j.active.Write(frame); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if err := j.syncLocked(j.active); err != nil {
+		return err
+	}
+	j.activeSize += int64(len(frame))
+	j.stats.Appends++
+	return nil
+}
+
+func (j *Journal) rotateLocked() error {
+	next := j.activeSeq + 1
+	f, size, err := j.openSegment(next)
+	if err != nil {
+		return err
+	}
+	if err := j.syncDir(); err != nil {
+		f.Close()
+		return err
+	}
+	j.active.Close()
+	j.active, j.activeSeq, j.activeSize = f, next, size
+	j.segments = append(j.segments, next)
+	j.stats.Rotations++
+	return nil
+}
+
+// Compact rewrites the journal as exactly the given records in a fresh
+// segment and deletes every older segment. Callers pass the compacted
+// live state (latest spec/state/checkpoint per job); history is
+// discarded.
+func (j *Journal) Compact(live []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: closed")
+	}
+	next := j.activeSeq + 1
+	f, _, err := j.openSegment(next)
+	if err != nil {
+		return err
+	}
+	var size int64
+	for _, rec := range live {
+		frame, err := encodeFrame(rec)
+		if err != nil {
+			f.Close()
+			os.Remove(filepath.Join(j.dir, segName(next)))
+			return err
+		}
+		if _, err := f.Write(frame); err != nil {
+			f.Close()
+			return fmt.Errorf("journal: compact write: %w", err)
+		}
+		size += int64(len(frame))
+	}
+	if err := j.syncLocked(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := j.syncDir(); err != nil {
+		f.Close()
+		return err
+	}
+	// The compacted segment is durable; old history can go.
+	old := j.segments
+	j.active.Close()
+	j.active, j.activeSeq, j.activeSize = f, next, size
+	j.segments = []int{next}
+	for _, seq := range old {
+		os.Remove(filepath.Join(j.dir, segName(seq)))
+	}
+	j.stats.Compactions++
+	return nil
+}
+
+func (j *Journal) syncLocked(f *os.File) error {
+	if j.opts.NoSync {
+		return nil
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	return nil
+}
+
+func (j *Journal) syncDir() error {
+	if j.opts.NoSync {
+		return nil
+	}
+	d, err := os.Open(j.dir)
+	if err != nil {
+		return fmt.Errorf("journal: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync dir: %w", err)
+	}
+	return nil
+}
+
+// Segments returns the number of live segment files.
+func (j *Journal) Segments() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.segments)
+}
+
+// Stats returns a snapshot of the journal's activity counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Close fsyncs and closes the active segment. The journal is unusable
+// afterwards.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.syncLocked(j.active); err != nil {
+		j.active.Close()
+		return err
+	}
+	return j.active.Close()
+}
+
+// frame layout constants.
+const (
+	headerBytes = 8 // u32 length + u32 crc
+	typeBytes   = 1
+	idLenBytes  = 2
+)
+
+func encodeFrame(rec Record) ([]byte, error) {
+	if len(rec.JobID) > 1<<16-1 {
+		return nil, fmt.Errorf("journal: job id too long (%d bytes)", len(rec.JobID))
+	}
+	payload := typeBytes + idLenBytes + len(rec.JobID) + len(rec.Data)
+	if payload > maxPayloadBytes {
+		return nil, fmt.Errorf("journal: record too large (%d bytes)", payload)
+	}
+	buf := make([]byte, headerBytes+payload)
+	p := buf[headerBytes:]
+	p[0] = byte(rec.Type)
+	binary.LittleEndian.PutUint16(p[1:], uint16(len(rec.JobID)))
+	copy(p[3:], rec.JobID)
+	copy(p[3+len(rec.JobID):], rec.Data)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(payload))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(p))
+	return buf, nil
+}
+
+// decodeAll parses frames from data until the first corrupt or partial
+// frame, returning the intact records and the byte offset of the last
+// intact frame boundary.
+func decodeAll(data []byte) ([]Record, int64) {
+	var recs []Record
+	off := int64(0)
+	for int64(len(data))-off >= headerBytes {
+		h := data[off:]
+		length := int64(binary.LittleEndian.Uint32(h[0:]))
+		crc := binary.LittleEndian.Uint32(h[4:])
+		if length < typeBytes+idLenBytes || length > maxPayloadBytes {
+			break
+		}
+		if int64(len(data))-off-headerBytes < length {
+			break // partial final record
+		}
+		payload := h[headerBytes : headerBytes+length]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break
+		}
+		idLen := int64(binary.LittleEndian.Uint16(payload[1:]))
+		if typeBytes+idLenBytes+idLen > length {
+			break
+		}
+		rec := Record{
+			Type:  Type(payload[0]),
+			JobID: string(payload[3 : 3+idLen]),
+		}
+		if rest := payload[3+idLen:]; len(rest) > 0 {
+			rec.Data = append([]byte(nil), rest...)
+		}
+		recs = append(recs, rec)
+		off += headerBytes + length
+	}
+	return recs, off
+}

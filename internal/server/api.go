@@ -47,6 +47,11 @@ type JobSpec struct {
 	Trace            []TraceEvent `json:"trace,omitempty"`
 	ChurnSeed        *int64       `json:"churn_seed,omitempty"`
 	ChurnDurationSec float64      `json:"churn_duration_sec,omitempty"`
+
+	// Chaos schedules deterministic fault injection on the job's
+	// simulated cluster (worker kills, flow faults, NIC flaps, daemon
+	// crashes). Used by the recovery acceptance tests.
+	Chaos []ChaosEventSpec `json:"chaos,omitempty"`
 }
 
 // UniformSpec describes a synthetic model with identical layers.
@@ -61,6 +66,26 @@ type TraceEvent struct {
 	At   float64 `json:"at"`
 	Kind string  `json:"kind"` // bandwidth | add_job | remove_job
 	Gbps float64 `json:"gbps,omitempty"`
+}
+
+// Chaos event kinds accepted in ChaosEventSpec.Kind.
+const (
+	chaosKindKill       = "kill"         // kill worker at time At
+	chaosKindKillOnFlow = "kill_on_flow" // kill dst of first flow matching Match
+	chaosKindStall      = "stall"        // stall flows matching Match from At
+	chaosKindDrop       = "drop"         // drop flows matching Match from At
+	chaosKindFlapNIC    = "flap_nic"     // NIC to Gbps at At, restore after HoldSec
+	chaosKindKillDaemon = "kill_daemon"  // crash the daemon at At or on Match
+)
+
+// ChaosEventSpec is one scheduled fault in a job spec.
+type ChaosEventSpec struct {
+	At      float64 `json:"at,omitempty"`
+	Kind    string  `json:"kind"`
+	Worker  int     `json:"worker,omitempty"`
+	Match   string  `json:"match,omitempty"`
+	Gbps    float64 `json:"gbps,omitempty"`
+	HoldSec float64 `json:"hold_sec,omitempty"`
 }
 
 // JobInfo is the API view of one registry entry.
@@ -120,12 +145,62 @@ func (s JobSpec) build() (autopipe.JobConfig, int, error) {
 	if err != nil {
 		return cfg, 0, err
 	}
+	ch, err := buildChaos(s)
+	if err != nil {
+		return cfg, 0, err
+	}
 	cfg = autopipe.JobConfig{
 		Model: m, Cluster: cl, Workers: autopipe.Workers(workers),
 		Scheme: scheme, SyncEvery: s.SyncEvery, CheckEvery: s.CheckEvery,
-		DisableReconfig: s.DisableReconfig, Dynamics: dyn,
+		DisableReconfig: s.DisableReconfig, Dynamics: dyn, Chaos: ch,
 	}
 	return cfg, s.Batches, nil
+}
+
+func buildChaos(s JobSpec) (*autopipe.ChaosSpec, error) {
+	if len(s.Chaos) == 0 {
+		return nil, nil
+	}
+	spec := &autopipe.ChaosSpec{}
+	for _, ev := range s.Chaos {
+		if ev.At < 0 {
+			return nil, fmt.Errorf("chaos event time %g is negative", ev.At)
+		}
+		out := autopipe.ChaosEvent{
+			At: ev.At, Worker: ev.Worker, Match: ev.Match,
+			Gbps: ev.Gbps, HoldSec: ev.HoldSec,
+		}
+		switch ev.Kind {
+		case chaosKindKill:
+			out.Kind = autopipe.ChaosKillWorker
+		case chaosKindKillOnFlow:
+			out.Kind = autopipe.ChaosKillWorkerOnFlow
+			if ev.Match == "" {
+				return nil, fmt.Errorf("chaos %s event needs a match", ev.Kind)
+			}
+		case chaosKindStall:
+			out.Kind = autopipe.ChaosStallFlows
+			if ev.Match == "" {
+				return nil, fmt.Errorf("chaos %s event needs a match", ev.Kind)
+			}
+		case chaosKindDrop:
+			out.Kind = autopipe.ChaosDropFlows
+			if ev.Match == "" {
+				return nil, fmt.Errorf("chaos %s event needs a match", ev.Kind)
+			}
+		case chaosKindFlapNIC:
+			out.Kind = autopipe.ChaosFlapNIC
+			if ev.Gbps <= 0 {
+				return nil, fmt.Errorf("chaos flap_nic event needs positive gbps")
+			}
+		case chaosKindKillDaemon:
+			out.Kind = autopipe.ChaosKillDaemon
+		default:
+			return nil, fmt.Errorf("unknown chaos event kind %q", ev.Kind)
+		}
+		spec.Events = append(spec.Events, out)
+	}
+	return spec, nil
 }
 
 func resolveModel(s JobSpec) (*autopipe.Model, error) {

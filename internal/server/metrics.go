@@ -79,6 +79,30 @@ func WriteMetrics(w io.Writer, r *Registry) {
 		help: "Weight-migration transfers re-sent after a per-flow deadline per job."}
 	queuedEv := &family{name: "autopiped_job_evictions_queued_total", typ: "counter",
 		help: "Evictions that first had to abort an in-progress switch per job."}
+	queueLimit := &family{name: "autopiped_admission_queue_limit", typ: "gauge",
+		help: "Submissions beyond this queue depth are shed with 429."}
+	shed := &family{name: "autopiped_jobs_shed_total", typ: "counter",
+		help: "Submissions refused because the admission queue was full."}
+	drainRefused := &family{name: "autopiped_jobs_drain_refused_total", typ: "counter",
+		help: "Queued jobs refused a pool slot because shutdown had begun."}
+	watchdogKills := &family{name: "autopiped_watchdog_kills_total", typ: "counter",
+		help: "Jobs cancelled by the stuck-job watchdog."}
+	deadlineKills := &family{name: "autopiped_deadline_kills_total", typ: "counter",
+		help: "Jobs cancelled by the per-job run deadline."}
+	checkpoints := &family{name: "autopiped_checkpoints_total", typ: "counter",
+		help: "Controller checkpoints journaled across all jobs."}
+	journalAppends := &family{name: "autopiped_journal_appends_total", typ: "counter",
+		help: "Records fsync'd to the job journal."}
+	journalErrors := &family{name: "autopiped_journal_errors_total", typ: "counter",
+		help: "Journal appends or compactions that failed."}
+	journalSegments := &family{name: "autopiped_journal_segments", typ: "gauge",
+		help: "Live journal segment files."}
+	journalCompactions := &family{name: "autopiped_journal_compactions_total", typ: "counter",
+		help: "Journal compactions performed."}
+	journalTruncated := &family{name: "autopiped_journal_truncated_bytes_total", typ: "counter",
+		help: "Corrupted tail bytes discarded during journal replay."}
+	recovered := &family{name: "autopiped_recovered_jobs_total", typ: "counter",
+		help: "Jobs rebuilt from the journal after a restart, by kind."}
 
 	pool.add("", float64(r.PoolSize()))
 	queued := 0
@@ -112,9 +136,40 @@ func WriteMetrics(w io.Writer, r *Registry) {
 		})
 	}
 
+	c := r.Counters()
+	queueLimit.add("", float64(r.MaxQueue()))
+	shed.add("", float64(c.Shed))
+	drainRefused.add("", float64(c.DrainRefused))
+	watchdogKills.add("", float64(c.WatchdogKills))
+	deadlineKills.add("", float64(c.DeadlineKills))
+	checkpoints.add("", float64(c.Checkpoints))
+	journalErrors.add("", float64(c.JournalErrors))
+	for _, kind := range []struct {
+		name  string
+		value int64
+	}{
+		{"requeued", c.RecoveredRequeued},
+		{"resumed", c.RecoveredResumed},
+		{"restarted", c.RecoveredRestarted},
+		{"completed", c.RecoveredCompleted},
+	} {
+		recovered.samples = append(recovered.samples, sample{
+			labels: [2]string{"kind", kind.name}, value: float64(kind.value),
+		})
+	}
+
 	fams := []*family{depth, pool, states, iter, tp, switches, predCost, realCost,
 		decisions, candidates, cacheHits, searchSecs,
-		evictions, aborted, migRetries, queuedEv}
+		evictions, aborted, migRetries, queuedEv,
+		queueLimit, shed, drainRefused, watchdogKills, deadlineKills,
+		checkpoints, journalErrors, recovered}
+	if js, ok := r.JournalStats(); ok {
+		journalAppends.add("", float64(js.Appends))
+		journalSegments.add("", float64(r.JournalSegments()))
+		journalCompactions.add("", float64(js.Compactions))
+		journalTruncated.add("", float64(js.TruncatedBytes))
+		fams = append(fams, journalAppends, journalSegments, journalCompactions, journalTruncated)
+	}
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 	for _, f := range fams {
 		f.write(w)

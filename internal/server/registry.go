@@ -2,16 +2,26 @@
 // registry hosting many simulated AutoPipe jobs on a bounded worker
 // pool, a JSON REST API over net/http, and a Prometheus text-format
 // metrics surface. See cmd/autopiped for the daemon binary.
+//
+// The registry is durable and overload-safe: submissions beyond a
+// bounded admission queue are shed with ErrQueueFull, every accepted
+// job is journaled (spec, state transitions, periodic controller
+// checkpoints, final result) through an fsync'd write-ahead log, a
+// watchdog cancels jobs that stop making progress, and Recover rebuilds
+// the registry from the journal after a crash — re-queueing jobs that
+// were queued and resuming running jobs from their last checkpoint.
 package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"autopipe"
+	"autopipe/internal/journal"
 )
 
 // ErrClosed is returned by Submit after Shutdown has begun.
@@ -20,19 +30,96 @@ var ErrClosed = errors.New("server: registry is shutting down")
 // ErrNotFound is returned for unknown job ids.
 var ErrNotFound = errors.New("server: no such job")
 
+// ErrQueueFull is returned by Submit when the admission queue is at
+// capacity; the HTTP layer maps it to 429 + Retry-After.
+var ErrQueueFull = errors.New("server: admission queue full")
+
+// Defaults for Options zero values.
+const (
+	// DefaultMaxQueue bounds jobs waiting for a pool slot.
+	DefaultMaxQueue = 1024
+	// DefaultCheckpointEvery is the controller checkpoint cadence in
+	// iterations.
+	DefaultCheckpointEvery = 25
+	// DefaultWatchdogQuiet is how long a running job may go without
+	// completing an iteration before the watchdog cancels it.
+	DefaultWatchdogQuiet = 2 * time.Minute
+	// compactAfterSegments triggers journal compaction once history
+	// spreads over this many segment files.
+	compactAfterSegments = 4
+)
+
+// Options parametrises a Registry.
+type Options struct {
+	// PoolSize is the maximum number of concurrently simulating jobs
+	// (minimum 1).
+	PoolSize int
+	// MaxQueue bounds jobs waiting for a pool slot; submissions beyond
+	// it are shed with ErrQueueFull (default DefaultMaxQueue).
+	MaxQueue int
+	// CheckpointEvery is the controller checkpoint cadence in
+	// iterations (default DefaultCheckpointEvery; negative disables).
+	CheckpointEvery int
+	// Journal, when non-nil, makes every job durable: specs, state
+	// transitions, checkpoints and results are fsync'd through it. The
+	// registry does not close the journal.
+	Journal *journal.Journal
+	// JobTimeout is a per-job wall-clock deadline propagated into the
+	// Job.Run context (0 = none).
+	JobTimeout time.Duration
+	// WatchdogQuiet is the no-progress period after which a running job
+	// is cancelled and marked failed (0 = DefaultWatchdogQuiet,
+	// negative disables the watchdog). The daemon clamps its flag to
+	// [5s, 10m]; the registry accepts any positive value for tests.
+	WatchdogQuiet time.Duration
+	// WatchdogPoll is the scan period (0 = WatchdogQuiet/4).
+	WatchdogPoll time.Duration
+	// DaemonKill is the chaos KillDaemon hook installed on every hosted
+	// job (see autopipe.ChaosKillDaemon).
+	DaemonKill func()
+	// ConfigureJob, when non-nil, can adjust each job's configuration
+	// after the spec is built (custom predictors, arbiter wiring).
+	ConfigureJob func(*autopipe.JobConfig)
+}
+
+// Counters aggregates registry-level activity for /metrics and tests.
+type Counters struct {
+	Admitted           int64 // submissions accepted
+	Shed               int64 // submissions refused with ErrQueueFull
+	DrainRefused       int64 // queued jobs refused a pool slot mid-drain
+	WatchdogKills      int64 // jobs cancelled for lack of progress
+	DeadlineKills      int64 // jobs cancelled by JobTimeout
+	Checkpoints        int64 // controller checkpoints taken
+	JournalErrors      int64 // failed journal appends/compactions
+	RecoveredRequeued  int64 // queued jobs re-queued by Recover
+	RecoveredResumed   int64 // running jobs resumed from a checkpoint
+	RecoveredRestarted int64 // running jobs restarted without one
+	RecoveredCompleted int64 // finished jobs restored read-only
+}
+
 // Registry owns the daemon's jobs. Every submitted job gets a
-// goroutine immediately, but at most poolSize jobs simulate
+// goroutine immediately, but at most PoolSize jobs simulate
 // concurrently — the rest report the queued state until a pool slot
 // frees up. All methods are safe for concurrent use.
 type Registry struct {
-	sem chan struct{}
+	opts Options
+	sem  chan struct{}
 
-	mu     sync.Mutex
-	jobs   map[string]*managedJob
-	order  []string // submission order, for stable listings
-	seq    int
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	jobs     map[string]*managedJob
+	order    []string // submission order, for stable listings
+	seq      int
+	queued   int
+	closed   bool
+	counters Counters
+	wg       sync.WaitGroup
+
+	// jmu serialises journal appends against compaction so a record
+	// can never land in a segment that a concurrent Compact deletes.
+	jmu sync.Mutex
+
+	watchOnce sync.Once
+	stopWatch chan struct{}
 
 	// now is stubbed in tests.
 	now func() time.Time
@@ -42,66 +129,223 @@ type managedJob struct {
 	id      string
 	created time.Time
 	spec    JobSpec
-	job     *autopipe.Job
+	batches int
+	job     *autopipe.Job // nil for journal-restored finished jobs
+	final   *JobInfo      // frozen info for journal-restored finished jobs
+
+	// Guarded by Registry.mu.
+	overrideState  autopipe.JobState // presented state when the registry killed the job
+	overrideReason string
+	lastIter       int       // watchdog progress marker
+	lastProgress   time.Time // when lastIter last advanced
 }
 
 // NewRegistry builds a registry running at most poolSize simulations
-// concurrently (minimum 1).
+// concurrently (minimum 1), with default overload protection and no
+// journal.
 func NewRegistry(poolSize int) *Registry {
-	if poolSize < 1 {
-		poolSize = 1
+	return NewRegistryWithOptions(Options{PoolSize: poolSize})
+}
+
+// NewRegistryWithOptions builds a registry from opts (zero values take
+// the documented defaults).
+func NewRegistryWithOptions(opts Options) *Registry {
+	if opts.PoolSize < 1 {
+		opts.PoolSize = 1
+	}
+	if opts.MaxQueue <= 0 {
+		opts.MaxQueue = DefaultMaxQueue
+	}
+	switch {
+	case opts.CheckpointEvery < 0:
+		opts.CheckpointEvery = 0
+	case opts.CheckpointEvery == 0:
+		opts.CheckpointEvery = DefaultCheckpointEvery
+	}
+	switch {
+	case opts.WatchdogQuiet < 0:
+		opts.WatchdogQuiet = 0
+	case opts.WatchdogQuiet == 0:
+		opts.WatchdogQuiet = DefaultWatchdogQuiet
+	}
+	if opts.WatchdogPoll <= 0 {
+		opts.WatchdogPoll = opts.WatchdogQuiet / 4
+		if opts.WatchdogPoll <= 0 {
+			opts.WatchdogPoll = time.Second
+		}
 	}
 	return &Registry{
-		sem:  make(chan struct{}, poolSize),
-		jobs: map[string]*managedJob{},
-		now:  time.Now,
+		opts:      opts,
+		sem:       make(chan struct{}, opts.PoolSize),
+		jobs:      map[string]*managedJob{},
+		stopWatch: make(chan struct{}),
+		now:       time.Now,
 	}
 }
 
 // PoolSize returns the maximum number of concurrently running jobs.
 func (r *Registry) PoolSize() int { return cap(r.sem) }
 
-// Submit validates the spec, builds the job and starts it on the pool.
+// MaxQueue returns the admission-queue bound.
+func (r *Registry) MaxQueue() int { return r.opts.MaxQueue }
+
+// Counters returns a snapshot of the registry's activity counters.
+func (r *Registry) Counters() Counters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters
+}
+
+// JournalStats reports the journal's counters; ok is false when the
+// registry runs without one.
+func (r *Registry) JournalStats() (journal.Stats, bool) {
+	if r.opts.Journal == nil {
+		return journal.Stats{}, false
+	}
+	return r.opts.Journal.Stats(), true
+}
+
+// JournalSegments returns the journal's live segment count (0 without a
+// journal).
+func (r *Registry) JournalSegments() int {
+	if r.opts.Journal == nil {
+		return 0
+	}
+	return r.opts.Journal.Segments()
+}
+
+// Journal record payloads. Each is self-contained JSON so the journal
+// stays inspectable with standard tools.
+type submittedRec struct {
+	ID      string    `json:"id"`
+	Created time.Time `json:"created_at"`
+	Spec    JobSpec   `json:"spec"`
+}
+
+type stateRec struct {
+	ID     string            `json:"id"`
+	State  autopipe.JobState `json:"state"`
+	Reason string            `json:"reason,omitempty"`
+}
+
+type checkpointRec struct {
+	ID         string              `json:"id"`
+	Checkpoint autopipe.Checkpoint `json:"checkpoint"`
+}
+
+type completedRec struct {
+	ID   string  `json:"id"`
+	Info JobInfo `json:"info"`
+}
+
+// Submit validates the spec, journals it, builds the job and starts it
+// on the pool. Submissions beyond the admission queue are refused with
+// ErrQueueFull; submissions after Shutdown with ErrClosed.
 func (r *Registry) Submit(spec JobSpec) (JobInfo, error) {
 	cfg, batches, err := spec.build()
 	if err != nil {
 		return JobInfo{}, fmt.Errorf("invalid job spec: %w", err)
 	}
+	m := &managedJob{spec: spec, batches: batches}
+	r.prepare(&cfg, m)
 	j, err := autopipe.NewJob(cfg, batches)
 	if err != nil {
 		return JobInfo{}, fmt.Errorf("invalid job spec: %w", err)
 	}
+	m.job = j
+
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
 		return JobInfo{}, ErrClosed
 	}
-	r.seq++
-	m := &managedJob{
-		id:      fmt.Sprintf("job-%04d", r.seq),
-		created: r.now(),
-		spec:    spec,
-		job:     j,
+	if r.queued >= r.opts.MaxQueue {
+		r.counters.Shed++
+		r.mu.Unlock()
+		return JobInfo{}, ErrQueueFull
 	}
+	r.seq++
+	m.id = fmt.Sprintf("job-%04d", r.seq)
+	m.created = r.now()
 	r.jobs[m.id] = m
 	r.order = append(r.order, m.id)
+	r.queued++
+	r.counters.Admitted++
 	r.wg.Add(1)
 	r.mu.Unlock()
 
+	r.startWatchdog()
+	// The spec is durable before the submission is acknowledged: a
+	// crash after this point re-queues the job on recovery.
+	r.journalAppend(journal.TypeSubmitted, m.id, submittedRec{ID: m.id, Created: m.created, Spec: spec})
 	go r.run(m)
 	return r.info(m), nil
 }
 
+// prepare wires the registry's per-job hooks into a built JobConfig.
+// m.id may not be assigned yet; the hooks only fire once the job runs.
+func (r *Registry) prepare(cfg *autopipe.JobConfig, m *managedJob) {
+	if r.opts.CheckpointEvery > 0 {
+		cfg.CheckpointEvery = r.opts.CheckpointEvery
+		cfg.OnCheckpoint = func(cp autopipe.Checkpoint) {
+			r.mu.Lock()
+			r.counters.Checkpoints++
+			r.mu.Unlock()
+			r.journalAppend(journal.TypeCheckpoint, m.id, checkpointRec{ID: m.id, Checkpoint: cp})
+			r.maybeCompact()
+		}
+	}
+	cfg.DaemonKill = r.opts.DaemonKill
+	if r.opts.ConfigureJob != nil {
+		r.opts.ConfigureJob(cfg)
+	}
+}
+
 // run executes one job under the pool semaphore. Cancelling a queued
 // job is honoured the moment it acquires a slot: Run returns
-// immediately with ErrCancelled before any virtual time elapses.
+// immediately with ErrCancelled before any virtual time elapses. A job
+// that wins a slot after Shutdown began is refused — drain must never
+// start fresh work.
 func (r *Registry) run(m *managedJob) {
 	defer r.wg.Done()
 	r.sem <- struct{}{}
 	defer func() { <-r.sem }()
+
+	r.mu.Lock()
+	r.queued--
+	if r.closed {
+		m.overrideState = autopipe.JobCancelled
+		m.overrideReason = ErrClosed.Error()
+		r.counters.DrainRefused++
+		r.mu.Unlock()
+		m.job.Cancel()
+		r.journalAppend(journal.TypeCompleted, m.id, completedRec{ID: m.id, Info: r.info(m)})
+		return
+	}
+	m.lastIter = 0
+	m.lastProgress = r.now()
+	r.mu.Unlock()
+	r.journalAppend(journal.TypeState, m.id, stateRec{ID: m.id, State: autopipe.JobRunning})
+
 	// Cancellation flows through Job.Cancel (invoked by the DELETE
-	// handler), which aborts the run's internal context mid-search.
-	m.job.Run(context.Background()) // result and error are retained on the Job itself
+	// handler and the watchdog), which aborts the run's internal context
+	// mid-search; JobTimeout adds an external deadline on top.
+	ctx := context.Background()
+	if r.opts.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.opts.JobTimeout)
+		defer cancel()
+	}
+	_, err := m.job.Run(ctx) // result and error are retained on the Job itself
+	if errors.Is(err, context.DeadlineExceeded) {
+		r.mu.Lock()
+		m.overrideState = autopipe.JobFailed
+		m.overrideReason = fmt.Sprintf("job deadline exceeded after %s", r.opts.JobTimeout)
+		r.counters.DeadlineKills++
+		r.mu.Unlock()
+	}
+	r.journalAppend(journal.TypeCompleted, m.id, completedRec{ID: m.id, Info: r.info(m)})
+	r.maybeCompact()
 }
 
 // Get returns one job's info.
@@ -139,11 +383,16 @@ func (r *Registry) Cancel(id string) (JobInfo, error) {
 	if !ok {
 		return JobInfo{}, ErrNotFound
 	}
-	m.job.Cancel()
+	if m.job != nil {
+		m.job.Cancel()
+	}
 	return r.info(m), nil
 }
 
 func (r *Registry) info(m *managedJob) JobInfo {
+	if m.final != nil {
+		return *m.final
+	}
 	info := JobInfo{
 		ID:      m.id,
 		Created: m.created,
@@ -153,18 +402,22 @@ func (r *Registry) info(m *managedJob) JobInfo {
 	if res, err := m.job.Result(); err == nil {
 		info.Result = &res
 	}
+	r.mu.Lock()
+	if m.overrideReason != "" {
+		// The registry killed (or refused) this job: present the cause,
+		// not the generic cancelled state the Job reports.
+		info.Status.State = m.overrideState
+		info.Status.Error = m.overrideReason
+	}
+	r.mu.Unlock()
 	return info
 }
 
 // Depth returns the number of jobs waiting for a pool slot.
 func (r *Registry) Depth() int {
-	n := 0
-	for _, info := range r.List() {
-		if info.Status.State == autopipe.JobQueued {
-			n++
-		}
-	}
-	return n
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.queued
 }
 
 // StateCounts tallies jobs by lifecycle state.
@@ -179,15 +432,365 @@ func (r *Registry) StateCounts() map[autopipe.JobState]int {
 	return counts
 }
 
-// Shutdown drains the registry: new submissions are refused and running
-// jobs are given until ctx expires to finish naturally, after which
+// startWatchdog launches the stuck-job scanner once.
+func (r *Registry) startWatchdog() {
+	if r.opts.WatchdogQuiet <= 0 {
+		return
+	}
+	r.watchOnce.Do(func() {
+		go func() {
+			t := time.NewTicker(r.opts.WatchdogPoll)
+			defer t.Stop()
+			for {
+				select {
+				case <-r.stopWatch:
+					return
+				case <-t.C:
+					r.watchdogScan(r.now())
+				}
+			}
+		}()
+	})
+}
+
+// watchdogScan cancels running jobs whose iteration count has not
+// advanced within the quiet period and marks them failed with the
+// reason. Factored out of the ticker loop for deterministic tests.
+func (r *Registry) watchdogScan(now time.Time) {
+	var kill []*managedJob
+	r.mu.Lock()
+	for _, id := range r.order {
+		m := r.jobs[id]
+		if m.job == nil || m.overrideReason != "" {
+			continue
+		}
+		st := m.job.Status()
+		if st.State != autopipe.JobRunning {
+			continue
+		}
+		if st.Iteration != m.lastIter || m.lastProgress.IsZero() {
+			m.lastIter = st.Iteration
+			m.lastProgress = now
+			continue
+		}
+		if quiet := now.Sub(m.lastProgress); quiet >= r.opts.WatchdogQuiet {
+			m.overrideState = autopipe.JobFailed
+			m.overrideReason = fmt.Sprintf("watchdog: no progress for %s (stuck at iteration %d)",
+				quiet.Truncate(time.Millisecond), st.Iteration)
+			r.counters.WatchdogKills++
+			kill = append(kill, m)
+		}
+	}
+	r.mu.Unlock()
+	for _, m := range kill {
+		m.job.Cancel()
+	}
+}
+
+// journalAppend marshals and fsyncs one record; failures are counted,
+// not fatal — the registry keeps serving with degraded durability.
+// Callers must not hold r.mu (fsync under the registry lock would stall
+// the whole API).
+func (r *Registry) journalAppend(typ journal.Type, id string, payload any) {
+	if r.opts.Journal == nil {
+		return
+	}
+	r.jmu.Lock()
+	defer r.jmu.Unlock()
+	data, err := json.Marshal(payload)
+	if err == nil {
+		err = r.opts.Journal.Append(journal.Record{Type: typ, JobID: id, Data: data})
+	}
+	if err != nil {
+		r.mu.Lock()
+		r.counters.JournalErrors++
+		r.mu.Unlock()
+	}
+}
+
+// maybeCompact rewrites the journal down to the live state once history
+// spreads over several segments.
+func (r *Registry) maybeCompact() {
+	if r.opts.Journal == nil {
+		return
+	}
+	r.jmu.Lock()
+	defer r.jmu.Unlock()
+	if r.opts.Journal.Segments() < compactAfterSegments {
+		return
+	}
+	if err := r.opts.Journal.Compact(r.liveRecords()); err != nil {
+		r.mu.Lock()
+		r.counters.JournalErrors++
+		r.mu.Unlock()
+	}
+}
+
+// liveRecords renders the registry's current state as a compact record
+// stream: one submission per job, plus its latest state, checkpoint or
+// final result. Replaying it is equivalent to replaying the full
+// history.
+func (r *Registry) liveRecords() []journal.Record {
+	marshal := func(typ journal.Type, id string, payload any) (journal.Record, bool) {
+		data, err := json.Marshal(payload)
+		if err != nil {
+			return journal.Record{}, false
+		}
+		return journal.Record{Type: typ, JobID: id, Data: data}, true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []journal.Record
+	for _, id := range r.order {
+		m := r.jobs[id]
+		if rec, ok := marshal(journal.TypeSubmitted, id, submittedRec{ID: id, Created: m.created, Spec: m.spec}); ok {
+			out = append(out, rec)
+		}
+		if m.final != nil {
+			if rec, ok := marshal(journal.TypeCompleted, id, completedRec{ID: id, Info: *m.final}); ok {
+				out = append(out, rec)
+			}
+			continue
+		}
+		st := m.job.Status()
+		switch st.State {
+		case autopipe.JobQueued:
+			// The submission record alone re-queues it.
+		case autopipe.JobRunning:
+			if rec, ok := marshal(journal.TypeState, id, stateRec{ID: id, State: autopipe.JobRunning}); ok {
+				out = append(out, rec)
+			}
+			if cp, ok := m.job.Checkpoint(); ok {
+				if rec, ok := marshal(journal.TypeCheckpoint, id, checkpointRec{ID: id, Checkpoint: cp}); ok {
+					out = append(out, rec)
+				}
+			}
+		default:
+			// Finished but its completion record hasn't been written
+			// yet (run() is about to): snapshot what we have.
+			info := JobInfo{ID: id, Created: m.created, Spec: m.spec, Status: st}
+			if res, err := m.job.Result(); err == nil {
+				info.Result = &res
+			}
+			if rec, ok := marshal(journal.TypeCompleted, id, completedRec{ID: id, Info: info}); ok {
+				out = append(out, rec)
+			}
+		}
+	}
+	return out
+}
+
+// RecoveryStats reports what Recover rebuilt.
+type RecoveryStats struct {
+	Requeued  int // jobs that were queued: re-queued from their spec
+	Resumed   int // running jobs resumed from their last checkpoint
+	Restarted int // running jobs without a checkpoint: restarted
+	Completed int // finished jobs restored read-only
+	Skipped   int // undecodable or orphaned journal entries
+}
+
+// Recover rebuilds the registry from a journal replay (the records
+// returned by journal.Open). It must be called once, before the
+// registry serves traffic. Queued jobs are re-queued, running jobs are
+// resumed from their last checkpoint (restarted from scratch if none
+// was taken), finished jobs are restored read-only, and the journal is
+// compacted to the rebuilt state. Consumed chaos KillDaemon events are
+// stripped from resumed jobs — the crash they caused already happened.
+func (r *Registry) Recover(recs []journal.Record) (RecoveryStats, error) {
+	var stats RecoveryStats
+	type replay struct {
+		sub     *submittedRec
+		running bool
+		cp      *autopipe.Checkpoint
+		final   *JobInfo
+	}
+	byID := map[string]*replay{}
+	var order []string
+	get := func(id string) *replay {
+		if p, ok := byID[id]; ok {
+			return p
+		}
+		p := &replay{}
+		byID[id] = p
+		order = append(order, id)
+		return p
+	}
+	for _, rec := range recs {
+		switch rec.Type {
+		case journal.TypeSubmitted:
+			var sub submittedRec
+			if json.Unmarshal(rec.Data, &sub) != nil || sub.ID == "" {
+				stats.Skipped++
+				continue
+			}
+			get(sub.ID).sub = &sub
+		case journal.TypeState:
+			var st stateRec
+			if json.Unmarshal(rec.Data, &st) != nil || st.ID == "" {
+				stats.Skipped++
+				continue
+			}
+			get(st.ID).running = st.State == autopipe.JobRunning
+		case journal.TypeCheckpoint:
+			var cp checkpointRec
+			if json.Unmarshal(rec.Data, &cp) != nil || cp.ID == "" {
+				stats.Skipped++
+				continue
+			}
+			get(cp.ID).cp = &cp.Checkpoint
+		case journal.TypeCompleted:
+			var done completedRec
+			if json.Unmarshal(rec.Data, &done) != nil || done.ID == "" {
+				stats.Skipped++
+				continue
+			}
+			info := done.Info
+			get(done.ID).final = &info
+		default:
+			stats.Skipped++
+		}
+	}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return stats, ErrClosed
+	}
+	if len(r.jobs) > 0 {
+		r.mu.Unlock()
+		return stats, fmt.Errorf("server: Recover on a registry that already has jobs")
+	}
+	r.mu.Unlock()
+
+	var maxSeq int
+	for _, id := range order {
+		p := byID[id]
+		if p.sub == nil {
+			stats.Skipped++ // orphaned records: submission was compacted away or torn off
+			continue
+		}
+		var seq int
+		if _, err := fmt.Sscanf(id, "job-%d", &seq); err == nil && seq > maxSeq {
+			maxSeq = seq
+		}
+		m := &managedJob{id: id, created: p.sub.Created, spec: p.sub.Spec}
+		if p.final != nil {
+			m.final = p.final
+			stats.Completed++
+			r.register(m, false)
+			continue
+		}
+		spec := p.sub.Spec
+		if p.running {
+			// A KillDaemon event from this spec already fired — that is
+			// how we got here. Re-arming it would crash-loop the daemon.
+			spec = stripKillDaemon(spec)
+		}
+		cfg, batches, err := spec.build()
+		if err != nil {
+			stats.Skipped++
+			continue
+		}
+		m.batches = batches
+		r.prepare(&cfg, m)
+		var j *autopipe.Job
+		if p.running && p.cp != nil {
+			if j, err = autopipe.NewJobFromCheckpoint(cfg, batches, *p.cp); err == nil {
+				stats.Resumed++
+			}
+		}
+		if j == nil {
+			if j, err = autopipe.NewJob(cfg, batches); err != nil {
+				stats.Skipped++
+				continue
+			}
+			if p.running {
+				stats.Restarted++
+			} else {
+				stats.Requeued++
+			}
+		}
+		m.job = j
+		r.register(m, true)
+	}
+	r.mu.Lock()
+	if maxSeq > r.seq {
+		r.seq = maxSeq
+	}
+	r.mu.Unlock()
+	r.startWatchdog()
+	r.updateRecoveryCounters(stats)
+	// Rewrite the journal down to the recovered state: replaying the
+	// old history again after the next crash would be wrong (it
+	// contains pre-crash state records) and compaction also repairs the
+	// truncated-tail bookkeeping.
+	if r.opts.Journal != nil {
+		r.jmu.Lock()
+		if err := r.opts.Journal.Compact(r.liveRecords()); err != nil {
+			r.mu.Lock()
+			r.counters.JournalErrors++
+			r.mu.Unlock()
+		}
+		r.jmu.Unlock()
+	}
+	return stats, nil
+}
+
+// register installs a recovered job; live jobs also get a pool slot.
+func (r *Registry) register(m *managedJob, live bool) {
+	r.mu.Lock()
+	r.jobs[m.id] = m
+	r.order = append(r.order, m.id)
+	if live {
+		r.queued++
+		r.wg.Add(1)
+	}
+	r.mu.Unlock()
+	if live {
+		go r.run(m)
+	}
+}
+
+func (r *Registry) updateRecoveryCounters(stats RecoveryStats) {
+	r.mu.Lock()
+	r.counters.RecoveredRequeued += int64(stats.Requeued)
+	r.counters.RecoveredResumed += int64(stats.Resumed)
+	r.counters.RecoveredRestarted += int64(stats.Restarted)
+	r.counters.RecoveredCompleted += int64(stats.Completed)
+	r.mu.Unlock()
+}
+
+// stripKillDaemon removes consumed daemon-crash chaos events from a
+// spec being resumed.
+func stripKillDaemon(spec JobSpec) JobSpec {
+	if len(spec.Chaos) == 0 {
+		return spec
+	}
+	kept := make([]ChaosEventSpec, 0, len(spec.Chaos))
+	for _, ev := range spec.Chaos {
+		if ev.Kind != chaosKindKillDaemon {
+			kept = append(kept, ev)
+		}
+	}
+	spec.Chaos = kept
+	return spec
+}
+
+// Shutdown drains the registry: new submissions are refused, queued
+// jobs that reach the pool are refused with ErrClosed, and running jobs
+// are given until ctx expires to finish naturally, after which
 // everything still alive is cancelled. It always waits for every job
-// goroutine to exit; the returned error is ctx's if the deadline forced
-// cancellation.
+// goroutine to exit and stops the watchdog; the returned error is ctx's
+// if the deadline forced cancellation.
 func (r *Registry) Shutdown(ctx context.Context) error {
 	r.mu.Lock()
+	alreadyClosed := r.closed
 	r.closed = true
 	r.mu.Unlock()
+	if !alreadyClosed {
+		r.watchOnce.Do(func() {}) // ensure no late watchdog start
+		close(r.stopWatch)
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -201,7 +804,9 @@ func (r *Registry) Shutdown(ctx context.Context) error {
 	}
 	r.mu.Lock()
 	for _, m := range r.jobs {
-		m.job.Cancel()
+		if m.job != nil {
+			m.job.Cancel()
+		}
 	}
 	r.mu.Unlock()
 	<-done // cancellation is honoured between events, so this is prompt

@@ -55,6 +55,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	switch {
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrQueueFull):
+		// Load shedding: tell well-behaved clients when to come back.
+		// One pool slot turning over is the natural retry horizon.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
 	default:
@@ -90,11 +95,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":     "ok",
-		"uptime_sec": time.Since(s.started).Seconds(),
-		"jobs":       len(s.reg.List()),
-	})
+	c := s.reg.Counters()
+	body := map[string]any{
+		"status":      "ok",
+		"uptime_sec":  time.Since(s.started).Seconds(),
+		"jobs":        len(s.reg.List()),
+		"queue_depth": s.reg.Depth(),
+		"queue_limit": s.reg.MaxQueue(),
+		"jobs_shed":   c.Shed,
+	}
+	if js, ok := s.reg.JournalStats(); ok {
+		body["journal"] = map[string]any{
+			"appends":  js.Appends,
+			"segments": s.reg.JournalSegments(),
+			"errors":   c.JournalErrors,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -166,11 +166,31 @@ type JobConfig struct {
 	Arbiter *Arbiter
 	// DisableReconfig freezes the initial plan (PipeDream ablation).
 	DisableReconfig bool
+	// InitialPlan overrides the PipeDream DP initialisation (ablations
+	// and tests that need the controller to start off-optimum). Ignored
+	// when the job is built from a checkpoint.
+	InitialPlan *Plan
 	// Procs bounds parallel candidate scoring during reconfiguration
 	// decisions (<=0 selects GOMAXPROCS). The chosen plans are
 	// bit-identical at any setting; only wall-clock changes.
 	Procs int
+	// CheckpointEvery takes a controller checkpoint every N completed
+	// iterations (0 disables). Checkpoints are skipped while a switch is
+	// in flight and at the final iteration, so a restore always has work
+	// left to do.
+	CheckpointEvery int
+	// OnCheckpoint receives each checkpoint. It is invoked on the
+	// simulation goroutine: keep it fast or the run stalls (the
+	// autopiped daemon uses it to fsync the checkpoint to its journal).
+	OnCheckpoint func(Checkpoint)
+	// DaemonKill is the hook a chaos KillDaemon event invokes — the
+	// crash injection point for control-plane durability testing.
+	DaemonKill func()
 }
+
+// Checkpoint is a compact resumable snapshot of a managed job's
+// controller; see NewJobFromCheckpoint.
+type Checkpoint = ap.Checkpoint
 
 // JobResult extends Result with controller telemetry. Like Result it
 // serialises through encoding/json; the wire form is shared by
@@ -250,7 +270,8 @@ const statusDecisionWindow = 8
 // and Status are safe from any goroutine at any time.
 type Job struct {
 	cfg     JobConfig
-	batches int
+	batches int // total budget, including any checkpointed base
+	base    int // iterations completed before this process (restore)
 	eng     *sim.Engine
 	ctl     *ap.Controller
 
@@ -263,12 +284,37 @@ type Job struct {
 	status    JobStatus
 	result    JobResult
 	err       error
+	lastCP    *Checkpoint
 }
 
 // NewJob builds a managed job: the simulation engine, network and
 // AutoPipe controller are constructed (initial plan included) but no
 // virtual time elapses until Run.
 func NewJob(cfg JobConfig, batches int) (*Job, error) {
+	return newJob(cfg, batches, nil)
+}
+
+// NewJobFromCheckpoint builds a managed job that resumes from a
+// controller checkpoint (see JobConfig.CheckpointEvery / OnCheckpoint):
+// the checkpointed plan becomes the initial partition, the controller's
+// counters and RNG cursor continue where they left off, and the run
+// covers the remaining batches - checkpoint.Iterations budget. batches
+// is the job's TOTAL budget, the same number the original job was built
+// with. Two jobs resumed from the same checkpoint and config make
+// bit-identical decisions.
+//
+// The simulation engine restarts fresh: virtual time, in-flight batches
+// and any Dynamics/Chaos schedules begin again from zero, which is the
+// durability contract of a control-plane restore (weight stashing one
+// layer up), not a bitwise process snapshot.
+func NewJobFromCheckpoint(cfg JobConfig, batches int, cp Checkpoint) (*Job, error) {
+	if cp.Iterations >= batches {
+		return nil, fmt.Errorf("autopipe: checkpoint at iteration %d has no work left in a %d-batch budget", cp.Iterations, batches)
+	}
+	return newJob(cfg, batches, &cp)
+}
+
+func newJob(cfg JobConfig, batches int, restore *Checkpoint) (*Job, error) {
 	if cfg.Model == nil || cfg.Cluster == nil {
 		return nil, fmt.Errorf("autopipe: NewJob needs Model and Cluster")
 	}
@@ -278,7 +324,10 @@ func NewJob(cfg JobConfig, batches int) (*Job, error) {
 	eng := sim.NewEngine()
 	net := netsim.New(eng, cfg.Cluster)
 	if cfg.Chaos != nil {
-		chaos.Install(eng, cfg.Cluster, net, *cfg.Chaos)
+		inj := chaos.Install(eng, cfg.Cluster, net, *cfg.Chaos)
+		if cfg.DaemonKill != nil {
+			inj.SetDaemonKill(cfg.DaemonKill)
+		}
 	}
 	pred := cfg.Predictor
 	if pred == nil {
@@ -290,7 +339,9 @@ func NewJob(cfg JobConfig, batches int) (*Job, error) {
 		Predictor: pred, Arbiter: cfg.Arbiter,
 		CheckEvery:      cfg.CheckEvery,
 		DisableReconfig: cfg.DisableReconfig,
+		InitialPlan:     cfg.InitialPlan,
 		Procs:           cfg.Procs,
+		Restore:         restore,
 	})
 	if err != nil {
 		return nil, err
@@ -303,10 +354,46 @@ func NewJob(cfg JobConfig, batches int) (*Job, error) {
 			State: JobQueued, Batches: batches, Plan: c.Plan(),
 		},
 	}
+	if restore != nil {
+		j.base = restore.Iterations
+		j.status.Iteration = j.base
+	}
 	// The controller's own OnBatchDone callback is registered first, so
 	// the snapshot sees this iteration's stats and plan.
 	c.Engine().OnBatchDone(func(batch int, at sim.Time) { j.snapshot(JobRunning) })
+	if cfg.CheckpointEvery > 0 {
+		c.Engine().OnBatchDone(func(batch int, at sim.Time) { j.maybeCheckpoint() })
+	}
 	return j, nil
+}
+
+// maybeCheckpoint snapshots the controller on the checkpoint cadence.
+// Runs on the simulation goroutine. Mid-switch iterations are skipped
+// (the incumbent plan is only authoritative between switches), as is
+// the final iteration — a checkpoint always leaves work to resume.
+func (j *Job) maybeCheckpoint() {
+	it := j.base + j.ctl.Engine().Completed()
+	if it%j.cfg.CheckpointEvery != 0 || it >= j.batches || j.ctl.Engine().Switching() {
+		return
+	}
+	cp := j.ctl.Checkpoint()
+	j.mu.Lock()
+	j.lastCP = &cp
+	j.mu.Unlock()
+	if j.cfg.OnCheckpoint != nil {
+		j.cfg.OnCheckpoint(cp)
+	}
+}
+
+// Checkpoint returns the most recent checkpoint taken on the
+// CheckpointEvery cadence, if any. Safe from any goroutine.
+func (j *Job) Checkpoint() (Checkpoint, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.lastCP == nil {
+		return Checkpoint{}, false
+	}
+	return *j.lastCP, true
 }
 
 // snapshot refreshes the published status. Called from the simulation
@@ -316,7 +403,7 @@ func (j *Job) snapshot(state JobState) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.status.State = state
-	j.status.Iteration = e.Completed()
+	j.status.Iteration = j.base + e.Completed()
 	j.status.VirtualTime = float64(j.eng.Now())
 	j.status.Throughput = e.Throughput()
 	j.status.Plan = j.ctl.Plan()
@@ -413,19 +500,20 @@ func (j *Job) run(ctx context.Context) (JobResult, error) {
 		j.snapshot(JobCancelled)
 		return JobResult{}, j.stopErr(ctx)
 	}
-	j.ctl.Start(ctx, j.batches)
+	remaining := j.batches - j.base
+	j.ctl.Start(ctx, remaining)
 	for !j.stopped(ctx) {
 		if !j.eng.Step() {
 			break
 		}
 	}
 	e := j.ctl.Engine()
-	if j.stopped(ctx) && e.Completed() < j.batches {
+	if j.stopped(ctx) && e.Completed() < remaining {
 		j.snapshot(JobCancelled)
 		return JobResult{}, j.stopErr(ctx)
 	}
-	if e.Completed() != j.batches {
-		err := fmt.Errorf("autopipe: job stalled at %d/%d batches", e.Completed(), j.batches)
+	if e.Completed() != remaining {
+		err := fmt.Errorf("autopipe: job stalled at %d/%d batches", j.base+e.Completed(), j.batches)
 		j.snapshot(JobFailed)
 		j.mu.Lock()
 		j.status.Error = err.Error()
@@ -434,8 +522,11 @@ func (j *Job) run(ctx context.Context) (JobResult, error) {
 	}
 	out := JobResult{
 		Result: Result{
-			Batches:     e.Completed(),
-			Samples:     e.Completed() * j.cfg.Model.MiniBatch,
+			// Totals count from the job's original start; throughput,
+			// utilization and the completion timeline cover the portion
+			// this process actually simulated.
+			Batches:     j.base + e.Completed(),
+			Samples:     (j.base + e.Completed()) * j.cfg.Model.MiniBatch,
 			Throughput:  e.Throughput(),
 			Utilization: e.Utilization(),
 			StashPeak:   e.StashPeak(),

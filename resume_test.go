@@ -1,0 +1,146 @@
+package autopipe
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// resumeConfig builds a fresh config for every run: jobs own their
+// cluster, so a resume must never share the mutated instance.
+func resumeConfig() JobConfig {
+	return JobConfig{
+		Model:      VGG16(),
+		Cluster:    Testbed(Gbps(100)),
+		Workers:    Workers(4),
+		CheckEvery: 3,
+		Dynamics:   BandwidthSteps([]float64{1}, []float64{5}),
+	}
+}
+
+// TestJobCheckpointCadence: checkpoints arrive on the configured
+// period, never at the final iteration, and the last one is retained on
+// the job.
+func TestJobCheckpointCadence(t *testing.T) {
+	cfg := resumeConfig()
+	cfg.CheckpointEvery = 10
+	var seen []int
+	cfg.OnCheckpoint = func(cp Checkpoint) { seen = append(seen, cp.Iterations) }
+	j, err := NewJob(cfg, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 {
+		t.Fatal("no checkpoints taken")
+	}
+	for _, it := range seen {
+		if it%10 != 0 || it >= 40 || it == 0 {
+			t.Fatalf("checkpoint at iteration %d off the cadence", it)
+		}
+	}
+	last, ok := j.Checkpoint()
+	if !ok || last.Iterations != seen[len(seen)-1] {
+		t.Fatalf("Job.Checkpoint() = %+v, %v; want iteration %d", last, ok, seen[len(seen)-1])
+	}
+	if err := last.Plan.Validate(cfg.Model.NumLayers(), cfg.Cluster.NumGPUs()); err != nil {
+		t.Fatalf("checkpointed plan invalid: %v", err)
+	}
+}
+
+// TestJobResumeDeterministicFromCheckpoint is the PR's acceptance
+// contract at the public API: resume the job twice from the same
+// checkpoint and require bit-identical decision streams, final plans
+// and totals — an uninterrupted run from that checkpoint IS one of the
+// two resumes, so equality proves the resumed controller tracks it
+// exactly.
+func TestJobResumeDeterministicFromCheckpoint(t *testing.T) {
+	const total = 40
+	cfg := resumeConfig()
+	cfg.CheckpointEvery = 10
+	var cp *Checkpoint
+	cfg.OnCheckpoint = func(c Checkpoint) {
+		if cp == nil && c.Iterations >= 20 {
+			cp = &c
+		}
+	}
+	j, err := NewJob(cfg, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil {
+		t.Fatal("no checkpoint at or after iteration 20")
+	}
+
+	resume := func() (JobResult, JobStatus) {
+		r, err := NewJobFromCheckpoint(resumeConfig(), total, *cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, r.Status()
+	}
+	resA, stA := resume()
+	resB, stB := resume()
+
+	if resA.Batches != total || stA.Iteration != total {
+		t.Fatalf("resumed run totals wrong: batches %d, iteration %d, want %d", resA.Batches, stA.Iteration, total)
+	}
+	if resA.Samples != total*cfg.Model.MiniBatch {
+		t.Fatalf("resumed samples = %d", resA.Samples)
+	}
+	da, _ := json.Marshal(resA.Decisions)
+	db, _ := json.Marshal(resB.Decisions)
+	if string(da) != string(db) {
+		t.Fatalf("resumed decision streams diverge:\n%s\nvs\n%s", da, db)
+	}
+	if !resA.FinalPlan.Equal(resB.FinalPlan) {
+		t.Fatalf("resumed final plans diverge: %s vs %s", resA.FinalPlan, resB.FinalPlan)
+	}
+	if stA.Controller.Iterations != total || stB.Controller.Iterations != total {
+		t.Fatalf("controller iterations %d/%d, want %d", stA.Controller.Iterations, stB.Controller.Iterations, total)
+	}
+	// The resumed controller's counters continue from the checkpoint.
+	if resA.Controller.Decisions < cp.Stats.Decisions {
+		t.Fatalf("decision counter reset across resume: %d < %d", resA.Controller.Decisions, cp.Stats.Decisions)
+	}
+}
+
+func TestNewJobFromCheckpointValidation(t *testing.T) {
+	cfg := resumeConfig()
+	cfg.CheckpointEvery = 5
+	var cp *Checkpoint
+	cfg.OnCheckpoint = func(c Checkpoint) {
+		if cp == nil {
+			cp = &c
+		}
+	}
+	j, err := NewJob(cfg, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil {
+		t.Fatal("no checkpoint")
+	}
+	// A budget the checkpoint already exhausted leaves nothing to run.
+	if _, err := NewJobFromCheckpoint(resumeConfig(), cp.Iterations, *cp); err == nil {
+		t.Fatal("checkpoint at budget accepted")
+	}
+	// A checkpoint from a different model must be refused, not crash.
+	bad := resumeConfig()
+	bad.Model = AlexNet()
+	if _, err := NewJobFromCheckpoint(bad, 40, *cp); err == nil {
+		t.Fatal("cross-model checkpoint accepted")
+	}
+}
