@@ -16,6 +16,17 @@
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, and
 // running jobs get -drain-timeout to finish before being cancelled.
+//
+// Cluster mode: give each daemon a -node-id and point it at any already
+// running peer with -peers, and the daemons federate into one control
+// plane — a consistent-hash ring places each job on an owner, any node
+// accepts submissions and proxies to the owner, owners replicate their
+// journal records to a ring successor, and when a node dies its
+// successor adopts the jobs and resumes them from their checkpoints.
+//
+//	autopiped -addr :8081 -node-id n1 -advertise http://10.0.0.1:8081
+//	autopiped -addr :8081 -node-id n2 -advertise http://10.0.0.2:8081 \
+//	    -peers http://10.0.0.1:8081
 package main
 
 import (
@@ -30,9 +41,11 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"autopipe/internal/fleet"
 	"autopipe/internal/journal"
 	"autopipe/internal/server"
 )
@@ -47,6 +60,12 @@ type daemonConfig struct {
 	maxQueue        int           // admission-queue bound
 	jobTimeout      time.Duration // per-job run deadline (0 = none)
 	watchdogQuiet   time.Duration // stuck-job threshold (clamped to [5s, 10m])
+
+	// Cluster mode (all optional; empty nodeID = classic single daemon).
+	nodeID         string        // fleet identity
+	advertise      string        // URL peers use to reach this daemon
+	peers          []string      // seed peers' advertise URLs
+	heartbeatEvery time.Duration // failure-detector period
 }
 
 func main() {
@@ -59,6 +78,10 @@ func main() {
 		maxQueue     = flag.Int("max-queue", 256, "max jobs waiting for a pool slot before submissions are shed with 429")
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none)")
 		quiet        = flag.Duration("watchdog-quiet", server.DefaultWatchdogQuiet, "cancel running jobs making no progress for this long (clamped to [5s, 10m], 0 disables)")
+		nodeID       = flag.String("node-id", "", "fleet identity; enables cluster mode (empty = single daemon)")
+		advertise    = flag.String("advertise", "", "URL peers use to reach this daemon (default http://<addr>)")
+		peers        = flag.String("peers", "", "comma-separated advertise URLs of already-running peers to join")
+		heartbeat    = flag.Duration("heartbeat-every", fleet.DefaultHeartbeatEvery, "fleet failure-detector period")
 	)
 	flag.Parse()
 
@@ -75,11 +98,29 @@ func main() {
 		pool: *pool, drainTimeout: *drainTimeout,
 		journalDir: *journalDir, checkpointEvery: *checkpoint,
 		maxQueue: *maxQueue, jobTimeout: *jobTimeout, watchdogQuiet: *quiet,
+		nodeID: *nodeID, advertise: *advertise,
+		peers: splitPeers(*peers), heartbeatEvery: *heartbeat,
+	}
+	if cfg.nodeID == "" && (len(cfg.peers) > 0 || cfg.advertise != "") {
+		fmt.Fprintln(os.Stderr, "autopiped: -peers/-advertise require -node-id")
+		os.Exit(1)
 	}
 	if err := run(ctx, lis, cfg, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "autopiped:", err)
 		os.Exit(1)
 	}
+}
+
+// splitPeers parses the -peers flag: comma-separated URLs, blanks
+// dropped, trailing slashes trimmed so path joins stay clean.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // clampQuiet bounds the watchdog threshold to sane operational values;
@@ -148,7 +189,37 @@ func run(ctx context.Context, lis net.Listener, cfg daemonConfig, logger *log.Lo
 				st.TruncatedBytes, st.DroppedSegments)
 		}
 	}
-	reg := server.NewRegistryWithOptions(opts)
+	// In cluster mode the fleet node wraps the registry (installing its
+	// replication hook before any job can emit records) and its handler
+	// supersedes the single-node one; otherwise this is the classic
+	// standalone daemon.
+	var (
+		node    *fleet.Node
+		reg     *server.Registry
+		handler http.Handler
+	)
+	if cfg.nodeID != "" {
+		adv := cfg.advertise
+		if adv == "" {
+			adv = "http://" + lis.Addr().String()
+		}
+		var err error
+		node, err = fleet.New(fleet.Config{
+			ID:             cfg.nodeID,
+			Advertise:      adv,
+			Peers:          cfg.peers,
+			HeartbeatEvery: cfg.heartbeatEvery,
+			Logf:           logger.Printf,
+		}, opts)
+		if err != nil {
+			return err
+		}
+		reg = node.Registry()
+		handler = node.Handler()
+	} else {
+		reg = server.NewRegistryWithOptions(opts)
+		handler = server.New(reg).Handler()
+	}
 	if opts.Journal != nil {
 		stats, err := reg.Recover(recs)
 		if err != nil {
@@ -160,14 +231,22 @@ func run(ctx context.Context, lis net.Listener, cfg daemonConfig, logger *log.Lo
 		}
 	}
 	srv := &http.Server{
-		Handler:           server.New(reg).Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(lis) }()
-	logger.Printf("serving on %s (pool %d, queue %d, journal %q)",
-		lis.Addr(), cfg.pool, cfg.maxQueue, cfg.journalDir)
+	if node != nil {
+		// The listener is live, so peers contacted during join can reach
+		// us back immediately.
+		node.Start()
+		logger.Printf("serving on %s as fleet node %q (peers %v, pool %d, queue %d, journal %q)",
+			lis.Addr(), cfg.nodeID, cfg.peers, cfg.pool, cfg.maxQueue, cfg.journalDir)
+	} else {
+		logger.Printf("serving on %s (pool %d, queue %d, journal %q)",
+			lis.Addr(), cfg.pool, cfg.maxQueue, cfg.journalDir)
+	}
 
 	select {
 	case err := <-serveErr:
@@ -183,7 +262,13 @@ func run(ctx context.Context, lis net.Listener, cfg daemonConfig, logger *log.Lo
 	}
 	drainCtx, cancelDrain := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancelDrain()
-	if err := reg.Shutdown(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
+	shutdown := reg.Shutdown
+	if node != nil {
+		// Fleet shutdown hands queued jobs to their new ring owners and
+		// announces the leave before draining the local pool.
+		shutdown = node.Shutdown
+	}
+	if err := shutdown(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
 		logger.Printf("drain timeout hit, jobs cancelled: %v", err)
 	}
 	logger.Printf("bye")

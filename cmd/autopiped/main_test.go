@@ -335,6 +335,92 @@ func TestDaemonLifecycle(t *testing.T) {
 	}
 }
 
+// TestDaemonClusterMode boots two real daemon loops in fleet mode, has
+// the second join via the first, submits through one gateway, and
+// checks the cluster surface: ring membership in /v1/cluster, the job
+// completing with its hosting node stamped, fleet metrics present, and
+// both daemons draining cleanly.
+func TestDaemonClusterMode(t *testing.T) {
+	type daemon struct {
+		base   string
+		cancel context.CancelFunc
+		done   chan error
+	}
+	start := func(nodeID string, peers []string) daemon {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		d := daemon{base: "http://" + lis.Addr().String(), cancel: cancel, done: make(chan error, 1)}
+		go func() {
+			cfg := daemonConfig{
+				pool: 2, drainTimeout: 5 * time.Second, maxQueue: 64,
+				nodeID: nodeID, advertise: d.base, peers: peers,
+				heartbeatEvery: 20 * time.Millisecond,
+			}
+			d.done <- run(ctx, lis, cfg, log.New(io.Discard, "", 0))
+		}()
+		waitHealthy(t, d.base)
+		return d
+	}
+	d1 := start("n1", nil)
+	d2 := start("n2", []string{d1.base})
+
+	// Both daemons must converge on a two-member ring.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var view struct {
+			Ring []string `json:"ring"`
+		}
+		resp, err := http.Get(d2.base + "/v1/cluster")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err == nil && len(view.Ring) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never converged: ring %v", view.Ring)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A job through either gateway carries the fleet ID scheme and lands
+	// on whichever node the ring picked.
+	id := postJob(t, d1.base, `{"model":"uniform","uniform":{"layers":8},"batches":10}`)
+	if !strings.HasPrefix(id, "job-n1-") {
+		t.Fatalf("fleet job id %q, want a job-n1-* gateway id", id)
+	}
+	waitJobState(t, d2.base, id, "done")
+
+	resp, err := http.Get(d1.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"autopiped_fleet_peers_alive 1", "autopiped_fleet_ring_members 2"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	for _, d := range []daemon{d2, d1} {
+		d.cancel()
+		select {
+		case err := <-d.done:
+			if err != nil {
+				t.Fatalf("daemon run returned %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+}
+
 func waitHealthy(t *testing.T, base string) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)

@@ -80,6 +80,63 @@ func killMidSwitchRun(t *testing.T, batches int) (float64, autopipe.Stats, parti
 	return float64(eng.Now()), c.Stats(), c.Plan(), invariantErrs
 }
 
+// TestKillDaemonOnFlowFiresOnce pins the contract the fleet's
+// kill-one-of-N scenario is built on: a flow-armed KillDaemon event
+// invokes the crash hook exactly once — at the injection of the first
+// matching flow, which is dropped like any transfer torn by a process
+// death — no matter how many later flows match. With a hook that
+// returns (recording injectors, in-process node kills), the dropped
+// migration is retried against a live destination, so the switch and
+// the job still complete.
+func TestKillDaemonOnFlowFiresOnce(t *testing.T) {
+	const batches = 60
+	m := model.AlexNet()
+	cl := cluster.Testbed(cluster.Gbps(25))
+	eng := sim.NewEngine()
+	net := netsim.New(eng, cl)
+	inj := chaos.Install(eng, cl, net, chaos.Spec{Events: []chaos.Event{
+		{At: 0, Kind: chaos.KillDaemon, Match: "finemigrate/"},
+	}})
+	hookCalls := 0
+	inj.SetDaemonKill(func() { hookCalls++ })
+	base := partition.EvenSplit(m.NumLayers(), []int{0, 1, 2, 3})
+	c, err := autopipe.New(eng, net, autopipe.Config{
+		Model: m, Cluster: cl, Workers: []int{0, 1, 2, 3},
+		CheckEvery: 1000, InitialPlan: &base,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := false
+	c.Engine().OnBatchDone(func(batch int, _ sim.Time) {
+		if applied || batch < 10 {
+			return
+		}
+		applied = true
+		if err := c.Engine().ApplyPlan(shiftedPlan(base), pipeline.SwitchFineGrained, nil); err != nil {
+			t.Errorf("fine-grained switch: %v", err)
+		}
+	})
+	c.Start(context.Background(), batches)
+	eng.RunAll()
+
+	if hookCalls != 1 {
+		t.Fatalf("daemon-kill hook fired %d times, want exactly 1", hookCalls)
+	}
+	if !inj.DaemonKilled {
+		t.Fatal("DaemonKilled not recorded")
+	}
+	if got := c.Engine().Completed(); got != batches {
+		t.Fatalf("completed %d/%d after the one-shot daemon kill", got, batches)
+	}
+	if st := c.Stats(); st.MigrationRetries == 0 {
+		t.Error("the dropped migration flow was never retried")
+	}
+	if len(inj.Killed) != 0 {
+		t.Fatalf("KillDaemon must not kill workers, got %v", inj.Killed)
+	}
+}
+
 func TestKillMidFineGrainedSwitch(t *testing.T) {
 	wall, st, plan, invErrs := killMidSwitchRun(t, 60)
 	for _, err := range invErrs {

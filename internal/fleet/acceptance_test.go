@@ -1,0 +1,263 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"autopipe"
+	"autopipe/internal/server"
+)
+
+// crashSpec is a job that kills its hosting daemon at its first
+// weight-migration flow — exactly mid-switch, deterministically (the
+// same trigger the single-node durability suite uses). offOptimum
+// guarantees the controller's first decision actually migrates layers.
+func crashSpec() server.JobSpec {
+	return server.JobSpec{
+		Model: "AlexNet", BandwidthGbps: 25, Workers: 4,
+		CheckEvery: 3, Batches: 60,
+		Chaos: []server.ChaosEventSpec{{Kind: "kill_daemon", Match: "migrate"}},
+	}
+}
+
+func offOptimum(cfg *autopipe.JobConfig) {
+	if cfg.Chaos == nil {
+		return
+	}
+	plan := autopipe.PlanEvenSplit(cfg.Model, cfg.Workers)
+	cfg.InitialPlan = &plan
+}
+
+// checkpointReplicated reports whether any node other than owner holds
+// a checkpointed replica of the job.
+func checkpointReplicated(nodes []*testNode, owner *Node, jobID string) bool {
+	for _, tn := range nodes {
+		if tn.n == owner {
+			continue
+		}
+		tn.n.store.mu.Lock()
+		found := false
+		for _, jobs := range tn.n.store.byNode {
+			if jr, ok := jobs[jobID]; ok && jr.checkpoint != nil {
+				found = true
+			}
+		}
+		tn.n.store.mu.Unlock()
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFleetKillOneOfN is the PR's acceptance gate: three daemons, 20+
+// acknowledged jobs submitted through one gateway, then the node
+// hosting a mid-switch job is SIGKILLed (in-process equivalent: HTTP
+// goes dark, loops die, nothing further is journaled). The survivors
+// must declare it dead, adopt every one of its jobs from their
+// replicated journal streams, and finish all of them — and each job
+// resumed from a checkpoint must produce a decision stream bit-identical
+// to a control registry recovering from the very same records, which
+// (by the resume contract proven in resume_test.go) equals an
+// uninterrupted run.
+func TestFleetKillOneOfN(t *testing.T) {
+	hb := 25 * time.Millisecond
+	var nodes [3]*testNode
+	var nodesMu sync.Mutex // guards nodes during setup vs DaemonKill hooks
+
+	allowKill := make(chan struct{})
+	var killedID string
+	var killOnce sync.Once
+	mkOpts := func(i int) server.Options {
+		return server.Options{
+			PoolSize: 2, CheckpointEvery: 2,
+			ConfigureJob: offOptimum,
+			DaemonKill: func() {
+				// Runs inside the chaos job's goroutine on the owner.
+				// Hold the "SIGKILL" until the test has seen the job's
+				// checkpoint land on a survivor, so the adoption below is
+				// deterministic rather than racing replication.
+				<-allowKill
+				nodesMu.Lock()
+				self := nodes[i].n
+				nodesMu.Unlock()
+				killOnce.Do(func() { killedID = self.ID() })
+				self.Kill()
+				runtime.Goexit()
+			},
+		}
+	}
+
+	nodesMu.Lock()
+	nodes[0] = startNode(t, "n1", nil, hb, mkOpts(0))
+	seed := []string{nodes[0].n.cfg.Advertise}
+	nodes[1] = startNode(t, "n2", seed, hb, mkOpts(1))
+	nodes[2] = startNode(t, "n3", seed, hb, mkOpts(2))
+	nodesMu.Unlock()
+	waitFor(t, "membership convergence", func() bool {
+		for _, tn := range nodes {
+			if tn.n.ring.Len() != 3 {
+				return false
+			}
+		}
+		return true
+	})
+	gateway := nodes[0].srv.URL
+
+	// ≥20 acknowledged jobs through one gateway: 20 ordinary jobs plus
+	// the daemon-killer. Acknowledged means 201 — and, by the fleet's
+	// submit-time sync, replicated to the owner's ring successor.
+	var ids []string
+	for i := 0; i < 20; i++ {
+		var info server.JobInfo
+		if code := doJSON(t, http.MethodPost, gateway+"/v1/jobs", smallSpec(), &info); code != http.StatusCreated {
+			t.Fatalf("submit %d: status %d", i, code)
+		}
+		ids = append(ids, info.ID)
+	}
+	var crash server.JobInfo
+	if code := doJSON(t, http.MethodPost, gateway+"/v1/jobs", crashSpec(), &crash); code != http.StatusCreated {
+		t.Fatalf("crash-job submit: status %d", code)
+	}
+	ids = append(ids, crash.ID)
+	crashOwner := crash.Node
+	var ownerNode *Node
+	for _, tn := range nodes {
+		if tn.n.ID() == crashOwner {
+			ownerNode = tn.n
+		}
+	}
+	if ownerNode == nil {
+		t.Fatalf("crash job owner %q not in fleet", crashOwner)
+	}
+
+	// Release the kill only once the crash job's checkpoint is durably
+	// replicated on a survivor.
+	waitFor(t, "crash-job checkpoint on a survivor", func() bool {
+		return checkpointReplicated(nodes[:], ownerNode, crash.ID)
+	})
+	close(allowKill)
+
+	waitFor(t, "the owner to die", func() bool { return ownerNode.killed.Load() })
+	if killedID != crashOwner {
+		t.Fatalf("killed %s, expected the crash job's owner %s", killedID, crashOwner)
+	}
+	var survivors []*testNode
+	for _, tn := range nodes {
+		if tn.n != ownerNode {
+			survivors = append(survivors, tn)
+		}
+	}
+
+	// Survivors declare the dead node, adopt its jobs, and the entire
+	// submitted set completes cluster-wide.
+	waitFor(t, "survivors to drop the dead node from their rings", func() bool {
+		for _, s := range survivors {
+			if s.n.ring.Len() != 2 || s.n.ring.Has(crashOwner) {
+				return false
+			}
+		}
+		return true
+	})
+	waitFor(t, "all 21 jobs done on the survivors", func() bool {
+		var list struct{ Jobs []server.JobInfo }
+		if doJSON(t, http.MethodGet, survivors[0].srv.URL+"/v1/jobs", nil, &list) != http.StatusOK {
+			return false
+		}
+		done := map[string]bool{}
+		for _, j := range list.Jobs {
+			if j.Status.State == autopipe.JobDone {
+				if j.Node == crashOwner {
+					t.Fatalf("job %s still reports the dead node %s as host", j.ID, j.Node)
+				}
+				done[j.ID] = true
+			}
+		}
+		for _, id := range ids {
+			if !done[id] {
+				return false
+			}
+		}
+		return true
+	})
+	var adopted int64
+	for _, s := range survivors {
+		adopted += s.n.adopted.Load()
+	}
+	if adopted == 0 {
+		t.Fatal("no jobs were adopted despite the owner dying")
+	}
+
+	// Determinism: every adopted job must equal a control single-node
+	// registry recovering from the SAME replicated records. The resume
+	// contract (resume_test.go) makes that transitively bit-identical to
+	// an uninterrupted run.
+	control := server.NewRegistryWithOptions(server.Options{
+		PoolSize: 4, CheckpointEvery: 2, ConfigureJob: offOptimum, NodeID: "control",
+	})
+	defer control.Shutdown(context.Background())
+	type pair struct {
+		id      string
+		adopter *Node
+	}
+	var adoptedJobs []pair
+	for _, s := range survivors {
+		s.n.mu.Lock()
+		for id := range s.n.adoptions {
+			adoptedJobs = append(adoptedJobs, pair{id: id, adopter: s.n})
+		}
+		s.n.mu.Unlock()
+	}
+	if len(adoptedJobs) == 0 {
+		t.Fatal("no adoption records retained")
+	}
+	sawCrashJob := false
+	for _, p := range adoptedJobs {
+		if p.id == crash.ID {
+			sawCrashJob = true
+		}
+		if _, err := control.Adopt(p.adopter.AdoptionRecords(p.id)); err != nil {
+			t.Fatalf("control replay of %s: %v", p.id, err)
+		}
+	}
+	if !sawCrashJob {
+		t.Fatalf("crash job %s was not among the adopted jobs", crash.ID)
+	}
+	for _, p := range adoptedJobs {
+		want, err := p.adopter.reg.Get(p.id)
+		if err != nil || want.Status.State != autopipe.JobDone || want.Result == nil {
+			t.Fatalf("adopted %s on %s: %+v, %v", p.id, p.adopter.ID(), want, err)
+		}
+		var got server.JobInfo
+		waitFor(t, "control replay of "+p.id, func() bool {
+			var err error
+			got, err = control.Get(p.id)
+			return err == nil && got.Status.State == autopipe.JobDone
+		})
+		if got.Result == nil {
+			t.Fatalf("control run of %s finished without a result", p.id)
+		}
+		da, _ := json.Marshal(want.Result.Decisions)
+		db, _ := json.Marshal(got.Result.Decisions)
+		if string(da) != string(db) {
+			t.Fatalf("adopted %s decision stream diverges from control replay:\n%s\nvs\n%s", p.id, da, db)
+		}
+		if !want.Result.FinalPlan.Equal(got.Result.FinalPlan) {
+			t.Fatalf("adopted %s final plan %s != control %s", p.id, want.Result.FinalPlan, got.Result.FinalPlan)
+		}
+		if want.Result.Batches != got.Result.Batches {
+			t.Fatalf("adopted %s batches %d != control %d", p.id, want.Result.Batches, got.Result.Batches)
+		}
+	}
+
+	for _, s := range survivors {
+		if err := s.n.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

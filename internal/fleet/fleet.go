@@ -1,0 +1,832 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autopipe/internal/journal"
+	"autopipe/internal/server"
+)
+
+// Timing defaults. Suspicion is advisory (the peer stays in the ring);
+// only the dead threshold has side effects, so it is deliberately an
+// order of magnitude above the heartbeat period — adopting the jobs of
+// a node that was merely slow would run them twice.
+const (
+	DefaultHeartbeatEvery = time.Second
+	defaultSuspectFactor  = 3
+	defaultDeadFactor     = 10
+	// resyncTicks is how many heartbeat rounds pass between full
+	// replica resyncs (repairing records dropped by backpressure and
+	// re-homing replicas after membership changes).
+	resyncTicks = 3
+	// forwardedHeader marks proxied requests so they are answered
+	// locally — a placement disagreement must degrade to 404, never to
+	// a forwarding loop.
+	forwardedHeader = "X-Autopipe-Forwarded"
+	// maxSpecBytes mirrors the single-node API's submit size bound.
+	maxSpecBytes = 1 << 20
+)
+
+// Config parametrises one fleet node.
+type Config struct {
+	// ID uniquely names this daemon in the fleet (required).
+	ID string
+	// Advertise is the URL peers use to reach this node's HTTP surface,
+	// e.g. "http://10.0.0.7:8081" (required for multi-node operation).
+	Advertise string
+	// Peers seeds membership with other nodes' advertise URLs; the full
+	// member list is learned from join responses and heartbeat gossip.
+	Peers []string
+	// HeartbeatEvery is the failure-detector period (default 1s).
+	HeartbeatEvery time.Duration
+	// SuspectAfter marks a peer suspect after this much silence
+	// (default 3 × HeartbeatEvery).
+	SuspectAfter time.Duration
+	// DeadAfter declares a peer dead — removing it from the ring and
+	// adopting its replicated jobs — after this much silence (default
+	// 10 × HeartbeatEvery).
+	DeadAfter time.Duration
+	// VNodes is the virtual-node count per member (default
+	// DefaultVNodes).
+	VNodes int
+	// Client performs peer HTTP calls (default: 5s timeout).
+	Client *http.Client
+	// Logf receives operational events (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Node federates a local job registry with its peers: a consistent-hash
+// ring places jobs, any node proxies API requests to the owner, owners
+// stream journal records to each job's ring successor, and successors
+// adopt the jobs of a peer declared dead.
+type Node struct {
+	cfg     Config
+	reg     *server.Registry
+	base    *server.Server
+	mux     *http.ServeMux
+	ring    *Ring
+	members *membership
+	store   *replicaStore
+	client  *http.Client
+
+	mu        sync.Mutex
+	seq       int
+	closing   bool
+	adoptions map[string][]journal.Record // job id -> records it was adopted from
+
+	killed   atomic.Bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+
+	replCh chan journal.Record
+
+	// Counters for /metrics and /v1/cluster.
+	forwarded     atomic.Int64
+	adopted       atomic.Int64
+	replSent      atomic.Int64
+	replDropped   atomic.Int64
+	replErrors    atomic.Int64
+	handoffSent   atomic.Int64
+	handoffRecv   atomic.Int64
+	heartbeatsOK  atomic.Int64
+	heartbeatsBad atomic.Int64
+}
+
+// New builds a fleet node around a registry constructed from sopts.
+// The node installs its own NodeID and OnRecord hooks (chaining any
+// OnRecord already present) and returns without touching the network;
+// call Start once the node's Advertise URL is actually being served.
+func New(cfg Config, sopts server.Options) (*Node, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("fleet: Config.ID is required")
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = DefaultHeartbeatEvery
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = defaultSuspectFactor * cfg.HeartbeatEvery
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = defaultDeadFactor * cfg.HeartbeatEvery
+	}
+	if cfg.DeadAfter < cfg.SuspectAfter {
+		return nil, fmt.Errorf("fleet: DeadAfter %s below SuspectAfter %s", cfg.DeadAfter, cfg.SuspectAfter)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	n := &Node{
+		cfg:       cfg,
+		ring:      NewRing(cfg.VNodes),
+		members:   newMembership(time.Now),
+		store:     newReplicaStore(),
+		client:    cfg.Client,
+		adoptions: map[string][]journal.Record{},
+		stop:      make(chan struct{}),
+		replCh:    make(chan journal.Record, 1024),
+	}
+	if n.client == nil {
+		n.client = &http.Client{Timeout: 5 * time.Second}
+	}
+	sopts.NodeID = cfg.ID
+	prevOnRecord := sopts.OnRecord
+	sopts.OnRecord = func(rec journal.Record) {
+		if prevOnRecord != nil {
+			prevOnRecord(rec)
+		}
+		n.observeRecord(rec)
+	}
+	n.reg = server.NewRegistryWithOptions(sopts)
+	n.base = server.New(n.reg)
+	n.ring.Add(cfg.ID)
+	n.buildMux()
+	return n, nil
+}
+
+// Registry exposes the node's local job registry (journal recovery and
+// tests go through it).
+func (n *Node) Registry() *server.Registry { return n.reg }
+
+// Ring exposes the node's current placement ring.
+func (n *Node) Ring() *Ring { return n.ring }
+
+// ID returns the node's fleet identity.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// Handler returns the node's HTTP surface: the single-node API plus
+// fleet forwarding and peer endpoints. After Kill it answers 503 to
+// everything, which is how peers' failure detectors find out.
+func (n *Node) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if n.killed.Load() {
+			http.Error(w, "node killed", http.StatusServiceUnavailable)
+			return
+		}
+		n.mux.ServeHTTP(w, req)
+	})
+}
+
+// Start joins the seed peers and launches the heartbeat and
+// replication loops. The node's Advertise URL must be serving
+// n.Handler() before Start is called.
+func (n *Node) Start() {
+	for _, seed := range n.cfg.Peers {
+		var resp joinResponse
+		err := n.post(seed+"/v1/fleet/join", joinRequest{ID: n.cfg.ID, Addr: n.cfg.Advertise}, &resp)
+		if err != nil {
+			n.cfg.Logf("fleet %s: join via %s failed: %v", n.cfg.ID, seed, err)
+			continue
+		}
+		if n.members.observe(resp.ID, seed, 0) {
+			n.ring.Add(resp.ID)
+		}
+		for _, id := range n.members.merge(n.cfg.ID, resp.Members) {
+			n.ring.Add(id)
+		}
+	}
+	n.wg.Add(2)
+	go n.heartbeatLoop()
+	go n.replicatorLoop()
+}
+
+// Kill simulates abrupt death for chaos tests: HTTP goes dark, the
+// loops stop, and the registry is killed without emitting any further
+// durable state — the in-process equivalent of SIGKILL.
+func (n *Node) Kill() {
+	if !n.killed.CompareAndSwap(false, true) {
+		return
+	}
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.reg.Kill()
+}
+
+// Shutdown drains the node gracefully. In fleet mode the queued jobs
+// are first handed to their new ring owners instead of being refused,
+// running jobs drain under ctx as on a single node, every job's final
+// state is synced to its successor, and the node announces its leave so
+// peers drop it from placement and adopt its completed results. With no
+// live peers this degrades exactly to the single-node drain.
+func (n *Node) Shutdown(ctx context.Context) error {
+	n.mu.Lock()
+	if n.closing {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closing = true
+	n.mu.Unlock()
+
+	targets := n.members.targets()
+	if len(targets) > 0 {
+		n.ring.Remove(n.cfg.ID)
+		for _, q := range n.reg.DetachQueued() {
+			dest := n.ring.Owner(q.ID)
+			if n.handoff(dest, q) {
+				n.handoffSent.Add(1)
+				continue
+			}
+			// No reachable peer for it: run it locally during the drain
+			// rather than losing the acknowledged submission.
+			if _, err := n.reg.SubmitWithID(q.ID, q.Spec); err != nil {
+				n.cfg.Logf("fleet %s: drain could not re-queue %s: %v", n.cfg.ID, q.ID, err)
+			}
+		}
+	}
+	err := n.reg.Shutdown(ctx)
+	// Stop the heartbeat and replicator loops BEFORE the final sync: an
+	// in-flight periodic resync exported while jobs were still running
+	// would otherwise race the final one and clobber successors' replicas
+	// with stale pre-drain state.
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.wg.Wait()
+	if len(targets) > 0 {
+		n.resyncAll()
+		for _, t := range targets {
+			if perr := n.post(t.Addr+"/v1/fleet/leave", leaveRequest{ID: n.cfg.ID}, nil); perr != nil {
+				n.cfg.Logf("fleet %s: leave notice to %s failed: %v", n.cfg.ID, t.ID, perr)
+			}
+		}
+	}
+	return err
+}
+
+// AdoptionRecords returns the replicated record stream a job was
+// adopted from (nil if the job was not adopted here). The acceptance
+// tests replay it on a control registry to prove adopted jobs resume
+// deterministically.
+func (n *Node) AdoptionRecords(jobID string) []journal.Record {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.adoptions[jobID]
+}
+
+// --- wire types ---
+
+type joinRequest struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+type joinResponse struct {
+	ID      string       `json:"id"`
+	Members []memberInfo `json:"members"`
+}
+
+type heartbeatRequest struct {
+	ID      string       `json:"id"`
+	Addr    string       `json:"addr"`
+	Members []memberInfo `json:"members"`
+}
+
+type heartbeatResponse struct {
+	ID      string       `json:"id"`
+	Members []memberInfo `json:"members"`
+}
+
+type replicateRequest struct {
+	From    string           `json:"from"`
+	Full    bool             `json:"full"`
+	Records []journal.Record `json:"records"`
+}
+
+type fleetSubmitRequest struct {
+	ID   string         `json:"id"`
+	Spec server.JobSpec `json:"spec"`
+}
+
+type leaveRequest struct {
+	ID string `json:"id"`
+}
+
+type localJobsResponse struct {
+	Node string           `json:"node"`
+	Jobs []server.JobInfo `json:"jobs"`
+}
+
+// ClusterView is the GET /v1/cluster response.
+type ClusterView struct {
+	Self           memberInfo     `json:"self"`
+	Ring           []string       `json:"ring"`
+	Peers          []PeerStatus   `json:"peers"`
+	ReplicatedJobs map[string]int `json:"replicated_jobs,omitempty"`
+	JobsAdopted    int64          `json:"jobs_adopted_total"`
+	Forwarded      int64          `json:"forwarded_requests_total"`
+}
+
+// --- HTTP surface ---
+
+func (n *Node) buildMux() {
+	n.mux = http.NewServeMux()
+	n.mux.HandleFunc("POST /v1/jobs", n.handleSubmit)
+	n.mux.HandleFunc("GET /v1/jobs", n.handleList)
+	n.mux.HandleFunc("GET /v1/jobs/{id}", n.handleGet)
+	n.mux.HandleFunc("DELETE /v1/jobs/{id}", n.handleCancel)
+	n.mux.HandleFunc("GET /v1/cluster", n.handleCluster)
+	n.mux.HandleFunc("GET /metrics", n.handleMetrics)
+	n.mux.HandleFunc("POST /v1/fleet/join", n.handleJoin)
+	n.mux.HandleFunc("POST /v1/fleet/heartbeat", n.handleHeartbeat)
+	n.mux.HandleFunc("POST /v1/fleet/replicate", n.handleReplicate)
+	n.mux.HandleFunc("POST /v1/fleet/submit", n.handleFleetSubmit)
+	n.mux.HandleFunc("POST /v1/fleet/leave", n.handleLeave)
+	n.mux.HandleFunc("GET /v1/fleet/jobs", n.handleLocalJobs)
+	n.mux.Handle("/", n.base.Handler())
+}
+
+func (n *Node) self() memberInfo {
+	return memberInfo{ID: n.cfg.ID, Addr: n.cfg.Advertise}
+}
+
+// handleSubmit is the gateway path: any node accepts a submission,
+// assigns a globally unique ID, and either hosts the job (it is the
+// ring owner) or proxies it to the owner.
+func (n *Node) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	var spec server.JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		return
+	}
+	n.mu.Lock()
+	n.seq++
+	id := fmt.Sprintf("job-%s-%06d", n.cfg.ID, n.seq)
+	n.mu.Unlock()
+	owner := n.ring.Owner(id)
+	if owner == n.cfg.ID || owner == "" {
+		n.submitLocal(w, id, spec)
+		return
+	}
+	addr := n.members.addr(owner)
+	if addr == "" {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("fleet: owner %s for %s has no address", owner, id))
+		return
+	}
+	n.forwarded.Add(1)
+	n.relay(w, http.MethodPost, addr+"/v1/fleet/submit", fleetSubmitRequest{ID: id, Spec: spec})
+}
+
+// handleFleetSubmit hosts a job forwarded by a gateway peer (or handed
+// off by a draining one).
+func (n *Node) handleFleetSubmit(w http.ResponseWriter, req *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxSpecBytes))
+	var fr fleetSubmitRequest
+	if err := dec.Decode(&fr); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad forwarded submit: %w", err))
+		return
+	}
+	if fr.ID == "" {
+		writeError(w, http.StatusBadRequest, errors.New("forwarded submit needs an id"))
+		return
+	}
+	n.handoffRecv.Add(1)
+	n.submitLocal(w, fr.ID, fr.Spec)
+}
+
+// submitLocal hosts a job here and synchronously syncs its durable
+// state to the ring successor, so an acknowledged submission survives
+// this node dying immediately afterwards (as long as the successor
+// lives — the fleet keeps one replica, not a quorum).
+func (n *Node) submitLocal(w http.ResponseWriter, id string, spec server.JobSpec) {
+	info, err := n.reg.SubmitWithID(id, spec)
+	switch {
+	case errors.Is(err, server.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, server.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, server.ErrDuplicateID):
+		writeError(w, http.StatusConflict, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		n.syncJob(id)
+		writeJSON(w, http.StatusCreated, info)
+	}
+}
+
+// handleList aggregates the cluster-wide job table; a forwarded request
+// answers with local jobs only.
+func (n *Node) handleList(w http.ResponseWriter, req *http.Request) {
+	jobs := n.reg.List()
+	if req.Header.Get(forwardedHeader) == "" {
+		for _, t := range n.members.targets() {
+			var resp localJobsResponse
+			if err := n.get(t.Addr+"/v1/fleet/jobs", &resp); err != nil {
+				n.cfg.Logf("fleet %s: listing via %s failed: %v", n.cfg.ID, t.ID, err)
+				continue
+			}
+			jobs = append(jobs, resp.Jobs...)
+		}
+		sort.Slice(jobs, func(i, j int) bool {
+			if !jobs[i].Created.Equal(jobs[j].Created) {
+				return jobs[i].Created.Before(jobs[j].Created)
+			}
+			return jobs[i].ID < jobs[j].ID
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
+}
+
+func (n *Node) handleLocalJobs(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, localJobsResponse{Node: n.cfg.ID, Jobs: n.reg.List()})
+}
+
+func (n *Node) handleGet(w http.ResponseWriter, req *http.Request) {
+	n.proxyJob(w, req, func(id string) (server.JobInfo, error) { return n.reg.Get(id) })
+}
+
+func (n *Node) handleCancel(w http.ResponseWriter, req *http.Request) {
+	n.proxyJob(w, req, func(id string) (server.JobInfo, error) { return n.reg.Cancel(id) })
+}
+
+// proxyJob serves a per-job request locally when the job is hosted
+// here, otherwise forwards it to the ring owner. Forwarded requests are
+// always answered locally: a stale ring cannot cause a loop, only a
+// 404.
+func (n *Node) proxyJob(w http.ResponseWriter, req *http.Request, local func(string) (server.JobInfo, error)) {
+	id := req.PathValue("id")
+	info, err := local(id)
+	if err == nil {
+		writeJSON(w, http.StatusOK, info)
+		return
+	}
+	owner := n.ring.Owner(id)
+	if req.Header.Get(forwardedHeader) != "" || owner == n.cfg.ID || owner == "" {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	addr := n.members.addr(owner)
+	if addr == "" {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	n.forwarded.Add(1)
+	n.relay(w, req.Method, addr+"/v1/jobs/"+url.PathEscape(id), nil)
+}
+
+func (n *Node) handleCluster(w http.ResponseWriter, req *http.Request) {
+	peers := n.members.snapshot()
+	sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
+	writeJSON(w, http.StatusOK, ClusterView{
+		Self:           n.self(),
+		Ring:           n.ring.Nodes(),
+		Peers:          peers,
+		ReplicatedJobs: n.store.jobCount(),
+		JobsAdopted:    n.adopted.Load(),
+		Forwarded:      n.forwarded.Load(),
+	})
+}
+
+func (n *Node) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	server.WriteMetrics(w, n.reg)
+	n.writeFleetMetrics(w)
+}
+
+func (n *Node) handleJoin(w http.ResponseWriter, req *http.Request) {
+	var jr joinRequest
+	if err := json.NewDecoder(req.Body).Decode(&jr); err != nil || jr.ID == "" {
+		writeError(w, http.StatusBadRequest, errors.New("bad join request"))
+		return
+	}
+	if n.members.observe(jr.ID, jr.Addr, 0) {
+		n.ring.Add(jr.ID)
+		n.cfg.Logf("fleet %s: %s joined (%s)", n.cfg.ID, jr.ID, jr.Addr)
+	}
+	writeJSON(w, http.StatusOK, joinResponse{ID: n.cfg.ID, Members: n.members.live(n.self())})
+}
+
+func (n *Node) handleHeartbeat(w http.ResponseWriter, req *http.Request) {
+	var hb heartbeatRequest
+	if err := json.NewDecoder(req.Body).Decode(&hb); err != nil || hb.ID == "" {
+		writeError(w, http.StatusBadRequest, errors.New("bad heartbeat"))
+		return
+	}
+	if n.members.observe(hb.ID, hb.Addr, 0) {
+		n.ring.Add(hb.ID)
+	}
+	for _, id := range n.members.merge(n.cfg.ID, hb.Members) {
+		n.ring.Add(id)
+	}
+	writeJSON(w, http.StatusOK, heartbeatResponse{ID: n.cfg.ID, Members: n.members.live(n.self())})
+}
+
+func (n *Node) handleReplicate(w http.ResponseWriter, req *http.Request) {
+	var rr replicateRequest
+	if err := json.NewDecoder(req.Body).Decode(&rr); err != nil || rr.From == "" {
+		writeError(w, http.StatusBadRequest, errors.New("bad replicate request"))
+		return
+	}
+	n.store.apply(rr.From, rr.Full, rr.Records)
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": len(rr.Records)})
+}
+
+func (n *Node) handleLeave(w http.ResponseWriter, req *http.Request) {
+	var lr leaveRequest
+	if err := json.NewDecoder(req.Body).Decode(&lr); err != nil || lr.ID == "" {
+		writeError(w, http.StatusBadRequest, errors.New("bad leave request"))
+		return
+	}
+	if n.members.markLeft(lr.ID) {
+		n.cfg.Logf("fleet %s: %s left gracefully", n.cfg.ID, lr.ID)
+		// A clean leaver drained first, so its replicas here are
+		// completed results; adopt them to keep them queryable.
+		n.adoptFrom(lr.ID)
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// --- failure detection and adoption ---
+
+func (n *Node) heartbeatLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.HeartbeatEvery)
+	defer t.Stop()
+	ticks := 0
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.heartbeatRound()
+			if ticks++; ticks%resyncTicks == 0 {
+				n.resyncAll()
+			}
+		}
+	}
+}
+
+func (n *Node) heartbeatRound() {
+	targets := n.members.targets()
+	var wg sync.WaitGroup
+	for _, t := range targets {
+		wg.Add(1)
+		go func(t memberInfo) {
+			defer wg.Done()
+			start := time.Now()
+			var resp heartbeatResponse
+			err := n.post(t.Addr+"/v1/fleet/heartbeat",
+				heartbeatRequest{ID: n.cfg.ID, Addr: n.cfg.Advertise, Members: n.members.live(n.self())}, &resp)
+			if err != nil {
+				n.heartbeatsBad.Add(1)
+				if _, died := n.members.fail(t.ID, n.cfg.SuspectAfter, n.cfg.DeadAfter); died {
+					n.cfg.Logf("fleet %s: declaring %s dead", n.cfg.ID, t.ID)
+					n.adoptFrom(t.ID)
+				}
+				return
+			}
+			n.heartbeatsOK.Add(1)
+			if n.members.observe(t.ID, t.Addr, time.Since(start)) {
+				n.ring.Add(t.ID)
+			}
+			for _, id := range n.members.merge(n.cfg.ID, resp.Members) {
+				n.ring.Add(id)
+			}
+		}(t)
+	}
+	wg.Wait()
+}
+
+// adoptFrom takes over the replicated jobs of a dead (or cleanly left)
+// peer. Each owner replicated a job only to its ring successor, so the
+// store holds exactly the jobs whose new owner is this node; the
+// ownership re-check only drops replicas orphaned by membership drift.
+func (n *Node) adoptFrom(deadID string) {
+	n.ring.Remove(deadID)
+	streams := n.store.take(deadID)
+	ids := make([]string, 0, len(streams))
+	for id := range streams {
+		if n.ring.Owner(id) != n.cfg.ID {
+			n.cfg.Logf("fleet %s: replica %s from %s now owned elsewhere, dropping", n.cfg.ID, id, deadID)
+			delete(streams, id)
+			continue
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return
+	}
+	sort.Strings(ids)
+	var recs []journal.Record
+	for _, id := range ids {
+		recs = append(recs, streams[id]...)
+	}
+	stats, err := n.reg.Adopt(recs)
+	if err != nil {
+		n.cfg.Logf("fleet %s: adopting %d jobs from %s failed: %v", n.cfg.ID, len(ids), deadID, err)
+		return
+	}
+	n.mu.Lock()
+	for _, id := range ids {
+		n.adoptions[id] = streams[id]
+	}
+	n.mu.Unlock()
+	n.adopted.Add(int64(stats.Resumed + stats.Restarted + stats.Requeued + stats.Completed))
+	n.cfg.Logf("fleet %s: adopted %d jobs from %s (%+v)", n.cfg.ID, len(ids), deadID, stats)
+}
+
+// --- replication ---
+
+// observeRecord is the registry's OnRecord hook. It runs under an
+// internal registry lock, so it must not block: records are queued for
+// the replicator goroutine and dropped under backpressure (the periodic
+// full resync repairs any loss).
+func (n *Node) observeRecord(rec journal.Record) {
+	if rec.JobID == "" {
+		return
+	}
+	select {
+	case n.replCh <- rec:
+	default:
+		n.replDropped.Add(1)
+	}
+}
+
+func (n *Node) replicatorLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case rec := <-n.replCh:
+			batch := map[string][]journal.Record{}
+			n.addToBatch(batch, rec)
+			for i := 0; i < 63; i++ {
+				select {
+				case more := <-n.replCh:
+					n.addToBatch(batch, more)
+					continue
+				default:
+				}
+				break
+			}
+			for dest, recs := range batch {
+				n.sendReplicate(dest, false, recs)
+			}
+		}
+	}
+}
+
+func (n *Node) addToBatch(batch map[string][]journal.Record, rec journal.Record) {
+	dest := n.ring.OwnerExcluding(rec.JobID, n.cfg.ID)
+	if dest == "" {
+		return
+	}
+	batch[dest] = append(batch[dest], rec)
+}
+
+func (n *Node) sendReplicate(destID string, full bool, recs []journal.Record) {
+	addr := n.members.addr(destID)
+	if addr == "" || len(recs) == 0 {
+		return
+	}
+	err := n.post(addr+"/v1/fleet/replicate", replicateRequest{From: n.cfg.ID, Full: full, Records: recs}, nil)
+	if err != nil {
+		n.replErrors.Add(1)
+		return
+	}
+	n.replSent.Add(int64(len(recs)))
+}
+
+// syncJob pushes one job's full durable state to its ring successor
+// synchronously (used right after accepting it).
+func (n *Node) syncJob(id string) {
+	dest := n.ring.OwnerExcluding(id, n.cfg.ID)
+	if dest == "" {
+		return
+	}
+	n.sendReplicate(dest, true, n.reg.ExportRecords(id))
+}
+
+// resyncAll full-syncs every local job to its current successor —
+// replication's repair path for dropped records and membership changes.
+func (n *Node) resyncAll() {
+	byDest := map[string][]string{}
+	for _, info := range n.reg.List() {
+		if dest := n.ring.OwnerExcluding(info.ID, n.cfg.ID); dest != "" {
+			byDest[dest] = append(byDest[dest], info.ID)
+		}
+	}
+	for dest, ids := range byDest {
+		n.sendReplicate(dest, true, n.reg.ExportRecords(ids...))
+	}
+}
+
+// handoff gives one detached queued job to dest during a graceful
+// drain. Reports success; the caller keeps the job on failure.
+func (n *Node) handoff(dest string, q server.QueuedJob) bool {
+	if dest == "" || dest == n.cfg.ID {
+		return false
+	}
+	addr := n.members.addr(dest)
+	if addr == "" {
+		return false
+	}
+	err := n.post(addr+"/v1/fleet/submit", fleetSubmitRequest{ID: q.ID, Spec: q.Spec}, nil)
+	if err != nil {
+		n.cfg.Logf("fleet %s: handoff of %s to %s failed: %v", n.cfg.ID, q.ID, dest, err)
+		return false
+	}
+	return true
+}
+
+// --- HTTP plumbing ---
+
+// post sends a JSON request and decodes the JSON response into out
+// (when non-nil). Non-2xx responses are errors.
+func (n *Node) post(rawURL string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, rawURL, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return n.do(req, out)
+}
+
+func (n *Node) get(rawURL string, out any) error {
+	req, err := http.NewRequest(http.MethodGet, rawURL, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set(forwardedHeader, "1")
+	return n.do(req, out)
+}
+
+func (n *Node) do(req *http.Request, out any) error {
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("fleet: %s %s: status %d", req.Method, req.URL, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// relay proxies one API request to a peer and copies the response back
+// verbatim, tagging it so the peer answers locally.
+func (n *Node) relay(w http.ResponseWriter, method, rawURL string, body any) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, rawURL, rd)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	req.Header.Set(forwardedHeader, "1")
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("fleet: forward to %s: %w", rawURL, err))
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

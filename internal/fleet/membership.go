@@ -1,0 +1,212 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// peerState is one node's independent opinion of a peer. There is no
+// global failure detector: each node runs its own alive → suspect →
+// dead machine off its own heartbeats, and only the dead transition has
+// side effects (ring removal and job adoption).
+type peerState int
+
+const (
+	peerAlive peerState = iota
+	peerSuspect
+	peerDead
+)
+
+func (s peerState) String() string {
+	switch s {
+	case peerAlive:
+		return "alive"
+	case peerSuspect:
+		return "suspect"
+	case peerDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// peer is this node's view of one other fleet member.
+type peer struct {
+	id   string
+	addr string
+
+	state   peerState
+	lastAck time.Time // last successful heartbeat (or first sighting)
+	rttSec  float64   // latest heartbeat round trip
+	left    bool      // announced a graceful leave; out of the ring
+}
+
+// memberInfo is the wire form of a membership entry, piggybacked on
+// join and heartbeat exchanges.
+type memberInfo struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// membership tracks peers (never self) and owns the alive/suspect/dead
+// transitions. The ring is updated by the Node, not here, so lock
+// ordering stays trivial: membership.mu is a leaf lock.
+type membership struct {
+	mu    sync.Mutex
+	peers map[string]*peer
+	now   func() time.Time
+}
+
+func newMembership(now func() time.Time) *membership {
+	return &membership{peers: map[string]*peer{}, now: now}
+}
+
+// observe records direct evidence that a peer exists and is reachable
+// (a join or heartbeat FROM it, or a successful heartbeat TO it).
+// Direct contact always revives: a peer we declared dead that speaks
+// again re-enters as alive (its jobs were already adopted; a restarted
+// daemon starts empty anyway). Reports whether the peer was (re)added
+// to the live set — the caller must then re-add it to the ring.
+func (ms *membership) observe(id, addr string, rtt time.Duration) (revived bool) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	p, ok := ms.peers[id]
+	if !ok {
+		p = &peer{id: id}
+		ms.peers[id] = p
+		revived = true
+	}
+	if p.state == peerDead || p.left {
+		revived = true
+	}
+	p.state = peerAlive
+	p.left = false
+	p.lastAck = ms.now()
+	if addr != "" {
+		p.addr = addr
+	}
+	if rtt > 0 {
+		p.rttSec = rtt.Seconds()
+	}
+	return revived
+}
+
+// merge folds a peer's member list in. Gossiped entries are hearsay:
+// unknown nodes are added (and probed by the next heartbeat round), but
+// a node WE hold dead or left stays that way until it contacts us
+// directly — otherwise a lagging peer's list would resurrect a corpse
+// whose jobs we already adopted. Returns the IDs newly added.
+func (ms *membership) merge(self string, members []memberInfo) []string {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	var added []string
+	for _, m := range members {
+		if m.ID == "" || m.ID == self {
+			continue
+		}
+		if p, ok := ms.peers[m.ID]; ok {
+			if p.addr == "" {
+				p.addr = m.Addr
+			}
+			continue
+		}
+		ms.peers[m.ID] = &peer{id: m.ID, addr: m.Addr, state: peerAlive, lastAck: ms.now()}
+		added = append(added, m.ID)
+	}
+	return added
+}
+
+// markLeft records a graceful leave announcement. The leaver drops out
+// of placement immediately; its completed-job replicas are adopted by
+// the caller.
+func (ms *membership) markLeft(id string) bool {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	p, ok := ms.peers[id]
+	if !ok || p.left {
+		return false
+	}
+	p.left = true
+	p.state = peerDead
+	return true
+}
+
+// fail records a heartbeat failure and advances the state machine.
+// Returns the new state; the peerDead return fires exactly once per
+// death (subsequent failures keep returning peerDead but died=false).
+func (ms *membership) fail(id string, suspectAfter, deadAfter time.Duration) (st peerState, died bool) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	p, ok := ms.peers[id]
+	if !ok {
+		return peerDead, false
+	}
+	if p.state == peerDead {
+		return peerDead, false
+	}
+	quiet := ms.now().Sub(p.lastAck)
+	switch {
+	case quiet >= deadAfter:
+		p.state = peerDead
+		return peerDead, true
+	case quiet >= suspectAfter:
+		p.state = peerSuspect
+	}
+	return p.state, false
+}
+
+// targets returns the peers the heartbeat loop should probe: everyone
+// not yet declared dead.
+func (ms *membership) targets() []memberInfo {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	var out []memberInfo
+	for _, p := range ms.peers {
+		if p.state != peerDead && !p.left {
+			out = append(out, memberInfo{ID: p.id, Addr: p.addr})
+		}
+	}
+	return out
+}
+
+// live returns the member list this node vouches for in gossip: itself
+// plus every peer it has not declared dead.
+func (ms *membership) live(self memberInfo) []memberInfo {
+	out := []memberInfo{self}
+	return append(out, ms.targets()...)
+}
+
+// addr resolves a peer ID to its advertised address ("" if unknown).
+func (ms *membership) addr(id string) string {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if p, ok := ms.peers[id]; ok {
+		return p.addr
+	}
+	return ""
+}
+
+// PeerStatus is one row of the /v1/cluster membership table.
+type PeerStatus struct {
+	ID      string  `json:"id"`
+	Addr    string  `json:"addr"`
+	State   string  `json:"state"`
+	AgoSec  float64 `json:"last_ack_ago_sec"`
+	RTTSec  float64 `json:"heartbeat_rtt_sec"`
+	HasLeft bool    `json:"left,omitempty"`
+}
+
+// snapshot renders every known peer for the cluster view and metrics.
+func (ms *membership) snapshot() []PeerStatus {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	now := ms.now()
+	out := make([]PeerStatus, 0, len(ms.peers))
+	for _, p := range ms.peers {
+		out = append(out, PeerStatus{
+			ID: p.id, Addr: p.addr, State: p.state.String(),
+			AgoSec: now.Sub(p.lastAck).Seconds(), RTTSec: p.rttSec,
+			HasLeft: p.left,
+		})
+	}
+	return out
+}

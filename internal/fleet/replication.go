@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"sync"
+
+	"autopipe/internal/journal"
+)
+
+// jobReplica is the durable state this node holds on behalf of a peer
+// for one job: the latest record of each type. That is exactly the
+// compact form Registry.ExportRecords emits and Registry.Adopt replays,
+// so keep-latest-per-type loses nothing while bounding memory to O(1)
+// per job regardless of how many checkpoints stream through.
+type jobReplica struct {
+	sub        *journal.Record
+	state      *journal.Record
+	checkpoint *journal.Record
+	completed  *journal.Record
+}
+
+func (jr *jobReplica) apply(rec journal.Record) {
+	r := rec // copy; the slice entry may be reused by the decoder
+	switch rec.Type {
+	case journal.TypeSubmitted:
+		jr.sub = &r
+	case journal.TypeState:
+		jr.state = &r
+	case journal.TypeCheckpoint:
+		jr.checkpoint = &r
+	case journal.TypeCompleted:
+		jr.completed = &r
+		// A finished job's replay needs no intermediate state: drop the
+		// superseded records so adoption restores it read-only.
+		jr.state, jr.checkpoint = nil, nil
+	}
+}
+
+// stream renders the replica back into replay order for Adopt.
+func (jr *jobReplica) stream() []journal.Record {
+	var out []journal.Record
+	for _, r := range []*journal.Record{jr.sub, jr.state, jr.checkpoint, jr.completed} {
+		if r != nil {
+			out = append(out, *r)
+		}
+	}
+	return out
+}
+
+// replicaStore holds replicated journal streams keyed by source node.
+// Each owner replicates a job only to its ring successor, so the store
+// on node S contains, per dead peer X, exactly the jobs S must adopt.
+type replicaStore struct {
+	mu     sync.Mutex
+	byNode map[string]map[string]*jobReplica // src node -> job id -> replica
+}
+
+func newReplicaStore() *replicaStore {
+	return &replicaStore{byNode: map[string]map[string]*jobReplica{}}
+}
+
+// apply merges one replication batch from a peer. full=true replaces
+// the stored state of every job mentioned in the batch (a resync or
+// submit-time sync); full=false appends incrementally.
+func (s *replicaStore) apply(from string, full bool, recs []journal.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jobs, ok := s.byNode[from]
+	if !ok {
+		jobs = map[string]*jobReplica{}
+		s.byNode[from] = jobs
+	}
+	if full {
+		// Completion is terminal: a full replace that lacks a completed
+		// record must not erase one we already hold — stale syncs (raced
+		// or delayed on the wire) would otherwise resurrect a finished
+		// job as running and the successor would run it twice.
+		hasCompleted := map[string]bool{}
+		for _, rec := range recs {
+			if rec.JobID != "" && rec.Type == journal.TypeCompleted {
+				hasCompleted[rec.JobID] = true
+			}
+		}
+		reset := map[string]bool{}
+		for _, rec := range recs {
+			if rec.JobID == "" || reset[rec.JobID] {
+				continue
+			}
+			reset[rec.JobID] = true
+			old := jobs[rec.JobID]
+			fresh := &jobReplica{}
+			if old != nil && old.completed != nil && !hasCompleted[rec.JobID] {
+				fresh.completed = old.completed
+			}
+			jobs[rec.JobID] = fresh
+		}
+	}
+	for _, rec := range recs {
+		if rec.JobID == "" {
+			continue
+		}
+		jr, ok := jobs[rec.JobID]
+		if !ok {
+			jr = &jobReplica{}
+			jobs[rec.JobID] = jr
+		}
+		jr.apply(rec)
+	}
+}
+
+// take removes and returns a peer's replicated streams, one record
+// slice per job. Called once when the peer is declared dead.
+func (s *replicaStore) take(from string) map[string][]journal.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jobs := s.byNode[from]
+	delete(s.byNode, from)
+	out := make(map[string][]journal.Record, len(jobs))
+	for id, jr := range jobs {
+		out[id] = jr.stream()
+	}
+	return out
+}
+
+// jobCount reports replicated jobs per source for the cluster view.
+func (s *replicaStore) jobCount() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.byNode))
+	for src, jobs := range s.byNode {
+		out[src] = len(jobs)
+	}
+	return out
+}

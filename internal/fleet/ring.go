@@ -1,0 +1,154 @@
+// Package fleet federates several autopiped instances into one logical
+// control plane. A consistent-hash ring with virtual nodes maps job IDs
+// to owner daemons; every node heartbeats every other node, replicates
+// its journal stream to a per-job successor, and adopts the jobs of a
+// peer declared dead. Any node accepts API requests and forwards them
+// to the owner, so clients need no placement knowledge.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultVNodes is the number of virtual nodes per member. 64 vnodes
+// keep the max/min key-share ratio under ~2 for small fleets while the
+// ring stays tiny (a few hundred entries).
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring with virtual nodes. Hashing is FNV-64a
+// over plain strings, so placement is deterministic across processes
+// and architectures — two nodes with the same membership view always
+// agree on an owner. All methods are safe for concurrent use.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	points []ringPoint // sorted by hash
+	nodes  map[string]struct{}
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing returns an empty ring; vnodes <= 0 selects DefaultVNodes.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]struct{})}
+}
+
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	// FNV alone clusters near-identical strings (sequential job IDs
+	// differ only in trailing digits, and their hashes end up within
+	// ~2^48 of each other on a 2^64 ring). A splitmix64-style avalanche
+	// finalizer spreads them uniformly while staying deterministic and
+	// dependency-free.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a node. Adding an existing node is a no-op, so membership
+// merges can re-add blindly.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{
+			hash: hashKey(fmt.Sprintf("%s#%d", node, i)),
+			node: node,
+		})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+}
+
+// Remove deletes a node and all its virtual points.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Nodes returns the members in sorted order.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Has reports membership of one node.
+func (r *Ring) Has(node string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.nodes[node]
+	return ok
+}
+
+// Owner maps a key to its owning node: the first virtual point at or
+// after the key's hash, wrapping around. Empty ring returns "".
+func (r *Ring) Owner(key string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ownerLocked(key, "")
+}
+
+// OwnerExcluding maps a key to its owner as if `exclude` were not a
+// member. This is the replication target: the node that would adopt the
+// key if its current owner died. Returns "" when no other node exists.
+func (r *Ring) OwnerExcluding(key, exclude string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ownerLocked(key, exclude)
+}
+
+func (r *Ring) ownerLocked(key, exclude string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for probe := 0; probe < len(r.points); probe++ {
+		p := r.points[(i+probe)%len(r.points)]
+		if p.node != exclude {
+			return p.node
+		}
+	}
+	return ""
+}

@@ -1,0 +1,191 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%d", i)
+	}
+	return out
+}
+
+// TestRingDistributionBalance: with enough virtual nodes, no member's
+// key share may dwarf another's, for every fleet size the subsystem
+// targets (3–10 nodes).
+func TestRingDistributionBalance(t *testing.T) {
+	const vnodes, nkeys = 200, 20000
+	for nodes := 3; nodes <= 10; nodes++ {
+		r := NewRing(vnodes)
+		for i := 0; i < nodes; i++ {
+			r.Add(fmt.Sprintf("n%d", i))
+		}
+		counts := map[string]int{}
+		for _, k := range keys(nkeys) {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != nodes {
+			t.Fatalf("%d nodes: only %d received keys", nodes, len(counts))
+		}
+		min, max := nkeys, 0
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if ratio := float64(max) / float64(min); ratio > 2.0 {
+			t.Fatalf("%d nodes: max/min key share %.2f (max %d, min %d) exceeds 2.0",
+				nodes, ratio, max, min)
+		}
+	}
+}
+
+// TestRingMinimalMovement: adding a node moves roughly 1/(n+1) of the
+// keys and every moved key moves TO the new node; removing it restores
+// the original placement exactly. This is the property that makes
+// membership changes cheap — and replica adoption correct, because a
+// dead node's keys land only on the nodes that held its replicas.
+func TestRingMinimalMovement(t *testing.T) {
+	const vnodes, nkeys, nodes = 200, 20000, 5
+	r := NewRing(vnodes)
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("n%d", i))
+	}
+	before := map[string]string{}
+	for _, k := range keys(nkeys) {
+		before[k] = r.Owner(k)
+	}
+
+	r.Add("nNew")
+	moved := 0
+	for _, k := range keys(nkeys) {
+		owner := r.Owner(k)
+		if owner != before[k] {
+			moved++
+			if owner != "nNew" {
+				t.Fatalf("key %s moved %s -> %s, not to the new node", k, before[k], owner)
+			}
+		}
+	}
+	expected := nkeys / (nodes + 1)
+	if moved == 0 || moved > 2*expected {
+		t.Fatalf("join moved %d keys, want (0, %d]", moved, 2*expected)
+	}
+
+	r.Remove("nNew")
+	for _, k := range keys(nkeys) {
+		if got := r.Owner(k); got != before[k] {
+			t.Fatalf("leave did not restore %s: %s != %s", k, got, before[k])
+		}
+	}
+}
+
+// TestRingInsertionOrderIndependence: two rings with the same members
+// agree on every placement regardless of join order — nodes never need
+// to negotiate ownership.
+func TestRingInsertionOrderIndependence(t *testing.T) {
+	a, b := NewRing(0), NewRing(0)
+	members := []string{"alpha", "beta", "gamma", "delta"}
+	for _, m := range members {
+		a.Add(m)
+	}
+	for i := len(members) - 1; i >= 0; i-- {
+		b.Add(members[i])
+	}
+	for _, k := range keys(5000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("placement of %s depends on insertion order: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingDeterministicPlacementGolden pins concrete placements.
+// Hashing is pure FNV-64a + a fixed finalizer over strings, so these
+// must hold on every architecture and process — the cross-process
+// determinism the fleet relies on (each node computes owners locally
+// and must agree). If this test ever fails, the hash changed and a
+// rolling upgrade would split ownership.
+func TestRingDeterministicPlacementGolden(t *testing.T) {
+	r := NewRing(0) // DefaultVNodes
+	for _, n := range []string{"alpha", "beta", "gamma"} {
+		r.Add(n)
+	}
+	golden := []struct{ key, owner string }{
+		{"job-node1-000001", "alpha"},
+		{"job-node1-000002", "beta"},
+		{"job-node1-000003", "beta"},
+		{"job-node1-000004", "beta"},
+		{"job-node1-000005", "gamma"},
+		{"job-node1-000006", "alpha"},
+		{"job-node1-000007", "gamma"},
+		{"job-node1-000008", "alpha"},
+	}
+	for _, g := range golden {
+		if got := r.Owner(g.key); got != g.owner {
+			t.Fatalf("Owner(%s) = %s, want pinned %s", g.key, got, g.owner)
+		}
+	}
+}
+
+// TestOwnerExcluding: the replication target (owner with self excluded)
+// must equal the owner after self actually leaves the ring — that
+// identity is what lets a successor adopt a dead node's jobs without
+// any coordination.
+func TestOwnerExcluding(t *testing.T) {
+	full := NewRing(0)
+	for i := 0; i < 5; i++ {
+		full.Add(fmt.Sprintf("n%d", i))
+	}
+	for i := 0; i < 5; i++ {
+		excl := fmt.Sprintf("n%d", i)
+		without := NewRing(0)
+		for j := 0; j < 5; j++ {
+			if j != i {
+				without.Add(fmt.Sprintf("n%d", j))
+			}
+		}
+		for _, k := range keys(2000) {
+			if got, want := full.OwnerExcluding(k, excl), without.Owner(k); got != want {
+				t.Fatalf("OwnerExcluding(%s, %s) = %s, but post-removal owner is %s", k, excl, got, want)
+			}
+		}
+	}
+	// Degenerate cases: excluding the only member, and the empty ring.
+	solo := NewRing(0)
+	solo.Add("only")
+	if got := solo.OwnerExcluding("k", "only"); got != "" {
+		t.Fatalf("OwnerExcluding on 1-node ring = %q, want \"\"", got)
+	}
+	if got := NewRing(0).Owner("k"); got != "" {
+		t.Fatalf("Owner on empty ring = %q, want \"\"", got)
+	}
+}
+
+// TestRingMembershipOps: Add/Remove/Has/Nodes bookkeeping, including
+// double-add and double-remove being no-ops.
+func TestRingMembershipOps(t *testing.T) {
+	r := NewRing(8)
+	r.Add("a")
+	r.Add("b")
+	r.Add("a") // merge paths re-add blindly
+	if n := r.Nodes(); len(n) != 2 || n[0] != "a" || n[1] != "b" {
+		t.Fatalf("Nodes() = %v", n)
+	}
+	if r.Len() != 2 || !r.Has("a") || r.Has("zz") {
+		t.Fatalf("Len/Has bookkeeping wrong")
+	}
+	r.Remove("a")
+	r.Remove("a")
+	if r.Has("a") || r.Len() != 1 {
+		t.Fatalf("remove bookkeeping wrong: %v", r.Nodes())
+	}
+	if got := r.Owner("anything"); got != "b" {
+		t.Fatalf("Owner after removals = %q, want b", got)
+	}
+}

@@ -91,6 +91,7 @@ type Journal struct {
 	activeSeq  int
 	activeSize int64
 	segments   []int // live segment sequence numbers, ascending
+	records    int64 // records in the live segments (replayed + appended)
 	stats      Stats
 	closed     bool
 }
@@ -145,6 +146,7 @@ func Open(dir string, opts Options) (*Journal, []Record, error) {
 		break
 	}
 	j.stats.Replayed = int64(len(recs))
+	j.records = int64(len(recs))
 	if len(j.segments) == 0 {
 		j.segments = []int{1}
 	}
@@ -211,6 +213,7 @@ func (j *Journal) Append(rec Record) error {
 		return err
 	}
 	j.activeSize += int64(len(frame))
+	j.records++
 	j.stats.Appends++
 	return nil
 }
@@ -274,6 +277,7 @@ func (j *Journal) Compact(live []Record) error {
 	j.active.Close()
 	j.active, j.activeSeq, j.activeSize = f, next, size
 	j.segments = []int{next}
+	j.records = int64(len(live))
 	for _, seq := range old {
 		os.Remove(filepath.Join(j.dir, segName(seq)))
 	}
@@ -311,6 +315,45 @@ func (j *Journal) Segments() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return len(j.segments)
+}
+
+// Records returns the number of records in the live segments: what was
+// replayed at Open plus everything appended since, reset by Compact to
+// the compacted record count. The live/total ratio against this number
+// drives steady-state compaction in the server layer.
+func (j *Journal) Records() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.records
+}
+
+// Stream re-reads the live segments from disk and invokes fn for every
+// intact record in write order, stopping early if fn returns an error.
+// It is the journal's export surface: replication and tooling can
+// stream a point-in-time snapshot without holding up appends (a frame
+// being torn by a concurrent Append simply ends that segment's replay,
+// exactly as crash recovery would). fn must not call back into the
+// Journal.
+func (j *Journal) Stream(fn func(Record) error) error {
+	j.mu.Lock()
+	segs := append([]int(nil), j.segments...)
+	j.mu.Unlock()
+	for _, seq := range segs {
+		data, err := os.ReadFile(filepath.Join(j.dir, segName(seq)))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // compacted away mid-stream
+			}
+			return fmt.Errorf("journal: stream: %w", err)
+		}
+		recs, _ := decodeAll(data)
+		for _, rec := range recs {
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Stats returns a snapshot of the journal's activity counters.

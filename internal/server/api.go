@@ -90,10 +90,13 @@ type ChaosEventSpec struct {
 
 // JobInfo is the API view of one registry entry.
 type JobInfo struct {
-	ID      string             `json:"id"`
-	Created time.Time          `json:"created_at"`
-	Spec    JobSpec            `json:"spec"`
-	Status  autopipe.JobStatus `json:"status"`
+	ID      string    `json:"id"`
+	Created time.Time `json:"created_at"`
+	Spec    JobSpec   `json:"spec"`
+	// Node names the fleet daemon currently hosting the job; empty on a
+	// single-node deployment.
+	Node   string             `json:"node,omitempty"`
+	Status autopipe.JobStatus `json:"status"`
 	// Result is present once the job reaches the done state.
 	Result *autopipe.JobResult `json:"result,omitempty"`
 }

@@ -47,6 +47,12 @@ const (
 	// compactAfterSegments triggers journal compaction once history
 	// spreads over this many segment files.
 	compactAfterSegments = 4
+	// DefaultCompactMinRecords is the journal size (in records) below
+	// which the steady-state live/total ratio trigger never fires.
+	DefaultCompactMinRecords = 64
+	// DefaultCompactLiveRatio triggers steady-state compaction once
+	// fewer than this fraction of journaled records are still live.
+	DefaultCompactLiveRatio = 0.5
 )
 
 // Options parametrises a Registry.
@@ -80,6 +86,23 @@ type Options struct {
 	// ConfigureJob, when non-nil, can adjust each job's configuration
 	// after the spec is built (custom predictors, arbiter wiring).
 	ConfigureJob func(*autopipe.JobConfig)
+	// NodeID names this registry's daemon in a multi-node fleet; when
+	// set, every JobInfo carries it so cluster-wide listings show which
+	// node owns each job.
+	NodeID string
+	// OnRecord observes every journal record the registry produces
+	// (whether or not a Journal is configured) — the fleet layer streams
+	// them to the job's ring successor. It is invoked with an internal
+	// lock held: it must be fast and must not call back into the
+	// registry.
+	OnRecord func(journal.Record)
+	// CompactMinRecords is the journal size in records below which the
+	// steady-state ratio compaction never fires (0 = default).
+	CompactMinRecords int
+	// CompactLiveRatio triggers compaction during normal operation when
+	// live/total journaled records drops below it (0 = default,
+	// negative = disabled; segment-count compaction still applies).
+	CompactLiveRatio float64
 }
 
 // Counters aggregates registry-level activity for /metrics and tests.
@@ -111,6 +134,7 @@ type Registry struct {
 	seq      int
 	queued   int
 	closed   bool
+	killed   bool // abrupt death: suppress all journal/replication output
 	counters Counters
 	wg       sync.WaitGroup
 
@@ -138,6 +162,8 @@ type managedJob struct {
 	overrideReason string
 	lastIter       int       // watchdog progress marker
 	lastProgress   time.Time // when lastIter last advanced
+	poolStarted    bool      // run() has claimed a pool slot
+	detached       bool      // handed to a fleet peer; run() must not start it
 }
 
 // NewRegistry builds a registry running at most poolSize simulations
@@ -173,6 +199,15 @@ func NewRegistryWithOptions(opts Options) *Registry {
 		if opts.WatchdogPoll <= 0 {
 			opts.WatchdogPoll = time.Second
 		}
+	}
+	if opts.CompactMinRecords <= 0 {
+		opts.CompactMinRecords = DefaultCompactMinRecords
+	}
+	switch {
+	case opts.CompactLiveRatio < 0:
+		opts.CompactLiveRatio = 0
+	case opts.CompactLiveRatio == 0:
+		opts.CompactLiveRatio = DefaultCompactLiveRatio
 	}
 	return &Registry{
 		opts:      opts,
@@ -242,6 +277,17 @@ type completedRec struct {
 // on the pool. Submissions beyond the admission queue are refused with
 // ErrQueueFull; submissions after Shutdown with ErrClosed.
 func (r *Registry) Submit(spec JobSpec) (JobInfo, error) {
+	return r.SubmitWithID("", spec)
+}
+
+// ErrDuplicateID is returned by SubmitWithID for an ID already hosted.
+var ErrDuplicateID = errors.New("server: job id already exists")
+
+// SubmitWithID is Submit with a caller-assigned job ID — the fleet
+// layer assigns globally unique IDs at the gateway node so the
+// consistent-hash ring can place jobs before they reach their owner. An
+// empty ID draws from the registry's own sequence.
+func (r *Registry) SubmitWithID(id string, spec JobSpec) (JobInfo, error) {
 	cfg, batches, err := spec.build()
 	if err != nil {
 		return JobInfo{}, fmt.Errorf("invalid job spec: %w", err)
@@ -264,8 +310,14 @@ func (r *Registry) Submit(spec JobSpec) (JobInfo, error) {
 		r.mu.Unlock()
 		return JobInfo{}, ErrQueueFull
 	}
-	r.seq++
-	m.id = fmt.Sprintf("job-%04d", r.seq)
+	if id == "" {
+		r.seq++
+		id = fmt.Sprintf("job-%04d", r.seq)
+	} else if _, ok := r.jobs[id]; ok {
+		r.mu.Unlock()
+		return JobInfo{}, fmt.Errorf("%w: %s", ErrDuplicateID, id)
+	}
+	m.id = id
 	m.created = r.now()
 	r.jobs[m.id] = m
 	r.order = append(r.order, m.id)
@@ -313,6 +365,13 @@ func (r *Registry) run(m *managedJob) {
 
 	r.mu.Lock()
 	r.queued--
+	if m.detached {
+		// DetachQueued handed this job to a fleet peer while it waited
+		// for a slot; the peer owns it now.
+		r.mu.Unlock()
+		return
+	}
+	m.poolStarted = true
 	if r.closed {
 		m.overrideState = autopipe.JobCancelled
 		m.overrideReason = ErrClosed.Error()
@@ -391,12 +450,19 @@ func (r *Registry) Cancel(id string) (JobInfo, error) {
 
 func (r *Registry) info(m *managedJob) JobInfo {
 	if m.final != nil {
-		return *m.final
+		info := *m.final
+		// A journal-restored (or adopted) result lives wherever it was
+		// rebuilt: present the current host, not the original owner.
+		if r.opts.NodeID != "" {
+			info.Node = r.opts.NodeID
+		}
+		return info
 	}
 	info := JobInfo{
 		ID:      m.id,
 		Created: m.created,
 		Spec:    m.spec,
+		Node:    r.opts.NodeID,
 		Status:  m.job.Status(),
 	}
 	if res, err := m.job.Result(); err == nil {
@@ -490,16 +556,29 @@ func (r *Registry) watchdogScan(now time.Time) {
 // journalAppend marshals and fsyncs one record; failures are counted,
 // not fatal — the registry keeps serving with degraded durability.
 // Callers must not hold r.mu (fsync under the registry lock would stall
-// the whole API).
+// the whole API). The OnRecord hook observes every record, journal or
+// not, so fleet replication works on journal-less registries too.
 func (r *Registry) journalAppend(typ journal.Type, id string, payload any) {
-	if r.opts.Journal == nil {
+	if r.opts.Journal == nil && r.opts.OnRecord == nil {
+		return
+	}
+	r.mu.Lock()
+	killed := r.killed
+	r.mu.Unlock()
+	if killed {
 		return
 	}
 	r.jmu.Lock()
 	defer r.jmu.Unlock()
 	data, err := json.Marshal(payload)
 	if err == nil {
-		err = r.opts.Journal.Append(journal.Record{Type: typ, JobID: id, Data: data})
+		rec := journal.Record{Type: typ, JobID: id, Data: data}
+		if r.opts.Journal != nil {
+			err = r.opts.Journal.Append(rec)
+		}
+		if err == nil && r.opts.OnRecord != nil {
+			r.opts.OnRecord(rec)
+		}
 	}
 	if err != nil {
 		r.mu.Lock()
@@ -509,14 +588,22 @@ func (r *Registry) journalAppend(typ journal.Type, id string, payload any) {
 }
 
 // maybeCompact rewrites the journal down to the live state once history
-// spreads over several segments.
+// spreads over several segments, or — during steady-state operation —
+// once fewer than CompactLiveRatio of the journaled records are still
+// live (completed jobs and superseded checkpoints dominate the log).
 func (r *Registry) maybeCompact() {
 	if r.opts.Journal == nil {
 		return
 	}
+	r.mu.Lock()
+	killed := r.killed
+	r.mu.Unlock()
+	if killed {
+		return
+	}
 	r.jmu.Lock()
 	defer r.jmu.Unlock()
-	if r.opts.Journal.Segments() < compactAfterSegments {
+	if r.opts.Journal.Segments() < compactAfterSegments && !r.ratioWantsCompaction() {
 		return
 	}
 	if err := r.opts.Journal.Compact(r.liveRecords()); err != nil {
@@ -526,11 +613,74 @@ func (r *Registry) maybeCompact() {
 	}
 }
 
+// ratioWantsCompaction implements the steady-state trigger: the journal
+// holds enough records to be worth rewriting and less than the
+// configured fraction of them is still live. Called with jmu held. The
+// live count is estimated from job states (one submission per job, plus
+// state/checkpoint for running and a final record for finished jobs) —
+// exactly what liveRecords emits, without marshalling anything.
+func (r *Registry) ratioWantsCompaction() bool {
+	if r.opts.CompactLiveRatio <= 0 {
+		return false
+	}
+	total := r.opts.Journal.Records()
+	if total < int64(r.opts.CompactMinRecords) {
+		return false
+	}
+	return float64(r.estimateLiveRecords()) < r.opts.CompactLiveRatio*float64(total)
+}
+
+func (r *Registry) estimateLiveRecords() int {
+	r.mu.Lock()
+	ms := make([]*managedJob, 0, len(r.order))
+	for _, id := range r.order {
+		ms = append(ms, r.jobs[id])
+	}
+	r.mu.Unlock()
+	n := 0
+	for _, m := range ms {
+		n++ // submitted
+		if m.final != nil {
+			n++
+			continue
+		}
+		switch m.job.Status().State {
+		case autopipe.JobQueued:
+			// The submission record alone re-queues it.
+		case autopipe.JobRunning:
+			n++ // state record
+			if _, ok := m.job.Checkpoint(); ok {
+				n++
+			}
+		default:
+			n++ // completion record
+		}
+	}
+	return n
+}
+
 // liveRecords renders the registry's current state as a compact record
 // stream: one submission per job, plus its latest state, checkpoint or
 // final result. Replaying it is equivalent to replaying the full
 // history.
-func (r *Registry) liveRecords() []journal.Record {
+func (r *Registry) liveRecords() []journal.Record { return r.exportRecords(nil) }
+
+// ExportRecords renders the live record stream for the given job IDs
+// (every job when none are given): the same compact form compaction
+// writes and Recover/Adopt replay. The fleet layer uses it to
+// full-sync a job's durable state to its ring successor.
+func (r *Registry) ExportRecords(ids ...string) []journal.Record {
+	var filter map[string]bool
+	if len(ids) > 0 {
+		filter = make(map[string]bool, len(ids))
+		for _, id := range ids {
+			filter[id] = true
+		}
+	}
+	return r.exportRecords(filter)
+}
+
+func (r *Registry) exportRecords(filter map[string]bool) []journal.Record {
 	marshal := func(typ journal.Type, id string, payload any) (journal.Record, bool) {
 		data, err := json.Marshal(payload)
 		if err != nil {
@@ -542,6 +692,9 @@ func (r *Registry) liveRecords() []journal.Record {
 	defer r.mu.Unlock()
 	var out []journal.Record
 	for _, id := range r.order {
+		if filter != nil && !filter[id] {
+			continue
+		}
 		m := r.jobs[id]
 		if rec, ok := marshal(journal.TypeSubmitted, id, submittedRec{ID: id, Created: m.created, Spec: m.spec}); ok {
 			out = append(out, rec)
@@ -589,28 +742,26 @@ type RecoveryStats struct {
 	Skipped   int // undecodable or orphaned journal entries
 }
 
-// Recover rebuilds the registry from a journal replay (the records
-// returned by journal.Open). It must be called once, before the
-// registry serves traffic. Queued jobs are re-queued, running jobs are
-// resumed from their last checkpoint (restarted from scratch if none
-// was taken), finished jobs are restored read-only, and the journal is
-// compacted to the rebuilt state. Consumed chaos KillDaemon events are
-// stripped from resumed jobs — the crash they caused already happened.
-func (r *Registry) Recover(recs []journal.Record) (RecoveryStats, error) {
-	var stats RecoveryStats
-	type replay struct {
-		sub     *submittedRec
-		running bool
-		cp      *autopipe.Checkpoint
-		final   *JobInfo
-	}
-	byID := map[string]*replay{}
+// replayJob is one job's state accumulated from a record stream.
+type replayJob struct {
+	sub     *submittedRec
+	running bool
+	cp      *autopipe.Checkpoint
+	final   *JobInfo
+}
+
+// parseReplay folds a record stream into per-job replay state,
+// preserving first-seen order. Undecodable records are counted, not
+// fatal.
+func parseReplay(recs []journal.Record) (map[string]*replayJob, []string, int) {
+	byID := map[string]*replayJob{}
 	var order []string
-	get := func(id string) *replay {
+	skipped := 0
+	get := func(id string) *replayJob {
 		if p, ok := byID[id]; ok {
 			return p
 		}
-		p := &replay{}
+		p := &replayJob{}
 		byID[id] = p
 		order = append(order, id)
 		return p
@@ -620,36 +771,94 @@ func (r *Registry) Recover(recs []journal.Record) (RecoveryStats, error) {
 		case journal.TypeSubmitted:
 			var sub submittedRec
 			if json.Unmarshal(rec.Data, &sub) != nil || sub.ID == "" {
-				stats.Skipped++
+				skipped++
 				continue
 			}
 			get(sub.ID).sub = &sub
 		case journal.TypeState:
 			var st stateRec
 			if json.Unmarshal(rec.Data, &st) != nil || st.ID == "" {
-				stats.Skipped++
+				skipped++
 				continue
 			}
 			get(st.ID).running = st.State == autopipe.JobRunning
 		case journal.TypeCheckpoint:
 			var cp checkpointRec
 			if json.Unmarshal(rec.Data, &cp) != nil || cp.ID == "" {
-				stats.Skipped++
+				skipped++
 				continue
 			}
 			get(cp.ID).cp = &cp.Checkpoint
 		case journal.TypeCompleted:
 			var done completedRec
 			if json.Unmarshal(rec.Data, &done) != nil || done.ID == "" {
-				stats.Skipped++
+				skipped++
 				continue
 			}
 			info := done.Info
 			get(done.ID).final = &info
 		default:
-			stats.Skipped++
+			skipped++
 		}
 	}
+	return byID, order, skipped
+}
+
+// buildReplayed turns one job's replay state into a managedJob,
+// updating stats. It returns nil (after counting the skip) when the
+// job cannot be rebuilt. Finished jobs come back with final set; live
+// jobs carry a ready-to-run *autopipe.Job.
+func (r *Registry) buildReplayed(id string, p *replayJob, stats *RecoveryStats) *managedJob {
+	m := &managedJob{id: id, created: p.sub.Created, spec: p.sub.Spec}
+	if p.final != nil {
+		m.final = p.final
+		stats.Completed++
+		return m
+	}
+	spec := p.sub.Spec
+	if p.running {
+		// A KillDaemon event from this spec already fired — that is
+		// how we got here. Re-arming it would crash-loop the daemon.
+		spec = stripKillDaemon(spec)
+	}
+	cfg, batches, err := spec.build()
+	if err != nil {
+		stats.Skipped++
+		return nil
+	}
+	m.batches = batches
+	r.prepare(&cfg, m)
+	var j *autopipe.Job
+	if p.running && p.cp != nil {
+		if j, err = autopipe.NewJobFromCheckpoint(cfg, batches, *p.cp); err == nil {
+			stats.Resumed++
+		}
+	}
+	if j == nil {
+		if j, err = autopipe.NewJob(cfg, batches); err != nil {
+			stats.Skipped++
+			return nil
+		}
+		if p.running {
+			stats.Restarted++
+		} else {
+			stats.Requeued++
+		}
+	}
+	m.job = j
+	return m
+}
+
+// Recover rebuilds the registry from a journal replay (the records
+// returned by journal.Open). It must be called once, before the
+// registry serves traffic. Queued jobs are re-queued, running jobs are
+// resumed from their last checkpoint (restarted from scratch if none
+// was taken), finished jobs are restored read-only, and the journal is
+// compacted to the rebuilt state. Consumed chaos KillDaemon events are
+// stripped from resumed jobs — the crash they caused already happened.
+func (r *Registry) Recover(recs []journal.Record) (RecoveryStats, error) {
+	byID, order, skipped := parseReplay(recs)
+	stats := RecoveryStats{Skipped: skipped}
 
 	r.mu.Lock()
 	if r.closed {
@@ -673,45 +882,11 @@ func (r *Registry) Recover(recs []journal.Record) (RecoveryStats, error) {
 		if _, err := fmt.Sscanf(id, "job-%d", &seq); err == nil && seq > maxSeq {
 			maxSeq = seq
 		}
-		m := &managedJob{id: id, created: p.sub.Created, spec: p.sub.Spec}
-		if p.final != nil {
-			m.final = p.final
-			stats.Completed++
-			r.register(m, false)
+		m := r.buildReplayed(id, p, &stats)
+		if m == nil {
 			continue
 		}
-		spec := p.sub.Spec
-		if p.running {
-			// A KillDaemon event from this spec already fired — that is
-			// how we got here. Re-arming it would crash-loop the daemon.
-			spec = stripKillDaemon(spec)
-		}
-		cfg, batches, err := spec.build()
-		if err != nil {
-			stats.Skipped++
-			continue
-		}
-		m.batches = batches
-		r.prepare(&cfg, m)
-		var j *autopipe.Job
-		if p.running && p.cp != nil {
-			if j, err = autopipe.NewJobFromCheckpoint(cfg, batches, *p.cp); err == nil {
-				stats.Resumed++
-			}
-		}
-		if j == nil {
-			if j, err = autopipe.NewJob(cfg, batches); err != nil {
-				stats.Skipped++
-				continue
-			}
-			if p.running {
-				stats.Restarted++
-			} else {
-				stats.Requeued++
-			}
-		}
-		m.job = j
-		r.register(m, true)
+		r.register(m, m.final == nil)
 	}
 	r.mu.Lock()
 	if maxSeq > r.seq {
@@ -734,6 +909,87 @@ func (r *Registry) Recover(recs []journal.Record) (RecoveryStats, error) {
 		r.jmu.Unlock()
 	}
 	return stats, nil
+}
+
+// Adopt merges a dead peer's replicated record stream into a LIVE
+// registry — the fleet failover path. Unlike Recover it may run at any
+// time, skips job IDs already hosted here, and re-journals the adopted
+// state locally so it is durable on this node and flows onward to the
+// job's next ring successor through the OnRecord stream. Running jobs
+// resume from their replicated checkpoint with the same deterministic
+// contract Recover provides; finished jobs are restored read-only so
+// their results stay visible after the owner is gone.
+func (r *Registry) Adopt(recs []journal.Record) (RecoveryStats, error) {
+	byID, order, skipped := parseReplay(recs)
+	stats := RecoveryStats{Skipped: skipped}
+	for _, id := range order {
+		p := byID[id]
+		if p.sub == nil {
+			stats.Skipped++
+			continue
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return stats, ErrClosed
+		}
+		_, exists := r.jobs[id]
+		r.mu.Unlock()
+		if exists {
+			stats.Skipped++
+			continue
+		}
+		m := r.buildReplayed(id, p, &stats)
+		if m == nil {
+			continue
+		}
+		r.register(m, m.final == nil)
+		// Durably re-home the job: its spec, progress and result now
+		// live in THIS node's journal and replication stream.
+		r.journalAppend(journal.TypeSubmitted, id, submittedRec{ID: id, Created: m.created, Spec: m.spec})
+		switch {
+		case m.final != nil:
+			r.journalAppend(journal.TypeCompleted, id, completedRec{ID: id, Info: *m.final})
+		case p.running && p.cp != nil:
+			r.journalAppend(journal.TypeState, id, stateRec{ID: id, State: autopipe.JobRunning})
+			r.journalAppend(journal.TypeCheckpoint, id, checkpointRec{ID: id, Checkpoint: *p.cp})
+		}
+	}
+	r.startWatchdog()
+	r.updateRecoveryCounters(stats)
+	r.maybeCompact()
+	return stats, nil
+}
+
+// QueuedJob is a not-yet-started job yanked out of the registry by
+// DetachQueued for handoff to a fleet peer.
+type QueuedJob struct {
+	ID   string
+	Spec JobSpec
+}
+
+// DetachQueued atomically removes every job that is still waiting for
+// a pool slot and returns the specs, so a draining fleet node can hand
+// them to peers instead of refusing them. Jobs that have already
+// claimed a slot (even if shutdown will refuse them) are left alone.
+// The detached jobs' pending goroutines exit without running anything.
+func (r *Registry) DetachQueued() []QueuedJob {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []QueuedJob
+	kept := r.order[:0]
+	for _, id := range r.order {
+		m := r.jobs[id]
+		if m.job == nil || m.final != nil || m.poolStarted || m.detached || m.overrideReason != "" {
+			kept = append(kept, id)
+			continue
+		}
+		m.detached = true
+		delete(r.jobs, id)
+		out = append(out, QueuedJob{ID: id, Spec: m.spec})
+	}
+	r.order = kept
+	return out
 }
 
 // register installs a recovered job; live jobs also get a pool slot.
@@ -774,6 +1030,37 @@ func stripKillDaemon(spec JobSpec) JobSpec {
 	}
 	spec.Chaos = kept
 	return spec
+}
+
+// Kill simulates an abrupt daemon death — the in-process equivalent of
+// SIGKILL used by the fleet chaos tests. The registry stops accepting
+// work, every hosted job's context is cancelled, and, unlike Shutdown,
+// nothing further is journaled or streamed to OnRecord: from the
+// outside the node's durable state freezes exactly where the "crash"
+// caught it. Kill does not wait for job goroutines to unwind.
+func (r *Registry) Kill() {
+	r.mu.Lock()
+	if r.killed {
+		r.mu.Unlock()
+		return
+	}
+	r.killed = true
+	already := r.closed
+	r.closed = true
+	ms := make([]*managedJob, 0, len(r.jobs))
+	for _, m := range r.jobs {
+		ms = append(ms, m)
+	}
+	r.mu.Unlock()
+	if !already {
+		r.watchOnce.Do(func() {}) // ensure no late watchdog start
+		close(r.stopWatch)
+	}
+	for _, m := range ms {
+		if m.job != nil {
+			m.job.Cancel()
+		}
+	}
 }
 
 // Shutdown drains the registry: new submissions are refused, queued
