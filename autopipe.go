@@ -27,6 +27,7 @@ import (
 	"autopipe/internal/netsim"
 	"autopipe/internal/partition"
 	"autopipe/internal/pipeline"
+	"autopipe/internal/profile"
 	"autopipe/internal/rl"
 	"autopipe/internal/trace"
 )
@@ -145,8 +146,15 @@ func Workers(n int) []int {
 // PlanPipeDream runs PipeDream's DP partitioner (exclusive-GPU profile,
 // nominal bandwidth — the paper's baseline planner).
 func PlanPipeDream(m *Model, cl *Cluster, workers []int) Plan {
-	cm := partition.NewPipeDreamCost(m, cl, workers[0], cl.Servers[0].NICBwBps)
+	cm := partition.NewPipeDreamCost(m, cl, workers[0], seedBandwidth(m, cl))
 	return partition.PipeDream(cm, workers)
+}
+
+// seedBandwidth is the planning bandwidth before any measurement exists:
+// the nominal NIC line rate, via the profiler's static view (the single
+// source every planner seeds from).
+func seedBandwidth(m *Model, cl *Cluster) float64 {
+	return profile.NewProfiler(m, cl).StaticProfile().SeedBandwidthBps()
 }
 
 // PlanOptimal re-runs the partitioner against the cluster's *current*
@@ -160,7 +168,7 @@ func PlanOptimal(m *Model, cl *Cluster, workers []int) Plan {
 // returns the best plan and the number of workers it uses — on slow
 // fabrics fewer workers can out-train the full pool.
 func SelectWorkers(m *Model, cl *Cluster, workers []int) (Plan, int) {
-	cm := partition.NewPipeDreamCost(m, cl, workers[0], cl.Servers[0].NICBwBps)
+	cm := partition.NewPipeDreamCost(m, cl, workers[0], seedBandwidth(m, cl))
 	return partition.SelectWorkers(cm, workers)
 }
 

@@ -47,6 +47,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-worker utilization")
 		compare   = flag.Bool("compare", false, "run all three systems and print a comparison")
 		jsonOut   = flag.Bool("json", false, "emit the run as one JSON document on stdout (daemon-API serialisation)")
+		oracleBw  = flag.Bool("oracle-bw", false, "profiler reads ground-truth bandwidth instead of estimating from flow completions (system=autopipe)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -116,6 +117,7 @@ func main() {
 		res, err := autopipe.RunJob(context.Background(), autopipe.JobConfig{
 			Model: m, Cluster: cl, Workers: autopipe.Workers(*workers),
 			Scheme: sc, Dynamics: dyn, Procs: *procs, Chaos: chaosSpec,
+			OracleBandwidth: *oracleBw,
 		}, *batches)
 		elapsed := time.Since(t0)
 		fatalIf(err)

@@ -79,6 +79,11 @@ type Config struct {
 	// ("perform work partition whenever available resources change"),
 	// kept as an ablation baseline.
 	AlwaysSwitch bool
+	// OracleBandwidth makes the profiler read the cluster's ground-truth
+	// available bandwidth (the pre-measurement behavior). By default the
+	// profiler estimates bandwidth from the job's own flow-completion
+	// records — the only signal a real job has.
+	OracleBandwidth bool
 	// ProfileNoise, when positive, injects multiplicative log-normal
 	// measurement noise of this sigma into the profiler (driven by Rng);
 	// ProfileSmoothing sets the profiler's EWMA alpha (0 keeps the
@@ -217,6 +222,10 @@ func New(eng *sim.Engine, net *netsim.Network, cfg Config) (*Controller, error) 
 		}
 		cfg.Rng, rngSrc = newTrackedRng(rngSeed, skip)
 	}
+	profiler := profile.NewProfiler(cfg.Model, cfg.Cluster)
+	if !cfg.OracleBandwidth && net != nil {
+		profiler.AttachNetwork(net)
+	}
 	var plan partition.Plan
 	if cfg.Restore != nil {
 		if err := cfg.Restore.Validate(cfg.Model.NumLayers(), cfg.Cluster.NumGPUs()); err != nil {
@@ -226,7 +235,8 @@ func New(eng *sim.Engine, net *netsim.Network, cfg Config) (*Controller, error) 
 	} else if cfg.InitialPlan != nil {
 		plan = cfg.InitialPlan.Clone()
 	} else {
-		cm := partition.NewPipeDreamCost(cfg.Model, cfg.Cluster, cfg.Workers[0], cfg.Cluster.Servers[0].NICBwBps)
+		seedBw := profiler.StaticProfile().SeedBandwidthBps()
+		cm := partition.NewPipeDreamCost(cfg.Model, cfg.Cluster, cfg.Workers[0], seedBw)
 		plan = partition.PipeDream(cm, cfg.Workers)
 	}
 	if err := plan.Validate(cfg.Model.NumLayers(), cfg.Cluster.NumGPUs()); err != nil {
@@ -243,7 +253,6 @@ func New(eng *sim.Engine, net *netsim.Network, cfg Config) (*Controller, error) 
 	if pred == nil {
 		pred = meta.AnalyticPredictor{Scheme: cfg.Scheme}
 	}
-	profiler := profile.NewProfiler(cfg.Model, cfg.Cluster)
 	if cfg.ProfileNoise > 0 {
 		profiler.SetNoise(cfg.Rng, cfg.ProfileNoise)
 	}

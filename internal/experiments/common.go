@@ -65,6 +65,13 @@ type Scenario struct {
 	MutateAt float64
 	// PlanOverride forces a specific plan (for "optimal re-plan" runs).
 	PlanOverride *partition.Plan
+	// OracleBandwidth makes the AutoPipe controller's profiler read
+	// ground-truth bandwidth instead of estimating it from flow
+	// completions (A/B runs; see internal/bwe).
+	OracleBandwidth bool
+	// Predictor overrides the AutoPipe candidate scorer (default: the
+	// scheme-aware analytic predictor).
+	Predictor meta.Predictor
 }
 
 func (sc *Scenario) defaults() {
@@ -145,11 +152,16 @@ func Run(sc Scenario) (float64, error) {
 		}
 		return e.Throughput(), nil
 	default: // AutoPipe
+		pred := sc.Predictor
+		if pred == nil {
+			pred = meta.AnalyticPredictor{Scheme: sc.Scheme}
+		}
 		c, err := autopipe.New(eng, net, autopipe.Config{
 			Model: sc.Model, Cluster: cl, Workers: sc.Workers,
 			Scheme: sc.Scheme, Framework: sc.Framework,
-			Predictor:  meta.AnalyticPredictor{Scheme: sc.Scheme},
-			CheckEvery: 3,
+			Predictor:       pred,
+			CheckEvery:      3,
+			OracleBandwidth: sc.OracleBandwidth,
 		})
 		if err != nil {
 			return 0, err

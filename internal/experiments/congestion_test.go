@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"autopipe/internal/model"
+)
+
+func TestSteadyCrossTrafficConvergence(t *testing.T) {
+	r := SteadyCrossTrafficConvergence()
+	if r.RelErr() > 0.15 {
+		t.Fatalf("estimate %.3g vs fair share %.3g: rel err %.2f > 0.15",
+			r.EstBps, r.TrueBps, r.RelErr())
+	}
+}
+
+func TestCrossTrafficRampTracksDownward(t *testing.T) {
+	clean, contended := CrossTrafficRamp()
+	if clean.RelErr() > 0.15 {
+		t.Fatalf("clean-link estimate %.3g vs %.3g: rel err %.2f > 0.15",
+			clean.EstBps, clean.TrueBps, clean.RelErr())
+	}
+	if contended.EstBps > 0.75*clean.EstBps {
+		t.Fatalf("estimate did not track contention: clean %.3g, contended %.3g",
+			clean.EstBps, contended.EstBps)
+	}
+	if contended.RelErr() > 0.2 {
+		t.Fatalf("contended estimate %.3g vs fair share %.3g: rel err %.2f > 0.2",
+			contended.EstBps, contended.TrueBps, contended.RelErr())
+	}
+}
+
+func TestNICFlapSlowStartReconverges(t *testing.T) {
+	before, during, after := NICFlapSlowStart()
+	if before.RelErr() > 0.15 {
+		t.Fatalf("pre-flap estimate %.3g vs %.3g: rel err %.2f", before.EstBps, before.TrueBps, before.RelErr())
+	}
+	if during.RelErr() > 0.25 {
+		t.Fatalf("mid-flap estimate %.3g vs %.3g: rel err %.2f > 0.25", during.EstBps, during.TrueBps, during.RelErr())
+	}
+	if after.RelErr() > 0.15 {
+		t.Fatalf("post-flap estimate %.3g did not re-converge to %.3g: rel err %.2f > 0.15",
+			after.EstBps, after.TrueBps, after.RelErr())
+	}
+}
+
+func TestOracleEstimatedThroughputWithin10Pct(t *testing.T) {
+	oracle, estimated, err := OracleEstimatedAB(model.AlexNet(), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle <= 0 || estimated <= 0 {
+		t.Fatalf("degenerate throughputs: oracle %v estimated %v", oracle, estimated)
+	}
+	if rel := math.Abs(estimated-oracle) / oracle; rel > 0.10 {
+		t.Fatalf("estimated-mode throughput %.1f vs oracle %.1f: rel err %.2f > 0.10",
+			estimated, oracle, rel)
+	}
+}

@@ -146,8 +146,11 @@ func generateOne(rng *rand.Rand, cfg DatasetConfig) (Sample, bool) {
 	for i := range workers {
 		workers[i] = i
 	}
-	// Sample a partition: PipeDream's plan, randomly perturbed.
-	cm := partition.NewPipeDreamCost(m, cl, 0, cl.Servers[0].NICBwBps)
+	// Sample a partition: PipeDream's plan, randomly perturbed. The
+	// cost model is seeded with the nominal line rate from the
+	// profiler's static view — what a planner knows before measuring.
+	pr := profile.NewProfiler(m, cl)
+	cm := partition.NewPipeDreamCost(m, cl, 0, pr.StaticProfile().SeedBandwidthBps())
 	plan := partition.PipeDream(cm, workers)
 	for steps := rng.Intn(4); steps > 0; steps-- {
 		ns := partition.NeighborsWithMerge(plan)
@@ -164,7 +167,7 @@ func generateOne(rng *rand.Rand, cfg DatasetConfig) (Sample, bool) {
 	if err != nil {
 		return Sample{}, false
 	}
-	prof := profile.NewProfiler(m, cl).Observe()
+	prof := pr.Observe()
 	ideal := IdealThroughput(prof, m.MiniBatch)
 	if ideal <= 0 {
 		return Sample{}, false

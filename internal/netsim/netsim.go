@@ -14,6 +14,7 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"autopipe/internal/cluster"
@@ -37,6 +38,13 @@ type Flow struct {
 	links     []linkID
 	done      func()
 	started   sim.Time
+	// requested is when the caller asked for the transfer — before any
+	// propagation or queueing delay. Completion records measure from
+	// here: that is the latency the job's transport layer experiences.
+	requested sim.Time
+	// background marks cross-traffic flows (see CrossTraffic); consumers
+	// estimating the job's own bandwidth must ignore them.
+	background bool
 	// stalled flows hold their state but receive no bandwidth and never
 	// finish (fault injection); CancelFlow removes them like any other.
 	stalled bool
@@ -104,6 +112,16 @@ type Network struct {
 	// fault, when set, is consulted once per injected flow (see
 	// SetFaultInjector).
 	fault func(src, dst int, name string) FlowFault
+
+	// queue, when non-nil, enables the per-link queueing model (see
+	// EnableQueueing in congestion.go): contended links accumulate
+	// bounded drain-queue delay that newly injected flows wait out
+	// before their data starts moving.
+	queue *queueModel
+
+	// observers receive a FlowRecord for every completed transfer (see
+	// AddFlowObserver in congestion.go).
+	observers []func(FlowRecord)
 }
 
 // FlowFault is a fault injector's verdict on a starting flow.
@@ -231,6 +249,13 @@ func (n *Network) StartFlow(src, dst int, bytes int64, name string, done func())
 // weight-1 flow (weighted max-min fairness). Weights ≤ 0 are treated
 // as 1.
 func (n *Network) StartWeightedFlow(src, dst int, bytes int64, weight float64, name string, done func()) *Flow {
+	return n.startFlow(src, dst, bytes, weight, name, false, done)
+}
+
+// startFlow is the shared entry for job and background flows. A flow
+// first waits out any fixed propagation delay plus the route's current
+// queueing delay, then enters the fair-share allocator.
+func (n *Network) startFlow(src, dst int, bytes int64, weight float64, name string, background bool, done func()) *Flow {
 	if bytes <= 0 || src == dst {
 		latency := sim.Time(float64(bytes*8) / (n.cl.IntraServerBwBps * 4))
 		n.eng.After(latency, name+"/local", func() {
@@ -243,21 +268,25 @@ func (n *Network) StartWeightedFlow(src, dst int, bytes int64, weight float64, n
 	if weight <= 0 {
 		weight = 1
 	}
-	if n.PerHopLatencySec > 0 {
-		hops := len(n.route(src, dst))
-		if hops > 0 {
-			lat := sim.Time(n.PerHopLatencySec * float64(hops))
-			n.eng.After(lat, name+"/prop", func() {
-				n.injectFlow(src, dst, bytes, weight, name, done)
-			})
-			return nil
-		}
+	requested := n.eng.Now()
+	wait := 0.0
+	if hops := len(n.route(src, dst)); hops > 0 {
+		wait = n.PerHopLatencySec * float64(hops)
 	}
-	return n.injectFlow(src, dst, bytes, weight, name, done)
+	if n.queue != nil {
+		wait += n.routeQueueDelay(src, dst)
+	}
+	if wait > 0 {
+		n.eng.After(sim.Time(wait), name+"/prop", func() {
+			n.injectFlow(src, dst, bytes, weight, name, requested, background, done)
+		})
+		return nil
+	}
+	return n.injectFlow(src, dst, bytes, weight, name, requested, background, done)
 }
 
 // injectFlow registers the flow with the fair-share allocator.
-func (n *Network) injectFlow(src, dst int, bytes int64, weight float64, name string, done func()) *Flow {
+func (n *Network) injectFlow(src, dst int, bytes int64, weight float64, name string, requested sim.Time, background bool, done func()) *Flow {
 	var fault FlowFault
 	if n.fault != nil {
 		fault = n.fault(src, dst, name)
@@ -267,17 +296,19 @@ func (n *Network) injectFlow(src, dst int, bytes int64, weight float64, name str
 	}
 	n.advance()
 	f := &Flow{
-		ID:        n.nextID,
-		Name:      name,
-		Src:       src,
-		Dst:       dst,
-		Weight:    weight,
-		remaining: float64(bytes * 8),
-		origBits:  float64(bytes * 8),
-		links:     n.route(src, dst),
-		done:      done,
-		started:   n.eng.Now(),
-		stalled:   fault == FaultStall,
+		ID:         n.nextID,
+		Name:       name,
+		Src:        src,
+		Dst:        dst,
+		Weight:     weight,
+		remaining:  float64(bytes * 8),
+		origBits:   float64(bytes * 8),
+		links:      n.route(src, dst),
+		done:       done,
+		started:    n.eng.Now(),
+		requested:  requested,
+		background: background,
+		stalled:    fault == FaultStall,
 	}
 	n.nextID++
 	n.flows[f.ID] = f
@@ -323,6 +354,9 @@ func (n *Network) advance() {
 			f.remaining = 0
 		}
 	}
+	if n.queue != nil {
+		n.queue.advance(dt)
+	}
 }
 
 // reschedule recomputes max-min fair rates and schedules the next flow
@@ -353,16 +387,21 @@ func (n *Network) reschedule() {
 	}
 	if len(finished) > 0 {
 		// Deterministic callback order: by flow ID.
-		for i := 0; i < len(finished); i++ {
-			for j := i + 1; j < len(finished); j++ {
-				if finished[j].ID < finished[i].ID {
-					finished[i], finished[j] = finished[j], finished[i]
-				}
-			}
-		}
+		sort.Slice(finished, func(i, j int) bool { return finished[i].ID < finished[j].ID })
 		for _, f := range finished {
 			delete(n.flows, f.ID)
 			n.TotalBitsDelivered += f.origBits
+		}
+		// Observers see every completion before any completion callback
+		// runs, so an observer-driven estimator is up to date when the
+		// callback reacts (e.g. starts the next dependent transfer).
+		if len(n.observers) > 0 {
+			for _, f := range finished {
+				rec := n.record(f)
+				for _, obs := range n.observers {
+					obs(rec)
+				}
+			}
 		}
 		for _, f := range finished {
 			if f.done != nil {
@@ -407,6 +446,7 @@ func (n *Network) computeRates() {
 		cap      float64
 		frozen   float64 // load of frozen flows
 		unfrozen float64 // total weight of unfrozen flows
+		count    int     // active flows traversing the link
 	}
 	links := make(map[linkID]*linkState)
 	for _, f := range n.flows {
@@ -419,6 +459,7 @@ func (n *Network) computeRates() {
 				links[l] = &linkState{cap: n.capacity(l)}
 			}
 			links[l].unfrozen += f.Weight
+			links[l].count++
 		}
 	}
 	unfrozen := make(map[uint64]*Flow, len(n.flows))
@@ -480,6 +521,16 @@ func (n *Network) computeRates() {
 				}
 				delete(unfrozen, id)
 			}
+		}
+	}
+	if n.queue != nil {
+		n.queue.beginEpoch()
+		for l, ls := range links {
+			util := 0.0
+			if ls.cap > 0 {
+				util = ls.frozen / ls.cap
+			}
+			n.queue.observeLoad(l, util, ls.count)
 		}
 	}
 }

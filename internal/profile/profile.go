@@ -16,6 +16,7 @@ import (
 	"math"
 	"math/rand"
 
+	"autopipe/internal/bwe"
 	"autopipe/internal/cluster"
 	"autopipe/internal/model"
 )
@@ -33,11 +34,21 @@ type Profile struct {
 	FP        [][]float64 // FP[i][j]: FP time of layer j on worker i
 	BP        [][]float64 // BP[i][j]
 
+	// LineRateBps is the nominal NIC line rate — a static datum the job
+	// knows from its placement, independent of any measurement. Planners
+	// use it to seed cost models before dynamic observations exist.
+	LineRateBps float64
+
 	// Topology: Server[i] is the server hosting worker i (known to the
 	// job from its placement), Rack[i] its leaf switch.
 	Server []int
 	Rack   []int
 }
+
+// SeedBandwidthBps returns the bandwidth a planner should assume before
+// any dynamic measurement exists: the nominal NIC line rate (PipeDream's
+// published planning assumption).
+func (p *Profile) SeedBandwidthBps() float64 { return p.LineRateBps }
 
 // TotalComputeTime returns Σ (FP+BP) of all layers on worker w.
 func (p *Profile) TotalComputeTime(w int) float64 {
@@ -72,12 +83,18 @@ type Profiler struct {
 	// is multiplied by exp(N(0, sigma)).
 	noiseRng   *rand.Rand
 	noiseSigma float64
+
+	// Bandwidth source: est holds one estimator per server once
+	// AttachNetwork has been called; oracle selects the legacy
+	// ground-truth read (see estimate.go).
+	est    []*bwe.Estimator
+	oracle bool
 }
 
 // NewProfiler builds a profiler and performs the one-off pre-training
 // ratio measurement on worker 0's GPU type.
 func NewProfiler(m *model.Model, cl *cluster.Cluster) *Profiler {
-	p := &Profiler{model: m, cl: cl, alpha: 0.5}
+	p := &Profiler{model: m, cl: cl, alpha: 0.5, oracle: true}
 	total := 0.0
 	times := make([]float64, m.NumLayers())
 	g := cl.GPU(0)
@@ -129,7 +146,7 @@ func (p *Profiler) Observe() *Profile {
 	m := p.model
 	N := p.cl.NumGPUs()
 	L := m.NumLayers()
-	out := &Profile{L: L, N: N}
+	out := &Profile{L: L, N: N, LineRateBps: p.lineRate()}
 	for _, l := range m.Layers {
 		out.OutBytes = append(out.OutBytes, l.OutputBytes(m.MiniBatch))
 		out.GradBytes = append(out.GradBytes, l.GradientBytes(m.MiniBatch))
@@ -147,14 +164,9 @@ func (p *Profiler) Observe() *Profile {
 	for w := 0; w < N; w++ {
 		out.Server[w] = p.cl.GPU(w).Server
 		out.Rack[w] = p.cl.ServerOf(w).Rack
-		// Bandwidth observed from the last iteration's transfers.
-		bw := p.jitter(p.cl.ServerOf(w).AvailBwBps())
-		if p.bwEwma[w] == 0 {
-			p.bwEwma[w] = bw
-		} else {
-			p.bwEwma[w] = p.alpha*bw + (1-p.alpha)*p.bwEwma[w]
-		}
-		out.Bandwidth[w] = p.bwEwma[w]
+		// Bandwidth observed from the last iteration's transfers —
+		// estimated from flow completions, or the oracle (estimate.go).
+		out.Bandwidth[w] = p.bandwidth(w)
 
 		// One timed layer per worker, the rest via ratios.
 		measured := p.jitter(p.cl.FPTime(m.Layers[p.refLayer], m.MiniBatch, w))

@@ -83,7 +83,8 @@ func generateOne(rng *rand.Rand, horizon int) (Decision, bool) {
 	before := []float64{10, 25, 40, 100}[rng.Intn(4)]
 	cl := cluster.Testbed(cluster.Gbps(before))
 	workers := []int{0, 1, 2, 3}
-	cm := partition.NewPipeDreamCost(m, cl, 0, cl.Servers[0].NICBwBps)
+	pr := profile.NewProfiler(m, cl)
+	cm := partition.NewPipeDreamCost(m, cl, 0, pr.StaticProfile().SeedBandwidthBps())
 	cur := partition.PipeDream(cm, workers)
 	if cur.Validate(m.NumLayers(), cl.NumGPUs()) != nil {
 		return Decision{}, false
@@ -101,7 +102,6 @@ func generateOne(rng *rand.Rand, horizon int) (Decision, bool) {
 
 	// Candidate: best neighbour under the analytic predictor on the
 	// post-shift profile (what the controller would propose).
-	pr := profile.NewProfiler(m, cl)
 	_ = pr.SetSmoothing(1)
 	prof := pr.Observe()
 	pred := meta.AnalyticPredictor{Scheme: netsim.RingAllReduce}

@@ -186,6 +186,10 @@ type JobConfig struct {
 	// DaemonKill is the hook a chaos KillDaemon event invokes — the
 	// crash injection point for control-plane durability testing.
 	DaemonKill func()
+	// OracleBandwidth makes the profiler read ground-truth available
+	// bandwidth instead of estimating it from the job's own transfer
+	// completions (the default; see internal/bwe).
+	OracleBandwidth bool
 }
 
 // Checkpoint is a compact resumable snapshot of a managed job's
@@ -342,6 +346,7 @@ func newJob(cfg JobConfig, batches int, restore *Checkpoint) (*Job, error) {
 		InitialPlan:     cfg.InitialPlan,
 		Procs:           cfg.Procs,
 		Restore:         restore,
+		OracleBandwidth: cfg.OracleBandwidth,
 	})
 	if err != nil {
 		return nil, err

@@ -2,9 +2,10 @@
 # Runs the predictor / search / inference-kernel benchmarks with
 # -benchmem and records the results as one JSON document (default
 # BENCH_predictor.json) so the perf trajectory is tracked from PR 3
-# onward. The PredictSpeed benchmarks fan out with -cpu to show the
-# realised parallel scoring speedup; the OptimizePlan benchmarks carry
-# their own internal procs=1/4/8 sub-benchmarks.
+# onward, plus the bandwidth-estimator benchmark as BENCH_bwe.json. The
+# PredictSpeed benchmarks fan out with -cpu to show the realised
+# parallel scoring speedup; the OptimizePlan benchmarks carry their own
+# internal procs=1/4/8 sub-benchmarks.
 #
 # Usage: scripts/bench.sh [output.json]
 # Env:   BENCHTIME (default 100x), CPUS (default 1,4,8)
@@ -17,14 +18,9 @@ cpus=${CPUS:-1,4,8}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench '^BenchmarkPredictSpeed$' \
-  -benchmem -benchtime "$benchtime" -cpu "$cpus" . | tee "$tmp"
-go test -run '^$' -bench '^BenchmarkOptimizePlan(Hybrid)?$' \
-  -benchmem -benchtime "$benchtime" . | tee -a "$tmp"
-go test -run '^$' -bench '^BenchmarkInfer$' \
-  -benchmem -benchtime "$benchtime" ./internal/nn | tee -a "$tmp"
-
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+# to_json renders `go test -bench` output on stdin as one JSON document.
+to_json() {
+  awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN { printf "{\n  \"generated\": \"%s\",\n  \"benchmarks\": [\n", date }
 /^Benchmark/ {
   ns = ""; bop = ""; aop = ""
@@ -42,5 +38,20 @@ BEGIN { printf "{\n  \"generated\": \"%s\",\n  \"benchmarks\": [\n", date }
   printf "%s", line
 }
 END { print "\n  ]\n}" }
-' "$tmp" > "$out"
+'
+}
+
+go test -run '^$' -bench '^BenchmarkPredictSpeed$' \
+  -benchmem -benchtime "$benchtime" -cpu "$cpus" . | tee "$tmp"
+go test -run '^$' -bench '^BenchmarkOptimizePlan(Hybrid)?$' \
+  -benchmem -benchtime "$benchtime" . | tee -a "$tmp"
+go test -run '^$' -bench '^BenchmarkInfer$' \
+  -benchmem -benchtime "$benchtime" ./internal/nn | tee -a "$tmp"
+to_json < "$tmp" > "$out"
 echo "wrote $out"
+
+go test -run '^$' -bench '^BenchmarkEstimatorObserve$' \
+  -benchmem -benchtime "${BENCHTIME:-10000x}" ./internal/bwe | tee "$tmp.bwe"
+to_json < "$tmp.bwe" > BENCH_bwe.json
+rm -f "$tmp.bwe"
+echo "wrote BENCH_bwe.json"
