@@ -139,6 +139,12 @@ type Stats struct {
 	SearchSeconds     float64 `json:"search_seconds"`
 	LastSearchSeconds float64 `json:"last_search_seconds"`
 	ScoreSeconds      float64 `json:"score_seconds"`
+	// SearchCacheHitRate is SearchCacheHits over all score lookups —
+	// derived, but serialised so dashboards don't recompute it. The
+	// score cache persists across decide rounds while the profile epoch
+	// (and, for history-aware predictors, the history window) is
+	// unchanged, so a quiet cluster drives this towards 1.
+	SearchCacheHitRate float64 `json:"search_cache_hit_rate"`
 }
 
 // Controller runs one AutoPipe-managed training job on a simulation.
@@ -169,6 +175,15 @@ type Controller struct {
 	// restarts them at zero).
 	abortedBase  int
 	migRetryBase int
+
+	// Candidate-scoring state persisted across decide rounds: the scorer
+	// (whose memo cache survives while searchKey is unchanged), the cache
+	// key it was last valid for, the arena candidate plans are carved
+	// from, and the reusable candidate slice. See decide.
+	search      *scoreSet
+	searchKey   searchCacheKey
+	searchArena partition.Arena
+	searchCands []partition.Plan
 
 	// Pending online-reward bookkeeping for REINFORCE.
 	pending *pendingDecision
@@ -307,6 +322,9 @@ func (c *Controller) Stats() Stats {
 	st := c.stats
 	st.AbortedSwitches = c.abortedBase + c.engine.AbortedSwitches
 	st.MigrationRetries = c.migRetryBase + c.engine.MigrationRetries
+	if total := st.CandidatesScored + st.SearchCacheHits; total > 0 {
+		st.SearchCacheHitRate = float64(st.SearchCacheHits) / float64(total)
+	}
 	return st
 }
 
@@ -367,6 +385,46 @@ func (c *Controller) onIteration(batch int, _ sim.Time) {
 	c.decide(prof)
 }
 
+// searchCacheKey identifies the scoring context a memoised candidate
+// score is valid for: the profile's observation-content epoch, the
+// history-window generation (zero for history-independent predictors,
+// whose scores don't depend on the window), and the number of online
+// meta-network adaptations (each one mutates the hybrid's weights and
+// blend, invalidating every past score).
+type searchCacheKey struct {
+	profEpoch uint64
+	histGen   uint64
+	adaptGen  uint64
+}
+
+// searchScorer returns the persistent scorer for this decide round,
+// keeping the memoised candidate scores from previous rounds whenever
+// the scoring context (profile epoch / history generation / adaptation
+// count) is unchanged — on a quiet cluster every repeat candidate is
+// then served from cache and the predictor runs only on genuinely new
+// plans. Per-round stats are zeroed; the caller folds them into Stats.
+func (c *Controller) searchScorer(prof *profile.Profile) *scoreSet {
+	key := searchCacheKey{profEpoch: prof.Epoch, adaptGen: uint64(c.stats.Adaptations)}
+	if meta.UsesHistory(c.predictor) {
+		key.histGen = c.history.Gen()
+	}
+	if c.search == nil {
+		c.search = newScoreSet(c.ctx, c.predictor, prof, c.cfg.Model.MiniBatch, c.history, c.cfg.Procs, false)
+		c.searchKey = key
+		return c.search
+	}
+	c.search.ctx = c.ctx
+	c.search.stats = SearchStats{}
+	if key != c.searchKey {
+		clear(c.search.cache)
+		c.searchKey = key
+	}
+	// Equal epochs guarantee identical profile contents, so rebinding to
+	// the latest observation is sound in both branches.
+	c.search.prof = prof
+	return c.search
+}
+
 // decide evaluates the two-worker-swap neighbourhood and possibly
 // triggers a switch.
 func (c *Controller) decide(prof *profile.Profile) {
@@ -375,16 +433,20 @@ func (c *Controller) decide(prof *profile.Profile) {
 	c.stats.Decisions++
 
 	mb := c.cfg.Model.MiniBatch
-	neighbors := partition.Neighbors(c.plan)
+	// Incumbent first, then the neighbourhood (arena-allocated): one
+	// scoring batch; the serial in-order reduction below keeps the chosen
+	// plan bit-identical to serial evaluation at any procs setting.
+	c.searchArena.Reset()
+	candidates := append(c.searchCands[:0], c.plan)
 	if c.cfg.UseMergeNeighborhood {
-		neighbors = partition.NeighborsWithMerge(c.plan)
+		candidates = partition.AppendNeighborsWithMerge(candidates, &c.searchArena, c.plan)
+	} else {
+		candidates = partition.AppendNeighbors(candidates, &c.searchArena, c.plan)
 	}
-	neighbors = append(neighbors, partition.InFlightVariants(c.plan, 2*len(c.cfg.Workers))...)
-	// Incumbent first, then the neighbourhood: one parallel scoring
-	// batch; the serial in-order reduction below keeps the chosen plan
-	// bit-identical to serial evaluation at any procs setting.
-	candidates := append([]partition.Plan{c.plan}, neighbors...)
-	ss := newScoreSet(c.ctx, c.predictor, prof, mb, c.history, c.cfg.Procs)
+	candidates = partition.AppendInFlightVariants(candidates, &c.searchArena, c.plan, 2*len(c.cfg.Workers))
+	c.searchCands = candidates
+	ss := c.searchScorer(prof)
+	ss.base = c.plan
 	speeds, serr := ss.scores(candidates)
 	c.stats.CandidatesScored += int64(ss.stats.Candidates)
 	c.stats.SearchCacheHits += int64(ss.stats.CacheHits)
@@ -397,7 +459,7 @@ func (c *Controller) decide(prof *profile.Profile) {
 	curSpeed := speeds[0]
 	best := c.plan
 	bestSpeed := curSpeed
-	for i, q := range neighbors {
+	for i, q := range candidates[1:] {
 		if s := speeds[i+1]; s > bestSpeed {
 			bestSpeed, best = s, q
 		}
@@ -406,6 +468,10 @@ func (c *Controller) decide(prof *profile.Profile) {
 		c.logDecision(DecisionRecord{Kind: "keep", PredCurrent: curSpeed, PredCandidate: bestSpeed})
 		return
 	}
+	// The winner outlives this round (decision log, async ApplyPlan
+	// commit) while its arena storage is recycled next decide — move it
+	// to the heap.
+	best = best.Clone()
 	// Switching-cost prediction.
 	var cost float64
 	if c.cfg.CostNet != nil {

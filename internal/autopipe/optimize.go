@@ -2,6 +2,7 @@ package autopipe
 
 import (
 	"context"
+	"sync"
 
 	"autopipe/internal/meta"
 	"autopipe/internal/partition"
@@ -22,6 +23,11 @@ type OptimizeOptions struct {
 	// history-aware predictors (net/hybrid); nil scores the all-zero
 	// window. The search only reads it.
 	History *meta.History
+	// NoBatch disables batched candidate scoring, forcing one
+	// PredictSpeed call per candidate even when the predictor offers
+	// meta.BatchPredictor. Scores — and therefore the chosen plan — are
+	// bit-identical either way; this exists for testing and ablation.
+	NoBatch bool
 }
 
 // OptimizePlan hill-climbs from an initial plan through the two-worker
@@ -33,47 +39,74 @@ type OptimizeOptions struct {
 // paper's Figure 13: the schedules keep their own execution semantics,
 // only the partition is AutoPipe-optimised.
 //
-// Each round's neighbourhood is scored in parallel on opts.Procs
-// goroutines with a fingerprint memo cache (see scoreSet); the chosen
-// plan is bit-identical at every procs setting. On cancellation the
-// best plan found so far is returned together with the context's error.
+// Each round's neighbourhood is carved from a pair of bump-pointer
+// arenas (the incumbent lives in the previous round's arena, so the two
+// alternate) and scored through a scoreSet — batched when the predictor
+// supports it, otherwise fanned across opts.Procs goroutines, with a
+// plan-hash memo cache either way. The chosen plan is bit-identical at
+// every procs setting and with batching on or off. The returned plan is
+// always an independent heap copy; on cancellation it is the best plan
+// found so far, together with the context's error.
 func OptimizePlan(ctx context.Context, prof *profile.Profile, plan partition.Plan,
 	miniBatch int, pred meta.Predictor, opts OptimizeOptions) (partition.Plan, error) {
 	maxRounds := opts.MaxRounds
 	if maxRounds < 1 {
 		maxRounds = 16
 	}
-	ss := newScoreSet(ctx, pred, prof, miniBatch, opts.History, opts.Procs)
+	// All per-call scratch — arenas, the score cache, the imbalance
+	// table — is pooled across OptimizePlan calls so a steady stream of
+	// searches allocates almost nothing and the GC (whose write
+	// barriers tax the arena copies) stays idle.
+	sc := optScratchPool.Get().(*optimizeScratch)
+	defer sc.put()
+	ss := &sc.ss
+	ss.reset(ctx, pred, prof, miniBatch, opts.History, opts.Procs, opts.NoBatch)
 	defer func() {
 		if opts.Stats != nil {
 			opts.Stats.add(ss.stats)
 		}
 	}()
-	imb := newImbalanceTable(prof)
+	imb := &sc.imb
+	imb.rebuild(prof)
 	cur := plan.Clone()
-	curScore, err := ss.scores([]partition.Plan{cur})
+	var seed [1]partition.Plan
+	seed[0] = cur
+	curScore, err := ss.scores(seed[:])
 	if err != nil {
 		return cur, err
 	}
 	curSpeed := curScore[0]
 	curImb := imb.of(cur)
+	// Candidates are bump-allocated from candArena and recycled every
+	// round; their untouched worker slices alias the incumbent's storage.
+	// The incumbent itself ping-pongs between two arenas: each round's
+	// winner is deep-copied out of candArena into the arena the previous
+	// incumbent is NOT in, so the storage a round's candidates alias
+	// stays live until those candidates are dead.
+	cands := sc.cands[:0]
 	for round := 0; round < maxRounds; round++ {
 		ss.stats.Rounds++
-		neighbors := partition.Neighbors(cur)
+		a := &sc.candArena
+		a.Reset()
+		ss.base = cur // delta-evaluation base for the batched path
+		cands = cands[:0]
 		if opts.UseMerge {
-			neighbors = partition.NeighborsWithMerge(cur)
+			cands = partition.AppendNeighborsWithMerge(cands, a, cur)
+		} else {
+			cands = partition.AppendNeighbors(cands, a, cur)
 		}
-		neighbors = append(neighbors, partition.InFlightVariants(cur, 0)...)
-		speeds, err := ss.scores(neighbors)
+		cands = partition.AppendInFlightVariants(cands, a, cur, 0)
+		speeds, err := ss.scores(cands)
 		if err != nil {
-			return cur, err
+			sc.cands = cands
+			return cur.Clone(), err
 		}
 		best := cur
 		bestSpeed, bestImb := curSpeed, curImb
 		improved := false
 		// The reduction stays serial and in enumeration order, so the
 		// chosen plan is exactly the serial search's choice.
-		for i, q := range neighbors {
+		for i, q := range cands {
 			s := speeds[i]
 			better := s > bestSpeed*(1+1e-9)
 			if !better && s < bestSpeed*(1-1e-9) {
@@ -89,7 +122,38 @@ func OptimizePlan(ctx context.Context, prof *profile.Profile, plan partition.Pla
 		if !improved {
 			break
 		}
-		cur, curSpeed, curImb = best, bestSpeed, bestImb
+		// Deep-copy the winner into the off incumbent arena: best's
+		// candArena storage is recycled next round, and the arena the
+		// current incumbent occupies is still aliased by nothing after
+		// this swap, so it can be recycled the round after.
+		ca := &sc.curArenas[round&1]
+		ca.Reset()
+		cur, curSpeed, curImb = ca.Clone(best), bestSpeed, bestImb
 	}
-	return cur, nil
+	sc.cands = cands
+	// cur may reference arena storage; hand the caller an independent copy.
+	return cur.Clone(), nil
+}
+
+// optimizeScratch bundles every reusable buffer one OptimizePlan call
+// touches; a sync.Pool recycles them across calls.
+type optimizeScratch struct {
+	ss        scoreSet
+	candArena partition.Arena
+	curArenas [2]partition.Arena
+	cands     []partition.Plan
+	imb       imbalanceTable
+}
+
+var optScratchPool = sync.Pool{New: func() any { return new(optimizeScratch) }}
+
+// put returns the scratch to the pool after dropping plan references so
+// recycled scratch never pins a caller's profile or plan storage. Arena
+// slabs and table rows are kept — reusing them is the point.
+func (sc *optimizeScratch) put() {
+	sc.ss.release()
+	for i := range sc.cands {
+		sc.cands[i] = partition.Plan{}
+	}
+	optScratchPool.Put(sc)
 }

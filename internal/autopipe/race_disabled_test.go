@@ -1,0 +1,5 @@
+//go:build !race
+
+package autopipe
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package autopipe
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. sync.Pool's fast paths are disabled under race, so pooled
+// scratch reports spurious allocations and timing bounds are
+// meaningless there.
+const raceEnabled = true

@@ -2,6 +2,7 @@ package autopipe
 
 import (
 	"context"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -12,9 +13,9 @@ import (
 )
 
 // SearchStats aggregates candidate-search telemetry: how many plans the
-// predictor actually scored, how many scores the fingerprint memo cache
-// served, and where the time went. WallSeconds is elapsed search time;
-// ScoreSeconds sums the per-candidate predictor time across workers, so
+// predictor actually scored, how many scores the memo cache served, and
+// where the time went. WallSeconds is elapsed search time; ScoreSeconds
+// sums the per-candidate predictor time across workers, so
 // ScoreSeconds/WallSeconds estimates the realised parallel speedup.
 type SearchStats struct {
 	Candidates   int     `json:"candidates"`
@@ -42,34 +43,79 @@ func (s SearchStats) Speedup() float64 {
 	return s.ScoreSeconds / s.WallSeconds
 }
 
+// HitRate returns the fraction of score lookups the memo cache served
+// without touching the predictor; 0 when nothing was looked up.
+func (s SearchStats) HitRate() float64 {
+	total := s.Candidates + s.CacheHits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
 // scoreSet evaluates candidate partitions against one observed profile:
-// bounded parallel scoring through internal/work plus a plan-fingerprint
-// memo cache, so repeated hill-climb rounds never re-score an
-// already-seen partition. Scoring through a scoreSet is bit-identical
-// to calling the predictor serially in candidate order: each candidate
-// is an independent pure evaluation and results land at their input
-// index, so neither procs nor scheduling affects any returned value.
+// batched or bounded-parallel scoring plus a plan-hash memo cache, so
+// repeated hill-climb rounds never re-score an already-seen partition.
+// Scoring through a scoreSet is bit-identical to calling the predictor
+// serially in candidate order: each candidate is an independent pure
+// evaluation, results land at their input index, and the batched paths
+// carry a strict per-row bit-identity contract (meta.BatchPredictor) —
+// so neither procs, nor batching, nor scheduling affects any returned
+// value.
+//
+// The memo cache key is partition.Plan.Hash64 (64-bit FNV-1a over the
+// canonical plan encoding) instead of the allocating Fingerprint string;
+// with the ≤10⁴ live entries of a search the collision probability is
+// ~1e-12 per search.
 type scoreSet struct {
-	ctx   context.Context
-	pred  meta.Predictor
+	ctx  context.Context
+	pred meta.Predictor
+	// batch is pred's batched scoring path, nil when absent or disabled;
+	// when set, each round's cache-miss set is scored in procs contiguous
+	// chunks of one PredictSpeedBatch call each, amortising the
+	// candidate-independent work (LSTM history pass, analytic base-plan
+	// terms) across the chunk.
+	batch meta.BatchPredictor
 	prof  *profile.Profile
 	mb    int
 	h     *meta.History
 	procs int
-	cache map[string]float64
+	cache map[uint64]float64
 	stats SearchStats
+	// base is the plan the current candidate set was enumerated from
+	// (the search incumbent), forwarded to the batched path as its
+	// delta-evaluation base hint. The caller refreshes it whenever the
+	// incumbent moves; a zero Plan is valid (implementations fall back
+	// to the first scored plan).
+	base partition.Plan
+
+	// Reusable buffers: the slice scores returns is owned by the
+	// scoreSet and valid only until its next scores call.
+	out       []float64
+	keys      []uint64
+	miss      []int
+	missPlans []partition.Plan
+	missOut   []float64
 }
 
 // newScoreSet builds a scorer. Predictors that are not concurrency-safe
 // (see meta.ConcurrencySafe) are scored on one goroutine regardless of
 // procs; results are identical either way, only the wall clock differs.
-// All built-in predictors — analytic, net and hybrid — are safe: the
-// meta-network scores through pooled read-only inference sessions and
-// the analytic model through pooled slice scratch, so the paper's
-// headline path (cheap meta-network scoring of the O(L²) swap
-// neighbourhood) genuinely fans out across procs.
+// All built-in predictors — analytic, net and hybrid — are safe and
+// additionally advertise meta.BatchPredictor, so scoring dispatches to
+// the batched path unless noBatch disables it (testing/ablation).
 func newScoreSet(ctx context.Context, pred meta.Predictor, prof *profile.Profile,
-	miniBatch int, h *meta.History, procs int) *scoreSet {
+	miniBatch int, h *meta.History, procs int, noBatch bool) *scoreSet {
+	s := &scoreSet{}
+	s.reset(ctx, pred, prof, miniBatch, h, procs, noBatch)
+	return s
+}
+
+// reset rebinds a (possibly recycled) scoreSet to a new search: the
+// memo cache is emptied and the stats zeroed, while the cache map and
+// scoring buffers keep their capacity for reuse.
+func (s *scoreSet) reset(ctx context.Context, pred meta.Predictor, prof *profile.Profile,
+	miniBatch int, h *meta.History, procs int, noBatch bool) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -80,22 +126,47 @@ func newScoreSet(ctx context.Context, pred meta.Predictor, prof *profile.Profile
 	if !meta.ParallelSafe(pred) {
 		procs = 1
 	}
-	return &scoreSet{
-		ctx: ctx, pred: pred, prof: prof, mb: miniBatch, h: h,
-		procs: procs, cache: map[string]float64{},
+	s.ctx, s.pred, s.prof, s.mb, s.h, s.procs = ctx, pred, prof, miniBatch, h, procs
+	s.base = partition.Plan{}
+	s.stats = SearchStats{}
+	if s.cache == nil {
+		s.cache = map[uint64]float64{}
+	} else {
+		clear(s.cache)
+	}
+	s.batch = nil
+	if !noBatch {
+		if bp, ok := meta.BatchCapable(pred); ok {
+			s.batch = bp
+		}
+	}
+}
+
+// release drops every reference a recycled scoreSet would otherwise pin
+// (profile, history, context, base-plan storage); capacities survive.
+func (s *scoreSet) release() {
+	s.ctx, s.pred, s.batch, s.prof, s.h = nil, nil, nil, nil, nil
+	s.base = partition.Plan{}
+	for i := range s.missPlans {
+		s.missPlans[i] = partition.Plan{}
 	}
 }
 
 // scores returns the predicted speed of every plan, in input order.
-// Cached fingerprints are served without touching the predictor. On
-// context cancellation it returns the context's error.
+// Cached plans are served without touching the predictor. On context
+// cancellation it returns the context's error. The returned slice is
+// reused by the next scores call.
 func (s *scoreSet) scores(plans []partition.Plan) ([]float64, error) {
 	wallStart := time.Now()
-	out := make([]float64, len(plans))
-	keys := make([]string, len(plans))
-	var miss []int
+	if cap(s.out) < len(plans) {
+		s.out = make([]float64, len(plans))
+		s.keys = make([]uint64, len(plans))
+	}
+	out := s.out[:len(plans)]
+	keys := s.keys[:len(plans)]
+	miss := s.miss[:0]
 	for i, p := range plans {
-		keys[i] = p.Fingerprint()
+		keys[i] = p.Hash64()
 		if v, ok := s.cache[keys[i]]; ok {
 			out[i] = v
 			s.stats.CacheHits++
@@ -103,16 +174,17 @@ func (s *scoreSet) scores(plans []partition.Plan) ([]float64, error) {
 			miss = append(miss, i)
 		}
 	}
-	var scoreNanos atomic.Int64
-	err := work.Map(s.ctx, len(miss), s.procs, func(_ context.Context, j int) error {
-		i := miss[j]
-		t0 := time.Now()
-		out[i] = s.pred.PredictSpeed(s.prof, plans[i], s.mb, s.h)
-		scoreNanos.Add(int64(time.Since(t0)))
-		return nil
-	})
+	s.miss = miss
+
+	var scoreNanos int64
+	var err error
+	if s.batch != nil && len(miss) > 1 {
+		scoreNanos, err = s.scoreBatched(plans, out)
+	} else {
+		scoreNanos, err = s.scoreFanOut(plans, out)
+	}
 	s.stats.WallSeconds += time.Since(wallStart).Seconds()
-	s.stats.ScoreSeconds += time.Duration(scoreNanos.Load()).Seconds()
+	s.stats.ScoreSeconds += time.Duration(scoreNanos).Seconds()
 	if err != nil {
 		return nil, err
 	}
@@ -121,6 +193,67 @@ func (s *scoreSet) scores(plans []partition.Plan) ([]float64, error) {
 	}
 	s.stats.Candidates += len(miss)
 	return out, nil
+}
+
+// scoreBatched scores the miss set through the predictor's batched path:
+// the missed plans are gathered into one contiguous slice and split into
+// at most procs contiguous chunks, each scored by one PredictSpeedBatch
+// call. Chunking affects wall clock only — every row's score is
+// bit-identical to serial PredictSpeed by the BatchPredictor contract.
+func (s *scoreSet) scoreBatched(plans []partition.Plan, out []float64) (int64, error) {
+	miss := s.miss
+	if cap(s.missPlans) < len(miss) {
+		s.missPlans = make([]partition.Plan, len(miss))
+		s.missOut = make([]float64, len(miss))
+	}
+	mp := s.missPlans[:len(miss)]
+	mo := s.missOut[:len(miss)]
+	for j, i := range miss {
+		mp[j] = plans[i]
+	}
+	// Chunk by the parallelism the runtime can actually realise: each
+	// chunk re-pays the candidate-independent batch work (LSTM pass,
+	// analytic rebase), so chunks beyond GOMAXPROCS or beyond the miss
+	// count are pure overhead. Chunking never affects scores, only wall
+	// clock (per-row bit-identity).
+	nch := s.procs
+	if g := runtime.GOMAXPROCS(0); nch > g {
+		nch = g
+	}
+	if nch > len(miss) {
+		nch = len(miss)
+	}
+	var scoreNanos atomic.Int64
+	err := work.Map(s.ctx, nch, nch, func(_ context.Context, c int) error {
+		lo := c * len(miss) / nch
+		hi := (c + 1) * len(miss) / nch
+		t0 := time.Now()
+		s.batch.PredictSpeedBatch(s.prof, s.base, mp[lo:hi], s.mb, s.h, mo[lo:hi])
+		scoreNanos.Add(int64(time.Since(t0)))
+		return nil
+	})
+	if err != nil {
+		return scoreNanos.Load(), err
+	}
+	for j, i := range miss {
+		out[i] = mo[j]
+	}
+	return scoreNanos.Load(), nil
+}
+
+// scoreFanOut is the per-candidate fallback: one PredictSpeed call per
+// missed plan, fanned across procs goroutines.
+func (s *scoreSet) scoreFanOut(plans []partition.Plan, out []float64) (int64, error) {
+	miss := s.miss
+	var scoreNanos atomic.Int64
+	err := work.Map(s.ctx, len(miss), s.procs, func(_ context.Context, j int) error {
+		i := miss[j]
+		t0 := time.Now()
+		out[i] = s.pred.PredictSpeed(s.prof, plans[i], s.mb, s.h)
+		scoreNanos.Add(int64(time.Since(t0)))
+		return nil
+	})
+	return scoreNanos.Load(), err
 }
 
 // imbalanceTable serves loadImbalance queries from per-worker prefix
@@ -134,15 +267,30 @@ type imbalanceTable struct {
 }
 
 func newImbalanceTable(prof *profile.Profile) *imbalanceTable {
-	t := &imbalanceTable{prefix: make([][]float64, prof.N)}
+	t := &imbalanceTable{}
+	t.rebuild(prof)
+	return t
+}
+
+// rebuild recomputes the prefix sums for a profile, reusing the
+// table's row storage when capacities allow.
+func (t *imbalanceTable) rebuild(prof *profile.Profile) {
+	if cap(t.prefix) < prof.N {
+		t.prefix = make([][]float64, prof.N)
+	}
+	t.prefix = t.prefix[:prof.N]
 	for w := 0; w < prof.N; w++ {
-		row := make([]float64, prof.L+1)
+		row := t.prefix[w]
+		if cap(row) < prof.L+1 {
+			row = make([]float64, prof.L+1)
+		}
+		row = row[:prof.L+1]
+		row[0] = 0
 		for l := 0; l < prof.L; l++ {
 			row[l+1] = row[l] + prof.FP[w][l] + prof.BP[w][l]
 		}
 		t.prefix[w] = row
 	}
-	return t
 }
 
 // of returns the plateau tie-breaker for hill-climbing: the sum of

@@ -70,11 +70,13 @@ func TestScoreSetCacheServesRepeats(t *testing.T) {
 	m := model.AlexNet()
 	prof := profile.NewProfiler(m, cl).Observe()
 	plans := partition.NeighborsWithMerge(partition.EvenSplit(m.NumLayers(), []int{0, 1, 2, 3}))
-	ss := newScoreSet(context.Background(), meta.AnalyticPredictor{}, prof, m.MiniBatch, nil, 4)
-	first, err := ss.scores(plans)
+	ss := newScoreSet(context.Background(), meta.AnalyticPredictor{}, prof, m.MiniBatch, nil, 4, false)
+	res, err := ss.scores(plans)
 	if err != nil {
 		t.Fatal(err)
 	}
+	// scores reuses its result buffer; copy before scoring again.
+	first := append([]float64(nil), res...)
 	if ss.stats.Candidates != len(plans) {
 		t.Fatalf("scored %d candidates, want %d", ss.stats.Candidates, len(plans))
 	}

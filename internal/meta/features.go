@@ -154,6 +154,7 @@ func EncodeDynamicStep(p *profile.Profile, normThroughput float64) tensor.Vec {
 // History accumulates the per-iteration dynamic steps in a fixed window.
 type History struct {
 	steps []tensor.Vec
+	gen   uint64
 }
 
 // Push appends a step, keeping the last SeqLen entries.
@@ -162,6 +163,18 @@ func (h *History) Push(step tensor.Vec) {
 	if len(h.steps) > SeqLen {
 		h.steps = h.steps[len(h.steps)-SeqLen:]
 	}
+	h.gen++
+}
+
+// Gen returns the window generation: it changes exactly when the window
+// contents may have changed (every Push). Caches of history-dependent
+// predictions key on it; a nil history is the immutable all-zero window,
+// generation 0.
+func (h *History) Gen() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.gen
 }
 
 // Window returns exactly SeqLen steps, left-padded by repeating the

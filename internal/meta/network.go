@@ -7,6 +7,8 @@ import (
 	"sync"
 
 	"autopipe/internal/nn"
+	"autopipe/internal/partition"
+	"autopipe/internal/profile"
 	"autopipe/internal/tensor"
 )
 
@@ -75,6 +77,14 @@ type InferSession struct {
 	// full PredictSpeed path needs no separate feature vectors.
 	cat tensor.Vec
 	dyn []tensor.Vec // SeqLen × DynStepDim window buffer
+	// batchIn is the row-major head-input matrix of PredictSpeedBatch,
+	// grown on demand and reused across calls.
+	batchIn tensor.Vec
+
+	// pad keeps pooled sessions used by concurrent scorers from sharing
+	// a cache line (the pool hands adjacent heap objects to different
+	// goroutines; every field above is written on every call).
+	_ [64]byte
 }
 
 // Session returns a pooled inference session for this network. Release
@@ -108,6 +118,45 @@ func (s *InferSession) Predict(f Features) float64 {
 	copy(s.cat[lstmHidden+StaticDim:], f.Partition)
 	out := s.net.head.Infer(s.cat, &s.scratch)
 	return out[0]
+}
+
+// PredictSpeedBatch scores every plan against one (profile, miniBatch,
+// history) context in a single batched pass, writing samples/sec into
+// out[i] (len(out) must be ≥ len(plans)). The history window is encoded
+// and run through the LSTM once — not once per candidate, which is what
+// makes this path worth having: the LSTM is ~10× the head's cost, and
+// within one scoring round every candidate shares the history. Each
+// out[i] is bit-identical to PredictSpeed(p, plans[i], miniBatch, h):
+// same hidden state, same encoders, and the batched head kernel is
+// row-for-row identical to the serial one (pinned in internal/nn).
+func (s *InferSession) PredictSpeedBatch(p *profile.Profile, plans []partition.Plan, miniBatch int, h *History, out []float64) {
+	if len(plans) == 0 {
+		return
+	}
+	in := lstmHidden + StaticDim + PartitionDim
+	if need := len(plans) * in; cap(s.batchIn) < need {
+		s.batchIn = tensor.NewVec(need)
+	}
+	x := s.batchIn[:len(plans)*in]
+	s.scratch.Reset()
+	hv := s.net.lstm.InferSeq(h.WindowInto(s.dyn), &s.scratch)
+	EncodeStaticInto(s.cat[lstmHidden:lstmHidden+StaticDim], p, miniBatch)
+	ideal := IdealThroughput(p, miniBatch)
+	for i, plan := range plans {
+		row := x[i*in : (i+1)*in]
+		copy(row[:lstmHidden], hv)
+		copy(row[lstmHidden:lstmHidden+StaticDim], s.cat[lstmHidden:lstmHidden+StaticDim])
+		EncodePartitionInto(row[lstmHidden+StaticDim:], p, plan)
+	}
+	ys := s.net.head.InferBatch(x, len(plans), &s.scratch)
+	stride := len(ys) / len(plans)
+	for i := range plans {
+		y := ys[i*stride]
+		if y < 0 {
+			y = 0
+		}
+		out[i] = y * ideal
+	}
 }
 
 // step runs one forward+backward pass for a sample and returns its loss.

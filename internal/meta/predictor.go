@@ -35,6 +35,50 @@ func ParallelSafe(pred Predictor) bool {
 	return ok && cs.ConcurrentSafe()
 }
 
+// BatchPredictor is an optional Predictor extension: predictors that can
+// score a whole candidate set against one (profile, miniBatch, history)
+// context in a single pass advertise it here, and the search layer
+// dispatches each scoring round through PredictSpeedBatch instead of one
+// PredictSpeed round-trip per candidate. The contract is strict
+// bit-identity: out[i] must equal PredictSpeed(p, plans[i], miniBatch, h)
+// exactly, so batching can never change which plan a search chooses.
+// len(out) must be ≥ len(plans); entries past len(plans) are untouched.
+//
+// base is a hint, not an input to the scores: the plan the candidates
+// were enumerated from (the search incumbent), which incremental
+// implementations use as the delta-evaluation base. A zero Plan is
+// always valid — implementations then fall back to plans[0].
+// All built-in predictors implement it: the meta-network amortises the
+// candidate-independent LSTM pass and runs one batched head kernel, and
+// the analytic model scores through the incremental delta-cost Evaluator
+// rebased on plans[0].
+type BatchPredictor interface {
+	Predictor
+	PredictSpeedBatch(p *profile.Profile, base partition.Plan, plans []partition.Plan, miniBatch int, h *History, out []float64)
+}
+
+// BatchCapable resolves pred's batched scoring path, if it has one.
+func BatchCapable(pred Predictor) (BatchPredictor, bool) {
+	bp, ok := pred.(BatchPredictor)
+	return bp, ok
+}
+
+// HistoryAgnostic is an optional Predictor extension: predictors whose
+// scores ignore the History argument report it here, letting caches of
+// (profile, plan) scores survive history updates. Only the analytic
+// model qualifies among the built-ins — the meta-network's LSTM consumes
+// the window.
+type HistoryAgnostic interface {
+	HistoryIndependent() bool
+}
+
+// UsesHistory reports whether pred's scores may depend on the dynamic
+// history window (conservatively true for unknown predictors).
+func UsesHistory(pred Predictor) bool {
+	ha, ok := pred.(HistoryAgnostic)
+	return !(ok && ha.HistoryIndependent())
+}
+
 // AnalyticPredictor is the model-based fallback: a per-resource fluid
 // model evaluated directly on the profiler's observations. It is what
 // the paper calls "close to realistic modeling" — accurate but, on
@@ -93,6 +137,12 @@ type analyticScratch struct {
 	// Per-call accumulators, zeroed at the start of every prediction.
 	compute  []float64 // seconds/batch per worker
 	up, down []float64 // bits per server
+
+	// pad keeps pooled scratches used by concurrent scorers from sharing
+	// a cache line: the pool hands adjacent heap objects to different
+	// goroutines and every accumulator header above is rewritten per
+	// call, so an unpadded layout false-shares under RunParallel.
+	_ [64]byte
 }
 
 var analyticPool = sync.Pool{New: func() any { return new(analyticScratch) }}
@@ -313,6 +363,37 @@ func (ap AnalyticPredictor) predict(sc *analyticScratch, p *profile.Profile, pla
 	return tp
 }
 
+// evaluatorPool recycles incremental evaluators for the batched analytic
+// path (one per concurrent PredictSpeedBatch call).
+var evaluatorPool = sync.Pool{New: func() any { return new(Evaluator) }}
+
+// PredictSpeedBatch implements BatchPredictor: it scores the whole set
+// through one incremental Evaluator rebased on the incumbent hint (or
+// plans[0] without one), so a candidate re-derives only the stages it
+// does not share with that base — O(L/W) per neighbour instead of
+// O(W·L). Bit-identical to per-plan PredictSpeed by the Evaluator's
+// contract (unmatched stages fall back
+// to the exact full-path term computation).
+func (ap AnalyticPredictor) PredictSpeedBatch(p *profile.Profile, base partition.Plan, plans []partition.Plan, miniBatch int, _ *History, out []float64) {
+	if len(plans) == 0 {
+		return
+	}
+	if len(base.Stages) == 0 {
+		base = plans[0]
+	}
+	ev := evaluatorPool.Get().(*Evaluator)
+	ev.ap = ap
+	ev.Rebase(p, base)
+	for i, plan := range plans {
+		out[i] = ev.PredictSpeed(plan, miniBatch)
+	}
+	evaluatorPool.Put(ev)
+}
+
+// HistoryIndependent implements HistoryAgnostic: the analytic model
+// scores from the profile alone.
+func (AnalyticPredictor) HistoryIndependent() bool { return true }
+
 // NetPredictor wraps the trained meta-network as a Predictor,
 // de-normalizing its output by the ideal-throughput scale.
 type NetPredictor struct {
@@ -332,6 +413,16 @@ func (np NetPredictor) PredictSpeed(p *profile.Profile, plan partition.Plan, min
 	y := s.PredictSpeed(p, plan, miniBatch, h)
 	s.Release()
 	return y
+}
+
+// PredictSpeedBatch implements BatchPredictor: one pooled session scores
+// the whole set, encoding the shared history window through the LSTM
+// once and running a single batched head pass (see
+// InferSession.PredictSpeedBatch for the bit-identity argument).
+func (np NetPredictor) PredictSpeedBatch(p *profile.Profile, _ partition.Plan, plans []partition.Plan, miniBatch int, h *History, out []float64) {
+	s := np.Net.Session()
+	s.PredictSpeedBatch(p, plans, miniBatch, h, out)
+	s.Release()
 }
 
 // PredictSpeed scores (profile, plan) through the session, encoding the
@@ -382,4 +473,38 @@ func (hp *HybridPredictor) PredictSpeed(p *profile.Profile, plan partition.Plan,
 		w = 1
 	}
 	return w*n + (1-w)*a
+}
+
+// hybridBatchPool recycles the net-score side buffer of the hybrid
+// batched path.
+var hybridBatchPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// PredictSpeedBatch implements BatchPredictor: both components run their
+// own batched pass and blend per candidate with the exact serial
+// expression (w*n + (1-w)*a, identical operand order), so each out[i] is
+// bit-identical to PredictSpeed on plans[i].
+func (hp *HybridPredictor) PredictSpeedBatch(p *profile.Profile, base partition.Plan, plans []partition.Plan, miniBatch int, h *History, out []float64) {
+	if len(plans) == 0 {
+		return
+	}
+	AnalyticPredictor{Scheme: hp.Scheme}.PredictSpeedBatch(p, base, plans, miniBatch, nil, out)
+	if hp.Net == nil || hp.NetWeight <= 0 {
+		return
+	}
+	nbp := hybridBatchPool.Get().(*[]float64)
+	nb := *nbp
+	if cap(nb) < len(plans) {
+		nb = make([]float64, len(plans))
+	}
+	nb = nb[:len(plans)]
+	NetPredictor{Net: hp.Net}.PredictSpeedBatch(p, partition.Plan{}, plans, miniBatch, h, nb)
+	w := hp.NetWeight
+	if w > 1 {
+		w = 1
+	}
+	for i := range nb {
+		out[i] = w*nb[i] + (1-w)*out[i]
+	}
+	*nbp = nb
+	hybridBatchPool.Put(nbp)
 }

@@ -1,0 +1,117 @@
+// Batched inference kernels.
+//
+// The controller's search scores a whole candidate neighbourhood against
+// one observed profile per round. Scoring candidates one at a time
+// through Infer/InferSeq pays the per-call overhead — session pool
+// round-trips and, for history-aware predictors, a full LSTM pass over
+// the (candidate-independent) dynamic window — once per candidate. The
+// batch kernels below amortise that: they take a row-major input matrix
+// (rows × In, flattened into one tensor.Vec) and produce a row-major
+// output matrix carved from the same Scratch arena.
+//
+// Bit-identity contract: row r of InferBatch(x, rows, s) equals
+// Infer(x[r*In:(r+1)*In], s) exactly — each row runs the identical
+// floating-point loop in the identical order, so batching can never
+// change a score. infer_batch_test.go pins this per layer and for the
+// LSTM sequence kernel.
+package nn
+
+import (
+	"math"
+
+	"autopipe/internal/tensor"
+)
+
+// BatchInferer is the batched extension of Inferer: InferBatch maps a
+// row-major rows×In matrix to a row-major rows×Out matrix carved from
+// the scratch arena, with each output row bit-identical to Infer on the
+// corresponding input row. All layers in this package implement it.
+type BatchInferer interface {
+	InferBatch(x tensor.Vec, rows int, s *Scratch) tensor.Vec
+}
+
+// InferBatch computes W·xᵣ + b for every row xᵣ of the rows×In matrix x
+// into a rows×Out matrix. Read-only on the layer.
+func (l *Linear) InferBatch(x tensor.Vec, rows int, s *Scratch) tensor.Vec {
+	out := s.Take(rows * l.Out)
+	for r := 0; r < rows; r++ {
+		row := out[r*l.Out : (r+1)*l.Out]
+		l.W.Value.MulVec(x[r*l.In:(r+1)*l.In], row)
+		row.Add(l.B.Value.Data)
+	}
+	return out
+}
+
+// InferBatch applies the activation element-wise over the whole matrix.
+// Element-wise kernels are shape-oblivious, so the loop bodies are the
+// same concrete loops as Infer. Read-only on the layer.
+func (a *activation) InferBatch(x tensor.Vec, _ int, s *Scratch) tensor.Vec {
+	y := s.Take(len(x))
+	switch a.kind {
+	case actReLU:
+		for i, v := range x {
+			if v > 0 {
+				y[i] = v
+			} else {
+				y[i] = 0
+			}
+		}
+	case actTanh:
+		for i, v := range x {
+			y[i] = math.Tanh(v)
+		}
+	case actSigmoid:
+		for i, v := range x {
+			y[i] = Sigmoid(v)
+		}
+	}
+	return y
+}
+
+// InferBatch runs the chain front to back through each layer's batched
+// inference kernel. Panics if a layer does not implement BatchInferer
+// (all layers in this package do).
+func (sq *Sequential) InferBatch(x tensor.Vec, rows int, s *Scratch) tensor.Vec {
+	for _, l := range sq.Layers {
+		bi, ok := l.(BatchInferer)
+		if !ok {
+			panic("nn: layer without a batched inference kernel in Sequential.InferBatch")
+		}
+		x = bi.InferBatch(x, rows, s)
+	}
+	return x
+}
+
+// InferSeqBatch runs the LSTM over every sequence in xss from zero state
+// and returns the final hidden states as a row-major len(xss)×Hidden
+// matrix carved from the scratch arena. Row r is bit-identical to
+// InferSeq(xss[r], s): each sequence runs the exact InferSeq recurrence;
+// only the two pre-activation buffers are shared (and fully overwritten)
+// across rows. Read-only on the layer.
+func (l *LSTM) InferSeqBatch(xss [][]tensor.Vec, s *Scratch) tensor.Vec {
+	H := l.Hidden
+	out := s.Take(len(xss) * H)
+	c := s.Take(H)
+	z := s.Take(4 * H)
+	zh := s.Take(4 * H)
+	for r, xs := range xss {
+		h := out[r*H : (r+1)*H]
+		h.Zero()
+		c.Zero()
+		for _, x := range xs {
+			l.Wx.Value.MulVec(x, z)
+			l.Wh.Value.MulVec(h, zh)
+			z.Add(zh)
+			z.Add(l.B.Value.Data)
+			for j := 0; j < H; j++ {
+				ig := Sigmoid(z[j])
+				fg := Sigmoid(z[H+j])
+				gg := math.Tanh(z[2*H+j])
+				og := Sigmoid(z[3*H+j])
+				c[j] = fg*c[j] + ig*gg
+				h[j] = og * math.Tanh(c[j])
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"autopipe/internal/tensor"
+)
+
+// TestInferBatchMatchesInfer pins the batched kernels to the per-row
+// inference path bit-for-bit on randomized dense networks and batch
+// sizes, including rows == 0 and rows == 1.
+func TestInferBatchMatchesInfer(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var rowScratch, batchScratch Scratch
+	for trial := 0; trial < 50; trial++ {
+		in := 1 + rng.Intn(16)
+		net, out := randSeq(rng, in)
+		rows := rng.Intn(9) // 0..8
+		x := randVec(rng, rows*in)
+		batchScratch.Reset()
+		got := net.InferBatch(x, rows, &batchScratch)
+		if len(got) != rows*out {
+			t.Fatalf("trial %d: batch output length %d, want %d", trial, len(got), rows*out)
+		}
+		for r := 0; r < rows; r++ {
+			rowScratch.Reset()
+			want := net.Infer(x[r*in:(r+1)*in], &rowScratch)
+			for j := range want {
+				if got[r*out+j] != want[j] {
+					t.Fatalf("trial %d: row %d out[%d] = %v, want %v (bitwise)",
+						trial, r, j, got[r*out+j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestInferSeqBatchMatchesInferSeq pins the batched LSTM sequence kernel
+// to per-sequence InferSeq bit-for-bit, with sequences of differing
+// lengths in one batch.
+func TestInferSeqBatchMatchesInferSeq(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	var rowScratch, batchScratch Scratch
+	for trial := 0; trial < 30; trial++ {
+		in := 1 + rng.Intn(12)
+		hidden := 1 + rng.Intn(20)
+		l := NewLSTM(in, hidden, rng)
+		rows := rng.Intn(7) // 0..6
+		xss := make([][]tensor.Vec, rows)
+		for r := range xss {
+			steps := 1 + rng.Intn(10)
+			xss[r] = make([]tensor.Vec, steps)
+			for i := range xss[r] {
+				xss[r][i] = randVec(rng, in)
+			}
+		}
+		batchScratch.Reset()
+		got := l.InferSeqBatch(xss, &batchScratch)
+		if len(got) != rows*hidden {
+			t.Fatalf("trial %d: batch output length %d, want %d", trial, len(got), rows*hidden)
+		}
+		for r := 0; r < rows; r++ {
+			rowScratch.Reset()
+			want := l.InferSeq(xss[r], &rowScratch)
+			for j := range want {
+				if got[r*hidden+j] != want[j] {
+					t.Fatalf("trial %d: seq %d h[%d] = %v, want %v (bitwise)",
+						trial, r, j, got[r*hidden+j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestInferBatchZeroAllocs pins the batched kernels at zero steady-state
+// heap allocations once the scratch slabs have grown.
+func TestInferBatchZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	net, _ := randSeq(rng, 10)
+	l := NewLSTM(6, 12, rng)
+	const rows = 32
+	x := randVec(rng, rows*10)
+	xss := make([][]tensor.Vec, rows)
+	for r := range xss {
+		xss[r] = make([]tensor.Vec, 8)
+		for i := range xss[r] {
+			xss[r][i] = randVec(rng, 6)
+		}
+	}
+	var scratch Scratch
+	scratch.Reset()
+	net.InferBatch(x, rows, &scratch)
+	l.InferSeqBatch(xss, &scratch)
+
+	if n := testing.AllocsPerRun(200, func() {
+		scratch.Reset()
+		net.InferBatch(x, rows, &scratch)
+	}); n != 0 {
+		t.Fatalf("Sequential.InferBatch allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		scratch.Reset()
+		l.InferSeqBatch(xss, &scratch)
+	}); n != 0 {
+		t.Fatalf("LSTM.InferSeqBatch allocates %v/op, want 0", n)
+	}
+}
+
+// BenchmarkInferBatch contrasts batched head inference against the
+// per-row loop on the meta-network's head shape at a search-round batch
+// size; both must report 0 allocs/op.
+func BenchmarkInferBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewSequential(
+		NewLinear(64, 32, rng), NewReLU(),
+		NewLinear(32, 16, rng), NewReLU(),
+		NewLinear(16, 1, rng),
+	)
+	const rows = 128
+	x := randVec(rng, rows*64)
+	b.Run("per-row", func(b *testing.B) {
+		var s Scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Reset()
+			for r := 0; r < rows; r++ {
+				net.Infer(x[r*64:(r+1)*64], &s)
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		var s Scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Reset()
+			net.InferBatch(x, rows, &s)
+		}
+	})
+}

@@ -1,0 +1,167 @@
+// Arena-allocated candidate plans.
+//
+// Every hill-climb round enumerates the O(L²) swap/merge neighbourhood
+// of the incumbent and discards it after one scoring pass. Building the
+// candidates with Clone costs one Stage-slice plus one worker-slice
+// allocation per stage per candidate — ~15k heap allocations per
+// OptimizePlan call — and all of it is garbage within the round. An
+// Arena is a bump-pointer slab allocator for exactly that lifetime:
+// Stage slices and worker slices are carved from reusable slabs, Reset
+// recycles everything at once, and steady-state candidate generation
+// performs zero heap allocations.
+//
+// A plan carved from an arena is only valid until the next Reset; a
+// caller that keeps a candidate (the round winner) must Clone it out
+// first. Arenas are not safe for concurrent use — the search layers own
+// one per search and generate candidates single-threaded (scoring, not
+// generation, is what fans out).
+package partition
+
+// Arena bump-allocates Stage and worker slices for transient candidate
+// plans. The zero value is ready to use.
+type Arena struct {
+	stages stageSlabs
+	ints   intSlabs
+}
+
+// Reset recycles the arena: plans previously carved from it must no
+// longer be used (their storage will be handed out again).
+func (a *Arena) Reset() {
+	a.stages.reset()
+	a.ints.reset()
+}
+
+// Clone deep-copies p into the arena and returns it.
+func (a *Arena) Clone(p Plan) Plan {
+	out := Plan{InFlight: p.InFlight, Stages: a.stages.take(len(p.Stages))}
+	for i, s := range p.Stages {
+		ws := a.ints.take(len(s.Workers))
+		copy(ws, s.Workers)
+		out.Stages[i] = Stage{Start: s.Start, End: s.End, Workers: ws}
+	}
+	return out
+}
+
+// cloneInto is the allocator indirection shared by the neighbourhood
+// generators: a nil arena falls back to the heap path (Plan.Clone), so
+// one generator body serves both the legacy allocating API and the
+// arena-backed hot path.
+func cloneInto(a *Arena, p Plan) Plan {
+	if a == nil {
+		return p.Clone()
+	}
+	return a.Clone(p)
+}
+
+// cloneShared copies p's stage headers into the arena while sharing the
+// worker slices with p. Candidate families that never touch worker
+// assignments (boundary shifts, in-flight variants) are served entirely
+// by this: one stage-header copy, zero worker copies. Shared slices are
+// read-only, and the candidate dies when either the arena is Reset or
+// p's own storage is recycled — whichever comes first. A nil arena
+// falls back to the fully-independent heap Clone.
+func cloneShared(a *Arena, p Plan) Plan {
+	if a == nil {
+		return p.Clone()
+	}
+	out := Plan{InFlight: p.InFlight, Stages: a.stages.take(len(p.Stages))}
+	copy(out.Stages, p.Stages)
+	return out
+}
+
+// shareStage returns s itself on the arena path (aliasing its worker
+// slice, same read-only/lifetime contract as cloneShared) and a deep
+// copy on the heap path.
+func shareStage(a *Arena, s Stage) Stage {
+	if a == nil {
+		return copyStage(nil, s)
+	}
+	return s
+}
+
+// takeStages carves a stage slice, falling back to the heap for nil a.
+func takeStages(a *Arena, n int) []Stage {
+	if a == nil {
+		return make([]Stage, n)
+	}
+	return a.stages.take(n)
+}
+
+// takeInts carves a worker slice, falling back to the heap for nil a.
+func takeInts(a *Arena, n int) []int {
+	if a == nil {
+		return make([]int, n)
+	}
+	return a.ints.take(n)
+}
+
+// arenaMinSlab is the smallest slab (in elements) allocated on growth.
+const arenaMinSlab = 256
+
+// stageSlabs is a bump-pointer allocator over []Stage slabs.
+type stageSlabs struct {
+	slabs [][]Stage
+	slab  int
+	off   int
+}
+
+func (s *stageSlabs) reset() { s.slab, s.off = 0, 0 }
+
+func (s *stageSlabs) take(n int) []Stage {
+	for s.slab < len(s.slabs) {
+		sl := s.slabs[s.slab]
+		if len(sl)-s.off >= n {
+			v := sl[s.off : s.off+n : s.off+n]
+			s.off += n
+			return v
+		}
+		s.slab++
+		s.off = 0
+	}
+	size := arenaMinSlab
+	if n > size {
+		size = n
+	}
+	if k := len(s.slabs); k > 0 {
+		if d := 2 * len(s.slabs[k-1]); d > size {
+			size = d
+		}
+	}
+	s.slabs = append(s.slabs, make([]Stage, size))
+	s.off = n
+	return s.slabs[s.slab][:n:n]
+}
+
+// intSlabs is a bump-pointer allocator over []int slabs.
+type intSlabs struct {
+	slabs [][]int
+	slab  int
+	off   int
+}
+
+func (s *intSlabs) reset() { s.slab, s.off = 0, 0 }
+
+func (s *intSlabs) take(n int) []int {
+	for s.slab < len(s.slabs) {
+		sl := s.slabs[s.slab]
+		if len(sl)-s.off >= n {
+			v := sl[s.off : s.off+n : s.off+n]
+			s.off += n
+			return v
+		}
+		s.slab++
+		s.off = 0
+	}
+	size := arenaMinSlab
+	if n > size {
+		size = n
+	}
+	if k := len(s.slabs); k > 0 {
+		if d := 2 * len(s.slabs[k-1]); d > size {
+			size = d
+		}
+	}
+	s.slabs = append(s.slabs, make([]int, size))
+	s.off = n
+	return s.slabs[s.slab][:n:n]
+}

@@ -1,0 +1,197 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randPlanForArena builds a random valid plan mixing single- and
+// multi-replica stages so every move family fires.
+func randPlanForArena(rng *rand.Rand) Plan {
+	numStages := 2 + rng.Intn(4)
+	layersPer := 2 + rng.Intn(5)
+	p := Plan{InFlight: 1 + rng.Intn(6)}
+	next, worker := 0, 0
+	for i := 0; i < numStages; i++ {
+		n := 1 + rng.Intn(layersPer)
+		reps := 1 + rng.Intn(3)
+		ws := make([]int, reps)
+		for j := range ws {
+			ws[j] = worker
+			worker++
+		}
+		p.Stages = append(p.Stages, Stage{Start: next, End: next + n, Workers: ws})
+		next += n
+	}
+	return p
+}
+
+// TestArenaEnumerationMatchesHeap pins the arena-backed generators to
+// the allocating API: same candidates, same order, over randomized
+// plans and all three enumerations.
+func TestArenaEnumerationMatchesHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var a Arena
+	for trial := 0; trial < 100; trial++ {
+		p := randPlanForArena(rng)
+		a.Reset()
+		cases := []struct {
+			name  string
+			heap  []Plan
+			arena []Plan
+		}{
+			{"Neighbors", Neighbors(p), AppendNeighbors(nil, &a, p)},
+			{"NeighborsWithMerge", NeighborsWithMerge(p), AppendNeighborsWithMerge(nil, &a, p)},
+			{"InFlightVariants", InFlightVariants(p, 0), AppendInFlightVariants(nil, &a, p, 0)},
+		}
+		for _, c := range cases {
+			if len(c.heap) != len(c.arena) {
+				t.Fatalf("trial %d %s: %d arena candidates, want %d", trial, c.name, len(c.arena), len(c.heap))
+			}
+			for i := range c.heap {
+				if !c.heap[i].Equal(c.arena[i]) {
+					t.Fatalf("trial %d %s[%d]: arena %s, heap %s", trial, c.name, i, c.arena[i], c.heap[i])
+				}
+			}
+		}
+	}
+}
+
+// TestArenaCandidatesShareOnlyUntouchedWorkers pins the arena sharing
+// contract: every candidate owns its stage headers and InFlight
+// (mutating them corrupts nothing else), and a worker slice may alias
+// the incumbent's storage only when its contents equal that incumbent
+// slice — i.e. sharing is confined to worker sets the move left
+// untouched, so read-only scoring observes exactly the heap
+// enumeration's values.
+func TestArenaCandidatesShareOnlyUntouchedWorkers(t *testing.T) {
+	p := Plan{InFlight: 2, Stages: []Stage{
+		{Start: 0, End: 4, Workers: []int{0}},
+		{Start: 4, End: 8, Workers: []int{1, 2}},
+	}}
+	var a Arena
+	cands := AppendNeighborsWithMerge(nil, &a, p)
+	cands = AppendInFlightVariants(cands, &a, p, 0)
+	want := make([]Plan, len(cands))
+	for i := range cands {
+		want[i] = cands[i].Clone()
+	}
+	// Shared worker slices must be content-identical to the incumbent
+	// slice they alias.
+	for i := range cands {
+		for j := range cands[i].Stages {
+			ws := cands[i].Stages[j].Workers
+			if len(ws) == 0 {
+				continue
+			}
+			for k := range p.Stages {
+				iw := p.Stages[k].Workers
+				if len(iw) == 0 || &ws[0] != &iw[0] {
+					continue
+				}
+				if len(ws) != len(iw) {
+					t.Fatalf("candidate %d stage %d shares a resized worker slice", i, j)
+				}
+				for n := range ws {
+					if ws[n] != iw[n] {
+						t.Fatalf("candidate %d stage %d shares a mutated worker slice", i, j)
+					}
+				}
+			}
+		}
+	}
+	// Stage headers and InFlight are private per candidate: scribbling on
+	// all of them must corrupt neither the incumbent nor other candidates.
+	for i := range cands {
+		cands[i].InFlight += 100
+		for j := range cands[i].Stages {
+			cands[i].Stages[j].Start += 1000
+			cands[i].Stages[j].End += 1000
+		}
+	}
+	for i := range cands {
+		if cands[i].InFlight != want[i].InFlight+100 {
+			t.Fatalf("candidate %d InFlight corrupted by another candidate", i)
+		}
+		for j := range cands[i].Stages {
+			if cands[i].Stages[j].Start != want[i].Stages[j].Start+1000 ||
+				cands[i].Stages[j].End != want[i].Stages[j].End+1000 {
+				t.Fatalf("candidate %d stage %d header corrupted by another candidate", i, j)
+			}
+		}
+	}
+	if !p.Equal(Plan{InFlight: 2, Stages: []Stage{
+		{Start: 0, End: 4, Workers: []int{0}},
+		{Start: 4, End: 8, Workers: []int{1, 2}},
+	}}) {
+		t.Fatal("candidate header mutation reached the incumbent plan")
+	}
+}
+
+// TestArenaZeroAllocs pins steady-state candidate generation at zero
+// heap allocations once the slabs have grown (the dst slice is reused).
+func TestArenaZeroAllocs(t *testing.T) {
+	p := Plan{InFlight: 3, Stages: []Stage{
+		{Start: 0, End: 10, Workers: []int{0}},
+		{Start: 10, End: 20, Workers: []int{1, 2}},
+		{Start: 20, End: 30, Workers: []int{3}},
+		{Start: 30, End: 40, Workers: []int{4}},
+	}}
+	var a Arena
+	dst := AppendNeighborsWithMerge(nil, &a, p) // grow slabs and dst
+	dst = AppendInFlightVariants(dst, &a, p, 0)
+	if n := testing.AllocsPerRun(100, func() {
+		a.Reset()
+		dst = AppendNeighborsWithMerge(dst[:0], &a, p)
+		dst = AppendInFlightVariants(dst, &a, p, 0)
+	}); n != 0 {
+		t.Fatalf("arena candidate generation allocates %v/op, want 0", n)
+	}
+}
+
+// TestHash64MatchesEqual: Equal plans hash identically, and plans that
+// differ in any single field hash differently (smoke, not a collision
+// proof).
+func TestHash64MatchesEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 200; trial++ {
+		p := randPlanForArena(rng)
+		if p.Hash64() != p.Clone().Hash64() {
+			t.Fatal("clone hashes differently")
+		}
+		q := p.Clone()
+		q.InFlight++
+		if q.Hash64() == p.Hash64() {
+			t.Fatalf("InFlight change kept hash: %s vs %s", p, q)
+		}
+		q = p.Clone()
+		q.Stages[rng.Intn(len(q.Stages))].Workers[0] += 1000
+		if q.Hash64() == p.Hash64() {
+			t.Fatalf("worker change kept hash: %s vs %s", p, q)
+		}
+	}
+	// Field-aliasing guard: shifting a value between adjacent encoded
+	// fields must change the hash.
+	a := Plan{InFlight: 1, Stages: []Stage{{Start: 0, End: 2, Workers: []int{1, 2}}}}
+	b := Plan{InFlight: 1, Stages: []Stage{{Start: 0, End: 2, Workers: []int{2, 1}}}}
+	if a.Hash64() == b.Hash64() {
+		t.Fatal("worker order ignored by hash")
+	}
+}
+
+// TestHash64DistinctOverNeighborhood: every plan in a full
+// neighbourhood enumeration (all mutually non-Equal by construction)
+// hashes to a distinct value.
+func TestHash64DistinctOverNeighborhood(t *testing.T) {
+	p := EvenSplit(48, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	plans := append([]Plan{p}, NeighborsWithMerge(p)...)
+	plans = append(plans, InFlightVariants(p, 0)...)
+	seen := map[uint64]Plan{}
+	for _, q := range plans {
+		h := q.Hash64()
+		if prev, ok := seen[h]; ok && !prev.Equal(q) {
+			t.Fatalf("hash collision between %s and %s", prev, q)
+		}
+		seen[h] = q
+	}
+}

@@ -16,24 +16,34 @@ package partition
 // The incumbent's InFlight is preserved except where the input-stage
 // width changes, in which case NOAM is recomputed.
 func Neighbors(p Plan) []Plan {
-	var out []Plan
+	return AppendNeighbors(nil, nil, p)
+}
+
+// AppendNeighbors appends the Neighbors enumeration of p to dst, in the
+// identical order. When a is non-nil the candidates' stage headers are
+// carved from the arena and worker slices the move does not touch alias
+// p's own storage — candidates are read-only and valid until the
+// arena's next Reset or until p's storage is recycled, whichever comes
+// first. The generated plans are Equal either way.
+func AppendNeighbors(dst []Plan, a *Arena, p Plan) []Plan {
 	// Move family 1: boundary shifts.
 	for si := 0; si+1 < len(p.Stages); si++ {
-		a, b := p.Stages[si], p.Stages[si+1]
-		if a.Replicas() != 1 || b.Replicas() != 1 {
+		sa, sb := p.Stages[si], p.Stages[si+1]
+		if sa.Replicas() != 1 || sb.Replicas() != 1 {
 			continue
 		}
-		for boundary := a.Start + 1; boundary < b.End; boundary++ {
-			if boundary == a.End {
+		for boundary := sa.Start + 1; boundary < sb.End; boundary++ {
+			if boundary == sa.End {
 				continue // incumbent
 			}
-			q := p.Clone()
+			q := cloneShared(a, p)
 			q.Stages[si].End = boundary
 			q.Stages[si+1].Start = boundary
-			out = append(out, q)
+			dst = append(dst, q)
 		}
 	}
 	// Move family 2: replica migrations between adjacent stages.
+	nWorkers := p.NumWorkers()
 	for si := range p.Stages {
 		for _, dj := range []int{-1, 1} {
 			ti := si + dj
@@ -43,18 +53,28 @@ func Neighbors(p Plan) []Plan {
 			if p.Stages[si].Replicas() < 2 {
 				continue
 			}
-			q := p.Clone()
-			donor := &q.Stages[si]
-			recipient := &q.Stages[ti]
-			// Move the last worker of the donor stage.
-			w := donor.Workers[len(donor.Workers)-1]
-			donor.Workers = donor.Workers[:len(donor.Workers)-1]
-			recipient.Workers = append(recipient.Workers, w)
-			q.InFlight = noam(len(q.AllWorkers()), q.Stages[0].Replicas())
-			out = append(out, q)
+			q := Plan{Stages: takeStages(a, len(p.Stages))}
+			for k, s := range p.Stages {
+				var ws []int
+				switch k {
+				case si: // donor loses its last worker
+					ws = takeInts(a, len(s.Workers)-1)
+					copy(ws, s.Workers[:len(s.Workers)-1])
+				case ti: // recipient gains it at the end
+					ws = takeInts(a, len(s.Workers)+1)
+					copy(ws, s.Workers)
+					ws[len(ws)-1] = p.Stages[si].Workers[len(p.Stages[si].Workers)-1]
+				default:
+					q.Stages[k] = shareStage(a, s)
+					continue
+				}
+				q.Stages[k] = Stage{Start: s.Start, End: s.End, Workers: ws}
+			}
+			q.InFlight = noam(nWorkers, q.Stages[0].Replicas())
+			dst = append(dst, q)
 		}
 	}
-	return out
+	return dst
 }
 
 // InFlightVariants returns copies of p with the in-flight mini-batch
@@ -63,33 +83,42 @@ func Neighbors(p Plan) []Plan {
 // these are free switches — but they are part of the configuration the
 // paper optimises ("optimal number of on-the-fly mini-batches").
 func InFlightVariants(p Plan, maxInFlight int) []Plan {
+	return AppendInFlightVariants(nil, nil, p, maxInFlight)
+}
+
+// AppendInFlightVariants appends the InFlightVariants enumeration of p
+// to dst, in the identical order, carving stage headers from a when
+// non-nil (worker slices alias p's — see AppendNeighbors).
+func AppendInFlightVariants(dst []Plan, a *Arena, p Plan, maxInFlight int) []Plan {
 	if maxInFlight < 1 {
-		maxInFlight = 2 * len(p.AllWorkers())
+		maxInFlight = 2 * p.NumWorkers()
 	}
-	candidates := map[int]bool{}
-	for _, d := range []int{-2, -1, 1, 2} {
-		candidates[p.InFlight+d] = true
+	candidates := [6]int{
+		p.InFlight - 2, p.InFlight - 1, p.InFlight + 1, p.InFlight + 2,
+		noam(p.NumWorkers(), p.Stages[0].Replicas()),
+		len(p.Stages),
 	}
-	candidates[noam(len(p.AllWorkers()), p.Stages[0].Replicas())] = true
-	candidates[len(p.Stages)] = true
-	var out []Plan
-	for k := range candidates {
-		if k < 1 || k > maxInFlight || k == p.InFlight {
-			continue
-		}
-		q := p.Clone()
-		q.InFlight = k
-		out = append(out, q)
-	}
-	// Deterministic order.
-	for i := 0; i < len(out); i++ {
-		for j := i + 1; j < len(out); j++ {
-			if out[j].InFlight < out[i].InFlight {
-				out[i], out[j] = out[j], out[i]
+	// Sort the fixed candidate set and emit each admissible value once:
+	// the same ascending-unique order the map-based enumeration produced.
+	ks := candidates[:]
+	for i := 0; i < len(ks); i++ {
+		for j := i + 1; j < len(ks); j++ {
+			if ks[j] < ks[i] {
+				ks[i], ks[j] = ks[j], ks[i]
 			}
 		}
 	}
-	return out
+	prev := 0 // InFlight values are ≥1, so 0 never collides
+	for _, k := range ks {
+		if k < 1 || k > maxInFlight || k == p.InFlight || k == prev {
+			continue
+		}
+		prev = k
+		q := cloneShared(a, p)
+		q.InFlight = k
+		dst = append(dst, q)
+	}
+	return dst
 }
 
 // NeighborsWithMerge extends Neighbors with stage merges of an adjacent
@@ -99,21 +128,35 @@ func InFlightVariants(p Plan, maxInFlight int) []Plan {
 // AutoPipe uses the extended neighbourhood when the environment shift is
 // large (e.g. bandwidth quadrupled) and plain boundary moves stall.
 func NeighborsWithMerge(p Plan) []Plan {
-	out := Neighbors(p)
+	return AppendNeighborsWithMerge(nil, nil, p)
+}
+
+// AppendNeighborsWithMerge appends the NeighborsWithMerge enumeration of
+// p to dst, in the identical order, carving candidate storage from a
+// when non-nil (untouched stages alias p's worker slices — see
+// AppendNeighbors).
+func AppendNeighborsWithMerge(dst []Plan, a *Arena, p Plan) []Plan {
+	dst = AppendNeighbors(dst, a, p)
+	nWorkers := p.NumWorkers()
 	// Merges.
 	for si := 0; si+1 < len(p.Stages); si++ {
-		a, b := p.Stages[si], p.Stages[si+1]
-		if a.Replicas() != 1 || b.Replicas() != 1 {
+		sa, sb := p.Stages[si], p.Stages[si+1]
+		if sa.Replicas() != 1 || sb.Replicas() != 1 {
 			continue
 		}
-		q := Plan{InFlight: p.InFlight}
-		q.Stages = append(q.Stages, p.Stages[:si]...)
-		merged := Stage{Start: a.Start, End: b.End, Workers: append(append([]int(nil), a.Workers...), b.Workers...)}
-		q.Stages = append(q.Stages, merged)
-		q.Stages = append(q.Stages, p.Stages[si+2:]...)
-		q = q.Clone()
-		q.InFlight = noam(len(q.AllWorkers()), q.Stages[0].Replicas())
-		out = append(out, q)
+		q := Plan{Stages: takeStages(a, len(p.Stages)-1)}
+		for k := 0; k < si; k++ {
+			q.Stages[k] = shareStage(a, p.Stages[k])
+		}
+		mw := takeInts(a, len(sa.Workers)+len(sb.Workers))
+		copy(mw, sa.Workers)
+		copy(mw[len(sa.Workers):], sb.Workers)
+		q.Stages[si] = Stage{Start: sa.Start, End: sb.End, Workers: mw}
+		for k := si + 2; k < len(p.Stages); k++ {
+			q.Stages[k-1] = shareStage(a, p.Stages[k])
+		}
+		q.InFlight = noam(nWorkers, q.Stages[0].Replicas())
+		dst = append(dst, q)
 	}
 	// Splits.
 	for si := range p.Stages {
@@ -122,16 +165,30 @@ func NeighborsWithMerge(p Plan) []Plan {
 			continue
 		}
 		for boundary := s.Start + 1; boundary < s.End; boundary++ {
-			q := Plan{InFlight: p.InFlight}
-			q.Stages = append(q.Stages, p.Stages[:si]...)
-			q.Stages = append(q.Stages,
-				Stage{Start: s.Start, End: boundary, Workers: []int{s.Workers[0]}},
-				Stage{Start: boundary, End: s.End, Workers: []int{s.Workers[1]}})
-			q.Stages = append(q.Stages, p.Stages[si+1:]...)
-			q = q.Clone()
-			q.InFlight = noam(len(q.AllWorkers()), q.Stages[0].Replicas())
-			out = append(out, q)
+			q := Plan{Stages: takeStages(a, len(p.Stages)+1)}
+			for k := 0; k < si; k++ {
+				q.Stages[k] = shareStage(a, p.Stages[k])
+			}
+			w0 := takeInts(a, 1)
+			w0[0] = s.Workers[0]
+			w1 := takeInts(a, 1)
+			w1[0] = s.Workers[1]
+			q.Stages[si] = Stage{Start: s.Start, End: boundary, Workers: w0}
+			q.Stages[si+1] = Stage{Start: boundary, End: s.End, Workers: w1}
+			for k := si + 1; k < len(p.Stages); k++ {
+				q.Stages[k+1] = shareStage(a, p.Stages[k])
+			}
+			q.InFlight = noam(nWorkers, q.Stages[0].Replicas())
+			dst = append(dst, q)
 		}
 	}
-	return out
+	return dst
+}
+
+// copyStage deep-copies one stage, carving the worker slice from a when
+// non-nil.
+func copyStage(a *Arena, s Stage) Stage {
+	ws := takeInts(a, len(s.Workers))
+	copy(ws, s.Workers)
+	return Stage{Start: s.Start, End: s.End, Workers: ws}
 }

@@ -51,6 +51,16 @@ func (p Plan) AllWorkers() []int {
 	return ws
 }
 
+// NumWorkers returns the total worker count across all stages without
+// allocating (unlike len(AllWorkers())).
+func (p Plan) NumWorkers() int {
+	n := 0
+	for _, s := range p.Stages {
+		n += len(s.Workers)
+	}
+	return n
+}
+
 // WorkerStage returns the index of the stage running on worker w, or -1.
 func (p Plan) WorkerStage(w int) int {
 	for i, s := range p.Stages {
@@ -157,6 +167,39 @@ func (p Plan) Fingerprint() string {
 		}
 	}
 	return string(b)
+}
+
+// Hash64 returns a 64-bit FNV-1a hash of the plan's canonical encoding
+// (InFlight, then each stage's bounds and worker list, with per-field
+// separators so adjacent fields cannot alias). Two Equal plans always
+// hash identically; the search layers use it as the memo-cache key in
+// place of the allocating Fingerprint string.
+func (p Plan) Hash64() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	// Word-at-a-time FNV-1a: one xor-multiply per field (the fields are
+	// small ints, so byte-splitting buys nothing), then a splitmix64
+	// finalizer to spread the entropy the truncated polynomial leaves in
+	// the low bits. This sits on the search hot path — every candidate is
+	// hashed every round to key the memo cache.
+	h := uint64(offset64)
+	h = (h ^ uint64(p.InFlight)) * prime64
+	for _, s := range p.Stages {
+		h = (h ^ uint64(s.Start)) * prime64
+		h = (h ^ uint64(s.End)) * prime64
+		h = (h ^ uint64(len(s.Workers))) * prime64
+		for _, w := range s.Workers {
+			h = (h ^ uint64(w)) * prime64
+		}
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
 }
 
 // String renders the plan compactly, e.g. "[0:12)@{0,1} [12:20)@{2} |3".

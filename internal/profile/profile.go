@@ -43,6 +43,15 @@ type Profile struct {
 	// job from its placement), Rack[i] its leaf switch.
 	Server []int
 	Rack   []int
+
+	// Epoch is the profiler's observation-content generation: it changes
+	// only when an Observe produced different dynamic values (compute
+	// timings, bandwidths, topology) than the previous one. Consumers
+	// that cache per-profile derivations — the controller's cross-round
+	// candidate-score cache — key them by Epoch, so an unchanged
+	// environment keeps serving cached work. Two profiles with equal
+	// Epoch from the same Profiler carry identical dynamic metrics.
+	Epoch uint64
 }
 
 // SeedBandwidthBps returns the bandwidth a planner should assume before
@@ -89,6 +98,14 @@ type Profiler struct {
 	// ground-truth read (see estimate.go).
 	est    []*bwe.Estimator
 	oracle bool
+
+	// Epoch bookkeeping (see Profile.Epoch): the last stamped epoch and
+	// the dynamic values it was stamped against.
+	epoch       uint64
+	epochInit   bool
+	epochSmooth []float64
+	epochBw     []float64
+	epochVer    uint64
 }
 
 // NewProfiler builds a profiler and performs the one-off pre-training
@@ -183,7 +200,36 @@ func (p *Profiler) Observe() *Profile {
 			out.BP[w][j] = out.FP[w][j] * cluster.BPComputeFactor
 		}
 	}
+	out.Epoch = p.stampEpoch(out)
 	return out
+}
+
+// stampEpoch returns the observation-content epoch for this observation,
+// bumping it only when the smoothed timings, observed bandwidths or
+// cluster topology changed since the previous Observe. Every dynamic
+// field of a Profile is a pure function of these inputs, so equal epochs
+// guarantee identical profile contents.
+func (p *Profiler) stampEpoch(out *Profile) uint64 {
+	N := out.N
+	ver := p.cl.Version()
+	changed := !p.epochInit || ver != p.epochVer ||
+		len(p.epochSmooth) != N || len(p.epochBw) != N
+	if !changed {
+		for w := 0; w < N; w++ {
+			if p.smooth[w] != p.epochSmooth[w] || out.Bandwidth[w] != p.epochBw[w] {
+				changed = true
+				break
+			}
+		}
+	}
+	if changed {
+		p.epoch++
+		p.epochInit = true
+		p.epochVer = ver
+		p.epochSmooth = append(p.epochSmooth[:0], p.smooth[:N]...)
+		p.epochBw = append(p.epochBw[:0], out.Bandwidth...)
+	}
+	return p.epoch
 }
 
 // Ratios exposes the pre-training per-layer time shares (tests).

@@ -69,6 +69,8 @@ func WriteMetrics(w io.Writer, r *Registry) {
 		help: "Candidate partitions scored by the predictor per job."}
 	cacheHits := &family{name: "autopiped_job_search_cache_hits_total", typ: "counter",
 		help: "Candidate scores served by the fingerprint memo cache per job."}
+	cacheHitRate := &family{name: "autopiped_job_search_cache_hit_rate", typ: "gauge",
+		help: "Fraction of candidate score lookups served by the memo cache per job."}
 	searchSecs := &family{name: "autopiped_job_search_seconds_total", typ: "counter",
 		help: "Real seconds spent scoring candidates per job."}
 	evictions := &family{name: "autopiped_job_evictions_total", typ: "counter",
@@ -121,6 +123,7 @@ func WriteMetrics(w io.Writer, r *Registry) {
 		decisions.add(info.ID, float64(st.Controller.Decisions))
 		candidates.add(info.ID, float64(st.Controller.CandidatesScored))
 		cacheHits.add(info.ID, float64(st.Controller.SearchCacheHits))
+		cacheHitRate.add(info.ID, st.Controller.SearchCacheHitRate)
 		searchSecs.add(info.ID, st.Controller.SearchSeconds)
 		evictions.add(info.ID, float64(st.Controller.Evictions))
 		aborted.add(info.ID, float64(st.Controller.AbortedSwitches))
@@ -159,7 +162,7 @@ func WriteMetrics(w io.Writer, r *Registry) {
 	}
 
 	fams := []*family{depth, pool, states, iter, tp, switches, predCost, realCost,
-		decisions, candidates, cacheHits, searchSecs,
+		decisions, candidates, cacheHits, cacheHitRate, searchSecs,
 		evictions, aborted, migRetries, queuedEv,
 		queueLimit, shed, drainRefused, watchdogKills, deadlineKills,
 		checkpoints, journalErrors, recovered}

@@ -19,9 +19,14 @@ tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 # to_json renders `go test -bench` output on stdin as one JSON document.
+# An optional first argument becomes a "note" field.
 to_json() {
-  awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
-BEGIN { printf "{\n  \"generated\": \"%s\",\n  \"benchmarks\": [\n", date }
+  awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v note="${1:-}" '
+BEGIN {
+  printf "{\n  \"generated\": \"%s\",\n", date
+  if (note != "") printf "  \"note\": \"%s\",\n", note
+  printf "  \"benchmarks\": [\n"
+}
 /^Benchmark/ {
   ns = ""; bop = ""; aop = ""
   for (i = 3; i < NF; i++) {
@@ -55,3 +60,16 @@ go test -run '^$' -bench '^BenchmarkEstimatorObserve$' \
 to_json < "$tmp.bwe" > BENCH_bwe.json
 rm -f "$tmp.bwe"
 echo "wrote BENCH_bwe.json"
+
+# Optimizer hot path: batched + incremental candidate scoring
+# (BENCH_optimizer.json). The OptimizePlan benchmarks run WITHOUT -cpu —
+# their procs=1/4/8 sub-benchmarks vary opts.Procs internally, and
+# pinning GOMAXPROCS would invalidate them.
+go test -run '^$' -bench '^BenchmarkOptimizePlan(Hybrid)?$' \
+  -benchmem -benchtime "${BENCHTIME:-300x}" . | tee "$tmp.opt"
+go test -run '^$' -bench '^BenchmarkInferBatch$' \
+  -benchmem -benchtime "${BENCHTIME:-300x}" ./internal/nn | tee -a "$tmp.opt"
+to_json "nproc=$(nproc); at GOMAXPROCS=1 the procs sub-benchmarks measure scheduling overhead, not parallel speedup — compare against BENCH_predictor.json's OptimizePlan rows" \
+  < "$tmp.opt" > BENCH_optimizer.json
+rm -f "$tmp.opt"
+echo "wrote BENCH_optimizer.json"
