@@ -1,0 +1,357 @@
+// Command autopipe-load is the soak/load harness for autopiped: it
+// drives open-loop (Poisson) or closed-loop job submissions against one
+// or more daemons, records per-request latency in HDR-style histograms,
+// samples /metrics for the RSS ceiling and journal fsync telemetry, and
+// judges the run against declarative SLO gates — exiting non-zero when
+// a gate fails, so CI can use it directly.
+//
+// Against an already-running control plane:
+//
+//	autopipe-load -targets http://10.0.0.1:8080 -mode open -rate 500 -duration 2m
+//
+// Or self-contained — spawn real daemons (a 3-node fleet here), soak
+// them, SIGKILL one, and gate on recovery time:
+//
+//	autopipe-load -spawn 3 -autopiped ./autopiped -duration 1m \
+//	    -measure-recovery -slo-max-recovery-sec 10 -json BENCH_daemon.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"autopipe/internal/load"
+)
+
+// cliConfig is the parsed flag set; one struct so tests can exercise
+// the harness logic without a real flag.CommandLine.
+type cliConfig struct {
+	targets     []string
+	spawn       int
+	autopiped   string
+	workdir     string
+	pool        int
+	maxQueue    int
+	serialFsync bool
+	verbose     bool
+
+	mode        string
+	rate        float64
+	duration    time.Duration
+	concurrency int
+	seed        int64
+	spec        string
+	honorRA     bool
+
+	measureRecovery bool
+	slo             load.SLO
+	jsonPath        string
+	note            string
+}
+
+func parseFlags(fs *flag.FlagSet, argv []string) (*cliConfig, error) {
+	c := &cliConfig{}
+	var targets string
+	fs.StringVar(&targets, "targets", "", "comma-separated daemon base URLs to load (mutually exclusive with -spawn)")
+	fs.IntVar(&c.spawn, "spawn", 0, "spawn this many autopiped daemons (1 = single, >1 = fleet) and load them")
+	fs.StringVar(&c.autopiped, "autopiped", "autopiped", "path to the autopiped binary for -spawn")
+	fs.StringVar(&c.workdir, "workdir", "", "journal/work directory for spawned daemons (default: temp dir, removed afterwards)")
+	fs.IntVar(&c.pool, "pool", 8, "worker-pool size for spawned daemons")
+	fs.IntVar(&c.maxQueue, "max-queue", 256, "admission-queue bound for spawned daemons")
+	fs.BoolVar(&c.serialFsync, "journal-serial-fsync", false, "spawn daemons with group commit disabled (one fsync per append; benchmark baseline)")
+	fs.BoolVar(&c.verbose, "verbose", false, "pass spawned daemons' stderr through")
+
+	fs.StringVar(&c.mode, "mode", "closed", `arrival mode: "open" (Poisson at -rate) or "closed" (-concurrency workers)`)
+	fs.Float64Var(&c.rate, "rate", 0, "open-loop mean arrival rate, jobs/sec")
+	fs.DurationVar(&c.duration, "duration", 30*time.Second, "how long to drive load")
+	fs.IntVar(&c.concurrency, "concurrency", 64, "closed-loop workers / open-loop submitter pool")
+	fs.Int64Var(&c.seed, "seed", 1, "arrival-schedule RNG seed")
+	fs.StringVar(&c.spec, "spec", "", "JSON job spec to submit (default: a small fast-churn job)")
+	fs.BoolVar(&c.honorRA, "honor-retry-after", false, "closed-loop workers sleep the Retry-After hint after a 429")
+
+	fs.BoolVar(&c.measureRecovery, "measure-recovery", false, "after the load phase, SIGKILL daemon 0, restart it and time replay-to-healthy (needs -spawn)")
+	fs.Float64Var(&c.slo.AdmissionP99Ms, "slo-admission-p99-ms", 0, "gate: p99 admission latency ceiling, ms (0 = off)")
+	fs.Float64Var(&c.slo.ShedP99Ms, "slo-shed-p99-ms", 0, "gate: p99 429-response latency ceiling, ms (0 = off)")
+	fs.Float64Var(&c.slo.MinAcceptedPerSec, "slo-min-accepted-per-sec", 0, "gate: sustained admission throughput floor (0 = off)")
+	fs.Int64Var(&c.slo.MinAccepted, "slo-min-accepted", 0, "gate: absolute accepted-jobs floor (0 = off)")
+	fs.Float64Var(&c.slo.MaxErrorRate, "slo-max-error-rate", 0, "gate: errors/submitted ceiling (0 = off)")
+	var rssMB int64
+	fs.Int64Var(&rssMB, "slo-max-rss-mb", 0, "gate: daemon RSS ceiling via /metrics, MiB (0 = off)")
+	fs.Float64Var(&c.slo.MaxRecoverySec, "slo-max-recovery-sec", 0, "gate: post-kill restart-to-healthy ceiling, sec (0 = off)")
+	fs.BoolVar(&c.slo.RetryAfterWithin, "slo-retry-after-range", false, "gate: every Retry-After hint must be within [1,30]s")
+	fs.StringVar(&c.jsonPath, "json", "", "write the JSON report here")
+	fs.StringVar(&c.note, "note", "", "free-form note embedded in the report")
+	if err := fs.Parse(argv); err != nil {
+		return nil, err
+	}
+	c.slo.MaxRSSBytes = rssMB << 20
+	for _, t := range strings.Split(targets, ",") {
+		if t = strings.TrimRight(strings.TrimSpace(t), "/"); t != "" {
+			c.targets = append(c.targets, t)
+		}
+	}
+	if (len(c.targets) == 0) == (c.spawn == 0) {
+		return nil, fmt.Errorf("exactly one of -targets or -spawn is required")
+	}
+	if c.measureRecovery && c.spawn == 0 {
+		return nil, fmt.Errorf("-measure-recovery needs -spawn (the harness must own the process to kill it)")
+	}
+	return c, nil
+}
+
+// report is the JSON document emitted for -json (BENCH_daemon.json).
+type report struct {
+	Name    string       `json:"name"`
+	Note    string       `json:"note,omitempty"`
+	SLO     load.SLO     `json:"slo"`
+	Gates   []load.Gate  `json:"gates,omitempty"`
+	Pass    bool         `json:"pass"`
+	Serial  bool         `json:"journal_serial_fsync,omitempty"`
+	Spawned int          `json:"spawned,omitempty"`
+	Result  *load.Result `json:"result"`
+}
+
+// daemonProc is one spawned autopiped under harness control.
+type daemonProc struct {
+	idx  int
+	addr string // host:port
+	base string // http://host:port
+	dir  string // journal dir
+	args []string
+	cmd  *exec.Cmd
+}
+
+func (p *daemonProc) start(c *cliConfig) error {
+	cmd := exec.Command(c.autopiped, p.args...)
+	if c.verbose {
+		cmd.Stderr = os.Stderr
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("spawning daemon %d: %w", p.idx, err)
+	}
+	p.cmd = cmd
+	return nil
+}
+
+func (p *daemonProc) stop() {
+	if p.cmd == nil || p.cmd.Process == nil {
+		return
+	}
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { p.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		p.cmd.Process.Kill()
+		<-done
+	}
+	p.cmd = nil
+}
+
+// freeAddr reserves an ephemeral port and releases it for the daemon to
+// bind — the standard small race, fine for a test harness.
+func freeAddr() (string, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+	return addr, nil
+}
+
+// daemonArgs builds the argv for spawned daemon i; in fleet mode every
+// daemon past the first joins through daemon 0's advertise URL.
+func daemonArgs(c *cliConfig, i int, addr, dir, seedPeer string) []string {
+	args := []string{
+		"-addr", addr,
+		"-pool", fmt.Sprint(c.pool),
+		"-max-queue", fmt.Sprint(c.maxQueue),
+		"-journal-dir", dir,
+		"-drain-timeout", "2s",
+	}
+	if c.serialFsync {
+		args = append(args, "-journal-serial-fsync")
+	}
+	if c.spawn > 1 {
+		args = append(args, "-node-id", fmt.Sprintf("n%d", i), "-advertise", "http://"+addr)
+		if seedPeer != "" {
+			args = append(args, "-peers", seedPeer)
+		}
+	}
+	return args
+}
+
+func spawnFleet(ctx context.Context, c *cliConfig) ([]*daemonProc, func(), error) {
+	workdir := c.workdir
+	cleanupDir := func() {}
+	if workdir == "" {
+		tmp, err := os.MkdirTemp("", "autopipe-load-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		workdir = tmp
+		cleanupDir = func() { os.RemoveAll(tmp) }
+	}
+	var procs []*daemonProc
+	cleanup := func() {
+		for _, p := range procs {
+			p.stop()
+		}
+		cleanupDir()
+	}
+	seedPeer := ""
+	for i := 0; i < c.spawn; i++ {
+		addr, err := freeAddr()
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		p := &daemonProc{
+			idx:  i,
+			addr: addr,
+			base: "http://" + addr,
+			dir:  filepath.Join(workdir, fmt.Sprintf("n%d", i)),
+		}
+		p.args = daemonArgs(c, i, addr, p.dir, seedPeer)
+		if err := p.start(c); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		procs = append(procs, p)
+		hctx, hcancel := context.WithTimeout(ctx, 30*time.Second)
+		_, err = load.WaitHealthy(hctx, nil, p.base)
+		hcancel()
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		if i == 0 {
+			seedPeer = p.base
+		}
+	}
+	return procs, cleanup, nil
+}
+
+// measureRecovery SIGKILLs daemon 0 (a real crash: no deferred cleanup
+// runs), restarts it on the same journal, and times restart-to-healthy
+// — journal replay included. That interval is what the recovery SLO
+// gates.
+func measureRecovery(ctx context.Context, c *cliConfig, p *daemonProc) (time.Duration, error) {
+	if p.cmd == nil || p.cmd.Process == nil {
+		return 0, fmt.Errorf("daemon %d not running", p.idx)
+	}
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+	p.cmd = nil
+	if err := p.start(c); err != nil {
+		return 0, err
+	}
+	hctx, hcancel := context.WithTimeout(ctx, 60*time.Second)
+	defer hcancel()
+	return load.WaitHealthy(hctx, nil, p.base)
+}
+
+func run(ctx context.Context, c *cliConfig) (int, error) {
+	targets := c.targets
+	var procs []*daemonProc
+	if c.spawn > 0 {
+		var cleanup func()
+		var err error
+		procs, cleanup, err = spawnFleet(ctx, c)
+		if err != nil {
+			return 2, err
+		}
+		defer cleanup()
+		for _, p := range procs {
+			targets = append(targets, p.base)
+		}
+		fmt.Printf("spawned %d daemon(s): %s\n", len(procs), strings.Join(targets, " "))
+	}
+
+	cfg := load.Config{
+		Targets:         targets,
+		Mode:            load.Mode(c.mode),
+		Duration:        c.duration,
+		Rate:            c.rate,
+		Concurrency:     c.concurrency,
+		Seed:            c.seed,
+		HonorRetryAfter: c.honorRA,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	}
+	if c.spec != "" {
+		cfg.SpecBody = []byte(c.spec)
+	}
+	res, err := load.Run(ctx, cfg)
+	if err != nil {
+		return 2, err
+	}
+
+	if c.measureRecovery {
+		rec, err := measureRecovery(ctx, c, procs[0])
+		if err != nil {
+			return 2, fmt.Errorf("recovery probe: %w", err)
+		}
+		res.RecoverySec = rec.Seconds()
+		fmt.Printf("recovery: daemon 0 killed, restarted, healthy again in %.2fs\n", rec.Seconds())
+	}
+
+	gates, pass := c.slo.Evaluate(res)
+	rep := &report{
+		Name: "daemon_soak", Note: c.note, SLO: c.slo,
+		Gates: gates, Pass: pass, Serial: c.serialFsync,
+		Spawned: c.spawn, Result: res,
+	}
+	out, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Println(string(out))
+	for _, g := range gates {
+		fmt.Println(g)
+	}
+	if c.jsonPath != "" {
+		if err := os.WriteFile(c.jsonPath, append(out, '\n'), 0o644); err != nil {
+			return 2, err
+		}
+	}
+	if !pass {
+		return 1, fmt.Errorf("%d SLO gate(s) failed", countFailed(gates))
+	}
+	return 0, nil
+}
+
+func countFailed(gates []load.Gate) int {
+	n := 0
+	for _, g := range gates {
+		if !g.OK {
+			n++
+		}
+	}
+	return n
+}
+
+func main() {
+	c, err := parseFlags(flag.CommandLine, os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autopipe-load:", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	code, err := run(ctx, c)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autopipe-load:", err)
+	}
+	os.Exit(code)
+}

@@ -56,10 +56,18 @@ type daemonConfig struct {
 	pool            int
 	drainTimeout    time.Duration
 	journalDir      string        // "" = ephemeral, no crash safety
+	journalSerial   bool          // disable group commit: one fsync per append
 	checkpointEvery int           // controller checkpoint cadence (iterations)
 	maxQueue        int           // admission-queue bound
 	jobTimeout      time.Duration // per-job run deadline (0 = none)
 	watchdogQuiet   time.Duration // stuck-job threshold (clamped to [5s, 10m])
+
+	// HTTP hardening: a client that stalls mid-header, trickles a body
+	// forever, or parks an idle keep-alive connection must not hold a
+	// daemon goroutine/fd indefinitely (0 = the default for each).
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	idleTimeout       time.Duration
 
 	// Cluster mode (all optional; empty nodeID = classic single daemon).
 	nodeID         string        // fleet identity
@@ -74,10 +82,14 @@ func main() {
 		pool         = flag.Int("pool", runtime.GOMAXPROCS(0), "max concurrently simulating jobs")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for running jobs on shutdown")
 		journalDir   = flag.String("journal-dir", "", "directory for the crash-safe job journal (empty = ephemeral)")
+		serialFsync  = flag.Bool("journal-serial-fsync", false, "disable journal group commit so every append pays its own fsync (benchmark baseline)")
 		checkpoint   = flag.Int("checkpoint-every", server.DefaultCheckpointEvery, "controller checkpoint cadence in iterations (0 disables)")
 		maxQueue     = flag.Int("max-queue", 256, "max jobs waiting for a pool slot before submissions are shed with 429")
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none)")
 		quiet        = flag.Duration("watchdog-quiet", server.DefaultWatchdogQuiet, "cancel running jobs making no progress for this long (clamped to [5s, 10m], 0 disables)")
+		headerTO     = flag.Duration("read-header-timeout", defaultReadHeaderTimeout, "drop connections that stall before finishing their request header")
+		readTO       = flag.Duration("read-timeout", defaultReadTimeout, "drop connections that stall while sending a request body")
+		idleTO       = flag.Duration("idle-timeout", defaultIdleTimeout, "close keep-alive connections idle this long")
 		nodeID       = flag.String("node-id", "", "fleet identity; enables cluster mode (empty = single daemon)")
 		advertise    = flag.String("advertise", "", "URL peers use to reach this daemon (default http://<addr>)")
 		peers        = flag.String("peers", "", "comma-separated advertise URLs of already-running peers to join")
@@ -96,8 +108,10 @@ func main() {
 	logger := log.New(os.Stderr, "autopiped: ", log.LstdFlags)
 	cfg := daemonConfig{
 		pool: *pool, drainTimeout: *drainTimeout,
-		journalDir: *journalDir, checkpointEvery: *checkpoint,
-		maxQueue: *maxQueue, jobTimeout: *jobTimeout, watchdogQuiet: *quiet,
+		journalDir: *journalDir, journalSerial: *serialFsync,
+		checkpointEvery: *checkpoint,
+		maxQueue:        *maxQueue, jobTimeout: *jobTimeout, watchdogQuiet: *quiet,
+		readHeaderTimeout: *headerTO, readTimeout: *readTO, idleTimeout: *idleTO,
 		nodeID: *nodeID, advertise: *advertise,
 		peers: splitPeers(*peers), heartbeatEvery: *heartbeat,
 	}
@@ -123,6 +137,38 @@ func splitPeers(s string) []string {
 	return out
 }
 
+// HTTP hardening defaults: generous for any legitimate client, finite
+// for a slow-loris one.
+const (
+	defaultReadHeaderTimeout = 10 * time.Second
+	defaultReadTimeout       = time.Minute
+	defaultIdleTimeout       = 2 * time.Minute
+)
+
+// newHTTPServer wraps the handler with the daemon's connection
+// hygiene. Without these timeouts a client that opens a connection and
+// never finishes its header (or trickles its body byte by byte) pins a
+// goroutine and file descriptor forever — under the soak harness's
+// connection churn that is a slow leak that ends in fd exhaustion.
+func newHTTPServer(handler http.Handler, cfg daemonConfig) *http.Server {
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: cfg.readHeaderTimeout,
+		ReadTimeout:       cfg.readTimeout,
+		IdleTimeout:       cfg.idleTimeout,
+	}
+	if srv.ReadHeaderTimeout <= 0 {
+		srv.ReadHeaderTimeout = defaultReadHeaderTimeout
+	}
+	if srv.ReadTimeout <= 0 {
+		srv.ReadTimeout = defaultReadTimeout
+	}
+	if srv.IdleTimeout <= 0 {
+		srv.IdleTimeout = defaultIdleTimeout
+	}
+	return srv
+}
+
 // clampQuiet bounds the watchdog threshold to sane operational values;
 // 0 and below disable the watchdog entirely.
 func clampQuiet(d time.Duration) time.Duration {
@@ -140,7 +186,7 @@ func clampQuiet(d time.Duration) time.Duration {
 // openJournal opens (or creates) the journal directory, refusing an
 // unwritable location with a clear error rather than serving a control
 // plane whose durability silently doesn't work.
-func openJournal(dir string) (*journal.Journal, []journal.Record, error) {
+func openJournal(dir string, serialFsync bool) (*journal.Journal, []journal.Record, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("journal dir %s is not writable: %w", dir, err)
 	}
@@ -149,7 +195,7 @@ func openJournal(dir string) (*journal.Journal, []journal.Record, error) {
 		return nil, nil, fmt.Errorf("journal dir %s is not writable: %w", dir, err)
 	}
 	os.Remove(probe)
-	jl, recs, err := journal.Open(dir, journal.Options{})
+	jl, recs, err := journal.Open(dir, journal.Options{NoGroupCommit: serialFsync})
 	if err != nil {
 		return nil, nil, fmt.Errorf("opening journal in %s: %w", dir, err)
 	}
@@ -176,7 +222,7 @@ func run(ctx context.Context, lis net.Listener, cfg daemonConfig, logger *log.Lo
 	}
 	var recs []journal.Record
 	if cfg.journalDir != "" {
-		jl, replayed, err := openJournal(cfg.journalDir)
+		jl, replayed, err := openJournal(cfg.journalDir, cfg.journalSerial)
 		if err != nil {
 			return err
 		}
@@ -230,10 +276,7 @@ func run(ctx context.Context, lis net.Listener, cfg daemonConfig, logger *log.Lo
 				n, stats.Requeued, stats.Resumed, stats.Restarted, stats.Completed, stats.Skipped)
 		}
 	}
-	srv := &http.Server{
-		Handler:           handler,
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	srv := newHTTPServer(handler, cfg)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(lis) }()

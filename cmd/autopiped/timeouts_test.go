@@ -1,0 +1,98 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestSlowLorisHeaderDropped: a connection that opens, starts a request
+// line and then stalls must be dropped by ReadHeaderTimeout — not hold
+// a daemon goroutine and fd forever — while the daemon keeps serving
+// well-behaved clients throughout.
+func TestSlowLorisHeaderDropped(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + lis.Addr().String()
+	runErr := make(chan error, 1)
+	go func() {
+		cfg := daemonConfig{
+			pool: 1, drainTimeout: 5 * time.Second,
+			readHeaderTimeout: 200 * time.Millisecond,
+			idleTimeout:       time.Second,
+		}
+		runErr <- run(ctx, lis, cfg, log.New(io.Discard, "", 0))
+	}()
+	waitHealthy(t, base)
+
+	// The attack: write a partial request line, then stall.
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: x")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	start := time.Now()
+	n, err := conn.Read(make([]byte, 1))
+	if err == nil || n != 0 {
+		t.Fatalf("stalled-header connection got %d bytes (err %v), want server-side close", n, err)
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatalf("server never dropped the stalled connection (waited %s)", time.Since(start))
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stalled connection dropped only after %s", elapsed)
+	}
+
+	// The daemon is unaffected: a real request on a fresh connection
+	// still answers.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after slow-loris = %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestHTTPServerTimeoutDefaults pins the hardening defaults so a future
+// refactor cannot silently reintroduce the unbounded server.
+func TestHTTPServerTimeoutDefaults(t *testing.T) {
+	srv := newHTTPServer(nil, daemonConfig{})
+	if srv.ReadHeaderTimeout != defaultReadHeaderTimeout ||
+		srv.ReadTimeout != defaultReadTimeout ||
+		srv.IdleTimeout != defaultIdleTimeout {
+		t.Fatalf("defaults = %s/%s/%s, want %s/%s/%s",
+			srv.ReadHeaderTimeout, srv.ReadTimeout, srv.IdleTimeout,
+			defaultReadHeaderTimeout, defaultReadTimeout, defaultIdleTimeout)
+	}
+	srv = newHTTPServer(nil, daemonConfig{
+		readHeaderTimeout: time.Second, readTimeout: 2 * time.Second, idleTimeout: 3 * time.Second,
+	})
+	if srv.ReadHeaderTimeout != time.Second || srv.ReadTimeout != 2*time.Second || srv.IdleTimeout != 3*time.Second {
+		t.Fatalf("explicit timeouts not honoured: %s/%s/%s",
+			srv.ReadHeaderTimeout, srv.ReadTimeout, srv.IdleTimeout)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -403,7 +404,7 @@ func (n *Node) submitLocal(w http.ResponseWriter, id string, spec server.JobSpec
 	case errors.Is(err, server.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, server.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(n.reg.RetryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, server.ErrDuplicateID):
 		writeError(w, http.StatusConflict, err)
@@ -814,6 +815,11 @@ func (n *Node) relay(w http.ResponseWriter, method, rawURL string, body any) {
 	defer resp.Body.Close()
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
+	}
+	// A shed submission's backoff hint must survive the gateway hop, or
+	// proxied clients lose the derived Retry-After and hammer the owner.
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
 	}
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)

@@ -1,0 +1,196 @@
+// Package load is the soak/load harness for the autopiped control
+// plane: an HTTP load generator with open-loop (Poisson) and
+// closed-loop arrival modes, HDR-style latency histograms, a /metrics
+// sampler (RSS ceiling, queue depth, journal fsync telemetry) and
+// declarative SLO gates. cmd/autopipe-load wraps it in a CLI that can
+// also spawn and crash real daemons to measure recovery time; the CI
+// soak smoke tier and scripts/bench.sh (BENCH_daemon.json) are built on
+// it.
+//
+// The harness is deliberately a bug-finder: it exists to hold
+// thousands of concurrent jobs against a real daemon for minutes and
+// make contention regressions (one fsync per admission, a global
+// journal lock, goroutine leaks from stalled connections) fail a gate
+// instead of hiding in the tail.
+package load
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// Histogram is an HDR-style log-linear latency histogram: each power of
+// two is split into 32 linear sub-buckets, bounding the relative
+// quantile error at ~3.1% across the full int64 nanosecond range while
+// keeping the footprint at a few KB. It is not safe for concurrent use;
+// workers record into private histograms and Merge them.
+type Histogram struct {
+	counts   []int64
+	total    int64
+	sum      int64
+	min, max int64
+}
+
+const (
+	histSubBits  = 5
+	histSubCount = 1 << histSubBits // linear buckets per octave
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: -1}
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < histSubCount*2 {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - histSubBits - 1
+	return exp<<histSubBits + int(v>>uint(exp))
+}
+
+// bucketUpper is the largest value mapping to bucket i — quantiles
+// resolve to it, so reported percentiles never understate latency.
+func bucketUpper(i int) int64 {
+	if i < histSubCount*2 {
+		return int64(i)
+	}
+	exp := uint(i>>histSubBits) - 1
+	m := int64(i) - int64(exp)<<histSubBits
+	return m<<exp + (1<<exp - 1)
+}
+
+// Record adds one duration observation (negatives clamp to zero).
+func (h *Histogram) Record(d time.Duration) { h.RecordNs(int64(d)) }
+
+// RecordNs adds one observation in nanoseconds.
+func (h *Histogram) RecordNs(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := bucketIndex(v)
+	if i >= len(h.counts) {
+		grown := make([]int64, i+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += v
+	if h.min < 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	if len(o.counts) > len(h.counts) {
+		grown := make([]int64, len(o.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if h.min < 0 || (o.min >= 0 && o.min < h.min) {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean returns the exact mean of the recorded values.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.total)
+}
+
+// Min and Max are exact (tracked outside the buckets).
+func (h *Histogram) Min() time.Duration {
+	if h.min < 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns the value at quantile q in [0,1], resolved to the
+// containing bucket's upper bound (≤3.1% above the true value), with
+// the exact max returned for the top of the distribution.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return time.Duration(h.max)
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := int64(q*float64(h.total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketUpper(i)
+			if v > h.max {
+				v = h.max // the top bucket's span can exceed the true max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// LatencySummary is the JSON rendering of a histogram for reports.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MinMs  float64 `json:"min_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Summary renders the histogram's headline percentiles.
+func (h *Histogram) Summary() LatencySummary {
+	return LatencySummary{
+		Count:  h.total,
+		MinMs:  ms(h.Min()),
+		MeanMs: ms(h.Mean()),
+		P50Ms:  ms(h.Quantile(0.50)),
+		P90Ms:  ms(h.Quantile(0.90)),
+		P99Ms:  ms(h.Quantile(0.99)),
+		P999Ms: ms(h.Quantile(0.999)),
+		MaxMs:  ms(h.Max()),
+	}
+}
+
+// String is a compact human rendering for logs.
+func (h *Histogram) String() string {
+	s := h.Summary()
+	return fmt.Sprintf("n=%d p50=%.2fms p99=%.2fms max=%.2fms", s.Count, s.P50Ms, s.P99Ms, s.MaxMs)
+}

@@ -1,0 +1,101 @@
+package load
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose upper bound is >= the
+	// value and within the promised 3.2% relative error.
+	rng := rand.New(rand.NewSource(7))
+	vals := []int64{0, 1, 31, 32, 63, 64, 65, 127, 128, 1_000, 1 << 20, 1 << 40, math.MaxInt64 / 2}
+	for i := 0; i < 10_000; i++ {
+		vals = append(vals, rng.Int63n(int64(10*time.Minute)))
+	}
+	for _, v := range vals {
+		i := bucketIndex(v)
+		up := bucketUpper(i)
+		if up < v {
+			t.Fatalf("bucketUpper(%d)=%d < value %d", i, up, v)
+		}
+		if v >= 64 && float64(up-v) > 0.032*float64(v) {
+			t.Fatalf("value %d resolved to %d: error %.4f%%", v, up, 100*float64(up-v)/float64(v))
+		}
+		// Monotonic: the upper bound of bucket i must map back to i.
+		if bucketIndex(up) != i {
+			t.Fatalf("bucketIndex(bucketUpper(%d))=%d", i, bucketIndex(up))
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 1..1000 ms, exactly once each: quantiles are known.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != time.Millisecond || h.Max() != time.Second {
+		t.Fatalf("min/max = %s/%s", h.Min(), h.Max())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, 500 * time.Millisecond}, {0.9, 900 * time.Millisecond}, {0.99, 990 * time.Millisecond}, {1.0, time.Second}} {
+		got := h.Quantile(tc.q)
+		err := math.Abs(float64(got-tc.want)) / float64(tc.want)
+		if err > 0.035 {
+			t.Errorf("q%.2f = %s, want ~%s (err %.2f%%)", tc.q, got, tc.want, err*100)
+		}
+		if got < tc.want && tc.q < 1 {
+			t.Errorf("q%.2f = %s understates true %s", tc.q, got, tc.want)
+		}
+	}
+	mean := h.Mean()
+	if want := 500500 * time.Microsecond; mean != want {
+		t.Errorf("mean = %s, want %s (mean is exact, not bucketed)", mean, want)
+	}
+}
+
+func TestHistogramMergeMatchesCombinedRecording(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	combined, a, b := NewHistogram(), NewHistogram(), NewHistogram()
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(int64(30 * time.Second))
+		combined.RecordNs(v)
+		if i%2 == 0 {
+			a.RecordNs(v)
+		} else {
+			b.RecordNs(v)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != combined.Count() || a.Min() != combined.Min() || a.Max() != combined.Max() || a.Mean() != combined.Mean() {
+		t.Fatalf("merge diverged: %s vs %s", a, combined)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if a.Quantile(q) != combined.Quantile(q) {
+			t.Fatalf("q%g: merged %s vs combined %s", q, a.Quantile(q), combined.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatalf("empty histogram leaks values: %s", h)
+	}
+	s := h.Summary()
+	if s.Count != 0 || s.P99Ms != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	h.Merge(NewHistogram())
+	if h.Count() != 0 {
+		t.Fatal("merging empties changed count")
+	}
+}

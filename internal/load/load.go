@@ -1,0 +1,436 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects how arrivals are generated.
+type Mode string
+
+const (
+	// ModeOpen is an open-loop Poisson process: arrivals are drawn from
+	// an exponential inter-arrival distribution at Config.Rate and do
+	// NOT wait for earlier requests to finish. A slow server does not
+	// slow the offered load down — it piles up, which is exactly the
+	// regime that exposes admission-path contention (a closed loop
+	// self-throttles and hides it, the classic coordinated-omission
+	// trap). Arrivals that cannot even be buffered are counted as
+	// DroppedArrivals rather than silently applying backpressure.
+	ModeOpen Mode = "open"
+	// ModeClosed keeps Config.Concurrency workers each submitting as
+	// soon as the previous response lands — a sustained-throughput
+	// probe.
+	ModeClosed Mode = "closed"
+)
+
+// Config parameterises one load run.
+type Config struct {
+	// Targets are daemon base URLs ("http://host:port"); submissions
+	// round-robin across them. Required.
+	Targets []string
+	// Mode defaults to ModeClosed.
+	Mode Mode
+	// Duration of the run. Required.
+	Duration time.Duration
+	// Rate is the open-loop mean arrival rate in jobs/sec (required for
+	// ModeOpen, ignored for ModeClosed).
+	Rate float64
+	// Concurrency is the closed-loop worker count, and in open-loop
+	// mode the submitter pool / in-flight buffer bound. Default 64.
+	Concurrency int
+	// SpecBody is the JSON job spec POSTed to /v1/jobs. Defaults to a
+	// small fast-churning uniform model.
+	SpecBody []byte
+	// Seed makes arrival sequences reproducible. Default 1.
+	Seed int64
+	// HonorRetryAfter makes closed-loop workers sleep the server's
+	// Retry-After hint (capped by RetryAfterCap) after a 429 instead of
+	// immediately re-submitting.
+	HonorRetryAfter bool
+	// RetryAfterCap bounds an honored Retry-After sleep so a 30s hint
+	// cannot park workers for most of a short soak. Default 2s.
+	RetryAfterCap time.Duration
+	// Client defaults to one sized for Concurrency keep-alive conns.
+	Client *http.Client
+	// SampleEvery is the /metrics scrape period (default 250ms;
+	// negative disables sampling).
+	SampleEvery time.Duration
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// DefaultSpecBody is the fast-churn job used when Config.SpecBody is
+// empty: small enough that thousands complete in a short soak, so the
+// admission path — not the simulator — is what saturates.
+const DefaultSpecBody = `{"model":"uniform","uniform":{"layers":8},"batches":10}`
+
+// Result aggregates one run.
+type Result struct {
+	Mode           string  `json:"mode"`
+	Targets        int     `json:"targets"`
+	RatePerSec     float64 `json:"offered_rate_per_sec,omitempty"`
+	Concurrency    int     `json:"concurrency"`
+	DurationSec    float64 `json:"duration_sec"`
+	Submitted      int64   `json:"submitted"`
+	Accepted       int64   `json:"accepted"`
+	Shed           int64   `json:"shed_429"`
+	Errors         int64   `json:"errors"`
+	DroppedArrival int64   `json:"dropped_arrivals,omitempty"`
+
+	// AcceptedPerSec is the sustained admission throughput.
+	AcceptedPerSec float64 `json:"accepted_per_sec"`
+
+	// Admission is the latency distribution of accepted (201) submits;
+	// in open-loop mode latency is measured from the scheduled arrival,
+	// so time spent waiting behind a stalled admission path is charged
+	// to the server, not hidden.
+	Admission LatencySummary `json:"admission_latency"`
+	// ShedLatency is the distribution of 429 responses — shedding is
+	// only useful if it is fast.
+	ShedLatency LatencySummary `json:"shed_latency"`
+
+	// RetryAfter bounds observed on 429s (0/0 when none were shed).
+	RetryAfterMinSec int `json:"retry_after_min_sec"`
+	RetryAfterMaxSec int `json:"retry_after_max_sec"`
+
+	// From the /metrics sampler, maxima across all targets and samples.
+	MetricsSamples int64 `json:"metrics_samples,omitempty"`
+	MaxRSSBytes    int64 `json:"max_rss_bytes,omitempty"`
+	MaxGoroutines  int64 `json:"max_goroutines,omitempty"`
+	MaxQueueDepth  int64 `json:"max_queue_depth,omitempty"`
+	// Journal deltas over the run, summed across targets. SyncsPerAppend
+	// is the headline group-commit number: ~1.0 means every admission
+	// paid its own fsync; well under 1.0 means commits were coalesced.
+	JournalAppends int64   `json:"journal_appends,omitempty"`
+	JournalSyncs   int64   `json:"journal_syncs,omitempty"`
+	SyncsPerAppend float64 `json:"syncs_per_append,omitempty"`
+
+	// RecoverySec is filled by the kill/restart probe (cmd layer), not
+	// by Run.
+	RecoverySec float64 `json:"recovery_sec,omitempty"`
+}
+
+// workerStats is single-goroutine state merged after the run.
+type workerStats struct {
+	accepted                            *Histogram
+	shed                                *Histogram
+	submitted, accepted_, shed_, errors int64
+	raMin, raMax                        int
+}
+
+func newWorkerStats() *workerStats {
+	return &workerStats{accepted: NewHistogram(), shed: NewHistogram()}
+}
+
+type runner struct {
+	cfg     Config
+	client  *http.Client
+	nextTgt atomic.Int64
+}
+
+// Run drives the configured load until Duration elapses or ctx is
+// cancelled, and returns the aggregated result.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("load: no targets")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("load: duration must be positive")
+	}
+	switch cfg.Mode {
+	case "":
+		cfg.Mode = ModeClosed
+	case ModeOpen:
+		if cfg.Rate <= 0 {
+			return nil, fmt.Errorf("load: open-loop mode needs a positive rate")
+		}
+	case ModeClosed:
+	default:
+		return nil, fmt.Errorf("load: unknown mode %q", cfg.Mode)
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 64
+	}
+	if len(cfg.SpecBody) == 0 {
+		cfg.SpecBody = []byte(DefaultSpecBody)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.RetryAfterCap <= 0 {
+		cfg.RetryAfterCap = 2 * time.Second
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = 250 * time.Millisecond
+	}
+	r := &runner{cfg: cfg, client: cfg.Client}
+	if r.client == nil {
+		tr := &http.Transport{
+			MaxIdleConns:        cfg.Concurrency * len(cfg.Targets),
+			MaxIdleConnsPerHost: cfg.Concurrency,
+		}
+		r.client = &http.Client{Transport: tr, Timeout: 30 * time.Second}
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	var samplers []*Sampler
+	var sampleWG sync.WaitGroup
+	if cfg.SampleEvery > 0 {
+		for _, t := range cfg.Targets {
+			s := NewSampler(r.client, t)
+			samplers = append(samplers, s)
+			sampleWG.Add(1)
+			go func() {
+				defer sampleWG.Done()
+				s.Run(runCtx, cfg.SampleEvery)
+			}()
+		}
+	}
+
+	stats := make([]*workerStats, cfg.Concurrency)
+	for i := range stats {
+		stats[i] = newWorkerStats()
+	}
+
+	start := time.Now()
+	var dropped int64
+	var wg sync.WaitGroup
+	switch cfg.Mode {
+	case ModeClosed:
+		for i := 0; i < cfg.Concurrency; i++ {
+			ws := stats[i]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r.closedWorker(runCtx, ws)
+			}()
+		}
+	case ModeOpen:
+		arrivals := make(chan time.Time, cfg.Concurrency)
+		for i := 0; i < cfg.Concurrency; i++ {
+			ws := stats[i]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r.openWorker(runCtx, arrivals, ws)
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dropped = r.dispatch(runCtx, arrivals)
+			close(arrivals)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	cancel()
+	sampleWG.Wait()
+
+	res := &Result{
+		Mode:        string(cfg.Mode),
+		Targets:     len(cfg.Targets),
+		Concurrency: cfg.Concurrency,
+		DurationSec: elapsed.Seconds(),
+	}
+	if cfg.Mode == ModeOpen {
+		res.RatePerSec = cfg.Rate
+		res.DroppedArrival = dropped
+	}
+	accepted, shed := NewHistogram(), NewHistogram()
+	for _, ws := range stats {
+		res.Submitted += ws.submitted
+		res.Accepted += ws.accepted_
+		res.Shed += ws.shed_
+		res.Errors += ws.errors
+		accepted.Merge(ws.accepted)
+		shed.Merge(ws.shed)
+		if ws.raMin > 0 && (res.RetryAfterMinSec == 0 || ws.raMin < res.RetryAfterMinSec) {
+			res.RetryAfterMinSec = ws.raMin
+		}
+		if ws.raMax > res.RetryAfterMaxSec {
+			res.RetryAfterMaxSec = ws.raMax
+		}
+	}
+	if elapsed > 0 {
+		res.AcceptedPerSec = float64(res.Accepted) / elapsed.Seconds()
+	}
+	res.Admission = accepted.Summary()
+	res.ShedLatency = shed.Summary()
+	for _, s := range samplers {
+		st := s.Snapshot()
+		res.MetricsSamples += st.Samples
+		if st.MaxRSSBytes > res.MaxRSSBytes {
+			res.MaxRSSBytes = st.MaxRSSBytes
+		}
+		if st.MaxGoroutines > res.MaxGoroutines {
+			res.MaxGoroutines = st.MaxGoroutines
+		}
+		if st.MaxQueueDepth > res.MaxQueueDepth {
+			res.MaxQueueDepth = st.MaxQueueDepth
+		}
+		res.JournalAppends += st.JournalAppends
+		res.JournalSyncs += st.JournalSyncs
+	}
+	if res.JournalAppends > 0 {
+		res.SyncsPerAppend = float64(res.JournalSyncs) / float64(res.JournalAppends)
+	}
+	if cfg.Logf != nil {
+		cfg.Logf("load: %s %.1fs submitted=%d accepted=%d shed=%d errors=%d admission %s",
+			cfg.Mode, elapsed.Seconds(), res.Submitted, res.Accepted, res.Shed, res.Errors, accepted)
+	}
+	return res, nil
+}
+
+// dispatch generates the open-loop Poisson arrival schedule. It never
+// blocks on a full buffer — an arrival the submitter pool cannot absorb
+// is recorded as dropped, preserving the open-loop property.
+func (r *runner) dispatch(ctx context.Context, arrivals chan<- time.Time) (dropped int64) {
+	rng := rand.New(rand.NewSource(r.cfg.Seed))
+	next := time.Now()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		gap := time.Duration(rng.ExpFloat64() / r.cfg.Rate * float64(time.Second))
+		next = next.Add(gap)
+		if wait := time.Until(next); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				return dropped
+			case <-timer.C:
+			}
+		} else if ctx.Err() != nil {
+			return dropped
+		}
+		select {
+		case arrivals <- next:
+		default:
+			dropped++
+		}
+	}
+}
+
+func (r *runner) openWorker(ctx context.Context, arrivals <-chan time.Time, ws *workerStats) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case t, ok := <-arrivals:
+			if !ok {
+				return
+			}
+			// Latency is charged from the scheduled arrival: waiting in
+			// the buffer behind a stalled admission path counts.
+			r.submit(ctx, ws, t)
+		}
+	}
+}
+
+func (r *runner) closedWorker(ctx context.Context, ws *workerStats) {
+	for ctx.Err() == nil {
+		ra := r.submit(ctx, ws, time.Now())
+		if ra > 0 && r.cfg.HonorRetryAfter {
+			sleep := time.Duration(ra) * time.Second
+			if sleep > r.cfg.RetryAfterCap {
+				sleep = r.cfg.RetryAfterCap
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(sleep):
+			}
+		}
+	}
+}
+
+// submit POSTs one job and records the outcome. It returns the parsed
+// Retry-After seconds when the submission was shed, else 0.
+func (r *runner) submit(ctx context.Context, ws *workerStats, arrival time.Time) int {
+	target := r.cfg.Targets[int(r.nextTgt.Add(1)-1)%len(r.cfg.Targets)]
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		target+"/v1/jobs", bytes.NewReader(r.cfg.SpecBody))
+	if err != nil {
+		ws.errors++
+		return 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	ws.submitted++
+	resp, err := r.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The run ended mid-request; not a server failure.
+			ws.submitted--
+			return 0
+		}
+		ws.errors++
+		return 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	lat := time.Since(arrival)
+	switch resp.StatusCode {
+	case http.StatusCreated:
+		ws.accepted_++
+		ws.accepted.Record(lat)
+		return 0
+	case http.StatusTooManyRequests:
+		ws.shed_++
+		ws.shed.Record(lat)
+		ra, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if ra > 0 {
+			if ws.raMin == 0 || ra < ws.raMin {
+				ws.raMin = ra
+			}
+			if ra > ws.raMax {
+				ws.raMax = ra
+			}
+		}
+		return ra
+	default:
+		ws.errors++
+		return 0
+	}
+}
+
+// WaitHealthy polls target/healthz until it answers 200 or ctx expires,
+// returning how long readiness took — the recovery probe's clock.
+func WaitHealthy(ctx context.Context, client *http.Client, target string) (time.Duration, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	start := time.Now()
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/healthz", nil)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return time.Since(start), nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return time.Since(start), fmt.Errorf("target %s not healthy after %s: %w", target, time.Since(start), ctx.Err())
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}

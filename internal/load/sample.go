@@ -1,0 +1,154 @@
+package load
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// parseMetrics reads Prometheus text-format exposition and returns the
+// unlabelled samples by family name. Labelled samples (per-job series)
+// are skipped — the sampler only consumes whole-process gauges and
+// counters.
+func parseMetrics(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		name, val := line[:sp], line[sp+1:]
+		if strings.ContainsAny(name, "{}") {
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			continue
+		}
+		out[name] = f
+	}
+	return out, sc.Err()
+}
+
+// SamplerStats is what one target's scrape loop observed.
+type SamplerStats struct {
+	Samples       int64
+	MaxRSSBytes   int64
+	MaxGoroutines int64
+	MaxQueueDepth int64
+	// JournalAppends/JournalSyncs are deltas between the first and last
+	// successful scrape, so a run's report reflects only its own load.
+	JournalAppends int64
+	JournalSyncs   int64
+}
+
+// Sampler periodically scrapes one daemon's /metrics and tracks the
+// maxima the SLO gates care about (RSS ceiling, goroutine count, queue
+// depth) plus journal append/fsync deltas.
+type Sampler struct {
+	client *http.Client
+	target string
+
+	mu          sync.Mutex
+	stats       SamplerStats
+	first, last map[string]float64
+}
+
+// NewSampler builds a sampler for one target base URL.
+func NewSampler(client *http.Client, target string) *Sampler {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Sampler{client: client, target: target}
+}
+
+// Run scrapes every period until ctx is done, then takes one final
+// scrape so the journal deltas cover the whole run.
+func (s *Sampler) Run(ctx context.Context, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	s.SampleOnce(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			// Final scrape with a fresh short deadline: runCtx is dead.
+			final, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			s.SampleOnce(final)
+			cancel()
+			return
+		case <-t.C:
+			s.SampleOnce(ctx)
+		}
+	}
+}
+
+// SampleOnce performs a single scrape; failures are ignored (the target
+// may be mid-restart during a recovery probe).
+func (s *Sampler) SampleOnce(ctx context.Context) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.target+"/metrics", nil)
+	if err != nil {
+		return
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	m, err := parseMetrics(resp.Body)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Samples++
+	if s.first == nil {
+		s.first = m
+	}
+	s.last = m
+	track := func(name string, dst *int64) {
+		if v, ok := m[name]; ok && int64(v) > *dst {
+			*dst = int64(v)
+		}
+	}
+	track("autopiped_process_resident_memory_bytes", &s.stats.MaxRSSBytes)
+	track("autopiped_go_goroutines", &s.stats.MaxGoroutines)
+	track("autopiped_registry_depth", &s.stats.MaxQueueDepth)
+}
+
+// Snapshot returns the stats accumulated so far.
+func (s *Sampler) Snapshot() SamplerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	if s.first != nil && s.last != nil {
+		delta := func(name string) int64 {
+			d := s.last[name] - s.first[name]
+			if d < 0 { // daemon restarted mid-run; count the new epoch
+				d = s.last[name]
+			}
+			return int64(d)
+		}
+		st.JournalAppends = delta("autopiped_journal_appends_total")
+		st.JournalSyncs = delta("autopiped_journal_syncs_total")
+	}
+	return st
+}
+
+// String describes the sampler target for logs.
+func (s *Sampler) String() string { return fmt.Sprintf("sampler(%s)", s.target) }

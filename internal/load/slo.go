@@ -1,0 +1,114 @@
+package load
+
+import "fmt"
+
+// SLO declares the gates a load run must pass. The zero value of a
+// field disables that gate, so a profile only pays for what it states.
+type SLO struct {
+	// AdmissionP99Ms caps the p99 latency of accepted submissions.
+	AdmissionP99Ms float64 `json:"admission_p99_ms,omitempty"`
+	// ShedP99Ms caps the p99 latency of 429 responses — load shedding
+	// that is slower than admission is not shedding load.
+	ShedP99Ms float64 `json:"shed_p99_ms,omitempty"`
+	// MinAcceptedPerSec floors sustained admission throughput.
+	MinAcceptedPerSec float64 `json:"min_accepted_per_sec,omitempty"`
+	// MinAccepted floors the absolute number of accepted jobs.
+	MinAccepted int64 `json:"min_accepted,omitempty"`
+	// MaxErrorRate caps errors/submitted (429s are not errors).
+	MaxErrorRate float64 `json:"max_error_rate,omitempty"`
+	// MaxRSSBytes caps the resident set size observed via /metrics.
+	MaxRSSBytes int64 `json:"max_rss_bytes,omitempty"`
+	// MaxRecoverySec caps the post-kill restart-to-healthy time; only
+	// evaluated when the run measured a recovery.
+	MaxRecoverySec float64 `json:"max_recovery_sec,omitempty"`
+	// RetryAfterWithin requires every observed Retry-After hint to be
+	// inside [1,30] — the contract RetryAfterSeconds clamps to.
+	RetryAfterWithin bool `json:"retry_after_within,omitempty"`
+}
+
+// Gate is one evaluated SLO clause.
+type Gate struct {
+	Name     string `json:"name"`
+	Observed string `json:"observed"`
+	Limit    string `json:"limit"`
+	OK       bool   `json:"ok"`
+}
+
+func (g Gate) String() string {
+	mark := "PASS"
+	if !g.OK {
+		mark = "FAIL"
+	}
+	return fmt.Sprintf("%-4s %-22s observed=%s limit=%s", mark, g.Name, g.Observed, g.Limit)
+}
+
+// Evaluate checks res against every enabled gate and reports whether
+// all passed.
+func (s SLO) Evaluate(res *Result) ([]Gate, bool) {
+	var gates []Gate
+	add := func(name string, ok bool, observed, limit string) {
+		gates = append(gates, Gate{Name: name, Observed: observed, Limit: limit, OK: ok})
+	}
+	if s.AdmissionP99Ms > 0 {
+		p99 := res.Admission.P99Ms
+		add("admission_p99", res.Admission.Count > 0 && p99 <= s.AdmissionP99Ms,
+			fmt.Sprintf("%.2fms (n=%d)", p99, res.Admission.Count),
+			fmt.Sprintf("<=%.2fms", s.AdmissionP99Ms))
+	}
+	if s.ShedP99Ms > 0 {
+		if res.ShedLatency.Count == 0 {
+			add("shed_p99", true, "no sheds", fmt.Sprintf("<=%.2fms", s.ShedP99Ms))
+		} else {
+			add("shed_p99", res.ShedLatency.P99Ms <= s.ShedP99Ms,
+				fmt.Sprintf("%.2fms (n=%d)", res.ShedLatency.P99Ms, res.ShedLatency.Count),
+				fmt.Sprintf("<=%.2fms", s.ShedP99Ms))
+		}
+	}
+	if s.MinAcceptedPerSec > 0 {
+		add("accepted_per_sec", res.AcceptedPerSec >= s.MinAcceptedPerSec,
+			fmt.Sprintf("%.1f/s", res.AcceptedPerSec),
+			fmt.Sprintf(">=%.1f/s", s.MinAcceptedPerSec))
+	}
+	if s.MinAccepted > 0 {
+		add("accepted", res.Accepted >= s.MinAccepted,
+			fmt.Sprintf("%d", res.Accepted), fmt.Sprintf(">=%d", s.MinAccepted))
+	}
+	if s.MaxErrorRate > 0 {
+		rate := 0.0
+		if res.Submitted > 0 {
+			rate = float64(res.Errors) / float64(res.Submitted)
+		}
+		add("error_rate", rate <= s.MaxErrorRate,
+			fmt.Sprintf("%.4f (%d/%d)", rate, res.Errors, res.Submitted),
+			fmt.Sprintf("<=%.4f", s.MaxErrorRate))
+	}
+	if s.MaxRSSBytes > 0 {
+		if res.MaxRSSBytes == 0 {
+			// /metrics never exposed RSS (non-Linux target) — report the
+			// gap rather than failing a platform the daemon supports.
+			add("max_rss", true, "unmeasured", fmt.Sprintf("<=%d", s.MaxRSSBytes))
+		} else {
+			add("max_rss", res.MaxRSSBytes <= s.MaxRSSBytes,
+				fmt.Sprintf("%d (%.1f MiB)", res.MaxRSSBytes, float64(res.MaxRSSBytes)/(1<<20)),
+				fmt.Sprintf("<=%d", s.MaxRSSBytes))
+		}
+	}
+	if s.MaxRecoverySec > 0 && res.RecoverySec > 0 {
+		add("recovery", res.RecoverySec <= s.MaxRecoverySec,
+			fmt.Sprintf("%.2fs", res.RecoverySec), fmt.Sprintf("<=%.2fs", s.MaxRecoverySec))
+	}
+	if s.RetryAfterWithin {
+		ok := true
+		observed := "no sheds"
+		if res.Shed > 0 {
+			ok = res.RetryAfterMinSec >= 1 && res.RetryAfterMaxSec <= 30
+			observed = fmt.Sprintf("[%d,%d]s", res.RetryAfterMinSec, res.RetryAfterMaxSec)
+		}
+		add("retry_after_range", ok, observed, "[1,30]s")
+	}
+	pass := true
+	for _, g := range gates {
+		pass = pass && g.OK
+	}
+	return gates, pass
+}

@@ -1,0 +1,226 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autopipe"
+)
+
+// TestRetryAfterDerivation pins the 429 Retry-After estimator: queue
+// depth over observed drain rate, clamped to [1, 30], with a cold-start
+// floor of 1.
+func TestRetryAfterDerivation(t *testing.T) {
+	r := NewRegistry(1)
+	base := time.Unix(1_700_000_000, 0)
+	now := base
+	r.now = func() time.Time { return now }
+	setDepth := func(d int) {
+		r.mu.Lock()
+		r.queued = d
+		r.mu.Unlock()
+	}
+
+	// No drain history yet: fall back to the minimum.
+	setDepth(10)
+	if got := r.RetryAfterSeconds(); got != MinRetryAfterSec {
+		t.Fatalf("cold-start Retry-After = %d, want %d", got, MinRetryAfterSec)
+	}
+
+	// 10 departures over 5s → 2 jobs/s; a depth of 10 should suggest 5s.
+	for i := 0; i < 10; i++ {
+		r.mu.Lock()
+		r.noteDrainLocked(base.Add(time.Duration(i) * 500 * time.Millisecond))
+		r.mu.Unlock()
+	}
+	now = base.Add(5 * time.Second)
+	if got := r.RetryAfterSeconds(); got != 5 {
+		t.Fatalf("Retry-After = %d with depth 10 at 2 jobs/s over 5s, want 5", got)
+	}
+
+	// A shallow queue on the same rate clamps to the floor.
+	setDepth(1)
+	if got := r.RetryAfterSeconds(); got != MinRetryAfterSec {
+		t.Fatalf("Retry-After = %d with depth 1, want %d", got, MinRetryAfterSec)
+	}
+
+	// A stalled pool (no drains for 100s) pushes the estimate into the
+	// ceiling: the idle time since the last departure counts against
+	// the rate.
+	setDepth(1000)
+	now = base.Add(100 * time.Second)
+	if got := r.RetryAfterSeconds(); got != MaxRetryAfterSec {
+		t.Fatalf("Retry-After = %d with a stalled deep queue, want %d", got, MaxRetryAfterSec)
+	}
+
+	// Empty queue: nothing to wait for.
+	setDepth(0)
+	if got := r.RetryAfterSeconds(); got != MinRetryAfterSec {
+		t.Fatalf("Retry-After = %d with empty queue, want %d", got, MinRetryAfterSec)
+	}
+
+	// The ring only remembers the newest drainWindow entries: ancient
+	// history must not dilute a recent fast drain.
+	now = base.Add(200 * time.Second)
+	for i := 0; i < drainWindow; i++ {
+		r.mu.Lock()
+		r.noteDrainLocked(now.Add(-time.Duration(drainWindow-i) * 100 * time.Millisecond))
+		r.mu.Unlock()
+	}
+	setDepth(12)
+	// 64 drains over ~6.4s → ~10/s; depth 12 → ceil(1.2s) = 2s.
+	if got := r.RetryAfterSeconds(); got != 2 {
+		t.Fatalf("Retry-After = %d after window refill, want 2", got)
+	}
+}
+
+// TestAdmissionAccountingUnderBursts hammers Submit/Cancel from many
+// goroutines (run under -race in CI) and asserts the registry's
+// conservation laws: every submission is either admitted or shed, no
+// submission is shed while the queue reports spare capacity, and at the
+// end every admitted job is accounted for in exactly one lifecycle
+// state.
+func TestAdmissionAccountingUnderBursts(t *testing.T) {
+	const (
+		submitters    = 16
+		perSubmitter  = 25
+		maxQueue      = 64
+		cancelWorkers = 4
+	)
+	r := NewRegistryWithOptions(Options{PoolSize: 2, MaxQueue: maxQueue})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		defer cancel()
+		r.Shutdown(ctx) // cancels whatever is still alive
+	}()
+
+	var admitted, shed, badShed atomic.Int64
+	ids := make(chan string, submitters*perSubmitter)
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				depthBefore := r.Depth()
+				info, err := r.Submit(smallSpec())
+				switch {
+				case err == nil:
+					admitted.Add(1)
+					ids <- info.ID
+				case errors.Is(err, ErrQueueFull):
+					shed.Add(1)
+					// Shedding with the queue observed well below
+					// capacity just before the attempt would mean the
+					// accounting leaks queue slots. The margin absorbs
+					// legitimate concurrent fill (submitters-1 rivals
+					// can land between our Depth() and Submit()).
+					if depthBefore < maxQueue-submitters {
+						badShed.Add(1)
+					}
+				default:
+					t.Errorf("Submit: %v", err)
+				}
+			}
+		}()
+	}
+	// Concurrent cancel churn against whatever has been admitted.
+	cancelDone := make(chan struct{})
+	for c := 0; c < cancelWorkers; c++ {
+		go func() {
+			for {
+				select {
+				case id := <-ids:
+					if _, err := r.Cancel(id); err != nil {
+						t.Errorf("Cancel(%s): %v", id, err)
+					}
+				case <-cancelDone:
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(cancelDone)
+
+	c := r.Counters()
+	if c.Admitted != admitted.Load() || c.Shed != shed.Load() {
+		t.Fatalf("counters admitted/shed = %d/%d, callers saw %d/%d",
+			c.Admitted, c.Shed, admitted.Load(), shed.Load())
+	}
+	if got, want := admitted.Load()+shed.Load(), int64(submitters*perSubmitter); got != want {
+		t.Fatalf("admitted+shed = %d, want %d", got, want)
+	}
+	if n := badShed.Load(); n > 0 {
+		t.Fatalf("%d submissions shed while the queue had spare capacity", n)
+	}
+
+	// Every admitted job must end in exactly one state, and the queue
+	// must fully drain.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		counts := r.StateCounts()
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		if total != int(admitted.Load()) {
+			t.Fatalf("state counts sum to %d, want %d admitted (%v)", total, admitted.Load(), counts)
+		}
+		if counts[autopipe.JobQueued] == 0 && counts[autopipe.JobRunning] == 0 {
+			if r.Depth() != 0 {
+				t.Fatalf("Depth() = %d after all jobs settled", r.Depth())
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs never settled: %v", counts)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestNoShedBelowCapacity: a serial filler must never see 429 until the
+// queue is exactly full.
+func TestNoShedBelowCapacity(t *testing.T) {
+	const maxQueue = 8
+	r := NewRegistryWithOptions(Options{PoolSize: 1, MaxQueue: maxQueue})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		defer cancel()
+		r.Shutdown(ctx) // cancels whatever is still alive
+	}()
+	// One running job pins the pool; the queue then fills one by one.
+	if _, err := r.Submit(hugeSpec()); err != nil {
+		t.Fatal(err)
+	}
+	waitForDepthBelow(t, r, 1) // the huge job claimed the pool slot
+	for i := 0; i < maxQueue; i++ {
+		if _, err := r.Submit(hugeSpec()); err != nil {
+			t.Fatalf("submit %d/%d with queue below capacity: %v", i+1, maxQueue, err)
+		}
+	}
+	if _, err := r.Submit(hugeSpec()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit beyond capacity = %v, want ErrQueueFull", err)
+	}
+	for _, info := range r.List() {
+		if _, err := r.Cancel(info.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func waitForDepthBelow(t *testing.T, r *Registry, depth int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for r.Depth() >= depth {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth stuck at %d", r.Depth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 
 	"autopipe"
@@ -95,6 +96,8 @@ func WriteMetrics(w io.Writer, r *Registry) {
 		help: "Controller checkpoints journaled across all jobs."}
 	journalAppends := &family{name: "autopiped_journal_appends_total", typ: "counter",
 		help: "Records fsync'd to the job journal."}
+	journalSyncs := &family{name: "autopiped_journal_syncs_total", typ: "counter",
+		help: "Fsync barriers paid by journal appends; group commit shares one across many records."}
 	journalErrors := &family{name: "autopiped_journal_errors_total", typ: "counter",
 		help: "Journal appends or compactions that failed."}
 	journalSegments := &family{name: "autopiped_journal_segments", typ: "gauge",
@@ -105,6 +108,14 @@ func WriteMetrics(w io.Writer, r *Registry) {
 		help: "Corrupted tail bytes discarded during journal replay."}
 	recovered := &family{name: "autopiped_recovered_jobs_total", typ: "counter",
 		help: "Jobs rebuilt from the journal after a restart, by kind."}
+	retryAfter := &family{name: "autopiped_retry_after_seconds", typ: "gauge",
+		help: "Retry-After hint currently handed to shed submissions."}
+	rss := &family{name: "autopiped_process_resident_memory_bytes", typ: "gauge",
+		help: "Resident set size of the daemon process (Linux)."}
+	heap := &family{name: "autopiped_go_heap_alloc_bytes", typ: "gauge",
+		help: "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc)."}
+	goroutines := &family{name: "autopiped_go_goroutines", typ: "gauge",
+		help: "Live goroutines in the daemon process."}
 
 	pool.add("", float64(r.PoolSize()))
 	queued := 0
@@ -161,17 +172,28 @@ func WriteMetrics(w io.Writer, r *Registry) {
 		})
 	}
 
+	retryAfter.add("", float64(r.RetryAfterSeconds()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	heap.add("", float64(ms.HeapAlloc))
+	goroutines.add("", float64(runtime.NumGoroutine()))
+
 	fams := []*family{depth, pool, states, iter, tp, switches, predCost, realCost,
 		decisions, candidates, cacheHits, cacheHitRate, searchSecs,
 		evictions, aborted, migRetries, queuedEv,
 		queueLimit, shed, drainRefused, watchdogKills, deadlineKills,
-		checkpoints, journalErrors, recovered}
+		checkpoints, journalErrors, recovered, retryAfter, heap, goroutines}
+	if bytes, ok := residentMemoryBytes(); ok {
+		rss.add("", float64(bytes))
+		fams = append(fams, rss)
+	}
 	if js, ok := r.JournalStats(); ok {
 		journalAppends.add("", float64(js.Appends))
+		journalSyncs.add("", float64(js.Syncs))
 		journalSegments.add("", float64(r.JournalSegments()))
 		journalCompactions.add("", float64(js.Compactions))
 		journalTruncated.add("", float64(js.TruncatedBytes))
-		fams = append(fams, journalAppends, journalSegments, journalCompactions, journalTruncated)
+		fams = append(fams, journalAppends, journalSyncs, journalSegments, journalCompactions, journalTruncated)
 	}
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 	for _, f := range fams {

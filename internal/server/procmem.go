@@ -1,0 +1,28 @@
+package server
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// residentMemoryBytes reads the process RSS from /proc/self/statm
+// (second field, in pages). It returns ok=false off Linux or on any
+// parse failure, and the metrics writer simply omits the family — the
+// load harness's RSS SLO gate then reports "not measured" rather than
+// a bogus zero.
+func residentMemoryBytes() (int64, bool) {
+	data, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0, false
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 2 {
+		return 0, false
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || pages < 0 {
+		return 0, false
+	}
+	return pages * int64(os.Getpagesize()), true
+}

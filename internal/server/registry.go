@@ -53,6 +53,13 @@ const (
 	// DefaultCompactLiveRatio triggers steady-state compaction once
 	// fewer than this fraction of journaled records are still live.
 	DefaultCompactLiveRatio = 0.5
+	// drainWindow is how many recent queue departures the Retry-After
+	// estimator remembers.
+	drainWindow = 64
+	// MinRetryAfterSec / MaxRetryAfterSec clamp the 429 Retry-After
+	// hint derived from queue depth and drain rate.
+	MinRetryAfterSec = 1
+	MaxRetryAfterSec = 30
 )
 
 // Options parametrises a Registry.
@@ -93,7 +100,8 @@ type Options struct {
 	// OnRecord observes every journal record the registry produces
 	// (whether or not a Journal is configured) — the fleet layer streams
 	// them to the job's ring successor. It is invoked with an internal
-	// lock held: it must be fast and must not call back into the
+	// lock held, possibly from many job goroutines at once: it must be
+	// fast, safe for concurrent use, and must not call back into the
 	// registry.
 	OnRecord func(journal.Record)
 	// CompactMinRecords is the journal size in records below which the
@@ -138,9 +146,22 @@ type Registry struct {
 	counters Counters
 	wg       sync.WaitGroup
 
-	// jmu serialises journal appends against compaction so a record
-	// can never land in a segment that a concurrent Compact deletes.
-	jmu sync.Mutex
+	// jmu excludes journal appends against compaction so a record can
+	// never land in a segment that a concurrent Compact deletes.
+	// Appends take the read side — many jobs journal state transitions
+	// concurrently and the journal group-commits them into shared
+	// fsyncs; serialising them here (the pre-group-commit design) made
+	// every state transition pay its own fsync under one global lock,
+	// which is exactly the admission-latency collapse the load harness
+	// flushed out.
+	jmu sync.RWMutex
+
+	// drains is a ring of recent queue-departure times; RetryAfterSeconds
+	// derives the 429 Retry-After hint from it. Guarded by mu.
+	drains struct {
+		times [drainWindow]time.Time
+		n     int
+	}
 
 	watchOnce sync.Once
 	stopWatch chan struct{}
@@ -365,6 +386,7 @@ func (r *Registry) run(m *managedJob) {
 
 	r.mu.Lock()
 	r.queued--
+	r.noteDrainLocked(r.now())
 	if m.detached {
 		// DetachQueued handed this job to a fleet peer while it waited
 		// for a slot; the peer owns it now.
@@ -486,6 +508,46 @@ func (r *Registry) Depth() int {
 	return r.queued
 }
 
+// noteDrainLocked records one queue departure for the Retry-After
+// estimator. Caller holds r.mu.
+func (r *Registry) noteDrainLocked(now time.Time) {
+	r.drains.times[r.drains.n%drainWindow] = now
+	r.drains.n++
+}
+
+// RetryAfterSeconds estimates how long a shed client should wait before
+// retrying: the current queue depth divided by the recently observed
+// drain rate (queue departures per second over the remembered window,
+// including the idle time since the last departure, so a stalled pool
+// pushes the hint up). Clamped to [MinRetryAfterSec, MaxRetryAfterSec];
+// with no drain history yet it falls back to the minimum — one pool
+// slot turning over is the natural cold-start horizon.
+func (r *Registry) RetryAfterSeconds() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	count := r.drains.n
+	if count > drainWindow {
+		count = drainWindow
+	}
+	if count == 0 || r.queued == 0 {
+		return MinRetryAfterSec
+	}
+	oldest := r.drains.times[(r.drains.n-count)%drainWindow]
+	elapsed := r.now().Sub(oldest).Seconds()
+	if elapsed <= 0 {
+		return MinRetryAfterSec
+	}
+	// ceil(depth / rate) with rate = count/elapsed.
+	secs := int((float64(r.queued) * elapsed / float64(count)) + 0.999)
+	if secs < MinRetryAfterSec {
+		return MinRetryAfterSec
+	}
+	if secs > MaxRetryAfterSec {
+		return MaxRetryAfterSec
+	}
+	return secs
+}
+
 // StateCounts tallies jobs by lifecycle state.
 func (r *Registry) StateCounts() map[autopipe.JobState]int {
 	counts := map[autopipe.JobState]int{
@@ -556,8 +618,11 @@ func (r *Registry) watchdogScan(now time.Time) {
 // journalAppend marshals and fsyncs one record; failures are counted,
 // not fatal — the registry keeps serving with degraded durability.
 // Callers must not hold r.mu (fsync under the registry lock would stall
-// the whole API). The OnRecord hook observes every record, journal or
-// not, so fleet replication works on journal-less registries too.
+// the whole API). Appenders only share-lock jmu: concurrent jobs reach
+// the journal together and its group commit coalesces their fsyncs;
+// compaction takes the write side to exclude them. The OnRecord hook
+// observes every record, journal or not, so fleet replication works on
+// journal-less registries too.
 func (r *Registry) journalAppend(typ journal.Type, id string, payload any) {
 	if r.opts.Journal == nil && r.opts.OnRecord == nil {
 		return
@@ -568,8 +633,8 @@ func (r *Registry) journalAppend(typ journal.Type, id string, payload any) {
 	if killed {
 		return
 	}
-	r.jmu.Lock()
-	defer r.jmu.Unlock()
+	r.jmu.RLock()
+	defer r.jmu.RUnlock()
 	data, err := json.Marshal(payload)
 	if err == nil {
 		rec := journal.Record{Type: typ, JobID: id, Data: data}

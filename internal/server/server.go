@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -56,9 +57,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrQueueFull):
-		// Load shedding: tell well-behaved clients when to come back.
-		// One pool slot turning over is the natural retry horizon.
-		w.Header().Set("Retry-After", "1")
+		// Load shedding: tell well-behaved clients when to come back,
+		// derived from how deep the queue is and how fast it has been
+		// draining rather than a fixed guess.
+		w.Header().Set("Retry-After", strconv.Itoa(s.reg.RetryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, err)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
@@ -107,6 +109,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	if js, ok := s.reg.JournalStats(); ok {
 		body["journal"] = map[string]any{
 			"appends":  js.Appends,
+			"syncs":    js.Syncs,
 			"segments": s.reg.JournalSegments(),
 			"errors":   c.JournalErrors,
 		}

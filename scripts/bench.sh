@@ -16,7 +16,8 @@ out=${1:-BENCH_predictor.json}
 benchtime=${BENCHTIME:-100x}
 cpus=${CPUS:-1,4,8}
 tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
+bindir=$(mktemp -d)
+trap 'rm -f "$tmp"; rm -rf "$bindir"' EXIT
 
 # to_json renders `go test -bench` output on stdin as one JSON document.
 # An optional first argument becomes a "note" field.
@@ -73,3 +74,31 @@ to_json "nproc=$(nproc); at GOMAXPROCS=1 the procs sub-benchmarks measure schedu
   < "$tmp.opt" > BENCH_optimizer.json
 rm -f "$tmp.opt"
 echo "wrote BENCH_optimizer.json"
+
+# Daemon soak (BENCH_daemon.json): the load harness drives a
+# 1000-concurrent-job closed loop against one real spawned autopiped,
+# once on the default journal path (group commit) and once with
+# -journal-serial-fsync (every append pays its own fsync — the
+# pre-group-commit behaviour). The headline before/after numbers are
+# result.admission_latency.p99_ms and result.syncs_per_append. The
+# group-commit run also SIGKILLs the daemon afterwards and gates on
+# journal-replay recovery time.
+# Env: SOAK_DURATION (default 15s).
+soak=${SOAK_DURATION:-15s}
+go build -o "$bindir/autopiped" ./cmd/autopiped
+go build -o "$bindir/autopipe-load" ./cmd/autopipe-load
+soak_common=(-spawn 1 -autopiped "$bindir/autopiped" -mode closed \
+  -concurrency 1000 -pool 8 -max-queue 512 -duration "$soak" \
+  -slo-retry-after-range -slo-max-error-rate 0.01)
+"$bindir/autopipe-load" "${soak_common[@]}" \
+  -measure-recovery -slo-max-recovery-sec 30 \
+  -json "$bindir/gc.json" | tail -n 6
+"$bindir/autopipe-load" "${soak_common[@]}" -journal-serial-fsync \
+  -json "$bindir/serial.json" | tail -n 4
+{
+  printf '{\n  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "note": "1000-concurrent-job closed-loop soak against one spawned autopiped (pool 8, queue 512, %s): group_commit is the default journal path, serial_fsync disables coalescing. Compare result.admission_latency.p99_ms and result.syncs_per_append.",\n' "$soak"
+  printf '  "group_commit": %s,\n' "$(cat "$bindir/gc.json")"
+  printf '  "serial_fsync": %s\n}\n' "$(cat "$bindir/serial.json")"
+} > BENCH_daemon.json
+echo "wrote BENCH_daemon.json"
