@@ -73,6 +73,7 @@ const (
 	ChaosDropFlows        = chaos.DropFlows
 	ChaosFlapNIC          = chaos.FlapNIC
 	ChaosKillDaemon       = chaos.KillDaemon
+	ChaosPartition        = chaos.Partition
 )
 
 // Synchronisation schemes.

@@ -21,7 +21,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"os/signal"
@@ -53,6 +55,13 @@ type cliConfig struct {
 	spec        string
 	honorRA     bool
 
+	// Scripted partition (spawned fleets only): isolate the last daemon
+	// partitionAt into the load phase, heal after partitionFor, and time
+	// heal-to-quorum.
+	heartbeat    time.Duration
+	partitionAt  time.Duration
+	partitionFor time.Duration
+
 	measureRecovery bool
 	slo             load.SLO
 	jsonPath        string
@@ -79,6 +88,10 @@ func parseFlags(fs *flag.FlagSet, argv []string) (*cliConfig, error) {
 	fs.StringVar(&c.spec, "spec", "", "JSON job spec to submit (default: a small fast-churn job)")
 	fs.BoolVar(&c.honorRA, "honor-retry-after", false, "closed-loop workers sleep the Retry-After hint after a 429")
 
+	fs.DurationVar(&c.heartbeat, "heartbeat-every", 0, "failure-detector period for spawned fleet daemons (0 = daemon default)")
+	fs.DurationVar(&c.partitionAt, "partition-at", 0, "this long into the load phase, isolate the last spawned daemon with netfault block rules (0 = off; needs -spawn >= 3)")
+	fs.DurationVar(&c.partitionFor, "partition-for", 10*time.Second, "how long the scripted partition holds before healing")
+
 	fs.BoolVar(&c.measureRecovery, "measure-recovery", false, "after the load phase, SIGKILL daemon 0, restart it and time replay-to-healthy (needs -spawn)")
 	fs.Float64Var(&c.slo.AdmissionP99Ms, "slo-admission-p99-ms", 0, "gate: p99 admission latency ceiling, ms (0 = off)")
 	fs.Float64Var(&c.slo.ShedP99Ms, "slo-shed-p99-ms", 0, "gate: p99 429-response latency ceiling, ms (0 = off)")
@@ -88,6 +101,7 @@ func parseFlags(fs *flag.FlagSet, argv []string) (*cliConfig, error) {
 	var rssMB int64
 	fs.Int64Var(&rssMB, "slo-max-rss-mb", 0, "gate: daemon RSS ceiling via /metrics, MiB (0 = off)")
 	fs.Float64Var(&c.slo.MaxRecoverySec, "slo-max-recovery-sec", 0, "gate: post-kill restart-to-healthy ceiling, sec (0 = off)")
+	fs.Float64Var(&c.slo.MaxPartitionRecoverySec, "slo-max-partition-recovery-sec", 0, "gate: heal-to-quorum ceiling after the scripted partition, sec (0 = off)")
 	fs.BoolVar(&c.slo.RetryAfterWithin, "slo-retry-after-range", false, "gate: every Retry-After hint must be within [1,30]s")
 	fs.StringVar(&c.jsonPath, "json", "", "write the JSON report here")
 	fs.StringVar(&c.note, "note", "", "free-form note embedded in the report")
@@ -105,6 +119,9 @@ func parseFlags(fs *flag.FlagSet, argv []string) (*cliConfig, error) {
 	}
 	if c.measureRecovery && c.spawn == 0 {
 		return nil, fmt.Errorf("-measure-recovery needs -spawn (the harness must own the process to kill it)")
+	}
+	if c.partitionAt > 0 && c.spawn < 3 {
+		return nil, fmt.Errorf("-partition-at needs -spawn >= 3 (a strict majority must survive the isolation)")
 	}
 	return c, nil
 }
@@ -189,6 +206,14 @@ func daemonArgs(c *cliConfig, i int, addr, dir, seedPeer string) []string {
 		if seedPeer != "" {
 			args = append(args, "-peers", seedPeer)
 		}
+		if c.heartbeat > 0 {
+			args = append(args, "-heartbeat-every", c.heartbeat.String())
+		}
+		if c.partitionAt > 0 {
+			// Arm the fault injector with no rules; the partition probe
+			// steers it over POST /v1/netfault mid-run.
+			args = append(args, "-netfault", "on")
+		}
 	}
 	return args
 }
@@ -244,6 +269,121 @@ func spawnFleet(ctx context.Context, c *cliConfig) ([]*daemonProc, func(), error
 	return procs, cleanup, nil
 }
 
+// partitionProbe is the scripted-partition outcome merged into Result.
+type partitionProbe struct {
+	recovery        time.Duration
+	fenceRejections int64
+	fencedOut       int64
+	err             error
+}
+
+// clusterViewDoc is the slice of GET /v1/cluster the probe reads.
+type clusterViewDoc struct {
+	Quorum          bool  `json:"quorum"`
+	Minority        bool  `json:"minority"`
+	FenceRejections int64 `json:"fence_rejections_total"`
+	JobsFencedOut   int64 `json:"jobs_fenced_out_total"`
+}
+
+func clusterView(ctx context.Context, client *http.Client, base string) (*clusterViewDoc, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/cluster", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var view clusterViewDoc
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return nil, err
+	}
+	return &view, nil
+}
+
+// scriptPartition isolates the last spawned daemon partitionAt into the
+// load phase: the injector only impairs outbound calls, so the victim
+// blocks everyone and every survivor blocks the victim — a symmetric
+// partition. The inbound control surface is never impaired, which is
+// what makes the scripted heal possible. After partitionFor the rules
+// are cleared and the probe times heal-to-quorum on the victim, then
+// sums fence rejections (stale-owner writes refused) across the fleet.
+func scriptPartition(ctx context.Context, c *cliConfig, procs []*daemonProc) partitionProbe {
+	client := &http.Client{Timeout: 5 * time.Second}
+	victim := procs[len(procs)-1]
+	victimID := fmt.Sprintf("n%d", victim.idx)
+	post := func(base, body string) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			base+"/v1/netfault", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("netfault POST to %s: %s", base, resp.Status)
+		}
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return partitionProbe{err: ctx.Err()}
+	case <-time.After(c.partitionAt):
+	}
+	if err := post(victim.base, fmt.Sprintf(`{"set":[{"src":%q,"dst":"*","block":"reject"}]}`, victimID)); err != nil {
+		return partitionProbe{err: err}
+	}
+	for _, p := range procs[:len(procs)-1] {
+		if err := post(p.base, fmt.Sprintf(`{"set":[{"src":"n%d","dst":%q,"block":"reject"}]}`, p.idx, victim.addr)); err != nil {
+			return partitionProbe{err: err}
+		}
+	}
+	fmt.Printf("partition: isolated %s (%s) for %s\n", victimID, victim.addr, c.partitionFor)
+	select {
+	case <-ctx.Done():
+		return partitionProbe{err: ctx.Err()}
+	case <-time.After(c.partitionFor):
+	}
+	for _, p := range procs {
+		if err := post(p.base, `{"clear":true}`); err != nil {
+			return partitionProbe{err: err}
+		}
+	}
+	heal := time.Now()
+	// Recovered means the victim reaches a majority again AND minority
+	// shedding is lifted — the latter only happens after heal-time
+	// anti-entropy fenced out its stale job copies.
+	var probe partitionProbe
+	deadline := heal.Add(60 * time.Second)
+	for {
+		view, err := clusterView(ctx, client, victim.base)
+		if err == nil && view.Quorum && !view.Minority {
+			probe.recovery = time.Since(heal)
+			break
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			probe.err = fmt.Errorf("victim %s never regained quorum after heal", victimID)
+			return probe
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for _, p := range procs {
+		if view, err := clusterView(ctx, client, p.base); err == nil {
+			probe.fenceRejections += view.FenceRejections
+			probe.fencedOut += view.JobsFencedOut
+		}
+	}
+	fmt.Printf("partition: healed, %s back in quorum after %.2fs; %d stale write(s) fence-rejected, %d job copy(ies) fenced out fleet-wide\n",
+		victimID, probe.recovery.Seconds(), probe.fenceRejections, probe.fencedOut)
+	return probe
+}
+
 // measureRecovery SIGKILLs daemon 0 (a real crash: no deferred cleanup
 // runs), restarts it on the same journal, and times restart-to-healthy
 // — journal replay included. That interval is what the recovery SLO
@@ -295,9 +435,23 @@ func run(ctx context.Context, c *cliConfig) (int, error) {
 	if c.spec != "" {
 		cfg.SpecBody = []byte(c.spec)
 	}
+	var partCh chan partitionProbe
+	if c.partitionAt > 0 {
+		partCh = make(chan partitionProbe, 1)
+		go func() { partCh <- scriptPartition(ctx, c, procs) }()
+	}
 	res, err := load.Run(ctx, cfg)
 	if err != nil {
 		return 2, err
+	}
+	if partCh != nil {
+		probe := <-partCh
+		if probe.err != nil {
+			return 2, fmt.Errorf("partition probe: %w", probe.err)
+		}
+		res.PartitionRecoverySec = probe.recovery.Seconds()
+		res.FenceRejections = probe.fenceRejections
+		res.JobsFencedOut = probe.fencedOut
 	}
 
 	if c.measureRecovery {

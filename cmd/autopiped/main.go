@@ -37,6 +37,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -47,6 +48,7 @@ import (
 
 	"autopipe/internal/fleet"
 	"autopipe/internal/journal"
+	"autopipe/internal/netfault"
 	"autopipe/internal/server"
 )
 
@@ -74,6 +76,12 @@ type daemonConfig struct {
 	advertise      string        // URL peers use to reach this daemon
 	peers          []string      // seed peers' advertise URLs
 	heartbeatEvery time.Duration // failure-detector period
+
+	// Test-only peer-link fault injection (cluster mode). netfaultSpec
+	// holds semicolon-separated rules ("on" = enabled, no initial rules);
+	// a non-zero netfaultSeed also enables the injector on its own.
+	netfaultSpec string
+	netfaultSeed uint64
 }
 
 func main() {
@@ -94,6 +102,8 @@ func main() {
 		advertise    = flag.String("advertise", "", "URL peers use to reach this daemon (default http://<addr>)")
 		peers        = flag.String("peers", "", "comma-separated advertise URLs of already-running peers to join")
 		heartbeat    = flag.Duration("heartbeat-every", fleet.DefaultHeartbeatEvery, "fleet failure-detector period")
+		nfSpec       = flag.String("netfault", "", "TEST ONLY: enable the deterministic peer-link fault injector; semicolon-separated rules like 'src=n1,dst=n2,block=reject' ('on' = no initial rules, steer via POST /v1/netfault)")
+		nfSeed       = flag.Uint64("netfault-seed", 0, "TEST ONLY: seed for the fault injector's loss RNG; non-zero also enables the injector with no initial rules")
 	)
 	flag.Parse()
 
@@ -114,9 +124,14 @@ func main() {
 		readHeaderTimeout: *headerTO, readTimeout: *readTO, idleTimeout: *idleTO,
 		nodeID: *nodeID, advertise: *advertise,
 		peers: splitPeers(*peers), heartbeatEvery: *heartbeat,
+		netfaultSpec: *nfSpec, netfaultSeed: *nfSeed,
 	}
 	if cfg.nodeID == "" && (len(cfg.peers) > 0 || cfg.advertise != "") {
 		fmt.Fprintln(os.Stderr, "autopiped: -peers/-advertise require -node-id")
+		os.Exit(1)
+	}
+	if cfg.nodeID == "" && (cfg.netfaultSpec != "" || cfg.netfaultSeed != 0) {
+		fmt.Fprintln(os.Stderr, "autopiped: -netfault/-netfault-seed require cluster mode (-node-id)")
 		os.Exit(1)
 	}
 	if err := run(ctx, lis, cfg, logger); err != nil {
@@ -135,6 +150,44 @@ func splitPeers(s string) []string {
 		}
 	}
 	return out
+}
+
+// buildNetfault constructs the test-only peer-link fault injector when
+// the -netfault/-netfault-seed flags ask for one. Rules are
+// semicolon-separated ParseRule strings; the literal "on" (or a bare
+// non-zero seed) enables the injector with an empty rule set so a
+// harness steers it entirely through POST /v1/netfault. Peers are
+// addressed by advertised host:port or "*": the daemon only learns peer
+// IDs at runtime, so ID-addressed rules resolve for the local node
+// alone.
+func buildNetfault(cfg daemonConfig, advertise string, logger *log.Logger) (*netfault.Injector, error) {
+	if cfg.netfaultSpec == "" && cfg.netfaultSeed == 0 {
+		return nil, nil
+	}
+	seed := cfg.netfaultSeed
+	if seed == 0 {
+		seed = 1
+	}
+	inj := netfault.New(seed)
+	if u, err := url.Parse(advertise); err == nil && u.Host != "" {
+		inj.Bind(cfg.nodeID, u.Host)
+	}
+	var rules []netfault.Rule
+	if spec := cfg.netfaultSpec; spec != "" && spec != "on" {
+		for _, part := range strings.Split(spec, ";") {
+			if part = strings.TrimSpace(part); part == "" {
+				continue
+			}
+			r, err := netfault.ParseRule(part)
+			if err != nil {
+				return nil, fmt.Errorf("-netfault rule %q: %w", part, err)
+			}
+			rules = append(rules, r)
+		}
+		inj.SetRules(rules...)
+	}
+	logger.Printf("netfault injector armed (seed %d, %d initial rules) — TEST MODE, peer links may be impaired", seed, len(rules))
+	return inj, nil
 }
 
 // HTTP hardening defaults: generous for any legitimate client, finite
@@ -249,12 +302,16 @@ func run(ctx context.Context, lis net.Listener, cfg daemonConfig, logger *log.Lo
 		if adv == "" {
 			adv = "http://" + lis.Addr().String()
 		}
-		var err error
+		inj, err := buildNetfault(cfg, adv, logger)
+		if err != nil {
+			return err
+		}
 		node, err = fleet.New(fleet.Config{
 			ID:             cfg.nodeID,
 			Advertise:      adv,
 			Peers:          cfg.peers,
 			HeartbeatEvery: cfg.heartbeatEvery,
+			Fault:          inj,
 			Logf:           logger.Printf,
 		}, opts)
 		if err != nil {

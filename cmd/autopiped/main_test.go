@@ -16,6 +16,8 @@ import (
 	"strings"
 	"syscall"
 	"testing"
+
+	"autopipe/internal/netfault"
 	"time"
 )
 
@@ -418,6 +420,85 @@ func TestDaemonClusterMode(t *testing.T) {
 		case <-time.After(30 * time.Second):
 			t.Fatal("daemon did not shut down")
 		}
+	}
+}
+
+// TestDaemonNetfault boots a cluster-mode daemon with the test-only
+// fault injector armed via flags and steers it over HTTP: the initial
+// rule from -netfault lands, a POST replaces the rule set, and clear
+// heals. Also pins the flag-validation path for a malformed rule.
+func TestDaemonNetfault(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + lis.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, lis, daemonConfig{
+			pool: 1, drainTimeout: 5 * time.Second, maxQueue: 8,
+			nodeID: "n1", advertise: base, heartbeatEvery: 50 * time.Millisecond,
+			netfaultSpec: "src=n1,dst=*,latency=1ms", netfaultSeed: 7,
+		}, log.New(io.Discard, "", 0))
+	}()
+	waitHealthy(t, base)
+
+	var state struct {
+		Rules []netfault.Rule `json:"rules"`
+	}
+	getState := func() {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/netfault")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		state.Rules = nil
+		if err := json.NewDecoder(resp.Body).Decode(&state); err != nil {
+			t.Fatal(err)
+		}
+	}
+	getState()
+	if len(state.Rules) != 1 || state.Rules[0].Src != "n1" || state.Rules[0].LatencyMS != 1 {
+		t.Fatalf("initial rules %+v, want the -netfault flag's latency rule", state.Rules)
+	}
+
+	resp, err := http.Post(base+"/v1/netfault", "application/json",
+		strings.NewReader(`{"set":[{"src":"n1","dst":"n2","block":"reject"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	getState()
+	if len(state.Rules) != 1 || state.Rules[0].Block != netfault.BlockReject {
+		t.Fatalf("rules after set %+v, want one reject rule", state.Rules)
+	}
+
+	resp, err = http.Post(base+"/v1/netfault", "application/json", strings.NewReader(`{"clear":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	getState()
+	if len(state.Rules) != 0 {
+		t.Fatalf("rules after clear %+v, want none", state.Rules)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon run returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+
+	// A malformed rule must refuse startup, not arm a half-parsed set.
+	if _, err := buildNetfault(daemonConfig{nodeID: "n1", netfaultSpec: "src=n1,bogus=1"},
+		base, log.New(io.Discard, "", 0)); err == nil {
+		t.Fatal("buildNetfault accepted a rule with an unknown key")
 	}
 }
 

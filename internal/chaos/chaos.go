@@ -55,6 +55,15 @@ const (
 	// the autopiped daemon, goroutine teardown in tests); with no hook
 	// registered the event only records itself in DaemonKilled.
 	KillDaemon
+	// Partition invokes the injector's registered partition hook at time
+	// At — or, when Match is non-empty, at the injection of the first
+	// flow whose name contains Match, which severs the hosting daemon's
+	// peer links precisely mid-switch. Unlike KillDaemon the matched
+	// flow proceeds normally: a network partition isolates the control
+	// plane, not the simulated training fabric, so the job keeps running
+	// on its (now minority) host. With no hook registered the event only
+	// records itself in Partitioned.
+	Partition
 )
 
 // Event is one scheduled fault.
@@ -92,11 +101,15 @@ type Injector struct {
 	dropMatch       []string
 	armedDaemonKill []string // pending flow-triggered KillDaemon matches
 	daemonKill      func()
+	armedPartition  []string // pending flow-triggered Partition matches
+	partition       func()
 
 	// Killed lists workers killed so far, in kill order.
 	Killed []int
 	// DaemonKilled reports that a KillDaemon event fired.
 	DaemonKilled bool
+	// Partitioned reports that a Partition event fired.
+	Partitioned bool
 }
 
 // Install schedules the spec's faults and registers the flow-fault hook
@@ -130,6 +143,11 @@ func (e Event) kindName() string {
 			return fmt.Sprintf("kill-daemon-on-flow(%s)", e.Match)
 		}
 		return "kill-daemon"
+	case Partition:
+		if e.Match != "" {
+			return fmt.Sprintf("partition-on-flow(%s)", e.Match)
+		}
+		return "partition"
 	}
 	return "unknown"
 }
@@ -139,10 +157,23 @@ func (e Event) kindName() string {
 // deterministic virtual time or flow injection.
 func (inj *Injector) SetDaemonKill(fn func()) { inj.daemonKill = fn }
 
+// SetPartition registers the hook Partition events invoke — typically a
+// closure applying netfault rules that cut the hosting daemon off from
+// its fleet peers. Like the daemon-kill hook it runs on the simulation
+// goroutine at a deterministic virtual time or flow injection.
+func (inj *Injector) SetPartition(fn func()) { inj.partition = fn }
+
 func (inj *Injector) fireDaemonKill() {
 	inj.DaemonKilled = true
 	if inj.daemonKill != nil {
 		inj.daemonKill()
+	}
+}
+
+func (inj *Injector) firePartition() {
+	inj.Partitioned = true
+	if inj.partition != nil {
+		inj.partition()
 	}
 }
 
@@ -163,6 +194,12 @@ func (inj *Injector) apply(ev Event) {
 			return
 		}
 		inj.fireDaemonKill()
+	case Partition:
+		if ev.Match != "" {
+			inj.armedPartition = append(inj.armedPartition, ev.Match)
+			return
+		}
+		inj.firePartition()
 	case FlapNIC:
 		prev := inj.cl.Servers[0].NICBwBps
 		inj.cl.SetNICBandwidth(cluster.Gbps(ev.Gbps))
@@ -204,6 +241,14 @@ func (inj *Injector) fault(src, dst int, name string) netsim.FlowFault {
 			// dropped, like any transfer torn by a process death.
 			inj.fireDaemonKill()
 			return netsim.FaultDrop
+		}
+	}
+	for i, match := range inj.armedPartition {
+		if strings.Contains(name, match) {
+			inj.armedPartition = append(inj.armedPartition[:i], inj.armedPartition[i+1:]...)
+			// Control-plane partition only: the matched flow delivers.
+			inj.firePartition()
+			break
 		}
 	}
 	for i, match := range inj.armedKills {

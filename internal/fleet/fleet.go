@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"sort"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"autopipe/internal/journal"
+	"autopipe/internal/netfault"
 	"autopipe/internal/server"
 )
 
@@ -63,6 +65,11 @@ type Config struct {
 	VNodes int
 	// Client performs peer HTTP calls (default: 5s timeout).
 	Client *http.Client
+	// Fault, when non-nil, interposes a deterministic network-fault
+	// injector on every outbound peer call and exposes the /v1/netfault
+	// control endpoint. Test and chaos tooling only: production fleets
+	// leave it nil.
+	Fault *netfault.Injector
 	// Logf receives operational events (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -85,6 +92,11 @@ type Node struct {
 	seq       int
 	closing   bool
 	adoptions map[string][]journal.Record // job id -> records it was adopted from
+	fencedTo  map[string]string           // job id -> node now owning it at a higher fence
+
+	// quorumOK tracks the last quorum evaluation; flipping it drives the
+	// registry in and out of minority mode.
+	quorumOK atomic.Bool
 
 	killed   atomic.Bool
 	stopOnce sync.Once
@@ -94,15 +106,19 @@ type Node struct {
 	replCh chan journal.Record
 
 	// Counters for /metrics and /v1/cluster.
-	forwarded     atomic.Int64
-	adopted       atomic.Int64
-	replSent      atomic.Int64
-	replDropped   atomic.Int64
-	replErrors    atomic.Int64
-	handoffSent   atomic.Int64
-	handoffRecv   atomic.Int64
-	heartbeatsOK  atomic.Int64
-	heartbeatsBad atomic.Int64
+	forwarded       atomic.Int64
+	adopted         atomic.Int64
+	replSent        atomic.Int64
+	replDropped     atomic.Int64
+	replErrors      atomic.Int64
+	handoffSent     atomic.Int64
+	handoffRecv     atomic.Int64
+	heartbeatsOK    atomic.Int64
+	heartbeatsBad   atomic.Int64
+	fenceRejections atomic.Int64
+	minorityFlips   atomic.Int64
+	adoptSuppressed atomic.Int64
+	digestErrors    atomic.Int64
 }
 
 // New builds a fleet node around a registry constructed from sopts.
@@ -135,11 +151,21 @@ func New(cfg Config, sopts server.Options) (*Node, error) {
 		store:     newReplicaStore(),
 		client:    cfg.Client,
 		adoptions: map[string][]journal.Record{},
+		fencedTo:  map[string]string{},
 		stop:      make(chan struct{}),
 		replCh:    make(chan journal.Record, 1024),
 	}
+	n.quorumOK.Store(true)
 	if n.client == nil {
 		n.client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if cfg.Fault != nil {
+		// Interpose the fault injector on outbound peer traffic only:
+		// inbound requests (including /v1/netfault control calls) are
+		// never impaired, so a partitioned node stays steerable.
+		faulted := *n.client
+		faulted.Transport = cfg.Fault.Transport(cfg.ID, n.client.Transport)
+		n.client = &faulted
 	}
 	sopts.NodeID = cfg.ID
 	prevOnRecord := sopts.OnRecord
@@ -310,6 +336,27 @@ type leaveRequest struct {
 	ID string `json:"id"`
 }
 
+// digestRequest/digestResponse carry the heal-time anti-entropy
+// exchange: each side lists every hosted job's fence epoch, and each
+// side fences out its own copies that a higher remote epoch supersedes.
+type digestRequest struct {
+	From string            `json:"from"`
+	Jobs []server.JobFence `json:"jobs"`
+}
+
+type digestResponse struct {
+	ID   string            `json:"id"`
+	Jobs []server.JobFence `json:"jobs"`
+}
+
+// netfaultRequest is the /v1/netfault control body. Clear runs first,
+// then Set (atomic replace), then Add.
+type netfaultRequest struct {
+	Clear bool            `json:"clear,omitempty"`
+	Set   []netfault.Rule `json:"set,omitempty"`
+	Add   []netfault.Rule `json:"add,omitempty"`
+}
+
 type localJobsResponse struct {
 	Node string           `json:"node"`
 	Jobs []server.JobInfo `json:"jobs"`
@@ -323,6 +370,15 @@ type ClusterView struct {
 	ReplicatedJobs map[string]int `json:"replicated_jobs,omitempty"`
 	JobsAdopted    int64          `json:"jobs_adopted_total"`
 	Forwarded      int64          `json:"forwarded_requests_total"`
+	// Quorum reports whether this node currently reaches a strict
+	// majority of the membership; Minority mirrors the registry's
+	// shedding mode (they differ only transiently).
+	Quorum          bool  `json:"quorum"`
+	Minority        bool  `json:"minority"`
+	FenceRejections int64 `json:"fence_rejections_total"`
+	// JobsFencedOut counts local job copies this node abandoned to a
+	// higher fence epoch — the heal-time anti-entropy outcome.
+	JobsFencedOut int64 `json:"jobs_fenced_out_total"`
 }
 
 // --- HTTP surface ---
@@ -341,6 +397,11 @@ func (n *Node) buildMux() {
 	n.mux.HandleFunc("POST /v1/fleet/submit", n.handleFleetSubmit)
 	n.mux.HandleFunc("POST /v1/fleet/leave", n.handleLeave)
 	n.mux.HandleFunc("GET /v1/fleet/jobs", n.handleLocalJobs)
+	n.mux.HandleFunc("POST /v1/fleet/digest", n.handleDigest)
+	if n.cfg.Fault != nil {
+		n.mux.HandleFunc("POST /v1/netfault", n.handleNetfault)
+		n.mux.HandleFunc("GET /v1/netfault", n.handleNetfaultGet)
+	}
 	n.mux.Handle("/", n.base.Handler())
 }
 
@@ -352,6 +413,14 @@ func (n *Node) self() memberInfo {
 // assigns a globally unique ID, and either hosts the job (it is the
 // ring owner) or proxies it to the owner.
 func (n *Node) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	if n.reg.Minority() {
+		// A minority node must not act as a gateway either: even if the
+		// ring owner happens to be reachable (asymmetric partition), an
+		// acknowledgement from this side of the split is not trustworthy.
+		w.Header().Set("Retry-After", strconv.Itoa(n.reg.RetryAfterSeconds()))
+		writeError(w, http.StatusServiceUnavailable, server.ErrMinority)
+		return
+	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
 	var spec server.JobSpec
@@ -402,6 +471,9 @@ func (n *Node) submitLocal(w http.ResponseWriter, id string, spec server.JobSpec
 	info, err := n.reg.SubmitWithID(id, spec)
 	switch {
 	case errors.Is(err, server.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, server.ErrMinority):
+		w.Header().Set("Retry-After", strconv.Itoa(n.reg.RetryAfterSeconds()))
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, server.ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(n.reg.RetryAfterSeconds()))
@@ -462,6 +534,19 @@ func (n *Node) proxyJob(w http.ResponseWriter, req *http.Request, local func(str
 		writeJSON(w, http.StatusOK, info)
 		return
 	}
+	// If fencing moved the job to another node while this one was
+	// partitioned, relay to the recorded adopter. This fires even for
+	// already-forwarded requests — each fencedTo hop points at a node
+	// holding the job at a strictly higher fence, so a chain of relays
+	// cannot cycle; a stale mapping degrades to 404, never a loop.
+	n.mu.Lock()
+	dest := n.fencedTo[id]
+	n.mu.Unlock()
+	if addr := n.members.addr(dest); dest != "" && addr != "" {
+		n.forwarded.Add(1)
+		n.relay(w, req.Method, addr+"/v1/jobs/"+url.PathEscape(id), nil)
+		return
+	}
 	owner := n.ring.Owner(id)
 	if req.Header.Get(forwardedHeader) != "" || owner == n.cfg.ID || owner == "" {
 		writeError(w, http.StatusNotFound, err)
@@ -480,12 +565,16 @@ func (n *Node) handleCluster(w http.ResponseWriter, req *http.Request) {
 	peers := n.members.snapshot()
 	sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
 	writeJSON(w, http.StatusOK, ClusterView{
-		Self:           n.self(),
-		Ring:           n.ring.Nodes(),
-		Peers:          peers,
-		ReplicatedJobs: n.store.jobCount(),
-		JobsAdopted:    n.adopted.Load(),
-		Forwarded:      n.forwarded.Load(),
+		Self:            n.self(),
+		Ring:            n.ring.Nodes(),
+		Peers:           peers,
+		ReplicatedJobs:  n.store.jobCount(),
+		JobsAdopted:     n.adopted.Load(),
+		Forwarded:       n.forwarded.Load(),
+		Quorum:          n.quorumOK.Load(),
+		Minority:        n.reg.Minority(),
+		FenceRejections: n.fenceRejections.Load(),
+		JobsFencedOut:   n.reg.Counters().FencedOut,
 	})
 }
 
@@ -529,8 +618,84 @@ func (n *Node) handleReplicate(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("bad replicate request"))
 		return
 	}
-	n.store.apply(rr.From, rr.Full, rr.Records)
-	writeJSON(w, http.StatusOK, map[string]int{"accepted": len(rr.Records)})
+	rejected := n.store.apply(rr.From, rr.Full, rr.Records)
+	if rejected > 0 {
+		n.fenceRejections.Add(int64(rejected))
+		n.cfg.Logf("fleet %s: rejected %d stale-fence records from %s", n.cfg.ID, rejected, rr.From)
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": len(rr.Records) - rejected, "fence_rejected": rejected})
+}
+
+// handleDigest is the receiving half of heal-time anti-entropy: fold in
+// the caller's fence digest, then answer with ours so one exchange
+// converges both sides.
+func (n *Node) handleDigest(w http.ResponseWriter, req *http.Request) {
+	var dr digestRequest
+	if err := json.NewDecoder(req.Body).Decode(&dr); err != nil || dr.From == "" {
+		writeError(w, http.StatusBadRequest, errors.New("bad digest request"))
+		return
+	}
+	n.processDigest(dr.From, dr.Jobs)
+	writeJSON(w, http.StatusOK, digestResponse{ID: n.cfg.ID, Jobs: n.reg.HostedFences()})
+}
+
+// processDigest reconciles a peer's per-job fence digest against the
+// local registry: any local copy superseded by a higher remote epoch is
+// fenced out (cancelled, discarded, journal tail compacted away), and
+// the job's new host is remembered so per-job API requests relay there.
+// Highest fence wins; the registry's terminal-completed guard keeps
+// finished local results in place.
+func (n *Node) processDigest(from string, jobs []server.JobFence) {
+	for _, d := range jobs {
+		if d.ID == "" {
+			continue
+		}
+		local, hosted := n.reg.Fence(d.ID)
+		if hosted && d.Fence <= local {
+			continue // our copy is current or newer: nothing to cede
+		}
+		if hosted {
+			if !n.reg.FenceOut(d.ID, d.Fence) {
+				continue // terminal-completed guard (or a raced fence-out)
+			}
+			n.cfg.Logf("fleet %s: fenced out %s at epoch %d (owned by %s)", n.cfg.ID, d.ID, d.Fence, from)
+		}
+		n.mu.Lock()
+		n.fencedTo[d.ID] = from
+		n.mu.Unlock()
+	}
+}
+
+// handleNetfault steers the test-only fault injector. Inbound HTTP is
+// never impaired by the injector, so this endpoint stays reachable on a
+// "partitioned" node — that is what makes scripted heal possible.
+func (n *Node) handleNetfault(w http.ResponseWriter, req *http.Request) {
+	var nr netfaultRequest
+	if err := json.NewDecoder(req.Body).Decode(&nr); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad netfault request: %w", err))
+		return
+	}
+	if nr.Clear {
+		n.cfg.Fault.Clear()
+	}
+	if nr.Set != nil {
+		n.cfg.Fault.SetRules(nr.Set...)
+	}
+	if len(nr.Add) > 0 {
+		n.cfg.Fault.AddRules(nr.Add...)
+	}
+	n.writeNetfaultState(w)
+}
+
+func (n *Node) handleNetfaultGet(w http.ResponseWriter, req *http.Request) {
+	n.writeNetfaultState(w)
+}
+
+func (n *Node) writeNetfaultState(w http.ResponseWriter) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"rules": n.cfg.Fault.Rules(),
+		"stats": n.cfg.Fault.Stats(),
+	})
 }
 
 func (n *Node) handleLeave(w http.ResponseWriter, req *http.Request) {
@@ -552,7 +717,15 @@ func (n *Node) handleLeave(w http.ResponseWriter, req *http.Request) {
 
 func (n *Node) heartbeatLoop() {
 	defer n.wg.Done()
-	t := time.NewTicker(n.cfg.HeartbeatEvery)
+	// Jitter each round ±20% around the configured period, seeded from
+	// the node ID so replays are deterministic. Without jitter a fleet
+	// started by one script heartbeats in lockstep forever, thundering
+	// the same instant every period.
+	rng := rand.New(rand.NewSource(int64(hashKey(n.cfg.ID))))
+	jittered := func() time.Duration {
+		return time.Duration(float64(n.cfg.HeartbeatEvery) * (0.8 + 0.4*rng.Float64()))
+	}
+	t := time.NewTimer(jittered())
 	defer t.Stop()
 	ticks := 0
 	for {
@@ -564,12 +737,18 @@ func (n *Node) heartbeatLoop() {
 			if ticks++; ticks%resyncTicks == 0 {
 				n.resyncAll()
 			}
+			t.Reset(jittered())
 		}
 	}
 }
 
 func (n *Node) heartbeatRound() {
 	targets := n.members.targets()
+	if !n.quorumOK.Load() {
+		// Without quorum, probe even peers held dead: rejoining the
+		// majority by direct contact is this node's only way back.
+		targets = n.members.rejoinTargets()
+	}
 	var wg sync.WaitGroup
 	for _, t := range targets {
 		wg.Add(1)
@@ -588,8 +767,14 @@ func (n *Node) heartbeatRound() {
 				return
 			}
 			n.heartbeatsOK.Add(1)
-			if n.members.observe(t.ID, t.Addr, time.Since(start)) {
+			revived := n.members.observe(t.ID, t.Addr, time.Since(start))
+			if revived {
 				n.ring.Add(t.ID)
+				// A dead peer speaking again is a partition healing: swap
+				// fence digests immediately rather than waiting for its
+				// side to notice us, so at most one side briefly runs a
+				// superseded copy.
+				n.sendDigestTo(t)
 			}
 			for _, id := range n.members.merge(n.cfg.ID, resp.Members) {
 				n.ring.Add(id)
@@ -597,6 +782,68 @@ func (n *Node) heartbeatRound() {
 		}(t)
 	}
 	wg.Wait()
+	n.updateQuorum()
+	n.retryAdoptions()
+}
+
+// retryAdoptions adopts replicas still held for peers already declared
+// dead. The died transition fires exactly once, so an adoption
+// suppressed during a transient quorum dip would otherwise be lost
+// forever; this runs every round and is a no-op once the store drains.
+func (n *Node) retryAdoptions() {
+	if !n.quorumOK.Load() {
+		return
+	}
+	for _, src := range n.store.sources() {
+		if n.members.isDead(src) {
+			n.adoptFrom(src)
+		}
+	}
+}
+
+// updateQuorum re-evaluates majority reachability after a heartbeat
+// round and drives the registry in and out of minority mode on flips.
+// Healing runs reconciliation BEFORE lifting minority mode: paused jobs
+// that a majority node adopted must be fenced out while still paused, or
+// they would race their adopted twins in the resume window.
+func (n *Node) updateQuorum() {
+	ok := n.members.quorum()
+	if !n.quorumOK.CompareAndSwap(!ok, ok) {
+		return // no flip
+	}
+	n.minorityFlips.Add(1)
+	if !ok {
+		n.cfg.Logf("fleet %s: lost quorum, entering minority mode", n.cfg.ID)
+		n.reg.SetMinority(true)
+		return
+	}
+	n.cfg.Logf("fleet %s: regained quorum, reconciling before resume", n.cfg.ID)
+	n.reconcile()
+	n.reg.SetMinority(false)
+}
+
+// reconcile exchanges fence digests with every probe-able peer. Called
+// on quorum regain; the revival path in heartbeatRound covers the
+// majority side, so between them both halves of a healed partition
+// converge within one round.
+func (n *Node) reconcile() {
+	for _, t := range n.members.targets() {
+		n.sendDigestTo(t)
+	}
+}
+
+func (n *Node) sendDigestTo(t memberInfo) {
+	if t.Addr == "" {
+		return
+	}
+	var resp digestResponse
+	err := n.post(t.Addr+"/v1/fleet/digest", digestRequest{From: n.cfg.ID, Jobs: n.reg.HostedFences()}, &resp)
+	if err != nil {
+		n.digestErrors.Add(1)
+		n.cfg.Logf("fleet %s: digest exchange with %s failed: %v", n.cfg.ID, t.ID, err)
+		return
+	}
+	n.processDigest(resp.ID, resp.Jobs)
 }
 
 // adoptFrom takes over the replicated jobs of a dead (or cleanly left)
@@ -604,6 +851,16 @@ func (n *Node) heartbeatRound() {
 // store holds exactly the jobs whose new owner is this node; the
 // ownership re-check only drops replicas orphaned by membership drift.
 func (n *Node) adoptFrom(deadID string) {
+	// Quorum gate: declaring a peer dead is only actionable from the
+	// majority side of a split. Check membership fresh (not the cached
+	// flag) — the caller just marked deadID dead, so the count already
+	// reflects it; a minority node suppresses adoption entirely and the
+	// true majority's adopter wins the fence race unopposed.
+	if !n.members.quorum() {
+		n.adoptSuppressed.Add(1)
+		n.cfg.Logf("fleet %s: suppressing adoption from %s (no quorum)", n.cfg.ID, deadID)
+		return
+	}
 	n.ring.Remove(deadID)
 	streams := n.store.take(deadID)
 	ids := make([]string, 0, len(streams))

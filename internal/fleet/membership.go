@@ -127,7 +127,31 @@ func (ms *membership) markLeft(id string) bool {
 	}
 	p.left = true
 	p.state = peerDead
+	p.rttSec = 0 // stop publishing a stale RTT for a gone peer
 	return true
+}
+
+// quorum reports whether this node can reach a strict majority of the
+// known membership. Suspect peers count as unreachable, so a
+// partitioned node stops taking side-effecting actions well before its
+// dead threshold; dead peers stay in the denominator because a crash
+// and a partition are indistinguishable from the minority side — only
+// an announced graceful leave shrinks the electorate. A node with no
+// peers is its own majority (single-node degradation).
+func (ms *membership) quorum() bool {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	total, reachable := 1, 1 // self
+	for _, p := range ms.peers {
+		if p.left {
+			continue
+		}
+		total++
+		if p.state == peerAlive {
+			reachable++
+		}
+	}
+	return reachable*2 > total
 }
 
 // fail records a heartbeat failure and advances the state machine.
@@ -147,11 +171,21 @@ func (ms *membership) fail(id string, suspectAfter, deadAfter time.Duration) (st
 	switch {
 	case quiet >= deadAfter:
 		p.state = peerDead
+		p.rttSec = 0 // the last measured RTT is meaningless for a corpse
 		return peerDead, true
 	case quiet >= suspectAfter:
 		p.state = peerSuspect
 	}
 	return p.state, false
+}
+
+// isDead reports whether a peer is held dead (graceful leavers are not
+// dead: their jobs were adopted at leave time).
+func (ms *membership) isDead(id string) bool {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	p, ok := ms.peers[id]
+	return ok && !p.left && p.state == peerDead
 }
 
 // targets returns the peers the heartbeat loop should probe: everyone
@@ -164,6 +198,24 @@ func (ms *membership) targets() []memberInfo {
 		if p.state != peerDead && !p.left {
 			out = append(out, memberInfo{ID: p.id, Addr: p.addr})
 		}
+	}
+	return out
+}
+
+// rejoinTargets returns every non-left peer, dead ones included. A
+// node that lost quorum probes with this wider set: both sides of a
+// severed link eventually hold each other dead and stop probing, so
+// without it a healed partition would never reconnect — the minority
+// side keeps knocking because direct contact is its only way back.
+func (ms *membership) rejoinTargets() []memberInfo {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	var out []memberInfo
+	for _, p := range ms.peers {
+		if p.left {
+			continue
+		}
+		out = append(out, memberInfo{ID: p.id, Addr: p.addr})
 	}
 	return out
 }

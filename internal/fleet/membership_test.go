@@ -1,0 +1,169 @@
+package fleet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// fakeClock drives membership time deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time               { return c.t }
+func (c *fakeClock) advance(d time.Duration)      { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock                    { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+func stateOf(ms *membership, id string) peerState { return ms.peers[id].state }
+
+// TestGossipReorderingProperty: membership gossip is hearsay. However
+// delayed or reordered the gossiped member lists arrive, they must
+// never revive a peer this node declared dead, and a peer's state must
+// never regress (dead → suspect/alive, suspect → alive) without direct
+// contact. 200 seeded runs shuffle stale gossip batches — captured
+// while the victim was still alive — against the failure detector's
+// transitions and check both invariants after every step.
+func TestGossipReorderingProperty(t *testing.T) {
+	const (
+		suspectAfter = 3 * time.Second
+		deadAfter    = 8 * time.Second
+	)
+	rank := map[peerState]int{peerAlive: 0, peerSuspect: 1, peerDead: 2}
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		clock := newFakeClock()
+		ms := newMembership(clock.now)
+		ms.observe("victim", "addr-v", 0)
+		ms.observe("bystander", "addr-b", 0)
+
+		// Gossip captured while the victim was alive: every batch
+		// vouches for it, from assorted senders, some with fresh
+		// addresses. Delivery below is delayed past the victim's death
+		// and shuffled.
+		stale := make([][]memberInfo, 8)
+		for i := range stale {
+			batch := []memberInfo{{ID: "victim", Addr: "addr-v"}}
+			if rng.Intn(2) == 0 {
+				batch = append(batch, memberInfo{ID: "bystander", Addr: "addr-b"})
+			}
+			if rng.Intn(3) == 0 {
+				batch = append(batch, memberInfo{ID: "victim", Addr: "addr-v-moved"})
+			}
+			rng.Shuffle(len(batch), func(a, b int) { batch[a], batch[b] = batch[b], batch[a] })
+			stale[i] = batch
+		}
+		rng.Shuffle(len(stale), func(a, b int) { stale[a], stale[b] = stale[b], stale[a] })
+
+		// Drive the victim through alive → suspect → dead with random
+		// clock steps, interleaving stale gossip at every opportunity.
+		died := false
+		step := func() {
+			clock.advance(time.Duration(500+rng.Intn(1500)) * time.Millisecond)
+			before := stateOf(ms, "victim")
+			_, d := ms.fail("victim", suspectAfter, deadAfter)
+			if d {
+				died = true
+			}
+			after := stateOf(ms, "victim")
+			if rank[after] < rank[before] {
+				t.Fatalf("seed %d: fail() regressed victim %v -> %v", seed, before, after)
+			}
+		}
+		deliver := func() {
+			if len(stale) == 0 {
+				return
+			}
+			batch := stale[0]
+			stale = stale[1:]
+			before := stateOf(ms, "victim")
+			ms.merge("self", batch)
+			after := stateOf(ms, "victim")
+			if rank[after] < rank[before] {
+				t.Fatalf("seed %d: merge regressed victim %v -> %v", seed, before, after)
+			}
+		}
+		for !died || len(stale) > 0 {
+			if rng.Intn(2) == 0 && !died {
+				step()
+			} else {
+				deliver()
+			}
+			if died && stateOf(ms, "victim") != peerDead {
+				t.Fatalf("seed %d: victim revived by hearsay (state %v)", seed, stateOf(ms, "victim"))
+			}
+		}
+		if !ms.isDead("victim") {
+			t.Fatalf("seed %d: victim not dead after the full schedule", seed)
+		}
+		// The bystander never failed a probe: hearsay must not have
+		// touched it either.
+		if stateOf(ms, "bystander") != peerAlive {
+			t.Fatalf("seed %d: bystander state %v from gossip alone", seed, stateOf(ms, "bystander"))
+		}
+		// Dead stays in the quorum denominator: self + bystander vs a
+		// 3-member electorate is a strict majority, exactly 2*2 > 3.
+		if !ms.quorum() {
+			t.Fatalf("seed %d: lost quorum with a majority reachable", seed)
+		}
+		// Only direct contact revives.
+		if !ms.observe("victim", "addr-v", time.Millisecond) {
+			t.Fatalf("seed %d: direct contact did not report a revival", seed)
+		}
+		if stateOf(ms, "victim") != peerAlive {
+			t.Fatalf("seed %d: victim not alive after direct contact", seed)
+		}
+	}
+}
+
+// TestQuorumElectorate pins the quorum rule's edge cases: a lone node
+// is its own majority, suspects count as unreachable, the dead stay in
+// the denominator, and graceful leavers shrink the electorate.
+func TestQuorumElectorate(t *testing.T) {
+	clock := newFakeClock()
+	ms := newMembership(clock.now)
+	if !ms.quorum() {
+		t.Fatal("single node must be its own majority")
+	}
+	ms.observe("b", "addr-b", 0)
+	ms.observe("c", "addr-c", 0)
+	if !ms.quorum() {
+		t.Fatal("3/3 reachable must be quorate")
+	}
+
+	// b goes quiet: suspect at 3s — already unreachable for quorum —
+	// and dead at 8s; both leave 2/3 reachable, still a majority.
+	clock.advance(4 * time.Second)
+	ms.fail("b", 3*time.Second, 8*time.Second)
+	if st := stateOf(ms, "b"); st != peerSuspect {
+		t.Fatalf("b state %v, want suspect", st)
+	}
+	if !ms.quorum() {
+		t.Fatal("2/3 reachable must be quorate")
+	}
+	clock.advance(5 * time.Second)
+	ms.fail("b", 3*time.Second, 8*time.Second)
+	if !ms.isDead("b") {
+		t.Fatal("b should be dead")
+	}
+	if !ms.quorum() {
+		t.Fatal("dead peers stay in the denominator; 2/3 is still a majority")
+	}
+
+	// c goes quiet too: 1/3 reachable is a minority.
+	ms.observe("c", "addr-c", 0) // refresh, then silence
+	clock.advance(4 * time.Second)
+	ms.fail("c", 3*time.Second, 8*time.Second)
+	if ms.quorum() {
+		t.Fatal("1/3 reachable must not be quorate")
+	}
+
+	// c leaves gracefully: the electorate shrinks to {self, b-dead};
+	// 1/2 is not a strict majority — but once b also leaves, a lone
+	// survivor is its own majority again.
+	ms.markLeft("c")
+	if ms.quorum() {
+		t.Fatal("1/2 reachable is not a strict majority")
+	}
+	ms.markLeft("b")
+	if !ms.quorum() {
+		t.Fatal("sole remaining member must be its own majority")
+	}
+}

@@ -51,6 +51,26 @@ func (n *Node) writeFleetMetrics(w io.Writer) {
 	counter("autopiped_fleet_heartbeat_failures_total",
 		"Heartbeat attempts that failed.", n.heartbeatsBad.Load())
 
+	quorum, minority := 0.0, 0.0
+	if n.quorumOK.Load() {
+		quorum = 1
+	}
+	if n.reg.Minority() {
+		minority = 1
+	}
+	gauge("autopiped_fleet_quorum",
+		"1 while this node reaches a strict majority of the membership.", quorum)
+	gauge("autopiped_fleet_minority",
+		"1 while the registry sheds and pauses work for lack of quorum.", minority)
+	counter("autopiped_fleet_fence_rejections_total",
+		"Replicated records and writes refused for carrying a stale ownership fence.", n.fenceRejections.Load())
+	counter("autopiped_fleet_minority_flips_total",
+		"Quorum state transitions in either direction.", n.minorityFlips.Load())
+	counter("autopiped_fleet_adoptions_suppressed_total",
+		"Dead-peer adoptions skipped because this node lacked quorum.", n.adoptSuppressed.Load())
+	counter("autopiped_fleet_digest_errors_total",
+		"Heal-time fence digest exchanges that failed.", n.digestErrors.Load())
+
 	fmt.Fprintf(w, "# HELP autopiped_fleet_heartbeat_rtt_seconds Latest heartbeat round trip per peer.\n# TYPE autopiped_fleet_heartbeat_rtt_seconds gauge\n")
 	sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
 	for _, p := range peers {

@@ -52,18 +52,42 @@ func (jr *jobReplica) stream() []journal.Record {
 type replicaStore struct {
 	mu     sync.Mutex
 	byNode map[string]map[string]*jobReplica // src node -> job id -> replica
+	// maxFence is the highest ownership epoch seen per job across ALL
+	// sources. Records below it are stale-owner writes — a healed
+	// ex-owner (or a replica of it) trying to overwrite the adopter's
+	// progress — and are rejected.
+	maxFence map[string]uint64
 }
 
 func newReplicaStore() *replicaStore {
-	return &replicaStore{byNode: map[string]map[string]*jobReplica{}}
+	return &replicaStore{
+		byNode:   map[string]map[string]*jobReplica{},
+		maxFence: map[string]uint64{},
+	}
 }
 
-// apply merges one replication batch from a peer. full=true replaces
+// apply merges one replication batch from a peer, returning how many
+// records were rejected for carrying a stale fence. full=true replaces
 // the stored state of every job mentioned in the batch (a resync or
 // submit-time sync); full=false appends incrementally.
-func (s *replicaStore) apply(from string, full bool, recs []journal.Record) {
+func (s *replicaStore) apply(from string, full bool, recs []journal.Record) (rejected int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Fence filter first: a full replace made of stale records must not
+	// reach the reset logic below, or it would erase newer state.
+	kept := recs[:0:0]
+	for _, rec := range recs {
+		if rec.JobID != "" {
+			if max := s.maxFence[rec.JobID]; rec.Fence < max {
+				rejected++
+				continue
+			} else if rec.Fence > max {
+				s.maxFence[rec.JobID] = rec.Fence
+			}
+		}
+		kept = append(kept, rec)
+	}
+	recs = kept
 	jobs, ok := s.byNode[from]
 	if !ok {
 		jobs = map[string]*jobReplica{}
@@ -105,6 +129,7 @@ func (s *replicaStore) apply(from string, full bool, recs []journal.Record) {
 		}
 		jr.apply(rec)
 	}
+	return rejected
 }
 
 // take removes and returns a peer's replicated streams, one record
@@ -117,6 +142,19 @@ func (s *replicaStore) take(from string) map[string][]journal.Record {
 	out := make(map[string][]journal.Record, len(jobs))
 	for id, jr := range jobs {
 		out[id] = jr.stream()
+	}
+	return out
+}
+
+// sources lists peers we still hold replicas for.
+func (s *replicaStore) sources() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.byNode))
+	for src, jobs := range s.byNode {
+		if len(jobs) > 0 {
+			out = append(out, src)
+		}
 	}
 	return out
 }

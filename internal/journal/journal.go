@@ -16,7 +16,11 @@
 //
 //	u32 payload length | u32 CRC32(IEEE) of payload | payload
 //
-// payload = 1-byte record type | u16 job-id length | job id | data
+// payload = 1-byte record type | u16 job-id length | job id | u64 fence | data
+//
+// The fence is the job-ownership epoch the record was written under
+// (see Record.Fence); it rides every frame so replicas can reject
+// stale-owner writes after a network partition heals.
 //
 // The data blob is opaque to this package; the server layer stores JSON.
 package journal
@@ -50,6 +54,15 @@ const (
 type Record struct {
 	Type  Type
 	JobID string
+	// Fence is the ownership epoch the record was written under. It
+	// starts at 1 when a job is first admitted and is bumped every time
+	// another node adopts the job, so any two writers for the same job
+	// are totally ordered: a replica holding fence F rejects records
+	// carrying a smaller fence (a partitioned ex-owner writing after its
+	// job moved). Zero means "unfenced" (pre-fencing records and
+	// registries that do not track ownership) and never wins against a
+	// positive fence.
+	Fence uint64
 	Data  []byte
 }
 
@@ -498,13 +511,14 @@ const (
 	headerBytes = 8 // u32 length + u32 crc
 	typeBytes   = 1
 	idLenBytes  = 2
+	fenceBytes  = 8
 )
 
 func encodeFrame(rec Record) ([]byte, error) {
 	if len(rec.JobID) > 1<<16-1 {
 		return nil, fmt.Errorf("journal: job id too long (%d bytes)", len(rec.JobID))
 	}
-	payload := typeBytes + idLenBytes + len(rec.JobID) + len(rec.Data)
+	payload := typeBytes + idLenBytes + len(rec.JobID) + fenceBytes + len(rec.Data)
 	if payload > maxPayloadBytes {
 		return nil, fmt.Errorf("journal: record too large (%d bytes)", payload)
 	}
@@ -513,7 +527,8 @@ func encodeFrame(rec Record) ([]byte, error) {
 	p[0] = byte(rec.Type)
 	binary.LittleEndian.PutUint16(p[1:], uint16(len(rec.JobID)))
 	copy(p[3:], rec.JobID)
-	copy(p[3+len(rec.JobID):], rec.Data)
+	binary.LittleEndian.PutUint64(p[3+len(rec.JobID):], rec.Fence)
+	copy(p[3+len(rec.JobID)+fenceBytes:], rec.Data)
 	binary.LittleEndian.PutUint32(buf[0:], uint32(payload))
 	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(p))
 	return buf, nil
@@ -529,7 +544,7 @@ func decodeAll(data []byte) ([]Record, int64) {
 		h := data[off:]
 		length := int64(binary.LittleEndian.Uint32(h[0:]))
 		crc := binary.LittleEndian.Uint32(h[4:])
-		if length < typeBytes+idLenBytes || length > maxPayloadBytes {
+		if length < typeBytes+idLenBytes+fenceBytes || length > maxPayloadBytes {
 			break
 		}
 		if int64(len(data))-off-headerBytes < length {
@@ -540,14 +555,15 @@ func decodeAll(data []byte) ([]Record, int64) {
 			break
 		}
 		idLen := int64(binary.LittleEndian.Uint16(payload[1:]))
-		if typeBytes+idLenBytes+idLen > length {
+		if typeBytes+idLenBytes+idLen+fenceBytes > length {
 			break
 		}
 		rec := Record{
 			Type:  Type(payload[0]),
 			JobID: string(payload[3 : 3+idLen]),
+			Fence: binary.LittleEndian.Uint64(payload[3+idLen:]),
 		}
-		if rest := payload[3+idLen:]; len(rest) > 0 {
+		if rest := payload[3+idLen+fenceBytes:]; len(rest) > 0 {
 			rec.Data = append([]byte(nil), rest...)
 		}
 		recs = append(recs, rec)

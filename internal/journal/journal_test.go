@@ -21,6 +21,7 @@ func rec(i int) Record {
 	return Record{
 		Type:  Type(1 + i%4),
 		JobID: fmt.Sprintf("job-%04d", i),
+		Fence: uint64(1 + i%3),
 		Data:  []byte(fmt.Sprintf(`{"seq":%d}`, i)),
 	}
 }
@@ -41,8 +42,39 @@ func checkRecs(t *testing.T, got []Record, want int) {
 	}
 	for i, r := range got {
 		w := rec(i)
-		if r.Type != w.Type || r.JobID != w.JobID || !bytes.Equal(r.Data, w.Data) {
+		if r.Type != w.Type || r.JobID != w.JobID || r.Fence != w.Fence || !bytes.Equal(r.Data, w.Data) {
 			t.Fatalf("record %d = %+v, want %+v", i, r, w)
+		}
+	}
+}
+
+// TestFenceRoundTrip: the ownership fence survives the frame encoding
+// at its extremes (zero = unfenced, max uint64) and with empty ids and
+// data.
+func TestFenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{})
+	want := []Record{
+		{Type: TypeSubmitted, JobID: "j", Fence: 0, Data: []byte("{}")},
+		{Type: TypeState, JobID: "j", Fence: 1},
+		{Type: TypeCheckpoint, JobID: "", Fence: ^uint64(0), Data: []byte("x")},
+	}
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if r.Fence != want[i].Fence || r.JobID != want[i].JobID || !bytes.Equal(r.Data, want[i].Data) {
+			t.Fatalf("record %d = %+v, want %+v", i, r, want[i])
 		}
 	}
 }

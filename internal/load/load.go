@@ -76,16 +76,20 @@ const DefaultSpecBody = `{"model":"uniform","uniform":{"layers":8},"batches":10}
 
 // Result aggregates one run.
 type Result struct {
-	Mode           string  `json:"mode"`
-	Targets        int     `json:"targets"`
-	RatePerSec     float64 `json:"offered_rate_per_sec,omitempty"`
-	Concurrency    int     `json:"concurrency"`
-	DurationSec    float64 `json:"duration_sec"`
-	Submitted      int64   `json:"submitted"`
-	Accepted       int64   `json:"accepted"`
-	Shed           int64   `json:"shed_429"`
-	Errors         int64   `json:"errors"`
-	DroppedArrival int64   `json:"dropped_arrivals,omitempty"`
+	Mode        string  `json:"mode"`
+	Targets     int     `json:"targets"`
+	RatePerSec  float64 `json:"offered_rate_per_sec,omitempty"`
+	Concurrency int     `json:"concurrency"`
+	DurationSec float64 `json:"duration_sec"`
+	Submitted   int64   `json:"submitted"`
+	Accepted    int64   `json:"accepted"`
+	// Shed counts deliberate backpressure responses: 429 queue sheds and
+	// 503 minority sheds (a quorum-less fleet gateway refusing work).
+	// Shed503 is the minority subset of Shed.
+	Shed           int64 `json:"shed_429"`
+	Shed503        int64 `json:"shed_503,omitempty"`
+	Errors         int64 `json:"errors"`
+	DroppedArrival int64 `json:"dropped_arrivals,omitempty"`
 
 	// AcceptedPerSec is the sustained admission throughput.
 	AcceptedPerSec float64 `json:"accepted_per_sec"`
@@ -118,6 +122,14 @@ type Result struct {
 	// RecoverySec is filled by the kill/restart probe (cmd layer), not
 	// by Run.
 	RecoverySec float64 `json:"recovery_sec,omitempty"`
+
+	// PartitionRecoverySec, FenceRejections and JobsFencedOut are filled
+	// by the scripted-partition probe (cmd layer): heal-to-quorum time on
+	// the isolated daemon, stale-owner writes rejected fleet-wide, and
+	// job copies abandoned to a higher fence epoch at heal.
+	PartitionRecoverySec float64 `json:"partition_recovery_sec,omitempty"`
+	FenceRejections      int64   `json:"fence_rejections_total,omitempty"`
+	JobsFencedOut        int64   `json:"jobs_fenced_out_total,omitempty"`
 }
 
 // workerStats is single-goroutine state merged after the run.
@@ -125,6 +137,7 @@ type workerStats struct {
 	accepted                            *Histogram
 	shed                                *Histogram
 	submitted, accepted_, shed_, errors int64
+	shed503                             int64
 	raMin, raMax                        int
 }
 
@@ -254,6 +267,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		res.Submitted += ws.submitted
 		res.Accepted += ws.accepted_
 		res.Shed += ws.shed_
+		res.Shed503 += ws.shed503
 		res.Errors += ws.errors
 		accepted.Merge(ws.accepted)
 		shed.Merge(ws.shed)
@@ -388,8 +402,14 @@ func (r *runner) submit(ctx context.Context, ws *workerStats, arrival time.Time)
 		ws.accepted_++
 		ws.accepted.Record(lat)
 		return 0
-	case http.StatusTooManyRequests:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		// Both are deliberate backpressure with a Retry-After hint: 429
+		// from the admission queue, 503 from a minority-partitioned fleet
+		// gateway. Neither is a server failure.
 		ws.shed_++
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			ws.shed503++
+		}
 		ws.shed.Record(lat)
 		ra, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
 		if ra > 0 {

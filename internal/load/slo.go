@@ -21,6 +21,9 @@ type SLO struct {
 	// MaxRecoverySec caps the post-kill restart-to-healthy time; only
 	// evaluated when the run measured a recovery.
 	MaxRecoverySec float64 `json:"max_recovery_sec,omitempty"`
+	// MaxPartitionRecoverySec caps the heal-to-quorum time after a
+	// scripted partition; only evaluated when the run measured one.
+	MaxPartitionRecoverySec float64 `json:"max_partition_recovery_sec,omitempty"`
 	// RetryAfterWithin requires every observed Retry-After hint to be
 	// inside [1,30] — the contract RetryAfterSeconds clamps to.
 	RetryAfterWithin bool `json:"retry_after_within,omitempty"`
@@ -96,6 +99,11 @@ func (s SLO) Evaluate(res *Result) ([]Gate, bool) {
 	if s.MaxRecoverySec > 0 && res.RecoverySec > 0 {
 		add("recovery", res.RecoverySec <= s.MaxRecoverySec,
 			fmt.Sprintf("%.2fs", res.RecoverySec), fmt.Sprintf("<=%.2fs", s.MaxRecoverySec))
+	}
+	if s.MaxPartitionRecoverySec > 0 && res.PartitionRecoverySec > 0 {
+		add("partition_recovery", res.PartitionRecoverySec <= s.MaxPartitionRecoverySec,
+			fmt.Sprintf("%.2fs", res.PartitionRecoverySec),
+			fmt.Sprintf("<=%.2fs", s.MaxPartitionRecoverySec))
 	}
 	if s.RetryAfterWithin {
 		ok := true

@@ -1,0 +1,387 @@
+// Package netfault is a deterministic fault layer for the fleet's HTTP
+// peer protocol. An Injector holds per-(src,dst) impairment rules —
+// block (reject: immediate connection-refused vs drop: hang until the
+// request deadline), added latency, and random or every-Nth request
+// loss — and wraps peer HTTP clients through a RoundTripper hook. The
+// vocabulary mirrors aerolab's `net block` / `net loss-delay` commands:
+// reject vs drop semantics, one-way (asymmetric) blocks, loss and
+// delay.
+//
+// Determinism: every stochastic decision (random loss) is drawn from a
+// splitmix64 stream seeded from the injector seed and the rule's
+// position, advanced once per matching request. Given the same rules
+// and the same request sequence a scenario replays bit-identically;
+// there is no wall-clock randomness.
+//
+// Rules address nodes by fleet ID. Because a RoundTripper only sees the
+// destination host:port, callers Bind each node ID to its address (the
+// test harness knows both; the daemon binds itself and accepts binds on
+// its control surface). An unresolvable destination matches rules by
+// its raw host:port, so scripts may also write rules against addresses
+// directly.
+package netfault
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BlockMode selects how a blocked request fails.
+type BlockMode string
+
+// Block modes, matching aerolab's iptables semantics.
+const (
+	// BlockNone means the rule does not block (latency/loss only).
+	BlockNone BlockMode = ""
+	// BlockReject fails the request immediately, like an RST or ICMP
+	// port-unreachable — the caller sees "connection refused" with no
+	// delay.
+	BlockReject BlockMode = "reject"
+	// BlockDrop silently eats the request, like DROP: the caller hangs
+	// until its own context deadline or client timeout fires. Callers
+	// without a deadline hang forever, exactly as real packet loss
+	// would leave them.
+	BlockDrop BlockMode = "drop"
+)
+
+// ErrBlocked is wrapped by every injected failure (reject, drop, loss)
+// so callers can tell an injected fault from a real transport error.
+var ErrBlocked = errors.New("netfault: blocked")
+
+// Rule impairs requests from Src to Dst. Empty or "*" matches any
+// node. Dst matches either a bound fleet ID or a raw host:port. A rule
+// is one-way: blocking A→B alone leaves B→A untouched (asymmetric
+// partitions); symmetric partitions install the mirrored rule too.
+type Rule struct {
+	Src string `json:"src,omitempty"`
+	Dst string `json:"dst,omitempty"`
+	// Block rejects or drops every matching request.
+	Block BlockMode `json:"block,omitempty"`
+	// Latency delays every matching request before it is sent.
+	Latency time.Duration `json:"-"`
+	// LatencyMS is Latency's wire form for the JSON control surface.
+	LatencyMS int `json:"latency_ms,omitempty"`
+	// LossProb loses a matching request with this probability, drawn
+	// deterministically from the injector seed.
+	LossProb float64 `json:"loss_prob,omitempty"`
+	// LossEveryN loses every Nth matching request (1st, N+1th, …). A
+	// lost request fails immediately, wrapped in ErrBlocked — the
+	// request-level analogue of packet loss overwhelming retransmit.
+	LossEveryN int `json:"loss_every_n,omitempty"`
+}
+
+func (r Rule) String() string {
+	parts := []string{fmt.Sprintf("src=%s,dst=%s", orStar(r.Src), orStar(r.Dst))}
+	if r.Block != BlockNone {
+		parts = append(parts, "block="+string(r.Block))
+	}
+	if r.Latency > 0 {
+		parts = append(parts, "latency="+r.Latency.String())
+	}
+	if r.LossProb > 0 {
+		parts = append(parts, fmt.Sprintf("loss=%g", r.LossProb))
+	}
+	if r.LossEveryN > 0 {
+		parts = append(parts, fmt.Sprintf("nth=%d", r.LossEveryN))
+	}
+	return strings.Join(parts, ",")
+}
+
+func orStar(s string) string {
+	if s == "" {
+		return "*"
+	}
+	return s
+}
+
+// ParseRule parses the flag/CLI form of a rule:
+// "src=a,dst=b,block=drop,latency=5ms,loss=0.1,nth=3". Every field is
+// optional; unknown keys are errors.
+func ParseRule(s string) (Rule, error) {
+	var r Rule
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Rule{}, fmt.Errorf("netfault: bad rule field %q (want key=value)", kv)
+		}
+		switch k {
+		case "src":
+			r.Src = v
+		case "dst":
+			r.Dst = v
+		case "block":
+			switch BlockMode(v) {
+			case BlockReject, BlockDrop:
+				r.Block = BlockMode(v)
+			default:
+				return Rule{}, fmt.Errorf("netfault: bad block mode %q (want reject or drop)", v)
+			}
+		case "latency":
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				return Rule{}, fmt.Errorf("netfault: bad latency %q", v)
+			}
+			r.Latency = d
+		case "loss":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil || p < 0 || p > 1 {
+				return Rule{}, fmt.Errorf("netfault: bad loss probability %q", v)
+			}
+			r.LossProb = p
+		case "nth":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return Rule{}, fmt.Errorf("netfault: bad nth %q", v)
+			}
+			r.LossEveryN = n
+		default:
+			return Rule{}, fmt.Errorf("netfault: unknown rule key %q", k)
+		}
+	}
+	return r, nil
+}
+
+// normalize reconciles the duration and wire forms of latency so rules
+// behave the same whether they arrived in-process or over JSON.
+func (r *Rule) normalize() {
+	if r.Latency <= 0 && r.LatencyMS > 0 {
+		r.Latency = time.Duration(r.LatencyMS) * time.Millisecond
+	}
+	if r.Latency > 0 {
+		r.LatencyMS = int(r.Latency / time.Millisecond)
+	}
+}
+
+// Stats counts injected faults since New.
+type Stats struct {
+	Rejected int64 // requests failed immediately by a reject block
+	Dropped  int64 // requests hung until their deadline by a drop block
+	Lost     int64 // requests lost by a loss rule
+	Delayed  int64 // requests delayed by a latency rule
+	Passed   int64 // requests that matched no impairment
+}
+
+// activeRule carries a rule's per-installation mutable state: the match
+// counter driving every-Nth loss and the splitmix64 cursor driving
+// random loss.
+type activeRule struct {
+	Rule
+	hits uint64
+	rng  uint64
+}
+
+// Injector owns the rule set. One injector is typically shared by every
+// node of an in-process test fleet (each node's client is wrapped with
+// its own src ID); each daemon process owns one.
+type Injector struct {
+	seed uint64
+
+	mu    sync.Mutex
+	gen   uint64 // bumped per SetRules/Clear; seeds each rule's rng
+	rules []*activeRule
+	binds map[string]string // host:port -> node ID
+
+	rejected atomic.Int64
+	dropped  atomic.Int64
+	lost     atomic.Int64
+	delayed  atomic.Int64
+	passed   atomic.Int64
+}
+
+// New builds an injector with no rules. seed drives every random-loss
+// decision; the same seed and request sequence replay identically.
+func New(seed uint64) *Injector {
+	return &Injector{seed: seed, binds: map[string]string{}}
+}
+
+// Bind associates a fleet node ID with the host:port its peers dial, so
+// ID-addressed rules can match outgoing requests. Idempotent; later
+// binds for the same address win.
+func (inj *Injector) Bind(id, hostport string) {
+	if id == "" || hostport == "" {
+		return
+	}
+	inj.mu.Lock()
+	inj.binds[hostport] = id
+	inj.mu.Unlock()
+}
+
+// SetRules atomically replaces the rule set. Each installed rule's loss
+// state starts fresh, seeded from (injector seed, installation
+// generation, rule index).
+func (inj *Injector) SetRules(rules ...Rule) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.gen++
+	inj.rules = inj.rules[:0]
+	inj.addLocked(rules)
+}
+
+// AddRules appends rules to the current set.
+func (inj *Injector) AddRules(rules ...Rule) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.gen++
+	inj.addLocked(rules)
+}
+
+func (inj *Injector) addLocked(rules []Rule) {
+	for i, r := range rules {
+		r.normalize()
+		inj.rules = append(inj.rules, &activeRule{
+			Rule: r,
+			rng:  splitmix(inj.seed + inj.gen*1_000_003 + uint64(i)),
+		})
+	}
+}
+
+// Clear removes every rule (heals all partitions).
+func (inj *Injector) Clear() { inj.SetRules() }
+
+// Rules snapshots the current rule set.
+func (inj *Injector) Rules() []Rule {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	out := make([]Rule, len(inj.rules))
+	for i, ar := range inj.rules {
+		out[i] = ar.Rule
+	}
+	return out
+}
+
+// Stats snapshots the fault counters.
+func (inj *Injector) Stats() Stats {
+	return Stats{
+		Rejected: inj.rejected.Load(),
+		Dropped:  inj.dropped.Load(),
+		Lost:     inj.lost.Load(),
+		Delayed:  inj.delayed.Load(),
+		Passed:   inj.passed.Load(),
+	}
+}
+
+// PartitionRules builds the symmetric block rules separating group a
+// from group b (both directions). Callers pass them to SetRules or
+// AddRules; Clear heals.
+func PartitionRules(a, b []string, mode BlockMode) []Rule {
+	var out []Rule
+	for _, x := range a {
+		for _, y := range b {
+			out = append(out, Rule{Src: x, Dst: y, Block: mode}, Rule{Src: y, Dst: x, Block: mode})
+		}
+	}
+	return out
+}
+
+// verdict is the evaluated fate of one request.
+type verdict struct {
+	block   BlockMode
+	lost    bool
+	latency time.Duration
+}
+
+// evaluate consults the rules for one request. First matching block or
+// loss rule decides the fate; latency accumulates across all matching
+// rules (delays compose on a path).
+func (inj *Injector) evaluate(src, dstHost string) verdict {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	dstID := inj.binds[dstHost]
+	var v verdict
+	for _, ar := range inj.rules {
+		if !matches(ar.Src, src, src) || !matches(ar.Dst, dstID, dstHost) {
+			continue
+		}
+		ar.hits++
+		v.latency += ar.Latency
+		if v.block != BlockNone || v.lost {
+			continue // fate already sealed; still count latency/hits
+		}
+		if ar.Block != BlockNone {
+			v.block = ar.Block
+			continue
+		}
+		if ar.LossEveryN > 0 && (ar.hits-1)%uint64(ar.LossEveryN) == 0 {
+			v.lost = true
+			continue
+		}
+		if ar.LossProb > 0 && float64(splitmix(ar.rng))/float64(^uint64(0)) < ar.LossProb {
+			v.lost = true
+		}
+		if ar.LossProb > 0 {
+			ar.rng++
+		}
+	}
+	return v
+}
+
+func matches(pat, id, host string) bool {
+	if pat == "" || pat == "*" {
+		return true
+	}
+	return (id != "" && pat == id) || (host != "" && pat == host)
+}
+
+// Transport wraps base (nil = http.DefaultTransport) with the
+// injector's rules, evaluated as src → request host. Install it as the
+// Transport of a fleet node's peer client.
+func (inj *Injector) Transport(src string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &faultTransport{inj: inj, src: src, base: base}
+}
+
+type faultTransport struct {
+	inj  *Injector
+	src  string
+	base http.RoundTripper
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	v := t.inj.evaluate(t.src, req.URL.Host)
+	ctx := req.Context()
+	if v.latency > 0 {
+		t.inj.delayed.Add(1)
+		timer := time.NewTimer(v.latency)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	switch {
+	case v.block == BlockDrop:
+		t.inj.dropped.Add(1)
+		<-ctx.Done()
+		return nil, fmt.Errorf("%w: drop %s -> %s: %v", ErrBlocked, t.src, req.URL.Host, ctx.Err())
+	case v.block == BlockReject:
+		t.inj.rejected.Add(1)
+		return nil, fmt.Errorf("%w: reject %s -> %s: connection refused", ErrBlocked, t.src, req.URL.Host)
+	case v.lost:
+		t.inj.lost.Add(1)
+		return nil, fmt.Errorf("%w: lost request %s -> %s", ErrBlocked, t.src, req.URL.Host)
+	}
+	t.inj.passed.Add(1)
+	return t.base.RoundTrip(req)
+}
+
+// splitmix is the splitmix64 finalizer (same mixer as work.SplitSeed),
+// mapping a counter to a well-distributed 64-bit draw.
+func splitmix(x uint64) uint64 {
+	z := x + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

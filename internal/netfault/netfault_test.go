@@ -1,0 +1,280 @@
+package netfault
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func doReq(t *testing.T, client *http.Client, url string) error {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err == nil {
+		resp.Body.Close()
+	}
+	return err
+}
+
+func TestRejectBlocksImmediately(t *testing.T) {
+	srv, hits := testServer(t)
+	inj := New(1)
+	inj.Bind("b", srv.Listener.Addr().String())
+	inj.SetRules(Rule{Src: "a", Dst: "b", Block: BlockReject})
+	client := &http.Client{Transport: inj.Transport("a", nil)}
+
+	start := time.Now()
+	err := doReq(t, client, srv.URL)
+	if err == nil {
+		t.Fatal("blocked request succeeded")
+	}
+	if !errors.Is(err, ErrBlocked) {
+		t.Fatalf("error %v does not wrap ErrBlocked", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("reject took %s, want immediate", el)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("blocked request reached the server")
+	}
+	if st := inj.Stats(); st.Rejected != 1 {
+		t.Fatalf("stats = %+v, want 1 rejected", st)
+	}
+}
+
+func TestDropHangsUntilDeadline(t *testing.T) {
+	srv, hits := testServer(t)
+	inj := New(1)
+	inj.Bind("b", srv.Listener.Addr().String())
+	inj.SetRules(Rule{Dst: "b", Block: BlockDrop})
+	client := &http.Client{Transport: inj.Transport("a", nil), Timeout: 50 * time.Millisecond}
+
+	start := time.Now()
+	err := doReq(t, client, srv.URL)
+	el := time.Since(start)
+	if err == nil {
+		t.Fatal("dropped request succeeded")
+	}
+	if el < 40*time.Millisecond {
+		t.Fatalf("drop returned after %s, want to hang until the 50ms client timeout", el)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("dropped request reached the server")
+	}
+	if st := inj.Stats(); st.Dropped != 1 {
+		t.Fatalf("stats = %+v, want 1 dropped", st)
+	}
+}
+
+// TestAsymmetricBlock: a one-way rule blocks a→b while b→a (and a
+// different src to b) still pass.
+func TestAsymmetricBlock(t *testing.T) {
+	srv, hits := testServer(t)
+	inj := New(1)
+	inj.Bind("b", srv.Listener.Addr().String())
+	inj.SetRules(Rule{Src: "a", Dst: "b", Block: BlockReject})
+
+	blocked := &http.Client{Transport: inj.Transport("a", nil)}
+	open := &http.Client{Transport: inj.Transport("c", nil)}
+	if err := doReq(t, blocked, srv.URL); err == nil {
+		t.Fatal("a->b passed through a block")
+	}
+	if err := doReq(t, open, srv.URL); err != nil {
+		t.Fatalf("c->b blocked by an a->b rule: %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1", hits.Load())
+	}
+}
+
+func TestHealRestoresTraffic(t *testing.T) {
+	srv, _ := testServer(t)
+	inj := New(1)
+	inj.Bind("b", srv.Listener.Addr().String())
+	inj.SetRules(Rule{Dst: "b", Block: BlockReject})
+	client := &http.Client{Transport: inj.Transport("a", nil)}
+	if err := doReq(t, client, srv.URL); err == nil {
+		t.Fatal("blocked request succeeded")
+	}
+	inj.Clear()
+	if err := doReq(t, client, srv.URL); err != nil {
+		t.Fatalf("request after heal failed: %v", err)
+	}
+}
+
+func TestLatencyDelays(t *testing.T) {
+	srv, _ := testServer(t)
+	inj := New(1)
+	inj.SetRules(Rule{Latency: 60 * time.Millisecond})
+	client := &http.Client{Transport: inj.Transport("a", nil)}
+	start := time.Now()
+	if err := doReq(t, client, srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 50*time.Millisecond {
+		t.Fatalf("request took %s, want >= 50ms injected latency", el)
+	}
+	if st := inj.Stats(); st.Delayed != 1 {
+		t.Fatalf("stats = %+v, want 1 delayed", st)
+	}
+}
+
+// TestEveryNthLoss: with nth=3, requests 1, 4, 7 … are lost and the
+// rest pass — a deterministic 1/3 loss pattern.
+func TestEveryNthLoss(t *testing.T) {
+	srv, hits := testServer(t)
+	inj := New(1)
+	inj.SetRules(Rule{LossEveryN: 3})
+	client := &http.Client{Transport: inj.Transport("a", nil)}
+	var lost []int
+	for i := 1; i <= 9; i++ {
+		if err := doReq(t, client, srv.URL); err != nil {
+			if !errors.Is(err, ErrBlocked) {
+				t.Fatalf("request %d: %v", i, err)
+			}
+			lost = append(lost, i)
+		}
+	}
+	want := []int{1, 4, 7}
+	if len(lost) != len(want) {
+		t.Fatalf("lost %v, want %v", lost, want)
+	}
+	for i := range want {
+		if lost[i] != want[i] {
+			t.Fatalf("lost %v, want %v", lost, want)
+		}
+	}
+	if hits.Load() != 6 {
+		t.Fatalf("server saw %d requests, want 6", hits.Load())
+	}
+}
+
+// TestRandomLossDeterministic: the same seed produces the same loss
+// pattern; a different seed produces a different one (with overwhelming
+// probability over 64 requests at p=0.5).
+func TestRandomLossDeterministic(t *testing.T) {
+	srv, _ := testServer(t)
+	pattern := func(seed uint64) []bool {
+		inj := New(seed)
+		inj.SetRules(Rule{LossProb: 0.5})
+		client := &http.Client{Transport: inj.Transport("a", nil)}
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, doReq(t, client, srv.URL) != nil)
+		}
+		return out
+	}
+	a1, a2, b := pattern(7), pattern(7), pattern(8)
+	sameAsA := true
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+		if a1[i] != b[i] {
+			sameAsA = false
+		}
+	}
+	if sameAsA {
+		t.Fatal("seeds 7 and 8 produced identical loss patterns")
+	}
+	lossCount := 0
+	for _, l := range a1 {
+		if l {
+			lossCount++
+		}
+	}
+	if lossCount == 0 || lossCount == len(a1) {
+		t.Fatalf("p=0.5 lost %d/%d requests", lossCount, len(a1))
+	}
+}
+
+// TestRuleMatchByAddress: rules may target the raw host:port when no
+// bind exists for the destination.
+func TestRuleMatchByAddress(t *testing.T) {
+	srv, _ := testServer(t)
+	inj := New(1)
+	inj.SetRules(Rule{Dst: srv.Listener.Addr().String(), Block: BlockReject})
+	client := &http.Client{Transport: inj.Transport("a", nil)}
+	if err := doReq(t, client, srv.URL); err == nil {
+		t.Fatal("address-matched block did not fire")
+	}
+}
+
+func TestPartitionRules(t *testing.T) {
+	rules := PartitionRules([]string{"n1"}, []string{"n2", "n3"}, BlockDrop)
+	if len(rules) != 4 {
+		t.Fatalf("got %d rules, want 4", len(rules))
+	}
+	seen := map[string]bool{}
+	for _, r := range rules {
+		if r.Block != BlockDrop {
+			t.Fatalf("rule %v has mode %q", r, r.Block)
+		}
+		seen[r.Src+">"+r.Dst] = true
+	}
+	for _, want := range []string{"n1>n2", "n2>n1", "n1>n3", "n3>n1"} {
+		if !seen[want] {
+			t.Fatalf("missing rule %s in %v", want, rules)
+		}
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	r, err := ParseRule("src=n1,dst=n2,block=drop,latency=5ms,loss=0.25,nth=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Rule{Src: "n1", Dst: "n2", Block: BlockDrop, Latency: 5 * time.Millisecond, LossProb: 0.25, LossEveryN: 3}
+	if r != want {
+		t.Fatalf("parsed %+v, want %+v", r, want)
+	}
+	for _, bad := range []string{"block=maybe", "latency=-1s", "loss=2", "nth=0", "frobnicate=1", "noequals"} {
+		if _, err := ParseRule(bad); err == nil {
+			t.Fatalf("ParseRule(%q) accepted", bad)
+		}
+	}
+	// Empty fields and whitespace are fine.
+	if r, err := ParseRule(" dst=n2 , block=reject "); err != nil || r.Dst != "n2" || r.Block != BlockReject {
+		t.Fatalf("ParseRule with spaces: %+v, %v", r, err)
+	}
+}
+
+// TestDropRespectsContextCancel: an explicit context cancellation
+// releases a dropped request without waiting for a timeout.
+func TestDropRespectsContextCancel(t *testing.T) {
+	srv, _ := testServer(t)
+	inj := New(1)
+	inj.SetRules(Rule{Block: BlockDrop})
+	client := &http.Client{Transport: inj.Transport("a", nil)}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Do(req)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("dropped request succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("dropped request did not release on context cancel")
+	}
+}

@@ -76,6 +76,7 @@ const (
 	chaosKindDrop       = "drop"         // drop flows matching Match from At
 	chaosKindFlapNIC    = "flap_nic"     // NIC to Gbps at At, restore after HoldSec
 	chaosKindKillDaemon = "kill_daemon"  // crash the daemon at At or on Match
+	chaosKindPartition  = "partition"    // sever the daemon's peer links at At or on Match
 )
 
 // ChaosEventSpec is one scheduled fault in a job spec.
@@ -95,7 +96,11 @@ type JobInfo struct {
 	Spec    JobSpec   `json:"spec"`
 	// Node names the fleet daemon currently hosting the job; empty on a
 	// single-node deployment.
-	Node   string             `json:"node,omitempty"`
+	Node string `json:"node,omitempty"`
+	// Fence is the job's ownership epoch: 1 on first admission, bumped
+	// every time another node adopts the job. Higher fences supersede
+	// lower ones everywhere.
+	Fence  uint64             `json:"fence,omitempty"`
 	Status autopipe.JobStatus `json:"status"`
 	// Result is present once the job reaches the done state.
 	Result *autopipe.JobResult `json:"result,omitempty"`
@@ -198,6 +203,8 @@ func buildChaos(s JobSpec) (*autopipe.ChaosSpec, error) {
 			}
 		case chaosKindKillDaemon:
 			out.Kind = autopipe.ChaosKillDaemon
+		case chaosKindPartition:
+			out.Kind = autopipe.ChaosPartition
 		default:
 			return nil, fmt.Errorf("unknown chaos event kind %q", ev.Kind)
 		}

@@ -86,6 +86,12 @@ func WriteMetrics(w io.Writer, r *Registry) {
 		help: "Submissions beyond this queue depth are shed with 429."}
 	shed := &family{name: "autopiped_jobs_shed_total", typ: "counter",
 		help: "Submissions refused because the admission queue was full."}
+	minorityShed := &family{name: "autopiped_jobs_minority_shed_total", typ: "counter",
+		help: "Submissions refused because the node was in a minority partition."}
+	fencedOut := &family{name: "autopiped_jobs_fenced_out_total", typ: "counter",
+		help: "Local job copies discarded because a peer owns them at a higher fence."}
+	fenceRejected := &family{name: "autopiped_fence_rejections_total", typ: "counter",
+		help: "Adoption attempts refused for carrying a stale ownership fence."}
 	drainRefused := &family{name: "autopiped_jobs_drain_refused_total", typ: "counter",
 		help: "Queued jobs refused a pool slot because shutdown had begun."}
 	watchdogKills := &family{name: "autopiped_watchdog_kills_total", typ: "counter",
@@ -153,6 +159,9 @@ func WriteMetrics(w io.Writer, r *Registry) {
 	c := r.Counters()
 	queueLimit.add("", float64(r.MaxQueue()))
 	shed.add("", float64(c.Shed))
+	minorityShed.add("", float64(c.MinorityShed))
+	fencedOut.add("", float64(c.FencedOut))
+	fenceRejected.add("", float64(c.FenceRejected))
 	drainRefused.add("", float64(c.DrainRefused))
 	watchdogKills.add("", float64(c.WatchdogKills))
 	deadlineKills.add("", float64(c.DeadlineKills))
@@ -181,7 +190,8 @@ func WriteMetrics(w io.Writer, r *Registry) {
 	fams := []*family{depth, pool, states, iter, tp, switches, predCost, realCost,
 		decisions, candidates, cacheHits, cacheHitRate, searchSecs,
 		evictions, aborted, migRetries, queuedEv,
-		queueLimit, shed, drainRefused, watchdogKills, deadlineKills,
+		queueLimit, shed, minorityShed, fencedOut, fenceRejected,
+		drainRefused, watchdogKills, deadlineKills,
 		checkpoints, journalErrors, recovered, retryAfter, heap, goroutines}
 	if bytes, ok := residentMemoryBytes(); ok {
 		rss.add("", float64(bytes))

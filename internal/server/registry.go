@@ -10,6 +10,14 @@
 // watchdog cancels jobs that stop making progress, and Recover rebuilds
 // the registry from the journal after a crash — re-queueing jobs that
 // were queued and resuming running jobs from their last checkpoint.
+//
+// It is also partition-aware: job ownership carries a monotonically
+// increasing fence epoch (bumped on every adoption) that lets a healed
+// ex-owner recognise that another node took over and abandon its stale
+// copy, and SetMinority switches the registry into a shedding mode —
+// submissions refused with ErrMinority, running jobs paused at their
+// next event boundary — while the node is cut off from the fleet
+// majority.
 package server
 
 import (
@@ -18,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"autopipe"
@@ -33,6 +42,10 @@ var ErrNotFound = errors.New("server: no such job")
 // ErrQueueFull is returned by Submit when the admission queue is at
 // capacity; the HTTP layer maps it to 429 + Retry-After.
 var ErrQueueFull = errors.New("server: admission queue full")
+
+// ErrMinority is returned by Submit while the node is partitioned away
+// from the fleet majority; the HTTP layer maps it to 503 + Retry-After.
+var ErrMinority = errors.New("server: node is in a minority partition")
 
 // Defaults for Options zero values.
 const (
@@ -60,6 +73,10 @@ const (
 	// hint derived from queue depth and drain rate.
 	MinRetryAfterSec = 1
 	MaxRetryAfterSec = 30
+	// jobShards stripes the job table so admission, status and cancel
+	// requests for different jobs stop contending on one mutex under
+	// thousand-worker load.
+	jobShards = 16
 )
 
 // Options parametrises a Registry.
@@ -90,6 +107,10 @@ type Options struct {
 	// DaemonKill is the chaos KillDaemon hook installed on every hosted
 	// job (see autopipe.ChaosKillDaemon).
 	DaemonKill func()
+	// PartitionHook is the chaos Partition hook installed on every
+	// hosted job (see autopipe.ChaosPartition) — fleet partition tests
+	// use it to sever peer links at a deterministic simulation point.
+	PartitionHook func()
 	// ConfigureJob, when non-nil, can adjust each job's configuration
 	// after the spec is built (custom predictors, arbiter wiring).
 	ConfigureJob func(*autopipe.JobConfig)
@@ -117,6 +138,7 @@ type Options struct {
 type Counters struct {
 	Admitted           int64 // submissions accepted
 	Shed               int64 // submissions refused with ErrQueueFull
+	MinorityShed       int64 // submissions refused while in a minority partition
 	DrainRefused       int64 // queued jobs refused a pool slot mid-drain
 	WatchdogKills      int64 // jobs cancelled for lack of progress
 	DeadlineKills      int64 // jobs cancelled by JobTimeout
@@ -126,6 +148,15 @@ type Counters struct {
 	RecoveredResumed   int64 // running jobs resumed from a checkpoint
 	RecoveredRestarted int64 // running jobs restarted without one
 	RecoveredCompleted int64 // finished jobs restored read-only
+	FencedOut          int64 // local job copies abandoned to a higher fence epoch
+	FenceRejected      int64 // stale-fence adoption streams refused
+}
+
+// jobShard is one stripe of the job table. Lock order, where several
+// are held together: Registry.mu → jobShard.mu → managedJob.mu.
+type jobShard struct {
+	mu   sync.RWMutex
+	jobs map[string]*managedJob
 }
 
 // Registry owns the daemon's jobs. Every submitted job gets a
@@ -136,8 +167,12 @@ type Registry struct {
 	opts Options
 	sem  chan struct{}
 
+	// shards stripes the job map by FNV-1a of the job id so lookups for
+	// different jobs (status polls, cancels, admission dup-checks) do
+	// not serialize on the global accounting mutex.
+	shards [jobShards]jobShard
+
 	mu       sync.Mutex
-	jobs     map[string]*managedJob
 	order    []string // submission order, for stable listings
 	seq      int
 	queued   int
@@ -145,6 +180,16 @@ type Registry struct {
 	killed   bool // abrupt death: suppress all journal/replication output
 	counters Counters
 	wg       sync.WaitGroup
+
+	// minority flips the registry into partition-shedding mode: see
+	// SetMinority.
+	minority atomic.Bool
+
+	// fenced tombstones jobs this node abandoned to a higher fence
+	// epoch: journal/replication output at or below the recorded epoch
+	// is suppressed so a stale copy can never leak post-fence records.
+	fencedMu sync.Mutex
+	fenced   map[string]uint64
 
 	// jmu excludes journal appends against compaction so a record can
 	// never land in a segment that a concurrent Compact deletes.
@@ -171,20 +216,24 @@ type Registry struct {
 }
 
 type managedJob struct {
+	// Immutable after registration.
 	id      string
 	created time.Time
 	spec    JobSpec
 	batches int
+	fence   uint64        // ownership epoch: 1 on first admission, bumped on adoption
 	job     *autopipe.Job // nil for journal-restored finished jobs
 	final   *JobInfo      // frozen info for journal-restored finished jobs
 
-	// Guarded by Registry.mu.
+	// mu guards the mutable presentation fields below. It is a leaf
+	// lock: nothing else is acquired while holding it.
+	mu             sync.Mutex
 	overrideState  autopipe.JobState // presented state when the registry killed the job
 	overrideReason string
 	lastIter       int       // watchdog progress marker
 	lastProgress   time.Time // when lastIter last advanced
 	poolStarted    bool      // run() has claimed a pool slot
-	detached       bool      // handed to a fleet peer; run() must not start it
+	detached       bool      // handed to a fleet peer or fenced out; run() must not start it
 }
 
 // NewRegistry builds a registry running at most poolSize simulations
@@ -230,13 +279,50 @@ func NewRegistryWithOptions(opts Options) *Registry {
 	case opts.CompactLiveRatio == 0:
 		opts.CompactLiveRatio = DefaultCompactLiveRatio
 	}
-	return &Registry{
+	r := &Registry{
 		opts:      opts,
 		sem:       make(chan struct{}, opts.PoolSize),
-		jobs:      map[string]*managedJob{},
+		fenced:    map[string]uint64{},
 		stopWatch: make(chan struct{}),
 		now:       time.Now,
 	}
+	for i := range r.shards {
+		r.shards[i].jobs = map[string]*managedJob{}
+	}
+	return r
+}
+
+// shard maps a job id to its stripe (FNV-1a over the id bytes).
+func (r *Registry) shard(id string) *jobShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return &r.shards[h%jobShards]
+}
+
+// lookup fetches one job without touching the global accounting mutex.
+func (r *Registry) lookup(id string) (*managedJob, bool) {
+	sh := r.shard(id)
+	sh.mu.RLock()
+	m, ok := sh.jobs[id]
+	sh.mu.RUnlock()
+	return m, ok
+}
+
+// allJobs snapshots every hosted job across the shards.
+func (r *Registry) allJobs() []*managedJob {
+	var out []*managedJob
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for _, m := range sh.jobs {
+			out = append(out, m)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
 }
 
 // PoolSize returns the maximum number of concurrently running jobs.
@@ -309,11 +395,17 @@ var ErrDuplicateID = errors.New("server: job id already exists")
 // consistent-hash ring can place jobs before they reach their owner. An
 // empty ID draws from the registry's own sequence.
 func (r *Registry) SubmitWithID(id string, spec JobSpec) (JobInfo, error) {
+	if r.minority.Load() {
+		r.mu.Lock()
+		r.counters.MinorityShed++
+		r.mu.Unlock()
+		return JobInfo{}, ErrMinority
+	}
 	cfg, batches, err := spec.build()
 	if err != nil {
 		return JobInfo{}, fmt.Errorf("invalid job spec: %w", err)
 	}
-	m := &managedJob{spec: spec, batches: batches}
+	m := &managedJob{spec: spec, batches: batches, fence: 1}
 	r.prepare(&cfg, m)
 	j, err := autopipe.NewJob(cfg, batches)
 	if err != nil {
@@ -334,13 +426,24 @@ func (r *Registry) SubmitWithID(id string, spec JobSpec) (JobInfo, error) {
 	if id == "" {
 		r.seq++
 		id = fmt.Sprintf("job-%04d", r.seq)
-	} else if _, ok := r.jobs[id]; ok {
+	}
+	if _, gone := r.tombstone(id); gone {
+		// The id was fenced away to another node; it still exists
+		// cluster-wide, so resubmitting it here is a duplicate.
 		r.mu.Unlock()
 		return JobInfo{}, fmt.Errorf("%w: %s", ErrDuplicateID, id)
 	}
 	m.id = id
 	m.created = r.now()
-	r.jobs[m.id] = m
+	sh := r.shard(id)
+	sh.mu.Lock()
+	if _, ok := sh.jobs[id]; ok {
+		sh.mu.Unlock()
+		r.mu.Unlock()
+		return JobInfo{}, fmt.Errorf("%w: %s", ErrDuplicateID, id)
+	}
+	sh.jobs[id] = m
+	sh.mu.Unlock()
 	r.order = append(r.order, m.id)
 	r.queued++
 	r.counters.Admitted++
@@ -350,7 +453,7 @@ func (r *Registry) SubmitWithID(id string, spec JobSpec) (JobInfo, error) {
 	r.startWatchdog()
 	// The spec is durable before the submission is acknowledged: a
 	// crash after this point re-queues the job on recovery.
-	r.journalAppend(journal.TypeSubmitted, m.id, submittedRec{ID: m.id, Created: m.created, Spec: spec})
+	r.journalAppend(journal.TypeSubmitted, m.id, m.fence, submittedRec{ID: m.id, Created: m.created, Spec: spec})
 	go r.run(m)
 	return r.info(m), nil
 }
@@ -364,11 +467,12 @@ func (r *Registry) prepare(cfg *autopipe.JobConfig, m *managedJob) {
 			r.mu.Lock()
 			r.counters.Checkpoints++
 			r.mu.Unlock()
-			r.journalAppend(journal.TypeCheckpoint, m.id, checkpointRec{ID: m.id, Checkpoint: cp})
+			r.journalAppend(journal.TypeCheckpoint, m.id, m.fence, checkpointRec{ID: m.id, Checkpoint: cp})
 			r.maybeCompact()
 		}
 	}
 	cfg.DaemonKill = r.opts.DaemonKill
+	cfg.PartitionHook = r.opts.PartitionHook
 	if r.opts.ConfigureJob != nil {
 		r.opts.ConfigureJob(cfg)
 	}
@@ -387,26 +491,43 @@ func (r *Registry) run(m *managedJob) {
 	r.mu.Lock()
 	r.queued--
 	r.noteDrainLocked(r.now())
+	closed := r.closed
+	r.mu.Unlock()
+
+	m.mu.Lock()
 	if m.detached {
-		// DetachQueued handed this job to a fleet peer while it waited
-		// for a slot; the peer owns it now.
-		r.mu.Unlock()
+		// DetachQueued handed this job to a fleet peer (or FenceOut
+		// abandoned it) while it waited for a slot; it is not ours to
+		// start.
+		m.mu.Unlock()
 		return
 	}
 	m.poolStarted = true
-	if r.closed {
+	if closed {
 		m.overrideState = autopipe.JobCancelled
 		m.overrideReason = ErrClosed.Error()
+		m.mu.Unlock()
+		r.mu.Lock()
 		r.counters.DrainRefused++
 		r.mu.Unlock()
 		m.job.Cancel()
-		r.journalAppend(journal.TypeCompleted, m.id, completedRec{ID: m.id, Info: r.info(m)})
+		r.journalAppend(journal.TypeCompleted, m.id, m.fence, completedRec{ID: m.id, Info: r.info(m)})
 		return
 	}
 	m.lastIter = 0
 	m.lastProgress = r.now()
-	r.mu.Unlock()
-	r.journalAppend(journal.TypeState, m.id, stateRec{ID: m.id, State: autopipe.JobRunning})
+	m.mu.Unlock()
+	r.journalAppend(journal.TypeState, m.id, m.fence, stateRec{ID: m.id, State: autopipe.JobRunning})
+
+	// A job winning its slot while the node sits in a minority
+	// partition starts paused; the double-check closes the race with a
+	// concurrent ResumeAll.
+	if r.minority.Load() {
+		m.job.Pause()
+		if !r.minority.Load() {
+			m.job.Resume()
+		}
+	}
 
 	// Cancellation flows through Job.Cancel (invoked by the DELETE
 	// handler and the watchdog), which aborts the run's internal context
@@ -419,21 +540,21 @@ func (r *Registry) run(m *managedJob) {
 	}
 	_, err := m.job.Run(ctx) // result and error are retained on the Job itself
 	if errors.Is(err, context.DeadlineExceeded) {
-		r.mu.Lock()
+		m.mu.Lock()
 		m.overrideState = autopipe.JobFailed
 		m.overrideReason = fmt.Sprintf("job deadline exceeded after %s", r.opts.JobTimeout)
+		m.mu.Unlock()
+		r.mu.Lock()
 		r.counters.DeadlineKills++
 		r.mu.Unlock()
 	}
-	r.journalAppend(journal.TypeCompleted, m.id, completedRec{ID: m.id, Info: r.info(m)})
+	r.journalAppend(journal.TypeCompleted, m.id, m.fence, completedRec{ID: m.id, Info: r.info(m)})
 	r.maybeCompact()
 }
 
 // Get returns one job's info.
 func (r *Registry) Get(id string) (JobInfo, error) {
-	r.mu.Lock()
-	m, ok := r.jobs[id]
-	r.mu.Unlock()
+	m, ok := r.lookup(id)
 	if !ok {
 		return JobInfo{}, ErrNotFound
 	}
@@ -443,14 +564,13 @@ func (r *Registry) Get(id string) (JobInfo, error) {
 // List returns every job in submission order.
 func (r *Registry) List() []JobInfo {
 	r.mu.Lock()
-	ms := make([]*managedJob, 0, len(r.order))
-	for _, id := range r.order {
-		ms = append(ms, r.jobs[id])
-	}
+	order := append([]string(nil), r.order...)
 	r.mu.Unlock()
-	out := make([]JobInfo, len(ms))
-	for i, m := range ms {
-		out[i] = r.info(m)
+	out := make([]JobInfo, 0, len(order))
+	for _, id := range order {
+		if m, ok := r.lookup(id); ok {
+			out = append(out, r.info(m))
+		}
 	}
 	return out
 }
@@ -458,9 +578,7 @@ func (r *Registry) List() []JobInfo {
 // Cancel stops a queued or running job. Cancelling a finished job is a
 // no-op; unknown ids return ErrNotFound.
 func (r *Registry) Cancel(id string) (JobInfo, error) {
-	r.mu.Lock()
-	m, ok := r.jobs[id]
-	r.mu.Unlock()
+	m, ok := r.lookup(id)
 	if !ok {
 		return JobInfo{}, ErrNotFound
 	}
@@ -478,6 +596,7 @@ func (r *Registry) info(m *managedJob) JobInfo {
 		if r.opts.NodeID != "" {
 			info.Node = r.opts.NodeID
 		}
+		info.Fence = m.fence
 		return info
 	}
 	info := JobInfo{
@@ -485,19 +604,20 @@ func (r *Registry) info(m *managedJob) JobInfo {
 		Created: m.created,
 		Spec:    m.spec,
 		Node:    r.opts.NodeID,
+		Fence:   m.fence,
 		Status:  m.job.Status(),
 	}
 	if res, err := m.job.Result(); err == nil {
 		info.Result = &res
 	}
-	r.mu.Lock()
+	m.mu.Lock()
 	if m.overrideReason != "" {
 		// The registry killed (or refused) this job: present the cause,
 		// not the generic cancelled state the Job reports.
 		info.Status.State = m.overrideState
 		info.Status.Error = m.overrideReason
 	}
-	r.mu.Unlock()
+	m.mu.Unlock()
 	return info
 }
 
@@ -560,6 +680,144 @@ func (r *Registry) StateCounts() map[autopipe.JobState]int {
 	return counts
 }
 
+// SetMinority switches partition-shedding mode. Entering it pauses
+// every running job at its next event boundary (virtual time freezes,
+// so a later resume is bit-identical) and makes Submit refuse with
+// ErrMinority; leaving it resumes the paused jobs with a fresh
+// watchdog grace period. Idempotent and safe from any goroutine. The
+// fleet layer drives this from its quorum evaluation: a node that
+// cannot reach a strict majority of the membership must not issue
+// switches or adopt jobs that the majority side may be re-homing.
+func (r *Registry) SetMinority(v bool) {
+	if r.minority.Swap(v) == v {
+		return
+	}
+	if v {
+		for _, m := range r.allJobs() {
+			if m.job != nil && m.final == nil {
+				m.job.Pause()
+			}
+		}
+		return
+	}
+	now := r.now()
+	for _, m := range r.allJobs() {
+		if m.job == nil || !m.job.Paused() {
+			continue
+		}
+		m.mu.Lock()
+		m.lastProgress = now // fresh grace: the pause was not a stall
+		m.mu.Unlock()
+		m.job.Resume()
+	}
+}
+
+// Minority reports whether the registry is in partition-shedding mode.
+func (r *Registry) Minority() bool { return r.minority.Load() }
+
+// JobFence is one hosted job's ownership epoch, exchanged in the
+// fleet's heal-time anti-entropy digests.
+type JobFence struct {
+	ID    string `json:"id"`
+	Fence uint64 `json:"fence"`
+	Done  bool   `json:"done"`
+}
+
+// HostedFences lists every hosted job's fence epoch in submission
+// order.
+func (r *Registry) HostedFences() []JobFence {
+	r.mu.Lock()
+	order := append([]string(nil), r.order...)
+	r.mu.Unlock()
+	out := make([]JobFence, 0, len(order))
+	for _, id := range order {
+		m, ok := r.lookup(id)
+		if !ok {
+			continue
+		}
+		out = append(out, JobFence{ID: id, Fence: m.fence, Done: jobDone(m)})
+	}
+	return out
+}
+
+// Fence returns a hosted job's ownership epoch.
+func (r *Registry) Fence(id string) (uint64, bool) {
+	m, ok := r.lookup(id)
+	if !ok {
+		return 0, false
+	}
+	return m.fence, true
+}
+
+// jobDone reports whether a job's result is terminal-completed — the
+// one state fencing never overrides: a finished result is preserved
+// over any competing copy regardless of epoch.
+func jobDone(m *managedJob) bool {
+	if m.final != nil {
+		return true
+	}
+	return m.job != nil && m.job.Status().State == autopipe.JobDone
+}
+
+// tombstone reports the fence epoch a job was abandoned at, if any.
+func (r *Registry) tombstone(id string) (uint64, bool) {
+	r.fencedMu.Lock()
+	f, ok := r.fenced[id]
+	r.fencedMu.Unlock()
+	return f, ok
+}
+
+func (r *Registry) clearTombstone(id string) {
+	r.fencedMu.Lock()
+	delete(r.fenced, id)
+	r.fencedMu.Unlock()
+}
+
+// FenceOut abandons this node's copy of a job because another node now
+// owns it at a higher fence epoch — the heal-side half of fenced
+// ownership transfer. The copy is cancelled (rolling back any
+// in-flight plan switch), removed from the registry, its future
+// journal/replication output is suppressed, and the journal is
+// compacted so no post-fence records from the stale owner survive on
+// disk. Returns false when the job is unknown, already at or above the
+// epoch, or terminal-completed (a finished result always wins).
+func (r *Registry) FenceOut(id string, fence uint64) bool {
+	sh := r.shard(id)
+	sh.mu.Lock()
+	m, ok := sh.jobs[id]
+	if !ok || m.fence >= fence || jobDone(m) {
+		sh.mu.Unlock()
+		return false
+	}
+	delete(sh.jobs, id)
+	sh.mu.Unlock()
+
+	// Suppress journal/replication output before aborting the job so a
+	// completion record racing the cancellation cannot slip out.
+	r.fencedMu.Lock()
+	r.fenced[id] = fence
+	r.fencedMu.Unlock()
+
+	r.mu.Lock()
+	for i, oid := range r.order {
+		if oid == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	r.counters.FencedOut++
+	r.mu.Unlock()
+
+	m.mu.Lock()
+	m.detached = true // a still-queued goroutine must not start it
+	m.mu.Unlock()
+	if m.job != nil {
+		m.job.Abort() // cancel + roll back any half-applied switch
+	}
+	r.compactNow()
+	return true
+}
+
 // startWatchdog launches the stuck-job scanner once.
 func (r *Registry) startWatchdog() {
 	if r.opts.WatchdogQuiet <= 0 {
@@ -583,33 +841,56 @@ func (r *Registry) startWatchdog() {
 
 // watchdogScan cancels running jobs whose iteration count has not
 // advanced within the quiet period and marks them failed with the
-// reason. Factored out of the ticker loop for deterministic tests.
+// reason. Paused jobs (minority mode) are exempt — frozen virtual time
+// is not a stall. Factored out of the ticker loop for deterministic
+// tests.
 func (r *Registry) watchdogScan(now time.Time) {
 	var kill []*managedJob
 	r.mu.Lock()
-	for _, id := range r.order {
-		m := r.jobs[id]
-		if m.job == nil || m.overrideReason != "" {
+	order := append([]string(nil), r.order...)
+	r.mu.Unlock()
+	for _, id := range order {
+		m, ok := r.lookup(id)
+		if !ok || m.job == nil {
+			continue
+		}
+		if m.job.Paused() {
+			m.mu.Lock()
+			m.lastProgress = now
+			m.mu.Unlock()
 			continue
 		}
 		st := m.job.Status()
 		if st.State != autopipe.JobRunning {
 			continue
 		}
+		m.mu.Lock()
+		if m.overrideReason != "" {
+			m.mu.Unlock()
+			continue
+		}
 		if st.Iteration != m.lastIter || m.lastProgress.IsZero() {
 			m.lastIter = st.Iteration
 			m.lastProgress = now
+			m.mu.Unlock()
 			continue
 		}
-		if quiet := now.Sub(m.lastProgress); quiet >= r.opts.WatchdogQuiet {
-			m.overrideState = autopipe.JobFailed
-			m.overrideReason = fmt.Sprintf("watchdog: no progress for %s (stuck at iteration %d)",
-				quiet.Truncate(time.Millisecond), st.Iteration)
-			r.counters.WatchdogKills++
-			kill = append(kill, m)
+		quiet := now.Sub(m.lastProgress)
+		if quiet < r.opts.WatchdogQuiet {
+			m.mu.Unlock()
+			continue
 		}
+		m.overrideState = autopipe.JobFailed
+		m.overrideReason = fmt.Sprintf("watchdog: no progress for %s (stuck at iteration %d)",
+			quiet.Truncate(time.Millisecond), st.Iteration)
+		m.mu.Unlock()
+		kill = append(kill, m)
 	}
-	r.mu.Unlock()
+	if len(kill) > 0 {
+		r.mu.Lock()
+		r.counters.WatchdogKills += int64(len(kill))
+		r.mu.Unlock()
+	}
 	for _, m := range kill {
 		m.job.Cancel()
 	}
@@ -622,8 +903,11 @@ func (r *Registry) watchdogScan(now time.Time) {
 // the journal together and its group commit coalesces their fsyncs;
 // compaction takes the write side to exclude them. The OnRecord hook
 // observes every record, journal or not, so fleet replication works on
-// journal-less registries too.
-func (r *Registry) journalAppend(typ journal.Type, id string, payload any) {
+// journal-less registries too. Records at or below a job's fence
+// tombstone are silently discarded: once ownership moved to another
+// node, the stale copy's output must not reach disk or the replication
+// stream.
+func (r *Registry) journalAppend(typ journal.Type, id string, fence uint64, payload any) {
 	if r.opts.Journal == nil && r.opts.OnRecord == nil {
 		return
 	}
@@ -633,11 +917,14 @@ func (r *Registry) journalAppend(typ journal.Type, id string, payload any) {
 	if killed {
 		return
 	}
+	if tomb, gone := r.tombstone(id); gone && fence <= tomb {
+		return
+	}
 	r.jmu.RLock()
 	defer r.jmu.RUnlock()
 	data, err := json.Marshal(payload)
 	if err == nil {
-		rec := journal.Record{Type: typ, JobID: id, Data: data}
+		rec := journal.Record{Type: typ, JobID: id, Fence: fence, Data: data}
 		if r.opts.Journal != nil {
 			err = r.opts.Journal.Append(rec)
 		}
@@ -678,6 +965,29 @@ func (r *Registry) maybeCompact() {
 	}
 }
 
+// compactNow unconditionally rewrites the journal to the live state —
+// FenceOut uses it to guarantee a fenced job's stale tail is gone the
+// moment ownership transfer is acknowledged, not at the next
+// opportunistic compaction.
+func (r *Registry) compactNow() {
+	if r.opts.Journal == nil {
+		return
+	}
+	r.mu.Lock()
+	killed := r.killed
+	r.mu.Unlock()
+	if killed {
+		return
+	}
+	r.jmu.Lock()
+	defer r.jmu.Unlock()
+	if err := r.opts.Journal.Compact(r.liveRecords()); err != nil {
+		r.mu.Lock()
+		r.counters.JournalErrors++
+		r.mu.Unlock()
+	}
+}
+
 // ratioWantsCompaction implements the steady-state trigger: the journal
 // holds enough records to be worth rewriting and less than the
 // configured fraction of them is still live. Called with jmu held. The
@@ -697,13 +1007,14 @@ func (r *Registry) ratioWantsCompaction() bool {
 
 func (r *Registry) estimateLiveRecords() int {
 	r.mu.Lock()
-	ms := make([]*managedJob, 0, len(r.order))
-	for _, id := range r.order {
-		ms = append(ms, r.jobs[id])
-	}
+	order := append([]string(nil), r.order...)
 	r.mu.Unlock()
 	n := 0
-	for _, m := range ms {
+	for _, id := range order {
+		m, ok := r.lookup(id)
+		if !ok {
+			continue
+		}
 		n++ // submitted
 		if m.final != nil {
 			n++
@@ -733,7 +1044,9 @@ func (r *Registry) liveRecords() []journal.Record { return r.exportRecords(nil) 
 // ExportRecords renders the live record stream for the given job IDs
 // (every job when none are given): the same compact form compaction
 // writes and Recover/Adopt replay. The fleet layer uses it to
-// full-sync a job's durable state to its ring successor.
+// full-sync a job's durable state to its ring successor. Every record
+// carries the job's current fence epoch, so receivers can refuse
+// stale-owner streams.
 func (r *Registry) ExportRecords(ids ...string) []journal.Record {
 	var filter map[string]bool
 	if len(ids) > 0 {
@@ -746,26 +1059,30 @@ func (r *Registry) ExportRecords(ids ...string) []journal.Record {
 }
 
 func (r *Registry) exportRecords(filter map[string]bool) []journal.Record {
-	marshal := func(typ journal.Type, id string, payload any) (journal.Record, bool) {
+	marshal := func(typ journal.Type, id string, fence uint64, payload any) (journal.Record, bool) {
 		data, err := json.Marshal(payload)
 		if err != nil {
 			return journal.Record{}, false
 		}
-		return journal.Record{Type: typ, JobID: id, Data: data}, true
+		return journal.Record{Type: typ, JobID: id, Fence: fence, Data: data}, true
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	order := append([]string(nil), r.order...)
+	r.mu.Unlock()
 	var out []journal.Record
-	for _, id := range r.order {
+	for _, id := range order {
 		if filter != nil && !filter[id] {
 			continue
 		}
-		m := r.jobs[id]
-		if rec, ok := marshal(journal.TypeSubmitted, id, submittedRec{ID: id, Created: m.created, Spec: m.spec}); ok {
+		m, ok := r.lookup(id)
+		if !ok {
+			continue
+		}
+		if rec, ok := marshal(journal.TypeSubmitted, id, m.fence, submittedRec{ID: id, Created: m.created, Spec: m.spec}); ok {
 			out = append(out, rec)
 		}
 		if m.final != nil {
-			if rec, ok := marshal(journal.TypeCompleted, id, completedRec{ID: id, Info: *m.final}); ok {
+			if rec, ok := marshal(journal.TypeCompleted, id, m.fence, completedRec{ID: id, Info: *m.final}); ok {
 				out = append(out, rec)
 			}
 			continue
@@ -775,22 +1092,22 @@ func (r *Registry) exportRecords(filter map[string]bool) []journal.Record {
 		case autopipe.JobQueued:
 			// The submission record alone re-queues it.
 		case autopipe.JobRunning:
-			if rec, ok := marshal(journal.TypeState, id, stateRec{ID: id, State: autopipe.JobRunning}); ok {
+			if rec, ok := marshal(journal.TypeState, id, m.fence, stateRec{ID: id, State: autopipe.JobRunning}); ok {
 				out = append(out, rec)
 			}
 			if cp, ok := m.job.Checkpoint(); ok {
-				if rec, ok := marshal(journal.TypeCheckpoint, id, checkpointRec{ID: id, Checkpoint: cp}); ok {
+				if rec, ok := marshal(journal.TypeCheckpoint, id, m.fence, checkpointRec{ID: id, Checkpoint: cp}); ok {
 					out = append(out, rec)
 				}
 			}
 		default:
 			// Finished but its completion record hasn't been written
 			// yet (run() is about to): snapshot what we have.
-			info := JobInfo{ID: id, Created: m.created, Spec: m.spec, Status: st}
+			info := JobInfo{ID: id, Created: m.created, Spec: m.spec, Fence: m.fence, Status: st}
 			if res, err := m.job.Result(); err == nil {
 				info.Result = &res
 			}
-			if rec, ok := marshal(journal.TypeCompleted, id, completedRec{ID: id, Info: info}); ok {
+			if rec, ok := marshal(journal.TypeCompleted, id, m.fence, completedRec{ID: id, Info: info}); ok {
 				out = append(out, rec)
 			}
 		}
@@ -804,7 +1121,7 @@ type RecoveryStats struct {
 	Resumed   int // running jobs resumed from their last checkpoint
 	Restarted int // running jobs without a checkpoint: restarted
 	Completed int // finished jobs restored read-only
-	Skipped   int // undecodable or orphaned journal entries
+	Skipped   int // undecodable, orphaned or fence-rejected journal entries
 }
 
 // replayJob is one job's state accumulated from a record stream.
@@ -813,6 +1130,7 @@ type replayJob struct {
 	running bool
 	cp      *autopipe.Checkpoint
 	final   *JobInfo
+	fence   uint64 // highest fence seen across the job's records
 }
 
 // parseReplay folds a record stream into per-job replay state,
@@ -822,13 +1140,16 @@ func parseReplay(recs []journal.Record) (map[string]*replayJob, []string, int) {
 	byID := map[string]*replayJob{}
 	var order []string
 	skipped := 0
-	get := func(id string) *replayJob {
-		if p, ok := byID[id]; ok {
-			return p
+	get := func(id string, fence uint64) *replayJob {
+		p, ok := byID[id]
+		if !ok {
+			p = &replayJob{}
+			byID[id] = p
+			order = append(order, id)
 		}
-		p := &replayJob{}
-		byID[id] = p
-		order = append(order, id)
+		if fence > p.fence {
+			p.fence = fence
+		}
 		return p
 	}
 	for _, rec := range recs {
@@ -839,21 +1160,21 @@ func parseReplay(recs []journal.Record) (map[string]*replayJob, []string, int) {
 				skipped++
 				continue
 			}
-			get(sub.ID).sub = &sub
+			get(sub.ID, rec.Fence).sub = &sub
 		case journal.TypeState:
 			var st stateRec
 			if json.Unmarshal(rec.Data, &st) != nil || st.ID == "" {
 				skipped++
 				continue
 			}
-			get(st.ID).running = st.State == autopipe.JobRunning
+			get(st.ID, rec.Fence).running = st.State == autopipe.JobRunning
 		case journal.TypeCheckpoint:
 			var cp checkpointRec
 			if json.Unmarshal(rec.Data, &cp) != nil || cp.ID == "" {
 				skipped++
 				continue
 			}
-			get(cp.ID).cp = &cp.Checkpoint
+			get(cp.ID, rec.Fence).cp = &cp.Checkpoint
 		case journal.TypeCompleted:
 			var done completedRec
 			if json.Unmarshal(rec.Data, &done) != nil || done.ID == "" {
@@ -861,7 +1182,7 @@ func parseReplay(recs []journal.Record) (map[string]*replayJob, []string, int) {
 				continue
 			}
 			info := done.Info
-			get(done.ID).final = &info
+			get(done.ID, rec.Fence).final = &info
 		default:
 			skipped++
 		}
@@ -869,12 +1190,12 @@ func parseReplay(recs []journal.Record) (map[string]*replayJob, []string, int) {
 	return byID, order, skipped
 }
 
-// buildReplayed turns one job's replay state into a managedJob,
-// updating stats. It returns nil (after counting the skip) when the
-// job cannot be rebuilt. Finished jobs come back with final set; live
-// jobs carry a ready-to-run *autopipe.Job.
-func (r *Registry) buildReplayed(id string, p *replayJob, stats *RecoveryStats) *managedJob {
-	m := &managedJob{id: id, created: p.sub.Created, spec: p.sub.Spec}
+// buildReplayed turns one job's replay state into a managedJob at the
+// given fence epoch, updating stats. It returns nil (after counting
+// the skip) when the job cannot be rebuilt. Finished jobs come back
+// with final set; live jobs carry a ready-to-run *autopipe.Job.
+func (r *Registry) buildReplayed(id string, p *replayJob, fence uint64, stats *RecoveryStats) *managedJob {
+	m := &managedJob{id: id, created: p.sub.Created, spec: p.sub.Spec, fence: fence}
 	if p.final != nil {
 		m.final = p.final
 		stats.Completed++
@@ -882,9 +1203,10 @@ func (r *Registry) buildReplayed(id string, p *replayJob, stats *RecoveryStats) 
 	}
 	spec := p.sub.Spec
 	if p.running {
-		// A KillDaemon event from this spec already fired — that is
-		// how we got here. Re-arming it would crash-loop the daemon.
-		spec = stripKillDaemon(spec)
+		// A KillDaemon or Partition event from this spec already fired —
+		// that is how we got here. Re-arming it would crash-loop the
+		// daemon (or re-partition each successive adopter).
+		spec = stripControlPlaneChaos(spec)
 	}
 	cfg, batches, err := spec.build()
 	if err != nil {
@@ -921,6 +1243,8 @@ func (r *Registry) buildReplayed(id string, p *replayJob, stats *RecoveryStats) 
 // was taken), finished jobs are restored read-only, and the journal is
 // compacted to the rebuilt state. Consumed chaos KillDaemon events are
 // stripped from resumed jobs — the crash they caused already happened.
+// Each job keeps the highest fence its records carried, so a recovered
+// node re-enters the fleet at its pre-crash ownership epoch.
 func (r *Registry) Recover(recs []journal.Record) (RecoveryStats, error) {
 	byID, order, skipped := parseReplay(recs)
 	stats := RecoveryStats{Skipped: skipped}
@@ -930,7 +1254,7 @@ func (r *Registry) Recover(recs []journal.Record) (RecoveryStats, error) {
 		r.mu.Unlock()
 		return stats, ErrClosed
 	}
-	if len(r.jobs) > 0 {
+	if len(r.order) > 0 {
 		r.mu.Unlock()
 		return stats, fmt.Errorf("server: Recover on a registry that already has jobs")
 	}
@@ -947,7 +1271,11 @@ func (r *Registry) Recover(recs []journal.Record) (RecoveryStats, error) {
 		if _, err := fmt.Sscanf(id, "job-%d", &seq); err == nil && seq > maxSeq {
 			maxSeq = seq
 		}
-		m := r.buildReplayed(id, p, &stats)
+		fence := p.fence
+		if fence == 0 {
+			fence = 1 // pre-fence journals: treat as first-epoch owners
+		}
+		m := r.buildReplayed(id, p, fence, &stats)
 		if m == nil {
 			continue
 		}
@@ -978,12 +1306,22 @@ func (r *Registry) Recover(recs []journal.Record) (RecoveryStats, error) {
 
 // Adopt merges a dead peer's replicated record stream into a LIVE
 // registry — the fleet failover path. Unlike Recover it may run at any
-// time, skips job IDs already hosted here, and re-journals the adopted
-// state locally so it is durable on this node and flows onward to the
-// job's next ring successor through the OnRecord stream. Running jobs
-// resume from their replicated checkpoint with the same deterministic
-// contract Recover provides; finished jobs are restored read-only so
-// their results stay visible after the owner is gone.
+// time and re-journals the adopted state locally so it is durable on
+// this node and flows onward to the job's next ring successor through
+// the OnRecord stream. Running jobs resume from their replicated
+// checkpoint with the same deterministic contract Recover provides;
+// finished jobs are restored read-only so their results stay visible
+// after the owner is gone.
+//
+// Adoption is fenced: each adopted job's epoch becomes one above the
+// highest fence in the incoming stream, so the old owner's copy — and
+// any replica of it — is permanently superseded. Streams whose fence
+// does not beat a locally hosted copy (or this node's tombstone from a
+// previous fence-out) are refused and counted in FenceRejected; an
+// incoming stream that DOES beat a locally hosted live copy fences the
+// local copy out first, which is how a healed ex-owner converges after
+// the majority side re-homed its jobs. Terminal-completed local
+// results are never displaced.
 func (r *Registry) Adopt(recs []journal.Record) (RecoveryStats, error) {
 	byID, order, skipped := parseReplay(recs)
 	stats := RecoveryStats{Skipped: skipped}
@@ -998,32 +1336,59 @@ func (r *Registry) Adopt(recs []journal.Record) (RecoveryStats, error) {
 			r.mu.Unlock()
 			return stats, ErrClosed
 		}
-		_, exists := r.jobs[id]
 		r.mu.Unlock()
-		if exists {
+		incoming := p.fence
+		if incoming == 0 {
+			incoming = 1 // pre-fence streams count as first-epoch
+		}
+		if local, ok := r.lookup(id); ok {
+			if incoming <= local.fence || jobDone(local) {
+				// Our copy is at the same or newer epoch (or already
+				// finished): the stream is stale.
+				r.noteFenceRejected()
+				stats.Skipped++
+				continue
+			}
+			if !r.FenceOut(id, incoming) {
+				stats.Skipped++
+				continue
+			}
+		} else if tomb, gone := r.tombstone(id); gone && incoming <= tomb {
+			// We already ceded this job at that epoch; re-adopting the
+			// loser's replica would ping-pong ownership.
+			r.noteFenceRejected()
 			stats.Skipped++
 			continue
 		}
-		m := r.buildReplayed(id, p, &stats)
+		newFence := incoming + 1
+		m := r.buildReplayed(id, p, newFence, &stats)
 		if m == nil {
 			continue
 		}
+		r.clearTombstone(id)
 		r.register(m, m.final == nil)
 		// Durably re-home the job: its spec, progress and result now
-		// live in THIS node's journal and replication stream.
-		r.journalAppend(journal.TypeSubmitted, id, submittedRec{ID: id, Created: m.created, Spec: m.spec})
+		// live in THIS node's journal and replication stream, stamped
+		// with the new ownership epoch.
+		r.journalAppend(journal.TypeSubmitted, id, newFence, submittedRec{ID: id, Created: m.created, Spec: m.spec})
 		switch {
 		case m.final != nil:
-			r.journalAppend(journal.TypeCompleted, id, completedRec{ID: id, Info: *m.final})
+			r.journalAppend(journal.TypeCompleted, id, newFence, completedRec{ID: id, Info: *m.final})
 		case p.running && p.cp != nil:
-			r.journalAppend(journal.TypeState, id, stateRec{ID: id, State: autopipe.JobRunning})
-			r.journalAppend(journal.TypeCheckpoint, id, checkpointRec{ID: id, Checkpoint: *p.cp})
+			r.journalAppend(journal.TypeState, id, newFence, stateRec{ID: id, State: autopipe.JobRunning})
+			r.journalAppend(journal.TypeCheckpoint, id, newFence, checkpointRec{ID: id, Checkpoint: *p.cp})
 		}
 	}
 	r.startWatchdog()
 	r.updateRecoveryCounters(stats)
 	r.maybeCompact()
 	return stats, nil
+}
+
+func (r *Registry) noteFenceRejected() {
+	r.mu.Lock()
+	r.counters.FenceRejected++
+	r.mu.Unlock()
 }
 
 // QueuedJob is a not-yet-started job yanked out of the registry by
@@ -1044,13 +1409,29 @@ func (r *Registry) DetachQueued() []QueuedJob {
 	var out []QueuedJob
 	kept := r.order[:0]
 	for _, id := range r.order {
-		m := r.jobs[id]
-		if m.job == nil || m.final != nil || m.poolStarted || m.detached || m.overrideReason != "" {
+		sh := r.shard(id)
+		sh.mu.Lock()
+		m, ok := sh.jobs[id]
+		if !ok {
+			sh.mu.Unlock()
+			continue
+		}
+		detachable := m.job != nil && m.final == nil
+		if detachable {
+			m.mu.Lock()
+			detachable = !m.poolStarted && !m.detached && m.overrideReason == ""
+			if detachable {
+				m.detached = true
+			}
+			m.mu.Unlock()
+		}
+		if !detachable {
+			sh.mu.Unlock()
 			kept = append(kept, id)
 			continue
 		}
-		m.detached = true
-		delete(r.jobs, id)
+		delete(sh.jobs, id)
+		sh.mu.Unlock()
 		out = append(out, QueuedJob{ID: id, Spec: m.spec})
 	}
 	r.order = kept
@@ -1060,7 +1441,10 @@ func (r *Registry) DetachQueued() []QueuedJob {
 // register installs a recovered job; live jobs also get a pool slot.
 func (r *Registry) register(m *managedJob, live bool) {
 	r.mu.Lock()
-	r.jobs[m.id] = m
+	sh := r.shard(m.id)
+	sh.mu.Lock()
+	sh.jobs[m.id] = m
+	sh.mu.Unlock()
 	r.order = append(r.order, m.id)
 	if live {
 		r.queued++
@@ -1081,15 +1465,17 @@ func (r *Registry) updateRecoveryCounters(stats RecoveryStats) {
 	r.mu.Unlock()
 }
 
-// stripKillDaemon removes consumed daemon-crash chaos events from a
-// spec being resumed.
-func stripKillDaemon(spec JobSpec) JobSpec {
+// stripControlPlaneChaos removes consumed control-plane chaos events
+// (daemon crashes, fleet partitions) from a spec being resumed. The
+// simulated-fabric kinds are kept: they replay deterministically inside
+// the fresh engine without touching the daemon hosting it.
+func stripControlPlaneChaos(spec JobSpec) JobSpec {
 	if len(spec.Chaos) == 0 {
 		return spec
 	}
 	kept := make([]ChaosEventSpec, 0, len(spec.Chaos))
 	for _, ev := range spec.Chaos {
-		if ev.Kind != chaosKindKillDaemon {
+		if ev.Kind != chaosKindKillDaemon && ev.Kind != chaosKindPartition {
 			kept = append(kept, ev)
 		}
 	}
@@ -1112,16 +1498,12 @@ func (r *Registry) Kill() {
 	r.killed = true
 	already := r.closed
 	r.closed = true
-	ms := make([]*managedJob, 0, len(r.jobs))
-	for _, m := range r.jobs {
-		ms = append(ms, m)
-	}
 	r.mu.Unlock()
 	if !already {
 		r.watchOnce.Do(func() {}) // ensure no late watchdog start
 		close(r.stopWatch)
 	}
-	for _, m := range ms {
+	for _, m := range r.allJobs() {
 		if m.job != nil {
 			m.job.Cancel()
 		}
@@ -1154,13 +1536,11 @@ func (r *Registry) Shutdown(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 	}
-	r.mu.Lock()
-	for _, m := range r.jobs {
+	for _, m := range r.allJobs() {
 		if m.job != nil {
 			m.job.Cancel()
 		}
 	}
-	r.mu.Unlock()
 	<-done // cancellation is honoured between events, so this is prompt
 	return ctx.Err()
 }

@@ -56,6 +56,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	switch {
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrMinority):
+		// Minority partition: this node cannot safely accept work until
+		// it rejoins the majority. The Retry-After hint reuses the
+		// queue-drain derivation — clients back off the same way they do
+		// for overload.
+		w.Header().Set("Retry-After", strconv.Itoa(s.reg.RetryAfterSeconds()))
+		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrQueueFull):
 		// Load shedding: tell well-behaved clients when to come back,
 		// derived from how deep the queue is and how fast it has been

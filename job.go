@@ -186,6 +186,10 @@ type JobConfig struct {
 	// DaemonKill is the hook a chaos KillDaemon event invokes — the
 	// crash injection point for control-plane durability testing.
 	DaemonKill func()
+	// PartitionHook is the hook a chaos Partition event invokes — the
+	// network-partition injection point for fleet partition testing
+	// (typically a closure applying netfault rules).
+	PartitionHook func()
 	// OracleBandwidth makes the profiler read ground-truth available
 	// bandwidth instead of estimating it from the job's own transfer
 	// completions (the default; see internal/bwe).
@@ -279,8 +283,14 @@ type Job struct {
 	eng     *sim.Engine
 	ctl     *ap.Controller
 
-	cancel atomic.Bool
-	done   chan struct{}
+	cancel     atomic.Bool
+	fenceAbort atomic.Bool
+	done       chan struct{}
+
+	// pauseMu guards the pause gate; pauseCh is non-nil while paused
+	// and closed by Resume.
+	pauseMu sync.Mutex
+	pauseCh chan struct{}
 
 	mu        sync.Mutex
 	started   bool
@@ -331,6 +341,9 @@ func newJob(cfg JobConfig, batches int, restore *Checkpoint) (*Job, error) {
 		inj := chaos.Install(eng, cfg.Cluster, net, *cfg.Chaos)
 		if cfg.DaemonKill != nil {
 			inj.SetDaemonKill(cfg.DaemonKill)
+		}
+		if cfg.PartitionHook != nil {
+			inj.SetPartition(cfg.PartitionHook)
 		}
 	}
 	pred := cfg.Predictor
@@ -438,6 +451,63 @@ func (j *Job) Cancel() {
 	}
 }
 
+// Abort cancels the job like Cancel and additionally rolls back any
+// in-flight plan switch once the simulation loop stops, leaving the
+// cancelled controller on its last committed plan. Used when the job's
+// ownership has been fenced away to another node: the local copy must
+// abandon a half-applied reconfiguration rather than publish it.
+func (j *Job) Abort() {
+	j.fenceAbort.Store(true)
+	j.Cancel()
+}
+
+// Pause blocks the simulation loop at the next event boundary until
+// Resume is called. Virtual time is frozen while paused, so a paused
+// job resumes bit-identically. Idempotent; safe from any goroutine.
+// Cancellation releases a paused job.
+func (j *Job) Pause() {
+	j.pauseMu.Lock()
+	defer j.pauseMu.Unlock()
+	if j.pauseCh == nil {
+		j.pauseCh = make(chan struct{})
+	}
+}
+
+// Resume releases a paused job. Idempotent; safe from any goroutine.
+func (j *Job) Resume() {
+	j.pauseMu.Lock()
+	defer j.pauseMu.Unlock()
+	if j.pauseCh != nil {
+		close(j.pauseCh)
+		j.pauseCh = nil
+	}
+}
+
+// Paused reports whether the job is currently gated by Pause.
+func (j *Job) Paused() bool {
+	j.pauseMu.Lock()
+	defer j.pauseMu.Unlock()
+	return j.pauseCh != nil
+}
+
+// waitIfPaused blocks while the pause gate is closed. Returns false if
+// the job was stopped while waiting.
+func (j *Job) waitIfPaused(ctx context.Context) bool {
+	for {
+		j.pauseMu.Lock()
+		ch := j.pauseCh
+		j.pauseMu.Unlock()
+		if ch == nil {
+			return true
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return false
+		}
+	}
+}
+
 // Done is closed when Run finishes for any reason.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
@@ -508,12 +578,20 @@ func (j *Job) run(ctx context.Context) (JobResult, error) {
 	remaining := j.batches - j.base
 	j.ctl.Start(ctx, remaining)
 	for !j.stopped(ctx) {
+		if !j.waitIfPaused(ctx) {
+			break
+		}
 		if !j.eng.Step() {
 			break
 		}
 	}
 	e := j.ctl.Engine()
 	if j.stopped(ctx) && e.Completed() < remaining {
+		if j.fenceAbort.Load() && e.Switching() {
+			// Fenced mid-switch: roll back to the incumbent plan so the
+			// discarded copy never reflects a half-applied switch.
+			e.AbortSwitch()
+		}
 		j.snapshot(JobCancelled)
 		return JobResult{}, j.stopErr(ctx)
 	}

@@ -102,3 +102,24 @@ soak_common=(-spawn 1 -autopiped "$bindir/autopiped" -mode closed \
   printf '  "serial_fsync": %s\n}\n' "$(cat "$bindir/serial.json")"
 } > BENCH_daemon.json
 echo "wrote BENCH_daemon.json"
+
+# Fleet partition soak (BENCH_fleet.json): a 3-node fleet under
+# open-loop Poisson load, with a scripted symmetric partition isolating
+# one node mid-run — netfault block rules are installed and healed over
+# each daemon's POST /v1/netfault control surface (inbound HTTP is never
+# impaired, which is what makes the scripted heal possible). Headline
+# numbers: result.partition_recovery_sec (heal-to-quorum on the isolated
+# node), result.jobs_fenced_out_total / result.fence_rejections_total
+# (stale-owner state discarded or refused at heal), and
+# result.shed_503 (minority-gateway sheds, each carrying a derived
+# Retry-After). Residual errors are the brief forwarding window before
+# the survivors declare the isolated owner dead.
+# Env: FLEET_DURATION (default 25s), PARTITION_AT (5s), PARTITION_FOR (10s).
+"$bindir/autopipe-load" -spawn 3 -autopiped "$bindir/autopiped" \
+  -mode open -rate 150 -concurrency 64 -duration "${FLEET_DURATION:-25s}" \
+  -pool 4 -max-queue 256 -heartbeat-every 100ms \
+  -partition-at "${PARTITION_AT:-5s}" -partition-for "${PARTITION_FOR:-10s}" \
+  -slo-max-partition-recovery-sec 30 -slo-retry-after-range \
+  -slo-max-error-rate 0.05 \
+  -json BENCH_fleet.json | tail -n 8
+echo "wrote BENCH_fleet.json"
